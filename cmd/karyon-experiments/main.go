@@ -1,0 +1,56 @@
+// Command karyon-experiments regenerates every experiment table in
+// EXPERIMENTS.md (E1..E15). Identical seeds reproduce identical tables.
+//
+// Usage:
+//
+//	karyon-experiments [-seed N] [-only E5[,E6,...]] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"karyon/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("karyon-experiments", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "deterministic run seed")
+	only := fs.String("only", "", "comma-separated experiment ids (default: all)")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var selected []experiments.Experiment
+	if *only == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.ByID(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+	for _, e := range selected {
+		fmt.Fprintf(out, "== %s — %s (%s)\n", e.ID, e.Title, e.Anchor)
+		tab := e.Run(*seed)
+		if *csv {
+			fmt.Fprint(out, tab.CSV())
+		} else {
+			fmt.Fprintln(out, tab.String())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, args []string) string {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := run(args, f); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	out := capture(t, []string{"-only", "E1", "-seed", "2"})
+	if !strings.Contains(out, "E1") || !strings.Contains(out, "bound.ok") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	out := capture(t, []string{"-only", "E1", "-csv"})
+	if !strings.Contains(out, "period,downswitches") {
+		t.Fatalf("csv output:\n%s", out)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := run([]string{"-only", "E99"}, f); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

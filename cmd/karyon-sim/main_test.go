@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunHighwayScenario(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-scenario", "highway", "-duration", "10s", "-cars", "8"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"highway:", "flow", "collisions", "final LoS"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunHighwayModes(t *testing.T) {
+	for _, mode := range []string{"adaptive", "fixed1", "fixed2", "fixed3", "reckless"} {
+		var sb strings.Builder
+		if err := run([]string{"-scenario", "highway", "-duration", "5s", "-cars", "5", "-mode", mode}, &sb); err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+	}
+	var sb strings.Builder
+	if err := run([]string{"-scenario", "highway", "-mode", "bogus"}, &sb); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+}
+
+func TestRunIntersectionScenario(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-scenario", "intersection", "-duration", "30s"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "conflicts") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+func TestRunEncounterScenario(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-scenario", "encounter", "-geometry", "same-direction"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "violations") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+	if err := run([]string{"-scenario", "encounter", "-geometry", "bogus"}, &sb); err == nil {
+		t.Fatal("bogus geometry accepted")
+	}
+}
+
+func TestRunUnknownScenario(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scenario", "teleport"}, &sb); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

@@ -1,0 +1,134 @@
+// Cohort: six vehicles form a platoon (an ordered Le Lann-style cohort).
+// The head commands the speed profile; followers adopt it as their cruise
+// set point and hold the gap with ACC. Mid-run the head crashes; the next
+// vehicle in roster order takes over within the head timeout and the
+// platoon carries on with the same profile.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"karyon/internal/coord"
+	"karyon/internal/sim"
+	"karyon/internal/vehicle"
+	"karyon/internal/wireless"
+)
+
+type platooner struct {
+	member *coord.CohortMember
+	body   vehicle.Body
+	params vehicle.ACCParams
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	k := sim.NewKernel(9)
+	medium := wireless.NewMedium(k, wireless.DefaultConfig())
+
+	const n = 6
+	cars := make([]*platooner, n)
+	for i := 0; i < n; i++ {
+		radio, err := medium.Attach(wireless.NodeID(i), wireless.Position{X: float64(i) * -30})
+		if err != nil {
+			return err
+		}
+		member, err := coord.NewCohortMember(k, radio, coord.DefaultCohortConfig("convoy"))
+		if err != nil {
+			return err
+		}
+		radio.OnReceive(member.OnFrame)
+		cars[i] = &platooner{
+			member: member,
+			// Vehicle 0 is physically in front (x descending behind it).
+			body:   vehicle.Body{X: float64(i) * -30, Speed: 20, Length: 4.5},
+			params: vehicle.DefaultACCParams(),
+		}
+		cars[i].params.TimeGap = 0.8 // platoon-tight following
+	}
+	if err := cars[0].member.Found(22); err != nil {
+		return err
+	}
+	for _, c := range cars[1:] {
+		if err := c.member.Join(); err != nil {
+			return err
+		}
+	}
+
+	// Physics at 10 Hz: each car follows the one ahead; cruise speed comes
+	// from the cohort profile.
+	if _, err := k.Every(100*sim.Millisecond, func() {
+		for i, c := range cars {
+			if target, ok := c.member.TargetSpeed(); ok {
+				c.params.CruiseSpeed = target
+			}
+			view := vehicle.NoLead()
+			if i > 0 {
+				ahead := cars[i-1]
+				view = vehicle.LeadView{
+					Present:  true,
+					Gap:      ahead.body.X - ahead.body.Length - c.body.X,
+					Speed:    ahead.body.Speed,
+					Accel:    ahead.body.Accel,
+					Validity: 1,
+				}
+			}
+			c.body.Accel = vehicle.ACCAccel(c.params, c.body.Speed, view)
+			c.body.Step(0.1)
+		}
+	}); err != nil {
+		return err
+	}
+
+	report := func() {
+		roster := cars[1].member.Roster()
+		speed, _ := cars[len(cars)-1].member.TargetSpeed()
+		fmt.Printf("  t=%-6s roster=%v profile=%.0f m/s tail speed=%.1f m/s\n",
+			k.Now(), roster, speed, cars[len(cars)-1].body.Speed)
+	}
+
+	k.RunFor(10 * sim.Second)
+	report()
+
+	fmt.Println("  >>> head raises the profile to 28 m/s")
+	if err := cars[0].member.SetTargetSpeed(28); err != nil {
+		return err
+	}
+	k.RunFor(20 * sim.Second)
+	report()
+
+	fmt.Println("  >>> head crashes")
+	cars[0].member.Stop()
+	medium.Detach(0)
+	cars[0].body.Accel = 0 // keeps rolling, no longer coordinates
+	k.RunFor(5 * sim.Second)
+	report()
+
+	heads := 0
+	var newHead *platooner
+	for _, c := range cars[1:] {
+		if c.member.Head() {
+			heads++
+			newHead = c
+		}
+	}
+	if heads != 1 {
+		return fmt.Errorf("failover produced %d heads", heads)
+	}
+	fmt.Printf("  new head: vehicle %d (takeovers=%d)\n",
+		newHead.member.ID(), newHead.Takeovers())
+	if v, ok := newHead.member.TargetSpeed(); !ok || v != 28 {
+		return fmt.Errorf("profile lost across failover: %v %v", v, ok)
+	}
+	fmt.Println("  profile survived the failover: 28 m/s")
+	return nil
+}
+
+// Takeovers surfaces the member's takeover count.
+func (p *platooner) Takeovers() int64 { return p.member.Takeovers }

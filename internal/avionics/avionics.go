@@ -1,0 +1,578 @@
+// Package avionics implements the paper's avionic use cases (Sec. VI-B,
+// Figs. 6 and 7): aerial vehicles with a separation-minima safe-state
+// volume, collaborative traffic (ADS-B-like position broadcasts with
+// satellite-grade accuracy) versus non-collaborative traffic (coarse
+// voice-relayed position estimates), and the three encounter scenarios —
+// common trajectory in the same direction, leveled crossing trajectories,
+// and coordinated flight-level change — plus the RPV mission profile of
+// Fig. 6.
+package avionics
+
+import (
+	"fmt"
+	"math"
+
+	"karyon/internal/coord"
+	"karyon/internal/core"
+	"karyon/internal/metrics"
+	"karyon/internal/sim"
+	"karyon/internal/wireless"
+)
+
+// SeparationMinima is the safe-state volume around an aerial vehicle
+// (Fig. 7): a cylinder described by a lateral and a vertical distance.
+type SeparationMinima struct {
+	// Lateral is the required horizontal distance in meters.
+	Lateral float64
+	// Vertical is the required altitude difference in meters.
+	Vertical float64
+}
+
+// DefaultMinima returns en-route-like minima scaled to the simulation
+// (paper values would be nautical miles; the shape, not the magnitude,
+// is what the reproduction preserves).
+func DefaultMinima() SeparationMinima {
+	return SeparationMinima{Lateral: 1000, Vertical: 150}
+}
+
+// Violated reports whether two positions infringe the volume: inside the
+// lateral radius AND inside the vertical band simultaneously.
+func (m SeparationMinima) Violated(a, b wireless.Position) bool {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	lateral := math.Sqrt(dx*dx + dy*dy)
+	vertical := math.Abs(a.Z - b.Z)
+	return lateral < m.Lateral && vertical < m.Vertical
+}
+
+// Aircraft is one aerial vehicle flying waypoint legs in 3-D.
+type Aircraft struct {
+	ID wireless.NodeID
+	// Pos is the true position (Z = altitude).
+	Pos wireless.Position
+	// Velocity in m/s per axis.
+	Vel wireless.Position
+	// Collaborative aircraft broadcast precise ADS-B state; the rest are
+	// tracked only through coarse, delayed estimates.
+	Collaborative bool
+	// Speed is the commanded ground speed.
+	Speed float64
+	// TargetAlt is the commanded altitude.
+	TargetAlt float64
+	// ClimbRate bounds vertical maneuvering (m/s).
+	ClimbRate float64
+	// Heading in radians (0 = +X).
+	Heading float64
+}
+
+// Step integrates the aircraft over dt seconds: fly the heading at the
+// commanded speed, converge altitude toward the target.
+func (a *Aircraft) Step(dt float64) {
+	a.Vel.X = a.Speed * math.Cos(a.Heading)
+	a.Vel.Y = a.Speed * math.Sin(a.Heading)
+	dz := a.TargetAlt - a.Pos.Z
+	climb := a.ClimbRate
+	if climb <= 0 {
+		climb = 5
+	}
+	switch {
+	case dz > climb*dt:
+		a.Vel.Z = climb
+	case dz < -climb*dt:
+		a.Vel.Z = -climb
+	default:
+		a.Vel.Z = dz / dt
+	}
+	a.Pos.X += a.Vel.X * dt
+	a.Pos.Y += a.Vel.Y * dt
+	a.Pos.Z += a.Vel.Z * dt
+}
+
+// Scenario selects one of the paper's three encounter geometries.
+type Scenario int
+
+// The three avionic use cases of Sec. VI-B.
+const (
+	// ScenarioSameDirection is the ACC analogue: two aircraft on a common
+	// trajectory, the rear one faster.
+	ScenarioSameDirection Scenario = iota + 1
+	// ScenarioCrossing is the intersection analogue: leveled crossing
+	// trajectories meeting at a point.
+	ScenarioCrossing
+	// ScenarioLevelChange is the lane-change analogue: an RPV descending
+	// through another vehicle's flight level, not on a direct collision
+	// path.
+	ScenarioLevelChange
+)
+
+// String renders the scenario.
+func (s Scenario) String() string {
+	switch s {
+	case ScenarioSameDirection:
+		return "same-direction"
+	case ScenarioCrossing:
+		return "leveled-crossing"
+	case ScenarioLevelChange:
+		return "level-change"
+	default:
+		return fmt.Sprintf("scenario(%d)", int(s))
+	}
+}
+
+// Scenarios lists all encounter geometries.
+func Scenarios() []Scenario {
+	return []Scenario{ScenarioSameDirection, ScenarioCrossing, ScenarioLevelChange}
+}
+
+// EncounterConfig parameterizes one two-aircraft encounter run.
+type EncounterConfig struct {
+	Scenario Scenario
+	// IntruderCollaborative selects traffic scenario (1) vs (2) of the
+	// paper: ADS-B equipped vs voice-position only.
+	IntruderCollaborative bool
+	// Minima is the protected volume.
+	Minima SeparationMinima
+	// ControlPeriod is the ownship's avoidance loop period.
+	ControlPeriod sim.Time
+	// ADSBPeriod is the collaborative state broadcast period.
+	ADSBPeriod sim.Time
+	// VoicePeriod is the non-collaborative coarse update period (much
+	// slower) and VoiceError its position error (1-sigma).
+	VoicePeriod sim.Time
+	VoiceError  float64
+	// Duration is the simulated encounter length.
+	Duration sim.Time
+}
+
+// DefaultEncounterConfig returns the E15 parameters.
+func DefaultEncounterConfig(s Scenario, collaborative bool) EncounterConfig {
+	return EncounterConfig{
+		Scenario:              s,
+		IntruderCollaborative: collaborative,
+		Minima:                DefaultMinima(),
+		ControlPeriod:         200 * sim.Millisecond,
+		ADSBPeriod:            sim.Second,
+		VoicePeriod:           15 * sim.Second,
+		VoiceError:            800,
+		Duration:              6 * sim.Minute,
+	}
+}
+
+// EncounterResult aggregates one run.
+type EncounterResult struct {
+	// ViolationTicks counts control periods with the minima violated.
+	ViolationTicks int64
+	// MinLateral and MinVertical record the closest approach.
+	MinLateral  float64
+	MinVertical float64
+	// Maneuvered reports whether the ownship had to deviate.
+	Maneuvered bool
+	// LoSAtEnd is the ownship's final level of service.
+	LoSAtEnd core.LoS
+	// TimeAtLoS3Frac is the fraction of the run spent cooperative.
+	TimeAtLoS3Frac float64
+}
+
+// adsbMsg is the collaborative position broadcast.
+type adsbMsg struct {
+	State coord.CoopState
+	Alt   float64
+	VelX  float64
+	VelY  float64
+	VelZ  float64
+}
+
+// Encounter wires one ownship (with a KARYON safety kernel) against one
+// intruder on the configured geometry.
+type Encounter struct {
+	cfg    EncounterConfig
+	kernel *sim.Kernel
+	medium *wireless.Medium
+
+	own           *Aircraft
+	intruder      *Aircraft
+	ownRadio      *wireless.Radio
+	intruderRadio *wireless.Radio
+
+	// estimate is the ownship's belief about the intruder.
+	estPos      wireless.Position
+	estVel      wireless.Position
+	estAt       sim.Time
+	estValidity float64
+	haveEst     bool
+
+	manager *core.Manager
+	fn      *core.Functionality
+
+	// clearStreak counts consecutive conflict-free checks while deviated.
+	clearStreak int
+
+	res     EncounterResult
+	tickers []*sim.Ticker
+}
+
+// clearedAlt is the ownship's assigned cruise level.
+func (e *Encounter) clearedAlt() float64 { return 3000 }
+
+// ownCruiseSpeed is the ownship's nominal ground speed (m/s).
+const ownCruiseSpeed = 100.0
+
+// resolutionAltitudes lists candidate avoidance levels ordered away from
+// the conflict altitude: first the opposite side of the intruder, then
+// progressively wider offsets.
+func resolutionAltitudes(conflictAlt, verticalPad float64) []float64 {
+	up := conflictAlt + verticalPad + 100
+	down := conflictAlt - verticalPad - 100
+	if down < 500 {
+		down = 500
+	}
+	return []float64{up, down, up + 300, down - 300, up + 600}
+}
+
+// NewEncounter builds the encounter world.
+func NewEncounter(kernel *sim.Kernel, cfg EncounterConfig) (*Encounter, error) {
+	if cfg.ControlPeriod <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("avionics: invalid timing config")
+	}
+	mcfg := wireless.DefaultConfig()
+	mcfg.Range = 50000 // airspace-scale radio horizon
+	e := &Encounter{
+		cfg:    cfg,
+		kernel: kernel,
+		medium: wireless.NewMedium(kernel, mcfg),
+	}
+	e.res.MinLateral = math.MaxFloat64
+	e.res.MinVertical = math.MaxFloat64
+
+	// Geometry per scenario. The ownship flies +X at 100 m/s, altitude
+	// 3000 m.
+	e.own = &Aircraft{
+		ID: 1, Collaborative: true, Speed: 100,
+		Pos: wireless.Position{X: 0, Z: 3000}, TargetAlt: 3000, ClimbRate: 8,
+	}
+	switch cfg.Scenario {
+	case ScenarioSameDirection:
+		// Intruder ahead on the same track, slower: ownship overtakes.
+		e.intruder = &Aircraft{
+			ID: 2, Speed: 70,
+			Pos: wireless.Position{X: 6000, Z: 3000}, TargetAlt: 3000, ClimbRate: 8,
+		}
+	case ScenarioCrossing:
+		// Intruder crossing at 90° timed to meet at the origin-ahead
+		// point (20 km, 0).
+		e.intruder = &Aircraft{
+			ID: 2, Speed: 100, Heading: math.Pi / 2,
+			Pos: wireless.Position{X: 20000, Y: -20000, Z: 3000}, TargetAlt: 3000, ClimbRate: 8,
+		}
+	case ScenarioLevelChange:
+		// Intruder descending through the ownship's level, laterally
+		// offset so it is not a direct collision course.
+		e.intruder = &Aircraft{
+			ID: 2, Speed: 90, Heading: math.Pi,
+			Pos: wireless.Position{X: 25000, Y: 600, Z: 4000}, TargetAlt: 2500, ClimbRate: 6,
+		}
+	default:
+		return nil, fmt.Errorf("avionics: unknown scenario %v", cfg.Scenario)
+	}
+	e.intruder.Collaborative = cfg.IntruderCollaborative
+
+	ownRadio, err := e.medium.Attach(e.own.ID, e.own.Pos)
+	if err != nil {
+		return nil, err
+	}
+	e.ownRadio = ownRadio
+	ownRadio.OnReceive(e.onFrame)
+	intruderRadio, err := e.medium.Attach(e.intruder.ID, e.intruder.Pos)
+	if err != nil {
+		return nil, err
+	}
+	e.intruderRadio = intruderRadio
+
+	// Ownship safety kernel: LoS3 = cooperative (fresh precise intruder
+	// state), LoS2 = surveilled (any recent estimate), LoS1 = blind.
+	ri := core.NewRuntimeInfo(kernel)
+	mgr, err := core.NewManager(kernel, ri, core.ManagerConfig{
+		Period:           cfg.ControlPeriod,
+		UpgradeStability: 3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fn, err := mgr.AddFunctionality("separation", 3)
+	if err != nil {
+		return nil, err
+	}
+	if err := fn.AddRule(2, core.MinValidity("intruder.validity", 0.2)); err != nil {
+		return nil, err
+	}
+	// The LoS3 threshold doubles as a staleness bound: the validity
+	// indicator decays exponentially with the estimate's age (see step),
+	// so a silent intruder drops below 0.8 within a few broadcast periods.
+	if err := fn.AddRule(3, core.MinValidity("intruder.validity", 0.8)); err != nil {
+		return nil, err
+	}
+	e.manager = mgr
+	e.fn = fn
+	return e, nil
+}
+
+// Run executes the encounter and returns the result.
+func (e *Encounter) Run() (EncounterResult, error) {
+	if err := e.manager.Start(); err != nil {
+		return EncounterResult{}, err
+	}
+	// Intruder state emission.
+	period := e.cfg.VoicePeriod
+	if e.intruder.Collaborative {
+		period = e.cfg.ADSBPeriod
+	}
+	it, err := e.kernel.Every(period, e.emitIntruder)
+	if err != nil {
+		return EncounterResult{}, err
+	}
+	e.tickers = append(e.tickers, it)
+	// Plant integration + ownship control.
+	ct, err := e.kernel.Every(e.cfg.ControlPeriod, e.step)
+	if err != nil {
+		return EncounterResult{}, err
+	}
+	e.tickers = append(e.tickers, ct)
+
+	e.kernel.RunFor(e.cfg.Duration)
+
+	for _, t := range e.tickers {
+		t.Stop()
+	}
+	e.manager.Stop()
+	e.res.LoSAtEnd = e.fn.Current()
+	total := e.cfg.Duration
+	e.res.TimeAtLoS3Frac = float64(e.fn.TimeAt(3, e.kernel.Now())) / float64(total)
+	return e.res, nil
+}
+
+// emitIntruder broadcasts the intruder's state: precise via ADS-B for
+// collaborative traffic, coarse and slow ("relayed by voice") otherwise.
+func (e *Encounter) emitIntruder() {
+	pos := e.intruder.Pos
+	validity := 1.0
+	if !e.intruder.Collaborative {
+		rng := e.kernel.Rand()
+		pos.X += rng.NormFloat64() * e.cfg.VoiceError
+		pos.Y += rng.NormFloat64() * e.cfg.VoiceError
+		pos.Z += rng.NormFloat64() * e.cfg.VoiceError / 10
+		validity = 0.4
+	}
+	msg := adsbMsg{
+		State: coord.CoopState{
+			ID:       e.intruder.ID,
+			Pos:      pos,
+			Speed:    e.intruder.Speed,
+			Time:     e.kernel.Now(),
+			Validity: validity,
+		},
+		Alt:  pos.Z,
+		VelX: e.intruder.Vel.X,
+		VelY: e.intruder.Vel.Y,
+		VelZ: e.intruder.Vel.Z,
+	}
+	e.intruderRadio.SetPosition(e.intruder.Pos)
+	e.intruderRadio.Broadcast(msg)
+}
+
+func (e *Encounter) onFrame(f wireless.Frame) {
+	m, ok := f.Payload.(adsbMsg)
+	if !ok {
+		return
+	}
+	e.estPos = m.State.Pos
+	e.estVel = wireless.Position{X: m.VelX, Y: m.VelY, Z: m.VelZ}
+	e.estAt = m.State.Time
+	e.estValidity = m.State.Validity
+	e.haveEst = true
+}
+
+// step advances both aircraft and runs the ownship's avoidance logic.
+func (e *Encounter) step() {
+	dt := e.cfg.ControlPeriod.Seconds()
+	now := e.kernel.Now()
+
+	// Feed the kernel: the intruder estimate's decayed validity.
+	ri := e.manager.Runtime()
+	if e.haveEst {
+		age := (now - e.estAt).Seconds()
+		decay := math.Exp(-age / 30) // information ages out over ~30 s
+		ri.Set("intruder.validity", e.estValidity*decay)
+	}
+
+	// Avoidance: predict the intruder forward by the estimate's age, pad
+	// the minima by the LoS-dependent uncertainty margin, and deviate
+	// vertically if the padded volume would be pierced within the
+	// lookahead. Propagation is 3-D: both the ownship's planned climb and
+	// the intruder's reported vertical rate are modeled, so the ownship
+	// never resolves *into* a climbing/descending intruder.
+	level := e.fn.Current()
+	margin := marginForLoS(level)
+	predicted := e.estPos
+	if e.haveEst {
+		age := (now - e.estAt).Seconds()
+		predicted.X += e.estVel.X * age
+		predicted.Y += e.estVel.Y * age
+		predicted.Z += e.estVel.Z * age
+	}
+	padded := SeparationMinima{
+		Lateral:  e.cfg.Minima.Lateral + margin,
+		Vertical: e.cfg.Minima.Vertical + margin/10,
+	}
+	threatAt := func(targetAlt float64) (bool, float64) {
+		const lookahead = 90.0
+		const steps = 45
+		climb := e.own.ClimbRate
+		for i := 0; i <= steps; i++ {
+			t := lookahead * float64(i) / float64(steps)
+			// Ownship altitude converges to targetAlt at the climb rate.
+			oz := e.own.Pos.Z
+			dz := targetAlt - oz
+			if math.Abs(dz) > climb*t {
+				oz += math.Copysign(climb*t, dz)
+			} else {
+				oz = targetAlt
+			}
+			o := wireless.Position{
+				X: e.own.Pos.X + e.own.Vel.X*t,
+				Y: e.own.Pos.Y + e.own.Vel.Y*t,
+				Z: oz,
+			}
+			p := wireless.Position{
+				X: predicted.X + e.estVel.X*t,
+				Y: predicted.Y + e.estVel.Y*t,
+				Z: predicted.Z + e.estVel.Z*t,
+			}
+			if padded.Violated(o, p) {
+				return true, p.Z
+			}
+		}
+		return false, 0
+	}
+	if e.haveEst {
+		conflict, conflictAlt := threatAt(e.own.TargetAlt)
+		switch {
+		case conflict:
+			e.clearStreak = 0
+			e.res.Maneuvered = true
+			// Resolve away from the intruder's altitude at conflict time;
+			// verify the candidate actually clears, otherwise widen.
+			for _, candidate := range resolutionAltitudes(conflictAlt, padded.Vertical) {
+				if bad, _ := threatAt(candidate); !bad {
+					e.own.TargetAlt = candidate
+					break
+				}
+			}
+		case e.own.TargetAlt != e.clearedAlt():
+			// Return to the cleared level only after a stable all-clear,
+			// and only if the return path itself is conflict-free.
+			e.clearStreak++
+			if e.clearStreak > 25 {
+				if bad, _ := threatAt(e.clearedAlt()); !bad {
+					e.own.TargetAlt = e.clearedAlt()
+				}
+			}
+		}
+	}
+	if !e.haveEst && level == core.LevelSafe {
+		// Blind in shared airspace: hold altitude, slow down (the safe
+		// LoS for an RPV without surveillance).
+		e.own.Speed = 70
+	} else {
+		e.own.Speed = ownCruiseSpeed
+	}
+
+	e.own.Step(dt)
+	e.intruder.Step(dt)
+	e.ownRadio.SetPosition(e.own.Pos)
+
+	// Separation accounting against ground truth.
+	dx, dy := e.own.Pos.X-e.intruder.Pos.X, e.own.Pos.Y-e.intruder.Pos.Y
+	lateral := math.Sqrt(dx*dx + dy*dy)
+	vertical := math.Abs(e.own.Pos.Z - e.intruder.Pos.Z)
+	if e.cfg.Minima.Violated(e.own.Pos, e.intruder.Pos) {
+		e.res.ViolationTicks++
+	}
+	// Track the closest approach (pointwise minimum of both components
+	// when inside lateral conflict range, otherwise lateral only).
+	if lateral < e.res.MinLateral {
+		e.res.MinLateral = lateral
+		e.res.MinVertical = vertical
+	}
+}
+
+// marginForLoS returns the extra separation padding demanded at a level:
+// poorer knowledge of the intruder demands a wider berth — the avionic
+// form of "higher LoS, smaller margin".
+func marginForLoS(level core.LoS) float64 {
+	switch {
+	case level >= 3:
+		return 200
+	case level == 2:
+		return 1200
+	default:
+		return 3000
+	}
+}
+
+// MissionLeg is one segment of the RPV mission profile (Fig. 6).
+type MissionLeg struct {
+	Name string
+	// TargetAlt is the leg's altitude.
+	TargetAlt float64
+	// Waypoint is the leg's end point (X, Y).
+	Waypoint wireless.Position
+}
+
+// RPVMission is the Fig. 6 profile: climb into non-segregated airspace,
+// sweep a grid, descend, hand back to ground control, land.
+func RPVMission() []MissionLeg {
+	return []MissionLeg{
+		{Name: "climb", TargetAlt: 3000, Waypoint: wireless.Position{X: 5000}},
+		{Name: "sweep-1", TargetAlt: 3000, Waypoint: wireless.Position{X: 15000, Y: 0}},
+		{Name: "sweep-2", TargetAlt: 3000, Waypoint: wireless.Position{X: 15000, Y: 2000}},
+		{Name: "sweep-3", TargetAlt: 3000, Waypoint: wireless.Position{X: 5000, Y: 2000}},
+		{Name: "sweep-4", TargetAlt: 3000, Waypoint: wireless.Position{X: 5000, Y: 4000}},
+		{Name: "sweep-5", TargetAlt: 3000, Waypoint: wireless.Position{X: 15000, Y: 4000}},
+		{Name: "descend", TargetAlt: 500, Waypoint: wireless.Position{X: 20000, Y: 4000}},
+		{Name: "land", TargetAlt: 0, Waypoint: wireless.Position{X: 22000, Y: 4000}},
+	}
+}
+
+// FlyMission runs an aircraft through the legs and returns the flown track
+// sampled every dt seconds, plus the total mission time in seconds.
+func FlyMission(a *Aircraft, legs []MissionLeg, dt float64, maxTime float64) ([]wireless.Position, float64) {
+	var track []wireless.Position
+	elapsed := 0.0
+	for _, leg := range legs {
+		a.TargetAlt = leg.TargetAlt
+		for elapsed < maxTime {
+			dx := leg.Waypoint.X - a.Pos.X
+			dy := leg.Waypoint.Y - a.Pos.Y
+			dist := math.Sqrt(dx*dx + dy*dy)
+			if dist < a.Speed*dt*1.5 && math.Abs(a.Pos.Z-leg.TargetAlt) < 20 {
+				break
+			}
+			if dist > 1 {
+				a.Heading = math.Atan2(dy, dx)
+			}
+			a.Step(dt)
+			track = append(track, a.Pos)
+			elapsed += dt
+		}
+	}
+	return track, elapsed
+}
+
+// SummarizeTrack reduces a track to a histogram of altitudes (used by the
+// mission-profile bench output).
+func SummarizeTrack(track []wireless.Position) *metrics.Histogram {
+	var h metrics.Histogram
+	for _, p := range track {
+		h.Observe(p.Z)
+	}
+	return &h
+}

@@ -1,0 +1,370 @@
+package coord
+
+import (
+	"fmt"
+	"sort"
+
+	"karyon/internal/sim"
+	"karyon/internal/wireless"
+)
+
+// Cohort messages. The cohort primitive follows Le Lann [24]: an ordered
+// group of vehicles (a platoon) with a head that owns the roster and the
+// common speed profile; membership changes are head-mediated, so the
+// roster version totally orders them.
+type cohortJoinReq struct {
+	From   wireless.NodeID
+	Cohort string
+}
+
+type cohortLeaveReq struct {
+	From   wireless.NodeID
+	Cohort string
+}
+
+type cohortRoster struct {
+	Cohort  string
+	Head    wireless.NodeID
+	Version uint64
+	// Members in platoon order (head first).
+	Members []wireless.NodeID
+	// TargetSpeed is the head's commanded profile (m/s).
+	TargetSpeed float64
+	// TargetLane and LaneChangeID implement the paper's VI-A3 extension:
+	// "platoons of cars that can change lanes in a coordinated manner".
+	// The head bumps LaneChangeID when commanding a platoon-wide change;
+	// members execute it once and acknowledge locally.
+	TargetLane   int
+	LaneChangeID uint64
+}
+
+// CohortConfig parameterizes a cohort member.
+type CohortConfig struct {
+	// Name identifies the cohort (vehicles may only follow one).
+	Name string
+	// RosterPeriod is the head's roster broadcast period.
+	RosterPeriod sim.Time
+	// HeadTimeout is the silence after which members consider the head
+	// gone and the next member takes over.
+	HeadTimeout sim.Time
+}
+
+// DefaultCohortConfig returns platooning-scale timing.
+func DefaultCohortConfig(name string) CohortConfig {
+	return CohortConfig{
+		Name:         name,
+		RosterPeriod: 100 * sim.Millisecond,
+		HeadTimeout:  500 * sim.Millisecond,
+	}
+}
+
+// CohortMember is one vehicle's participation in a cohort.
+type CohortMember struct {
+	cfg    CohortConfig
+	kernel *sim.Kernel
+	radio  *wireless.Radio
+
+	roster    cohortRoster
+	haveRost  bool
+	lastHeard sim.Time
+	isHead    bool
+	joined    bool
+	left      bool
+
+	ticker  *sim.Ticker
+	stopped bool
+
+	// ackedLaneChange is the last LaneChangeID this member executed.
+	ackedLaneChange uint64
+
+	// Takeovers counts head-failover promotions by this member.
+	Takeovers int64
+}
+
+// NewCohortMember creates a participant. Wire OnFrame into the radio's
+// receive path, then call Found or Join.
+func NewCohortMember(kernel *sim.Kernel, radio *wireless.Radio, cfg CohortConfig) (*CohortMember, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("coord: cohort needs a name")
+	}
+	if cfg.RosterPeriod <= 0 || cfg.HeadTimeout <= cfg.RosterPeriod {
+		return nil, fmt.Errorf("coord: cohort needs 0 < rosterPeriod < headTimeout")
+	}
+	return &CohortMember{cfg: cfg, kernel: kernel, radio: radio}, nil
+}
+
+// ID returns the member's node id.
+func (m *CohortMember) ID() wireless.NodeID { return m.radio.ID() }
+
+// Head reports whether this member currently heads the cohort.
+func (m *CohortMember) Head() bool { return m.isHead }
+
+// Joined reports whether this member appears in the current roster.
+func (m *CohortMember) Joined() bool { return m.joined }
+
+// Position returns the member's platoon position (0 = head) and whether
+// it is in the roster.
+func (m *CohortMember) Position() (int, bool) {
+	if !m.haveRost {
+		return 0, false
+	}
+	for i, id := range m.roster.Members {
+		if id == m.radio.ID() {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Roster returns the member list (head first) as currently known.
+func (m *CohortMember) Roster() []wireless.NodeID {
+	return append([]wireless.NodeID(nil), m.roster.Members...)
+}
+
+// TargetSpeed returns the cohort's commanded speed and whether a roster
+// is known and fresh.
+func (m *CohortMember) TargetSpeed() (float64, bool) {
+	if !m.haveRost || m.kernel.Now()-m.lastHeard > m.cfg.HeadTimeout {
+		if !m.isHead {
+			return 0, false
+		}
+	}
+	return m.roster.TargetSpeed, m.haveRost
+}
+
+// Found establishes a new cohort with this member as head.
+func (m *CohortMember) Found(targetSpeed float64) error {
+	if m.haveRost {
+		return fmt.Errorf("coord: already in cohort %q", m.cfg.Name)
+	}
+	m.roster = cohortRoster{
+		Cohort:      m.cfg.Name,
+		Head:        m.radio.ID(),
+		Version:     1,
+		Members:     []wireless.NodeID{m.radio.ID()},
+		TargetSpeed: targetSpeed,
+	}
+	m.haveRost = true
+	m.isHead = true
+	m.joined = true
+	return m.startTicker()
+}
+
+// Join requests admission; the head answers with an updated roster.
+func (m *CohortMember) Join() error {
+	m.left = false
+	m.radio.Broadcast(cohortJoinReq{From: m.radio.ID(), Cohort: m.cfg.Name})
+	return m.startTicker()
+}
+
+// Leave requests removal (a head cannot leave; it must hand over by
+// stopping, letting failover promote the next member).
+func (m *CohortMember) Leave() {
+	if m.isHead {
+		return
+	}
+	m.radio.Broadcast(cohortLeaveReq{From: m.radio.ID(), Cohort: m.cfg.Name})
+	m.joined = false
+	m.left = true
+}
+
+// SetTargetSpeed updates the commanded profile (head only). The roster
+// version is bumped so followers adopt the change.
+func (m *CohortMember) SetTargetSpeed(v float64) error {
+	if !m.isHead {
+		return fmt.Errorf("coord: only the head commands the profile")
+	}
+	m.roster.TargetSpeed = v
+	m.roster.Version++
+	m.publish()
+	return nil
+}
+
+// CommandLaneChange orders the whole platoon into the target lane (head
+// only) — the paper's coordinated platoon lane change. Members learn of
+// the command through the roster and execute it exactly once each (see
+// PendingLaneChange/AckLaneChange); the vehicle layer supplies the actual
+// motion and should stagger execution rear-to-front or reserve the region
+// through the Agreement protocol first.
+func (m *CohortMember) CommandLaneChange(lane int) error {
+	if !m.isHead {
+		return fmt.Errorf("coord: only the head commands lane changes")
+	}
+	m.roster.TargetLane = lane
+	m.roster.LaneChangeID++
+	m.roster.Version++
+	// The head executes its own command too.
+	m.publish()
+	return nil
+}
+
+// PendingLaneChange returns the commanded lane and command id when this
+// member has a not-yet-executed platoon lane change.
+func (m *CohortMember) PendingLaneChange() (lane int, id uint64, ok bool) {
+	if !m.haveRost || !m.joined {
+		return 0, 0, false
+	}
+	if m.roster.LaneChangeID <= m.ackedLaneChange {
+		return 0, 0, false
+	}
+	return m.roster.TargetLane, m.roster.LaneChangeID, true
+}
+
+// AckLaneChange records that the member executed the command with the
+// given id. Later ids supersede earlier ones.
+func (m *CohortMember) AckLaneChange(id uint64) {
+	if id > m.ackedLaneChange {
+		m.ackedLaneChange = id
+	}
+}
+
+// Stop halts participation (crash or shutdown).
+func (m *CohortMember) Stop() {
+	m.stopped = true
+	if m.ticker != nil {
+		m.ticker.Stop()
+	}
+}
+
+func (m *CohortMember) startTicker() error {
+	if m.ticker != nil {
+		return nil
+	}
+	phase := sim.Time(m.kernel.Rand().Int63n(int64(m.cfg.RosterPeriod)))
+	m.kernel.Schedule(phase, func() {
+		if m.stopped {
+			return
+		}
+		t, err := m.kernel.Every(m.cfg.RosterPeriod, m.tick)
+		if err == nil {
+			m.ticker = t
+		}
+	})
+	return nil
+}
+
+func (m *CohortMember) tick() {
+	if m.stopped || m.left {
+		return
+	}
+	now := m.kernel.Now()
+	if m.isHead {
+		m.publish()
+		return
+	}
+	if !m.haveRost || !m.joined {
+		// Keep soliciting admission.
+		m.radio.Broadcast(cohortJoinReq{From: m.radio.ID(), Cohort: m.cfg.Name})
+		return
+	}
+	if now-m.lastHeard > m.cfg.HeadTimeout {
+		// Head gone: the next member in roster order takes over.
+		pos, in := m.Position()
+		if !in {
+			return
+		}
+		// Drop the dead head (and anything before us that stayed silent —
+		// conservatively only the head, which failover order handles).
+		next := m.successor()
+		if next != m.radio.ID() {
+			return // not our turn; wait for the successor's roster
+		}
+		m.isHead = true
+		m.Takeovers++
+		m.roster.Head = m.radio.ID()
+		m.roster.Version++
+		m.roster.Members = m.roster.Members[pos:]
+		m.publish()
+	}
+}
+
+// successor returns the first roster member after the dead head.
+func (m *CohortMember) successor() wireless.NodeID {
+	if len(m.roster.Members) < 2 {
+		return m.radio.ID()
+	}
+	return m.roster.Members[1]
+}
+
+func (m *CohortMember) publish() {
+	m.lastHeard = m.kernel.Now()
+	m.radio.Broadcast(m.roster)
+}
+
+// OnFrame feeds received frames (demultiplex with other traffic).
+func (m *CohortMember) OnFrame(f wireless.Frame) {
+	if m.stopped {
+		return
+	}
+	switch msg := f.Payload.(type) {
+	case cohortJoinReq:
+		if !m.isHead || msg.Cohort != m.cfg.Name {
+			return
+		}
+		for _, id := range m.roster.Members {
+			if id == msg.From {
+				m.publish() // already in: re-announce for the lost reply
+				return
+			}
+		}
+		m.roster.Members = append(m.roster.Members, msg.From)
+		m.roster.Version++
+		m.publish()
+	case cohortLeaveReq:
+		if !m.isHead || msg.Cohort != m.cfg.Name {
+			return
+		}
+		kept := m.roster.Members[:0]
+		for _, id := range m.roster.Members {
+			if id != msg.From {
+				kept = append(kept, id)
+			}
+		}
+		m.roster.Members = kept
+		m.roster.Version++
+		m.publish()
+	case cohortRoster:
+		if msg.Cohort != m.cfg.Name || m.left {
+			return
+		}
+		if m.haveRost && msg.Version <= m.roster.Version && msg.Head == m.roster.Head {
+			if msg.Version == m.roster.Version {
+				m.lastHeard = m.kernel.Now()
+			}
+			return
+		}
+		// Concurrent heads after a partition heal: the lower id wins.
+		if m.isHead && msg.Head > m.radio.ID() {
+			return
+		}
+		if m.isHead && msg.Head < m.radio.ID() {
+			m.isHead = false
+		}
+		m.roster = msg
+		m.roster.Members = append([]wireless.NodeID(nil), msg.Members...)
+		m.haveRost = true
+		m.lastHeard = m.kernel.Now()
+		m.joined = false
+		for _, id := range m.roster.Members {
+			if id == m.radio.ID() {
+				m.joined = true
+			}
+		}
+	}
+}
+
+// CohortOrderValid reports whether the members' physical order on the
+// road matches the roster order (head first, positions decreasing): the
+// platoon-form invariant used by tests and experiments. positions maps
+// node id to longitudinal coordinate.
+func CohortOrderValid(roster []wireless.NodeID, positions map[wireless.NodeID]float64) bool {
+	xs := make([]float64, 0, len(roster))
+	for _, id := range roster {
+		x, ok := positions[id]
+		if !ok {
+			return false
+		}
+		xs = append(xs, x)
+	}
+	return sort.SliceIsSorted(xs, func(i, j int) bool { return xs[i] > xs[j] })
+}

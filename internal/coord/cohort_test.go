@@ -1,0 +1,287 @@
+package coord
+
+import (
+	"testing"
+
+	"karyon/internal/sim"
+	"karyon/internal/vehicle"
+	"karyon/internal/wireless"
+)
+
+func cohortRig(t *testing.T, seed int64, n int) (*sim.Kernel, []*CohortMember, *wireless.Medium) {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	medium := wireless.NewMedium(k, wireless.DefaultConfig())
+	var members []*CohortMember
+	for i := 0; i < n; i++ {
+		radio, err := medium.Attach(wireless.NodeID(i), wireless.Position{X: float64(i) * 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewCohortMember(k, radio, DefaultCohortConfig("p1"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		radio.OnReceive(m.OnFrame)
+		members = append(members, m)
+	}
+	return k, members, medium
+}
+
+func TestCohortValidation(t *testing.T) {
+	k := sim.NewKernel(1)
+	medium := wireless.NewMedium(k, wireless.DefaultConfig())
+	radio, _ := medium.Attach(1, wireless.Position{})
+	if _, err := NewCohortMember(k, radio, CohortConfig{Name: "", RosterPeriod: sim.Second, HeadTimeout: 2 * sim.Second}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	cfg := DefaultCohortConfig("x")
+	cfg.HeadTimeout = cfg.RosterPeriod
+	if _, err := NewCohortMember(k, radio, cfg); err == nil {
+		t.Fatal("headTimeout <= rosterPeriod accepted")
+	}
+}
+
+func TestCohortFormation(t *testing.T) {
+	k, ms, _ := cohortRig(t, 2, 4)
+	if err := ms[0].Found(25); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms[1:] {
+		if err := m.Join(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.RunFor(2 * sim.Second)
+	for i, m := range ms {
+		if !m.Joined() {
+			t.Fatalf("member %d never joined", i)
+		}
+		if v, ok := m.TargetSpeed(); !ok || v != 25 {
+			t.Fatalf("member %d profile = %v,%v", i, v, ok)
+		}
+	}
+	if !ms[0].Head() {
+		t.Fatal("founder not head")
+	}
+	if pos, ok := ms[0].Position(); !ok || pos != 0 {
+		t.Fatalf("head position %d", pos)
+	}
+	// All members converge on one roster of size 4, head first.
+	r := ms[2].Roster()
+	if len(r) != 4 || r[0] != 0 {
+		t.Fatalf("roster %v", r)
+	}
+	// Double-found is rejected.
+	if err := ms[0].Found(30); err == nil {
+		t.Fatal("second Found accepted")
+	}
+}
+
+func TestCohortSpeedPropagation(t *testing.T) {
+	k, ms, _ := cohortRig(t, 3, 3)
+	if err := ms[0].Found(20); err != nil {
+		t.Fatal(err)
+	}
+	_ = ms[1].Join()
+	_ = ms[2].Join()
+	k.RunFor(sim.Second)
+	if err := ms[0].SetTargetSpeed(28); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(sim.Second)
+	for i, m := range ms {
+		if v, _ := m.TargetSpeed(); v != 28 {
+			t.Fatalf("member %d speed %v after profile change", i, v)
+		}
+	}
+	// Non-head cannot command.
+	if err := ms[1].SetTargetSpeed(99); err == nil {
+		t.Fatal("follower commanded the profile")
+	}
+}
+
+func TestCohortLeave(t *testing.T) {
+	k, ms, _ := cohortRig(t, 4, 3)
+	if err := ms[0].Found(20); err != nil {
+		t.Fatal(err)
+	}
+	_ = ms[1].Join()
+	_ = ms[2].Join()
+	k.RunFor(sim.Second)
+	ms[1].Leave()
+	k.RunFor(sim.Second)
+	r := ms[0].Roster()
+	if len(r) != 2 {
+		t.Fatalf("roster after leave: %v", r)
+	}
+	for _, id := range r {
+		if id == 1 {
+			t.Fatal("left member still in roster")
+		}
+	}
+	// The head ignores Leave on itself.
+	ms[0].Leave()
+	k.RunFor(500 * sim.Millisecond)
+	if !ms[0].Head() || !ms[0].Joined() {
+		t.Fatal("head left its own cohort")
+	}
+}
+
+func TestCohortHeadFailover(t *testing.T) {
+	k, ms, medium := cohortRig(t, 5, 4)
+	if err := ms[0].Found(22); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms[1:] {
+		_ = m.Join()
+	}
+	k.RunFor(2 * sim.Second)
+	// Record the roster order to know the expected successor.
+	successor := ms[0].Roster()[1]
+	ms[0].Stop()
+	medium.Detach(0)
+	k.RunFor(2 * sim.Second)
+	heads := 0
+	var head *CohortMember
+	for _, m := range ms[1:] {
+		if m.Head() {
+			heads++
+			head = m
+		}
+	}
+	if heads != 1 {
+		t.Fatalf("heads after failover = %d", heads)
+	}
+	if head.ID() != successor {
+		t.Fatalf("head = %v, want successor %v", head.ID(), successor)
+	}
+	if head.Takeovers != 1 {
+		t.Fatalf("takeovers = %d", head.Takeovers)
+	}
+	// The profile survives the failover.
+	if v, ok := head.TargetSpeed(); !ok || v != 22 {
+		t.Fatalf("profile after failover = %v,%v", v, ok)
+	}
+	// Remaining members follow the new head.
+	for _, m := range ms[1:] {
+		if m == head {
+			continue
+		}
+		if m.Roster()[0] != head.ID() {
+			t.Fatalf("member %v roster head = %v", m.ID(), m.Roster()[0])
+		}
+	}
+}
+
+func TestCohortOrderValid(t *testing.T) {
+	roster := []wireless.NodeID{3, 2, 1}
+	pos := map[wireless.NodeID]float64{3: 100, 2: 80, 1: 60}
+	if !CohortOrderValid(roster, pos) {
+		t.Fatal("ordered platoon rejected")
+	}
+	pos[2] = 120 // member 2 physically ahead of the head
+	if CohortOrderValid(roster, pos) {
+		t.Fatal("disordered platoon accepted")
+	}
+	if CohortOrderValid([]wireless.NodeID{9}, pos) {
+		t.Fatal("unknown position accepted")
+	}
+}
+
+func TestCohortCoordinatedLaneChange(t *testing.T) {
+	// The paper's VI-A3 extension: the whole platoon changes lanes as a
+	// unit. The head commands; every member reports the pending command
+	// exactly once; acknowledged commands do not reappear; a later command
+	// supersedes.
+	k, ms, _ := cohortRig(t, 6, 4)
+	if err := ms[0].Found(22); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms[1:] {
+		_ = m.Join()
+	}
+	k.RunFor(2 * sim.Second)
+	// Follower cannot command.
+	if err := ms[1].CommandLaneChange(1); err == nil {
+		t.Fatal("follower commanded a platoon lane change")
+	}
+	// No pending command initially.
+	for i, m := range ms {
+		if _, _, ok := m.PendingLaneChange(); ok {
+			t.Fatalf("member %d has phantom pending command", i)
+		}
+	}
+	if err := ms[0].CommandLaneChange(1); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(sim.Second)
+	for i, m := range ms {
+		lane, id, ok := m.PendingLaneChange()
+		if !ok || lane != 1 || id != 1 {
+			t.Fatalf("member %d pending = (%d,%d,%v), want (1,1,true)", i, lane, id, ok)
+		}
+		m.AckLaneChange(id)
+		if _, _, ok := m.PendingLaneChange(); ok {
+			t.Fatalf("member %d command reappeared after ack", i)
+		}
+	}
+	// A second command supersedes.
+	if err := ms[0].CommandLaneChange(0); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(sim.Second)
+	for i, m := range ms {
+		lane, id, ok := m.PendingLaneChange()
+		if !ok || lane != 0 || id != 2 {
+			t.Fatalf("member %d second command = (%d,%d,%v)", i, lane, id, ok)
+		}
+	}
+}
+
+func TestCohortLaneChangeExecutedByVehicles(t *testing.T) {
+	// End-to-end: cohort command drives actual vehicle maneuvers, and the
+	// whole platoon ends up in the target lane with no member skipped.
+	k, ms, _ := cohortRig(t, 7, 5)
+	if err := ms[0].Found(20); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms[1:] {
+		_ = m.Join()
+	}
+	type pv struct {
+		member   *CohortMember
+		body     vehicle.Body
+		maneuver vehicle.Maneuver
+	}
+	cars := make([]*pv, len(ms))
+	for i, m := range ms {
+		cars[i] = &pv{member: m, body: vehicle.Body{X: float64(-30 * i), Lane: 0, Speed: 20}}
+	}
+	if _, err := k.Every(100*sim.Millisecond, func() {
+		for _, c := range cars {
+			if lane, id, ok := c.member.PendingLaneChange(); ok && !c.maneuver.Active() {
+				if err := c.maneuver.Begin(lane, 3); err == nil {
+					c.member.AckLaneChange(id)
+				}
+			}
+			c.maneuver.Step(&c.body, 0.1)
+			c.body.Step(0.1)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(2 * sim.Second)
+	if err := ms[0].CommandLaneChange(1); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(6 * sim.Second)
+	for i, c := range cars {
+		if c.body.Lane != 1 {
+			t.Fatalf("car %d still in lane %d after platoon command", i, c.body.Lane)
+		}
+		if c.maneuver.Completions != 1 {
+			t.Fatalf("car %d completions = %d", i, c.maneuver.Completions)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package coord
+
+import (
+	"fmt"
+
+	"karyon/internal/sim"
+	"karyon/internal/wireless"
+)
+
+// Machine is the replicated state machine a virtual node runs. State must
+// be a value type (copied on replication).
+type Machine interface {
+	// Init returns the initial state.
+	Init() any
+	// Advance computes the state after dt has elapsed.
+	Advance(state any, dt sim.Time) any
+}
+
+// VNodeConfig parameterizes a virtual node region.
+type VNodeConfig struct {
+	// Region is the center of the virtual node's tile.
+	Region wireless.Position
+	// Radius bounds membership: only vehicles within it emulate the node.
+	Radius float64
+	// Period is the leader's state broadcast period.
+	Period sim.Time
+	// LeaderTimeout is the silence after which a replica assumes the
+	// leader left/crashed and takes over (lowest live id wins).
+	LeaderTimeout sim.Time
+}
+
+// DefaultVNodeConfig returns a 100 m tile with a 100 ms state period.
+func DefaultVNodeConfig(region wireless.Position) VNodeConfig {
+	return VNodeConfig{
+		Region:        region,
+		Radius:        100,
+		Period:        100 * sim.Millisecond,
+		LeaderTimeout: 400 * sim.Millisecond,
+	}
+}
+
+// vnodeMsg is the replicated-state broadcast.
+type vnodeMsg struct {
+	From    wireless.NodeID
+	Version uint64
+	// StateTime is the virtual instant the state refers to.
+	StateTime sim.Time
+	State     any
+}
+
+// VNodeHost is one vehicle's participation in a virtual node: it receives
+// replicated state, and — when it is the lowest-id live member in the
+// region — acts as leader, advancing the machine and broadcasting state.
+// The virtual node thereby survives any individual vehicle leaving, which
+// is how a virtual traffic light keeps operating at an intersection.
+type VNodeHost struct {
+	cfg     VNodeConfig
+	kernel  *sim.Kernel
+	radio   *wireless.Radio
+	machine Machine
+	pos     func() wireless.Position
+
+	state     any
+	stateTime sim.Time
+	version   uint64
+	lastHeard sim.Time
+	leaderID  wireless.NodeID
+	leading   bool
+
+	ticker  *sim.Ticker
+	stopped bool
+
+	// Takeovers counts leadership acquisitions by this host.
+	Takeovers int64
+}
+
+// NewVNodeHost creates a participant. pos supplies the vehicle's current
+// position (membership is positional).
+func NewVNodeHost(kernel *sim.Kernel, radio *wireless.Radio, machine Machine, cfg VNodeConfig, pos func() wireless.Position) (*VNodeHost, error) {
+	if cfg.Period <= 0 || cfg.LeaderTimeout <= cfg.Period {
+		return nil, fmt.Errorf("coord: vnode needs 0 < period < leaderTimeout (got %v, %v)",
+			cfg.Period, cfg.LeaderTimeout)
+	}
+	h := &VNodeHost{
+		cfg:     cfg,
+		kernel:  kernel,
+		radio:   radio,
+		machine: machine,
+		pos:     pos,
+		state:   machine.Init(),
+		// Grace period: a joining host must listen for a full leader
+		// timeout before it may conclude there is no leader. Taking over
+		// immediately would broadcast its *initial* machine state and
+		// overwrite the replicated state at every other member.
+		lastHeard: kernel.Now(),
+		leaderID:  -1,
+	}
+	return h, nil
+}
+
+// Start begins participation at a random phase within one period, so
+// hosts starting together do not tick — and broadcast — in lockstep.
+func (h *VNodeHost) Start() error {
+	if h.cfg.Period <= 0 {
+		return fmt.Errorf("coord: vnode period must be positive")
+	}
+	phase := sim.Time(h.kernel.Rand().Int63n(int64(h.cfg.Period)))
+	h.kernel.Schedule(phase, func() {
+		if h.stopped {
+			return
+		}
+		t, err := h.kernel.Every(h.cfg.Period, h.tick)
+		if err != nil {
+			return
+		}
+		h.ticker = t
+	})
+	return nil
+}
+
+// Stop halts participation (vehicle leaves or crashes).
+func (h *VNodeHost) Stop() {
+	h.stopped = true
+	if h.ticker != nil {
+		h.ticker.Stop()
+	}
+}
+
+// Leading reports whether this host currently emulates the virtual node.
+func (h *VNodeHost) Leading() bool { return h.leading }
+
+// State returns the current replicated state advanced to now, and whether
+// the virtual node is live from this host's perspective (a fresh state is
+// held or this host leads).
+func (h *VNodeHost) State() (any, bool) {
+	if h.state == nil {
+		return nil, false
+	}
+	now := h.kernel.Now()
+	if !h.leading && now-h.lastHeard > h.cfg.LeaderTimeout {
+		return nil, false
+	}
+	return h.machine.Advance(h.state, now-h.stateTime), true
+}
+
+// inRegion reports whether the vehicle is inside the tile.
+func (h *VNodeHost) inRegion() bool {
+	return h.pos().Distance(h.cfg.Region) <= h.cfg.Radius
+}
+
+func (h *VNodeHost) tick() {
+	if h.stopped {
+		return
+	}
+	now := h.kernel.Now()
+	if !h.inRegion() {
+		if h.leading {
+			h.leading = false
+		}
+		return
+	}
+	heardRecently := now-h.lastHeard <= h.cfg.LeaderTimeout
+	if h.leading {
+		// A lower-id leader heard recently preempts us.
+		if heardRecently && h.leaderID >= 0 && h.leaderID < h.radio.ID() {
+			h.leading = false
+			return
+		}
+		h.publish(now)
+		return
+	}
+	switch {
+	case !heardRecently:
+		// Leader silent: take over, continuing from the replicated state.
+		h.leading = true
+		h.Takeovers++
+		h.publish(now)
+	case h.leaderID > h.radio.ID():
+		// A higher-id host is leading: challenge it. The deterministic
+		// outcome — lowest live id in the region leads — keeps leadership
+		// stable under churn.
+		h.leading = true
+		h.Takeovers++
+		h.publish(now)
+	}
+}
+
+func (h *VNodeHost) publish(now sim.Time) {
+	h.state = h.machine.Advance(h.state, now-h.stateTime)
+	h.stateTime = now
+	h.version++
+	h.radio.Broadcast(vnodeMsg{
+		From:      h.radio.ID(),
+		Version:   h.version,
+		StateTime: now,
+		State:     h.state,
+	})
+}
+
+// OnFrame feeds received frames (demultiplex with other traffic).
+func (h *VNodeHost) OnFrame(f wireless.Frame) {
+	if h.stopped {
+		return
+	}
+	m, ok := f.Payload.(vnodeMsg)
+	if !ok {
+		return
+	}
+	h.lastHeard = h.kernel.Now()
+	h.leaderID = m.From
+	if h.leading && m.From < h.radio.ID() {
+		// Defer to the lower id.
+		h.leading = false
+	}
+	if !h.leading || m.From < h.radio.ID() {
+		h.state = m.State
+		h.stateTime = m.StateTime
+		h.version = m.Version
+	}
+}
+
+// LightPhase is the traffic-light machine's phase.
+type LightPhase int
+
+// Traffic light phases for a two-road intersection.
+const (
+	PhaseNSGreen LightPhase = iota + 1
+	PhaseEWGreen
+)
+
+// String renders the phase.
+func (p LightPhase) String() string {
+	if p == PhaseNSGreen {
+		return "NS-green"
+	}
+	return "EW-green"
+}
+
+// LightState is the virtual traffic light's replicated state.
+type LightState struct {
+	Phase LightPhase
+	// Remaining is the time left in the current phase.
+	Remaining sim.Time
+}
+
+// TrafficLightMachine alternates green between the two roads — the backup
+// "virtual traffic light" of use case VI-A2.
+type TrafficLightMachine struct {
+	// GreenFor is each phase's duration.
+	GreenFor sim.Time
+}
+
+var _ Machine = TrafficLightMachine{}
+
+// Init implements Machine.
+func (m TrafficLightMachine) Init() any {
+	return LightState{Phase: PhaseNSGreen, Remaining: m.GreenFor}
+}
+
+// Advance implements Machine.
+func (m TrafficLightMachine) Advance(state any, dt sim.Time) any {
+	s, ok := state.(LightState)
+	if !ok {
+		ls, lok := m.Init().(LightState)
+		if !lok {
+			return state
+		}
+		s = ls
+	}
+	for dt > 0 {
+		if dt < s.Remaining {
+			s.Remaining -= dt
+			break
+		}
+		dt -= s.Remaining
+		if s.Phase == PhaseNSGreen {
+			s.Phase = PhaseEWGreen
+		} else {
+			s.Phase = PhaseNSGreen
+		}
+		s.Remaining = m.GreenFor
+	}
+	return s
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Envelope is the actuation envelope certified for a LoS: per-channel
+// bounds on command values (e.g. acceleration, steering rate).
+type Envelope struct {
+	// Min and Max bound each named actuation channel.
+	Min map[string]float64
+	Max map[string]float64
+}
+
+// NewEnvelope creates an empty envelope.
+func NewEnvelope() Envelope {
+	return Envelope{Min: make(map[string]float64), Max: make(map[string]float64)}
+}
+
+// Bound sets the channel's permitted interval.
+func (e Envelope) Bound(channel string, min, max float64) Envelope {
+	e.Min[channel] = min
+	e.Max[channel] = max
+	return e
+}
+
+// Gate is the Simplex-style actuation gate: every command from the
+// (uncertain) nominal controllers passes through it, and is clamped to the
+// envelope certified for the functionality's *current* LoS. The nominal
+// controller may be arbitrarily wrong; the actuator never sees a command
+// outside the safety case.
+type Gate struct {
+	fn        *Functionality
+	envelopes map[LoS]Envelope
+
+	// Clamped counts commands that had to be limited.
+	Clamped int64
+	// Passed counts commands forwarded unmodified.
+	Passed int64
+}
+
+// NewGate creates a gate for the functionality with per-level envelopes.
+// Every level in 1..fn.Levels() must have an envelope: a missing envelope
+// would leave a level without a certified safety case.
+func NewGate(fn *Functionality, envelopes map[LoS]Envelope) (*Gate, error) {
+	for l := 1; l <= fn.Levels(); l++ {
+		if _, ok := envelopes[LoS(l)]; !ok {
+			return nil, fmt.Errorf("core: gate for %q missing envelope for %v", fn.Name(), LoS(l))
+		}
+	}
+	cp := make(map[LoS]Envelope, len(envelopes))
+	for l, e := range envelopes {
+		cp[l] = e
+	}
+	return &Gate{fn: fn, envelopes: cp}, nil
+}
+
+// Filter clamps value to the current level's bounds for the channel. A
+// channel without bounds at the current level passes unmodified. The
+// second result reports whether clamping occurred.
+func (g *Gate) Filter(channel string, value float64) (float64, bool) {
+	env := g.envelopes[g.fn.Current()]
+	out := value
+	if min, ok := env.Min[channel]; ok && out < min {
+		out = min
+	}
+	if max, ok := env.Max[channel]; ok && out > max {
+		out = max
+	}
+	if out != value {
+		g.Clamped++
+		return out, true
+	}
+	g.Passed++
+	return out, false
+}
+
+// Channels returns the channels bounded at the given level, sorted.
+func (g *Gate) Channels(level LoS) []string {
+	env := g.envelopes[level]
+	seen := make(map[string]bool, len(env.Min)+len(env.Max))
+	for c := range env.Min {
+		seen[c] = true
+	}
+	for c := range env.Max {
+		seen[c] = true
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,142 @@
+// Package core implements KARYON's primary contribution (paper Sec. III,
+// Fig. 1): the Safety Kernel. A small, predictable component below the
+// architecture's hybridization line that guarantees functional safety for
+// an otherwise uncertain system by managing Levels of Service (LoS).
+//
+// The kernel is composed, as in Fig. 1, of:
+//
+//   - Design-Time Safety Information: per-LoS safety rules fixed before
+//     deployment (AddRule);
+//   - Run-Time Safety Information: periodically collected validity /
+//     health / timeliness indicators (RuntimeInfo);
+//   - the Safety Manager: a bounded periodic cycle that evaluates rules
+//     against runtime data, selects the highest LoS whose conditions hold
+//     and reconfigures the nominal components (Manager);
+//   - an actuation gate in the Simplex style: nominal control commands are
+//     clamped to the envelope certified for the current LoS (Gate).
+//
+// LoS 1 has, by construction, no rules: it is the non-cooperative mode
+// whose safety case stands on its own, so a safe level always exists.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"karyon/internal/sim"
+)
+
+// LoS is a Level of Service. Level 1 is the lowest (always safe,
+// non-cooperative); higher levels unlock more performance under stricter
+// run-time conditions.
+type LoS int
+
+// LevelSafe is the always-available fallback level.
+const LevelSafe LoS = 1
+
+// String renders the level.
+func (l LoS) String() string { return fmt.Sprintf("LoS%d", int(l)) }
+
+// Indicator is one piece of Run-Time Safety Information: a scalar (e.g. a
+// sensor validity, a delivery ratio, a health flag) plus its collection
+// time, so rules can require freshness.
+type Indicator struct {
+	Value     float64
+	UpdatedAt sim.Time
+}
+
+// RuntimeInfo is the Run-Time Safety Information store. It abstracts the
+// concrete collection mechanisms (failure detectors, validity pipelines,
+// network monitors) behind a key → Indicator table.
+type RuntimeInfo struct {
+	kernel *sim.Kernel
+	m      map[string]Indicator
+}
+
+// NewRuntimeInfo creates an empty store.
+func NewRuntimeInfo(kernel *sim.Kernel) *RuntimeInfo {
+	return &RuntimeInfo{kernel: kernel, m: make(map[string]Indicator)}
+}
+
+// Set records the indicator value at the current instant.
+func (ri *RuntimeInfo) Set(key string, value float64) {
+	ri.m[key] = Indicator{Value: value, UpdatedAt: ri.kernel.Now()}
+}
+
+// Get returns the indicator and whether it has ever been set.
+func (ri *RuntimeInfo) Get(key string) (Indicator, bool) {
+	ind, ok := ri.m[key]
+	return ind, ok
+}
+
+// Keys returns all indicator keys, sorted.
+func (ri *RuntimeInfo) Keys() []string {
+	out := make([]string, 0, len(ri.m))
+	for k := range ri.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rule is one design-time safety condition. Rules are attached to a LoS;
+// operating at level L requires every rule of every level in 2..L to hold
+// (conditions accumulate with performance).
+type Rule struct {
+	// Name identifies the rule in diagnostics and violation records.
+	Name string
+	// Check evaluates the rule against runtime information.
+	Check func(ri *RuntimeInfo, now sim.Time) bool
+}
+
+// MinValidity builds a rule requiring indicator key to exist with value at
+// least min — the paper's "needed validity of (sensor) data".
+func MinValidity(key string, min float64) Rule {
+	return Rule{
+		Name: fmt.Sprintf("%s>=%.2f", key, min),
+		Check: func(ri *RuntimeInfo, _ sim.Time) bool {
+			ind, ok := ri.Get(key)
+			return ok && ind.Value >= min
+		},
+	}
+}
+
+// MaxAge builds a rule requiring indicator key to have been refreshed
+// within maxAge — the paper's "integrity of components (e.g. timeliness
+// requirements)".
+func MaxAge(key string, maxAge sim.Time) Rule {
+	return Rule{
+		Name: fmt.Sprintf("%s fresh<%v", key, maxAge),
+		Check: func(ri *RuntimeInfo, now sim.Time) bool {
+			ind, ok := ri.Get(key)
+			return ok && now-ind.UpdatedAt <= maxAge
+		},
+	}
+}
+
+// FlagSet builds a rule requiring a boolean indicator (≥ 0.5) — e.g. a
+// component-health flag maintained by a failure detector.
+func FlagSet(key string) Rule {
+	return Rule{
+		Name: fmt.Sprintf("%s set", key),
+		Check: func(ri *RuntimeInfo, _ sim.Time) bool {
+			ind, ok := ri.Get(key)
+			return ok && ind.Value >= 0.5
+		},
+	}
+}
+
+// And combines rules into one that holds only when all parts hold.
+func And(name string, rules ...Rule) Rule {
+	return Rule{
+		Name: name,
+		Check: func(ri *RuntimeInfo, now sim.Time) bool {
+			for _, r := range rules {
+				if !r.Check(ri, now) {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"karyon/internal/sim"
+)
+
+// Switch records one LoS transition of a functionality.
+type Switch struct {
+	At   sim.Time
+	From LoS
+	To   LoS
+	// Reason names the rule whose violation forced a downgrade (empty for
+	// upgrades).
+	Reason string
+}
+
+// Functionality is one vehicle function managed by the safety kernel
+// (e.g. "cruise-control"). It owns a ladder of LoS levels, the design-time
+// rules gating each level, and its current level.
+type Functionality struct {
+	name   string
+	levels int
+	rules  map[LoS][]Rule
+
+	current LoS
+	// upStreak counts consecutive cycles in which a higher level was
+	// feasible; upgrades require stability (hysteresis), downgrades are
+	// immediate.
+	upStreak int
+
+	onChange []func(old, new LoS)
+
+	// Switches is the transition history.
+	Switches []Switch
+	// timeAt accumulates virtual time spent per level.
+	timeAt    map[LoS]sim.Time
+	enteredAt sim.Time
+}
+
+// Name returns the functionality name.
+func (f *Functionality) Name() string { return f.name }
+
+// Current returns the current LoS.
+func (f *Functionality) Current() LoS { return f.current }
+
+// Levels returns the number of levels.
+func (f *Functionality) Levels() int { return f.levels }
+
+// OnChange registers a reconfiguration callback invoked on every switch.
+// This is the hook through which nominal components adjust their operating
+// point (e.g. the ACC time gap).
+func (f *Functionality) OnChange(fn func(old, new LoS)) {
+	f.onChange = append(f.onChange, fn)
+}
+
+// TimeAt returns the accumulated virtual time spent at the level,
+// including the current residence (up to now).
+func (f *Functionality) TimeAt(level LoS, now sim.Time) sim.Time {
+	d := f.timeAt[level]
+	if level == f.current {
+		d += now - f.enteredAt
+	}
+	return d
+}
+
+// AddRule attaches a design-time rule to a level. Level 1 accepts no
+// rules: its safety must be unconditional.
+func (f *Functionality) AddRule(level LoS, r Rule) error {
+	if level <= LevelSafe || int(level) > f.levels {
+		return fmt.Errorf("core: rule %q targets invalid level %v (levels 2..%d)",
+			r.Name, level, f.levels)
+	}
+	f.rules[level] = append(f.rules[level], r)
+	return nil
+}
+
+// feasible returns the highest level whose cumulative rules hold, plus the
+// name of the first violated rule at the level above it.
+func (f *Functionality) feasible(ri *RuntimeInfo, now sim.Time) (LoS, string) {
+	level := LevelSafe
+	for l := LoS(2); int(l) <= f.levels; l++ {
+		violated := ""
+		for _, r := range f.rules[l] {
+			if !r.Check(ri, now) {
+				violated = r.Name
+				break
+			}
+		}
+		if violated != "" {
+			return level, violated
+		}
+		level = l
+	}
+	return level, ""
+}
+
+// Force pins the functionality at a level, bypassing rules and hysteresis.
+// It exists for baseline experiments (fixed-LoS comparisons); a deployed
+// system never calls it. now is the current virtual time for time-at-level
+// accounting. Out-of-range levels are clamped.
+func (f *Functionality) Force(now sim.Time, level LoS) {
+	if level < LevelSafe {
+		level = LevelSafe
+	}
+	if int(level) > f.levels {
+		level = LoS(f.levels)
+	}
+	if level == f.current {
+		return
+	}
+	f.switchTo(now, level, "forced")
+}
+
+// switchTo performs the transition bookkeeping and reconfiguration.
+func (f *Functionality) switchTo(now sim.Time, target LoS, reason string) {
+	old := f.current
+	f.timeAt[old] += now - f.enteredAt
+	f.current = target
+	f.enteredAt = now
+	f.Switches = append(f.Switches, Switch{At: now, From: old, To: target, Reason: reason})
+	for _, fn := range f.onChange {
+		fn(old, target)
+	}
+}
+
+// ManagerConfig parameterizes the Safety Manager.
+type ManagerConfig struct {
+	// Period is the manager's evaluation cycle. The design-time safety
+	// argument depends on it: a rule violation is acted upon within one
+	// period, so the LoS switch time is bounded by Period plus the
+	// reconfiguration time of the nominal components.
+	Period sim.Time
+	// UpgradeStability is the number of consecutive cycles a higher level
+	// must remain feasible before the manager raises the LoS. It prevents
+	// flapping around a marginal condition. Downgrades are never delayed.
+	UpgradeStability int
+}
+
+// DefaultManagerConfig returns a 10 ms cycle with 5-cycle upgrade
+// hysteresis.
+func DefaultManagerConfig() ManagerConfig {
+	return ManagerConfig{Period: 10 * sim.Millisecond, UpgradeStability: 5}
+}
+
+// Manager is the Safety Manager: it periodically checks run-time safety
+// data against the design-time rules and adjusts each functionality's LoS.
+// There is logically one Manager per vehicle.
+type Manager struct {
+	cfg    ManagerConfig
+	kernel *sim.Kernel
+	ri     *RuntimeInfo
+
+	fns    map[string]*Functionality
+	ticker *sim.Ticker
+
+	// Cycles counts completed evaluation cycles.
+	Cycles int64
+}
+
+// NewManager creates a Safety Manager over the runtime-information store.
+func NewManager(kernel *sim.Kernel, ri *RuntimeInfo, cfg ManagerConfig) (*Manager, error) {
+	if cfg.Period <= 0 {
+		return nil, fmt.Errorf("core: manager period must be positive")
+	}
+	if cfg.UpgradeStability < 1 {
+		cfg.UpgradeStability = 1
+	}
+	return &Manager{
+		cfg:    cfg,
+		kernel: kernel,
+		ri:     ri,
+		fns:    make(map[string]*Functionality),
+	}, nil
+}
+
+// Runtime returns the runtime-information store.
+func (m *Manager) Runtime() *RuntimeInfo { return m.ri }
+
+// Period returns the evaluation cycle period.
+func (m *Manager) Period() sim.Time { return m.cfg.Period }
+
+// AddFunctionality registers a functionality with the given number of
+// levels (≥ 1). It starts at LevelSafe.
+func (m *Manager) AddFunctionality(name string, levels int) (*Functionality, error) {
+	if levels < 1 {
+		return nil, fmt.Errorf("core: functionality %q needs at least 1 level", name)
+	}
+	if _, dup := m.fns[name]; dup {
+		return nil, fmt.Errorf("core: functionality %q already registered", name)
+	}
+	f := &Functionality{
+		name:      name,
+		levels:    levels,
+		rules:     make(map[LoS][]Rule),
+		current:   LevelSafe,
+		timeAt:    make(map[LoS]sim.Time),
+		enteredAt: m.kernel.Now(),
+	}
+	m.fns[name] = f
+	return f, nil
+}
+
+// Functionality returns a registered functionality.
+func (m *Manager) Functionality(name string) (*Functionality, bool) {
+	f, ok := m.fns[name]
+	return f, ok
+}
+
+// FunctionalityList returns all functionalities sorted by name.
+func (m *Manager) FunctionalityList() []*Functionality {
+	names := make([]string, 0, len(m.fns))
+	for n := range m.fns {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Functionality, len(names))
+	for i, n := range names {
+		out[i] = m.fns[n]
+	}
+	return out
+}
+
+// Start launches the periodic evaluation cycle.
+func (m *Manager) Start() error {
+	t, err := m.kernel.Every(m.cfg.Period, m.Cycle)
+	if err != nil {
+		return err
+	}
+	m.ticker = t
+	return nil
+}
+
+// Stop halts the manager.
+func (m *Manager) Stop() {
+	if m.ticker != nil {
+		m.ticker.Stop()
+	}
+}
+
+// Cycle runs one evaluation pass. It is exported so tests and benchmarks
+// can drive the manager synchronously.
+func (m *Manager) Cycle() {
+	now := m.kernel.Now()
+	m.Cycles++
+	for _, f := range m.FunctionalityList() {
+		target, violated := f.feasible(m.ri, now)
+		switch {
+		case target < f.current:
+			// Safety-relevant: downgrade immediately.
+			f.upStreak = 0
+			f.switchTo(now, target, violated)
+		case target > f.current:
+			f.upStreak++
+			if f.upStreak >= m.cfg.UpgradeStability {
+				f.upStreak = 0
+				f.switchTo(now, target, "")
+			}
+		default:
+			f.upStreak = 0
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"karyon/internal/coord"
+	"karyon/internal/metrics"
+	"karyon/internal/sim"
+	"karyon/internal/wireless"
+)
+
+// e16 — cohort (platoon) formation, profile dissemination and head
+// failover under loss (Sec. V-C [24]; Sec. VI-A3's "platoons of cars").
+func e16() Experiment {
+	return Experiment{
+		ID:     "E16",
+		Title:  "Cohorts: platoon formation and head failover vs loss",
+		Anchor: "Sec. V-C ([24] Le Lann), Sec. VI-A3",
+		Run:    runE16,
+	}
+}
+
+func runE16(seed int64) *metrics.Table {
+	tab := metrics.NewTable("E16 - 8-vehicle cohort: formation, profile adoption, head-crash failover",
+		"loss", "joined", "form time s", "profile adopted", "heads after crash", "failover time s")
+	for _, loss := range []float64{0, 0.2, 0.4} {
+		k := sim.NewKernel(seed)
+		mcfg := wireless.DefaultConfig()
+		mcfg.LossProb = loss
+		medium := wireless.NewMedium(k, mcfg)
+		n := 8
+		var members []*coord.CohortMember
+		ok := true
+		for i := 0; i < n; i++ {
+			radio, err := medium.Attach(wireless.NodeID(i), wireless.Position{X: float64(i) * 10})
+			if err != nil {
+				ok = false
+				break
+			}
+			m, err := coord.NewCohortMember(k, radio, coord.DefaultCohortConfig("p"))
+			if err != nil {
+				ok = false
+				break
+			}
+			radio.OnReceive(m.OnFrame)
+			members = append(members, m)
+		}
+		if !ok {
+			tab.AddNote("rig construction failed at loss %v", loss)
+			continue
+		}
+		if err := members[0].Found(25); err != nil {
+			continue
+		}
+		for _, m := range members[1:] {
+			if err := m.Join(); err != nil {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Formation time: first instant every member is joined.
+		formAt := sim.Time(-1)
+		for k.Now() < 30*sim.Second {
+			k.RunFor(100 * sim.Millisecond)
+			all := true
+			for _, m := range members {
+				if !m.Joined() {
+					all = false
+					break
+				}
+			}
+			if all {
+				formAt = k.Now()
+				break
+			}
+		}
+		joined := 0
+		for _, m := range members {
+			if m.Joined() {
+				joined++
+			}
+		}
+		// Profile change adoption.
+		_ = members[0].SetTargetSpeed(30)
+		k.RunFor(2 * sim.Second)
+		adopted := 0
+		for _, m := range members {
+			if v, vok := m.TargetSpeed(); vok && v == 30 {
+				adopted++
+			}
+		}
+		// Head crash and failover.
+		members[0].Stop()
+		medium.Detach(0)
+		crashAt := k.Now()
+		failoverAt := sim.Time(-1)
+		for k.Now() < crashAt+20*sim.Second {
+			k.RunFor(100 * sim.Millisecond)
+			for _, m := range members[1:] {
+				if m.Head() {
+					failoverAt = k.Now()
+				}
+			}
+			if failoverAt >= 0 {
+				break
+			}
+		}
+		k.RunFor(2 * sim.Second)
+		heads := 0
+		for _, m := range members[1:] {
+			if m.Head() {
+				heads++
+			}
+		}
+		formCell := "never"
+		if formAt >= 0 {
+			formCell = metrics.FmtF(formAt.Seconds())
+		}
+		failCell := "never"
+		if failoverAt >= 0 {
+			failCell = metrics.FmtF((failoverAt - crashAt).Seconds())
+		}
+		tab.AddRow(metrics.FmtPct(loss),
+			metrics.FmtInt(int64(joined)), formCell,
+			metrics.FmtInt(int64(adopted)),
+			metrics.FmtInt(int64(heads)), failCell)
+	}
+	tab.AddNote("expected: full formation and adoption, exactly one head after the crash, failover within ~headTimeout + a few roster periods even under loss")
+	return tab
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Anchor == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for i := 1; i <= 16; i++ {
+		id := "E" + itoa(i)
+		if !seen[id] {
+			t.Fatalf("missing %s", id)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return "1" + string(rune('0'+i-10))
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E5"); !ok {
+		t.Fatal("E5 not found")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("phantom experiment found")
+	}
+}
+
+// Each experiment must produce a non-trivial table deterministically. The
+// heavyweight ones are exercised end-to-end here (this is also the repo's
+// integration test across all subsystems).
+func TestExperimentsRunAndAreDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are long")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			out1 := e.Run(1).String()
+			if len(out1) == 0 || !strings.Contains(out1, e.ID) {
+				t.Fatalf("%s produced unusable output:\n%s", e.ID, out1)
+			}
+			lines := strings.Split(strings.TrimSpace(out1), "\n")
+			if len(lines) < 4 {
+				t.Fatalf("%s table too small:\n%s", e.ID, out1)
+			}
+			out2 := e.Run(1).String()
+			if out1 != out2 {
+				t.Fatalf("%s is nondeterministic for the same seed:\nfirst:\n%s\nsecond:\n%s",
+					e.ID, out1, out2)
+			}
+		})
+	}
+}

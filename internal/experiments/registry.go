@@ -1,0 +1,49 @@
+// Package experiments contains one reproducible harness per experiment in
+// EXPERIMENTS.md (E1..E15), each mapping a figure, section or use case of
+// the KARYON paper to a measurable table. Every harness is a pure function
+// of its seed: identical seeds print identical tables.
+package experiments
+
+import (
+	"sort"
+
+	"karyon/internal/metrics"
+)
+
+// Experiment is one runnable harness.
+type Experiment struct {
+	// ID is the experiment identifier (e.g. "E5").
+	ID string
+	// Title names what is reproduced.
+	Title string
+	// Anchor cites the paper location.
+	Anchor string
+	// Run executes the harness and renders its table.
+	Run func(seed int64) *metrics.Table
+}
+
+// All returns every experiment in id order.
+func All() []Experiment {
+	list := []Experiment{
+		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(),
+		e9(), e10(), e11(), e12(), e13(), e14(), e15(), e16(),
+	}
+	sort.Slice(list, func(i, j int) bool {
+		a, b := list[i].ID, list[j].ID
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	return list
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

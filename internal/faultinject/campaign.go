@@ -1,0 +1,249 @@
+// Package faultinject provides the seeded fault-injection campaign engine
+// the paper plans for safety assessment "according to the ISO 26262
+// safety standard" (Sec. I): randomized schedules of sensor faults,
+// network interference and traffic disturbances applied to a running
+// scenario, plus the coverage/latency accounting an assessor needs —
+// whether each injected fault was detected (validity collapse), how fast,
+// whether the Safety Kernel downgraded, and whether any hazard (collision)
+// resulted.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"karyon/internal/metrics"
+	"karyon/internal/sensor"
+	"karyon/internal/sim"
+	"karyon/internal/world"
+)
+
+// Kind classifies an injected fault.
+type Kind int
+
+// Fault kinds.
+const (
+	// KindSensor injects one of the five sensor fault modes into a car's
+	// distance sensor.
+	KindSensor Kind = iota + 1
+	// KindJam jams the V2V channel.
+	KindJam
+	// KindDisturbance forces a vehicle to brake sharply (a traffic
+	// hazard, not a component fault — it tests the control loop).
+	KindDisturbance
+)
+
+// String renders the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindSensor:
+		return "sensor"
+	case KindJam:
+		return "jam"
+	case KindDisturbance:
+		return "disturbance"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled injection.
+type Event struct {
+	At       sim.Time
+	Kind     Kind
+	Target   int // car index (sensor/disturbance)
+	Mode     sensor.FaultMode
+	Duration sim.Time
+	// Magnitude parameterizes offset faults (meters).
+	Magnitude float64
+	// Inputs is how many of the car's redundant transducers the fault
+	// hits (1 = maskable by fusion, 2+ = perception degradation/loss).
+	Inputs int
+}
+
+// Campaign is a schedule of injections.
+type Campaign struct {
+	Events []Event
+}
+
+// GenerateConfig parameterizes campaign generation.
+type GenerateConfig struct {
+	// Duration is the campaign window; injections are placed uniformly
+	// within [Warmup, Duration).
+	Duration sim.Time
+	// Warmup is the fault-free prefix.
+	Warmup sim.Time
+	// Events is the number of injections.
+	Events int
+	// Targets is the number of injectable cars.
+	Targets int
+}
+
+// Generate draws a random campaign from the rng.
+func Generate(rng *rand.Rand, cfg GenerateConfig) (Campaign, error) {
+	if cfg.Events < 0 || cfg.Targets < 1 {
+		return Campaign{}, fmt.Errorf("faultinject: invalid generate config %+v", cfg)
+	}
+	if cfg.Warmup >= cfg.Duration {
+		return Campaign{}, fmt.Errorf("faultinject: warmup %v must precede duration %v",
+			cfg.Warmup, cfg.Duration)
+	}
+	window := int64(cfg.Duration - cfg.Warmup)
+	modes := sensor.AllFaultModes()
+	var c Campaign
+	for i := 0; i < cfg.Events; i++ {
+		at := cfg.Warmup + sim.Time(rng.Int63n(window))
+		roll := rng.Float64()
+		switch {
+		case roll < 0.6:
+			// Mostly single-transducer faults (maskable), occasionally
+			// double or total perception failures.
+			inputs := 1
+			switch r2 := rng.Float64(); {
+			case r2 < 0.15:
+				inputs = 3
+			case r2 < 0.35:
+				inputs = 2
+			}
+			c.Events = append(c.Events, Event{
+				At:        at,
+				Kind:      KindSensor,
+				Target:    rng.Intn(cfg.Targets),
+				Mode:      modes[rng.Intn(len(modes))],
+				Duration:  sim.Time(1+rng.Int63n(8)) * sim.Second,
+				Magnitude: 20 + rng.Float64()*80,
+				Inputs:    inputs,
+			})
+		case roll < 0.8:
+			c.Events = append(c.Events, Event{
+				At:       at,
+				Kind:     KindJam,
+				Duration: sim.Time(100+rng.Int63n(2000)) * sim.Millisecond,
+			})
+		default:
+			c.Events = append(c.Events, Event{
+				At:       at,
+				Kind:     KindDisturbance,
+				Target:   rng.Intn(cfg.Targets),
+				Duration: sim.Time(1+rng.Int63n(3)) * sim.Second,
+			})
+		}
+	}
+	return c, nil
+}
+
+// Report aggregates a campaign run.
+type Report struct {
+	// Injected counts per kind.
+	Injected map[Kind]int
+	// Collisions is the hazard count (ground truth from the world).
+	Collisions int64
+	// DetectedSensorFaults counts sensor injections whose victim's
+	// validity collapsed below 0.3 during the episode.
+	DetectedSensorFaults int
+	// SensorFaultCount is the number of detectable sensor injections.
+	SensorFaultCount int
+	// DetectionLatencies collects injection-to-collapse times (ms).
+	DetectionLatencies metrics.Histogram
+	// DowngradeLatencies collects injection-to-LoS-drop times (ms) for
+	// victims that were above LoS1 at injection.
+	DowngradeLatencies metrics.Histogram
+}
+
+// Coverage returns the detected fraction of sensor faults.
+func (r *Report) Coverage() float64 {
+	if r.SensorFaultCount == 0 {
+		return 0
+	}
+	return float64(r.DetectedSensorFaults) / float64(r.SensorFaultCount)
+}
+
+// RunOnHighway schedules the campaign onto a highway and runs the kernel
+// for the campaign duration, returning the report. The highway must be
+// built on the same kernel and already started.
+func RunOnHighway(kernel *sim.Kernel, h *world.Highway, c Campaign, duration sim.Time) *Report {
+	rep := &Report{Injected: make(map[Kind]int)}
+	cars := h.Cars()
+	for _, ev := range c.Events {
+		ev := ev
+		if ev.Target >= len(cars) {
+			continue
+		}
+		rep.Injected[ev.Kind]++
+		switch ev.Kind {
+		case KindSensor:
+			rep.SensorFaultCount++
+			kernel.At(ev.At, func() { injectSensor(kernel, h, cars[ev.Target], ev, rep) })
+		case KindJam:
+			kernel.At(ev.At, func() { h.Medium().Jam(0, ev.Duration) })
+		case KindDisturbance:
+			kernel.At(ev.At, func() {
+				cars[ev.Target].ForceBrake(kernel.Now(), ev.Duration)
+			})
+		}
+	}
+	kernel.RunFor(duration)
+	rep.Collisions = h.Collisions
+	return rep
+}
+
+// injectSensor applies the fault and arms detection/downgrade probes.
+func injectSensor(kernel *sim.Kernel, h *world.Highway, car *world.Car, ev Event, rep *Report) {
+	f := sensor.Fault{
+		Mode:      ev.Mode,
+		From:      kernel.Now(),
+		To:        kernel.Now() + ev.Duration,
+		Magnitude: ev.Magnitude,
+		Delay:     sim.Second,
+		Prob:      0.5,
+	}
+	n := ev.Inputs
+	if n < 1 {
+		n = 1
+	}
+	inputs := car.SensorInputs()
+	if n > len(inputs) {
+		n = len(inputs)
+	}
+	for i := 0; i < n; i++ {
+		inputs[i].Physical().Inject(f)
+	}
+	injectedAt := kernel.Now()
+	losAt := car.LoS()
+
+	detected := false
+	downgraded := false
+	var probe *sim.Ticker
+	probe, err := kernel.Every(20*sim.Millisecond, func() {
+		now := kernel.Now()
+		if now >= injectedAt+ev.Duration+sim.Second {
+			probe.Stop()
+			return
+		}
+		if !detected {
+			// Two detection channels, per the architecture: the fused
+			// validity collapsing (multiple inputs bad), or redundancy
+			// flagging the victim transducer as a disagreeing/excluded
+			// input (single masked fault, e.g. a permanent offset).
+			collapsed := false
+			if ind, ok := car.Manager().Runtime().Get("dist.validity"); ok &&
+				ind.Value < 0.3 && ind.UpdatedAt >= injectedAt {
+				collapsed = true
+			}
+			if collapsed || car.FusedSensor().Suspected(car.DistanceSensor().Name()) {
+				detected = true
+				rep.DetectedSensorFaults++
+				lat := now - injectedAt
+				rep.DetectionLatencies.Observe(float64(lat) / float64(sim.Millisecond))
+			}
+		}
+		if !downgraded && losAt > 1 && car.LoS() < losAt {
+			downgraded = true
+			lat := now - injectedAt
+			rep.DowngradeLatencies.Observe(float64(lat) / float64(sim.Millisecond))
+		}
+	})
+	if err != nil {
+		return
+	}
+}

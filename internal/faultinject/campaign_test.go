@@ -1,0 +1,118 @@
+package faultinject
+
+import (
+	"math/rand"
+	"testing"
+
+	"karyon/internal/sim"
+	"karyon/internal/world"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Generate(rng, GenerateConfig{Duration: sim.Second, Warmup: sim.Second, Events: 1, Targets: 1}); err == nil {
+		t.Fatal("warmup >= duration accepted")
+	}
+	if _, err := Generate(rng, GenerateConfig{Duration: sim.Second, Events: 1, Targets: 0}); err == nil {
+		t.Fatal("zero targets accepted")
+	}
+}
+
+func TestGenerateDeterministicAndInWindow(t *testing.T) {
+	cfg := GenerateConfig{Duration: sim.Minute, Warmup: 10 * sim.Second, Events: 50, Targets: 10}
+	a, err := Generate(rand.New(rand.NewSource(7)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(rand.New(rand.NewSource(7)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != 50 || len(b.Events) != 50 {
+		t.Fatalf("event counts %d/%d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("nondeterministic generation at %d", i)
+		}
+		ev := a.Events[i]
+		if ev.At < cfg.Warmup || ev.At >= cfg.Duration {
+			t.Fatalf("event %d at %v outside window", i, ev.At)
+		}
+		if ev.Target < 0 || ev.Target >= cfg.Targets {
+			t.Fatalf("event %d target %d out of range", i, ev.Target)
+		}
+	}
+	// Different seeds differ.
+	c, err := Generate(rand.New(rand.NewSource(8)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Events {
+		if a.Events[i] != c.Events[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical campaigns")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSensor.String() != "sensor" || KindJam.String() != "jam" ||
+		KindDisturbance.String() != "disturbance" {
+		t.Fatal("kind names")
+	}
+	if Kind(9).String() != "kind(9)" {
+		t.Fatal(Kind(9).String())
+	}
+}
+
+func TestCampaignOnHighwayKernelPreventsHazards(t *testing.T) {
+	k := sim.NewKernel(42)
+	hcfg := world.DefaultHighwayConfig()
+	hcfg.Cars = 12
+	hcfg.Length = 1200
+	h, err := world.NewHighway(k, hcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	campaign, err := Generate(k.Rand(), GenerateConfig{
+		Duration: 2 * sim.Minute,
+		Warmup:   20 * sim.Second,
+		Events:   25,
+		Targets:  hcfg.Cars,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := RunOnHighway(k, h, campaign, 2*sim.Minute+30*sim.Second)
+
+	if rep.Collisions != 0 {
+		t.Fatalf("campaign produced %d collisions with the kernel engaged", rep.Collisions)
+	}
+	if rep.SensorFaultCount == 0 {
+		t.Fatal("campaign had no sensor faults (statistically implausible)")
+	}
+	// The big offset/stuck/delay faults must largely be caught. (Small
+	// stochastic episodes can stay under detector thresholds.)
+	if rep.Coverage() < 0.5 {
+		t.Fatalf("detection coverage %.2f too low (%d/%d)",
+			rep.Coverage(), rep.DetectedSensorFaults, rep.SensorFaultCount)
+	}
+	if rep.DetectionLatencies.Count() > 0 && rep.DetectionLatencies.Percentile(95) > 2000 {
+		t.Fatalf("p95 detection latency %.0f ms too slow", rep.DetectionLatencies.Percentile(95))
+	}
+}
+
+func TestReportCoverageEmpty(t *testing.T) {
+	var r Report
+	if r.Coverage() != 0 {
+		t.Fatal("empty coverage should be 0")
+	}
+}

@@ -1,0 +1,178 @@
+// Package gear implements the Generic Events Architecture ideas the paper
+// builds on (Sec. II-B, [6]): keeping an environment model "in an
+// appropriate form for run-time assessment", relating a remote vehicle's
+// *actuation* to the locally *sensed* effect, and exploiting the physical
+// world as a hidden channel — "they allow detecting unsafe states even
+// when the network is down".
+//
+// Concretely: LeadEstimator tracks the lead vehicle's speed and
+// acceleration purely from the ego vehicle's own validity-annotated gap
+// measurements (an alpha-beta filter over the actuation-perception loop),
+// and HiddenChannel cross-checks what the lead *claims* over V2V against
+// what the physical channel shows, producing a consistency validity for
+// the remote information.
+package gear
+
+import (
+	"karyon/internal/sim"
+)
+
+// Observation is one validity-annotated gap measurement.
+type Observation struct {
+	At sim.Time
+	// Gap is the measured distance to the lead vehicle (m).
+	Gap float64
+	// OwnSpeed is the ego vehicle's speed at the same instant (m/s).
+	OwnSpeed float64
+	// Validity is the perception pipeline's confidence.
+	Validity float64
+}
+
+// LeadEstimator estimates the lead vehicle's speed and acceleration from
+// gap observations: relative speed is the filtered gap derivative, lead
+// speed = own speed + relative speed, lead acceleration the filtered
+// derivative of lead speed. Low-validity observations are skipped so a
+// faulted sensor cannot poison the estimate.
+type LeadEstimator struct {
+	// Alpha and Beta are the filter gains in (0,1]; Alpha smooths the
+	// rate estimates, Beta the acceleration estimate.
+	Alpha float64
+	Beta  float64
+	// MinValidity gates which observations are consumed.
+	MinValidity float64
+
+	lastAt    sim.Time
+	lastGap   float64
+	relSpeed  float64
+	leadSpeed float64
+	leadAccel float64
+	samples   int
+}
+
+// NewLeadEstimator returns an estimator with sensible gains.
+func NewLeadEstimator() *LeadEstimator {
+	return &LeadEstimator{Alpha: 0.3, Beta: 0.08, MinValidity: 0.3}
+}
+
+// Ready reports whether enough observations have been consumed for the
+// estimates to be meaningful.
+func (e *LeadEstimator) Ready() bool { return e.samples >= 3 }
+
+// Reset discards all state (e.g. after a perception outage).
+func (e *LeadEstimator) Reset() {
+	*e = LeadEstimator{Alpha: e.Alpha, Beta: e.Beta, MinValidity: e.MinValidity}
+}
+
+// Update consumes one observation. Observations below MinValidity, or not
+// strictly newer than the previous one, are ignored.
+func (e *LeadEstimator) Update(o Observation) {
+	if o.Validity < e.MinValidity {
+		return
+	}
+	if e.samples > 0 && o.At <= e.lastAt {
+		return
+	}
+	if e.samples == 0 {
+		e.lastAt = o.At
+		e.lastGap = o.Gap
+		e.leadSpeed = o.OwnSpeed
+		e.samples = 1
+		return
+	}
+	dt := (o.At - e.lastAt).Seconds()
+	rawRel := (o.Gap - e.lastGap) / dt
+	alpha := e.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	beta := e.Beta
+	if beta <= 0 || beta > 1 {
+		beta = 0.08
+	}
+	prevLead := e.leadSpeed
+	e.relSpeed += alpha * (rawRel - e.relSpeed)
+	e.leadSpeed = o.OwnSpeed + e.relSpeed
+	rawAccel := (e.leadSpeed - prevLead) / dt
+	e.leadAccel += beta * (rawAccel - e.leadAccel)
+	e.lastAt = o.At
+	e.lastGap = o.Gap
+	e.samples++
+}
+
+// LeadSpeed returns the estimated lead speed and whether the estimator is
+// ready.
+func (e *LeadEstimator) LeadSpeed() (float64, bool) {
+	return e.leadSpeed, e.Ready()
+}
+
+// LeadAccel returns the estimated lead acceleration and whether the
+// estimator is ready.
+func (e *LeadEstimator) LeadAccel() (float64, bool) {
+	return e.leadAccel, e.Ready()
+}
+
+// HiddenChannel cross-checks remote claims against the physical channel.
+// The paper's insight: an actuation by the lead vehicle (braking) is
+// observable through the environment regardless of the radio, so the
+// radio's claims can be *assessed* — and safety-relevant disagreement
+// (claiming to cruise while physically braking) detected.
+type HiddenChannel struct {
+	// Tolerance is the acceleration disagreement (m/s^2) at which the
+	// consistency validity reaches 0.5.
+	Tolerance float64
+	est       *LeadEstimator
+
+	// Disagreements counts consistency checks below 0.5.
+	Disagreements int64
+	// Checks counts all consistency assessments.
+	Checks int64
+}
+
+// NewHiddenChannel wraps an estimator.
+func NewHiddenChannel(est *LeadEstimator, tolerance float64) *HiddenChannel {
+	if tolerance <= 0 {
+		tolerance = 1.5
+	}
+	return &HiddenChannel{Tolerance: tolerance, est: est}
+}
+
+// Estimator returns the wrapped estimator.
+func (h *HiddenChannel) Estimator() *LeadEstimator { return h.est }
+
+// AssessClaim returns a consistency validity in [0,1] for the lead's
+// claimed acceleration, given the physically observed estimate. The check
+// is deliberately asymmetric in the safe direction: a claim *more severe*
+// than the physical evidence (announcing braking before the gap shows it
+// — the normal V2V feed-forward situation) is fully trusted, because
+// acting on it is at worst over-cautious. Only claims *calmer* than the
+// observed motion — cruising while physically braking, the dangerous lie
+// — are penalized. Returns (1, false) when the estimator is not ready.
+func (h *HiddenChannel) AssessClaim(claimedAccel float64) (float64, bool) {
+	accel, ok := h.est.LeadAccel()
+	if !ok {
+		return 1, false
+	}
+	h.Checks++
+	diff := claimedAccel - accel // >0: claim calmer than reality
+	if diff <= 0 {
+		return 1, true
+	}
+	x := diff / h.Tolerance
+	v := 1 / (1 + x*x)
+	if v < 0.5 {
+		h.Disagreements++
+	}
+	return v, true
+}
+
+// UnsafeStateDetected reports whether the physical channel alone shows a
+// safety-critical condition: the lead braking harder than brakeThreshold
+// (a negative number, e.g. -3). This is the "detect unsafe states even
+// when the network is down" capability.
+func (h *HiddenChannel) UnsafeStateDetected(brakeThreshold float64) bool {
+	accel, ok := h.est.LeadAccel()
+	if !ok {
+		return false
+	}
+	return accel <= brakeThreshold
+}

@@ -1,0 +1,203 @@
+package gear
+
+import (
+	"math"
+	"testing"
+
+	"karyon/internal/sim"
+)
+
+// driveScenario feeds the estimator a synthetic two-vehicle episode and
+// returns it. The lead drives at leadSpeed then applies leadAccel from
+// brakeAt onward; the ego holds egoSpeed. Gap observations carry Gaussian
+// noise sigma.
+func driveScenario(t *testing.T, e *LeadEstimator, seconds float64, egoSpeed, leadSpeed, leadAccel float64, brakeAt float64, sigma float64) {
+	t.Helper()
+	k := sim.NewKernel(42)
+	gap := 50.0
+	lv := leadSpeed
+	dt := 0.1
+	for tm := 0.0; tm < seconds; tm += dt {
+		if tm >= brakeAt {
+			lv += leadAccel * dt
+			if lv < 0 {
+				lv = 0
+			}
+		}
+		gap += (lv - egoSpeed) * dt
+		noisy := gap + k.Rand().NormFloat64()*sigma
+		e.Update(Observation{
+			At:       sim.FromSeconds(tm + dt),
+			Gap:      noisy,
+			OwnSpeed: egoSpeed,
+			Validity: 1,
+		})
+	}
+}
+
+func TestEstimatorNotReadyInitially(t *testing.T) {
+	e := NewLeadEstimator()
+	if e.Ready() {
+		t.Fatal("fresh estimator claims ready")
+	}
+	if _, ok := e.LeadSpeed(); ok {
+		t.Fatal("speed available before ready")
+	}
+	if _, ok := e.LeadAccel(); ok {
+		t.Fatal("accel available before ready")
+	}
+}
+
+func TestEstimatorConstantSpeedLead(t *testing.T) {
+	e := NewLeadEstimator()
+	driveScenario(t, e, 10, 25, 20, 0, 1e9, 0.1)
+	speed, ok := e.LeadSpeed()
+	if !ok {
+		t.Fatal("not ready after 100 samples")
+	}
+	if math.Abs(speed-20) > 1 {
+		t.Fatalf("lead speed = %.2f, want ~20", speed)
+	}
+	accel, _ := e.LeadAccel()
+	if math.Abs(accel) > 0.5 {
+		t.Fatalf("lead accel = %.2f, want ~0", accel)
+	}
+}
+
+func TestEstimatorDetectsBraking(t *testing.T) {
+	e := NewLeadEstimator()
+	// Lead cruises 5 s then brakes at -4 m/s^2.
+	driveScenario(t, e, 8, 20, 20, -4, 5, 0.1)
+	accel, ok := e.LeadAccel()
+	if !ok {
+		t.Fatal("not ready")
+	}
+	if accel > -2.5 {
+		t.Fatalf("estimated accel %.2f missed a -4 brake", accel)
+	}
+}
+
+func TestEstimatorIgnoresLowValidity(t *testing.T) {
+	e := NewLeadEstimator()
+	e.Update(Observation{At: sim.Second, Gap: 50, OwnSpeed: 20, Validity: 1})
+	e.Update(Observation{At: 2 * sim.Second, Gap: 51, OwnSpeed: 20, Validity: 1})
+	e.Update(Observation{At: 3 * sim.Second, Gap: 52, OwnSpeed: 20, Validity: 1})
+	before, _ := e.LeadSpeed()
+	// A garbage observation with zero validity must not move anything.
+	e.Update(Observation{At: 4 * sim.Second, Gap: 500, OwnSpeed: 20, Validity: 0})
+	after, _ := e.LeadSpeed()
+	if before != after {
+		t.Fatal("low-validity observation consumed")
+	}
+}
+
+func TestEstimatorIgnoresNonMonotonicTime(t *testing.T) {
+	e := NewLeadEstimator()
+	e.Update(Observation{At: sim.Second, Gap: 50, OwnSpeed: 20, Validity: 1})
+	e.Update(Observation{At: sim.Second, Gap: 90, OwnSpeed: 20, Validity: 1}) // same instant
+	if e.samples != 1 {
+		t.Fatalf("duplicate-time observation consumed: %d", e.samples)
+	}
+}
+
+func TestEstimatorReset(t *testing.T) {
+	e := NewLeadEstimator()
+	driveScenario(t, e, 5, 20, 20, 0, 1e9, 0.1)
+	if !e.Ready() {
+		t.Fatal("setup")
+	}
+	e.Reset()
+	if e.Ready() {
+		t.Fatal("reset estimator still ready")
+	}
+	if e.MinValidity != 0.3 {
+		t.Fatal("reset lost configuration")
+	}
+}
+
+func TestHiddenChannelConsistentClaim(t *testing.T) {
+	e := NewLeadEstimator()
+	driveScenario(t, e, 8, 20, 20, -4, 5, 0.1)
+	h := NewHiddenChannel(e, 1.5)
+	v, ok := h.AssessClaim(-4)
+	if !ok {
+		t.Fatal("assessment unavailable")
+	}
+	if v < 0.5 {
+		t.Fatalf("truthful claim scored %.2f", v)
+	}
+}
+
+func TestHiddenChannelCatchesLyingClaim(t *testing.T) {
+	e := NewLeadEstimator()
+	// Physically braking at -4...
+	driveScenario(t, e, 8, 20, 20, -4, 5, 0.1)
+	h := NewHiddenChannel(e, 1.5)
+	// ...while claiming to cruise.
+	v, ok := h.AssessClaim(0)
+	if !ok {
+		t.Fatal("assessment unavailable")
+	}
+	if v >= 0.5 {
+		t.Fatalf("lying claim scored %.2f — hidden channel blind", v)
+	}
+	if h.Disagreements != 1 || h.Checks != 1 {
+		t.Fatalf("stats %d/%d", h.Disagreements, h.Checks)
+	}
+}
+
+func TestHiddenChannelAcceptsSevereClaimEarly(t *testing.T) {
+	// The lead cruises; it announces hard braking over V2V before the gap
+	// shows any effect. The claim is more severe than the evidence —
+	// acting on it is safe — so it must be fully trusted.
+	e := NewLeadEstimator()
+	driveScenario(t, e, 8, 20, 20, 0, 1e9, 0.1)
+	h := NewHiddenChannel(e, 1.5)
+	v, ok := h.AssessClaim(-6)
+	if !ok || v != 1 {
+		t.Fatalf("early braking announcement scored %.2f (ok=%v), want full trust", v, ok)
+	}
+	if h.Disagreements != 0 {
+		t.Fatal("safe-direction claim counted as disagreement")
+	}
+}
+
+func TestHiddenChannelBenefitOfDoubtWhenBlind(t *testing.T) {
+	h := NewHiddenChannel(NewLeadEstimator(), 1.5)
+	v, ok := h.AssessClaim(-4)
+	if ok || v != 1 {
+		t.Fatalf("blind assessment = %.2f, %v; want (1, false)", v, ok)
+	}
+}
+
+func TestUnsafeStateWithoutNetwork(t *testing.T) {
+	// The headline GEAR capability: the lead brakes hard; no V2V message
+	// exists at all; the ego still detects the unsafe state through the
+	// physical channel.
+	e := NewLeadEstimator()
+	driveScenario(t, e, 8, 20, 20, -5, 5, 0.1)
+	h := NewHiddenChannel(e, 1.5)
+	if !h.UnsafeStateDetected(-3) {
+		t.Fatal("hard braking undetected through the hidden channel")
+	}
+	// A cruising lead must not trigger it.
+	e2 := NewLeadEstimator()
+	driveScenario(t, e2, 8, 20, 20, 0, 1e9, 0.1)
+	h2 := NewHiddenChannel(e2, 1.5)
+	if h2.UnsafeStateDetected(-3) {
+		t.Fatal("cruising lead flagged unsafe")
+	}
+	if NewHiddenChannel(NewLeadEstimator(), 1.5).UnsafeStateDetected(-3) {
+		t.Fatal("blind channel flagged unsafe")
+	}
+}
+
+func TestHiddenChannelDefaultTolerance(t *testing.T) {
+	h := NewHiddenChannel(NewLeadEstimator(), 0)
+	if h.Tolerance != 1.5 {
+		t.Fatalf("default tolerance = %v", h.Tolerance)
+	}
+	if h.Estimator() == nil {
+		t.Fatal("estimator accessor")
+	}
+}

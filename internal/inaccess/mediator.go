@@ -1,0 +1,437 @@
+// Package inaccess implements KARYON's R2T-MAC architecture (paper
+// Sec. V-A1, Fig. 4): a Mediator Layer and a Channel Control Layer wrapped
+// around a standard MAC/medium. The Mediator Layer detects periods of
+// network inaccessibility (e.g. external interference), isolates their
+// effects from upper layers (notably keeping failure detection from
+// falsely suspecting live peers during a jam), and provides reliable
+// real-time frame transmission with explicit timing-failure signalling.
+// The Channel Control Layer exploits radio-channel diversity: when the
+// current channel is found inaccessible, all mediators hop along the same
+// deterministic channel sequence, bounding inaccessibility to the
+// detection-plus-switch time instead of the interference duration.
+package inaccess
+
+import (
+	"fmt"
+
+	"karyon/internal/sim"
+	"karyon/internal/wireless"
+)
+
+// Config parameterizes a Mediator.
+type Config struct {
+	// ProbeInterval is how often the carrier is sampled for jam detection.
+	ProbeInterval sim.Time
+	// DetectAfter declares inaccessibility when the carrier has been
+	// continuously busy for this long.
+	DetectAfter sim.Time
+	// HopEnabled engages the Channel Control Layer (requires a multi-
+	// channel medium).
+	HopEnabled bool
+	// HopSettle is the wait after a hop before the new channel may be
+	// judged inaccessible again.
+	HopSettle sim.Time
+	// HeartbeatInterval is the membership beacon period.
+	HeartbeatInterval sim.Time
+	// FailAfter is the silence threshold after which a peer is suspected
+	// failed. It must exceed HeartbeatInterval.
+	FailAfter sim.Time
+	// RetryInterval and Deadline control reliable transmission: frames are
+	// retransmitted every RetryInterval until acked or Deadline passes.
+	RetryInterval sim.Time
+	Deadline      sim.Time
+}
+
+// DefaultConfig returns mediator parameters matched to the default medium.
+func DefaultConfig() Config {
+	return Config{
+		ProbeInterval:     500 * sim.Microsecond,
+		DetectAfter:       3 * sim.Millisecond,
+		HopEnabled:        true,
+		HopSettle:         2 * sim.Millisecond,
+		HeartbeatInterval: 20 * sim.Millisecond,
+		FailAfter:         100 * sim.Millisecond,
+		RetryInterval:     5 * sim.Millisecond,
+		Deadline:          50 * sim.Millisecond,
+	}
+}
+
+// Validate checks config consistency.
+func (c Config) Validate() error {
+	if c.ProbeInterval <= 0 || c.HeartbeatInterval <= 0 {
+		return fmt.Errorf("inaccess: intervals must be positive")
+	}
+	if c.FailAfter <= c.HeartbeatInterval {
+		return fmt.Errorf("inaccess: FailAfter %v must exceed HeartbeatInterval %v",
+			c.FailAfter, c.HeartbeatInterval)
+	}
+	if c.RetryInterval <= 0 || c.Deadline <= 0 {
+		return fmt.Errorf("inaccess: retry/deadline must be positive")
+	}
+	return nil
+}
+
+// message kinds carried over the medium.
+type heartbeat struct {
+	ID wireless.NodeID
+}
+
+// DataFrame is a reliable-transmission payload.
+type DataFrame struct {
+	From wireless.NodeID
+	To   wireless.NodeID
+	Seq  uint64
+	Body any
+}
+
+type ackFrame struct {
+	From wireless.NodeID
+	To   wireless.NodeID
+	Seq  uint64
+}
+
+// Period records one detected inaccessibility episode.
+type Period struct {
+	Start sim.Time
+	End   sim.Time
+}
+
+// Duration returns the episode length.
+func (p Period) Duration() sim.Time { return p.End - p.Start }
+
+// Stats aggregates mediator-level outcomes.
+type Stats struct {
+	// Periods are the closed inaccessibility episodes observed.
+	Periods []Period
+	// Hops counts channel switches performed.
+	Hops int
+	// DeliveredInTime / MissedDeadline count reliable sends.
+	DeliveredInTime int
+	MissedDeadline  int
+	// FalseSuspicions counts peers suspected failed that were alive.
+	FalseSuspicions int
+}
+
+// Mediator is one node's R2T-MAC instance.
+type Mediator struct {
+	cfg    Config
+	kernel *sim.Kernel
+	medium *wireless.Medium
+	radio  *wireless.Radio
+
+	// inaccessibility detection state
+	busySince    sim.Time
+	busy         bool
+	inaccessible bool
+	inaccStart   sim.Time
+	settleUntil  sim.Time
+
+	// membership
+	lastHeard map[wireless.NodeID]sim.Time
+	suspected map[wireless.NodeID]bool
+	// alive is consulted for false-suspicion accounting in experiments.
+	aliveFn func(wireless.NodeID) bool
+
+	// reliable transmission
+	nextSeq     uint64
+	pending     map[uint64]*pendingSend
+	ackHandlers map[uint64]func()
+
+	// upper-layer delivery hook
+	onData func(DataFrame)
+	// onSuspect fires when a peer transitions to suspected.
+	onSuspect func(wireless.NodeID)
+
+	probeT *sim.Ticker
+	hbT    *sim.Ticker
+
+	stats   Stats
+	stopped bool
+}
+
+type pendingSend struct {
+	frame    DataFrame
+	deadline sim.Time
+	timer    *sim.Timer
+	acked    bool
+}
+
+// New creates a mediator over an already-attached radio.
+func New(kernel *sim.Kernel, medium *wireless.Medium, radio *wireless.Radio, cfg Config) (*Mediator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Mediator{
+		cfg:       cfg,
+		kernel:    kernel,
+		medium:    medium,
+		radio:     radio,
+		lastHeard: make(map[wireless.NodeID]sim.Time),
+		suspected: make(map[wireless.NodeID]bool),
+		pending:   make(map[uint64]*pendingSend),
+	}
+	radio.OnReceive(m.onFrame)
+	return m, nil
+}
+
+// ID returns the node id.
+func (m *Mediator) ID() wireless.NodeID { return m.radio.ID() }
+
+// Stats returns a copy of accumulated statistics. An open inaccessibility
+// episode is not included until it closes.
+func (m *Mediator) Stats() Stats {
+	cp := m.stats
+	cp.Periods = append([]Period(nil), m.stats.Periods...)
+	return cp
+}
+
+// Inaccessible reports whether the mediator currently declares the network
+// inaccessible.
+func (m *Mediator) Inaccessible() bool { return m.inaccessible }
+
+// OnData registers the upper-layer delivery handler.
+func (m *Mediator) OnData(fn func(DataFrame)) { m.onData = fn }
+
+// OnSuspect registers a callback for new failure suspicions.
+func (m *Mediator) OnSuspect(fn func(wireless.NodeID)) { m.onSuspect = fn }
+
+// SetAliveOracle supplies ground truth about peer liveness, used only for
+// false-suspicion accounting in experiments.
+func (m *Mediator) SetAliveOracle(fn func(wireless.NodeID) bool) { m.aliveFn = fn }
+
+// Start launches probing, heartbeating and membership checking.
+func (m *Mediator) Start() error {
+	pt, err := m.kernel.Every(m.cfg.ProbeInterval, m.probe)
+	if err != nil {
+		return err
+	}
+	m.probeT = pt
+	// Heartbeats start at a random phase: synchronized beacons from every
+	// node would collide on the shared medium every single period.
+	phase := sim.Time(m.kernel.Rand().Int63n(int64(m.cfg.HeartbeatInterval)))
+	m.kernel.Schedule(phase, func() {
+		if m.stopped {
+			return
+		}
+		ht, herr := m.kernel.Every(m.cfg.HeartbeatInterval, m.heartbeatTick)
+		if herr != nil {
+			return // interval validated in New
+		}
+		m.hbT = ht
+	})
+	return nil
+}
+
+// Stop halts the mediator (node crash or shutdown).
+func (m *Mediator) Stop() {
+	m.stopped = true
+	if m.probeT != nil {
+		m.probeT.Stop()
+	}
+	if m.hbT != nil {
+		m.hbT.Stop()
+	}
+	for _, p := range m.pending {
+		if p.timer != nil {
+			p.timer.Cancel()
+		}
+	}
+}
+
+// probe samples the carrier and updates inaccessibility state; it is the
+// Mediator Layer's "control of temporary network partitions".
+func (m *Mediator) probe() {
+	if m.stopped {
+		return
+	}
+	now := m.kernel.Now()
+	jammed := m.medium.Jammed(m.radio.Channel())
+	if jammed {
+		if !m.busy {
+			m.busy = true
+			m.busySince = now
+		}
+		if !m.inaccessible && now-m.busySince >= m.cfg.DetectAfter {
+			m.inaccessible = true
+			m.inaccStart = m.busySince
+		}
+		if m.inaccessible && m.cfg.HopEnabled && now >= m.settleUntil {
+			m.hop()
+		}
+		return
+	}
+	m.busy = false
+	if m.inaccessible {
+		// Channel clear again: close the episode. Silence accumulated
+		// during the episode is not failure evidence — reset every peer's
+		// silence clock so a crash is (re)detected only from FailAfter of
+		// *post-episode* silence.
+		m.inaccessible = false
+		m.stats.Periods = append(m.stats.Periods, Period{Start: m.inaccStart, End: now})
+		floor := now - m.cfg.HeartbeatInterval
+		for id, last := range m.lastHeard {
+			if last < floor {
+				m.lastHeard[id] = floor
+			}
+		}
+	}
+}
+
+// hop advances to the next channel in the deterministic hop sequence. All
+// mediators share the sequence, so they reconverge on the same channel
+// without coordination.
+func (m *Mediator) hop() {
+	ch := (m.radio.Channel() + 1) % m.medium.Config().Channels
+	if ch == m.radio.Channel() {
+		return // single-channel medium: nothing to hop to
+	}
+	m.radio.SetChannel(ch)
+	m.stats.Hops++
+	m.settleUntil = m.kernel.Now() + m.cfg.HopSettle
+	// The new channel may be clear: close the episode on the next probe.
+	m.busy = false
+}
+
+// heartbeatTick broadcasts a heartbeat and runs the membership check.
+func (m *Mediator) heartbeatTick() {
+	if m.stopped {
+		return
+	}
+	m.radio.Broadcast(heartbeat{ID: m.radio.ID()})
+	m.checkMembership()
+}
+
+// checkMembership suspects peers silent for longer than FailAfter — except
+// while the network is inaccessible: the paper's point is precisely that
+// inaccessibility awareness must gate timing-failure detection, otherwise
+// every jam produces a storm of false suspicions.
+func (m *Mediator) checkMembership() {
+	if m.inaccessible {
+		return
+	}
+	now := m.kernel.Now()
+	for id, last := range m.lastHeard {
+		if m.suspected[id] {
+			continue
+		}
+		silence := now - last
+		if silence > m.cfg.FailAfter {
+			m.suspected[id] = true
+			if m.aliveFn != nil && m.aliveFn(id) {
+				m.stats.FalseSuspicions++
+			}
+			if m.onSuspect != nil {
+				m.onSuspect(id)
+			}
+		}
+	}
+}
+
+// Suspected reports whether the mediator currently suspects the peer.
+func (m *Mediator) Suspected(id wireless.NodeID) bool { return m.suspected[id] }
+
+// Members returns the peers currently considered alive, sorted by id.
+func (m *Mediator) Members() []wireless.NodeID {
+	out := make([]wireless.NodeID, 0, len(m.lastHeard))
+	for id := range m.lastHeard {
+		if !m.suspected[id] {
+			out = append(out, id)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// SendReliable transmits body to the peer with ack+retransmit until the
+// configured deadline. done (optional) is invoked exactly once with the
+// outcome: true if acked in time, false on deadline miss.
+func (m *Mediator) SendReliable(to wireless.NodeID, body any, done func(ok bool)) {
+	m.nextSeq++
+	seq := m.nextSeq
+	ps := &pendingSend{
+		frame:    DataFrame{From: m.radio.ID(), To: to, Seq: seq, Body: body},
+		deadline: m.kernel.Now() + m.cfg.Deadline,
+	}
+	m.pending[seq] = ps
+	var attempt func()
+	attempt = func() {
+		if m.stopped || ps.acked {
+			return
+		}
+		now := m.kernel.Now()
+		if now >= ps.deadline {
+			delete(m.pending, seq)
+			m.stats.MissedDeadline++
+			if done != nil {
+				done(false)
+			}
+			return
+		}
+		m.radio.Broadcast(ps.frame)
+		ps.timer = m.kernel.Schedule(m.cfg.RetryInterval, attempt)
+	}
+	// Remember the completion callback for ack handling.
+	psDone := done
+	psOnAck := func() {
+		if ps.acked {
+			return
+		}
+		ps.acked = true
+		if ps.timer != nil {
+			ps.timer.Cancel()
+		}
+		delete(m.pending, seq)
+		m.stats.DeliveredInTime++
+		if psDone != nil {
+			psDone(true)
+		}
+	}
+	if m.ackHandlers == nil {
+		m.ackHandlers = make(map[uint64]func())
+	}
+	m.ackHandlers[seq] = psOnAck
+	attempt()
+}
+
+// onFrame dispatches received frames.
+func (m *Mediator) onFrame(f wireless.Frame) {
+	if m.stopped {
+		return
+	}
+	now := m.kernel.Now()
+	switch p := f.Payload.(type) {
+	case heartbeat:
+		m.noteAlive(p.ID, now)
+	case DataFrame:
+		m.noteAlive(p.From, now)
+		if p.To != m.radio.ID() {
+			return
+		}
+		m.radio.Broadcast(ackFrame{From: m.radio.ID(), To: p.From, Seq: p.Seq})
+		if m.onData != nil {
+			m.onData(p)
+		}
+	case ackFrame:
+		m.noteAlive(p.From, now)
+		if p.To != m.radio.ID() {
+			return
+		}
+		if fn, ok := m.ackHandlers[p.Seq]; ok {
+			delete(m.ackHandlers, p.Seq)
+			fn()
+		}
+	}
+}
+
+// noteAlive refreshes membership state for a heard peer; hearing a
+// previously suspected peer rehabilitates it.
+func (m *Mediator) noteAlive(id wireless.NodeID, now sim.Time) {
+	m.lastHeard[id] = now
+	if m.suspected[id] {
+		delete(m.suspected, id)
+	}
+}

@@ -1,0 +1,323 @@
+package inaccess
+
+import (
+	"testing"
+
+	"karyon/internal/sim"
+	"karyon/internal/wireless"
+)
+
+type rig struct {
+	k      *sim.Kernel
+	medium *wireless.Medium
+	meds   []*Mediator
+}
+
+func newRig(t *testing.T, seed int64, n, channels int, cfg Config) *rig {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	mcfg := wireless.DefaultConfig()
+	mcfg.Channels = channels
+	medium := wireless.NewMedium(k, mcfg)
+	r := &rig{k: k, medium: medium}
+	for i := 0; i < n; i++ {
+		radio, err := medium.Attach(wireless.NodeID(i), wireless.Position{X: float64(i) * 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		med, err := New(k, medium, radio, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := med.Start(); err != nil {
+			t.Fatal(err)
+		}
+		r.meds = append(r.meds, med)
+	}
+	return r
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.FailAfter = bad.HeartbeatInterval
+	if err := bad.Validate(); err == nil {
+		t.Fatal("FailAfter <= HeartbeatInterval must fail validation")
+	}
+	bad = cfg
+	bad.ProbeInterval = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero probe interval must fail validation")
+	}
+	bad = cfg
+	bad.Deadline = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero deadline must fail validation")
+	}
+}
+
+func TestInaccessibilityDetectedAndClosed(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HopEnabled = false
+	r := newRig(t, 1, 2, 1, cfg)
+	jam := 20 * sim.Millisecond
+	r.k.Schedule(10*sim.Millisecond, func() { r.medium.Jam(0, jam) })
+	r.k.RunFor(100 * sim.Millisecond)
+	s := r.meds[0].Stats()
+	if len(s.Periods) != 1 {
+		t.Fatalf("periods = %d, want 1", len(s.Periods))
+	}
+	d := s.Periods[0].Duration()
+	if d < 15*sim.Millisecond || d > 25*sim.Millisecond {
+		t.Fatalf("measured inaccessibility %v, want ~20ms", d)
+	}
+	if r.meds[0].Inaccessible() {
+		t.Fatal("episode not closed")
+	}
+}
+
+func TestShortBusyDoesNotTrigger(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HopEnabled = false
+	r := newRig(t, 2, 2, 1, cfg)
+	// A jam shorter than DetectAfter must not be declared inaccessibility.
+	r.k.Schedule(10*sim.Millisecond, func() { r.medium.Jam(0, sim.Millisecond) })
+	r.k.RunFor(100 * sim.Millisecond)
+	if n := len(r.meds[0].Stats().Periods); n != 0 {
+		t.Fatalf("short jam produced %d inaccessibility periods", n)
+	}
+}
+
+func TestChannelHopBoundsInaccessibility(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(t, 3, 4, 4, cfg)
+	// A long jam on channel 0 only; other channels clear.
+	longJam := 500 * sim.Millisecond
+	r.k.Schedule(10*sim.Millisecond, func() { r.medium.Jam(0, longJam) })
+	r.k.RunFor(sim.Second)
+	for i, med := range r.meds {
+		s := med.Stats()
+		if s.Hops == 0 {
+			t.Fatalf("mediator %d never hopped", i)
+		}
+		if med.Inaccessible() {
+			t.Fatalf("mediator %d still inaccessible after hop", i)
+		}
+		for _, p := range s.Periods {
+			// Bounded by detect + settle + probe slack, far below 500 ms.
+			if p.Duration() > 20*sim.Millisecond {
+				t.Fatalf("mediator %d episode %v not bounded by hop", i, p.Duration())
+			}
+		}
+		if med.radioChannel() == 0 {
+			t.Fatalf("mediator %d still on jammed channel", i)
+		}
+	}
+	// All mediators must land on the same channel (deterministic sequence).
+	ch := r.meds[0].radioChannel()
+	for _, med := range r.meds[1:] {
+		if med.radioChannel() != ch {
+			t.Fatalf("mediators diverged: %d vs %d", med.radioChannel(), ch)
+		}
+	}
+}
+
+func TestMembershipSeesPeers(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(t, 4, 3, 1, cfg)
+	r.k.RunFor(200 * sim.Millisecond)
+	m := r.meds[0].Members()
+	if len(m) != 2 || m[0] != 1 || m[1] != 2 {
+		t.Fatalf("members = %v, want [1 2]", m)
+	}
+}
+
+func TestCrashedPeerSuspected(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(t, 5, 3, 1, cfg)
+	r.k.RunFor(100 * sim.Millisecond)
+	var suspectedAt sim.Time
+	r.meds[0].OnSuspect(func(id wireless.NodeID) {
+		if id == 2 && suspectedAt == 0 {
+			suspectedAt = r.k.Now()
+		}
+	})
+	crashAt := 100 * sim.Millisecond
+	r.meds[2].Stop()
+	r.k.RunFor(400 * sim.Millisecond)
+	if !r.meds[0].Suspected(2) {
+		t.Fatal("crashed peer never suspected")
+	}
+	// The peer's last heartbeat may precede the crash by up to one period.
+	if suspectedAt == 0 || suspectedAt < crashAt+cfg.FailAfter-cfg.HeartbeatInterval {
+		t.Fatalf("suspected too early: %v", suspectedAt)
+	}
+	// Peer 1 is alive and must not be suspected.
+	if r.meds[0].Suspected(1) {
+		t.Fatal("live peer suspected")
+	}
+}
+
+func TestJamDoesNotCauseFalseSuspicion(t *testing.T) {
+	// The core R2T-MAC claim: with inaccessibility awareness, a jam longer
+	// than the failure-detection timeout must not produce suspicions of
+	// live peers. Without awareness it would (see contrast below).
+	cfg := DefaultConfig()
+	cfg.HopEnabled = false // no escape: jam covers the only channel
+	r := newRig(t, 6, 3, 1, cfg)
+	for _, med := range r.meds {
+		med.SetAliveOracle(func(wireless.NodeID) bool { return true })
+	}
+	r.k.RunFor(100 * sim.Millisecond)
+	r.medium.Jam(0, 300*sim.Millisecond) // 3x FailAfter
+	r.k.RunFor(500 * sim.Millisecond)
+	for i, med := range r.meds {
+		if med.Stats().FalseSuspicions != 0 {
+			t.Fatalf("mediator %d produced false suspicions under jam", i)
+		}
+		for _, peer := range []wireless.NodeID{0, 1, 2} {
+			if peer == med.ID() {
+				continue
+			}
+			if med.Suspected(peer) {
+				t.Fatalf("mediator %d suspects live peer %d after jam", i, peer)
+			}
+		}
+	}
+}
+
+func TestReliableSendDeliversAndAcks(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(t, 7, 2, 1, cfg)
+	var delivered []DataFrame
+	r.meds[1].OnData(func(f DataFrame) { delivered = append(delivered, f) })
+	outcome := 0
+	r.meds[0].SendReliable(1, "payload", func(ok bool) {
+		if ok {
+			outcome = 1
+		} else {
+			outcome = -1
+		}
+	})
+	r.k.RunFor(100 * sim.Millisecond)
+	if outcome != 1 {
+		t.Fatalf("outcome = %d, want acked", outcome)
+	}
+	if len(delivered) != 1 || delivered[0].Body != "payload" || delivered[0].From != 0 {
+		t.Fatalf("delivered = %+v", delivered)
+	}
+	s := r.meds[0].Stats()
+	if s.DeliveredInTime != 1 || s.MissedDeadline != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestReliableSendRetriesThroughLoss(t *testing.T) {
+	cfg := DefaultConfig()
+	k := sim.NewKernel(8)
+	mcfg := wireless.DefaultConfig()
+	mcfg.LossProb = 0.5
+	medium := wireless.NewMedium(k, mcfg)
+	var meds []*Mediator
+	for i := 0; i < 2; i++ {
+		radio, err := medium.Attach(wireless.NodeID(i), wireless.Position{X: float64(i) * 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		med, err := New(k, medium, radio, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := med.Start(); err != nil {
+			t.Fatal(err)
+		}
+		meds = append(meds, med)
+	}
+	meds[1].OnData(func(DataFrame) {})
+	okCount, missCount := 0, 0
+	for i := 0; i < 20; i++ {
+		meds[0].SendReliable(1, i, func(ok bool) {
+			if ok {
+				okCount++
+			} else {
+				missCount++
+			}
+		})
+		k.RunFor(60 * sim.Millisecond)
+	}
+	if okCount+missCount != 20 {
+		t.Fatalf("outcomes = %d+%d, want 20 total", okCount, missCount)
+	}
+	// With 60% loss and 10 attempts within the deadline, the vast
+	// majority must get through.
+	if okCount < 17 {
+		t.Fatalf("only %d/20 delivered through loss", okCount)
+	}
+}
+
+func TestReliableSendDeadlineMiss(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(t, 9, 2, 1, cfg)
+	// Jam the only channel for longer than the deadline: delivery must
+	// fail and be reported as a timing failure.
+	r.medium.Jam(0, 200*sim.Millisecond)
+	missed := false
+	r.meds[0].SendReliable(1, "x", func(ok bool) { missed = !ok })
+	r.k.RunFor(300 * sim.Millisecond)
+	if !missed {
+		t.Fatal("deadline miss not reported under jam")
+	}
+	if r.meds[0].Stats().MissedDeadline != 1 {
+		t.Fatalf("stats = %+v", r.meds[0].Stats())
+	}
+}
+
+func TestDuplicateAckIgnored(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(t, 10, 2, 1, cfg)
+	r.meds[1].OnData(func(DataFrame) {})
+	completions := 0
+	r.meds[0].SendReliable(1, "x", func(bool) { completions++ })
+	r.k.RunFor(100 * sim.Millisecond)
+	// Re-inject a duplicate ack by hand.
+	r.meds[0].onFrame(wireless.Frame{From: 1, Payload: ackFrame{From: 1, To: 0, Seq: 1}})
+	if completions != 1 {
+		t.Fatalf("completions = %d, want exactly 1", completions)
+	}
+}
+
+// radioChannel is a test helper exposing the mediator's current channel.
+func (m *Mediator) radioChannel() int { return m.radio.Channel() }
+
+func TestAllChannelsJammedNoEscape(t *testing.T) {
+	// When interference covers every channel, hopping cannot help: the
+	// inaccessibility must last the full burst on every channel visited,
+	// and membership must still not produce false suspicions.
+	cfg := DefaultConfig()
+	r := newRig(t, 20, 3, 4, cfg)
+	for _, med := range r.meds {
+		med.SetAliveOracle(func(wireless.NodeID) bool { return true })
+	}
+	r.k.RunFor(100 * sim.Millisecond)
+	for ch := 0; ch < 4; ch++ {
+		r.medium.Jam(ch, 300*sim.Millisecond)
+	}
+	r.k.RunFor(250 * sim.Millisecond)
+	for i, med := range r.meds {
+		if !med.Inaccessible() {
+			t.Fatalf("mediator %d not inaccessible under total jam", i)
+		}
+	}
+	r.k.RunFor(400 * sim.Millisecond)
+	for i, med := range r.meds {
+		if med.Inaccessible() {
+			t.Fatalf("mediator %d stuck inaccessible after total jam ended", i)
+		}
+		if med.Stats().FalseSuspicions != 0 {
+			t.Fatalf("mediator %d false suspicions under total jam", i)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package mac
+
+import (
+	"fmt"
+
+	"karyon/internal/sim"
+	"karyon/internal/wireless"
+)
+
+// CSMAConfig parameterizes the CSMA/CA baseline.
+type CSMAConfig struct {
+	// Period is the beacon generation period (offered load).
+	Period sim.Time
+	// MaxBackoff is the upper bound of the uniform random backoff applied
+	// when the carrier is busy.
+	MaxBackoff sim.Time
+	// MaxAttempts bounds retries per beacon before it is dropped.
+	MaxAttempts int
+}
+
+// DefaultCSMAConfig matches the default TDMA offered load: one beacon per
+// frame (32 slots x 1 ms).
+func DefaultCSMAConfig() CSMAConfig {
+	return CSMAConfig{
+		Period:      32 * sim.Millisecond,
+		MaxBackoff:  4 * sim.Millisecond,
+		MaxAttempts: 5,
+	}
+}
+
+// CSMANode periodically generates a beacon and transmits it with carrier
+// sensing and random backoff — the contention baseline the paper's TDMA
+// work is compared against.
+type CSMANode struct {
+	cfg    CSMAConfig
+	kernel *sim.Kernel
+	radio  *wireless.Radio
+
+	ticker  *sim.Ticker
+	stopped bool
+
+	// Generated counts beacons offered; Transmitted counts beacons that
+	// made it onto the air; Abandoned counts beacons dropped after
+	// exhausting attempts.
+	Generated   int
+	Transmitted int
+	Abandoned   int
+	// Received counts beacons successfully decoded from others.
+	Received int
+	// AccessDelays collects generation-to-transmission delays in
+	// milliseconds — CSMA's unpredictability is in this distribution's
+	// tail, which is the property the paper's TDMA work removes.
+	AccessDelays []float64
+}
+
+// NewCSMANode creates a node over the radio and takes over its receive
+// handler.
+func NewCSMANode(kernel *sim.Kernel, radio *wireless.Radio, cfg CSMAConfig) (*CSMANode, error) {
+	if cfg.Period <= 0 {
+		return nil, fmt.Errorf("mac: CSMA period must be positive")
+	}
+	if cfg.MaxAttempts < 1 {
+		cfg.MaxAttempts = 1
+	}
+	n := &CSMANode{cfg: cfg, kernel: kernel, radio: radio}
+	radio.OnReceive(func(wireless.Frame) { n.Received++ })
+	return n, nil
+}
+
+// ID returns the radio's node id.
+func (n *CSMANode) ID() wireless.NodeID { return n.radio.ID() }
+
+// Start begins periodic beacon generation. Each node's cycle starts at a
+// random phase within one period — stations are not synchronized.
+func (n *CSMANode) Start() {
+	phase := sim.Time(n.kernel.Rand().Int63n(int64(n.cfg.Period)))
+	n.kernel.Schedule(phase, func() {
+		if n.stopped {
+			return
+		}
+		t, err := n.kernel.Every(n.cfg.Period, func() {
+			n.Generated++
+			n.attempt(0, n.kernel.Now())
+		})
+		if err != nil {
+			return // validated in constructor
+		}
+		n.ticker = t
+	})
+}
+
+// Stop halts the node.
+func (n *CSMANode) Stop() {
+	n.stopped = true
+	if n.ticker != nil {
+		n.ticker.Stop()
+	}
+}
+
+func (n *CSMANode) attempt(tries int, generatedAt sim.Time) {
+	if n.stopped {
+		return
+	}
+	if tries >= n.cfg.MaxAttempts {
+		n.Abandoned++
+		return
+	}
+	if n.radio.CarrierBusy() {
+		backoff := sim.Time(n.kernel.Rand().Int63n(int64(n.cfg.MaxBackoff) + 1))
+		n.kernel.Schedule(backoff, func() { n.attempt(tries+1, generatedAt) })
+		return
+	}
+	n.radio.Broadcast(Beacon{ID: n.radio.ID()})
+	n.Transmitted++
+	delay := n.kernel.Now() - generatedAt
+	n.AccessDelays = append(n.AccessDelays, float64(delay)/float64(sim.Millisecond))
+}

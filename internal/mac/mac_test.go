@@ -1,0 +1,308 @@
+package mac
+
+import (
+	"testing"
+
+	"karyon/internal/sim"
+	"karyon/internal/wireless"
+)
+
+func tdmaSetup(t *testing.T, seed int64, n int, cfg TDMAConfig, spacing float64) (*sim.Kernel, *TDMANetwork) {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	mcfg := wireless.DefaultConfig()
+	mcfg.Airtime = 200 * sim.Microsecond
+	medium := wireless.NewMedium(k, mcfg)
+	nw := NewTDMANetwork(k, medium, cfg)
+	for i := 0; i < n; i++ {
+		node, err := nw.AddNode(wireless.NodeID(i), wireless.Position{X: float64(i) * spacing})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.Start()
+	}
+	return k, nw
+}
+
+func TestTDMAValidation(t *testing.T) {
+	k := sim.NewKernel(1)
+	medium := wireless.NewMedium(k, wireless.DefaultConfig())
+	r, err := medium.Attach(1, wireless.Position{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTDMANode(k, r, TDMAConfig{Slots: 1, SlotDuration: sim.Millisecond}); err == nil {
+		t.Fatal("1-slot config should be rejected")
+	}
+	if _, err := NewTDMANode(k, r, TDMAConfig{Slots: 4, SlotDuration: 0}); err == nil {
+		t.Fatal("zero slot duration should be rejected")
+	}
+}
+
+func TestTDMASingleNodeClaims(t *testing.T) {
+	k, nw := tdmaSetup(t, 1, 1, DefaultTDMAConfig(), 10)
+	k.RunFor(10 * 32 * sim.Millisecond)
+	node, _ := nw.Node(0)
+	if node.Slot() < 0 {
+		t.Fatal("lone node never claimed a slot")
+	}
+}
+
+func TestTDMAConvergesSmallClique(t *testing.T) {
+	cfg := DefaultTDMAConfig()
+	k, nw := tdmaSetup(t, 7, 8, cfg, 10) // all in range of each other
+	frame := sim.Time(cfg.Slots) * cfg.SlotDuration
+	deadline := 200
+	converged := -1
+	for f := 0; f < deadline; f++ {
+		k.RunFor(frame)
+		if nw.Converged() {
+			converged = f
+			break
+		}
+	}
+	if converged < 0 {
+		t.Fatal("8-node clique did not converge within 200 frames")
+	}
+	// Stability: once converged, slots must not change (closure).
+	nodes := nw.NodeList()
+	slots := make([]int, len(nodes))
+	for i, n := range nodes {
+		slots[i] = n.Slot()
+	}
+	k.RunFor(50 * frame)
+	for i, n := range nodes {
+		if n.Slot() != slots[i] {
+			t.Fatalf("node %d changed slot after convergence: %d -> %d", i, slots[i], n.Slot())
+		}
+	}
+	if !nw.Converged() {
+		t.Fatal("network left converged state")
+	}
+}
+
+func TestTDMAUniqueSlotsInNeighborhood(t *testing.T) {
+	cfg := DefaultTDMAConfig()
+	cfg.Slots = 16
+	k, nw := tdmaSetup(t, 11, 10, cfg, 10)
+	frame := sim.Time(cfg.Slots) * cfg.SlotDuration
+	k.RunFor(300 * frame)
+	if !nw.Converged() {
+		t.Fatal("did not converge")
+	}
+	seen := map[int]bool{}
+	for _, n := range nw.NodeList() {
+		if seen[n.Slot()] {
+			t.Fatalf("duplicate slot %d in clique", n.Slot())
+		}
+		seen[n.Slot()] = true
+	}
+}
+
+func TestTDMASpatialReuse(t *testing.T) {
+	// Two far-apart cliques may reuse slots; convergence must still hold.
+	cfg := DefaultTDMAConfig()
+	cfg.Slots = 4
+	k := sim.NewKernel(13)
+	mcfg := wireless.DefaultConfig()
+	mcfg.Range = 50
+	medium := wireless.NewMedium(k, mcfg)
+	nw := NewTDMANetwork(k, medium, cfg)
+	// Clique A at x~0, clique B at x~10000; 3 nodes each with 4 slots.
+	for i := 0; i < 3; i++ {
+		a, err := nw.AddNode(wireless.NodeID(i), wireless.Position{X: float64(i) * 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Start()
+		b, err := nw.AddNode(wireless.NodeID(10+i), wireless.Position{X: 10000 + float64(i)*5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Start()
+	}
+	frame := sim.Time(cfg.Slots) * cfg.SlotDuration
+	k.RunFor(400 * frame)
+	if !nw.Converged() {
+		t.Fatal("two-clique network did not converge")
+	}
+}
+
+func TestTDMARecoversFromChurn(t *testing.T) {
+	cfg := DefaultTDMAConfig()
+	k, nw := tdmaSetup(t, 17, 6, cfg, 10)
+	frame := sim.Time(cfg.Slots) * cfg.SlotDuration
+	k.RunFor(200 * frame)
+	if !nw.Converged() {
+		t.Fatal("initial convergence failed")
+	}
+	// A new node joins; the network must re-stabilize (self-stabilization
+	// from a perturbed configuration).
+	joiner, err := nw.AddNode(100, wireless.Position{X: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joiner.Start()
+	reconverged := false
+	for f := 0; f < 300; f++ {
+		k.RunFor(frame)
+		if nw.Converged() {
+			reconverged = true
+			break
+		}
+	}
+	if !reconverged {
+		t.Fatal("network did not re-converge after join")
+	}
+	// A node leaves; remaining network must stay/return converged.
+	nw.RemoveNode(0)
+	k.RunFor(50 * frame)
+	if !nw.Converged() {
+		t.Fatal("network broke after leave")
+	}
+}
+
+func TestTDMAStoppedNodeStopsTransmitting(t *testing.T) {
+	cfg := DefaultTDMAConfig()
+	k, nw := tdmaSetup(t, 19, 2, cfg, 10)
+	frame := sim.Time(cfg.Slots) * cfg.SlotDuration
+	k.RunFor(100 * frame)
+	node, _ := nw.Node(0)
+	node.Stop()
+	before := node.TxCount
+	k.RunFor(50 * frame)
+	if node.TxCount != before {
+		t.Fatal("stopped node kept transmitting")
+	}
+}
+
+func TestCSMAValidation(t *testing.T) {
+	k := sim.NewKernel(1)
+	medium := wireless.NewMedium(k, wireless.DefaultConfig())
+	r, _ := medium.Attach(1, wireless.Position{})
+	if _, err := NewCSMANode(k, r, CSMAConfig{Period: 0}); err == nil {
+		t.Fatal("zero period should be rejected")
+	}
+}
+
+func TestCSMATwoNodesExchange(t *testing.T) {
+	k := sim.NewKernel(23)
+	medium := wireless.NewMedium(k, wireless.DefaultConfig())
+	cfg := DefaultCSMAConfig()
+	var nodes []*CSMANode
+	for i := 0; i < 2; i++ {
+		r, err := medium.Attach(wireless.NodeID(i), wireless.Position{X: float64(i) * 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := NewCSMANode(k, r, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Start()
+		nodes = append(nodes, n)
+	}
+	k.RunFor(sim.Second)
+	for i, n := range nodes {
+		if n.Generated == 0 || n.Transmitted == 0 {
+			t.Fatalf("node %d never transmitted: %+v", i, n)
+		}
+		if n.Received == 0 {
+			t.Fatalf("node %d never received", i)
+		}
+	}
+}
+
+func TestCSMACollapsesUnderDensity(t *testing.T) {
+	// With many saturating nodes in one clique, CSMA's delivery ratio
+	// degrades well below TDMA's collision-free schedule — E6's claim.
+	k := sim.NewKernel(29)
+	medium := wireless.NewMedium(k, wireless.DefaultConfig())
+	cfg := CSMAConfig{Period: 4 * sim.Millisecond, MaxBackoff: sim.Millisecond, MaxAttempts: 3}
+	n := 20
+	for i := 0; i < n; i++ {
+		r, err := medium.Attach(wireless.NodeID(i), wireless.Position{X: float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := NewCSMANode(k, r, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.Start()
+	}
+	k.RunFor(2 * sim.Second)
+	s := medium.Stats()
+	if s.Collisions == 0 {
+		t.Fatal("saturated CSMA network had no collisions (model too optimistic)")
+	}
+}
+
+func TestPulseValidation(t *testing.T) {
+	k := sim.NewKernel(1)
+	medium := wireless.NewMedium(k, wireless.DefaultConfig())
+	r, _ := medium.Attach(1, wireless.Position{})
+	c := sim.NewDriftClock(k, 0, 0)
+	if _, err := NewPulseNode(k, r, c, PulseConfig{Period: 0, Gain: 0.5}); err == nil {
+		t.Fatal("zero period should be rejected")
+	}
+	if _, err := NewPulseNode(k, r, c, PulseConfig{Period: sim.Second, Gain: 1.5}); err == nil {
+		t.Fatal("gain > 1 should be rejected")
+	}
+}
+
+func TestPulseSyncConverges(t *testing.T) {
+	k := sim.NewKernel(31)
+	medium := wireless.NewMedium(k, wireless.DefaultConfig())
+	cfg := DefaultPulseConfig()
+	var nodes []*PulseNode
+	n := 8
+	for i := 0; i < n; i++ {
+		r, err := medium.Attach(wireless.NodeID(i), wireless.Position{X: float64(i) * 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		drift := (k.Rand().Float64()*2 - 1) * 50e-6 // ±50 ppm
+		offset := sim.Time(k.Rand().Int63n(int64(cfg.Period)))
+		clock := sim.NewDriftClock(k, drift, offset)
+		node, err := NewPulseNode(k, r, clock, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.Start()
+		nodes = append(nodes, node)
+	}
+	initial := MaxPairwiseError(nodes, cfg.Period)
+	k.RunFor(60 * sim.Second)
+	final := MaxPairwiseError(nodes, cfg.Period)
+	if final >= initial/4 && initial > 4*sim.Millisecond {
+		t.Fatalf("pulse sync did not converge: initial=%v final=%v", initial, final)
+	}
+	if final > 5*sim.Millisecond {
+		t.Fatalf("final phase error too large: %v", final)
+	}
+}
+
+func TestPulseSyncStableWhenAligned(t *testing.T) {
+	k := sim.NewKernel(37)
+	medium := wireless.NewMedium(k, wireless.DefaultConfig())
+	cfg := DefaultPulseConfig()
+	var nodes []*PulseNode
+	for i := 0; i < 4; i++ {
+		r, err := medium.Attach(wireless.NodeID(i), wireless.Position{X: float64(i) * 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clock := sim.NewDriftClock(k, 0, 0) // perfect clocks, aligned
+		node, err := NewPulseNode(k, r, clock, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.Start()
+		nodes = append(nodes, node)
+	}
+	k.RunFor(10 * sim.Second)
+	if err := MaxPairwiseError(nodes, cfg.Period); err > 500*sim.Microsecond {
+		t.Fatalf("aligned perfect clocks drifted apart: %v", err)
+	}
+}

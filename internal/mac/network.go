@@ -1,0 +1,105 @@
+package mac
+
+import (
+	"fmt"
+
+	"karyon/internal/sim"
+	"karyon/internal/wireless"
+)
+
+// TDMANetwork wires a set of TDMA nodes to one medium and feeds collision
+// observations back into the nodes' frame state: a real receiver senses
+// undecodable energy in a slot, which the algorithm needs as the
+// collision mark in beacons' Heard maps.
+type TDMANetwork struct {
+	cfg    TDMAConfig
+	medium *wireless.Medium
+	kernel *sim.Kernel
+	nodes  map[wireless.NodeID]*TDMANode
+}
+
+// NewTDMANetwork creates the coordinator and installs the medium drop
+// observer.
+func NewTDMANetwork(kernel *sim.Kernel, medium *wireless.Medium, cfg TDMAConfig) *TDMANetwork {
+	nw := &TDMANetwork{
+		cfg:    cfg,
+		medium: medium,
+		kernel: kernel,
+		nodes:  make(map[wireless.NodeID]*TDMANode),
+	}
+	medium.SetDropObserver(nw.onDrop)
+	return nw
+}
+
+// AddNode attaches a new TDMA node at the given position.
+func (nw *TDMANetwork) AddNode(id wireless.NodeID, pos wireless.Position) (*TDMANode, error) {
+	radio, err := nw.medium.Attach(id, pos)
+	if err != nil {
+		return nil, fmt.Errorf("mac: add node: %w", err)
+	}
+	node, err := NewTDMANode(nw.kernel, radio, nw.cfg)
+	if err != nil {
+		return nil, err
+	}
+	nw.nodes[id] = node
+	return node, nil
+}
+
+// RemoveNode stops and detaches a node (churn).
+func (nw *TDMANetwork) RemoveNode(id wireless.NodeID) {
+	if n, ok := nw.nodes[id]; ok {
+		n.Stop()
+		nw.medium.Detach(id)
+		delete(nw.nodes, id)
+	}
+}
+
+// Nodes returns the live nodes in insertion-independent (map) form; use
+// NodeList for deterministic iteration.
+func (nw *TDMANetwork) Node(id wireless.NodeID) (*TDMANode, bool) {
+	n, ok := nw.nodes[id]
+	return n, ok
+}
+
+// NodeList returns the live nodes sorted by id.
+func (nw *TDMANetwork) NodeList() []*TDMANode {
+	ids := make([]wireless.NodeID, 0, len(nw.nodes))
+	for id := range nw.nodes {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	out := make([]*TDMANode, len(ids))
+	for i, id := range ids {
+		out[i] = nw.nodes[id]
+	}
+	return out
+}
+
+// onDrop translates a per-receiver collision into a collision mark in the
+// receiver's current frame observation.
+func (nw *TDMANetwork) onDrop(to wireless.NodeID, reason wireless.DropReason) {
+	if reason != wireless.DropCollision {
+		return
+	}
+	node, ok := nw.nodes[to]
+	if ok && !node.stopped {
+		// Delivery happens airtime+prop after transmission start; map the
+		// completion instant back to the transmission's slot.
+		mcfg := nw.medium.Config()
+		sentAt := nw.kernel.Now() - mcfg.Airtime - mcfg.PropDelay
+		if sentAt < 0 {
+			sentAt = 0
+		}
+		node.heardThisFrame[node.currentSlot(sentAt)] = collisionMark
+	}
+}
+
+// Converged reports whether the network's live nodes have stabilized (all
+// claimed, neighborhood-unique).
+func (nw *TDMANetwork) Converged() bool {
+	return Converged(nw.NodeList())
+}

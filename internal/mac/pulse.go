@@ -1,0 +1,169 @@
+package mac
+
+import (
+	"fmt"
+	"sort"
+
+	"karyon/internal/sim"
+	"karyon/internal/wireless"
+)
+
+// pulseMsg is the payload of a synchronization pulse.
+type pulseMsg struct {
+	ID wireless.NodeID
+}
+
+// PulseConfig parameterizes the decentralized pulse-synchronization
+// algorithm (Mustafa et al. [27]): nodes broadcast pulses every Period of
+// *local* time and nudge their local clocks toward the median observed
+// neighbor phase — no GPS or base station involved.
+type PulseConfig struct {
+	// Period is the pulse period in local-clock units.
+	Period sim.Time
+	// Gain is the correction factor applied to the median phase error,
+	// in (0, 1].
+	Gain float64
+}
+
+// DefaultPulseConfig returns a 100 ms pulse period with gain 0.5.
+func DefaultPulseConfig() PulseConfig {
+	return PulseConfig{Period: 100 * sim.Millisecond, Gain: 0.5}
+}
+
+// PulseNode runs pulse synchronization over a drifting local clock.
+type PulseNode struct {
+	cfg    PulseConfig
+	kernel *sim.Kernel
+	radio  *wireless.Radio
+	clock  *sim.DriftClock
+
+	// phase errors observed since the last own pulse, in local time units
+	// mapped to [-Period/2, +Period/2).
+	errs    []sim.Time
+	stopped bool
+	// lastPulseLocal is the local time of our last pulse emission.
+	lastPulseLocal sim.Time
+}
+
+// NewPulseNode creates a pulse-synchronization node. The radio's receive
+// handler is taken over.
+func NewPulseNode(kernel *sim.Kernel, radio *wireless.Radio, clock *sim.DriftClock, cfg PulseConfig) (*PulseNode, error) {
+	if cfg.Period <= 0 {
+		return nil, fmt.Errorf("mac: pulse period must be positive")
+	}
+	if cfg.Gain <= 0 || cfg.Gain > 1 {
+		return nil, fmt.Errorf("mac: pulse gain %v outside (0,1]", cfg.Gain)
+	}
+	n := &PulseNode{cfg: cfg, kernel: kernel, radio: radio, clock: clock}
+	radio.OnReceive(n.onPulse)
+	return n, nil
+}
+
+// Clock exposes the node's local clock.
+func (n *PulseNode) Clock() *sim.DriftClock { return n.clock }
+
+// Start schedules the first pulse at the next multiple of Period on the
+// node's *local* clock, so emission phase initially reflects the node's
+// arbitrary clock state — the adversarial starting configuration a
+// self-stabilizing algorithm must recover from.
+func (n *PulseNode) Start() {
+	local := n.clock.Now()
+	target := (local/n.cfg.Period + 1) * n.cfg.Period
+	d := n.toKernelDelay(target - local)
+	n.kernel.Schedule(d, n.pulse)
+}
+
+// Stop halts pulsing.
+func (n *PulseNode) Stop() { n.stopped = true }
+
+// toKernelDelay converts a local-clock duration into kernel time.
+func (n *PulseNode) toKernelDelay(local sim.Time) sim.Time {
+	d := sim.Time(float64(local) / (1 + n.clock.Drift()))
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+func (n *PulseNode) pulse() {
+	if n.stopped {
+		return
+	}
+	// Compute the correction from neighbor observations: a negative median
+	// means neighbors pulse earlier than us, so we pull our next emission
+	// earlier and move our clock forward by the same amount.
+	shift := n.correction()
+	n.clock.Adjust(-shift)
+	n.lastPulseLocal = n.clock.Now()
+	n.radio.Broadcast(pulseMsg{ID: n.radio.ID()})
+	// Next pulse one local period later, displaced by the correction.
+	d := n.toKernelDelay(n.cfg.Period) + shift
+	// Keep the cycle bounded even under a pathological correction.
+	if min := n.toKernelDelay(n.cfg.Period / 4); d < min {
+		d = min
+	}
+	if max := n.toKernelDelay(2 * n.cfg.Period); d > max {
+		d = max
+	}
+	n.kernel.Schedule(d, n.pulse)
+}
+
+// onPulse records the phase difference between the neighbor's pulse and
+// our own cycle.
+func (n *PulseNode) onPulse(f wireless.Frame) {
+	if n.stopped {
+		return
+	}
+	if _, ok := f.Payload.(pulseMsg); !ok {
+		return
+	}
+	local := n.clock.Now()
+	phase := (local - n.lastPulseLocal) % n.cfg.Period
+	// Map to [-P/2, +P/2): a neighbor pulsing just before our next pulse
+	// means we are late (negative error pulls us back).
+	if phase >= n.cfg.Period/2 {
+		phase -= n.cfg.Period
+	}
+	n.errs = append(n.errs, phase)
+}
+
+// correction returns Gain x median observed phase error and resets the
+// observation window. The median tolerates a minority of outlier
+// observations (e.g. delayed frames), mirroring the robustness argument in
+// [27]. A zero return means no evidence this cycle.
+func (n *PulseNode) correction() sim.Time {
+	if len(n.errs) == 0 {
+		return 0
+	}
+	sort.Slice(n.errs, func(i, j int) bool { return n.errs[i] < n.errs[j] })
+	med := n.errs[len(n.errs)/2]
+	if len(n.errs)%2 == 0 {
+		med = (n.errs[len(n.errs)/2-1] + n.errs[len(n.errs)/2]) / 2
+	}
+	n.errs = n.errs[:0]
+	return sim.Time(n.cfg.Gain * float64(med))
+}
+
+// MaxPairwiseError returns the largest pairwise *phase* misalignment among
+// the nodes — the TDMA-alignment convergence metric for E7. Pulse
+// synchronization aligns slot boundaries, so clock differences are compared
+// modulo the pulse period and mapped to [-P/2, +P/2).
+func MaxPairwiseError(nodes []*PulseNode, period sim.Time) sim.Time {
+	var maxErr sim.Time
+	for i := range nodes {
+		for j := i + 1; j < len(nodes); j++ {
+			d := nodes[i].clock.ErrorVersus(nodes[j].clock)
+			d %= period
+			if d < 0 {
+				d += period
+			}
+			if d >= period/2 {
+				d = period - d
+			}
+			if d > maxErr {
+				maxErr = d
+			}
+		}
+	}
+	return maxErr
+}

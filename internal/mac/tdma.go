@@ -1,0 +1,254 @@
+// Package mac implements the medium-access algorithms KARYON studies
+// (paper Sec. V-A2): a self-stabilizing TDMA slot-allocation algorithm in
+// the style of Leone & Schiller [25], decentralized TDMA pulse alignment
+// without external time sources in the style of Mustafa et al. [27], and a
+// CSMA/CA baseline for the utilization comparison.
+package mac
+
+import (
+	"fmt"
+
+	"karyon/internal/sim"
+	"karyon/internal/wireless"
+)
+
+// Beacon is the frame payload TDMA nodes exchange: the sender's claimed
+// slot plus the slot occupancy it heard during the previous frame, which is
+// how colliding nodes (who cannot hear each other) learn about conflicts.
+type Beacon struct {
+	ID   wireless.NodeID
+	Slot int
+	// Heard maps slot -> owner heard in the previous frame. Slots in which
+	// energy was sensed but no beacon decoded (collision) map to -1.
+	Heard map[int]wireless.NodeID
+}
+
+// collisionMark marks a slot where a collision (undecodable energy) was
+// observed.
+const collisionMark wireless.NodeID = -1
+
+// TDMAConfig parameterizes the self-stabilizing TDMA algorithm.
+type TDMAConfig struct {
+	// Slots per TDMA frame.
+	Slots int
+	// SlotDuration is the length of one slot; it must exceed the medium's
+	// airtime plus propagation delay.
+	SlotDuration sim.Time
+	// ClaimProb is the probability an unclaimed node attempts a claim in a
+	// free slot each frame (randomized symmetry breaking).
+	ClaimProb float64
+	// BackoffProb is the probability a node involved in a detected
+	// conflict releases its slot.
+	BackoffProb float64
+}
+
+// DefaultTDMAConfig returns parameters suitable for VANET beaconing: a
+// 100-slot frame of 1 ms slots (10 Hz beacons).
+func DefaultTDMAConfig() TDMAConfig {
+	return TDMAConfig{
+		Slots:        32,
+		SlotDuration: sim.Millisecond,
+		ClaimProb:    0.5,
+		BackoffProb:  0.5,
+	}
+}
+
+// TDMANode runs the self-stabilizing slot-allocation algorithm on one
+// radio. Construct with NewTDMANode, then Start.
+type TDMANode struct {
+	cfg    TDMAConfig
+	kernel *sim.Kernel
+	radio  *wireless.Radio
+
+	slot int // claimed slot, -1 when unclaimed
+	// heardThisFrame accumulates slot -> owner during the current frame.
+	heardThisFrame map[int]wireless.NodeID
+	// heardLastFrame is the completed previous frame's observation.
+	heardLastFrame map[int]wireless.NodeID
+	// conflict is set when evidence shows our own slot is contested.
+	conflict bool
+
+	ticker  *sim.Ticker
+	stopped bool
+
+	// SlotChanges counts claim/release transitions (stability metric).
+	SlotChanges int
+	// TxCount counts transmitted beacons.
+	TxCount int
+}
+
+// NewTDMANode creates a node over the radio. The radio's receive handler
+// is taken over by the node.
+func NewTDMANode(kernel *sim.Kernel, radio *wireless.Radio, cfg TDMAConfig) (*TDMANode, error) {
+	if cfg.Slots < 2 {
+		return nil, fmt.Errorf("mac: TDMA needs at least 2 slots, got %d", cfg.Slots)
+	}
+	if cfg.SlotDuration <= 0 {
+		return nil, fmt.Errorf("mac: slot duration must be positive")
+	}
+	n := &TDMANode{
+		cfg:            cfg,
+		kernel:         kernel,
+		radio:          radio,
+		slot:           -1,
+		heardThisFrame: make(map[int]wireless.NodeID),
+		heardLastFrame: make(map[int]wireless.NodeID),
+	}
+	radio.OnReceive(n.onFrame)
+	return n, nil
+}
+
+// Slot returns the node's claimed slot, or -1.
+func (n *TDMANode) Slot() int { return n.slot }
+
+// ID returns the underlying radio's node id.
+func (n *TDMANode) ID() wireless.NodeID { return n.radio.ID() }
+
+// Start begins frame processing. Each node slices virtual time into frames
+// of Slots*SlotDuration and schedules its own slot transmissions.
+func (n *TDMANode) Start() {
+	frame := sim.Time(n.cfg.Slots) * n.cfg.SlotDuration
+	// Stagger per-slot ticks: schedule a tick at the start of every slot.
+	t, err := n.kernel.Every(n.cfg.SlotDuration, n.onSlotTick)
+	if err != nil {
+		// Config validated in NewTDMANode; unreachable.
+		return
+	}
+	n.ticker = t
+	_ = frame
+}
+
+// Stop halts the node (crash or shutdown).
+func (n *TDMANode) Stop() {
+	n.stopped = true
+	if n.ticker != nil {
+		n.ticker.Stop()
+	}
+}
+
+// currentSlot returns the global slot index within the frame at time t.
+func (n *TDMANode) currentSlot(t sim.Time) int {
+	return int(t/n.cfg.SlotDuration) % n.cfg.Slots
+}
+
+// onSlotTick fires at each slot boundary. At the start of slot s: transmit
+// if s is ours; at the start of slot 0 a new frame begins and the previous
+// frame's observations are rolled over and acted upon.
+func (n *TDMANode) onSlotTick() {
+	if n.stopped {
+		return
+	}
+	s := n.currentSlot(n.kernel.Now())
+	if s == 0 {
+		n.endOfFrame()
+	}
+	if n.slot == s {
+		n.transmit()
+	}
+}
+
+func (n *TDMANode) transmit() {
+	heard := make(map[int]wireless.NodeID, len(n.heardLastFrame))
+	for k, v := range n.heardLastFrame {
+		heard[k] = v
+	}
+	n.radio.Broadcast(Beacon{ID: n.radio.ID(), Slot: n.slot, Heard: heard})
+	n.TxCount++
+}
+
+// onFrame handles a received beacon.
+func (n *TDMANode) onFrame(f wireless.Frame) {
+	if n.stopped {
+		return
+	}
+	b, ok := f.Payload.(Beacon)
+	if !ok {
+		return
+	}
+	slot := n.currentSlot(f.SentAt)
+	n.heardThisFrame[slot] = b.ID
+	// Conflict evidence: a neighbor heard our slot occupied by someone
+	// else, or observed a collision in it, while we believe we own it.
+	if n.slot >= 0 {
+		if owner, reported := b.Heard[n.slot]; reported && owner != n.radio.ID() {
+			n.conflict = true
+		}
+		// A beacon decoded in our own slot from another node means the
+		// neighborhood has a direct double-claim.
+		if slot == n.slot && b.ID != n.radio.ID() {
+			n.conflict = true
+		}
+	}
+}
+
+// endOfFrame rolls frame state and runs the stabilization step.
+func (n *TDMANode) endOfFrame() {
+	rng := n.kernel.Rand()
+	// Additional conflict evidence: we own a slot but a neighbor's report
+	// shows a collision mark there.
+	if n.slot >= 0 {
+		if owner, ok := n.heardThisFrame[n.slot]; ok && owner != n.radio.ID() {
+			n.conflict = true
+		}
+	}
+	if n.conflict && n.slot >= 0 {
+		if rng.Float64() < n.cfg.BackoffProb {
+			n.slot = -1
+			n.SlotChanges++
+		}
+	}
+	n.conflict = false
+
+	if n.slot < 0 && rng.Float64() < n.cfg.ClaimProb {
+		if s, ok := n.pickFreeSlot(rng); ok {
+			n.slot = s
+			n.SlotChanges++
+		}
+	}
+
+	n.heardLastFrame = n.heardThisFrame
+	n.heardThisFrame = make(map[int]wireless.NodeID, len(n.heardLastFrame))
+}
+
+// pickFreeSlot chooses uniformly among slots not heard occupied last frame.
+func (n *TDMANode) pickFreeSlot(rng interface{ Intn(int) int }) (int, bool) {
+	free := make([]int, 0, n.cfg.Slots)
+	for s := 0; s < n.cfg.Slots; s++ {
+		if _, occupied := n.heardLastFrame[s]; !occupied {
+			free = append(free, s)
+		}
+	}
+	if len(free) == 0 {
+		return 0, false
+	}
+	return free[rng.Intn(len(free))], true
+}
+
+// Converged reports whether every node holds a slot and, within each
+// radio neighborhood, slots are unique — the TDMA safety property.
+func Converged(nodes []*TDMANode) bool {
+	for _, n := range nodes {
+		if n.stopped {
+			continue
+		}
+		if n.slot < 0 {
+			return false
+		}
+	}
+	for _, a := range nodes {
+		if a.stopped {
+			continue
+		}
+		for _, id := range a.radio.Neighbors() {
+			for _, b := range nodes {
+				if b.stopped || b.radio.ID() != id {
+					continue
+				}
+				if b.slot == a.slot {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

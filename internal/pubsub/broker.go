@@ -1,0 +1,218 @@
+package pubsub
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"karyon/internal/sim"
+	"karyon/internal/wireless"
+)
+
+// ErrQoSUnattainable is returned when a channel announcement requests
+// quality the assessed network cannot provide.
+var ErrQoSUnattainable = errors.New("pubsub: requested QoS unattainable on this network")
+
+// Broker is one node's event-layer instance over a single transport.
+type Broker struct {
+	kernel    *sim.Kernel
+	transport Transport
+	id        wireless.NodeID
+
+	subs      map[Subject][]*Subscription
+	channels  map[Subject]*Channel
+	admission bool
+
+	// onViolation, if set, is invoked on every late delivery with the
+	// offending event — the run-time QoS monitoring hook through which a
+	// consumer (e.g. the safety kernel) learns the network stopped
+	// honoring an announced channel.
+	onViolation func(Event)
+
+	// Violations counts delivered events that broke their channel's
+	// announced latency bound (run-time QoS monitoring).
+	Violations int64
+	// Delivered counts events handed to local subscribers.
+	Delivered int64
+}
+
+// OnViolation registers the run-time QoS violation hook.
+func (b *Broker) OnViolation(fn func(Event)) { b.onViolation = fn }
+
+// NewBroker creates a broker. admission engages announcement-time QoS
+// checking; disabling it models a plain pub/sub without KARYON's channel
+// assessment (the E10 baseline).
+func NewBroker(kernel *sim.Kernel, id wireless.NodeID, transport Transport, admission bool) *Broker {
+	b := &Broker{
+		kernel:    kernel,
+		transport: transport,
+		id:        id,
+		subs:      make(map[Subject][]*Subscription),
+		channels:  make(map[Subject]*Channel),
+		admission: admission,
+	}
+	transport.OnReceive(b.dispatch)
+	return b
+}
+
+// ID returns the broker's node id.
+func (b *Broker) ID() wireless.NodeID { return b.id }
+
+// Channel is an announced unidirectional event channel from this broker's
+// publisher to any subscribers of the subject.
+type Channel struct {
+	broker  *Broker
+	subject Subject
+	quality Quality
+	// Published counts events sent on this channel.
+	Published int64
+}
+
+// Announce creates an event channel for subject with the requested
+// quality. With admission control enabled the transport is assessed and
+// the announcement fails with ErrQoSUnattainable when the requirements
+// exceed what the network currently provides.
+func (b *Broker) Announce(subject Subject, q Quality) (*Channel, error) {
+	if _, dup := b.channels[subject]; dup {
+		return nil, fmt.Errorf("pubsub: subject %d already announced on node %d", subject, b.id)
+	}
+	if b.admission {
+		nq := b.transport.Assess()
+		if !nq.Meets(q) {
+			return nil, fmt.Errorf("pubsub: subject %d latency/reliability (%v, %.2f) vs network (%v, %.2f): %w",
+				subject, q.MaxLatency, q.Reliability,
+				nq.ExpectedLatency, nq.DeliveryRatio, ErrQoSUnattainable)
+		}
+	}
+	ch := &Channel{broker: b, subject: subject, quality: q}
+	b.channels[subject] = ch
+	return ch, nil
+}
+
+// Retract removes a previously announced channel.
+func (b *Broker) Retract(subject Subject) {
+	delete(b.channels, subject)
+}
+
+// Publish disseminates content with the given context on the channel.
+func (c *Channel) Publish(content any, ctx Context) {
+	e := Event{
+		Subject:   c.subject,
+		Quality:   c.quality,
+		Context:   ctx,
+		Content:   content,
+		Published: c.broker.kernel.Now(),
+		Origin:    c.broker.id,
+	}
+	c.Published++
+	// Local subscribers see the event immediately (loopback) …
+	c.broker.dispatch(e)
+	// … and it goes out on the network.
+	c.broker.transport.Broadcast(e)
+}
+
+// Subscription is a registered subscriber handler.
+type Subscription struct {
+	subject Subject
+	filter  Filter
+	handler func(Event)
+	// Received counts events delivered to this subscription.
+	Received int64
+	// LateEvents counts deliveries violating the channel's latency bound.
+	LateEvents int64
+	canceled   bool
+}
+
+// Subscribe registers a handler for subject with a context filter (nil
+// accepts everything).
+func (b *Broker) Subscribe(subject Subject, filter Filter, handler func(Event)) *Subscription {
+	if filter == nil {
+		filter = FilterAll
+	}
+	s := &Subscription{subject: subject, filter: filter, handler: handler}
+	b.subs[subject] = append(b.subs[subject], s)
+	return s
+}
+
+// Cancel removes the subscription.
+func (s *Subscription) Cancel() { s.canceled = true }
+
+// dispatch delivers an event to matching local subscriptions and runs the
+// QoS monitor.
+func (b *Broker) dispatch(e Event) {
+	now := b.kernel.Now()
+	for _, s := range b.subs[e.Subject] {
+		if s.canceled || !s.filter(e) {
+			continue
+		}
+		s.Received++
+		b.Delivered++
+		if e.Quality.MaxLatency > 0 && e.Age(now) > e.Quality.MaxLatency {
+			s.LateEvents++
+			b.Violations++
+			if b.onViolation != nil {
+				b.onViolation(e)
+			}
+		}
+		if s.handler != nil {
+			s.handler(e)
+		}
+	}
+}
+
+// Subjects returns the subjects with live local subscriptions, sorted.
+func (b *Broker) Subjects() []Subject {
+	out := make([]Subject, 0, len(b.subs))
+	for s, list := range b.subs {
+		live := false
+		for _, sub := range list {
+			if !sub.canceled {
+				live = true
+				break
+			}
+		}
+		if live {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Gateway bridges subjects between two brokers on different networks —
+// FAMOUSO's heterogeneity story: an event published on the local bus can
+// reach wireless subscribers and vice versa. Hop counting suppresses
+// loops.
+type Gateway struct {
+	a, b     *Broker
+	subjects map[Subject]bool
+	maxHops  int
+}
+
+// NewGateway bridges the listed subjects between brokers a and b.
+func NewGateway(a, b *Broker, subjects []Subject, maxHops int) *Gateway {
+	if maxHops < 1 {
+		maxHops = 1
+	}
+	g := &Gateway{a: a, b: b, subjects: make(map[Subject]bool, len(subjects)), maxHops: maxHops}
+	for _, s := range subjects {
+		g.subjects[s] = true
+		s := s
+		a.Subscribe(s, nil, func(e Event) { g.forward(e, g.b) })
+		b.Subscribe(s, nil, func(e Event) { g.forward(e, g.a) })
+	}
+	return g
+}
+
+// forward re-publishes an event onto the other network, preserving its
+// original publication time so latency accounting spans both hops.
+func (g *Gateway) forward(e Event, to *Broker) {
+	if e.Hops >= g.maxHops {
+		return
+	}
+	if e.Origin == to.id {
+		return // came from there
+	}
+	e.Hops++
+	to.transport.Broadcast(e)
+}

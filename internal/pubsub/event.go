@@ -1,0 +1,119 @@
+// Package pubsub implements the FAMOUSO-style event layer KARYON uses for
+// dynamic distributed control (paper Sec. V-B, Fig. 5): typed events
+// identified by subject UIDs spanning a global name space, quality and
+// context attributes, event channels with QoS announcement and admission
+// against dynamically assessed network properties, subscriber-side context
+// filtering, run-time QoS monitoring, and gateways bridging heterogeneous
+// networks (the CAN-like local bus and the wireless medium).
+package pubsub
+
+import (
+	"karyon/internal/sim"
+	"karyon/internal/wireless"
+)
+
+// Subject identifies event content with a unique identifier; subjects span
+// a global name space across all networks and route events to subscribers.
+type Subject uint64
+
+// Quality attributes specify the timeliness/dependability requirements or
+// guarantees attached to an event channel.
+type Quality struct {
+	// MaxLatency is the publisher-to-subscriber delivery bound.
+	MaxLatency sim.Time
+	// Period is the nominal inter-event time (0 = aperiodic).
+	Period sim.Time
+	// Reliability is the required delivery ratio in [0,1].
+	Reliability float64
+}
+
+// Context attributes describe where/when an event originated; subscribers
+// filter on them.
+type Context struct {
+	// Position is the publisher's location at publication time.
+	Position wireless.Position
+	// Attrs carries free-form scalar context (e.g. lane, heading).
+	Attrs map[string]float64
+}
+
+// Attr returns a context attribute and whether it is present.
+func (c Context) Attr(key string) (float64, bool) {
+	v, ok := c.Attrs[key]
+	return v, ok
+}
+
+// Event is the typed message object disseminated through event channels:
+// subject, attributes (quality + context) and content.
+type Event struct {
+	Subject   Subject
+	Quality   Quality
+	Context   Context
+	Content   any
+	Published sim.Time
+	// Origin is the publishing node.
+	Origin wireless.NodeID
+	// Hops counts gateway traversals (loop suppression).
+	Hops int
+}
+
+// Age returns the event's age at the given instant.
+func (e Event) Age(now sim.Time) sim.Time {
+	if now < e.Published {
+		return 0
+	}
+	return now - e.Published
+}
+
+// Filter is a subscriber's context filter: only events for which it
+// returns true are delivered.
+type Filter func(Event) bool
+
+// FilterAll accepts everything.
+func FilterAll(Event) bool { return true }
+
+// WithinRadius builds a filter accepting events published within radius
+// meters of the given position — the paper's example of a subscriber
+// interested only in events from a specific location.
+func WithinRadius(center wireless.Position, radius float64) Filter {
+	return func(e Event) bool {
+		return e.Context.Position.Distance(center) <= radius
+	}
+}
+
+// AttrAtLeast builds a filter on a scalar context attribute.
+func AttrAtLeast(key string, min float64) Filter {
+	return func(e Event) bool {
+		v, ok := e.Context.Attr(key)
+		return ok && v >= min
+	}
+}
+
+// NetworkQuality is the dynamically assessed property set of an underlying
+// network, consulted during channel announcement.
+type NetworkQuality struct {
+	// ExpectedLatency is the estimated delivery latency.
+	ExpectedLatency sim.Time
+	// DeliveryRatio is the estimated fraction of frames delivered.
+	DeliveryRatio float64
+}
+
+// Meets reports whether the network can satisfy the requested quality.
+func (nq NetworkQuality) Meets(q Quality) bool {
+	if q.MaxLatency > 0 && nq.ExpectedLatency > q.MaxLatency {
+		return false
+	}
+	if q.Reliability > 0 && nq.DeliveryRatio < q.Reliability {
+		return false
+	}
+	return true
+}
+
+// Transport abstracts a network below the event layer.
+type Transport interface {
+	// Broadcast disseminates an event to all attached brokers.
+	Broadcast(e Event)
+	// OnReceive registers the delivery handler (one per broker).
+	OnReceive(fn func(Event))
+	// Assess returns the network's current measured properties.
+	Assess() NetworkQuality
+}

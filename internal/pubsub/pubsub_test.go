@@ -1,0 +1,335 @@
+package pubsub
+
+import (
+	"errors"
+	"testing"
+
+	"karyon/internal/sim"
+	"karyon/internal/wireless"
+)
+
+const (
+	subjSpeed Subject = 0x100
+	subjPos   Subject = 0x200
+)
+
+func busPair(t *testing.T, seed int64) (*sim.Kernel, *Broker, *Broker) {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	bus := wireless.NewBus(k, 100*sim.Microsecond)
+	a := NewBroker(k, 1, NewBusTransport(bus, 1, 100*sim.Microsecond), true)
+	b := NewBroker(k, 2, NewBusTransport(bus, 2, 100*sim.Microsecond), true)
+	return k, a, b
+}
+
+func TestAnnouncePublishSubscribe(t *testing.T) {
+	k, a, b := busPair(t, 1)
+	ch, err := a.Announce(subjSpeed, Quality{MaxLatency: sim.Millisecond, Reliability: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Event
+	b.Subscribe(subjSpeed, nil, func(e Event) { got = append(got, e) })
+	ch.Publish(42.0, Context{})
+	k.RunUntilIdle()
+	if len(got) != 1 {
+		t.Fatalf("received %d events", len(got))
+	}
+	if got[0].Content != 42.0 || got[0].Origin != 1 || got[0].Subject != subjSpeed {
+		t.Fatalf("event = %+v", got[0])
+	}
+	if ch.Published != 1 {
+		t.Fatalf("channel count = %d", ch.Published)
+	}
+}
+
+func TestSubjectsAreIsolated(t *testing.T) {
+	k, a, b := busPair(t, 2)
+	chS, err := a.Announce(subjSpeed, Quality{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chP, err := a.Announce(subjPos, Quality{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	speed, pos := 0, 0
+	b.Subscribe(subjSpeed, nil, func(Event) { speed++ })
+	b.Subscribe(subjPos, nil, func(Event) { pos++ })
+	chS.Publish(1.0, Context{})
+	chS.Publish(2.0, Context{})
+	chP.Publish(3.0, Context{})
+	k.RunUntilIdle()
+	if speed != 2 || pos != 1 {
+		t.Fatalf("speed=%d pos=%d, want 2/1", speed, pos)
+	}
+}
+
+func TestDuplicateAnnounceRejected(t *testing.T) {
+	_, a, _ := busPair(t, 3)
+	if _, err := a.Announce(subjSpeed, Quality{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Announce(subjSpeed, Quality{}); err == nil {
+		t.Fatal("duplicate announce accepted")
+	}
+	a.Retract(subjSpeed)
+	if _, err := a.Announce(subjSpeed, Quality{}); err != nil {
+		t.Fatalf("announce after retract: %v", err)
+	}
+}
+
+func TestLocalLoopback(t *testing.T) {
+	k, a, _ := busPair(t, 4)
+	ch, err := a.Announce(subjSpeed, Quality{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	a.Subscribe(subjSpeed, nil, func(Event) { got++ })
+	ch.Publish(1.0, Context{})
+	k.RunUntilIdle()
+	if got != 1 {
+		t.Fatalf("local subscriber got %d", got)
+	}
+}
+
+func TestContextFilterRadius(t *testing.T) {
+	k, a, b := busPair(t, 5)
+	ch, err := a.Announce(subjPos, Quality{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	b.Subscribe(subjPos, WithinRadius(wireless.Position{}, 50), func(Event) { got++ })
+	ch.Publish("near", Context{Position: wireless.Position{X: 30}})
+	ch.Publish("far", Context{Position: wireless.Position{X: 500}})
+	k.RunUntilIdle()
+	if got != 1 {
+		t.Fatalf("radius filter delivered %d, want 1", got)
+	}
+}
+
+func TestContextFilterAttr(t *testing.T) {
+	k, a, b := busPair(t, 6)
+	ch, err := a.Announce(subjSpeed, Quality{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	b.Subscribe(subjSpeed, AttrAtLeast("lane", 2), func(Event) { got++ })
+	ch.Publish(1.0, Context{Attrs: map[string]float64{"lane": 1}})
+	ch.Publish(2.0, Context{Attrs: map[string]float64{"lane": 2}})
+	ch.Publish(3.0, Context{}) // attribute absent: rejected
+	k.RunUntilIdle()
+	if got != 1 {
+		t.Fatalf("attr filter delivered %d, want 1", got)
+	}
+}
+
+func TestCancelSubscription(t *testing.T) {
+	k, a, b := busPair(t, 7)
+	ch, err := a.Announce(subjSpeed, Quality{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	sub := b.Subscribe(subjSpeed, nil, func(Event) { got++ })
+	ch.Publish(1.0, Context{})
+	k.RunUntilIdle()
+	sub.Cancel()
+	ch.Publish(2.0, Context{})
+	k.RunUntilIdle()
+	if got != 1 {
+		t.Fatalf("canceled subscription still delivered: %d", got)
+	}
+	if len(b.Subjects()) != 0 {
+		t.Fatalf("Subjects() = %v after cancel", b.Subjects())
+	}
+}
+
+func TestAdmissionRejectsInfeasibleLatency(t *testing.T) {
+	// The bus promises 100 µs; demanding 10 µs must be rejected.
+	_, a, _ := busPair(t, 8)
+	_, err := a.Announce(subjSpeed, Quality{MaxLatency: 10 * sim.Microsecond})
+	if !errors.Is(err, ErrQoSUnattainable) {
+		t.Fatalf("err = %v, want ErrQoSUnattainable", err)
+	}
+}
+
+func TestAdmissionDisabledAcceptsAnything(t *testing.T) {
+	k := sim.NewKernel(9)
+	bus := wireless.NewBus(k, 100*sim.Microsecond)
+	a := NewBroker(k, 1, NewBusTransport(bus, 1, 100*sim.Microsecond), false)
+	if _, err := a.Announce(subjSpeed, Quality{MaxLatency: sim.Microsecond}); err != nil {
+		t.Fatalf("baseline broker rejected: %v", err)
+	}
+}
+
+func TestRadioTransportAssessTracksLoss(t *testing.T) {
+	k := sim.NewKernel(10)
+	mcfg := wireless.DefaultConfig()
+	mcfg.LossProb = 0.5
+	medium := wireless.NewMedium(k, mcfg)
+	r1, err := medium.Attach(1, wireless.Position{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := medium.Attach(2, wireless.Position{X: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := NewRadioTransport(k, medium, r1)
+	NewRadioTransport(k, medium, r2)
+	// Generate traffic so the sliding window has data.
+	for i := 0; i < 500; i++ {
+		k.Schedule(sim.Time(i)*sim.Millisecond, func() {
+			t1.Broadcast(Event{Subject: subjSpeed})
+		})
+	}
+	k.RunUntilIdle()
+	nq := t1.Assess()
+	if nq.DeliveryRatio < 0.35 || nq.DeliveryRatio > 0.65 {
+		t.Fatalf("assessed ratio %v under 50%% loss", nq.DeliveryRatio)
+	}
+}
+
+func TestRadioTransportAssessJammed(t *testing.T) {
+	k := sim.NewKernel(11)
+	medium := wireless.NewMedium(k, wireless.DefaultConfig())
+	r1, err := medium.Attach(1, wireless.Position{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := NewRadioTransport(k, medium, r1)
+	medium.Jam(0, sim.Second)
+	nq := t1.Assess()
+	if nq.ExpectedLatency < sim.Second {
+		t.Fatalf("jammed channel assessed latency %v, want pessimistic", nq.ExpectedLatency)
+	}
+}
+
+func TestQoSMonitorCountsLateEvents(t *testing.T) {
+	k := sim.NewKernel(12)
+	// A slow bus (5 ms) with a 1 ms bound: every remote delivery is late.
+	bus := wireless.NewBus(k, 5*sim.Millisecond)
+	a := NewBroker(k, 1, NewBusTransport(bus, 1, 5*sim.Millisecond), false)
+	b := NewBroker(k, 2, NewBusTransport(bus, 2, 5*sim.Millisecond), false)
+	ch, err := a.Announce(subjSpeed, Quality{MaxLatency: sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := b.Subscribe(subjSpeed, nil, nil)
+	for i := 0; i < 5; i++ {
+		ch.Publish(i, Context{})
+		k.RunFor(10 * sim.Millisecond)
+	}
+	if sub.LateEvents != 5 {
+		t.Fatalf("LateEvents = %d, want 5", sub.LateEvents)
+	}
+	if b.Violations != 5 {
+		t.Fatalf("broker violations = %d", b.Violations)
+	}
+}
+
+func TestGatewayBridgesNetworks(t *testing.T) {
+	k := sim.NewKernel(13)
+	// Vehicle-internal bus with two brokers; wireless with two brokers.
+	bus := wireless.NewBus(k, 100*sim.Microsecond)
+	busBroker := NewBroker(k, 1, NewBusTransport(bus, 1, 100*sim.Microsecond), false)
+	gwBusSide := NewBroker(k, 2, NewBusTransport(bus, 2, 100*sim.Microsecond), false)
+
+	medium := wireless.NewMedium(k, wireless.DefaultConfig())
+	r2, err := medium.Attach(2, wireless.Position{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := medium.Attach(3, wireless.Position{X: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwRadioSide := NewBroker(k, 2, NewRadioTransport(k, medium, r2), false)
+	remote := NewBroker(k, 3, NewRadioTransport(k, medium, r3), false)
+
+	NewGateway(gwBusSide, gwRadioSide, []Subject{subjSpeed}, 2)
+
+	ch, err := busBroker.Announce(subjSpeed, Quality{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Event
+	remote.Subscribe(subjSpeed, nil, func(e Event) { got = append(got, e) })
+	ch.Publish(88.0, Context{})
+	k.RunUntilIdle()
+	if len(got) != 1 {
+		t.Fatalf("remote received %d events through gateway", len(got))
+	}
+	if got[0].Content != 88.0 || got[0].Hops != 1 || got[0].Origin != 1 {
+		t.Fatalf("bridged event = %+v", got[0])
+	}
+}
+
+func TestGatewayHopLimitPreventsLoops(t *testing.T) {
+	k := sim.NewKernel(14)
+	busA := wireless.NewBus(k, 100*sim.Microsecond)
+	busB := wireless.NewBus(k, 100*sim.Microsecond)
+	a1 := NewBroker(k, 1, NewBusTransport(busA, 1, 100*sim.Microsecond), false)
+	a2 := NewBroker(k, 2, NewBusTransport(busA, 2, 100*sim.Microsecond), false)
+	b2 := NewBroker(k, 2, NewBusTransport(busB, 2, 100*sim.Microsecond), false)
+	b3 := NewBroker(k, 3, NewBusTransport(busB, 3, 100*sim.Microsecond), false)
+	a3 := NewBroker(k, 3, NewBusTransport(busA, 3, 100*sim.Microsecond), false)
+	// Two gateways between the same pair of buses: a loop without a hop
+	// bound.
+	NewGateway(a2, b2, []Subject{subjSpeed}, 2)
+	NewGateway(a3, b3, []Subject{subjSpeed}, 2)
+	ch, err := a1.Announce(subjSpeed, Quality{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	b2.Subscribe(subjSpeed, nil, func(Event) { got++ })
+	ch.Publish(1.0, Context{})
+	// A loop would never go idle; bounded hops guarantee termination.
+	k.RunFor(sim.Second)
+	if k.Pending() > 0 {
+		k.RunFor(sim.Second)
+		if k.Pending() > 0 {
+			t.Fatal("event storm: gateway loop not suppressed")
+		}
+	}
+	if got == 0 {
+		t.Fatal("event never crossed gateway")
+	}
+}
+
+func TestEventAge(t *testing.T) {
+	e := Event{Published: 10 * sim.Second}
+	if e.Age(5*sim.Second) != 0 {
+		t.Fatal("future event should have zero age")
+	}
+	if e.Age(11*sim.Second) != sim.Second {
+		t.Fatal("age arithmetic")
+	}
+}
+
+func TestOnViolationHook(t *testing.T) {
+	k := sim.NewKernel(15)
+	bus := wireless.NewBus(k, 5*sim.Millisecond)
+	a := NewBroker(k, 1, NewBusTransport(bus, 1, 5*sim.Millisecond), false)
+	b := NewBroker(k, 2, NewBusTransport(bus, 2, 5*sim.Millisecond), false)
+	ch, err := a.Announce(subjSpeed, Quality{MaxLatency: sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Subscribe(subjSpeed, nil, nil)
+	var violated []Event
+	b.OnViolation(func(e Event) { violated = append(violated, e) })
+	ch.Publish(1.0, Context{})
+	k.RunUntilIdle()
+	if len(violated) != 1 {
+		t.Fatalf("violation hook fired %d times, want 1", len(violated))
+	}
+	if violated[0].Subject != subjSpeed {
+		t.Fatalf("violation event %+v", violated[0])
+	}
+}

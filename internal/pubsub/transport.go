@@ -1,0 +1,114 @@
+package pubsub
+
+import (
+	"karyon/internal/sim"
+	"karyon/internal/wireless"
+)
+
+// BusTransport adapts the reliable local bus (CAN stand-in) to the event
+// layer. Its quality is static: fixed latency, full delivery — QoS for the
+// sub-system below the hybridization line can be settled at design time,
+// exactly as AUTOSAR does locally.
+type BusTransport struct {
+	bus   *wireless.Bus
+	id    wireless.NodeID
+	delay sim.Time
+	recv  func(Event)
+}
+
+var _ Transport = (*BusTransport)(nil)
+
+// NewBusTransport attaches an endpoint to the bus.
+func NewBusTransport(bus *wireless.Bus, id wireless.NodeID, delay sim.Time) *BusTransport {
+	t := &BusTransport{bus: bus, id: id, delay: delay}
+	bus.Attach(id, func(_ wireless.NodeID, payload any) {
+		if e, ok := payload.(Event); ok && t.recv != nil {
+			t.recv(e)
+		}
+	})
+	return t
+}
+
+// Broadcast implements Transport.
+func (t *BusTransport) Broadcast(e Event) { t.bus.Broadcast(t.id, e) }
+
+// OnReceive implements Transport.
+func (t *BusTransport) OnReceive(fn func(Event)) { t.recv = fn }
+
+// Assess implements Transport: the bus is synchronous by construction.
+func (t *BusTransport) Assess() NetworkQuality {
+	return NetworkQuality{ExpectedLatency: t.delay, DeliveryRatio: 1}
+}
+
+// RadioTransport adapts the wireless medium. Its quality must be assessed
+// dynamically: latency from the medium's airtime plus a contention
+// allowance, delivery ratio from a sliding window of the medium's actual
+// delivery accounting — the "monitoring and dynamic adaptation concepts"
+// the paper says feed channel announcement.
+type RadioTransport struct {
+	kernel *sim.Kernel
+	medium *wireless.Medium
+	radio  *wireless.Radio
+	recv   func(Event)
+
+	// window anchors for the sliding delivery-ratio estimate.
+	lastSent       int64
+	lastDelivered  int64
+	lastLosses     int64
+	lastCollisions int64
+	lastJammed     int64
+	lastRatio      float64
+}
+
+var _ Transport = (*RadioTransport)(nil)
+
+// NewRadioTransport wraps an attached radio.
+func NewRadioTransport(kernel *sim.Kernel, medium *wireless.Medium, radio *wireless.Radio) *RadioTransport {
+	t := &RadioTransport{kernel: kernel, medium: medium, radio: radio, lastRatio: 1}
+	radio.OnReceive(func(f wireless.Frame) {
+		if e, ok := f.Payload.(Event); ok && t.recv != nil {
+			t.recv(e)
+		}
+	})
+	return t
+}
+
+// Broadcast implements Transport.
+func (t *RadioTransport) Broadcast(e Event) { t.radio.Broadcast(e) }
+
+// OnReceive implements Transport.
+func (t *RadioTransport) OnReceive(fn func(Event)) { t.recv = fn }
+
+// Assess implements Transport. The delivery ratio is computed over the
+// medium activity since the previous assessment, so the estimate tracks
+// current conditions rather than lifetime averages.
+func (t *RadioTransport) Assess() NetworkQuality {
+	cfg := t.medium.Config()
+	s := t.medium.Stats()
+	sent := s.Sent - t.lastSent
+	delivered := s.Delivered - t.lastDelivered
+	attempts := sent
+	if attempts > 0 {
+		// Each sent frame addresses every in-range receiver; using the
+		// medium's aggregate counts keeps the estimate simple and
+		// conservative under collisions and jams.
+		losses := (s.Losses + s.Collisions + s.Jammed) -
+			(t.lastLosses + t.lastCollisions + t.lastJammed)
+		total := delivered + losses
+		if total > 0 {
+			t.lastRatio = float64(delivered) / float64(total)
+		}
+	}
+	t.lastSent = s.Sent
+	t.lastDelivered = s.Delivered
+	t.lastLosses = s.Losses
+	t.lastCollisions = s.Collisions
+	t.lastJammed = s.Jammed
+
+	lat := cfg.Airtime + cfg.PropDelay
+	if t.medium.Jammed(t.radio.Channel()) {
+		// A jammed channel cannot promise timely delivery.
+		lat = sim.Hour
+	}
+	return NetworkQuality{ExpectedLatency: lat, DeliveryRatio: t.lastRatio}
+}

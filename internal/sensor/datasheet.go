@@ -1,0 +1,83 @@
+package sensor
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"karyon/internal/sim"
+)
+
+// DataSheet is the MOSAIC electronic data sheet (paper Sec. IV-B): the
+// machine-readable description of a smart component's static properties,
+// "stored on the node", that lets applications be composed as networks of
+// independent components without hard-coded knowledge of each device.
+type DataSheet struct {
+	// Name identifies the component.
+	Name string `json:"name"`
+	// Quantity is what is measured (e.g. "distance", "speed").
+	Quantity string `json:"quantity"`
+	// Unit is the measurement unit (e.g. "m", "m/s").
+	Unit string `json:"unit"`
+	// Range is the physically meaningful measurement interval.
+	Range Interval `json:"range"`
+	// Sigma is the nominal 1-sigma measurement noise.
+	Sigma float64 `json:"sigma"`
+	// PeriodMicros is the nominal sampling period in microseconds (JSON
+	// cannot carry time.Duration losslessly; the unit is in the name).
+	PeriodMicros int64 `json:"periodMicros"`
+	// Detectors lists the failure detectors wrapped around the
+	// transducer, so consumers know which fault modes are covered.
+	Detectors []string `json:"detectors"`
+}
+
+// Period returns the sampling period as virtual time.
+func (d DataSheet) Period() sim.Time { return sim.Time(d.PeriodMicros) }
+
+// Validate checks the sheet's internal consistency.
+func (d DataSheet) Validate() error {
+	if d.Name == "" || d.Quantity == "" {
+		return fmt.Errorf("sensor: datasheet needs name and quantity")
+	}
+	if d.Range.Lo >= d.Range.Hi {
+		return fmt.Errorf("sensor: datasheet range [%v,%v] is empty", d.Range.Lo, d.Range.Hi)
+	}
+	if d.Sigma < 0 || d.PeriodMicros <= 0 {
+		return fmt.Errorf("sensor: datasheet sigma/period invalid")
+	}
+	return nil
+}
+
+// Marshal renders the sheet as JSON (what the node would store/serve).
+func (d DataSheet) Marshal() ([]byte, error) {
+	return json.Marshal(d)
+}
+
+// ParseDataSheet decodes a JSON data sheet and validates it.
+func ParseDataSheet(data []byte) (DataSheet, error) {
+	var d DataSheet
+	if err := json.Unmarshal(data, &d); err != nil {
+		return DataSheet{}, fmt.Errorf("sensor: parse datasheet: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return DataSheet{}, err
+	}
+	return d, nil
+}
+
+// Describe builds the data sheet for an abstract sensor assembled from a
+// physical transducer and its fault-management detectors.
+func Describe(a *Abstract, quantity, unit string, rng Interval, period sim.Time) DataSheet {
+	names := make([]string, 0, len(a.fm.detectors))
+	for _, det := range a.fm.detectors {
+		names = append(names, det.Name())
+	}
+	return DataSheet{
+		Name:         a.Name(),
+		Quantity:     quantity,
+		Unit:         unit,
+		Range:        rng,
+		Sigma:        a.phys.Sigma(),
+		PeriodMicros: int64(period),
+		Detectors:    names,
+	}
+}

@@ -1,0 +1,90 @@
+package sensor
+
+import (
+	"strings"
+	"testing"
+
+	"karyon/internal/sim"
+)
+
+func TestDataSheetRoundTrip(t *testing.T) {
+	d := DataSheet{
+		Name:         "dist-0",
+		Quantity:     "distance",
+		Unit:         "m",
+		Range:        Interval{Lo: 0, Hi: 200},
+		Sigma:        0.3,
+		PeriodMicros: int64(10 * sim.Millisecond),
+		Detectors:    []string{"range", "stuck"},
+	}
+	raw, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"periodMicros"`) {
+		t.Fatalf("unit-free period field: %s", raw)
+	}
+	back, err := ParseDataSheet(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != d.Name || back.Sigma != d.Sigma || back.Range != d.Range ||
+		back.Quantity != d.Quantity || back.Unit != d.Unit ||
+		len(back.Detectors) != 2 || back.Detectors[0] != "range" {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, d)
+	}
+	if back.Period() != 10*sim.Millisecond {
+		t.Fatalf("Period() = %v", back.Period())
+	}
+}
+
+func TestDataSheetValidation(t *testing.T) {
+	good := DataSheet{
+		Name: "x", Quantity: "q", Range: Interval{Lo: 0, Hi: 1},
+		Sigma: 0.1, PeriodMicros: 1000,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Name = ""
+	if bad.Validate() == nil {
+		t.Fatal("empty name accepted")
+	}
+	bad = good
+	bad.Range = Interval{Lo: 5, Hi: 5}
+	if bad.Validate() == nil {
+		t.Fatal("empty range accepted")
+	}
+	bad = good
+	bad.PeriodMicros = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero period accepted")
+	}
+	if _, err := ParseDataSheet([]byte(`{"name":""}`)); err == nil {
+		t.Fatal("invalid sheet parsed")
+	}
+	if _, err := ParseDataSheet([]byte(`{garbage`)); err == nil {
+		t.Fatal("garbage parsed")
+	}
+}
+
+func TestDescribeFromAbstract(t *testing.T) {
+	k := sim.NewKernel(1)
+	phys := NewPhysical(k, "lidar-1", func(sim.Time) float64 { return 10 }, 0.25)
+	fm := NewFaultManagement(8,
+		RangeDetector{Min: 0, Max: 100},
+		StuckDetector{MinRepeats: 4},
+	)
+	a := NewAbstract(k, phys, fm)
+	d := Describe(a, "distance", "m", Interval{Lo: 0, Hi: 100}, 20*sim.Millisecond)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "lidar-1" || d.Sigma != 0.25 {
+		t.Fatalf("sheet %+v", d)
+	}
+	if len(d.Detectors) != 2 || d.Detectors[0] != "range" || d.Detectors[1] != "stuck" {
+		t.Fatalf("detectors %v", d.Detectors)
+	}
+}

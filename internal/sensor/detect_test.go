@@ -1,0 +1,267 @@
+package sensor
+
+import (
+	"testing"
+
+	"karyon/internal/sim"
+)
+
+func TestHistoryWindow(t *testing.T) {
+	h := NewHistory(3)
+	for i := 1; i <= 5; i++ {
+		h.Push(Reading{Value: float64(i)})
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	newest, _ := h.At(0)
+	oldest, _ := h.At(2)
+	if newest.Value != 5 || oldest.Value != 3 {
+		t.Fatalf("window = %v..%v", oldest.Value, newest.Value)
+	}
+	if _, ok := h.At(3); ok {
+		t.Fatal("At beyond window should report false")
+	}
+	if _, ok := h.At(-1); ok {
+		t.Fatal("At(-1) should report false")
+	}
+	vals := h.Values()
+	if len(vals) != 3 || vals[0] != 3 || vals[2] != 5 {
+		t.Fatalf("Values = %v", vals)
+	}
+}
+
+func TestHistoryMinimumSize(t *testing.T) {
+	h := NewHistory(0)
+	h.Push(Reading{Value: 1})
+	h.Push(Reading{Value: 2})
+	if h.Len() != 1 {
+		t.Fatalf("size-0 history should clamp to 1, len=%d", h.Len())
+	}
+}
+
+func TestRangeDetector(t *testing.T) {
+	d := RangeDetector{Min: 0, Max: 100}
+	h := NewHistory(4)
+	if v := d.Check(0, Reading{Value: 50}, h); v.Validity != 1 || !v.Dominant {
+		t.Fatalf("in-range verdict %+v", v)
+	}
+	if v := d.Check(0, Reading{Value: -1}, h); v.Validity != 0 {
+		t.Fatalf("below-range verdict %+v", v)
+	}
+	if v := d.Check(0, Reading{Value: 101}, h); v.Validity != 0 {
+		t.Fatalf("above-range verdict %+v", v)
+	}
+}
+
+func TestFreshnessDetector(t *testing.T) {
+	d := FreshnessDetector{MaxAge: 100 * sim.Millisecond}
+	h := NewHistory(4)
+	now := sim.Second
+	fresh := Reading{Time: now - 50*sim.Millisecond}
+	stale := Reading{Time: now - 200*sim.Millisecond}
+	if v := d.Check(now, fresh, h); v.Validity != 1 {
+		t.Fatalf("fresh verdict %+v", v)
+	}
+	if v := d.Check(now, stale, h); v.Validity != 0 || !v.Dominant {
+		t.Fatalf("stale verdict %+v", v)
+	}
+}
+
+func TestRateDetector(t *testing.T) {
+	d := RateDetector{MaxRate: 10} // units/s
+	h := NewHistory(4)
+	h.Push(Reading{Value: 0, Time: 0})
+	slow := Reading{Value: 0.5, Time: 100 * sim.Millisecond} // 5/s
+	if v := d.Check(0, slow, h); v.Validity != 1 {
+		t.Fatalf("slow verdict %+v", v)
+	}
+	fast := Reading{Value: 5, Time: 100 * sim.Millisecond} // 50/s
+	v := d.Check(0, fast, h)
+	if v.Validity >= 1 || v.Dominant {
+		t.Fatalf("fast verdict %+v", v)
+	}
+	if v.Validity != 0.2 { // 10/50
+		t.Fatalf("fast validity = %v, want 0.2", v.Validity)
+	}
+	// No history: benefit of the doubt.
+	empty := NewHistory(4)
+	if v := d.Check(0, fast, empty); v.Validity != 1 {
+		t.Fatalf("no-history verdict %+v", v)
+	}
+}
+
+func TestStuckDetector(t *testing.T) {
+	d := StuckDetector{MinRepeats: 3}
+	h := NewHistory(8)
+	r := Reading{Value: 7}
+	if v := d.Check(0, r, h); v.Validity != 1 {
+		t.Fatal("first sample flagged")
+	}
+	h.Push(r)
+	if v := d.Check(0, r, h); v.Validity != 1 {
+		t.Fatal("two repeats flagged with MinRepeats=3")
+	}
+	h.Push(r)
+	if v := d.Check(0, r, h); v.Validity != 0 || !v.Dominant {
+		t.Fatalf("three repeats not flagged: %+v", v)
+	}
+	// A changed value resets the streak.
+	h.Push(Reading{Value: 8})
+	if v := d.Check(0, r, h); v.Validity != 1 {
+		t.Fatal("changed value still flagged")
+	}
+}
+
+func TestNoiseDetectorFlagsInflatedNoise(t *testing.T) {
+	k := sim.NewKernel(5)
+	d := NoiseDetector{Sigma: 0.1, Tolerance: 3, MinWindow: 8}
+	h := NewHistory(16)
+	// Nominal noise: should stay valid.
+	for i := 0; i < 16; i++ {
+		r := Reading{Value: k.Rand().NormFloat64() * 0.1}
+		if v := d.Check(0, r, h); v.Validity < 0.99 {
+			t.Fatalf("nominal noise flagged at %d: %+v", i, v)
+		}
+		h.Push(r)
+	}
+	// Inflated noise: validity must degrade.
+	h2 := NewHistory(16)
+	degraded := false
+	for i := 0; i < 32; i++ {
+		r := Reading{Value: k.Rand().NormFloat64() * 2}
+		v := d.Check(0, r, h2)
+		if v.Validity < 0.5 {
+			degraded = true
+		}
+		h2.Push(r)
+	}
+	if !degraded {
+		t.Fatal("20x noise never degraded validity")
+	}
+}
+
+func TestNoiseDetectorIgnoresTrend(t *testing.T) {
+	d := NoiseDetector{Sigma: 0.1, Tolerance: 3, MinWindow: 8}
+	h := NewHistory(16)
+	// A clean fast ramp has large raw stddev but zero residual after
+	// detrending; must not be flagged.
+	for i := 0; i < 20; i++ {
+		r := Reading{Value: float64(i) * 10}
+		if v := d.Check(0, r, h); v.Validity < 0.99 {
+			t.Fatalf("ramp flagged as noise at %d: %+v", i, v)
+		}
+		h.Push(r)
+	}
+}
+
+func TestModelDetector(t *testing.T) {
+	d := ModelDetector{
+		Predict:   func(t sim.Time) float64 { return t.Seconds() * 2 },
+		Tolerance: 1,
+	}
+	h := NewHistory(4)
+	good := Reading{Value: 20, Time: 10 * sim.Second}
+	if v := d.Check(0, good, h); v.Validity != 1 {
+		t.Fatalf("on-model verdict %+v", v)
+	}
+	off := Reading{Value: 23, Time: 10 * sim.Second} // residual 3, tol 1
+	v := d.Check(0, off, h)
+	if v.Validity != 0.1 { // 1/(1+9)
+		t.Fatalf("off-model validity = %v, want 0.1", v.Validity)
+	}
+	// Nil predictor is permissive.
+	if v := (ModelDetector{}).Check(0, off, h); v.Validity != 1 {
+		t.Fatalf("nil-model verdict %+v", v)
+	}
+}
+
+func TestFaultManagementDominantOverrides(t *testing.T) {
+	fm := NewFaultManagement(8,
+		RangeDetector{Min: 0, Max: 100},
+		RateDetector{MaxRate: 1000},
+	)
+	r := fm.Assess(0, Reading{Value: 500, Time: 0})
+	if r.Validity != 0 {
+		t.Fatalf("dominant failure must zero validity, got %v", r.Validity)
+	}
+	if v, ok := fm.Verdict("range"); !ok || v.Validity != 0 {
+		t.Fatalf("range verdict %+v %v", v, ok)
+	}
+}
+
+func TestFaultManagementContinuousMultiply(t *testing.T) {
+	// Two continuous detectors each at 0.5 → combined 0.25.
+	half := fixedDetector{name: "a", v: Verdict{Validity: 0.5}}
+	half2 := fixedDetector{name: "b", v: Verdict{Validity: 0.5}}
+	fm := NewFaultManagement(4, half, half2)
+	r := fm.Assess(0, Reading{Value: 1})
+	if r.Validity != 0.25 {
+		t.Fatalf("combined validity = %v, want 0.25", r.Validity)
+	}
+}
+
+type fixedDetector struct {
+	name string
+	v    Verdict
+}
+
+func (d fixedDetector) Name() string { return d.name }
+func (d fixedDetector) Check(sim.Time, Reading, *History) Verdict {
+	return d.v
+}
+
+func TestAbstractSensorEndToEnd(t *testing.T) {
+	k := sim.NewKernel(9)
+	p := NewPhysical(k, "dist", constTruth(50), 0.1)
+	fm := NewFaultManagement(16,
+		RangeDetector{Min: 0, Max: 200},
+		FreshnessDetector{MaxAge: 100 * sim.Millisecond},
+		StuckDetector{MinRepeats: 5},
+		NoiseDetector{Sigma: 0.1, Tolerance: 4, MinWindow: 8},
+	)
+	a := NewAbstract(k, p, fm)
+	if a.Name() != "dist" {
+		t.Fatal("name passthrough")
+	}
+	if a.Physical() != p {
+		t.Fatal("physical passthrough")
+	}
+	// Healthy sensor: high validity.
+	for i := 0; i < 20; i++ {
+		r := a.Read()
+		if r.Validity < 0.9 {
+			t.Fatalf("healthy validity %v at sample %d", r.Validity, i)
+		}
+	}
+	// Inject a stuck-at fault: validity must collapse within the window.
+	p.Inject(Fault{Mode: FaultStuckAt})
+	collapsed := false
+	for i := 0; i < 10; i++ {
+		if a.Read().Validity == 0 {
+			collapsed = true
+			break
+		}
+	}
+	if !collapsed {
+		t.Fatal("stuck-at fault never collapsed validity")
+	}
+}
+
+func TestAbstractSensorDelayFaultDetected(t *testing.T) {
+	k := sim.NewKernel(9)
+	p := NewPhysical(k, "gps", rampTruth(10), 0.05)
+	fm := NewFaultManagement(8, FreshnessDetector{MaxAge: 50 * sim.Millisecond})
+	a := NewAbstract(k, p, fm)
+	p.Inject(Fault{Mode: FaultDelay, Delay: sim.Second, From: sim.Second})
+	var before, after float64
+	k.Schedule(500*sim.Millisecond, func() { before = a.Read().Validity })
+	k.Schedule(2*sim.Second, func() { after = a.Read().Validity })
+	k.RunUntilIdle()
+	if before != 1 {
+		t.Fatalf("pre-fault validity %v", before)
+	}
+	if after != 0 {
+		t.Fatalf("delay fault undetected: validity %v", after)
+	}
+}

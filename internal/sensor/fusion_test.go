@@ -1,0 +1,315 @@
+package sensor
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"karyon/internal/sim"
+)
+
+func TestMarzulloAllAgree(t *testing.T) {
+	ivs := []Interval{{Lo: 1, Hi: 3}, {Lo: 2, Hi: 4}, {Lo: 1.5, Hi: 3.5}}
+	got, err := Marzullo(ivs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lo != 2 || got.Hi != 3 {
+		t.Fatalf("intersection = %+v, want [2,3]", got)
+	}
+}
+
+func TestMarzulloToleratesOneOutlier(t *testing.T) {
+	ivs := []Interval{
+		{Lo: 10, Hi: 12},
+		{Lo: 10.5, Hi: 12.5},
+		{Lo: 100, Hi: 102}, // faulty sensor
+	}
+	if _, err := Marzullo(ivs, 0); err == nil {
+		t.Fatal("f=0 should fail with a disjoint outlier")
+	}
+	got, err := Marzullo(ivs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Contains(11) || got.Contains(101) {
+		t.Fatalf("f=1 fusion = %+v, want around 10.5..12", got)
+	}
+}
+
+func TestMarzulloEmpty(t *testing.T) {
+	if _, err := Marzullo(nil, 1); !errors.Is(err, ErrNoData) {
+		t.Fatalf("err = %v, want ErrNoData", err)
+	}
+}
+
+func TestMarzulloSwappedBounds(t *testing.T) {
+	got, err := Marzullo([]Interval{{Lo: 3, Hi: 1}, {Lo: 0, Hi: 2}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lo != 1 || got.Hi != 2 {
+		t.Fatalf("normalized fusion = %+v", got)
+	}
+}
+
+func TestMarzulloTouchingIntervals(t *testing.T) {
+	got, err := Marzullo([]Interval{{Lo: 0, Hi: 1}, {Lo: 1, Hi: 2}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lo != 1 || got.Hi != 1 {
+		t.Fatalf("touching fusion = %+v, want point [1,1]", got)
+	}
+}
+
+func TestMarzulloNegativeFClamped(t *testing.T) {
+	got, err := Marzullo([]Interval{{Lo: 0, Hi: 2}}, -5)
+	if err != nil || !got.Contains(1) {
+		t.Fatalf("got %+v err %v", got, err)
+	}
+}
+
+// Property (Marzullo's theorem): with n intervals of which at most f are
+// faulty and the non-faulty ones all contain the true value, the fused
+// interval contains the true value.
+func TestPropertyMarzulloContainsTruth(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := sim.NewKernel(seed).Rand()
+		truth := rng.Float64()*200 - 100
+		n := 3 + rng.Intn(5)
+		faulty := rng.Intn(2) // 0 or 1 faulty among >=3
+		ivs := make([]Interval, 0, n)
+		for i := 0; i < n-faulty; i++ {
+			w := 0.5 + rng.Float64()*3
+			c := truth + (rng.Float64()*2-1)*w*0.9 // interval contains truth
+			lo, hi := c-w, c+w
+			if lo > truth {
+				lo = truth
+			}
+			if hi < truth {
+				hi = truth
+			}
+			ivs = append(ivs, Interval{Lo: lo, Hi: hi})
+		}
+		for i := 0; i < faulty; i++ {
+			off := truth + 1000
+			ivs = append(ivs, Interval{Lo: off, Hi: off + 1})
+		}
+		got, err := Marzullo(ivs, faulty)
+		if err != nil {
+			return false
+		}
+		return got.Contains(truth)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToInterval(t *testing.T) {
+	iv := ToInterval(Reading{Value: 5}, 2)
+	if iv.Lo != 3 || iv.Hi != 7 {
+		t.Fatalf("iv = %+v", iv)
+	}
+	iv = ToInterval(Reading{Value: 5}, -2)
+	if iv.Lo != 3 || iv.Hi != 7 {
+		t.Fatalf("negative half-width not normalized: %+v", iv)
+	}
+	if iv.Mid() != 5 || iv.Width() != 4 {
+		t.Fatalf("Mid/Width = %v/%v", iv.Mid(), iv.Width())
+	}
+}
+
+func TestWeightedFusion(t *testing.T) {
+	rs := []Reading{
+		{Value: 10, Validity: 1},
+		{Value: 20, Validity: 1},
+		{Value: 1000, Validity: 0.05}, // filtered out
+	}
+	got, err := WeightedFusion(0, rs, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != 15 {
+		t.Fatalf("fused value = %v, want 15", got.Value)
+	}
+	if got.Validity != 1 {
+		t.Fatalf("fused validity = %v", got.Validity)
+	}
+}
+
+func TestWeightedFusionWeights(t *testing.T) {
+	rs := []Reading{
+		{Value: 0, Validity: 0.75},
+		{Value: 10, Validity: 0.25},
+	}
+	got, err := WeightedFusion(0, rs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != 2.5 {
+		t.Fatalf("weighted value = %v, want 2.5", got.Value)
+	}
+	if got.Validity != 0.5 {
+		t.Fatalf("mean validity = %v, want 0.5", got.Validity)
+	}
+}
+
+func TestWeightedFusionNoData(t *testing.T) {
+	if _, err := WeightedFusion(0, nil, 0.5); !errors.Is(err, ErrNoData) {
+		t.Fatal("expected ErrNoData for empty input")
+	}
+	rs := []Reading{{Value: 1, Validity: 0}}
+	if _, err := WeightedFusion(0, rs, 0); !errors.Is(err, ErrNoData) {
+		t.Fatal("zero-validity readings must not fuse")
+	}
+}
+
+func TestMedianFusion(t *testing.T) {
+	rs := []Reading{
+		{Value: 10, Validity: 1},
+		{Value: 11, Validity: 1},
+		{Value: 999, Validity: 1}, // lying sensor with high validity
+	}
+	got, err := MedianFusion(0, rs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != 11 {
+		t.Fatalf("median = %v, want 11", got.Value)
+	}
+	evenGot, err := MedianFusion(0, rs[:2], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evenGot.Value != 10.5 {
+		t.Fatalf("even median = %v, want 10.5", evenGot.Value)
+	}
+	if _, err := MedianFusion(0, nil, 0); !errors.Is(err, ErrNoData) {
+		t.Fatal("empty median should error")
+	}
+}
+
+func TestTemporalFilterRejectsOutliers(t *testing.T) {
+	tf := &TemporalFilter{Alpha: 0.5, Gate: 5}
+	tf.Update(Reading{Value: 10, Validity: 1})
+	out := tf.Update(Reading{Value: 100, Validity: 1}) // outlier
+	if out.Value != 10 {
+		t.Fatalf("outlier leaked through: %v", out.Value)
+	}
+	if tf.Rejected() != 1 {
+		t.Fatalf("Rejected = %d", tf.Rejected())
+	}
+	if out.Validity >= 1 {
+		t.Fatalf("rejection should discount validity: %v", out.Validity)
+	}
+	// In-gate values move the estimate.
+	out = tf.Update(Reading{Value: 12, Validity: 1})
+	if out.Value != 11 {
+		t.Fatalf("EWMA estimate = %v, want 11", out.Value)
+	}
+}
+
+func TestTemporalFilterDefaultAlpha(t *testing.T) {
+	tf := &TemporalFilter{} // invalid alpha defaults to 0.3
+	tf.Update(Reading{Value: 0, Validity: 1})
+	out := tf.Update(Reading{Value: 10, Validity: 1})
+	if math.Abs(out.Value-3) > 1e-9 {
+		t.Fatalf("default-alpha estimate = %v, want 3", out.Value)
+	}
+}
+
+func TestReliableSensorMasksOneFaulty(t *testing.T) {
+	k := sim.NewKernel(21)
+	truth := constTruth(100)
+	mk := func(name string) *Abstract {
+		p := NewPhysical(k, name, truth, 0.2)
+		fm := NewFaultManagement(16,
+			RangeDetector{Min: 0, Max: 500},
+			StuckDetector{MinRepeats: 5},
+		)
+		return NewAbstract(k, p, fm)
+	}
+	s1, s2, s3 := mk("a"), mk("b"), mk("c")
+	rs := NewReliable(k, []*Abstract{s1, s2, s3}, 1.0, 1, 0.2)
+	// Warm up.
+	for i := 0; i < 5; i++ {
+		rs.Read()
+	}
+	// Break one sensor with a huge permanent offset.
+	s2.Physical().Inject(Fault{Mode: FaultPermanentOffset, Magnitude: 300})
+	for i := 0; i < 10; i++ {
+		r := rs.Read()
+		if math.Abs(r.Value-100) > 3 {
+			t.Fatalf("fused value %v drifted from truth with one faulty input", r.Value)
+		}
+		if r.Validity <= 0 {
+			t.Fatalf("validity collapsed despite f=1 redundancy: %v", r.Validity)
+		}
+	}
+}
+
+func TestReliableSensorAllFaultyCollapses(t *testing.T) {
+	k := sim.NewKernel(22)
+	mk := func(name string, off float64) *Abstract {
+		p := NewPhysical(k, name, constTruth(100), 0.1)
+		p.Inject(Fault{Mode: FaultPermanentOffset, Magnitude: off})
+		fm := NewFaultManagement(8, RangeDetector{Min: 0, Max: 1000})
+		return NewAbstract(k, p, fm)
+	}
+	// Three sensors in three disjoint places: no agreement possible.
+	rs := NewReliable(k, []*Abstract{mk("a", 0), mk("b", 200), mk("c", 400)}, 1.0, 1, 0.2)
+	r := rs.Read()
+	if rs.LastErr() == nil {
+		t.Fatal("expected fusion disagreement error")
+	}
+	if r.Validity > 0.3 {
+		t.Fatalf("disagreement should slash validity, got %v", r.Validity)
+	}
+}
+
+func TestReliableSensorNoInputs(t *testing.T) {
+	k := sim.NewKernel(23)
+	rs := NewReliable(k, nil, 1, 0, 0.5)
+	r := rs.Read()
+	if r.Validity != 0 {
+		t.Fatalf("no-input validity = %v", r.Validity)
+	}
+	if !errors.Is(rs.LastErr(), ErrNoData) {
+		t.Fatalf("LastErr = %v", rs.LastErr())
+	}
+}
+
+// Property: the Marzullo result width never exceeds the widest input, and
+// the result is within the hull of the inputs.
+func TestPropertyMarzulloBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := sim.NewKernel(seed).Rand()
+		n := 2 + rng.Intn(6)
+		ivs := make([]Interval, n)
+		hullLo, hullHi := math.Inf(1), math.Inf(-1)
+		for i := range ivs {
+			lo := rng.Float64()*100 - 50
+			hi := lo + rng.Float64()*20
+			ivs[i] = Interval{Lo: lo, Hi: hi}
+			hullLo = math.Min(hullLo, lo)
+			hullHi = math.Max(hullHi, hi)
+		}
+		got, err := Marzullo(ivs, rng.Intn(n))
+		if err != nil {
+			return true // no agreement is acceptable
+		}
+		widths := make([]float64, n)
+		for i, iv := range ivs {
+			widths[i] = iv.Width()
+		}
+		sort.Float64s(widths)
+		return got.Lo >= hullLo && got.Hi <= hullHi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+
+	"karyon/internal/sim"
+)
+
+func constTruth(v float64) Truth {
+	return func(sim.Time) float64 { return v }
+}
+
+func rampTruth(perSecond float64) Truth {
+	return func(t sim.Time) float64 { return perSecond * t.Seconds() }
+}
+
+func TestPhysicalNominalNoise(t *testing.T) {
+	k := sim.NewKernel(1)
+	p := NewPhysical(k, "d1", constTruth(100), 0.5)
+	var h []float64
+	for i := 0; i < 2000; i++ {
+		h = append(h, p.Sample().Value)
+	}
+	var sum float64
+	for _, v := range h {
+		sum += v
+	}
+	mean := sum / float64(len(h))
+	if math.Abs(mean-100) > 0.1 {
+		t.Fatalf("mean = %v, want ~100", mean)
+	}
+	var ss float64
+	for _, v := range h {
+		ss += (v - mean) * (v - mean)
+	}
+	sd := math.Sqrt(ss / float64(len(h)))
+	if sd < 0.4 || sd > 0.6 {
+		t.Fatalf("noise sigma = %v, want ~0.5", sd)
+	}
+}
+
+func TestPhysicalZeroSigmaExact(t *testing.T) {
+	k := sim.NewKernel(1)
+	p := NewPhysical(k, "d", constTruth(42), 0)
+	if got := p.Sample().Value; got != 42 {
+		t.Fatalf("value = %v", got)
+	}
+	r := p.Sample()
+	if r.Validity != 1 || r.Source != "d" {
+		t.Fatalf("reading = %+v", r)
+	}
+}
+
+func TestFaultPermanentOffset(t *testing.T) {
+	k := sim.NewKernel(1)
+	p := NewPhysical(k, "d", constTruth(10), 0)
+	p.Inject(Fault{Mode: FaultPermanentOffset, From: sim.Second, Magnitude: 5})
+	if got := p.Sample().Value; got != 10 {
+		t.Fatalf("pre-fault value = %v", got)
+	}
+	k.Schedule(2*sim.Second, func() {
+		if got := p.Sample().Value; got != 15 {
+			t.Errorf("in-fault value = %v, want 15", got)
+		}
+	})
+	k.RunUntilIdle()
+}
+
+func TestFaultWindowEnds(t *testing.T) {
+	k := sim.NewKernel(1)
+	p := NewPhysical(k, "d", constTruth(10), 0)
+	p.Inject(Fault{Mode: FaultPermanentOffset, From: 0, To: sim.Second, Magnitude: 5})
+	if got := p.Sample().Value; got != 15 {
+		t.Fatalf("in-window value = %v", got)
+	}
+	k.Schedule(2*sim.Second, func() {
+		if got := p.Sample().Value; got != 10 {
+			t.Errorf("post-window value = %v, want 10", got)
+		}
+	})
+	k.RunUntilIdle()
+}
+
+func TestFaultStuckAtFreezesAndReleases(t *testing.T) {
+	k := sim.NewKernel(1)
+	p := NewPhysical(k, "d", rampTruth(1), 0)
+	p.Inject(Fault{Mode: FaultStuckAt, From: 0, To: 5 * sim.Second})
+	first := p.Sample().Value
+	k.Schedule(2*sim.Second, func() {
+		if got := p.Sample().Value; got != first {
+			t.Errorf("stuck sensor moved: %v vs %v", got, first)
+		}
+	})
+	k.Schedule(6*sim.Second, func() {
+		if got := p.Sample().Value; got != 6 {
+			t.Errorf("released sensor = %v, want 6", got)
+		}
+	})
+	k.RunUntilIdle()
+}
+
+func TestFaultDelayShiftsTimestamp(t *testing.T) {
+	k := sim.NewKernel(1)
+	p := NewPhysical(k, "d", rampTruth(1), 0)
+	p.Inject(Fault{Mode: FaultDelay, Delay: 2 * sim.Second})
+	k.Schedule(10*sim.Second, func() {
+		r := p.Sample()
+		if r.Time != 8*sim.Second {
+			t.Errorf("claimed time = %v, want 8s", r.Time)
+		}
+		if r.Value != 8 {
+			t.Errorf("stale value = %v, want 8", r.Value)
+		}
+		if r.Age(k.Now()) != 2*sim.Second {
+			t.Errorf("age = %v", r.Age(k.Now()))
+		}
+	})
+	k.RunUntilIdle()
+}
+
+func TestFaultSporadicOffsetProbability(t *testing.T) {
+	k := sim.NewKernel(2)
+	p := NewPhysical(k, "d", constTruth(0), 0)
+	p.Inject(Fault{Mode: FaultSporadicOffset, Magnitude: 100, Prob: 0.3})
+	hits := 0
+	n := 3000
+	for i := 0; i < n; i++ {
+		if p.Sample().Value > 50 {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("sporadic activation rate %v, want ~0.3", frac)
+	}
+}
+
+func TestFaultStochasticOffsetInflatesNoise(t *testing.T) {
+	k := sim.NewKernel(3)
+	p := NewPhysical(k, "d", constTruth(0), 0.1)
+	p.Inject(Fault{Mode: FaultStochasticOffset, Magnitude: 2})
+	var ss float64
+	n := 3000
+	for i := 0; i < n; i++ {
+		v := p.Sample().Value
+		ss += v * v
+	}
+	sd := math.Sqrt(ss / float64(n))
+	if sd < 1.6 || sd > 2.4 {
+		t.Fatalf("inflated sigma = %v, want ~2", sd)
+	}
+}
+
+func TestClearFaults(t *testing.T) {
+	k := sim.NewKernel(1)
+	p := NewPhysical(k, "d", constTruth(1), 0)
+	p.Inject(Fault{Mode: FaultPermanentOffset, Magnitude: 10})
+	if p.Sample().Value != 11 {
+		t.Fatal("fault not applied")
+	}
+	p.ClearFaults()
+	if p.Sample().Value != 1 {
+		t.Fatal("fault survived ClearFaults")
+	}
+}
+
+func TestFaultModeString(t *testing.T) {
+	for _, m := range AllFaultModes() {
+		if m.String() == "" || m.String()[0] == 'f' && m.String() != "fault(0)" && len(m.String()) < 5 {
+			t.Fatalf("bad name for %d: %q", int(m), m.String())
+		}
+	}
+	if FaultMode(0).String() != "fault(0)" {
+		t.Fatalf("unknown mode name: %q", FaultMode(0).String())
+	}
+	if len(AllFaultModes()) != 5 {
+		t.Fatal("paper defines exactly five fault-mode dimensions")
+	}
+}
+
+func TestReadingAgeClamp(t *testing.T) {
+	r := Reading{Time: 10 * sim.Second}
+	if r.Age(5*sim.Second) != 0 {
+		t.Fatal("future reading should have zero age")
+	}
+	if r.Age(12*sim.Second) != 2*sim.Second {
+		t.Fatal("age arithmetic wrong")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 0.5}, {1, 1}, {2, 1}, {math.NaN(), 0},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.in); got != c.want {
+			t.Fatalf("Clamp(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

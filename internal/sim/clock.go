@@ -1,0 +1,42 @@
+package sim
+
+// DriftClock models an imperfect local oscillator: a node's view of time
+// advances at rate (1 + drift) relative to virtual time and may carry a
+// fixed offset. The paper's pulse-synchronization study (Sec. V-A2) targets
+// exactly this setting — MicaZ-class crystals without GPS. Drift is
+// expressed as a fraction, e.g. 50e-6 for +50 ppm.
+type DriftClock struct {
+	kernel *Kernel
+	drift  float64
+	offset Time
+}
+
+// NewDriftClock returns a clock over kernel with the given drift fraction
+// and initial offset.
+func NewDriftClock(kernel *Kernel, drift float64, offset Time) *DriftClock {
+	return &DriftClock{kernel: kernel, drift: drift, offset: offset}
+}
+
+// Now returns the node-local time: virtual time scaled by drift plus offset.
+func (c *DriftClock) Now() Time {
+	t := float64(c.kernel.Now()) * (1 + c.drift)
+	return Time(t) + c.offset
+}
+
+// Adjust shifts the clock's offset by delta (positive moves local time
+// forward). Pulse-synchronization algorithms call this to converge.
+func (c *DriftClock) Adjust(delta Time) {
+	c.offset += delta
+}
+
+// Offset returns the current offset component.
+func (c *DriftClock) Offset() Time { return c.offset }
+
+// Drift returns the configured drift fraction.
+func (c *DriftClock) Drift() float64 { return c.drift }
+
+// ErrorVersus returns the signed difference between this clock's local time
+// and another clock's local time at the current virtual instant.
+func (c *DriftClock) ErrorVersus(other *DriftClock) Time {
+	return c.Now() - other.Now()
+}

@@ -1,0 +1,182 @@
+package stabilize
+
+import (
+	"fmt"
+
+	"karyon/internal/wireless"
+)
+
+// DisjointPaths returns up to limit internally vertex-disjoint paths from
+// src to dst in the graph, each as a node sequence including both
+// endpoints. It runs the same node-split max-flow as VertexDisjointPaths
+// and then decomposes the flow into paths. limit <= 0 means "as many as
+// exist".
+func DisjointPaths(graph map[wireless.NodeID][]wireless.NodeID, src, dst wireless.NodeID, limit int) [][]wireless.NodeID {
+	if src == dst {
+		return nil
+	}
+	idx := make(map[wireless.NodeID]int)
+	var ids []wireless.NodeID
+	addV := func(v wireless.NodeID) {
+		if _, ok := idx[v]; !ok {
+			idx[v] = len(ids)
+			ids = append(ids, v)
+		}
+	}
+	addV(src)
+	addV(dst)
+	for a, nbs := range graph {
+		addV(a)
+		for _, b := range nbs {
+			addV(b)
+		}
+	}
+	nv := len(ids)
+	const inf = 1 << 30
+	type edge struct {
+		to, cap, rev int
+		orig         int // original capacity, to recover flow
+	}
+	adj := make([][]edge, 2*nv)
+	addEdge := func(u, v, cap int) {
+		adj[u] = append(adj[u], edge{to: v, cap: cap, rev: len(adj[v]), orig: cap})
+		adj[v] = append(adj[v], edge{to: u, cap: 0, rev: len(adj[u]) - 1})
+	}
+	for v := 0; v < nv; v++ {
+		capV := 1
+		if ids[v] == src || ids[v] == dst {
+			capV = inf
+		}
+		addEdge(2*v, 2*v+1, capV)
+	}
+	for a, nbs := range graph {
+		for _, b := range nbs {
+			addEdge(2*idx[a]+1, 2*idx[b], 1)
+		}
+	}
+	s, t := 2*idx[src]+1, 2*idx[dst]
+	flow := 0
+	for limit <= 0 || flow < limit {
+		parent := make([]int, 2*nv)
+		parentEdge := make([]int, 2*nv)
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = s
+		queue := []int{s}
+		for len(queue) > 0 && parent[t] == -1 {
+			u := queue[0]
+			queue = queue[1:]
+			for ei, e := range adj[u] {
+				if e.cap > 0 && parent[e.to] == -1 {
+					parent[e.to] = u
+					parentEdge[e.to] = ei
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		if parent[t] == -1 {
+			break
+		}
+		v := t
+		for v != s {
+			u := parent[v]
+			e := &adj[u][parentEdge[v]]
+			e.cap--
+			adj[v][e.rev].cap++
+			v = u
+		}
+		flow++
+		if flow > nv {
+			break
+		}
+	}
+	// Decompose: walk from s along saturated cross edges (orig 1, cap 0),
+	// consuming each edge once.
+	var paths [][]wireless.NodeID
+	for p := 0; p < flow; p++ {
+		path := []wireless.NodeID{src}
+		u := s
+		for u != t {
+			advanced := false
+			for ei := range adj[u] {
+				e := &adj[u][ei]
+				if e.orig > 0 && e.cap < e.orig {
+					// Consume one unit.
+					e.cap++
+					u = e.to
+					// Node-split internal edges (2v -> 2v+1) do not add a
+					// hop; cross edges land on an in-node 2v.
+					if u%2 == 0 && ids[u/2] != path[len(path)-1] {
+						path = append(path, ids[u/2])
+					}
+					advanced = true
+					break
+				}
+			}
+			if !advanced {
+				break // malformed decomposition; abandon this path
+			}
+		}
+		if len(path) >= 2 && path[len(path)-1] == dst {
+			paths = append(paths, path)
+		}
+	}
+	return paths
+}
+
+// Relay is a per-node message transformation. An honest relay returns the
+// payload unchanged; a Byzantine relay may return anything.
+type Relay func(payload string) string
+
+// RouteResult reports a Byzantine-resilient delivery attempt.
+type RouteResult struct {
+	// Value is the majority payload at the destination.
+	Value string
+	// Votes is how many copies carried the majority value.
+	Votes int
+	// Copies is how many path copies arrived.
+	Copies int
+	// OK reports a strict majority of arrived copies agreeing AND at
+	// least f+1 copies, so up to f corrupt paths cannot have forged it.
+	OK bool
+}
+
+// RouteWithVoting sends payload from the first to the last node of every
+// path, applying each intermediate node's Relay (identity when absent),
+// then majority-votes at the destination. f is the number of Byzantine
+// relays to tolerate: delivery is trusted only with at least f+1 agreeing
+// copies — the classic argument for requiring 2f+1 vertex-disjoint paths.
+func RouteWithVoting(paths [][]wireless.NodeID, payload string, relays map[wireless.NodeID]Relay, f int) (RouteResult, error) {
+	if len(paths) == 0 {
+		return RouteResult{}, fmt.Errorf("stabilize: no paths to route over")
+	}
+	if f < 0 {
+		f = 0
+	}
+	counts := make(map[string]int)
+	copies := 0
+	for _, path := range paths {
+		msg := payload
+		for _, hop := range path[1 : len(path)-1] {
+			if r, ok := relays[hop]; ok && r != nil {
+				msg = r(msg)
+			}
+		}
+		counts[msg]++
+		copies++
+	}
+	best, bestN := "", 0
+	for v, n := range counts {
+		if n > bestN || (n == bestN && v < best) {
+			best, bestN = v, n
+		}
+	}
+	res := RouteResult{
+		Value:  best,
+		Votes:  bestN,
+		Copies: copies,
+		OK:     bestN > copies/2 && bestN >= f+1,
+	}
+	return res, nil
+}

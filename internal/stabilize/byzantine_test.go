@@ -1,0 +1,211 @@
+package stabilize
+
+import (
+	"testing"
+	"testing/quick"
+
+	"karyon/internal/sim"
+	"karyon/internal/wireless"
+)
+
+// validateDisjoint checks the structural properties of returned paths.
+func validateDisjoint(t *testing.T, graph map[wireless.NodeID][]wireless.NodeID, paths [][]wireless.NodeID, src, dst wireless.NodeID) {
+	t.Helper()
+	seen := map[wireless.NodeID]bool{}
+	adjacent := func(a, b wireless.NodeID) bool {
+		for _, n := range graph[a] {
+			if n == b {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range paths {
+		if p[0] != src || p[len(p)-1] != dst {
+			t.Fatalf("path endpoints wrong: %v", p)
+		}
+		for i := 0; i+1 < len(p); i++ {
+			if !adjacent(p[i], p[i+1]) {
+				t.Fatalf("non-edge %v-%v in path %v", p[i], p[i+1], p)
+			}
+		}
+		for _, v := range p[1 : len(p)-1] {
+			if seen[v] {
+				t.Fatalf("intermediate %v shared between paths", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func cycleGraph(n int) map[wireless.NodeID][]wireless.NodeID {
+	g := map[wireless.NodeID][]wireless.NodeID{}
+	for i := 0; i < n; i++ {
+		a := wireless.NodeID(i)
+		b := wireless.NodeID((i + 1) % n)
+		g[a] = append(g[a], b)
+		g[b] = append(g[b], a)
+	}
+	return g
+}
+
+func TestDisjointPathsCycle(t *testing.T) {
+	g := cycleGraph(6)
+	paths := DisjointPaths(g, 0, 3, 0)
+	if len(paths) != 2 {
+		t.Fatalf("cycle paths = %d, want 2", len(paths))
+	}
+	validateDisjoint(t, g, paths, 0, 3)
+}
+
+func TestDisjointPathsLimit(t *testing.T) {
+	g := cycleGraph(6)
+	paths := DisjointPaths(g, 0, 3, 1)
+	if len(paths) != 1 {
+		t.Fatalf("limited paths = %d, want 1", len(paths))
+	}
+}
+
+func TestDisjointPathsComplete(t *testing.T) {
+	g := map[wireless.NodeID][]wireless.NodeID{}
+	for i := wireless.NodeID(0); i < 5; i++ {
+		for j := wireless.NodeID(0); j < 5; j++ {
+			if i != j {
+				g[i] = append(g[i], j)
+			}
+		}
+	}
+	paths := DisjointPaths(g, 0, 4, 0)
+	if len(paths) != 4 {
+		t.Fatalf("K5 paths = %d, want 4", len(paths))
+	}
+	validateDisjoint(t, g, paths, 0, 4)
+}
+
+func TestDisjointPathsNoneAndSelf(t *testing.T) {
+	g := map[wireless.NodeID][]wireless.NodeID{1: {2}, 2: {1}, 3: {}}
+	if p := DisjointPaths(g, 1, 3, 0); len(p) != 0 {
+		t.Fatalf("disconnected paths = %v", p)
+	}
+	if p := DisjointPaths(g, 1, 1, 0); p != nil {
+		t.Fatalf("self paths = %v", p)
+	}
+}
+
+// Property: path count from decomposition always equals the max-flow count
+// on random geometric-ish graphs, and paths validate structurally.
+func TestPropertyDisjointPathsMatchFlow(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := sim.NewKernel(seed).Rand()
+		n := 6 + rng.Intn(8)
+		g := map[wireless.NodeID][]wireless.NodeID{}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.35 {
+					a, b := wireless.NodeID(i), wireless.NodeID(j)
+					g[a] = append(g[a], b)
+					g[b] = append(g[b], a)
+				}
+			}
+		}
+		src, dst := wireless.NodeID(0), wireless.NodeID(n-1)
+		want := VertexDisjointPaths(g, src, dst)
+		paths := DisjointPaths(g, src, dst, 0)
+		if len(paths) != want {
+			return false
+		}
+		// Structural validation (no t available inside quick; redo checks).
+		seen := map[wireless.NodeID]bool{}
+		adjacent := func(a, b wireless.NodeID) bool {
+			for _, x := range g[a] {
+				if x == b {
+					return true
+				}
+			}
+			return false
+		}
+		for _, p := range paths {
+			if p[0] != src || p[len(p)-1] != dst {
+				return false
+			}
+			for i := 0; i+1 < len(p); i++ {
+				if !adjacent(p[i], p[i+1]) {
+					return false
+				}
+			}
+			for _, v := range p[1 : len(p)-1] {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteWithVotingHonest(t *testing.T) {
+	g := cycleGraph(6)
+	paths := DisjointPaths(g, 0, 3, 0)
+	res, err := RouteWithVoting(paths, "hello", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || res.Value != "hello" || res.Votes != 2 {
+		t.Fatalf("honest routing: %+v", res)
+	}
+}
+
+func TestRouteWithVotingToleratesFByzantine(t *testing.T) {
+	// K5 gives 4 disjoint paths 0->4; with f=1 Byzantine relay corrupting
+	// its path, the majority still carries the truth.
+	g := map[wireless.NodeID][]wireless.NodeID{}
+	for i := wireless.NodeID(0); i < 5; i++ {
+		for j := wireless.NodeID(0); j < 5; j++ {
+			if i != j {
+				g[i] = append(g[i], j)
+			}
+		}
+	}
+	paths := DisjointPaths(g, 0, 4, 0)
+	relays := map[wireless.NodeID]Relay{
+		2: func(string) string { return "FORGED" },
+	}
+	res, err := RouteWithVoting(paths, "truth", relays, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || res.Value != "truth" {
+		t.Fatalf("Byzantine relay won: %+v", res)
+	}
+	if res.Votes < 3 {
+		t.Fatalf("votes = %d", res.Votes)
+	}
+}
+
+func TestRouteWithVotingInsufficientPaths(t *testing.T) {
+	// A line has one path; one Byzantine relay controls it — voting must
+	// refuse to certify (votes < f+1 honest guarantee broken: with f=1 we
+	// need >= 2 agreeing copies).
+	g := map[wireless.NodeID][]wireless.NodeID{
+		1: {2}, 2: {1, 3}, 3: {2},
+	}
+	paths := DisjointPaths(g, 1, 3, 0)
+	relays := map[wireless.NodeID]Relay{2: func(string) string { return "FORGED" }}
+	res, err := RouteWithVoting(paths, "truth", relays, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK {
+		t.Fatalf("single-path forgery certified: %+v", res)
+	}
+}
+
+func TestRouteWithVotingNoPaths(t *testing.T) {
+	if _, err := RouteWithVoting(nil, "x", nil, 0); err == nil {
+		t.Fatal("routing over zero paths accepted")
+	}
+}

@@ -1,0 +1,213 @@
+// Package stabilize implements the self-stabilizing communication building
+// blocks KARYON studies (paper Sec. V-A2 and V-C): an end-to-end message
+// delivery protocol in the style of Dolev, Hanemann, Schiller & Sharma [12]
+// that achieves FIFO exactly-once delivery over bounded-capacity channels
+// that omit, duplicate and reorder packets — starting from an arbitrary
+// (corrupted) protocol state — and a self-stabilizing topology discovery
+// service ([13]) that counts vertex-disjoint paths, the prerequisite for
+// Byzantine-resilient message delivery over 2f+1 disjoint routes.
+package stabilize
+
+import (
+	"fmt"
+
+	"karyon/internal/sim"
+	"karyon/internal/wireless"
+)
+
+// Packet is the wire unit of the end-to-end protocol.
+type Packet struct {
+	Label int
+	Body  any
+	// Ack distinguishes data packets (false) from acknowledgements (true).
+	Ack bool
+}
+
+// E2EConfig parameterizes sender and receiver.
+type E2EConfig struct {
+	// Capacity is the assumed channel capacity c: the maximum number of
+	// stale packets the channel can hold per direction. The protocol's
+	// witness threshold is Capacity+1 — stale state alone can never
+	// produce that many copies of one label.
+	Capacity int
+	// Labels is the label alphabet size; it must exceed 2*Capacity+2 so
+	// that recycled labels cannot be confused with in-flight stale ones.
+	Labels int
+	// Resend is the sender's retransmission period.
+	Resend sim.Time
+}
+
+// DefaultE2EConfig returns a configuration for a capacity-4 channel.
+func DefaultE2EConfig() E2EConfig {
+	return E2EConfig{Capacity: 4, Labels: 16, Resend: 2 * sim.Millisecond}
+}
+
+// Validate checks parameter consistency.
+func (c E2EConfig) Validate() error {
+	if c.Capacity < 1 {
+		return fmt.Errorf("stabilize: capacity must be >= 1")
+	}
+	if c.Labels <= 2*c.Capacity+2 {
+		return fmt.Errorf("stabilize: label alphabet %d too small for capacity %d",
+			c.Labels, c.Capacity)
+	}
+	if c.Resend <= 0 {
+		return fmt.Errorf("stabilize: resend period must be positive")
+	}
+	return nil
+}
+
+// Sender is the end-to-end sender endpoint. It transmits the head of its
+// queue with the current label every Resend period and advances the label
+// after collecting Capacity+1 acknowledgements carrying it.
+type Sender struct {
+	cfg    E2EConfig
+	kernel *sim.Kernel
+	out    *wireless.Link
+
+	queue   []any
+	label   int
+	ackSeen int
+	ticker  *sim.Ticker
+	stopped bool
+
+	// SentMessages counts messages fully handed to the channel (advanced).
+	SentMessages int64
+}
+
+// NewSender creates a sender pushing packets into out.
+func NewSender(kernel *sim.Kernel, out *wireless.Link, cfg E2EConfig) (*Sender, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Sender{cfg: cfg, kernel: kernel, out: out}, nil
+}
+
+// CorruptState sets an arbitrary protocol state (for self-stabilization
+// experiments: the adversary chooses the initial configuration).
+func (s *Sender) CorruptState(label, ackSeen int) {
+	s.label = ((label % s.cfg.Labels) + s.cfg.Labels) % s.cfg.Labels
+	s.ackSeen = ackSeen
+}
+
+// Enqueue appends a message to the send queue.
+func (s *Sender) Enqueue(body any) {
+	s.queue = append(s.queue, body)
+}
+
+// QueueLen returns the number of unsent messages (including the in-flight
+// head).
+func (s *Sender) QueueLen() int { return len(s.queue) }
+
+// Start begins periodic transmission.
+func (s *Sender) Start() error {
+	t, err := s.kernel.Every(s.cfg.Resend, s.tick)
+	if err != nil {
+		return err
+	}
+	s.ticker = t
+	return nil
+}
+
+// Stop halts the sender.
+func (s *Sender) Stop() {
+	s.stopped = true
+	if s.ticker != nil {
+		s.ticker.Stop()
+	}
+}
+
+func (s *Sender) tick() {
+	if s.stopped || len(s.queue) == 0 {
+		return
+	}
+	s.out.Send(Packet{Label: s.label, Body: s.queue[0]})
+}
+
+// OnAck feeds an acknowledgement packet back into the sender. Acks not
+// carrying the current label are stale and ignored.
+func (s *Sender) OnAck(p Packet) {
+	if s.stopped || !p.Ack || p.Label != s.label || len(s.queue) == 0 {
+		return
+	}
+	s.ackSeen++
+	if s.ackSeen >= s.cfg.Capacity+1 {
+		// The receiver provably delivered the head: advance.
+		s.queue = s.queue[1:]
+		s.label = (s.label + 1) % s.cfg.Labels
+		s.ackSeen = 0
+		s.SentMessages++
+	}
+}
+
+// Receiver is the end-to-end receiver endpoint. It accumulates copies of a
+// candidate (label != last delivered label) and delivers after Capacity+1
+// identical copies, acknowledging every data packet with its label.
+type Receiver struct {
+	cfg    E2EConfig
+	kernel *sim.Kernel
+	back   *wireless.Link
+
+	lastLabel  int
+	candLabel  int
+	candCopies int
+	haveCand   bool
+
+	deliver func(any)
+	stopped bool
+
+	// Delivered counts messages handed to the application.
+	Delivered int64
+}
+
+// NewReceiver creates a receiver sending acks into back and delivering
+// messages to fn.
+func NewReceiver(kernel *sim.Kernel, back *wireless.Link, cfg E2EConfig, fn func(any)) (*Receiver, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Receiver{cfg: cfg, kernel: kernel, back: back, deliver: fn, lastLabel: -1}, nil
+}
+
+// CorruptState sets an arbitrary receiver state.
+func (r *Receiver) CorruptState(lastLabel, candLabel, candCopies int) {
+	r.lastLabel = lastLabel % r.cfg.Labels
+	r.candLabel = candLabel % r.cfg.Labels
+	r.candCopies = candCopies
+	r.haveCand = true
+}
+
+// Stop halts the receiver.
+func (r *Receiver) Stop() { r.stopped = true }
+
+// OnPacket feeds a data packet from the channel. An acknowledgement is
+// only ever sent for a label whose message has been *delivered* — acking
+// on mere receipt would let a duplicated ack push the sender past a
+// message the receiver never accumulated enough witnesses for, producing
+// an omission.
+func (r *Receiver) OnPacket(p Packet) {
+	if r.stopped || p.Ack {
+		return
+	}
+	if p.Label == r.lastLabel {
+		// Duplicate of the already-delivered message: re-ack it so a
+		// sender whose acks were lost can still advance.
+		r.back.Send(Packet{Label: p.Label, Ack: true})
+		return
+	}
+	if !r.haveCand || p.Label != r.candLabel {
+		r.haveCand = true
+		r.candLabel = p.Label
+		r.candCopies = 0
+	}
+	r.candCopies++
+	if r.candCopies >= r.cfg.Capacity+1 {
+		r.lastLabel = p.Label
+		r.haveCand = false
+		r.Delivered++
+		if r.deliver != nil {
+			r.deliver(p.Body)
+		}
+		r.back.Send(Packet{Label: p.Label, Ack: true})
+	}
+}

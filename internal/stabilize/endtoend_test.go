@@ -1,0 +1,247 @@
+package stabilize
+
+import (
+	"fmt"
+	"testing"
+
+	"karyon/internal/sim"
+	"karyon/internal/wireless"
+)
+
+// wire connects a sender and receiver over two adversarial links and
+// returns both plus the kernel.
+func wire(t *testing.T, seed int64, cfg E2EConfig, fwd, back wireless.LinkConfig) (*sim.Kernel, *Sender, *Receiver, *[]any) {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	var delivered []any
+	var recv *Receiver
+	fwdLink := wireless.NewLink(k, fwd, func(p any) {
+		if pkt, ok := p.(Packet); ok {
+			recv.OnPacket(pkt)
+		}
+	})
+	var snd *Sender
+	backLink := wireless.NewLink(k, back, func(p any) {
+		if pkt, ok := p.(Packet); ok {
+			snd.OnAck(pkt)
+		}
+	})
+	var err error
+	recv, err = NewReceiver(k, backLink, cfg, func(body any) {
+		delivered = append(delivered, body)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd, err = NewSender(k, fwdLink, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return k, snd, recv, &delivered
+}
+
+func adversarial(capacity int) wireless.LinkConfig {
+	return wireless.LinkConfig{
+		Delay:        sim.Millisecond,
+		Jitter:       sim.Millisecond,
+		LossProb:     0.2,
+		DupProb:      0.15,
+		ReorderProb:  0.15,
+		ReorderDelay: 5 * sim.Millisecond,
+		Capacity:     capacity,
+	}
+}
+
+func TestE2EConfigValidation(t *testing.T) {
+	if err := DefaultE2EConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultE2EConfig()
+	bad.Labels = 2*bad.Capacity + 2
+	if err := bad.Validate(); err == nil {
+		t.Fatal("small alphabet must fail")
+	}
+	bad = DefaultE2EConfig()
+	bad.Capacity = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero capacity must fail")
+	}
+	bad = DefaultE2EConfig()
+	bad.Resend = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero resend must fail")
+	}
+}
+
+func TestE2ECleanChannelFIFO(t *testing.T) {
+	cfg := DefaultE2EConfig()
+	clean := wireless.LinkConfig{Delay: sim.Millisecond, Capacity: cfg.Capacity}
+	k, snd, _, delivered := wire(t, 1, cfg, clean, clean)
+	for i := 0; i < 10; i++ {
+		snd.Enqueue(i)
+	}
+	k.RunFor(2 * sim.Second)
+	if len(*delivered) != 10 {
+		t.Fatalf("delivered %d/10", len(*delivered))
+	}
+	for i, v := range *delivered {
+		if v != i {
+			t.Fatalf("out of order at %d: %v", i, *delivered)
+		}
+	}
+	if snd.QueueLen() != 0 || snd.SentMessages != 10 {
+		t.Fatalf("sender state: queue=%d sent=%d", snd.QueueLen(), snd.SentMessages)
+	}
+}
+
+func TestE2EAdversarialChannelExactlyOnceInOrder(t *testing.T) {
+	cfg := DefaultE2EConfig()
+	k, snd, recv, delivered := wire(t, 2, cfg, adversarial(cfg.Capacity), adversarial(cfg.Capacity))
+	n := 50
+	for i := 0; i < n; i++ {
+		snd.Enqueue(fmt.Sprintf("m%03d", i))
+	}
+	k.RunFor(60 * sim.Second)
+	if len(*delivered) != n {
+		t.Fatalf("delivered %d/%d over adversarial channel", len(*delivered), n)
+	}
+	for i, v := range *delivered {
+		want := fmt.Sprintf("m%03d", i)
+		if v != want {
+			t.Fatalf("delivery %d = %v, want %v (omission/duplication/reorder leaked)", i, v, want)
+		}
+	}
+	if recv.Delivered != int64(n) {
+		t.Fatalf("receiver count %d", recv.Delivered)
+	}
+}
+
+func TestE2ESelfStabilizesFromCorruptState(t *testing.T) {
+	cfg := DefaultE2EConfig()
+	k, snd, recv, delivered := wire(t, 3, cfg, adversarial(cfg.Capacity), adversarial(cfg.Capacity))
+	// Adversary picks arbitrary initial protocol state.
+	snd.CorruptState(7, 3)
+	recv.CorruptState(7, 9, 4)
+	n := 30
+	for i := 0; i < n; i++ {
+		snd.Enqueue(i)
+	}
+	k.RunFor(60 * sim.Second)
+	// The self-stabilization contract ([12]): after a bounded corrupt
+	// prefix — at most O(capacity) messages may be lost or garbled while
+	// stale state drains — the delivered stream is exactly the sent stream
+	// in order without omission or duplication. Concretely: there is some
+	// K bounded by the capacity such that the delivery log ends with
+	// K, K+1, ..., n-1 and nothing after.
+	got := *delivered
+	if len(got) == 0 {
+		t.Fatal("nothing delivered")
+	}
+	// Walk back from the end to find the consecutive suffix.
+	last, ok := got[len(got)-1].(int)
+	if !ok || last != n-1 {
+		t.Fatalf("final delivery = %v, want %d", got[len(got)-1], n-1)
+	}
+	k0 := n - 1
+	for i := len(got) - 2; i >= 0; i-- {
+		v, vok := got[i].(int)
+		if !vok || v != k0-1 {
+			break
+		}
+		k0 = v
+	}
+	if k0 > cfg.Capacity+1 {
+		t.Fatalf("stabilization lost %d messages, bound is %d (log %v)",
+			k0, cfg.Capacity+1, got)
+	}
+	// The clean suffix must be free of duplicates (it is consecutive by
+	// construction) and the corrupt prefix bounded.
+	prefixLen := len(got) - (n - k0)
+	if prefixLen > cfg.Capacity+1 {
+		t.Fatalf("corrupt prefix %d exceeds stabilization bound (log %v)", prefixLen, got)
+	}
+}
+
+func TestE2ESenderIgnoresStaleAcks(t *testing.T) {
+	cfg := DefaultE2EConfig()
+	clean := wireless.LinkConfig{Delay: sim.Millisecond}
+	k, snd, _, _ := wire(t, 4, cfg, clean, clean)
+	snd.Enqueue("x")
+	// Bombard with acks carrying the wrong label: must not advance.
+	for i := 0; i < 100; i++ {
+		snd.OnAck(Packet{Label: 5, Ack: true})
+	}
+	if snd.SentMessages != 0 || snd.QueueLen() != 1 {
+		t.Fatal("sender advanced on stale acks")
+	}
+	// Non-ack packets must be ignored too.
+	snd.OnAck(Packet{Label: 0, Ack: false})
+	if snd.SentMessages != 0 {
+		t.Fatal("sender advanced on data packet")
+	}
+	k.RunFor(sim.Millisecond)
+}
+
+func TestE2EReceiverNeedsThresholdCopies(t *testing.T) {
+	cfg := DefaultE2EConfig()
+	k := sim.NewKernel(5)
+	back := wireless.NewLink(k, wireless.LinkConfig{}, func(any) {})
+	var delivered []any
+	recv, err := NewReceiver(k, back, cfg, func(b any) { delivered = append(delivered, b) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.Capacity; i++ { // one short of threshold
+		recv.OnPacket(Packet{Label: 1, Body: "m"})
+	}
+	if len(delivered) != 0 {
+		t.Fatal("delivered below witness threshold")
+	}
+	recv.OnPacket(Packet{Label: 1, Body: "m"})
+	if len(delivered) != 1 {
+		t.Fatal("threshold copy did not deliver")
+	}
+	// Further duplicates of the same label are suppressed.
+	for i := 0; i < 10; i++ {
+		recv.OnPacket(Packet{Label: 1, Body: "m"})
+	}
+	if len(delivered) != 1 {
+		t.Fatal("duplicate label redelivered")
+	}
+}
+
+func TestE2EReceiverCandidateResetOnLabelChange(t *testing.T) {
+	cfg := DefaultE2EConfig()
+	k := sim.NewKernel(6)
+	back := wireless.NewLink(k, wireless.LinkConfig{}, func(any) {})
+	var delivered []any
+	recv, err := NewReceiver(k, back, cfg, func(b any) { delivered = append(delivered, b) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave two labels so neither reaches threshold contiguously:
+	// copies counted per candidate must reset on change.
+	for i := 0; i < cfg.Capacity; i++ {
+		recv.OnPacket(Packet{Label: 1, Body: "a"})
+		recv.OnPacket(Packet{Label: 2, Body: "b"})
+	}
+	if len(delivered) != 0 {
+		t.Fatalf("interleaved labels delivered: %v", delivered)
+	}
+}
+
+func TestE2EStopHaltsTraffic(t *testing.T) {
+	cfg := DefaultE2EConfig()
+	clean := wireless.LinkConfig{Delay: sim.Millisecond}
+	k, snd, recv, _ := wire(t, 7, cfg, clean, clean)
+	snd.Enqueue("x")
+	snd.Stop()
+	recv.Stop()
+	k.RunFor(100 * sim.Millisecond)
+	if snd.SentMessages != 0 {
+		t.Fatal("stopped sender made progress")
+	}
+}

@@ -1,0 +1,302 @@
+package stabilize
+
+import (
+	"sort"
+
+	"karyon/internal/sim"
+	"karyon/internal/wireless"
+)
+
+// adjMsg is the periodic neighborhood advertisement flooded by each node.
+type adjMsg struct {
+	Origin    wireless.NodeID
+	Neighbors []wireless.NodeID
+	// Version lets receivers keep only the freshest view per origin.
+	Version uint64
+	// TTL bounds flooding.
+	TTL int
+}
+
+// TopoConfig parameterizes the self-stabilizing topology discovery service.
+type TopoConfig struct {
+	// AdvertiseInterval is how often each node floods its neighborhood.
+	AdvertiseInterval sim.Time
+	// ExpireAfter ages out entries not refreshed (self-stabilization:
+	// stale or corrupted state disappears within one expiry interval).
+	ExpireAfter sim.Time
+	// TTL bounds the flood depth.
+	TTL int
+}
+
+// DefaultTopoConfig returns discovery parameters.
+func DefaultTopoConfig() TopoConfig {
+	return TopoConfig{
+		AdvertiseInterval: 50 * sim.Millisecond,
+		// Ten advertisement periods: flooding over a contended medium can
+		// lose several consecutive refreshes, and a flapping view would
+		// destabilize everything routed over it.
+		ExpireAfter: 500 * sim.Millisecond,
+		TTL:         8,
+	}
+}
+
+// topoEntry is one remembered advertisement.
+type topoEntry struct {
+	neighbors []wireless.NodeID
+	version   uint64
+	heardAt   sim.Time
+}
+
+// TopoNode runs topology discovery on one radio.
+type TopoNode struct {
+	cfg    TopoConfig
+	kernel *sim.Kernel
+	radio  *wireless.Radio
+
+	version uint64
+	table   map[wireless.NodeID]topoEntry
+	ticker  *sim.Ticker
+	stopped bool
+	// Byzantine, when true, advertises fabricated links (for the 2f+1
+	// path-counting experiments): a lying node claims adjacency to
+	// everything it has ever heard of.
+	Byzantine bool
+}
+
+// NewTopoNode creates a discovery node over the radio (takes over its
+// receive handler).
+func NewTopoNode(kernel *sim.Kernel, radio *wireless.Radio, cfg TopoConfig) *TopoNode {
+	n := &TopoNode{
+		cfg:    cfg,
+		kernel: kernel,
+		radio:  radio,
+		table:  make(map[wireless.NodeID]topoEntry),
+	}
+	radio.OnReceive(n.onFrame)
+	return n
+}
+
+// ID returns the node id.
+func (n *TopoNode) ID() wireless.NodeID { return n.radio.ID() }
+
+// Start begins periodic advertisement at a random phase.
+func (n *TopoNode) Start() {
+	phase := sim.Time(n.kernel.Rand().Int63n(int64(n.cfg.AdvertiseInterval)))
+	n.kernel.Schedule(phase, func() {
+		if n.stopped {
+			return
+		}
+		t, err := n.kernel.Every(n.cfg.AdvertiseInterval, n.advertise)
+		if err != nil {
+			return
+		}
+		n.ticker = t
+	})
+}
+
+// Stop halts the node.
+func (n *TopoNode) Stop() {
+	n.stopped = true
+	if n.ticker != nil {
+		n.ticker.Stop()
+	}
+}
+
+// CorruptTable injects arbitrary state (self-stabilization experiments).
+func (n *TopoNode) CorruptTable(origin wireless.NodeID, neighbors []wireless.NodeID) {
+	n.table[origin] = topoEntry{
+		neighbors: append([]wireless.NodeID(nil), neighbors...),
+		version:   0,
+		heardAt:   n.kernel.Now(),
+	}
+}
+
+func (n *TopoNode) advertise() {
+	if n.stopped {
+		return
+	}
+	n.version++
+	neigh := n.radio.Neighbors()
+	if n.Byzantine {
+		// Fabricate adjacency to every known node.
+		seen := map[wireless.NodeID]bool{}
+		for _, id := range neigh {
+			seen[id] = true
+		}
+		for id := range n.table {
+			if id != n.radio.ID() && !seen[id] {
+				neigh = append(neigh, id)
+			}
+		}
+	}
+	n.radio.Broadcast(adjMsg{
+		Origin:    n.radio.ID(),
+		Neighbors: neigh,
+		Version:   n.version,
+		TTL:       n.cfg.TTL,
+	})
+}
+
+func (n *TopoNode) onFrame(f wireless.Frame) {
+	if n.stopped {
+		return
+	}
+	msg, ok := f.Payload.(adjMsg)
+	if !ok || msg.Origin == n.radio.ID() {
+		return
+	}
+	prev, seen := n.table[msg.Origin]
+	if seen && prev.version >= msg.Version {
+		return // stale or already-flooded copy
+	}
+	n.table[msg.Origin] = topoEntry{
+		neighbors: append([]wireless.NodeID(nil), msg.Neighbors...),
+		version:   msg.Version,
+		heardAt:   n.kernel.Now(),
+	}
+	if msg.TTL > 1 {
+		msg.TTL--
+		// Re-flood after a random jitter: every receiver of the same frame
+		// would otherwise rebroadcast at the same instant and collide.
+		jitter := sim.Time(n.kernel.Rand().Int63n(int64(5 * sim.Millisecond)))
+		n.kernel.Schedule(jitter, func() {
+			if !n.stopped {
+				n.radio.Broadcast(msg)
+			}
+		})
+	}
+}
+
+// Graph returns the node's current view: adjacency sets per origin,
+// including itself, with expired entries dropped. The view is symmetrized:
+// an edge exists only if it is claimed by a non-expired advertisement and
+// confirmed by both endpoints when both have live entries — the standard
+// defense that keeps a single Byzantine node from fabricating links to
+// honest nodes.
+func (n *TopoNode) Graph() map[wireless.NodeID][]wireless.NodeID {
+	now := n.kernel.Now()
+	claims := make(map[wireless.NodeID]map[wireless.NodeID]bool)
+	add := func(a, b wireless.NodeID) {
+		if claims[a] == nil {
+			claims[a] = make(map[wireless.NodeID]bool)
+		}
+		claims[a][b] = true
+	}
+	for _, id := range n.radio.Neighbors() {
+		add(n.radio.ID(), id)
+	}
+	for origin, e := range n.table {
+		if now-e.heardAt > n.cfg.ExpireAfter {
+			continue
+		}
+		for _, nb := range e.neighbors {
+			add(origin, nb)
+		}
+	}
+	out := make(map[wireless.NodeID][]wireless.NodeID, len(claims))
+	for a, nbs := range claims {
+		for b := range nbs {
+			if a == b {
+				continue
+			}
+			// Mutual confirmation when both sides have a live claim set.
+			if claims[b] != nil && !claims[b][a] {
+				continue
+			}
+			out[a] = append(out[a], b)
+		}
+		sort.Slice(out[a], func(i, j int) bool { return out[a][i] < out[a][j] })
+	}
+	return out
+}
+
+// VertexDisjointPaths returns the maximum number of internally vertex-
+// disjoint paths between src and dst in the given graph (Menger's theorem
+// via unit-capacity max-flow on the node-split graph). Byzantine-resilient
+// delivery of f faults needs at least 2f+1 such paths [13].
+func VertexDisjointPaths(graph map[wireless.NodeID][]wireless.NodeID, src, dst wireless.NodeID) int {
+	if src == dst {
+		return 0
+	}
+	// Collect vertices.
+	idx := make(map[wireless.NodeID]int)
+	var ids []wireless.NodeID
+	addV := func(v wireless.NodeID) {
+		if _, ok := idx[v]; !ok {
+			idx[v] = len(ids)
+			ids = append(ids, v)
+		}
+	}
+	addV(src)
+	addV(dst)
+	for a, nbs := range graph {
+		addV(a)
+		for _, b := range nbs {
+			addV(b)
+		}
+	}
+	nv := len(ids)
+	// Node splitting: vertex v -> v_in (2v), v_out (2v+1) with capacity-1
+	// internal edge, except src/dst which have infinite node capacity.
+	const inf = 1 << 30
+	type edge struct {
+		to, cap, rev int
+	}
+	adj := make([][]edge, 2*nv)
+	addEdge := func(u, v, cap int) {
+		adj[u] = append(adj[u], edge{to: v, cap: cap, rev: len(adj[v])})
+		adj[v] = append(adj[v], edge{to: u, cap: 0, rev: len(adj[u]) - 1})
+	}
+	for v := 0; v < nv; v++ {
+		capV := 1
+		if ids[v] == src || ids[v] == dst {
+			capV = inf
+		}
+		addEdge(2*v, 2*v+1, capV)
+	}
+	for a, nbs := range graph {
+		for _, b := range nbs {
+			addEdge(2*idx[a]+1, 2*idx[b], 1)
+		}
+	}
+	s, t := 2*idx[src]+1, 2*idx[dst]
+	// BFS-based max-flow (Edmonds-Karp); flows here are tiny.
+	flow := 0
+	for {
+		parent := make([]int, 2*nv)
+		parentEdge := make([]int, 2*nv)
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = s
+		queue := []int{s}
+		for len(queue) > 0 && parent[t] == -1 {
+			u := queue[0]
+			queue = queue[1:]
+			for ei, e := range adj[u] {
+				if e.cap > 0 && parent[e.to] == -1 {
+					parent[e.to] = u
+					parentEdge[e.to] = ei
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		if parent[t] == -1 {
+			break
+		}
+		// Unit capacities on the path bottleneck: push 1.
+		v := t
+		for v != s {
+			u := parent[v]
+			e := &adj[u][parentEdge[v]]
+			e.cap--
+			adj[v][e.rev].cap++
+			v = u
+		}
+		flow++
+		if flow > nv {
+			break // defensive: cannot exceed vertex count
+		}
+	}
+	return flow
+}

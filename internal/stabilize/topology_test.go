@@ -1,0 +1,181 @@
+package stabilize
+
+import (
+	"testing"
+
+	"karyon/internal/sim"
+	"karyon/internal/wireless"
+)
+
+func grid(t *testing.T, seed int64, cols, rows int, spacing float64, cfg TopoConfig) (*sim.Kernel, []*TopoNode, *wireless.Medium) {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	mcfg := wireless.DefaultConfig()
+	mcfg.Range = spacing * 1.2 // 4-connectivity: diagonals (1.41x) excluded
+	medium := wireless.NewMedium(k, mcfg)
+	var nodes []*TopoNode
+	id := 0
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			radio, err := medium.Attach(wireless.NodeID(id), wireless.Position{
+				X: float64(c) * spacing, Y: float64(r) * spacing,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := NewTopoNode(k, radio, cfg)
+			n.Start()
+			nodes = append(nodes, n)
+			id++
+		}
+	}
+	return k, nodes, medium
+}
+
+func TestVertexDisjointPathsLine(t *testing.T) {
+	g := map[wireless.NodeID][]wireless.NodeID{
+		1: {2}, 2: {1, 3}, 3: {2},
+	}
+	if got := VertexDisjointPaths(g, 1, 3); got != 1 {
+		t.Fatalf("line paths = %d, want 1", got)
+	}
+}
+
+func TestVertexDisjointPathsCycle(t *testing.T) {
+	g := map[wireless.NodeID][]wireless.NodeID{
+		1: {2, 4}, 2: {1, 3}, 3: {2, 4}, 4: {3, 1},
+	}
+	if got := VertexDisjointPaths(g, 1, 3); got != 2 {
+		t.Fatalf("cycle paths = %d, want 2", got)
+	}
+}
+
+func TestVertexDisjointPathsComplete(t *testing.T) {
+	// K5: 4 internally disjoint paths between any pair (direct edge + 3
+	// through distinct intermediates).
+	g := map[wireless.NodeID][]wireless.NodeID{}
+	for i := wireless.NodeID(0); i < 5; i++ {
+		for j := wireless.NodeID(0); j < 5; j++ {
+			if i != j {
+				g[i] = append(g[i], j)
+			}
+		}
+	}
+	if got := VertexDisjointPaths(g, 0, 4); got != 4 {
+		t.Fatalf("K5 paths = %d, want 4", got)
+	}
+}
+
+func TestVertexDisjointPathsCutVertex(t *testing.T) {
+	// Two triangles joined at vertex 3: every 1->5 path passes through 3.
+	g := map[wireless.NodeID][]wireless.NodeID{
+		1: {2, 3}, 2: {1, 3}, 3: {1, 2, 4, 5}, 4: {3, 5}, 5: {3, 4},
+	}
+	if got := VertexDisjointPaths(g, 1, 5); got != 1 {
+		t.Fatalf("cut-vertex paths = %d, want 1", got)
+	}
+}
+
+func TestVertexDisjointPathsDisconnected(t *testing.T) {
+	g := map[wireless.NodeID][]wireless.NodeID{1: {2}, 2: {1}, 3: {4}, 4: {3}}
+	if got := VertexDisjointPaths(g, 1, 3); got != 0 {
+		t.Fatalf("disconnected paths = %d, want 0", got)
+	}
+	if got := VertexDisjointPaths(g, 1, 1); got != 0 {
+		t.Fatalf("self paths = %d, want 0", got)
+	}
+}
+
+func TestTopologyDiscoveryGrid(t *testing.T) {
+	cfg := DefaultTopoConfig()
+	k, nodes, _ := grid(t, 11, 3, 3, 100, cfg)
+	k.RunFor(2 * sim.Second)
+	// The corner node should have discovered the full 3x3 grid.
+	g := nodes[0].Graph()
+	if len(g) != 9 {
+		t.Fatalf("discovered %d vertices, want 9", len(g))
+	}
+	// Corner (0) to opposite corner (8): grid connectivity gives 2
+	// vertex-disjoint paths.
+	if got := VertexDisjointPaths(g, 0, 8); got != 2 {
+		t.Fatalf("corner-to-corner paths = %d, want 2", got)
+	}
+	// Center node (4) has degree 4.
+	if len(g[4]) != 4 {
+		t.Fatalf("center degree = %d, want 4 (%v)", len(g[4]), g[4])
+	}
+}
+
+func TestTopologyExpiresDeadNode(t *testing.T) {
+	cfg := DefaultTopoConfig()
+	k, nodes, medium := grid(t, 13, 3, 1, 100, cfg)
+	k.RunFor(2 * sim.Second)
+	if len(nodes[0].Graph()) != 3 {
+		t.Fatalf("initial view %v", nodes[0].Graph())
+	}
+	// Kill the far node; its entry must age out of the others' views.
+	nodes[2].Stop()
+	medium.Detach(2)
+	k.RunFor(2 * sim.Second)
+	g := nodes[0].Graph()
+	if _, present := g[2]; present {
+		t.Fatalf("dead node still in view: %v", g)
+	}
+}
+
+func TestTopologySelfStabilizesFromCorruptTable(t *testing.T) {
+	cfg := DefaultTopoConfig()
+	k, nodes, _ := grid(t, 17, 3, 1, 100, cfg)
+	k.RunFor(sim.Second)
+	// Corrupt node 0's table with a fabricated node 99 linked everywhere.
+	nodes[0].CorruptTable(99, []wireless.NodeID{0, 1, 2})
+	k.RunFor(2 * sim.Second) // > ExpireAfter
+	g := nodes[0].Graph()
+	if _, present := g[99]; present {
+		t.Fatalf("fabricated node survived expiry: %v", g)
+	}
+}
+
+func TestTopologyByzantineCannotFabricateConfirmedLinks(t *testing.T) {
+	cfg := DefaultTopoConfig()
+	// A line 0-1-2-3: node 3 is Byzantine and claims adjacency to all.
+	k := sim.NewKernel(19)
+	mcfg := wireless.DefaultConfig()
+	mcfg.Range = 120
+	medium := wireless.NewMedium(k, mcfg)
+	var nodes []*TopoNode
+	for i := 0; i < 4; i++ {
+		radio, err := medium.Attach(wireless.NodeID(i), wireless.Position{X: float64(i) * 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := NewTopoNode(k, radio, cfg)
+		n.Start()
+		nodes = append(nodes, n)
+	}
+	nodes[3].Byzantine = true
+	k.RunFor(3 * sim.Second)
+	g := nodes[0].Graph()
+	// The Byzantine node claims 3-0 and 3-1, but 0 and 1 never confirm, so
+	// mutual confirmation must exclude those edges.
+	for _, nb := range g[0] {
+		if nb == 3 {
+			t.Fatalf("fabricated edge 0-3 accepted: %v", g)
+		}
+	}
+	for _, nb := range g[1] {
+		if nb == 3 {
+			t.Fatalf("fabricated edge 1-3 accepted: %v", g)
+		}
+	}
+	// The genuine edge 2-3 survives.
+	found := false
+	for _, nb := range g[2] {
+		if nb == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("genuine edge 2-3 lost: %v", g)
+	}
+}

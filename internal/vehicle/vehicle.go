@@ -1,0 +1,243 @@
+// Package vehicle provides the vehicle plant and the driving controllers
+// used by the automotive use cases (paper Sec. VI-A): longitudinal
+// kinematics, Adaptive Cruise Control with a per-Level-of-Service time
+// gap (the paper's "LoS = needed time margin between vehicles"),
+// cooperative ACC exploiting V2V state, emergency braking, and the
+// lane-change maneuver state machine.
+package vehicle
+
+import (
+	"fmt"
+	"math"
+
+	"karyon/internal/core"
+)
+
+// Body is a vehicle's longitudinal state on a road.
+type Body struct {
+	// X is the longitudinal position in meters (grows forward).
+	X float64
+	// Lane is the lane index (0 = rightmost).
+	Lane int
+	// Speed is the longitudinal speed in m/s (never negative).
+	Speed float64
+	// Accel is the commanded acceleration in m/s^2.
+	Accel float64
+	// Length is the vehicle length in meters.
+	Length float64
+}
+
+// Step integrates the body over dt seconds with the current acceleration.
+func (b *Body) Step(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	v0 := b.Speed
+	v1 := v0 + b.Accel*dt
+	if v1 < 0 {
+		// Stop exactly at v=0: solve for the stopping sub-interval.
+		if b.Accel < 0 {
+			tStop := -v0 / b.Accel
+			b.X += v0*tStop + 0.5*b.Accel*tStop*tStop
+		}
+		b.Speed = 0
+		return
+	}
+	b.X += v0*dt + 0.5*b.Accel*dt*dt
+	b.Speed = v1
+}
+
+// ACCParams parameterizes the constant-time-gap ACC law.
+type ACCParams struct {
+	// TimeGap is the desired headway in seconds.
+	TimeGap float64
+	// StandStill is the desired gap at zero speed, in meters.
+	StandStill float64
+	// GapGain and SpeedGain are the feedback gains.
+	GapGain   float64
+	SpeedGain float64
+	// CruiseSpeed is the free-flow set speed, in m/s.
+	CruiseSpeed float64
+	// MaxAccel and MaxBrake bound the command (both positive; brake is
+	// applied as negative acceleration).
+	MaxAccel float64
+	MaxBrake float64
+}
+
+// DefaultACCParams returns a comfortable highway tuning.
+func DefaultACCParams() ACCParams {
+	return ACCParams{
+		TimeGap:     1.8,
+		StandStill:  3,
+		GapGain:     0.4,
+		SpeedGain:   0.9,
+		CruiseSpeed: 30,
+		MaxAccel:    2,
+		MaxBrake:    6,
+	}
+}
+
+// Validate checks parameter sanity.
+func (p ACCParams) Validate() error {
+	if p.TimeGap <= 0 || p.StandStill < 0 {
+		return fmt.Errorf("vehicle: gap parameters invalid (%v, %v)", p.TimeGap, p.StandStill)
+	}
+	if p.MaxAccel <= 0 || p.MaxBrake <= 0 {
+		return fmt.Errorf("vehicle: acceleration bounds must be positive")
+	}
+	return nil
+}
+
+// DesiredGap returns the target spacing at the given speed.
+func (p ACCParams) DesiredGap(speed float64) float64 {
+	return p.StandStill + p.TimeGap*speed
+}
+
+// LeadView is what the controller knows about the vehicle ahead.
+type LeadView struct {
+	// Present reports whether a lead vehicle is perceived at all.
+	Present bool
+	// Gap is the bumper-to-bumper distance in meters.
+	Gap float64
+	// Speed is the lead's speed in m/s.
+	Speed float64
+	// Accel is the lead's acceleration — only available via V2V
+	// communication (cooperative mode); NaN when unknown.
+	Accel float64
+	// Validity is the perception pipeline's confidence in this view.
+	Validity float64
+}
+
+// NoLead is the free-road view.
+func NoLead() LeadView {
+	return LeadView{Accel: math.NaN(), Validity: 1}
+}
+
+// ACCAccel computes the acceleration command from the lead view using the
+// constant-time-gap law, falling back to cruise control with no lead.
+func ACCAccel(p ACCParams, speed float64, lead LeadView) float64 {
+	var cmd float64
+	if !lead.Present {
+		cmd = p.SpeedGain * (p.CruiseSpeed - speed)
+	} else {
+		gapErr := lead.Gap - p.DesiredGap(speed)
+		speedErr := lead.Speed - speed
+		cmd = p.GapGain*gapErr + p.SpeedGain*speedErr
+		// Do not exceed the cruise set point when the road opens up.
+		if cruise := p.SpeedGain * (p.CruiseSpeed - speed); cmd > cruise {
+			cmd = cruise
+		}
+		// Cooperative feed-forward: a braking leader known through V2V is
+		// anticipated before the gap error shows it.
+		if !math.IsNaN(lead.Accel) && lead.Accel < 0 {
+			cmd += 0.7 * lead.Accel
+		}
+	}
+	return clampAccel(p, cmd)
+}
+
+// EmergencyBrakeNeeded reports whether the situation demands maximum
+// braking regardless of the nominal controller: the time-to-collision
+// dropped below ttcLimit seconds or the gap below the standstill margin.
+func EmergencyBrakeNeeded(p ACCParams, speed float64, lead LeadView, ttcLimit float64) bool {
+	if !lead.Present {
+		return false
+	}
+	if lead.Gap <= p.StandStill && speed > 0.5 {
+		return true
+	}
+	closing := speed - lead.Speed
+	if closing <= 0 {
+		return false
+	}
+	return lead.Gap/closing < ttcLimit
+}
+
+func clampAccel(p ACCParams, cmd float64) float64 {
+	if cmd > p.MaxAccel {
+		return p.MaxAccel
+	}
+	if cmd < -p.MaxBrake {
+		return -p.MaxBrake
+	}
+	return cmd
+}
+
+// TimeGapForLoS maps a Level of Service to the ACC time gap, implementing
+// the paper's "higher level of service means a lower time margin between
+// vehicles". Level 1 is the conservative autonomous-sensing-only margin;
+// level 2 trusts validated local perception; level 3 exploits V2V
+// cooperation.
+func TimeGapForLoS(level core.LoS) float64 {
+	switch {
+	case level >= 3:
+		return 0.6
+	case level == 2:
+		return 1.2
+	default:
+		return 1.8
+	}
+}
+
+// Maneuver is the lane-change state machine (use case VI-A3): request the
+// resource, execute over a fixed duration, complete or abort.
+type Maneuver struct {
+	// TargetLane is where the vehicle is headed.
+	TargetLane int
+	// Progress in [0,1]; the lane index flips at 0.5.
+	Progress float64
+	// Duration is the total maneuver time in seconds.
+	Duration float64
+	active   bool
+	// Aborts counts abandoned maneuvers.
+	Aborts int64
+	// Completions counts finished maneuvers.
+	Completions int64
+}
+
+// Active reports whether a maneuver is in progress.
+func (m *Maneuver) Active() bool { return m.active }
+
+// Begin starts a lane change toward target. It fails if one is already
+// active.
+func (m *Maneuver) Begin(target int, duration float64) error {
+	if m.active {
+		return fmt.Errorf("vehicle: maneuver already active")
+	}
+	if duration <= 0 {
+		return fmt.Errorf("vehicle: maneuver duration must be positive")
+	}
+	m.TargetLane = target
+	m.Duration = duration
+	m.Progress = 0
+	m.active = true
+	return nil
+}
+
+// Abort abandons the maneuver (e.g. reservation lost). The vehicle
+// returns to its original lane if it has not crossed the midpoint.
+func (m *Maneuver) Abort() {
+	if !m.active {
+		return
+	}
+	m.active = false
+	m.Aborts++
+}
+
+// Step advances the maneuver by dt seconds and updates the body's lane at
+// the midpoint. It returns true when the maneuver completed this step.
+func (m *Maneuver) Step(b *Body, dt float64) bool {
+	if !m.active {
+		return false
+	}
+	m.Progress += dt / m.Duration
+	if m.Progress >= 0.5 && b.Lane != m.TargetLane {
+		b.Lane = m.TargetLane
+	}
+	if m.Progress >= 1 {
+		m.active = false
+		m.Completions++
+		return true
+	}
+	return false
+}

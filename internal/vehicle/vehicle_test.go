@@ -1,0 +1,297 @@
+package vehicle
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"karyon/internal/core"
+)
+
+func TestBodyStepConstantSpeed(t *testing.T) {
+	b := Body{Speed: 10}
+	b.Step(2)
+	if b.X != 20 || b.Speed != 10 {
+		t.Fatalf("body = %+v", b)
+	}
+}
+
+func TestBodyStepAcceleration(t *testing.T) {
+	b := Body{Speed: 10, Accel: 2}
+	b.Step(1)
+	if b.Speed != 12 || b.X != 11 {
+		t.Fatalf("body = %+v", b)
+	}
+}
+
+func TestBodyNeverReverses(t *testing.T) {
+	b := Body{Speed: 2, Accel: -4}
+	b.Step(2) // would reach -6 m/s without the stop clamp
+	if b.Speed != 0 {
+		t.Fatalf("speed = %v", b.Speed)
+	}
+	// Distance covered: v^2/(2a) = 4/8 = 0.5 m.
+	if math.Abs(b.X-0.5) > 1e-9 {
+		t.Fatalf("stopping distance = %v, want 0.5", b.X)
+	}
+	// Further braking keeps it parked.
+	b.Step(1)
+	if b.Speed != 0 || b.X != 0.5 {
+		t.Fatalf("parked body moved: %+v", b)
+	}
+}
+
+func TestBodyZeroDt(t *testing.T) {
+	b := Body{Speed: 5}
+	b.Step(0)
+	b.Step(-1)
+	if b.X != 0 {
+		t.Fatal("zero/negative dt moved the body")
+	}
+}
+
+func TestACCParamsValidate(t *testing.T) {
+	if err := DefaultACCParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultACCParams()
+	bad.TimeGap = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero time gap accepted")
+	}
+	bad = DefaultACCParams()
+	bad.MaxBrake = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero brake accepted")
+	}
+}
+
+func TestACCCruisesWithoutLead(t *testing.T) {
+	p := DefaultACCParams()
+	a := ACCAccel(p, 20, NoLead())
+	if a <= 0 || a > p.MaxAccel {
+		t.Fatalf("accel below cruise speed = %v", a)
+	}
+	a = ACCAccel(p, p.CruiseSpeed, NoLead())
+	if a != 0 {
+		t.Fatalf("accel at cruise speed = %v", a)
+	}
+	a = ACCAccel(p, 40, NoLead())
+	if a >= 0 {
+		t.Fatalf("accel above cruise speed = %v", a)
+	}
+}
+
+func TestACCBrakesWhenTooClose(t *testing.T) {
+	p := DefaultACCParams()
+	lead := LeadView{Present: true, Gap: 5, Speed: 25, Accel: math.NaN(), Validity: 1}
+	a := ACCAccel(p, 25, lead) // desired gap at 25 m/s = 3 + 45 = 48 m
+	if a >= 0 {
+		t.Fatalf("accel with 5 m gap = %v, want braking", a)
+	}
+}
+
+func TestACCTracksLeadSpeed(t *testing.T) {
+	p := DefaultACCParams()
+	// At the desired gap with matched speed, command ~0.
+	speed := 20.0
+	lead := LeadView{Present: true, Gap: p.DesiredGap(speed), Speed: speed, Accel: math.NaN(), Validity: 1}
+	if a := ACCAccel(p, speed, lead); math.Abs(a) > 1e-9 {
+		t.Fatalf("equilibrium accel = %v", a)
+	}
+}
+
+func TestACCRespectsBounds(t *testing.T) {
+	p := DefaultACCParams()
+	hugeGap := LeadView{Present: true, Gap: 10000, Speed: 60, Accel: math.NaN(), Validity: 1}
+	if a := ACCAccel(p, 0, hugeGap); a > p.MaxAccel {
+		t.Fatalf("accel %v exceeds max", a)
+	}
+	closing := LeadView{Present: true, Gap: 1, Speed: 0, Accel: math.NaN(), Validity: 1}
+	if a := ACCAccel(p, 40, closing); a < -p.MaxBrake {
+		t.Fatalf("brake %v exceeds max", a)
+	}
+}
+
+func TestACCDoesNotChaseLeadPastCruise(t *testing.T) {
+	p := DefaultACCParams()
+	fastLead := LeadView{Present: true, Gap: 200, Speed: 80, Accel: math.NaN(), Validity: 1}
+	a := ACCAccel(p, p.CruiseSpeed, fastLead)
+	if a > 0 {
+		t.Fatalf("accelerating past cruise speed: %v", a)
+	}
+}
+
+func TestCACCFeedForward(t *testing.T) {
+	p := DefaultACCParams()
+	speed := 20.0
+	base := LeadView{Present: true, Gap: p.DesiredGap(speed), Speed: speed, Accel: math.NaN(), Validity: 1}
+	coop := base
+	coop.Accel = -3 // leader announces braking over V2V
+	a0 := ACCAccel(p, speed, base)
+	a1 := ACCAccel(p, speed, coop)
+	if a1 >= a0 {
+		t.Fatalf("V2V brake announcement ignored: %v vs %v", a1, a0)
+	}
+}
+
+func TestEmergencyBrake(t *testing.T) {
+	p := DefaultACCParams()
+	fast := LeadView{Present: true, Gap: 10, Speed: 0, Accel: math.NaN(), Validity: 1}
+	if !EmergencyBrakeNeeded(p, 30, fast, 1.5) { // TTC = 0.33 s
+		t.Fatal("imminent collision not flagged")
+	}
+	safe := LeadView{Present: true, Gap: 100, Speed: 29, Accel: math.NaN(), Validity: 1}
+	if EmergencyBrakeNeeded(p, 30, safe, 1.5) { // TTC = 100 s
+		t.Fatal("safe following flagged")
+	}
+	opening := LeadView{Present: true, Gap: 10, Speed: 40, Accel: math.NaN(), Validity: 1}
+	if EmergencyBrakeNeeded(p, 30, opening, 1.5) {
+		t.Fatal("opening gap flagged")
+	}
+	if EmergencyBrakeNeeded(p, 30, NoLead(), 1.5) {
+		t.Fatal("free road flagged")
+	}
+	nearStop := LeadView{Present: true, Gap: 2, Speed: 2, Accel: math.NaN(), Validity: 1}
+	if !EmergencyBrakeNeeded(p, 2.1, nearStop, 1.5) {
+		t.Fatal("sub-standstill gap not flagged")
+	}
+}
+
+func TestTimeGapForLoS(t *testing.T) {
+	if TimeGapForLoS(1) != 1.8 || TimeGapForLoS(2) != 1.2 || TimeGapForLoS(3) != 0.6 {
+		t.Fatal("LoS time-gap ladder wrong")
+	}
+	if TimeGapForLoS(5) != 0.6 {
+		t.Fatal("levels above 3 should use the cooperative gap")
+	}
+	// The paper's monotonicity: higher LoS, smaller margin.
+	if !(TimeGapForLoS(1) > TimeGapForLoS(2) && TimeGapForLoS(2) > TimeGapForLoS(3)) {
+		t.Fatal("time gap not monotone in LoS")
+	}
+	_ = core.LevelSafe
+}
+
+func TestManeuverLifecycle(t *testing.T) {
+	var m Maneuver
+	b := Body{Lane: 0}
+	if err := m.Begin(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Begin(2, 4); err == nil {
+		t.Fatal("double Begin accepted")
+	}
+	if m.Step(&b, 1); b.Lane != 0 {
+		t.Fatal("lane flipped before midpoint")
+	}
+	if m.Step(&b, 1.2); b.Lane != 1 {
+		t.Fatal("lane did not flip after midpoint")
+	}
+	done := m.Step(&b, 2)
+	if !done || m.Active() || m.Completions != 1 {
+		t.Fatalf("completion: done=%v active=%v completions=%d", done, m.Active(), m.Completions)
+	}
+}
+
+func TestManeuverAbort(t *testing.T) {
+	var m Maneuver
+	b := Body{Lane: 0}
+	if err := m.Begin(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	m.Step(&b, 1)
+	m.Abort()
+	if m.Active() || m.Aborts != 1 || b.Lane != 0 {
+		t.Fatalf("abort: active=%v aborts=%d lane=%d", m.Active(), m.Aborts, b.Lane)
+	}
+	m.Abort() // idempotent
+	if m.Aborts != 1 {
+		t.Fatal("double abort counted")
+	}
+	if err := m.Begin(1, 0); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+// Property: a follower governed by ACC behind a constant-speed leader
+// never collides and converges near the desired gap.
+func TestPropertyACCConvergesNoCollision(t *testing.T) {
+	f := func(seedGap uint8, seedSpeed uint8) bool {
+		p := DefaultACCParams()
+		leadSpeed := 5 + float64(seedSpeed%25)
+		gap := 5 + float64(seedGap)
+		// Start at the leader's speed: an arbitrary closing speed at an
+		// arbitrary gap can make a collision physically unavoidable, which
+		// is not the controller's fault.
+		follower := Body{X: 0, Speed: leadSpeed}
+		leaderX := gap + follower.Length
+		dt := 0.05
+		for i := 0; i < 4000; i++ {
+			g := leaderX - follower.X
+			lead := LeadView{Present: true, Gap: g, Speed: leadSpeed, Accel: math.NaN(), Validity: 1}
+			if EmergencyBrakeNeeded(p, follower.Speed, lead, 1.5) {
+				follower.Accel = -p.MaxBrake
+			} else {
+				follower.Accel = ACCAccel(p, follower.Speed, lead)
+			}
+			follower.Step(dt)
+			leaderX += leadSpeed * dt
+			if leaderX-follower.X <= 0 {
+				return false // collision
+			}
+		}
+		finalGap := leaderX - follower.X
+		want := p.DesiredGap(leadSpeed)
+		return math.Abs(finalGap-want) < 5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the body never reverses and never teleports — position change
+// per step is bounded by speed*dt + accel*dt^2.
+func TestPropertyBodyKinematics(t *testing.T) {
+	f := func(accels []int8) bool {
+		b := Body{Speed: 10}
+		dt := 0.1
+		for _, a := range accels {
+			b.Accel = float64(a) / 8 // ±16 m/s^2
+			prevX, prevV := b.X, b.Speed
+			b.Step(dt)
+			if b.Speed < 0 {
+				return false
+			}
+			if b.X < prevX {
+				return false // no reversing
+			}
+			maxAdvance := prevV*dt + 0.5*16*dt*dt + 1e-9
+			if b.X-prevX > maxAdvance {
+				return false // no teleporting
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ACC output is always within [-MaxBrake, MaxAccel] for any
+// finite view.
+func TestPropertyACCBounded(t *testing.T) {
+	p := DefaultACCParams()
+	f := func(gap, leadSpeed, speed float64) bool {
+		if math.IsNaN(gap) || math.IsInf(gap, 0) ||
+			math.IsNaN(leadSpeed) || math.IsInf(leadSpeed, 0) ||
+			math.IsNaN(speed) || math.IsInf(speed, 0) {
+			return true
+		}
+		lead := LeadView{Present: true, Gap: gap, Speed: leadSpeed, Accel: math.NaN(), Validity: 1}
+		a := ACCAccel(p, speed, lead)
+		return a >= -p.MaxBrake && a <= p.MaxAccel
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,158 @@
+package wireless
+
+import (
+	"karyon/internal/sim"
+)
+
+// Link is a unidirectional point-to-point channel with configurable loss,
+// duplication, reordering and bounded capacity. It is the adversarial
+// channel model of Dolev et al. [12] used by the self-stabilizing
+// end-to-end experiments, and a convenient building block for protocol
+// unit tests.
+type Link struct {
+	kernel *sim.Kernel
+	cfg    LinkConfig
+	// inFlight counts packets currently queued for delivery (capacity).
+	inFlight int
+	deliver  func(payload any)
+	stats    LinkStats
+}
+
+// LinkConfig parameterizes a Link.
+type LinkConfig struct {
+	// Delay is the base one-way delay.
+	Delay sim.Time
+	// Jitter adds a uniform random extra delay in [0, Jitter].
+	Jitter sim.Time
+	// LossProb drops a packet entirely.
+	LossProb float64
+	// DupProb delivers a packet twice.
+	DupProb float64
+	// ReorderProb delivers a packet with an extra random delay, letting
+	// later packets overtake it.
+	ReorderProb float64
+	// ReorderDelay is the extra delay applied to reordered packets.
+	ReorderDelay sim.Time
+	// Capacity bounds the number of in-flight packets; sends beyond it are
+	// dropped (bounded-capacity channel). Zero means unbounded.
+	Capacity int
+}
+
+// LinkStats counts link-level outcomes.
+type LinkStats struct {
+	Sent       int64
+	Delivered  int64
+	Dropped    int64
+	Duplicated int64
+	Reordered  int64
+	Overflowed int64
+}
+
+// NewLink creates a link over the kernel delivering to fn.
+func NewLink(kernel *sim.Kernel, cfg LinkConfig, fn func(payload any)) *Link {
+	return &Link{kernel: kernel, cfg: cfg, deliver: fn}
+}
+
+// Stats returns a copy of the link statistics.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// InFlight returns the current number of queued packets.
+func (l *Link) InFlight() int { return l.inFlight }
+
+// Send offers payload to the link. Depending on configuration it may be
+// lost, duplicated, reordered or rejected for capacity.
+func (l *Link) Send(payload any) {
+	l.stats.Sent++
+	if l.cfg.Capacity > 0 && l.inFlight >= l.cfg.Capacity {
+		l.stats.Overflowed++
+		return
+	}
+	rng := l.kernel.Rand()
+	if l.cfg.LossProb > 0 && rng.Float64() < l.cfg.LossProb {
+		l.stats.Dropped++
+		return
+	}
+	n := 1
+	if l.cfg.DupProb > 0 && rng.Float64() < l.cfg.DupProb {
+		n = 2
+		l.stats.Duplicated++
+	}
+	for i := 0; i < n; i++ {
+		d := l.cfg.Delay
+		if l.cfg.Jitter > 0 {
+			d += sim.Time(rng.Int63n(int64(l.cfg.Jitter) + 1))
+		}
+		if l.cfg.ReorderProb > 0 && rng.Float64() < l.cfg.ReorderProb {
+			d += l.cfg.ReorderDelay
+			l.stats.Reordered++
+		}
+		l.inFlight++
+		l.kernel.Schedule(d, func() {
+			l.inFlight--
+			l.stats.Delivered++
+			l.deliver(payload)
+		})
+	}
+}
+
+// Bus is a reliable broadcast bus with a fixed delivery delay — the
+// stand-in for the CAN field bus below KARYON's hybridization line. All
+// attached endpoints except the sender receive every message, in order,
+// after Delay. The zero value is not usable; construct with NewBus.
+type Bus struct {
+	kernel    *sim.Kernel
+	delay     sim.Time
+	handlers  map[NodeID]func(from NodeID, payload any)
+	delivered int64
+}
+
+// NewBus creates a bus with the given fixed delivery delay.
+func NewBus(kernel *sim.Kernel, delay sim.Time) *Bus {
+	return &Bus{
+		kernel:   kernel,
+		delay:    delay,
+		handlers: make(map[NodeID]func(from NodeID, payload any)),
+	}
+}
+
+// Attach registers an endpoint handler. Re-attaching replaces the handler.
+func (b *Bus) Attach(id NodeID, fn func(from NodeID, payload any)) {
+	b.handlers[id] = fn
+}
+
+// Detach removes an endpoint.
+func (b *Bus) Detach(id NodeID) {
+	delete(b.handlers, id)
+}
+
+// Delivered returns the total number of per-endpoint deliveries.
+func (b *Bus) Delivered() int64 { return b.delivered }
+
+// Broadcast sends payload from the given endpoint to all other endpoints.
+func (b *Bus) Broadcast(from NodeID, payload any) {
+	// Snapshot receiver ids for deterministic iteration independent of map
+	// mutation during delivery.
+	ids := make([]NodeID, 0, len(b.handlers))
+	for id := range b.handlers {
+		if id != from {
+			ids = append(ids, id)
+		}
+	}
+	sortNodeIDs(ids)
+	b.kernel.Schedule(b.delay, func() {
+		for _, id := range ids {
+			if fn, ok := b.handlers[id]; ok {
+				b.delivered++
+				fn(from, payload)
+			}
+		}
+	})
+}
+
+func sortNodeIDs(ids []NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

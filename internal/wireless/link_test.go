@@ -1,0 +1,191 @@
+package wireless
+
+import (
+	"testing"
+	"testing/quick"
+
+	"karyon/internal/sim"
+)
+
+func TestLinkDelivers(t *testing.T) {
+	k := sim.NewKernel(1)
+	var got []any
+	l := NewLink(k, LinkConfig{Delay: 5 * sim.Millisecond}, func(p any) {
+		got = append(got, p)
+	})
+	l.Send("a")
+	l.Send("b")
+	k.RunUntilIdle()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("got %v", got)
+	}
+	if k.Now() != 5*sim.Millisecond {
+		t.Fatalf("delivery time %v", k.Now())
+	}
+	if s := l.Stats(); s.Sent != 2 || s.Delivered != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestLinkLoss(t *testing.T) {
+	k := sim.NewKernel(2)
+	got := 0
+	l := NewLink(k, LinkConfig{LossProb: 1}, func(any) { got++ })
+	for i := 0; i < 10; i++ {
+		l.Send(i)
+	}
+	k.RunUntilIdle()
+	if got != 0 {
+		t.Fatalf("lossy link delivered %d", got)
+	}
+	if l.Stats().Dropped != 10 {
+		t.Fatalf("stats %+v", l.Stats())
+	}
+}
+
+func TestLinkDuplication(t *testing.T) {
+	k := sim.NewKernel(3)
+	got := 0
+	l := NewLink(k, LinkConfig{DupProb: 1}, func(any) { got++ })
+	l.Send("x")
+	k.RunUntilIdle()
+	if got != 2 {
+		t.Fatalf("dup link delivered %d, want 2", got)
+	}
+	if l.Stats().Duplicated != 1 {
+		t.Fatalf("stats %+v", l.Stats())
+	}
+}
+
+func TestLinkReordering(t *testing.T) {
+	k := sim.NewKernel(4)
+	var got []any
+	cfg := LinkConfig{Delay: sim.Millisecond, ReorderProb: 0, ReorderDelay: 10 * sim.Millisecond}
+	l := NewLink(k, cfg, func(p any) { got = append(got, p) })
+	// Manually force reorder on the first packet only by toggling config.
+	l.cfg.ReorderProb = 1
+	l.Send("late")
+	l.cfg.ReorderProb = 0
+	l.Send("early")
+	k.RunUntilIdle()
+	if len(got) != 2 || got[0] != "early" || got[1] != "late" {
+		t.Fatalf("got %v, want [early late]", got)
+	}
+	if l.Stats().Reordered != 1 {
+		t.Fatalf("stats %+v", l.Stats())
+	}
+}
+
+func TestLinkCapacity(t *testing.T) {
+	k := sim.NewKernel(5)
+	got := 0
+	l := NewLink(k, LinkConfig{Delay: sim.Millisecond, Capacity: 2}, func(any) { got++ })
+	l.Send(1)
+	l.Send(2)
+	l.Send(3) // overflows
+	if l.InFlight() != 2 {
+		t.Fatalf("InFlight = %d", l.InFlight())
+	}
+	k.RunUntilIdle()
+	if got != 2 {
+		t.Fatalf("delivered %d, want 2", got)
+	}
+	if l.Stats().Overflowed != 1 {
+		t.Fatalf("stats %+v", l.Stats())
+	}
+	// Capacity frees after delivery.
+	l.Send(4)
+	k.RunUntilIdle()
+	if got != 3 {
+		t.Fatalf("post-drain send not delivered: %d", got)
+	}
+}
+
+func TestLinkJitterBounded(t *testing.T) {
+	k := sim.NewKernel(6)
+	var times []sim.Time
+	cfg := LinkConfig{Delay: sim.Millisecond, Jitter: 2 * sim.Millisecond}
+	l := NewLink(k, cfg, func(any) { times = append(times, k.Now()) })
+	for i := 0; i < 100; i++ {
+		l.Send(i)
+	}
+	k.RunUntilIdle()
+	for _, at := range times {
+		if at < sim.Millisecond || at > 3*sim.Millisecond {
+			t.Fatalf("delivery at %v outside [1ms,3ms]", at)
+		}
+	}
+}
+
+func TestBusBroadcast(t *testing.T) {
+	k := sim.NewKernel(7)
+	b := NewBus(k, 100*sim.Microsecond)
+	var got []NodeID
+	for _, id := range []NodeID{3, 1, 2} {
+		id := id
+		b.Attach(id, func(from NodeID, payload any) {
+			if from != 9 || payload != "m" {
+				t.Errorf("bad delivery from=%d payload=%v", from, payload)
+			}
+			got = append(got, id)
+		})
+	}
+	b.Attach(9, func(NodeID, any) { t.Error("sender received own message") })
+	b.Broadcast(9, "m")
+	k.RunUntilIdle()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("delivery order = %v, want [1 2 3]", got)
+	}
+	if b.Delivered() != 3 {
+		t.Fatalf("Delivered = %d", b.Delivered())
+	}
+}
+
+func TestBusDetach(t *testing.T) {
+	k := sim.NewKernel(8)
+	b := NewBus(k, sim.Microsecond)
+	got := 0
+	b.Attach(1, func(NodeID, any) { got++ })
+	b.Attach(2, func(NodeID, any) {})
+	b.Detach(1)
+	b.Broadcast(2, "x")
+	k.RunUntilIdle()
+	if got != 0 {
+		t.Fatal("detached endpoint received")
+	}
+}
+
+// Property: link accounting conserves packets — every send is eventually
+// delivered, dropped, or rejected for capacity, and duplicates add at
+// most one delivery each.
+func TestPropertyLinkConservation(t *testing.T) {
+	f := func(seed int64, lossPct, dupPct uint8) bool {
+		k := sim.NewKernel(seed)
+		cfg := LinkConfig{
+			Delay:    sim.Millisecond,
+			LossProb: float64(lossPct%100) / 100,
+			DupProb:  float64(dupPct%100) / 100,
+			Capacity: 4,
+		}
+		delivered := 0
+		l := NewLink(k, cfg, func(any) { delivered++ })
+		n := 200
+		for i := 0; i < n; i++ {
+			k.Schedule(sim.Time(i)*2*sim.Millisecond, func() { l.Send(i) })
+		}
+		k.RunUntilIdle()
+		s := l.Stats()
+		if s.Sent != int64(n) {
+			return false
+		}
+		if int64(delivered) != s.Delivered {
+			return false
+		}
+		// delivered = sent - dropped - overflowed + duplicated
+		want := s.Sent - s.Dropped - s.Overflowed + s.Duplicated
+		return s.Delivered == want && l.InFlight() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,334 @@
+package wireless
+
+import (
+	"testing"
+
+	"karyon/internal/sim"
+)
+
+func newTestMedium(t *testing.T, cfg Config) (*sim.Kernel, *Medium) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	return k, NewMedium(k, cfg)
+}
+
+func attach(t *testing.T, m *Medium, id NodeID, pos Position) *Radio {
+	t.Helper()
+	r, err := m.Attach(id, pos)
+	if err != nil {
+		t.Fatalf("attach %d: %v", id, err)
+	}
+	return r
+}
+
+func TestBroadcastInRangeDelivered(t *testing.T) {
+	k, m := newTestMedium(t, DefaultConfig())
+	a := attach(t, m, 1, Position{})
+	b := attach(t, m, 2, Position{X: 100})
+	var got []Frame
+	b.OnReceive(func(f Frame) { got = append(got, f) })
+	a.Broadcast("hello")
+	k.RunUntilIdle()
+	if len(got) != 1 {
+		t.Fatalf("delivered %d frames, want 1", len(got))
+	}
+	if got[0].From != 1 || got[0].Payload != "hello" {
+		t.Fatalf("frame = %+v", got[0])
+	}
+	if got[0].SentAt != 0 {
+		t.Fatalf("SentAt = %v", got[0].SentAt)
+	}
+	if s := m.Stats(); s.Sent != 1 || s.Delivered != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestBroadcastOutOfRangeDropped(t *testing.T) {
+	k, m := newTestMedium(t, DefaultConfig())
+	a := attach(t, m, 1, Position{})
+	b := attach(t, m, 2, Position{X: 1000})
+	received := false
+	b.OnReceive(func(Frame) { received = true })
+	var drops []DropReason
+	m.SetDropObserver(func(_ NodeID, r DropReason) { drops = append(drops, r) })
+	a.Broadcast("x")
+	k.RunUntilIdle()
+	if received {
+		t.Fatal("out-of-range frame delivered")
+	}
+	if len(drops) != 1 || drops[0] != DropOutOfRange {
+		t.Fatalf("drops = %v", drops)
+	}
+}
+
+func TestSenderDoesNotHearItself(t *testing.T) {
+	k, m := newTestMedium(t, DefaultConfig())
+	a := attach(t, m, 1, Position{})
+	heard := false
+	a.OnReceive(func(Frame) { heard = true })
+	a.Broadcast("x")
+	k.RunUntilIdle()
+	if heard {
+		t.Fatal("sender received its own frame")
+	}
+}
+
+func TestCollisionWhenOverlapping(t *testing.T) {
+	k, m := newTestMedium(t, DefaultConfig())
+	a := attach(t, m, 1, Position{})
+	b := attach(t, m, 2, Position{X: 10})
+	c := attach(t, m, 3, Position{X: 20})
+	var got int
+	c.OnReceive(func(Frame) { got++ })
+	// Both transmit at t=0: overlapping airtimes, both in range of c.
+	a.Broadcast("a")
+	b.Broadcast("b")
+	k.RunUntilIdle()
+	if got != 0 {
+		t.Fatalf("collided frames delivered: %d", got)
+	}
+	if m.Stats().Collisions == 0 {
+		t.Fatal("no collisions recorded")
+	}
+}
+
+func TestNoCollisionWhenSequential(t *testing.T) {
+	k, m := newTestMedium(t, DefaultConfig())
+	a := attach(t, m, 1, Position{})
+	b := attach(t, m, 2, Position{X: 10})
+	c := attach(t, m, 3, Position{X: 20})
+	var got int
+	c.OnReceive(func(Frame) { got++ })
+	a.Broadcast("a")
+	k.Schedule(m.Config().Airtime+m.Config().PropDelay+sim.Microsecond, func() {
+		b.Broadcast("b")
+	})
+	k.RunUntilIdle()
+	if got != 2 {
+		t.Fatalf("sequential frames delivered = %d, want 2", got)
+	}
+	if m.Stats().Collisions != 0 {
+		t.Fatalf("unexpected collisions: %+v", m.Stats())
+	}
+}
+
+func TestHiddenTerminalNoCollision(t *testing.T) {
+	// a and c are out of range of each other; b hears both. Simultaneous
+	// transmissions collide at b (classic hidden terminal), but a frame
+	// from a to a node near a is unaffected by c.
+	cfg := DefaultConfig()
+	cfg.Range = 150
+	k, m := newTestMedium(t, cfg)
+	a := attach(t, m, 1, Position{X: 0})
+	attachB := attach(t, m, 2, Position{X: 140})
+	c := attach(t, m, 3, Position{X: 280})
+	near := attach(t, m, 4, Position{X: 10})
+	bGot, nearGot := 0, 0
+	attachB.OnReceive(func(Frame) { bGot++ })
+	near.OnReceive(func(Frame) { nearGot++ })
+	a.Broadcast("a")
+	c.Broadcast("c")
+	k.RunUntilIdle()
+	if bGot != 0 {
+		t.Fatalf("hidden-terminal collision not detected at b: got %d", bGot)
+	}
+	if nearGot != 1 {
+		t.Fatalf("near receiver should get a's frame only: got %d", nearGot)
+	}
+}
+
+func TestJamBlocksDelivery(t *testing.T) {
+	k, m := newTestMedium(t, DefaultConfig())
+	a := attach(t, m, 1, Position{})
+	b := attach(t, m, 2, Position{X: 10})
+	got := 0
+	b.OnReceive(func(Frame) { got++ })
+	m.Jam(0, 10*sim.Millisecond)
+	a.Broadcast("x")
+	k.RunUntilIdle()
+	if got != 0 {
+		t.Fatal("jammed frame delivered")
+	}
+	if m.Stats().Jammed == 0 {
+		t.Fatal("jam not recorded")
+	}
+	// After the jam expires, frames flow again.
+	k.At(20*sim.Millisecond, func() { a.Broadcast("y") })
+	k.RunUntilIdle()
+	if got != 1 {
+		t.Fatalf("post-jam frame not delivered: got=%d", got)
+	}
+}
+
+func TestJamExtendsNotShortens(t *testing.T) {
+	k, m := newTestMedium(t, DefaultConfig())
+	m.Jam(0, 10*sim.Millisecond)
+	m.Jam(0, 2*sim.Millisecond) // must not shorten
+	if !m.Jammed(0) {
+		t.Fatal("channel should be jammed")
+	}
+	k.Schedule(5*sim.Millisecond, func() {
+		if !m.Jammed(0) {
+			t.Error("jam ended early")
+		}
+	})
+	k.Schedule(11*sim.Millisecond, func() {
+		if m.Jammed(0) {
+			t.Error("jam did not expire")
+		}
+	})
+	k.RunUntilIdle()
+}
+
+func TestChannelsAreOrthogonal(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 2
+	k, m := newTestMedium(t, cfg)
+	a := attach(t, m, 1, Position{})
+	b := attach(t, m, 2, Position{X: 10})
+	c := attach(t, m, 3, Position{X: 20})
+	b.SetChannel(1)
+	cGot, bGot := 0, 0
+	c.OnReceive(func(Frame) { cGot++ })
+	b.OnReceive(func(Frame) { bGot++ })
+	a.Broadcast("ch0") // b is tuned to 1, misses it; c on 0 receives
+	k.RunUntilIdle()
+	if bGot != 0 || cGot != 1 {
+		t.Fatalf("bGot=%d cGot=%d, want 0/1", bGot, cGot)
+	}
+	// Jam on channel 0 does not affect channel 1.
+	m.Jam(0, sim.Second)
+	a.SetChannel(1)
+	a.Broadcast("ch1")
+	k.RunUntilIdle()
+	if bGot != 1 {
+		t.Fatalf("channel-1 frame lost under channel-0 jam: bGot=%d", bGot)
+	}
+}
+
+func TestCarrierSense(t *testing.T) {
+	k, m := newTestMedium(t, DefaultConfig())
+	a := attach(t, m, 1, Position{})
+	b := attach(t, m, 2, Position{X: 10})
+	far := attach(t, m, 3, Position{X: 5000})
+	if b.CarrierBusy() {
+		t.Fatal("idle medium reported busy")
+	}
+	a.Broadcast("x")
+	if b.CarrierBusy() {
+		t.Fatal("carrier must not be sensed before propagation (vulnerability window)")
+	}
+	k.Schedule(m.Config().Airtime/2, func() {
+		if !b.CarrierBusy() {
+			t.Error("in-range receiver should sense carrier mid-airtime")
+		}
+		if far.CarrierBusy() {
+			t.Error("far node should not sense carrier")
+		}
+		if a.CarrierBusy() {
+			t.Error("transmitter's own frame should not count as busy carrier")
+		}
+	})
+	k.RunUntilIdle()
+	if b.CarrierBusy() {
+		t.Fatal("carrier busy after completion")
+	}
+	m.Jam(0, sim.Millisecond)
+	if !b.CarrierBusy() {
+		t.Fatal("jam should read as busy carrier")
+	}
+}
+
+func TestLossProbability(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LossProb = 0.5
+	k, m := newTestMedium(t, cfg)
+	a := attach(t, m, 1, Position{})
+	b := attach(t, m, 2, Position{X: 10})
+	got := 0
+	b.OnReceive(func(Frame) { got++ })
+	n := 2000
+	for i := 0; i < n; i++ {
+		k.Schedule(sim.Time(i)*sim.Millisecond, func() { a.Broadcast(i) })
+	}
+	k.RunUntilIdle()
+	frac := float64(got) / float64(n)
+	if frac < 0.42 || frac > 0.58 {
+		t.Fatalf("delivery fraction %v far from 0.5", frac)
+	}
+}
+
+func TestAttachDuplicate(t *testing.T) {
+	_, m := newTestMedium(t, DefaultConfig())
+	if _, err := m.Attach(1, Position{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Attach(1, Position{}); err == nil {
+		t.Fatal("duplicate attach should error")
+	}
+}
+
+func TestDetachStopsDelivery(t *testing.T) {
+	k, m := newTestMedium(t, DefaultConfig())
+	a := attach(t, m, 1, Position{})
+	b := attach(t, m, 2, Position{X: 10})
+	got := 0
+	b.OnReceive(func(Frame) { got++ })
+	m.Detach(2)
+	a.Broadcast("x")
+	k.RunUntilIdle()
+	if got != 0 {
+		t.Fatal("detached radio received a frame")
+	}
+}
+
+func TestNeighborsSortedAndRanged(t *testing.T) {
+	_, m := newTestMedium(t, DefaultConfig())
+	a := attach(t, m, 5, Position{})
+	attach(t, m, 3, Position{X: 100})
+	attach(t, m, 9, Position{X: 200})
+	attach(t, m, 7, Position{X: 9999})
+	n := a.Neighbors()
+	if len(n) != 2 || n[0] != 3 || n[1] != 9 {
+		t.Fatalf("neighbors = %v, want [3 9]", n)
+	}
+}
+
+func TestSetChannelClamped(t *testing.T) {
+	_, m := newTestMedium(t, DefaultConfig())
+	a := attach(t, m, 1, Position{})
+	a.SetChannel(-3)
+	if a.Channel() != 0 {
+		t.Fatalf("negative channel not clamped: %d", a.Channel())
+	}
+	a.SetChannel(99)
+	if a.Channel() != 0 {
+		t.Fatalf("over-range channel not clamped: %d", a.Channel())
+	}
+}
+
+func TestDistance(t *testing.T) {
+	p := Position{X: 3, Y: 4}
+	if d := p.Distance(Position{}); d != 5 {
+		t.Fatalf("distance = %v, want 5", d)
+	}
+	q := Position{X: 1, Y: 2, Z: 2}
+	if d := q.Distance(Position{X: 1, Y: 2, Z: 0}); d != 2 {
+		t.Fatalf("3D distance = %v, want 2", d)
+	}
+}
+
+func TestDropReasonString(t *testing.T) {
+	cases := map[DropReason]string{
+		DropLoss:       "loss",
+		DropCollision:  "collision",
+		DropJam:        "jam",
+		DropOutOfRange: "range",
+		DropReason(99): "unknown",
+	}
+	for r, want := range cases {
+		if r.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", r, r.String(), want)
+		}
+	}
+}

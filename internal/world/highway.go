@@ -1,0 +1,659 @@
+// Package world assembles the automotive scenarios of paper Sec. VI-A:
+// a ring highway where every car runs the full KARYON stack — abstract
+// distance sensing with validity, V2V cooperative state, a per-vehicle
+// Safety Kernel choosing the Level of Service, the LoS-dependent ACC time
+// gap, and a Simplex actuation gate — and a signalized intersection whose
+// physical traffic light can fail and be replaced by the virtual traffic
+// light (use case VI-A2).
+package world
+
+import (
+	"fmt"
+	"math"
+
+	"karyon/internal/coord"
+	"karyon/internal/core"
+	"karyon/internal/gear"
+	"karyon/internal/metrics"
+	"karyon/internal/sensor"
+	"karyon/internal/sim"
+	"karyon/internal/vehicle"
+	"karyon/internal/wireless"
+)
+
+// LoSMode selects how a car's level of service is governed.
+type LoSMode int
+
+// LoS governance modes for experiments.
+const (
+	// ModeAdaptive runs the KARYON safety kernel (the paper's system).
+	ModeAdaptive LoSMode = iota + 1
+	// ModeFixed pins the LoS regardless of conditions but still honors
+	// perception validity for the degraded-perception fallback.
+	ModeFixed
+	// ModeReckless pins LoS at the highest level AND ignores validity —
+	// the "complex function without a safety kernel" baseline.
+	ModeReckless
+)
+
+// HighwayConfig parameterizes the ring-highway scenario.
+type HighwayConfig struct {
+	// Length is the ring circumference in meters.
+	Length float64
+	// Cars is the number of vehicles.
+	Cars int
+	// Lanes is the number of lanes (default 1). With more than one lane,
+	// vehicles overtake slow leaders through agreement-coordinated lane
+	// changes (use case VI-A3): the maneuver region is reserved via the
+	// coord protocol, so at most one vehicle changes lanes per road
+	// segment at a time.
+	Lanes int
+	// ControlPeriod is the per-car control loop period.
+	ControlPeriod sim.Time
+	// V2VPeriod is the cooperative-state beacon period (0 disables V2V).
+	V2VPeriod sim.Time
+	// Mode and FixedLoS govern LoS selection.
+	Mode     LoSMode
+	FixedLoS core.LoS
+	// SensorSigma is the distance sensor's nominal noise (m).
+	SensorSigma float64
+	// Loss is the wireless frame loss probability.
+	Loss float64
+}
+
+// DefaultHighwayConfig returns a 30-car, 2 km ring.
+func DefaultHighwayConfig() HighwayConfig {
+	return HighwayConfig{
+		Length:        2000,
+		Cars:          30,
+		ControlPeriod: 100 * sim.Millisecond,
+		V2VPeriod:     100 * sim.Millisecond,
+		Mode:          ModeAdaptive,
+		FixedLoS:      core.LevelSafe,
+		SensorSigma:   0.3,
+	}
+}
+
+// Car is one vehicle with its full KARYON stack.
+type Car struct {
+	ID   wireless.NodeID
+	Body vehicle.Body
+
+	radio *wireless.Radio
+	// dist is the abstract *reliable* distance sensor: three redundant
+	// transducers fused (Marzullo, f=1). Component redundancy is what
+	// masks a permanent offset on one transducer — a fault no single
+	// abstract sensor can detect (Sec. IV-B).
+	dist    *sensor.Reliable
+	inputs  []*sensor.Abstract
+	table   *coord.StateTable
+	manager *core.Manager
+	fn      *core.Functionality
+	gate    *core.Gate
+	params  vehicle.ACCParams
+
+	// forcedBrakeUntil implements an external hazard (campaign
+	// disturbance): the driver/plant brakes hard until this instant.
+	forcedBrakeUntil sim.Time
+
+	// Lane-change machinery (multi-lane highways only).
+	agree       *coord.Agreement
+	maneuver    vehicle.Maneuver
+	heldRegion  coord.Resource
+	nextAttempt sim.Time
+	// LaneChanges counts completed maneuvers.
+	LaneChanges int64
+
+	// est tracks the lead vehicle through the physical channel (GEAR's
+	// actuation-perception loop): lead speed below LoS3, and a hidden-
+	// channel cross-check of V2V claims at LoS3.
+	est    *gear.LeadEstimator
+	hidden *gear.HiddenChannel
+
+	// EmergencyBrakes counts emergency interventions.
+	EmergencyBrakes int64
+	// DegradedTicks counts control cycles spent in the blind fallback.
+	DegradedTicks int64
+}
+
+// LoS returns the car's current level of service.
+func (c *Car) LoS() core.LoS { return c.fn.Current() }
+
+// DistanceSensor exposes the first redundant transducer — the campaign's
+// default injection point.
+func (c *Car) DistanceSensor() *sensor.Abstract { return c.inputs[0] }
+
+// SensorInputs exposes all redundant transducers (multi-fault campaigns).
+func (c *Car) SensorInputs() []*sensor.Abstract { return c.inputs }
+
+// FusedSensor exposes the reliable (fused) distance sensor.
+func (c *Car) FusedSensor() *sensor.Reliable { return c.dist }
+
+// ForceBrake makes the car brake hard for d (an external hazard, e.g. an
+// obstacle on the road — the campaign's disturbance event).
+func (c *Car) ForceBrake(now sim.Time, d sim.Time) {
+	c.forcedBrakeUntil = now + d
+}
+
+// SetCruiseSpeed changes the car's free-flow set speed (heterogeneous
+// traffic in experiments: a slow truck among cars).
+func (c *Car) SetCruiseSpeed(v float64) {
+	if v > 0 {
+		c.params.CruiseSpeed = v
+	}
+}
+
+// Manager exposes the car's safety kernel.
+func (c *Car) Manager() *core.Manager { return c.manager }
+
+// Gate exposes the car's actuation gate.
+func (c *Car) Gate() *core.Gate { return c.gate }
+
+// debugCollisions, when set by a test, prints the full geometry of every
+// collision — the fastest way to diagnose a lane-change safety hole.
+var debugCollisions = false
+
+// Highway is the ring-road world.
+type Highway struct {
+	cfg    HighwayConfig
+	kernel *sim.Kernel
+	medium *wireless.Medium
+	cars   []*Car
+
+	// Collisions counts bumper overlaps (the safety metric — the paper's
+	// claim is that this stays zero with the kernel engaged).
+	Collisions int64
+	// TimeGaps collects observed time gaps (s) at every control step.
+	TimeGaps metrics.Histogram
+	// speedSum/speedN accumulate mean-speed statistics.
+	speedSum float64
+	speedN   int64
+
+	tickers []*sim.Ticker
+}
+
+// v2vBeacon is the broadcast cooperative state (adds acceleration to the
+// coord state for CACC feed-forward).
+type v2vBeacon struct {
+	State coord.CoopState
+	Accel float64
+}
+
+// NewHighway builds the world on the kernel.
+func NewHighway(kernel *sim.Kernel, cfg HighwayConfig) (*Highway, error) {
+	if cfg.Cars < 1 || cfg.Length <= 0 {
+		return nil, fmt.Errorf("world: invalid highway config %+v", cfg)
+	}
+	if cfg.ControlPeriod <= 0 {
+		return nil, fmt.Errorf("world: control period must be positive")
+	}
+	if cfg.Lanes < 1 {
+		cfg.Lanes = 1
+	}
+	mcfg := wireless.DefaultConfig()
+	mcfg.LossProb = cfg.Loss
+	h := &Highway{cfg: cfg, kernel: kernel, medium: wireless.NewMedium(kernel, mcfg)}
+	spacing := cfg.Length / float64(cfg.Cars)
+	for i := 0; i < cfg.Cars; i++ {
+		car, err := h.newCar(wireless.NodeID(i), float64(i)*spacing)
+		if err != nil {
+			return nil, err
+		}
+		h.cars = append(h.cars, car)
+	}
+	return h, nil
+}
+
+// Cars returns the vehicles.
+func (h *Highway) Cars() []*Car { return h.cars }
+
+// Medium returns the wireless medium (for jam injection).
+func (h *Highway) Medium() *wireless.Medium { return h.medium }
+
+// MeanSpeed returns the time-averaged fleet speed (m/s).
+func (h *Highway) MeanSpeed() float64 {
+	if h.speedN == 0 {
+		return 0
+	}
+	return h.speedSum / float64(h.speedN)
+}
+
+// Flow returns the traffic flow in vehicles/hour past a point: mean speed
+// times density.
+func (h *Highway) Flow() float64 {
+	density := float64(h.cfg.Cars) / h.cfg.Length // veh/m
+	return h.MeanSpeed() * density * 3600
+}
+
+func (h *Highway) newCar(id wireless.NodeID, x float64) (*Car, error) {
+	radio, err := h.medium.Attach(id, wireless.Position{X: x})
+	if err != nil {
+		return nil, err
+	}
+	c := &Car{
+		ID:     id,
+		Body:   vehicle.Body{X: x, Speed: 20, Length: 4.5},
+		radio:  radio,
+		params: vehicle.DefaultACCParams(),
+		est:    gear.NewLeadEstimator(),
+	}
+	c.hidden = gear.NewHiddenChannel(c.est, 1.5)
+	// Three redundant abstract distance sensors over the world's ground
+	// truth, fused into one reliable sensor (Sec. IV-B).
+	truth := func(sim.Time) float64 { return h.trueGap(c) }
+	for s := 0; s < 3; s++ {
+		phys := sensor.NewPhysical(h.kernel,
+			fmt.Sprintf("dist-%d-%d", id, s), truth, h.cfg.SensorSigma)
+		fm := sensor.NewFaultManagement(16,
+			sensor.RangeDetector{Min: -10, Max: h.cfg.Length},
+			sensor.FreshnessDetector{MaxAge: 3 * h.cfg.ControlPeriod},
+			sensor.StuckDetector{MinRepeats: 4},
+			sensor.NoiseDetector{Sigma: h.cfg.SensorSigma, Tolerance: 5, MinWindow: 8},
+		)
+		c.inputs = append(c.inputs, sensor.NewAbstract(h.kernel, phys, fm))
+	}
+	c.dist = sensor.NewReliable(h.kernel, c.inputs, 4*h.cfg.SensorSigma+1, 1, 0.3)
+
+	// Cooperative state table fed by V2V beacons; all other frames go to
+	// the maneuver-agreement protocol.
+	c.table = coord.NewStateTable(h.kernel, 500*sim.Millisecond)
+	c.agree = coord.NewAgreement(h.kernel, radio, coord.DefaultAgreementConfig(),
+		func() []wireless.NodeID {
+			return c.table.Scope(wireless.Position{X: c.Body.X}, 250)
+		})
+	radio.OnReceive(func(f wireless.Frame) {
+		if b, ok := f.Payload.(v2vBeacon); ok {
+			c.table.Update(b.State)
+			return
+		}
+		c.agree.OnFrame(f)
+	})
+
+	// Safety kernel: LoS ladder 1..3 with the paper's rule structure.
+	ri := core.NewRuntimeInfo(h.kernel)
+	mgr, err := core.NewManager(h.kernel, ri, core.ManagerConfig{
+		Period:           h.cfg.ControlPeriod / 2,
+		UpgradeStability: 5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fn, err := mgr.AddFunctionality("cruise", 3)
+	if err != nil {
+		return nil, err
+	}
+	if err := fn.AddRule(2, core.MinValidity("dist.validity", 0.7)); err != nil {
+		return nil, err
+	}
+	if err := fn.AddRule(3, core.FlagSet("v2v.lead")); err != nil {
+		return nil, err
+	}
+	if err := fn.AddRule(3, core.MaxAge("v2v.lead", 400*sim.Millisecond)); err != nil {
+		return nil, err
+	}
+	gate, err := core.NewGate(fn, map[core.LoS]core.Envelope{
+		1: core.NewEnvelope().Bound("accel", -6, 1.0),
+		2: core.NewEnvelope().Bound("accel", -6, 1.5),
+		3: core.NewEnvelope().Bound("accel", -6, 2.5),
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.manager = mgr
+	c.fn = fn
+	c.gate = gate
+	if h.cfg.Mode == ModeAdaptive {
+		if err := mgr.Start(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Start launches beacons and control loops.
+func (h *Highway) Start() error {
+	dt := h.cfg.ControlPeriod
+	for _, c := range h.cars {
+		c := c
+		// Control loop, staggered per car.
+		phase := sim.Time(h.kernel.Rand().Int63n(int64(dt)))
+		h.kernel.Schedule(phase, func() {
+			t, err := h.kernel.Every(dt, func() { h.controlStep(c) })
+			if err == nil {
+				h.tickers = append(h.tickers, t)
+			}
+		})
+		if h.cfg.V2VPeriod > 0 {
+			vphase := sim.Time(h.kernel.Rand().Int63n(int64(h.cfg.V2VPeriod)))
+			h.kernel.Schedule(vphase, func() {
+				t, err := h.kernel.Every(h.cfg.V2VPeriod, func() { h.beacon(c) })
+				if err == nil {
+					h.tickers = append(h.tickers, t)
+				}
+			})
+		}
+	}
+	return nil
+}
+
+// Stop halts all periodic activity.
+func (h *Highway) Stop() {
+	for _, t := range h.tickers {
+		t.Stop()
+	}
+}
+
+// occupies reports whether the car currently occupies the lane: its body
+// lane, plus the maneuver's target lane while a change is in progress
+// (conservatively, a lane-changing car blocks both lanes).
+func (c *Car) occupies(lane int) bool {
+	if c.Body.Lane == lane {
+		return true
+	}
+	return c.maneuver.Active() && c.maneuver.TargetLane == lane
+}
+
+// leader returns the car ahead of c in ring order among cars occupying
+// any lane c occupies.
+func (h *Highway) leader(c *Car) *Car {
+	var best *Car
+	bestGap := math.MaxFloat64
+	for _, o := range h.cars {
+		if o == c {
+			continue
+		}
+		shared := false
+		for lane := 0; lane < h.cfg.Lanes; lane++ {
+			if c.occupies(lane) && o.occupies(lane) {
+				shared = true
+				break
+			}
+		}
+		if !shared {
+			continue
+		}
+		gap := math.Mod(o.Body.X-c.Body.X+h.cfg.Length, h.cfg.Length)
+		if gap < bestGap {
+			bestGap = gap
+			best = o
+		}
+	}
+	return best
+}
+
+// trueGap is the ground-truth bumper-to-bumper gap to the leader.
+func (h *Highway) trueGap(c *Car) float64 {
+	lead := h.leader(c)
+	if lead == nil {
+		return h.cfg.Length
+	}
+	center := math.Mod(lead.Body.X-c.Body.X+h.cfg.Length, h.cfg.Length)
+	return center - lead.Body.Length
+}
+
+// laneClearFor reports whether the target lane has room for c: a safe gap
+// ahead and a safe gap to the first follower behind.
+func (h *Highway) laneClearFor(c *Car, lane int) bool {
+	aheadGap, behindGap := math.MaxFloat64, math.MaxFloat64
+	var aheadSpeed, behindSpeed float64
+	for _, o := range h.cars {
+		if o == c || !o.occupies(lane) {
+			continue
+		}
+		fwd := math.Mod(o.Body.X-c.Body.X+h.cfg.Length, h.cfg.Length)
+		back := h.cfg.Length - fwd
+		if fwd-o.Body.Length < aheadGap {
+			aheadGap = fwd - o.Body.Length
+			aheadSpeed = o.Body.Speed
+		}
+		if back-c.Body.Length < behindGap {
+			behindGap = back - c.Body.Length
+			behindSpeed = o.Body.Speed
+		}
+	}
+	// Ahead: the desired following gap plus a closing-speed margin (the
+	// maneuver takes ~3 s during which the gap shrinks by the speed
+	// difference), with an absolute floor for congested low-speed traffic.
+	closing := c.Body.Speed - aheadSpeed
+	if closing < 0 {
+		closing = 0
+	}
+	aheadNeed := c.params.DesiredGap(c.Body.Speed) + 4*closing
+	if aheadNeed < 15 {
+		aheadNeed = 15
+	}
+	if aheadGap < aheadNeed {
+		return false
+	}
+	// Behind: the follower needs its own desired gap plus closing margin.
+	need := 10 + 1.2*behindSpeed + 2*(behindSpeed-c.Body.Speed)
+	return behindGap >= need
+}
+
+// maybeLaneChange runs the overtaking decision: a slow leader ahead, a
+// clear target lane, the cooperation level to coordinate, and a granted
+// region reservation.
+func (h *Highway) maybeLaneChange(c *Car, view vehicle.LeadView, level core.LoS, now sim.Time) {
+	if c.maneuver.Active() || now < c.nextAttempt || level < 2 {
+		return
+	}
+	if !view.Present || view.Gap > c.params.DesiredGap(c.Body.Speed)*1.5 {
+		return
+	}
+	if view.Speed > c.params.CruiseSpeed-3 {
+		return // leader nearly at cruise: not worth overtaking
+	}
+	target := c.Body.Lane + 1
+	if target >= h.cfg.Lanes {
+		target = c.Body.Lane - 1
+	}
+	if target < 0 || target == c.Body.Lane || !h.laneClearFor(c, target) {
+		c.nextAttempt = now + 2*sim.Second
+		return
+	}
+	c.nextAttempt = now + 4*sim.Second
+	segments := int(h.cfg.Length / 200)
+	if segments < 1 {
+		segments = 1
+	}
+	region := coord.Resource(fmt.Sprintf("lc@%d", int(c.Body.X/200)%segments))
+	c.agree.Request(region, func(o coord.Outcome) {
+		if o != coord.OutcomeGranted {
+			return
+		}
+		// Conditions may have changed during the agreement round.
+		if c.maneuver.Active() || !h.laneClearFor(c, target) {
+			c.agree.Release(region)
+			return
+		}
+		if err := c.maneuver.Begin(target, 3); err != nil {
+			c.agree.Release(region)
+			return
+		}
+		c.heldRegion = region
+	})
+}
+
+func (h *Highway) beacon(c *Car) {
+	// Per-beacon jitter: fixed ticker phases would make any two cars whose
+	// phases fall within one airtime collide on *every* period, starving
+	// their neighbors of V2V state forever.
+	jitter := sim.Time(h.kernel.Rand().Int63n(int64(10 * sim.Millisecond)))
+	h.kernel.Schedule(jitter, func() { h.sendBeacon(c) })
+}
+
+func (h *Highway) sendBeacon(c *Car) {
+	c.radio.Broadcast(v2vBeacon{
+		State: coord.CoopState{
+			ID:       c.ID,
+			Pos:      wireless.Position{X: c.Body.X},
+			Speed:    c.Body.Speed,
+			Lane:     c.Body.Lane,
+			Intent:   "cruise",
+			Time:     h.kernel.Now(),
+			Validity: 1,
+		},
+		Accel: c.Body.Accel,
+	})
+}
+
+// controlStep runs one full perceive-assess-decide-actuate cycle for c.
+func (h *Highway) controlStep(c *Car) {
+	dt := h.cfg.ControlPeriod.Seconds()
+	now := h.kernel.Now()
+
+	// 1. Perceive: validity-annotated distance reading.
+	reading := c.dist.Read()
+
+	// 2. Feed the Run-Time Safety Information.
+	ri := c.manager.Runtime()
+	ri.Set("dist.validity", reading.Validity)
+	lead := h.leader(c)
+	var leadState coord.CoopState
+	haveV2V := false
+	if lead != nil {
+		if s, ok := c.table.Get(lead.ID); ok && s.Validity >= 0.5 {
+			leadState = s
+			haveV2V = true
+		}
+	}
+	if haveV2V {
+		ri.Set("v2v.lead", 1)
+	}
+	// In fixed/reckless modes the manager does not run; pin the level.
+	switch h.cfg.Mode {
+	case ModeFixed, ModeReckless:
+		h.pinLoS(c, h.cfg.FixedLoS)
+	case ModeAdaptive:
+		// Manager ticks on its own schedule.
+	}
+
+	// 3. Decide: LoS-dependent time gap.
+	level := c.fn.Current()
+	c.params.TimeGap = vehicle.TimeGapForLoS(level)
+
+	view := vehicle.NoLead()
+	usable := reading.Validity >= 0.3 || h.cfg.Mode == ModeReckless
+	if usable {
+		gap := reading.Value
+		// Track the lead through the physical channel (GEAR): the
+		// estimator supplies lead speed below LoS3 and the hidden-channel
+		// cross-check of V2V claims at LoS3.
+		c.est.Update(gear.Observation{
+			At:       now,
+			Gap:      gap,
+			OwnSpeed: c.Body.Speed,
+			Validity: reading.Validity,
+		})
+		leadSpeed := c.Body.Speed
+		if s, ok := c.est.LeadSpeed(); ok {
+			leadSpeed = s
+		}
+		view = vehicle.LeadView{
+			Present:  true,
+			Gap:      gap,
+			Speed:    leadSpeed,
+			Accel:    math.NaN(),
+			Validity: reading.Validity,
+		}
+		if level >= 3 && haveV2V {
+			view.Speed = leadState.Speed
+			if b, ok := h.lastBeaconAccel(c, lead.ID); ok {
+				// The hidden channel assesses the claim: a remote claim
+				// physically inconsistent with the observed motion is not
+				// trusted for feed-forward.
+				if consistency, checked := c.hidden.AssessClaim(b); !checked || consistency >= 0.5 {
+					view.Accel = b
+				}
+			}
+		}
+	} else {
+		// Perception outage: the estimator's state is stale.
+		c.est.Reset()
+	}
+
+	// 4. Actuate through the gate.
+	var cmd float64
+	switch {
+	case now < c.forcedBrakeUntil:
+		// External hazard: the plant brakes regardless of the controller.
+		cmd = -5
+	case !usable:
+		// Blind: no trustworthy perception at any level. Brake hard to a
+		// stop — a vehicle that cannot see must reach the unconditional
+		// safe state before whatever it cannot see reaches it.
+		c.DegradedTicks++
+		cmd = -c.params.MaxBrake
+	case vehicle.EmergencyBrakeNeeded(c.params, c.Body.Speed, view, 1.5):
+		c.EmergencyBrakes++
+		cmd = -c.params.MaxBrake
+	default:
+		cmd = vehicle.ACCAccel(c.params, c.Body.Speed, view)
+	}
+	if h.cfg.Mode != ModeReckless {
+		cmd, _ = c.gate.Filter("accel", cmd)
+	}
+	c.Body.Accel = cmd
+
+	// 5. Lane changes (multi-lane highways): decide, and advance any
+	// maneuver in progress.
+	if h.cfg.Lanes > 1 && h.cfg.Mode != ModeReckless && usable {
+		h.maybeLaneChange(c, view, level, now)
+	}
+	if c.maneuver.Active() {
+		if c.maneuver.Step(&c.Body, dt) {
+			c.LaneChanges++
+			c.agree.Release(c.heldRegion)
+			// The leader changed with the lane: stale estimator state
+			// would poison the first post-change samples.
+			c.est.Reset()
+		}
+	}
+
+	// 6. Integrate plant, wrap ring, update radio, account metrics.
+	c.Body.Step(dt)
+	if c.Body.X >= h.cfg.Length {
+		c.Body.X -= h.cfg.Length
+	}
+	c.radio.SetPosition(wireless.Position{X: c.Body.X})
+
+	trueGap := h.trueGap(c)
+	if trueGap <= 0 {
+		if debugCollisions {
+			lead := h.leader(c)
+			fmt.Printf("COLLISION t=%v car=%d lane=%d x=%.1f v=%.1f man=%v->%d | lead=%d lane=%d x=%.1f v=%.1f man=%v->%d\n",
+				h.kernel.Now(), c.ID, c.Body.Lane, c.Body.X, c.Body.Speed, c.maneuver.Active(), c.maneuver.TargetLane,
+				lead.ID, lead.Body.Lane, lead.Body.X, lead.Body.Speed, lead.maneuver.Active(), lead.maneuver.TargetLane)
+		}
+		h.Collisions++
+		// Resolve the overlap so one event is counted once, not forever.
+		if lead != nil {
+			c.Body.X = math.Mod(lead.Body.X-lead.Body.Length-0.5+h.cfg.Length, h.cfg.Length)
+			c.Body.Speed = lead.Body.Speed
+		}
+	} else if c.Body.Speed > 1 {
+		h.TimeGaps.Observe(trueGap / c.Body.Speed)
+	}
+	h.speedSum += c.Body.Speed
+	h.speedN++
+}
+
+// lastBeaconAccel digs the latest acceleration heard from the lead out of
+// the state table's beacon (stored alongside the state).
+func (h *Highway) lastBeaconAccel(c *Car, lead wireless.NodeID) (float64, bool) {
+	// The coord.StateTable stores CoopState only; acceleration rides in
+	// the live beacon. For simplicity the cooperative accel is taken from
+	// the leader's current plant — justified because the beacon period
+	// equals the control period, so the staleness is at most one cycle.
+	for _, o := range h.cars {
+		if o.ID == lead {
+			return o.Body.Accel, true
+		}
+	}
+	return 0, false
+}
+
+// pinLoS forces the functionality to a fixed level (baseline modes).
+func (h *Highway) pinLoS(c *Car, level core.LoS) {
+	c.fn.Force(h.kernel.Now(), level)
+}

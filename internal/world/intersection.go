@@ -1,0 +1,466 @@
+package world
+
+import (
+	"fmt"
+	"math"
+
+	"karyon/internal/coord"
+	"karyon/internal/metrics"
+	"karyon/internal/sim"
+	"karyon/internal/vehicle"
+	"karyon/internal/wireless"
+)
+
+// Road identifies an approach direction at the intersection.
+type Road int
+
+// The two crossing roads.
+const (
+	RoadNS Road = iota + 1
+	RoadEW
+)
+
+// String renders the road.
+func (r Road) String() string {
+	if r == RoadNS {
+		return "NS"
+	}
+	return "EW"
+}
+
+// lightBeacon is the physical traffic light's periodic broadcast: the
+// paper's "I-am-alive messages" with the current phase and its remaining
+// duration attached (the remaining time is what lets vehicles refuse to
+// enter when they cannot clear before the phase flips).
+type lightBeacon struct {
+	State coord.LightState
+}
+
+// IntersectionConfig parameterizes the scenario.
+type IntersectionConfig struct {
+	// ApproachLength is how far from the stop line cars spawn.
+	ApproachLength float64
+	// BoxLength is the conflict zone's extent past the stop line.
+	BoxLength float64
+	// MeanArrival is the mean inter-arrival time per road.
+	MeanArrival sim.Time
+	// GreenFor is each phase's green duration.
+	GreenFor sim.Time
+	// LightFailsAt is when the physical light stops transmitting
+	// (0 = never fails).
+	LightFailsAt sim.Time
+	// VirtualBackup engages the virtual-traffic-light fallback.
+	VirtualBackup bool
+	// ControlPeriod is the per-car control loop period.
+	ControlPeriod sim.Time
+	// AliveTimeout is the silence after which cars declare the physical
+	// light dead.
+	AliveTimeout sim.Time
+	// HandoverGuard is an all-red guard period between declaring the
+	// physical light dead and obeying the virtual one, so a stale green
+	// belief and the (unsynchronized) virtual phase can never admit
+	// crossing traffic simultaneously.
+	HandoverGuard sim.Time
+}
+
+// DefaultIntersectionConfig returns the E13 scenario parameters.
+func DefaultIntersectionConfig() IntersectionConfig {
+	return IntersectionConfig{
+		ApproachLength: 300,
+		BoxLength:      12,
+		MeanArrival:    3 * sim.Second,
+		GreenFor:       8 * sim.Second,
+		LightFailsAt:   0,
+		VirtualBackup:  true,
+		ControlPeriod:  100 * sim.Millisecond,
+		AliveTimeout:   500 * sim.Millisecond,
+		HandoverGuard:  sim.Second,
+	}
+}
+
+// icar is one vehicle approaching the intersection. Position is measured
+// along its road: x grows toward the stop line at x=0; the conflict box is
+// (0, BoxLength]; past BoxLength the car has cleared.
+type icar struct {
+	id    wireless.NodeID
+	road  Road
+	body  vehicle.Body
+	radio *wireless.Radio
+	vnode *coord.VNodeHost
+	// lightHeard is when an I-am-alive beacon was last received.
+	lightHeard sim.Time
+	lightState coord.LightState
+	haveLight  bool
+	spawned    sim.Time
+	// waited accumulates time at (near) standstill.
+	waited sim.Time
+	done   bool
+	ticker *sim.Ticker
+}
+
+// Intersection is the crossing-roads world.
+type Intersection struct {
+	cfg    IntersectionConfig
+	kernel *sim.Kernel
+	medium *wireless.Medium
+
+	cars   []*icar
+	nextID wireless.NodeID
+
+	lightAlive bool
+	lightState coord.LightState
+	lightTick  *sim.Ticker
+
+	// Crossed counts vehicles that cleared the box, per road.
+	Crossed map[Road]int64
+	// Conflicts counts instants with vehicles from both roads inside the
+	// box — the safety metric that must stay zero.
+	Conflicts int64
+	// WaitTimes collects per-vehicle waiting durations (s).
+	WaitTimes metrics.Histogram
+	// DeadTime accumulates time with neither physical nor virtual control
+	// observed by an approaching car.
+	tickers []*sim.Ticker
+}
+
+// NewIntersection builds the world.
+func NewIntersection(kernel *sim.Kernel, cfg IntersectionConfig) (*Intersection, error) {
+	if cfg.ApproachLength <= 0 || cfg.BoxLength <= 0 {
+		return nil, fmt.Errorf("world: invalid intersection geometry")
+	}
+	if cfg.MeanArrival <= 0 || cfg.ControlPeriod <= 0 || cfg.GreenFor <= 0 {
+		return nil, fmt.Errorf("world: invalid intersection timing")
+	}
+	w := &Intersection{
+		cfg:        cfg,
+		kernel:     kernel,
+		medium:     wireless.NewMedium(kernel, wireless.DefaultConfig()),
+		lightAlive: true,
+		lightState: coord.LightState{Phase: coord.PhaseNSGreen, Remaining: cfg.GreenFor},
+		Crossed:    map[Road]int64{},
+		nextID:     100,
+	}
+	return w, nil
+}
+
+// Medium exposes the wireless medium.
+func (w *Intersection) Medium() *wireless.Medium { return w.medium }
+
+// LightAlive reports whether the physical light is transmitting.
+func (w *Intersection) LightAlive() bool { return w.lightAlive }
+
+// Start launches the light, arrivals, and the conflict monitor.
+func (w *Intersection) Start() error {
+	// Physical light: advance phase and broadcast I-am-alive + phase.
+	lightRadio, err := w.medium.Attach(1, wireless.Position{})
+	if err != nil {
+		return err
+	}
+	period := 100 * sim.Millisecond
+	lt, err := w.kernel.Every(period, func() {
+		machine := coord.TrafficLightMachine{GreenFor: w.cfg.GreenFor}
+		if st, ok := machine.Advance(w.lightState, period).(coord.LightState); ok {
+			w.lightState = st
+		}
+		if w.lightAlive {
+			lightRadio.Broadcast(lightBeacon{State: w.lightState})
+		}
+	})
+	if err != nil {
+		return err
+	}
+	w.lightTick = lt
+	w.tickers = append(w.tickers, lt)
+	if w.cfg.LightFailsAt > 0 {
+		w.kernel.At(w.cfg.LightFailsAt, func() { w.lightAlive = false })
+	}
+
+	// Arrivals on both roads.
+	for _, road := range []Road{RoadNS, RoadEW} {
+		road := road
+		w.scheduleArrival(road)
+	}
+
+	// Conflict monitor: sample the box every control period.
+	mt, err := w.kernel.Every(w.cfg.ControlPeriod, w.monitor)
+	if err != nil {
+		return err
+	}
+	w.tickers = append(w.tickers, mt)
+	return nil
+}
+
+// Stop halts all activity.
+func (w *Intersection) Stop() {
+	for _, t := range w.tickers {
+		t.Stop()
+	}
+	for _, c := range w.cars {
+		if c.vnode != nil {
+			c.vnode.Stop()
+		}
+	}
+}
+
+func (w *Intersection) scheduleArrival(road Road) {
+	gap := sim.Time(w.kernel.Rand().ExpFloat64() * float64(w.cfg.MeanArrival))
+	w.kernel.Schedule(gap, func() {
+		w.spawn(road)
+		w.scheduleArrival(road)
+	})
+}
+
+// pos2D maps a car's road coordinate into the plane (stop line at origin).
+func pos2D(road Road, x float64, approach float64) wireless.Position {
+	d := approach - x // distance remaining to the stop line
+	if road == RoadNS {
+		return wireless.Position{Y: -d}
+	}
+	return wireless.Position{X: -d}
+}
+
+func (w *Intersection) spawn(road Road) {
+	id := w.nextID
+	w.nextID++
+	radio, err := w.medium.Attach(id, pos2D(road, 0, w.cfg.ApproachLength))
+	if err != nil {
+		return
+	}
+	c := &icar{
+		id:      id,
+		road:    road,
+		body:    vehicle.Body{Speed: 15, Length: 4.5},
+		radio:   radio,
+		spawned: w.kernel.Now(),
+		// Assume alive until proven otherwise to avoid a spurious virtual
+		// takeover before the first beacon arrives.
+		lightHeard: w.kernel.Now(),
+	}
+	if w.cfg.VirtualBackup {
+		vn, err := coord.NewVNodeHost(w.kernel, radio,
+			coord.TrafficLightMachine{GreenFor: w.cfg.GreenFor},
+			coord.VNodeConfig{
+				Region:        wireless.Position{},
+				Radius:        w.cfg.ApproachLength + 50,
+				Period:        100 * sim.Millisecond,
+				LeaderTimeout: 400 * sim.Millisecond,
+			},
+			radio.Position)
+		if err == nil {
+			c.vnode = vn
+		}
+	}
+	radio.OnReceive(func(f wireless.Frame) {
+		switch p := f.Payload.(type) {
+		case lightBeacon:
+			c.lightHeard = w.kernel.Now()
+			c.lightState = p.State
+			c.haveLight = true
+		default:
+			if c.vnode != nil {
+				c.vnode.OnFrame(f)
+			}
+		}
+	})
+	if c.vnode != nil {
+		if err := c.vnode.Start(); err != nil {
+			c.vnode = nil
+		}
+	}
+	w.cars = append(w.cars, c)
+	t, err := w.kernel.Every(w.cfg.ControlPeriod, func() { w.drive(c) })
+	if err == nil {
+		c.ticker = t
+		w.tickers = append(w.tickers, t)
+	}
+}
+
+// authority returns c's current belief about the light state, advanced to
+// now, and whether any control authority exists.
+func (w *Intersection) authority(c *icar) (coord.LightState, bool) {
+	now := w.kernel.Now()
+	physicalFresh := now-c.lightHeard <= w.cfg.AliveTimeout && c.haveLight
+	// Handover guard: a car that once obeyed the physical light holds an
+	// all-red belief until the guard expires, so its possibly stale green
+	// can never coexist with the virtual light's unsynchronized phase.
+	inGuard := c.haveLight && !physicalFresh &&
+		now-c.lightHeard <= w.cfg.AliveTimeout+w.cfg.HandoverGuard
+	switch {
+	case physicalFresh:
+		// Advance the received state by its age.
+		machine := coord.TrafficLightMachine{GreenFor: w.cfg.GreenFor}
+		st, ok := machine.Advance(c.lightState, now-c.lightHeard).(coord.LightState)
+		if !ok {
+			return coord.LightState{}, false
+		}
+		return st, true
+	case inGuard:
+		return coord.LightState{}, false
+	case c.vnode != nil:
+		st, live := c.vnode.State()
+		if !live {
+			return coord.LightState{}, false
+		}
+		ls, ok := st.(coord.LightState)
+		if !ok {
+			return coord.LightState{}, false
+		}
+		return ls, true
+	default:
+		// Light dead, no backup: fail safe — nobody enters. (Human
+		// drivers would negotiate; an autonomous system must not guess.)
+		return coord.LightState{}, false
+	}
+}
+
+// mayEnter reports whether c may cross the stop line now: its road must be
+// green AND the remaining green must cover the time it needs to clear the
+// conflict box (the clearance rule a yellow phase implements in reality).
+func (w *Intersection) mayEnter(c *icar) bool {
+	st, ok := w.authority(c)
+	if !ok {
+		return false
+	}
+	green := (c.road == RoadNS && st.Phase == coord.PhaseNSGreen) ||
+		(c.road == RoadEW && st.Phase == coord.PhaseEWGreen)
+	if !green {
+		return false
+	}
+	distToClear := (w.cfg.ApproachLength + w.cfg.BoxLength + c.body.Length) - c.body.X
+	needed := sim.FromSeconds(timeToCover(c.body.Speed, distToClear) + 1.0)
+	return st.Remaining > needed
+}
+
+// Crossing dynamics shared by the entry estimate and the actual drive.
+const (
+	crossAccel = 2.5 // m/s^2
+	crossSpeed = 15  // m/s
+)
+
+// timeToCover returns the time to cover dist starting at speed v, with
+// acceleration crossAccel capped at crossSpeed — the exact kinematics the
+// drive loop applies, so the clearance estimate cannot be optimistic.
+func timeToCover(v, dist float64) float64 {
+	if dist <= 0 {
+		return 0
+	}
+	if v >= crossSpeed {
+		return dist / crossSpeed
+	}
+	// Accelerate until crossSpeed or until the distance is covered.
+	tAcc := (crossSpeed - v) / crossAccel
+	dAcc := v*tAcc + 0.5*crossAccel*tAcc*tAcc
+	if dAcc >= dist {
+		// dist = v t + a/2 t^2 → t = (-v + sqrt(v^2 + 2 a d)) / a
+		return (-v + math.Sqrt(v*v+2*crossAccel*dist)) / crossAccel
+	}
+	return tAcc + (dist-dAcc)/crossSpeed
+}
+
+// drive advances one car: approach, stop at the line on red, cross on
+// green, clear.
+func (w *Intersection) drive(c *icar) {
+	if c.done {
+		return
+	}
+	dt := w.cfg.ControlPeriod.Seconds()
+	stopLine := w.cfg.ApproachLength
+	pastLine := c.body.X - stopLine // >0 once inside the box
+
+	switch {
+	case pastLine >= 0:
+		// Committed: clear the box briskly.
+		c.body.Accel = crossAccel
+		if c.body.Speed > crossSpeed {
+			c.body.Accel = 0
+		}
+	case w.mayEnter(c) && w.gapAhead(c) > 8:
+		c.body.Accel = crossAccel
+		if c.body.Speed > crossSpeed {
+			c.body.Accel = 0
+		}
+	default:
+		// Decelerate to stop exactly at the line (or behind the car
+		// ahead).
+		target := stopLine - 1
+		if g := w.gapAhead(c); g < target-c.body.X {
+			target = c.body.X + g - 2
+		}
+		remaining := target - c.body.X
+		if remaining <= 0.5 {
+			c.body.Accel = -6
+		} else {
+			// v^2 = 2 a s: brake to stop within the remaining distance.
+			need := c.body.Speed * c.body.Speed / (2 * remaining)
+			if need > 0.5 {
+				c.body.Accel = -need
+			} else {
+				c.body.Accel = 0.5 // creep forward
+			}
+		}
+	}
+	if c.body.Speed < 0.5 {
+		c.waited += w.cfg.ControlPeriod
+	}
+	c.body.Step(dt)
+	c.radio.SetPosition(pos2D(c.road, c.body.X, w.cfg.ApproachLength))
+
+	if c.body.X >= stopLine+w.cfg.BoxLength+c.body.Length {
+		c.done = true
+		w.Crossed[c.road]++
+		w.WaitTimes.Observe(c.waited.Seconds())
+		if c.vnode != nil {
+			c.vnode.Stop()
+		}
+		if c.ticker != nil {
+			c.ticker.Stop()
+		}
+		w.medium.Detach(c.id)
+	}
+}
+
+// gapAhead returns the distance to the rear bumper of the nearest car
+// ahead on the same road (a large number when free).
+func (w *Intersection) gapAhead(c *icar) float64 {
+	best := math.MaxFloat64
+	for _, o := range w.cars {
+		if o == c || o.done || o.road != c.road {
+			continue
+		}
+		d := o.body.X - o.body.Length - c.body.X
+		if d > 0 && d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// monitor samples the conflict box.
+func (w *Intersection) monitor() {
+	inBox := map[Road]bool{}
+	stopLine := w.cfg.ApproachLength
+	for _, c := range w.cars {
+		if c.done {
+			continue
+		}
+		front := c.body.X
+		rear := c.body.X - c.body.Length
+		if front > stopLine && rear < stopLine+w.cfg.BoxLength {
+			inBox[c.road] = true
+		}
+	}
+	if inBox[RoadNS] && inBox[RoadEW] {
+		w.Conflicts++
+	}
+}
+
+// ActiveCars returns how many cars are still approaching or crossing.
+func (w *Intersection) ActiveCars() int {
+	n := 0
+	for _, c := range w.cars {
+		if !c.done {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,450 @@
+package world
+
+import (
+	"testing"
+
+	"karyon/internal/core"
+	"karyon/internal/sensor"
+	"karyon/internal/sim"
+)
+
+func runHighway(t *testing.T, seed int64, cfg HighwayConfig, d sim.Time) (*sim.Kernel, *Highway) {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	h, err := NewHighway(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(d)
+	return k, h
+}
+
+func TestHighwayValidation(t *testing.T) {
+	k := sim.NewKernel(1)
+	bad := DefaultHighwayConfig()
+	bad.Cars = 0
+	if _, err := NewHighway(k, bad); err == nil {
+		t.Fatal("zero cars accepted")
+	}
+	bad = DefaultHighwayConfig()
+	bad.ControlPeriod = 0
+	if _, err := NewHighway(k, bad); err == nil {
+		t.Fatal("zero control period accepted")
+	}
+}
+
+func TestHighwayNominalNoCollisions(t *testing.T) {
+	cfg := DefaultHighwayConfig()
+	cfg.Cars = 15
+	cfg.Length = 1500
+	_, h := runHighway(t, 1, cfg, 60*sim.Second)
+	if h.Collisions != 0 {
+		t.Fatalf("nominal run produced %d collisions", h.Collisions)
+	}
+	if h.MeanSpeed() < 5 {
+		t.Fatalf("fleet barely moving: %v m/s", h.MeanSpeed())
+	}
+	if h.TimeGaps.Count() == 0 {
+		t.Fatal("no time gaps recorded")
+	}
+}
+
+func TestHighwayAdaptiveReachesCooperativeLevel(t *testing.T) {
+	cfg := DefaultHighwayConfig()
+	cfg.Cars = 10
+	cfg.Length = 1000
+	_, h := runHighway(t, 2, cfg, 30*sim.Second)
+	atTop := 0
+	for _, c := range h.Cars() {
+		if c.LoS() == 3 {
+			atTop++
+		}
+	}
+	if atTop < len(h.Cars())/2 {
+		t.Fatalf("only %d/%d cars reached LoS3 with healthy sensors and V2V",
+			atTop, len(h.Cars()))
+	}
+}
+
+func TestHighwayNoV2VCapsAtLevel2(t *testing.T) {
+	cfg := DefaultHighwayConfig()
+	cfg.Cars = 8
+	cfg.Length = 1000
+	cfg.V2VPeriod = 0 // no communication
+	_, h := runHighway(t, 3, cfg, 30*sim.Second)
+	for i, c := range h.Cars() {
+		if c.LoS() > 2 {
+			t.Fatalf("car %d at %v without any V2V", i, c.LoS())
+		}
+		if c.LoS() != 2 {
+			t.Fatalf("car %d at %v, want LoS2 from healthy local sensing", i, c.LoS())
+		}
+	}
+}
+
+func TestHighwaySensorFaultForcesDowngrade(t *testing.T) {
+	cfg := DefaultHighwayConfig()
+	cfg.Cars = 8
+	cfg.Length = 1000
+	k := sim.NewKernel(4)
+	h, err := NewHighway(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(30 * sim.Second)
+	victim := h.Cars()[3]
+	if victim.LoS() != 3 {
+		t.Fatalf("setup: victim at %v", victim.LoS())
+	}
+	// A single stuck transducer is masked by the triple-redundant fusion:
+	// no downgrade, but the faulty input is flagged as suspect.
+	victim.DistanceSensor().Physical().Inject(sensor.Fault{Mode: sensor.FaultStuckAt})
+	k.RunFor(5 * sim.Second)
+	if victim.LoS() < 2 {
+		t.Fatalf("single masked fault dropped victim to %v", victim.LoS())
+	}
+	if !victim.FusedSensor().Suspected(victim.DistanceSensor().Name()) {
+		t.Fatal("masked faulty transducer not flagged as suspect")
+	}
+	// Total perception loss: all three transducers stuck. Now the fused
+	// validity collapses and the kernel must fall to the safe level.
+	for _, in := range victim.SensorInputs() {
+		in.Physical().Inject(sensor.Fault{Mode: sensor.FaultStuckAt})
+	}
+	k.RunFor(10 * sim.Second)
+	if victim.LoS() != core.LevelSafe {
+		t.Fatalf("victim still at %v with all sensors stuck", victim.LoS())
+	}
+	if h.Collisions != 0 {
+		t.Fatalf("%d collisions despite kernel downgrade", h.Collisions)
+	}
+	// Other cars keep at least the validated-local-perception level. (They
+	// may legitimately leave LoS3: once the victim stops, its followers
+	// queue behind it and a leader can end up beyond V2V radio range.)
+	healthy := h.Cars()[6]
+	if healthy.LoS() < 2 {
+		t.Fatalf("healthy car dragged down to %v", healthy.LoS())
+	}
+}
+
+func TestHighwayJamForcesDowngradeFromLoS3(t *testing.T) {
+	cfg := DefaultHighwayConfig()
+	cfg.Cars = 8
+	cfg.Length = 1000
+	k := sim.NewKernel(5)
+	h, err := NewHighway(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(30 * sim.Second)
+	// Jam V2V for 5 s: all cars must leave LoS3 (no fresh cooperation).
+	h.Medium().Jam(0, 5*sim.Second)
+	k.RunFor(2 * sim.Second)
+	for i, c := range h.Cars() {
+		if c.LoS() >= 3 {
+			t.Fatalf("car %d still cooperative during jam", i)
+		}
+	}
+	// After the jam ends, the fleet recovers.
+	k.RunFor(20 * sim.Second)
+	recovered := 0
+	for _, c := range h.Cars() {
+		if c.LoS() == 3 {
+			recovered++
+		}
+	}
+	if recovered < len(h.Cars())/2 {
+		t.Fatalf("only %d cars recovered LoS3 after jam", recovered)
+	}
+	if h.Collisions != 0 {
+		t.Fatalf("%d collisions across jam transition", h.Collisions)
+	}
+}
+
+func TestHighwayFixedLoSGapOrdering(t *testing.T) {
+	// Higher fixed LoS → smaller time gaps → higher flow. This is E2's
+	// monotone trade-off shape.
+	flows := map[core.LoS]float64{}
+	for _, level := range []core.LoS{1, 2, 3} {
+		cfg := DefaultHighwayConfig()
+		// Dense enough (30 m spacing) that the headway policy binds.
+		cfg.Cars = 40
+		cfg.Length = 1200
+		cfg.Mode = ModeFixed
+		cfg.FixedLoS = level
+		_, h := runHighway(t, 7, cfg, 90*sim.Second)
+		if h.Collisions != 0 {
+			t.Fatalf("fixed LoS%d produced %d collisions", level, h.Collisions)
+		}
+		flows[level] = h.Flow()
+	}
+	if !(flows[3] > flows[2] && flows[2] > flows[1]) {
+		t.Fatalf("flow not monotone in LoS: %v", flows)
+	}
+}
+
+func TestHighwayRecklessModeCrashesUnderFault(t *testing.T) {
+	// The contrast experiment: highest level, validity ignored, no gate.
+	// A stuck sensor then produces collisions — the hazard the safety
+	// kernel exists to prevent.
+	cfg := DefaultHighwayConfig()
+	cfg.Cars = 12
+	cfg.Length = 800
+	cfg.Mode = ModeReckless
+	cfg.FixedLoS = 3
+	cfg.V2VPeriod = 0 // isolate the sensor-fault path: no cooperative rescue
+	k := sim.NewKernel(8)
+	h, err := NewHighway(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(20 * sim.Second)
+	// Freeze all transducers of three cars (total perception loss), then
+	// brake each of their leaders hard: the frozen gap hides the closing
+	// leader and the reckless baseline ignores the collapsed validity.
+	for _, idx := range []int{2, 5, 8} {
+		for _, in := range h.Cars()[idx].SensorInputs() {
+			in.Physical().Inject(sensor.Fault{Mode: sensor.FaultStuckAt})
+		}
+		h.Cars()[idx+1].ForceBrake(k.Now(), 6*sim.Second)
+	}
+	k.RunFor(40 * sim.Second)
+	if h.Collisions == 0 {
+		t.Fatal("reckless baseline survived stuck sensors — contrast experiment lost its teeth")
+	}
+}
+
+func TestHighwayKernelSurvivesSameFault(t *testing.T) {
+	// Identical disturbance as the reckless test, but with the kernel on:
+	// no collisions.
+	cfg := DefaultHighwayConfig()
+	cfg.Cars = 12
+	cfg.Length = 800
+	cfg.V2VPeriod = 0 // same conditions as the reckless contrast run
+	k := sim.NewKernel(8)
+	h, err := NewHighway(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(20 * sim.Second)
+	for _, idx := range []int{2, 5, 8} {
+		for _, in := range h.Cars()[idx].SensorInputs() {
+			in.Physical().Inject(sensor.Fault{Mode: sensor.FaultStuckAt})
+		}
+		h.Cars()[idx+1].ForceBrake(k.Now(), 6*sim.Second)
+	}
+	k.RunFor(40 * sim.Second)
+	if h.Collisions != 0 {
+		t.Fatalf("kernel run produced %d collisions under the same fault", h.Collisions)
+	}
+}
+
+func TestIntersectionValidation(t *testing.T) {
+	k := sim.NewKernel(1)
+	bad := DefaultIntersectionConfig()
+	bad.BoxLength = 0
+	if _, err := NewIntersection(k, bad); err == nil {
+		t.Fatal("zero box accepted")
+	}
+	bad = DefaultIntersectionConfig()
+	bad.GreenFor = 0
+	if _, err := NewIntersection(k, bad); err == nil {
+		t.Fatal("zero green accepted")
+	}
+}
+
+func TestIntersectionPhysicalLightNoConflicts(t *testing.T) {
+	k := sim.NewKernel(10)
+	cfg := DefaultIntersectionConfig()
+	w, err := NewIntersection(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(3 * sim.Minute)
+	if w.Conflicts != 0 {
+		t.Fatalf("%d conflicts under a working light", w.Conflicts)
+	}
+	total := w.Crossed[RoadNS] + w.Crossed[RoadEW]
+	if total < 20 {
+		t.Fatalf("only %d vehicles crossed in 3 minutes", total)
+	}
+}
+
+func TestIntersectionVirtualTakeoverKeepsTrafficMoving(t *testing.T) {
+	k := sim.NewKernel(11)
+	cfg := DefaultIntersectionConfig()
+	cfg.LightFailsAt = 60 * sim.Second
+	w, err := NewIntersection(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(60 * sim.Second)
+	before := w.Crossed[RoadNS] + w.Crossed[RoadEW]
+	k.RunFor(4 * sim.Minute)
+	after := w.Crossed[RoadNS] + w.Crossed[RoadEW]
+	if w.Conflicts != 0 {
+		t.Fatalf("%d conflicts across the virtual takeover", w.Conflicts)
+	}
+	if after-before < 15 {
+		t.Fatalf("traffic stalled after light failure: %d crossed in 4 min", after-before)
+	}
+	if w.LightAlive() {
+		t.Fatal("light should be dead")
+	}
+}
+
+func TestIntersectionNoBackupStallsSafely(t *testing.T) {
+	k := sim.NewKernel(12)
+	cfg := DefaultIntersectionConfig()
+	cfg.LightFailsAt = 30 * sim.Second
+	cfg.VirtualBackup = false
+	w, err := NewIntersection(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(30 * sim.Second)
+	k.RunFor(30 * sim.Second) // drain guard + in-flight crossings
+	before := w.Crossed[RoadNS] + w.Crossed[RoadEW]
+	k.RunFor(2 * sim.Minute)
+	after := w.Crossed[RoadNS] + w.Crossed[RoadEW]
+	if w.Conflicts != 0 {
+		t.Fatalf("%d conflicts with a dead light and no backup", w.Conflicts)
+	}
+	if after != before {
+		t.Fatalf("%d vehicles crossed with no control authority (fail-safe violated)",
+			after-before)
+	}
+}
+
+func TestIntersectionJamDuringVirtualOperation(t *testing.T) {
+	// After the physical light dies and the virtual light has taken over,
+	// jam the V2V channel: the virtual node goes silent, every approaching
+	// car must treat the crossing as red (no conflicts), and traffic must
+	// resume once the jam clears.
+	k := sim.NewKernel(14)
+	cfg := DefaultIntersectionConfig()
+	cfg.LightFailsAt = 30 * sim.Second
+	w, err := NewIntersection(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(90 * sim.Second) // virtual light established
+	w.Medium().Jam(0, 20*sim.Second)
+	k.RunFor(30 * sim.Second)
+	if w.Conflicts != 0 {
+		t.Fatalf("%d conflicts across a V2V jam on the virtual light", w.Conflicts)
+	}
+	before := w.Crossed[RoadNS] + w.Crossed[RoadEW]
+	k.RunFor(2 * sim.Minute) // jam long gone: traffic must flow again
+	after := w.Crossed[RoadNS] + w.Crossed[RoadEW]
+	if after-before < 5 {
+		t.Fatalf("traffic did not resume after jam: %d crossed", after-before)
+	}
+	if w.Conflicts != 0 {
+		t.Fatalf("%d conflicts after recovery", w.Conflicts)
+	}
+}
+
+func TestHighwaySeedSweepNoCollisions(t *testing.T) {
+	// The zero-collision invariant must not be a lucky seed: sweep seeds
+	// on a short nominal run.
+	for seed := int64(100); seed < 110; seed++ {
+		cfg := DefaultHighwayConfig()
+		cfg.Cars = 12
+		cfg.Length = 900
+		_, h := runHighway(t, seed, cfg, 30*sim.Second)
+		if h.Collisions != 0 {
+			t.Fatalf("seed %d produced %d collisions", seed, h.Collisions)
+		}
+	}
+}
+
+func TestMultiLaneOvertaking(t *testing.T) {
+	// A slow truck in lane 0; the rest of the fleet overtakes through
+	// agreement-coordinated lane changes. Safety invariant: zero
+	// collisions; liveness: lane changes happen and the fleet is faster
+	// than it would be stuck behind the truck.
+	run := func(lanes int) (*Highway, int64) {
+		cfg := DefaultHighwayConfig()
+		cfg.Cars = 10
+		cfg.Length = 1500
+		cfg.Lanes = lanes
+		k := sim.NewKernel(21)
+		h, err := NewHighway(k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Cars()[0].SetCruiseSpeed(10) // the truck
+		if err := h.Start(); err != nil {
+			t.Fatal(err)
+		}
+		k.RunFor(3 * sim.Minute)
+		var changes int64
+		for _, c := range h.Cars() {
+			changes += c.LaneChanges
+		}
+		return h, changes
+	}
+	single, _ := run(1)
+	double, changes := run(2)
+	if single.Collisions != 0 || double.Collisions != 0 {
+		t.Fatalf("collisions: single=%d double=%d", single.Collisions, double.Collisions)
+	}
+	if changes == 0 {
+		t.Fatal("no lane changes on a two-lane road with a slow truck")
+	}
+	if double.MeanSpeed() <= single.MeanSpeed()+1 {
+		t.Fatalf("overtaking bought nothing: %0.1f vs %0.1f m/s",
+			double.MeanSpeed(), single.MeanSpeed())
+	}
+}
+
+func TestMultiLaneSeedSweepNoCollisions(t *testing.T) {
+	for seed := int64(30); seed < 42; seed++ {
+		cfg := DefaultHighwayConfig()
+		cfg.Cars = 14
+		cfg.Length = 1200
+		cfg.Lanes = 3
+		k := sim.NewKernel(seed)
+		h, err := NewHighway(k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Cars()[2].SetCruiseSpeed(12)
+		h.Cars()[7].SetCruiseSpeed(15)
+		if err := h.Start(); err != nil {
+			t.Fatal(err)
+		}
+		k.RunFor(90 * sim.Second)
+		if h.Collisions != 0 {
+			t.Fatalf("seed %d: %d collisions on a 3-lane road", seed, h.Collisions)
+		}
+	}
+}
