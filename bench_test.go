@@ -9,7 +9,9 @@
 package main
 
 import (
+	"context"
 	"math"
+	"runtime"
 	"testing"
 
 	"karyon/internal/avionics"
@@ -17,6 +19,7 @@ import (
 	"karyon/internal/core"
 	"karyon/internal/experiments"
 	"karyon/internal/faultinject"
+	"karyon/internal/harness"
 	"karyon/internal/inaccess"
 	"karyon/internal/mac"
 	"karyon/internal/pubsub"
@@ -470,9 +473,33 @@ func BenchmarkAblationExperimentE3(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tab := e.Run(int64(i + 1))
-		if len(tab.Rows) != 5 {
-			b.Fatalf("rows = %d", len(tab.Rows))
+		res := e.Run(experiments.Config{Seed: int64(i + 1)})
+		if len(res.Records) != 5 {
+			b.Fatalf("records = %d", len(res.Records))
+		}
+	}
+}
+
+// BenchmarkHarnessReplicatedE3 runs the E3 harness through the replicated
+// runner at full parallelism (4 reduced-fidelity replicas per iteration —
+// not comparable to the full-fidelity bare loop above; this tracks the
+// seed-matrix fan-out path itself).
+func BenchmarkHarnessReplicatedE3(b *testing.B) {
+	e, ok := experiments.ByID("E3")
+	if !ok {
+		b.Fatal("E3 missing")
+	}
+	sc := experiments.Harnessed{Exp: e, Short: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := harness.Run(context.Background(), sc, harness.Options{
+			Seed: int64(i + 1), Replicas: 4, Parallel: runtime.GOMAXPROCS(0),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Summary.Records) != 5 {
+			b.Fatalf("records = %d", len(rep.Summary.Records))
 		}
 	}
 }

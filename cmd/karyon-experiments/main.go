@@ -1,18 +1,25 @@
 // Command karyon-experiments regenerates every experiment table in
-// EXPERIMENTS.md (E1..E15). Identical seeds reproduce identical tables.
+// EXPERIMENTS.md (E1..E16). Identical seeds reproduce identical output:
+// each experiment is run as a replicated seed matrix through the harness
+// runner, and the aggregate is byte-identical for any -parallel value.
 //
 // Usage:
 //
-//	karyon-experiments [-seed N] [-only E5[,E6,...]] [-csv]
+//	karyon-experiments [-seed N] [-only E5[,E6,...]] [-replicas N] [-parallel N] [-csv | -json] [-short]
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"karyon/internal/experiments"
+	"karyon/internal/harness"
 )
 
 func main() {
@@ -22,11 +29,24 @@ func main() {
 	}
 }
 
-func run(args []string, out *os.File) error {
+// report pairs the registry metadata with the harness outcome for JSON
+// output.
+type report struct {
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	Anchor string `json:"anchor"`
+	*harness.Report
+}
+
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("karyon-experiments", flag.ContinueOnError)
-	seed := fs.Int64("seed", 1, "deterministic run seed")
+	seed := fs.Int64("seed", 1, "base seed of the replica seed matrix")
 	only := fs.String("only", "", "comma-separated experiment ids (default: all)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := fs.Bool("json", false, "emit JSON reports with full per-value distributions (mean/stddev/min/max/p95)")
+	replicas := fs.Int("replicas", 1, "independent replicas per experiment, seeds spaced by the harness stride")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "replica worker-pool width; affects wall time only, never output")
+	short := fs.Bool("short", false, "reduced-fidelity runs: fewer sweep points, shorter simulated durations")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -43,14 +63,29 @@ func run(args []string, out *os.File) error {
 			selected = append(selected, e)
 		}
 	}
+	opts := harness.Options{Seed: *seed, Replicas: *replicas, Parallel: *parallel}
+	var reports []report
 	for _, e := range selected {
+		rep, err := harness.Run(context.Background(), experiments.Harnessed{Exp: e, Short: *short}, opts)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			reports = append(reports, report{ID: e.ID, Title: e.Title, Anchor: e.Anchor, Report: rep})
+			continue
+		}
 		fmt.Fprintf(out, "== %s — %s (%s)\n", e.ID, e.Title, e.Anchor)
-		tab := e.Run(*seed)
+		tab := rep.Summary.Table()
 		if *csv {
 			fmt.Fprint(out, tab.CSV())
 		} else {
 			fmt.Fprintln(out, tab.String())
 		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(reports)
 	}
 	return nil
 }

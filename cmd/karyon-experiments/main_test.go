@@ -1,49 +1,88 @@
 package main
 
 import (
-	"os"
+	"encoding/json"
 	"strings"
 	"testing"
 )
 
 func capture(t *testing.T, args []string) string {
 	t.Helper()
-	f, err := os.CreateTemp(t.TempDir(), "out")
-	if err != nil {
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
 		t.Fatal(err)
 	}
-	defer f.Close()
-	if err := run(args, f); err != nil {
-		t.Fatal(err)
-	}
-	data, err := os.ReadFile(f.Name())
-	if err != nil {
-		t.Fatal(err)
-	}
-	return string(data)
+	return sb.String()
 }
 
 func TestRunSingleExperiment(t *testing.T) {
-	out := capture(t, []string{"-only", "E1", "-seed", "2"})
+	out := capture(t, []string{"-only", "E1", "-seed", "2", "-short"})
 	if !strings.Contains(out, "E1") || !strings.Contains(out, "bound.ok") {
 		t.Fatalf("output:\n%s", out)
 	}
 }
 
 func TestRunCSV(t *testing.T) {
-	out := capture(t, []string{"-only", "E1", "-csv"})
+	out := capture(t, []string{"-only", "E1", "-csv", "-short"})
 	if !strings.Contains(out, "period,downswitches") {
 		t.Fatalf("csv output:\n%s", out)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	f, err := os.CreateTemp(t.TempDir(), "out")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer f.Close()
-	if err := run([]string{"-only", "E99"}, f); err == nil {
+	var sb strings.Builder
+	if err := run([]string{"-only", "E99"}, &sb); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// The acceptance shape: replicated runs aggregate across the seed matrix
+// and the output is byte-identical for any -parallel value.
+func TestReplicatedRunIsParallelInvariant(t *testing.T) {
+	base := []string{"-only", "E1", "-seed", "3", "-short", "-replicas", "4"}
+	seq := capture(t, append(base, "-parallel", "1"))
+	par := capture(t, append(base, "-parallel", "8"))
+	if seq != par {
+		t.Fatalf("-parallel changed output:\nserial:\n%s\nparallel:\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "±") {
+		t.Fatalf("replicated output missing dispersion cells:\n%s", seq)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	out := capture(t, []string{"-only", "E1", "-seed", "3", "-short", "-replicas", "3", "-json"})
+	var reports []struct {
+		ID      string `json:"id"`
+		Seeds   []int64
+		Summary struct {
+			Replicas int
+			Records  []struct {
+				Values []struct {
+					Name   string
+					Count  int
+					Mean   float64
+					StdDev float64 `json:"stddev"`
+					P95    float64 `json:"p95"`
+				}
+			}
+		}
+	}
+	if err := json.Unmarshal([]byte(out), &reports); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(reports) != 1 || reports[0].ID != "E1" {
+		t.Fatalf("reports = %+v", reports)
+	}
+	r := reports[0]
+	if len(r.Seeds) != 3 || r.Summary.Replicas != 3 {
+		t.Fatalf("seed matrix not reported: %+v", r)
+	}
+	if len(r.Summary.Records) == 0 || len(r.Summary.Records[0].Values) == 0 {
+		t.Fatal("no aggregated values in JSON")
+	}
+	v := r.Summary.Records[0].Values[0]
+	if v.Count != 3 {
+		t.Fatalf("value %q aggregated %d samples, want 3", v.Name, v.Count)
 	}
 }

@@ -1,24 +1,27 @@
-// Command karyon-sim runs one named KARYON scenario and prints a summary.
+// Command karyon-sim runs one named KARYON scenario — replicated across a
+// seed matrix — and prints the aggregated summary.
 //
 // Usage:
 //
 //	karyon-sim -scenario highway [-seed N] [-duration 2m] [-cars 30] [-mode adaptive|fixed1|fixed2|fixed3|reckless]
 //	karyon-sim -scenario intersection [-failat 60s] [-nobackup]
 //	karyon-sim -scenario encounter [-geometry same-direction|leveled-crossing|level-change] [-voice]
+//
+// All scenarios accept -replicas, -parallel, and -json. The output is
+// byte-identical for any -parallel value at a fixed seed.
 package main
 
 import (
-	"errors"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
-	"karyon/internal/avionics"
-	"karyon/internal/core"
-	"karyon/internal/sim"
-	"karyon/internal/world"
+	"karyon/internal/harness"
 )
 
 func main() {
@@ -31,7 +34,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("karyon-sim", flag.ContinueOnError)
 	scenario := fs.String("scenario", "highway", "highway | intersection | encounter")
-	seed := fs.Int64("seed", 1, "deterministic run seed")
+	seed := fs.Int64("seed", 1, "base seed of the replica seed matrix")
 	duration := fs.Duration("duration", 2*time.Minute, "simulated duration")
 	cars := fs.Int("cars", 30, "highway: number of cars")
 	mode := fs.String("mode", "adaptive", "highway: adaptive|fixed1|fixed2|fixed3|reckless")
@@ -39,103 +42,33 @@ func run(args []string, out io.Writer) error {
 	noBackup := fs.Bool("nobackup", false, "intersection: disable the virtual traffic light")
 	geometry := fs.String("geometry", "leveled-crossing", "encounter: same-direction|leveled-crossing|level-change")
 	voice := fs.Bool("voice", false, "encounter: intruder is non-collaborative (voice position only)")
+	replicas := fs.Int("replicas", 1, "independent replicas, seeds spaced by the harness stride")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "replica worker-pool width; affects wall time only, never output")
+	jsonOut := fs.Bool("json", false, "emit a JSON report with full per-value distributions")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var sc harness.Scenario
 	switch *scenario {
 	case "highway":
-		return runHighway(out, *seed, *duration, *cars, *mode)
+		sc = harness.HighwayScenario{Duration: *duration, Cars: *cars, Mode: *mode}
 	case "intersection":
-		return runIntersection(out, *seed, *duration, *failAt, !*noBackup)
+		sc = harness.IntersectionScenario{Duration: *duration, FailAt: *failAt, VirtualBackup: !*noBackup}
 	case "encounter":
-		return runEncounter(out, *seed, *geometry, *voice)
+		sc = harness.EncounterScenario{Geometry: *geometry, Collaborative: !*voice}
 	default:
 		return fmt.Errorf("unknown scenario %q", *scenario)
 	}
-}
-
-func runHighway(out io.Writer, seed int64, d time.Duration, cars int, mode string) error {
-	cfg := world.DefaultHighwayConfig()
-	cfg.Cars = cars
-	switch mode {
-	case "adaptive":
-		cfg.Mode = world.ModeAdaptive
-	case "fixed1", "fixed2", "fixed3":
-		cfg.Mode = world.ModeFixed
-		cfg.FixedLoS = core.LoS(mode[len(mode)-1] - '0')
-	case "reckless":
-		cfg.Mode = world.ModeReckless
-		cfg.FixedLoS = 3
-	default:
-		return fmt.Errorf("unknown mode %q", mode)
-	}
-	k := sim.NewKernel(seed)
-	h, err := world.NewHighway(k, cfg)
+	rep, err := harness.Run(context.Background(), sc,
+		harness.Options{Seed: *seed, Replicas: *replicas, Parallel: *parallel})
 	if err != nil {
 		return err
 	}
-	if err := h.Start(); err != nil {
-		return err
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
 	}
-	k.RunFor(sim.FromDuration(d))
-	fmt.Fprintf(out, "highway: %d cars, %s simulated (%d events)\n", cars, d, k.Executed())
-	fmt.Fprintf(out, "  mean speed  %.1f m/s\n", h.MeanSpeed())
-	fmt.Fprintf(out, "  flow        %.0f veh/h\n", h.Flow())
-	fmt.Fprintf(out, "  min timegap %.2f s (p5 %.2f s)\n", h.TimeGaps.Min(), h.TimeGaps.Percentile(5))
-	fmt.Fprintf(out, "  collisions  %d\n", h.Collisions)
-	levels := map[core.LoS]int{}
-	for _, c := range h.Cars() {
-		levels[c.LoS()]++
-	}
-	fmt.Fprintf(out, "  final LoS   1:%d 2:%d 3:%d\n", levels[1], levels[2], levels[3])
-	return nil
-}
-
-func runIntersection(out io.Writer, seed int64, d, failAt time.Duration, backup bool) error {
-	cfg := world.DefaultIntersectionConfig()
-	cfg.LightFailsAt = sim.FromDuration(failAt)
-	cfg.VirtualBackup = backup
-	k := sim.NewKernel(seed)
-	w, err := world.NewIntersection(k, cfg)
-	if err != nil {
-		return err
-	}
-	if err := w.Start(); err != nil {
-		return err
-	}
-	k.RunFor(sim.FromDuration(d))
-	fmt.Fprintf(out, "intersection: %s simulated, light alive=%v\n", d, w.LightAlive())
-	fmt.Fprintf(out, "  crossed NS  %d\n", w.Crossed[world.RoadNS])
-	fmt.Fprintf(out, "  crossed EW  %d\n", w.Crossed[world.RoadEW])
-	fmt.Fprintf(out, "  wait p95    %.1f s\n", w.WaitTimes.Percentile(95))
-	fmt.Fprintf(out, "  conflicts   %d\n", w.Conflicts)
-	w.Stop()
-	return nil
-}
-
-func runEncounter(out io.Writer, seed int64, geometry string, voice bool) error {
-	var s avionics.Scenario
-	for _, cand := range avionics.Scenarios() {
-		if cand.String() == geometry {
-			s = cand
-		}
-	}
-	if s == 0 {
-		return errors.New("unknown geometry " + geometry)
-	}
-	k := sim.NewKernel(seed)
-	e, err := avionics.NewEncounter(k, avionics.DefaultEncounterConfig(s, !voice))
-	if err != nil {
-		return err
-	}
-	res, err := e.Run()
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "encounter %s (collaborative=%v)\n", s, !voice)
-	fmt.Fprintf(out, "  violations   %d ticks\n", res.ViolationTicks)
-	fmt.Fprintf(out, "  min lateral  %.0f m (vertical %.0f m at closest)\n", res.MinLateral, res.MinVertical)
-	fmt.Fprintf(out, "  maneuvered   %v\n", res.Maneuvered)
-	fmt.Fprintf(out, "  LoS at end   %v, cooperative %.0f%% of run\n", res.LoSAtEnd, res.TimeAtLoS3Frac*100)
+	fmt.Fprint(out, rep.Summary.Table().String())
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -12,7 +13,7 @@ func TestRunHighwayScenario(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, want := range []string{"highway:", "flow", "collisions", "final LoS"} {
+	for _, want := range []string{"highway", "flow", "collisions", "final LoS"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("missing %q in:\n%s", want, out)
 		}
@@ -61,5 +62,40 @@ func TestRunUnknownScenario(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-scenario", "teleport"}, &sb); err == nil {
 		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// Replicated scenario runs must not depend on the worker-pool width.
+func TestReplicatedScenarioIsParallelInvariant(t *testing.T) {
+	base := []string{"-scenario", "encounter", "-geometry", "leveled-crossing", "-seed", "5", "-replicas", "4"}
+	var seq, par strings.Builder
+	if err := run(append(base, "-parallel", "1"), &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(base, "-parallel", "8"), &par); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Fatalf("-parallel changed output:\nserial:\n%s\nparallel:\n%s", seq.String(), par.String())
+	}
+}
+
+func TestScenarioJSONReport(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scenario", "intersection", "-duration", "20s", "-replicas", "2", "-json"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Name    string  `json:"name"`
+		Seeds   []int64 `json:"seeds"`
+		Summary struct {
+			Replicas int
+		}
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if rep.Name != "intersection" || len(rep.Seeds) != 2 || rep.Summary.Replicas != 2 {
+		t.Fatalf("report = %+v", rep)
 	}
 }

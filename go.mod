@@ -1,0 +1,3 @@
+module karyon
+
+go 1.22

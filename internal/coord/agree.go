@@ -128,7 +128,7 @@ type pendingReq struct {
 	resource Resource
 	needed   map[wireless.NodeID]bool
 	done     func(Outcome)
-	timer    *sim.Timer
+	timer    sim.Timer
 	finished bool
 }
 
@@ -226,9 +226,7 @@ func (a *Agreement) Request(r Resource, done func(Outcome)) {
 			return
 		}
 		p.finished = true
-		if p.timer != nil {
-			p.timer.Cancel()
-		}
+		p.timer.Cancel()
 		a.Timeouts++
 		if p.done != nil {
 			p.done(OutcomeTimeout)
@@ -261,9 +259,7 @@ func (a *Agreement) Release(r Resource) {
 
 func (a *Agreement) commit(p *pendingReq) {
 	p.finished = true
-	if p.timer != nil {
-		p.timer.Cancel()
-	}
+	p.timer.Cancel()
 	a.held[p.resource] = p.reqID
 	a.grantedTo[p.resource] = grantRecord{
 		holder:    a.radio.ID(),
@@ -328,9 +324,7 @@ func (a *Agreement) OnFrame(f wireless.Frame) {
 		}
 		if !m.Grant {
 			p.finished = true
-			if p.timer != nil {
-				p.timer.Cancel()
-			}
+			p.timer.Cancel()
 			a.Denied++
 			if p.done != nil {
 				p.done(OutcomeDenied)

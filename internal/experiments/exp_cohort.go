@@ -18,11 +18,16 @@ func e16() Experiment {
 	}
 }
 
-func runE16(seed int64) *metrics.Table {
-	tab := metrics.NewTable("E16 - 8-vehicle cohort: formation, profile adoption, head-crash failover",
-		"loss", "joined", "form time s", "profile adopted", "heads after crash", "failover time s")
-	for _, loss := range []float64{0, 0.2, 0.4} {
-		k := sim.NewKernel(seed)
+func runE16(cfg Config) *metrics.Result {
+	res := metrics.NewResult("E16 - 8-vehicle cohort: formation, profile adoption, head-crash failover")
+	losses := []float64{0, 0.2, 0.4}
+	if cfg.Short {
+		losses = []float64{0, 0.4}
+	}
+	formWindow := cfg.dur(30*sim.Second, 15*sim.Second)
+	failWindow := cfg.dur(20*sim.Second, 12*sim.Second)
+	for _, loss := range losses {
+		k := sim.NewKernel(cfg.Seed)
 		mcfg := wireless.DefaultConfig()
 		mcfg.LossProb = loss
 		medium := wireless.NewMedium(k, mcfg)
@@ -44,7 +49,7 @@ func runE16(seed int64) *metrics.Table {
 			members = append(members, m)
 		}
 		if !ok {
-			tab.AddNote("rig construction failed at loss %v", loss)
+			res.AddNote("rig construction failed at loss %v", loss)
 			continue
 		}
 		if err := members[0].Found(25); err != nil {
@@ -60,7 +65,7 @@ func runE16(seed int64) *metrics.Table {
 		}
 		// Formation time: first instant every member is joined.
 		formAt := sim.Time(-1)
-		for k.Now() < 30*sim.Second {
+		for k.Now() < formWindow {
 			k.RunFor(100 * sim.Millisecond)
 			all := true
 			for _, m := range members {
@@ -94,7 +99,7 @@ func runE16(seed int64) *metrics.Table {
 		medium.Detach(0)
 		crashAt := k.Now()
 		failoverAt := sim.Time(-1)
-		for k.Now() < crashAt+20*sim.Second {
+		for k.Now() < crashAt+failWindow {
 			k.RunFor(100 * sim.Millisecond)
 			for _, m := range members[1:] {
 				if m.Head() {
@@ -112,19 +117,21 @@ func runE16(seed int64) *metrics.Table {
 				heads++
 			}
 		}
-		formCell := "never"
+		rec := res.Record("loss", metrics.FmtPct(loss)).
+			Int("joined", int64(joined))
 		if formAt >= 0 {
-			formCell = metrics.FmtF(formAt.Seconds())
+			rec.Val("form time s", formAt.Seconds(), metrics.F2)
+		} else {
+			rec.MissingVal("form time s", metrics.F2)
 		}
-		failCell := "never"
+		rec.Int("profile adopted", int64(adopted)).
+			Int("heads after crash", int64(heads))
 		if failoverAt >= 0 {
-			failCell = metrics.FmtF((failoverAt - crashAt).Seconds())
+			rec.Val("failover time s", (failoverAt - crashAt).Seconds(), metrics.F2)
+		} else {
+			rec.MissingVal("failover time s", metrics.F2)
 		}
-		tab.AddRow(metrics.FmtPct(loss),
-			metrics.FmtInt(int64(joined)), formCell,
-			metrics.FmtInt(int64(adopted)),
-			metrics.FmtInt(int64(heads)), failCell)
 	}
-	tab.AddNote("expected: full formation and adoption, exactly one head after the crash, failover within ~headTimeout + a few roster periods even under loss")
-	return tab
+	res.AddNote("expected: full formation and adoption, exactly one head after the crash, failover within ~headTimeout + a few roster periods even under loss")
+	return res
 }

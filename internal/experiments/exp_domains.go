@@ -18,35 +18,41 @@ func e13() Experiment {
 	}
 }
 
-func runE13(seed int64) *metrics.Table {
-	tab := metrics.NewTable("E13 - intersection throughput across light failure at t=60 s (6 min runs)",
-		"variant", "crossed 0-60s", "crossed 60s-end", "wait p95 s", "conflicts")
-	run := func(name string, failAt sim.Time, backup bool) {
-		k := sim.NewKernel(seed)
-		cfg := world.DefaultIntersectionConfig()
-		cfg.LightFailsAt = failAt
-		cfg.VirtualBackup = backup
-		w, err := world.NewIntersection(k, cfg)
+func runE13(cfg Config) *metrics.Result {
+	pre := cfg.dur(60*sim.Second, 20*sim.Second)
+	post := cfg.dur(5*sim.Minute, 70*sim.Second)
+	res := metrics.NewResult("E13 - intersection throughput across light failure")
+	run := func(name string, fail bool, backup bool) {
+		k := sim.NewKernel(cfg.Seed)
+		icfg := world.DefaultIntersectionConfig()
+		if fail {
+			icfg.LightFailsAt = pre
+		}
+		icfg.VirtualBackup = backup
+		w, err := world.NewIntersection(k, icfg)
 		if err != nil {
-			tab.AddNote("%s: %v", name, err)
+			res.AddNote("%s: %v", name, err)
 			return
 		}
 		if err := w.Start(); err != nil {
 			return
 		}
-		k.RunFor(60 * sim.Second)
+		k.RunFor(pre)
 		before := w.Crossed[world.RoadNS] + w.Crossed[world.RoadEW]
-		k.RunFor(5 * sim.Minute)
+		k.RunFor(post)
 		after := w.Crossed[world.RoadNS] + w.Crossed[world.RoadEW]
-		tab.AddRow(name, metrics.FmtInt(before), metrics.FmtInt(after-before),
-			metrics.FmtF(w.WaitTimes.Percentile(95)), metrics.FmtInt(w.Conflicts))
+		res.Record("variant", name).
+			Int("crossed pre-failure", before).
+			Int("crossed post-failure", after-before).
+			Val("wait p95 s", w.WaitTimes.Percentile(95), metrics.F2).
+			Int("conflicts", w.Conflicts)
 		w.Stop()
 	}
-	run("light healthy", 0, true)
-	run("light fails, virtual backup", 60*sim.Second, true)
-	run("light fails, no backup", 60*sim.Second, false)
-	tab.AddNote("expected: virtual backup sustains throughput after failure; no backup stalls (fail-safe); conflicts 0 everywhere")
-	return tab
+	run("light healthy", false, true)
+	run("light fails, virtual backup", true, true)
+	run("light fails, no backup", true, false)
+	res.AddNote("expected: virtual backup sustains throughput after failure; no backup stalls (fail-safe); conflicts 0 everywhere")
+	return res
 }
 
 // e15 — avionic encounters: separation violations for collaborative vs
@@ -61,18 +67,18 @@ func e15() Experiment {
 	}
 }
 
-func runE15(seed int64) *metrics.Table {
-	tab := metrics.NewTable("E15 - two-aircraft encounters (separation minima 1000 m / 150 m)",
-		"scenario", "traffic", "violation ticks", "min lateral m", "maneuvered", "LoS3 time")
+func runE15(cfg Config) *metrics.Result {
+	res := metrics.NewResult("E15 - two-aircraft encounters (separation minima 1000 m / 150 m)")
 	for _, s := range avionics.Scenarios() {
 		for _, collaborative := range []bool{true, false} {
-			k := sim.NewKernel(seed)
-			e, err := avionics.NewEncounter(k, avionics.DefaultEncounterConfig(s, collaborative))
+			k := sim.NewKernel(cfg.Seed)
+			ecfg := avionics.DefaultEncounterConfig(s, collaborative)
+			e, err := avionics.NewEncounter(k, ecfg)
 			if err != nil {
-				tab.AddNote("%v: %v", s, err)
+				res.AddNote("%v: %v", s, err)
 				continue
 			}
-			res, err := e.Run()
+			enc, err := e.Run()
 			if err != nil {
 				continue
 			}
@@ -80,19 +86,19 @@ func runE15(seed int64) *metrics.Table {
 			if !collaborative {
 				traffic = "voice"
 			}
-			tab.AddRow(s.String(), traffic,
-				metrics.FmtInt(res.ViolationTicks),
-				metrics.FmtF(res.MinLateral),
-				boolCell(res.Maneuvered),
-				metrics.FmtPct(res.TimeAtLoS3Frac))
+			res.Record("scenario", s.String(), "traffic", traffic).
+				Int("violation ticks", enc.ViolationTicks).
+				Val("min lateral m", enc.MinLateral, metrics.F2).
+				Bool("maneuvered", enc.Maneuvered).
+				Val("LoS3 time", enc.TimeAtLoS3Frac, metrics.Pct)
 		}
 	}
-	tab.AddNote("expected: zero violations both ways; ADS-B runs cooperative (LoS3, tighter margins), voice runs stay LoS2 with wider berths")
+	res.AddNote("expected: zero violations both ways; ADS-B runs cooperative (LoS3, tighter margins), voice runs stay LoS2 with wider berths")
 	// Mission profile summary (Fig. 6) as footnote data.
 	a := &avionics.Aircraft{Speed: 60, ClimbRate: 8}
 	track, elapsed := avionics.FlyMission(a, avionics.RPVMission(), 0.5, 3600)
 	alts := avionics.SummarizeTrack(track)
-	tab.AddNote("RPV mission (Fig. 6): %d legs, %.0f s, sweep altitude %.0f m, final altitude %.0f m",
+	res.AddNote("RPV mission (Fig. 6): %d legs, %.0f s, sweep altitude %.0f m, final altitude %.0f m",
 		len(avionics.RPVMission()), elapsed, alts.Max(), track[len(track)-1].Z)
-	return tab
+	return res
 }

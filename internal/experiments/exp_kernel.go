@@ -12,7 +12,7 @@ import (
 
 // e1 — Safety Manager cycle: LoS switch latency under fault bursts
 // (Fig. 1, Sec. III). The design-time argument requires switch latency
-// bounded by the manager period; the table reports the measured
+// bounded by the manager period; the records report the measured
 // distribution.
 func e1() Experiment {
 	return Experiment{
@@ -23,16 +23,20 @@ func e1() Experiment {
 	}
 }
 
-func runE1(seed int64) *metrics.Table {
-	tab := metrics.NewTable("E1 - LoS switch latency vs manager period",
-		"period", "downswitches", "lat.mean", "lat.p99", "lat.max", "bound.ok")
-	for _, period := range []sim.Time{5 * sim.Millisecond, 10 * sim.Millisecond,
-		20 * sim.Millisecond, 50 * sim.Millisecond} {
-		k := sim.NewKernel(seed)
+func runE1(cfg Config) *metrics.Result {
+	res := metrics.NewResult("E1 - LoS switch latency vs manager period")
+	periods := []sim.Time{5 * sim.Millisecond, 10 * sim.Millisecond,
+		20 * sim.Millisecond, 50 * sim.Millisecond}
+	if cfg.Short {
+		periods = periods[:2]
+	}
+	bursts := cfg.n(200, 25)
+	for _, period := range periods {
+		k := sim.NewKernel(cfg.Seed)
 		ri := core.NewRuntimeInfo(k)
 		mgr, err := core.NewManager(k, ri, core.ManagerConfig{Period: period, UpgradeStability: 2})
 		if err != nil {
-			tab.AddNote("period %v: %v", period, err)
+			res.AddNote("period %v: %v", period, err)
 			continue
 		}
 		fn, err := mgr.AddFunctionality("f", 3)
@@ -50,7 +54,7 @@ func runE1(seed int64) *metrics.Table {
 		downs := 0
 		// Fault bursts: x collapses at random instants; measure time from
 		// collapse to the manager's downswitch.
-		for i := 0; i < 200; i++ {
+		for i := 0; i < bursts; i++ {
 			gap := sim.Time(k.Rand().Int63n(int64(200*sim.Millisecond))) + 100*sim.Millisecond
 			k.RunFor(gap) // recover window
 			ri.Set("x", 1)
@@ -68,13 +72,15 @@ func runE1(seed int64) *metrics.Table {
 			}
 		}
 		bound := float64(period) / float64(sim.Millisecond)
-		ok := lats.Max() <= bound
-		tab.AddRow(period.String(), metrics.FmtInt(int64(downs)),
-			metrics.FmtMs(lats.Mean()), metrics.FmtMs(lats.Percentile(99)),
-			metrics.FmtMs(lats.Max()), fmt.Sprintf("%v", ok))
+		res.Record("period", period.String()).
+			Int("downswitches", int64(downs)).
+			Val("lat.mean", lats.Mean(), metrics.Ms).
+			Val("lat.p99", lats.Percentile(99), metrics.Ms).
+			Val("lat.max", lats.Max(), metrics.Ms).
+			Bool("bound.ok", lats.Max() <= bound)
 	}
-	tab.AddNote("bound.ok: max observed latency <= manager period (the design-time guarantee)")
-	return tab
+	res.AddNote("bound.ok: max observed latency <= manager period (the design-time guarantee)")
+	return res
 }
 
 // e2 — the performance-safety trade-off: highway flow per LoS policy
@@ -90,45 +96,52 @@ func e2() Experiment {
 	}
 }
 
-func runE2(seed int64) *metrics.Table {
-	tab := metrics.NewTable("E2 - highway flow and safety per LoS policy (50 cars, 1.5 km ring, 120 s)",
-		"policy", "flow veh/h", "mean speed", "p5 timegap", "collisions")
+func runE2(cfg Config) *metrics.Result {
+	cars := cfg.n(50, 16)
+	warm := cfg.dur(30*sim.Second, 8*sim.Second)
+	measure := cfg.dur(90*sim.Second, 20*sim.Second)
+	ringM := 30 * float64(cars)
+	res := metrics.NewResult(fmt.Sprintf(
+		"E2 - highway flow and safety per LoS policy (%d cars, %.1f km ring, %s)",
+		cars, ringM/1000, (warm + measure).String()))
 	run := func(name string, mode world.LoSMode, fixed core.LoS, faults, v2v bool) {
-		k := sim.NewKernel(seed)
-		cfg := world.DefaultHighwayConfig()
+		k := sim.NewKernel(cfg.Seed)
+		hcfg := world.DefaultHighwayConfig()
 		// Dense enough that the LoS time gap binds: mean spacing 30 m is
 		// below the LoS1 desired gap at cruise speed, so the headway
 		// policy — not the speed limit — sets the equilibrium flow.
-		cfg.Cars = 50
-		cfg.Length = 1500
-		cfg.Mode = mode
-		cfg.FixedLoS = fixed
+		hcfg.Cars = cars
+		hcfg.Length = ringM
+		hcfg.Mode = mode
+		hcfg.FixedLoS = fixed
 		if !v2v {
-			cfg.V2VPeriod = 0
+			hcfg.V2VPeriod = 0
 		}
-		h, err := world.NewHighway(k, cfg)
+		h, err := world.NewHighway(k, hcfg)
 		if err != nil {
-			tab.AddNote("%s: %v", name, err)
+			res.AddNote("%s: %v", name, err)
 			return
 		}
 		if err := h.Start(); err != nil {
 			return
 		}
-		k.RunFor(30 * sim.Second)
+		k.RunFor(warm)
 		if faults {
 			campaign, err := faultinject.Generate(k.Rand(), faultinject.GenerateConfig{
-				Duration: 90 * sim.Second, Warmup: sim.Second,
-				Events: 60, Targets: cfg.Cars,
+				Duration: measure, Warmup: sim.Second,
+				Events: cfg.n(60, 15), Targets: hcfg.Cars,
 			})
 			if err == nil {
-				faultinject.RunOnHighway(k, h, campaign, 90*sim.Second)
+				faultinject.RunOnHighway(k, h, campaign, measure)
 			}
 		} else {
-			k.RunFor(90 * sim.Second)
+			k.RunFor(measure)
 		}
-		tab.AddRow(name,
-			metrics.FmtF(h.Flow()), metrics.FmtF(h.MeanSpeed()),
-			metrics.FmtF(h.TimeGaps.Percentile(5)), metrics.FmtInt(h.Collisions))
+		res.Record("policy", name).
+			Val("flow veh/h", h.Flow(), metrics.F2).
+			Val("mean speed", h.MeanSpeed(), metrics.F2).
+			Val("p5 timegap", h.TimeGaps.Percentile(5), metrics.F2).
+			Int("collisions", h.Collisions)
 	}
 	run("fixed LoS1 (non-coop)", world.ModeFixed, 1, false, true)
 	run("fixed LoS2 (validated)", world.ModeFixed, 2, false, true)
@@ -138,9 +151,9 @@ func runE2(seed int64) *metrics.Table {
 	run("reckless + faults", world.ModeReckless, 3, true, true)
 	run("adaptive + faults, no V2V", world.ModeAdaptive, 0, true, false)
 	run("reckless + faults, no V2V", world.ModeReckless, 3, true, false)
-	tab.AddNote("expected shape: flow rises with LoS; adaptive tracks the best feasible level")
-	tab.AddNote("with V2V, even the reckless baseline is often rescued by cooperative lead-speed data; removing V2V isolates the perception path, where only the kernel's validity-gated fallback prevents collisions")
-	return tab
+	res.AddNote("expected shape: flow rises with LoS; adaptive tracks the best feasible level")
+	res.AddNote("with V2V, even the reckless baseline is often rescued by cooperative lead-speed data; removing V2V isolates the perception path, where only the kernel's validity-gated fallback prevents collisions")
+	return res
 }
 
 // e12 — ACC/platooning use case under an ISO 26262-style campaign
@@ -154,36 +167,38 @@ func e12() Experiment {
 	}
 }
 
-func runE12(seed int64) *metrics.Table {
-	tab := metrics.NewTable("E12 - 30-car platoon, randomized campaigns (3 min each)",
-		"campaign", "faults", "collisions", "coverage", "det.p95 ms", "downgrade.p95 ms")
-	for c := 0; c < 4; c++ {
-		k := sim.NewKernel(seed + int64(c))
-		cfg := world.DefaultHighwayConfig()
-		h, err := world.NewHighway(k, cfg)
+func runE12(cfg Config) *metrics.Result {
+	campaigns := cfg.n(4, 2)
+	dur := cfg.dur(3*sim.Minute, 30*sim.Second)
+	res := metrics.NewResult(fmt.Sprintf(
+		"E12 - 30-car platoon, randomized campaigns (%s each)", dur.String()))
+	for c := 0; c < campaigns; c++ {
+		k := sim.NewKernel(cfg.Seed + int64(c))
+		hcfg := world.DefaultHighwayConfig()
+		h, err := world.NewHighway(k, hcfg)
 		if err != nil {
-			tab.AddNote("campaign %d: %v", c, err)
+			res.AddNote("campaign %d: %v", c, err)
 			continue
 		}
 		if err := h.Start(); err != nil {
 			continue
 		}
-		k.RunFor(20 * sim.Second)
+		k.RunFor(cfg.dur(20*sim.Second, 5*sim.Second))
 		campaign, err := faultinject.Generate(k.Rand(), faultinject.GenerateConfig{
-			Duration: 3 * sim.Minute, Warmup: sim.Second,
-			Events: 30, Targets: cfg.Cars,
+			Duration: dur, Warmup: sim.Second,
+			Events: cfg.n(30, 8), Targets: hcfg.Cars,
 		})
 		if err != nil {
 			continue
 		}
-		rep := faultinject.RunOnHighway(k, h, campaign, 3*sim.Minute+10*sim.Second)
-		tab.AddRow(fmt.Sprintf("seed %d", seed+int64(c)),
-			metrics.FmtInt(int64(len(campaign.Events))),
-			metrics.FmtInt(rep.Collisions),
-			metrics.FmtPct(rep.Coverage()),
-			metrics.FmtF(rep.DetectionLatencies.Percentile(95)),
-			metrics.FmtF(rep.DowngradeLatencies.Percentile(95)))
+		rep := faultinject.RunOnHighway(k, h, campaign, dur+10*sim.Second)
+		res.Record("campaign", fmt.Sprintf("campaign %d", c)).
+			Int("faults", int64(len(campaign.Events))).
+			Int("collisions", rep.Collisions).
+			Val("coverage", rep.Coverage(), metrics.Pct).
+			Val("det.p95 ms", rep.DetectionLatencies.Percentile(95), metrics.F2).
+			Val("downgrade.p95 ms", rep.DowngradeLatencies.Percentile(95), metrics.F2)
 	}
-	tab.AddNote("safety goal: zero collisions in every campaign (paper's functional-safety claim)")
-	return tab
+	res.AddNote("safety goal: zero collisions in every campaign (paper's functional-safety claim)")
+	return res
 }

@@ -24,12 +24,12 @@ func e10() Experiment {
 	}
 }
 
-func runE10(seed int64) *metrics.Table {
-	tab := metrics.NewTable("E10 - QoS promises vs delivery, with/without channel admission (20 s, reliability promise 0.9)",
-		"network", "admission", "accepted", "delivered/published", "achieved", "promise kept")
+func runE10(cfg Config) *metrics.Result {
+	dur := cfg.dur(20*sim.Second, 6*sim.Second)
+	res := metrics.NewResult("E10 - QoS promises vs delivery, with/without channel admission (reliability promise 0.9)")
 	const subj pubsub.Subject = 0x10
 	run := func(name string, loss float64, jammed, admission bool) {
-		k := sim.NewKernel(seed)
+		k := sim.NewKernel(cfg.Seed)
 		mcfg := wireless.DefaultConfig()
 		mcfg.LossProb = loss
 		medium := wireless.NewMedium(k, mcfg)
@@ -58,13 +58,13 @@ func runE10(seed int64) *metrics.Table {
 		k.RunFor(300 * sim.Millisecond)
 
 		sub := subBroker.Subscribe(subj, nil, nil)
-		accepted := 0
+		accepted := false
 		ch, err := pubBroker.Announce(subj, pubsub.Quality{
 			MaxLatency:  5 * sim.Millisecond,
 			Reliability: 0.9,
 		})
 		if err == nil {
-			accepted = 1
+			accepted = true
 		}
 		if ch != nil {
 			t, terr := k.Every(50*sim.Millisecond, func() {
@@ -74,7 +74,7 @@ func runE10(seed int64) *metrics.Table {
 				defer t.Stop()
 			}
 		}
-		k.RunFor(20 * sim.Second)
+		k.RunFor(dur)
 		adm := "off"
 		if admission {
 			adm = "on"
@@ -87,13 +87,16 @@ func runE10(seed int64) *metrics.Table {
 		if published > 0 {
 			achieved = float64(sub.Received) / float64(published)
 		}
-		kept := "n/a (rejected)"
-		if accepted == 1 {
-			kept = boolCell(achieved >= 0.9 && sub.LateEvents == 0)
+		rec := res.Record("network", name, "admission", adm).
+			Bool("accepted", accepted).
+			Int("delivered", sub.Received).
+			Int("published", published).
+			Val("achieved", achieved, metrics.Pct)
+		if accepted {
+			rec.Bool("promise kept", achieved >= 0.9 && sub.LateEvents == 0)
+		} else {
+			rec.MissingVal("promise kept", metrics.Bool)
 		}
-		tab.AddRow(name, adm, fmt.Sprintf("%d", accepted),
-			fmt.Sprintf("%d/%d", sub.Received, published),
-			metrics.FmtPct(achieved), kept)
 	}
 	run("healthy", 0, false, true)
 	run("healthy", 0, false, false)
@@ -101,8 +104,8 @@ func runE10(seed int64) *metrics.Table {
 	run("lossy 40%", 0.4, false, false)
 	run("jammed", 0, true, true)
 	run("jammed", 0, true, false)
-	tab.AddNote("expected: admission accepts only channels whose promise the assessed network can keep; without admission the lossy/jammed runs accept and then break the 0.9 reliability promise")
-	return tab
+	res.AddNote("expected: admission accepts only channels whose promise the assessed network can keep; without admission the lossy/jammed runs accept and then break the 0.9 reliability promise")
+	return res
 }
 
 // e11 — maneuver agreement vs packet loss (Sec. V-C): success rate,
@@ -116,11 +119,16 @@ func e11() Experiment {
 	}
 }
 
-func runE11(seed int64) *metrics.Table {
-	tab := metrics.NewTable("E11 - reservation outcomes vs loss (10 vehicles, 200 attempts)",
-		"loss", "granted", "denied", "timeout", "grant latency p95 ms", "double grants")
-	for _, loss := range []float64{0, 0.1, 0.2, 0.4, 0.6} {
-		k := sim.NewKernel(seed)
+func runE11(cfg Config) *metrics.Result {
+	attempts := cfg.n(200, 40)
+	res := metrics.NewResult(fmt.Sprintf(
+		"E11 - reservation outcomes vs loss (10 vehicles, %d attempts)", attempts))
+	losses := []float64{0, 0.1, 0.2, 0.4, 0.6}
+	if cfg.Short {
+		losses = []float64{0, 0.4}
+	}
+	for _, loss := range losses {
+		k := sim.NewKernel(cfg.Seed)
 		mcfg := wireless.DefaultConfig()
 		mcfg.LossProb = loss
 		medium := wireless.NewMedium(k, mcfg)
@@ -144,12 +152,12 @@ func runE11(seed int64) *metrics.Table {
 		}
 		var granted, denied, timeout, doubles int64
 		var lat metrics.Histogram
-		res := coord.Resource("lane-change")
-		for attempt := 0; attempt < 200; attempt++ {
+		resName := coord.Resource("lane-change")
+		for attempt := 0; attempt < attempts; attempt++ {
 			requester := nodes[k.Rand().Intn(n)]
 			start := k.Now()
 			var outcome coord.Outcome
-			requester.Request(res, func(o coord.Outcome) {
+			requester.Request(resName, func(o coord.Outcome) {
 				outcome = o
 				if o == coord.OutcomeGranted {
 					lat.Observe(float64(k.Now()-start) / float64(sim.Millisecond))
@@ -162,14 +170,14 @@ func runE11(seed int64) *metrics.Table {
 				// Invariant probe: nobody else may hold it now.
 				holders := 0
 				for _, nd := range nodes {
-					if nd.Holds(res) {
+					if nd.Holds(resName) {
 						holders++
 					}
 				}
 				if holders > 1 {
 					doubles++
 				}
-				requester.Release(res)
+				requester.Release(resName)
 				k.RunFor(100 * sim.Millisecond)
 			case coord.OutcomeDenied:
 				denied++
@@ -178,12 +186,15 @@ func runE11(seed int64) *metrics.Table {
 			}
 			k.RunFor(100 * sim.Millisecond)
 		}
-		tab.AddRow(metrics.FmtPct(loss), metrics.FmtInt(granted),
-			metrics.FmtInt(denied), metrics.FmtInt(timeout),
-			metrics.FmtF(lat.Percentile(95)), metrics.FmtInt(doubles))
+		res.Record("loss", metrics.FmtPct(loss)).
+			Int("granted", granted).
+			Int("denied", denied).
+			Int("timeout", timeout).
+			Val("grant latency p95 ms", lat.Percentile(95), metrics.F2).
+			Int("double grants", doubles)
 	}
-	tab.AddNote("invariant: double grants 0 at every loss level; loss converts grants into timeouts (safe aborts)")
-	return tab
+	res.AddNote("invariant: double grants 0 at every loss level; loss converts grants into timeouts (safe aborts)")
+	return res
 }
 
 // e14 — coordinated lane change (Sec. VI-A3): at-most-one-in-region
@@ -197,11 +208,16 @@ func e14() Experiment {
 	}
 }
 
-func runE14(seed int64) *metrics.Table {
-	tab := metrics.NewTable("E14 - lane-change maneuvers (12 vehicles, 3 lanes, 60 s per loss level)",
-		"loss", "attempts", "completed", "aborted/denied", "max concurrent", "invariant")
-	for _, loss := range []float64{0, 0.2, 0.4} {
-		k := sim.NewKernel(seed)
+func runE14(cfg Config) *metrics.Result {
+	dur := cfg.dur(60*sim.Second, 15*sim.Second)
+	res := metrics.NewResult(fmt.Sprintf(
+		"E14 - lane-change maneuvers (12 vehicles, 3 lanes, %s per loss level)", dur.String()))
+	losses := []float64{0, 0.2, 0.4}
+	if cfg.Short {
+		losses = []float64{0, 0.4}
+	}
+	for _, loss := range losses {
+		k := sim.NewKernel(cfg.Seed)
 		mcfg := wireless.DefaultConfig()
 		mcfg.LossProb = loss
 		medium := wireless.NewMedium(k, mcfg)
@@ -231,7 +247,7 @@ func runE14(seed int64) *metrics.Table {
 			radio.OnReceive(v.agree.OnFrame)
 			vehicles = append(vehicles, v)
 		}
-		res := coord.Resource("region-0")
+		region := coord.Resource("region-0")
 		var attempts, completed, rejected int64
 		maxConcurrent := 0
 		// Drive loop: every 100 ms advance maneuvers and count concurrency.
@@ -241,7 +257,7 @@ func runE14(seed int64) *metrics.Table {
 				if v.maneuver.Active() {
 					active++
 					if v.maneuver.Step(&v.body, 0.1) {
-						v.agree.Release(res)
+						v.agree.Release(region)
 					}
 				}
 			}
@@ -261,13 +277,13 @@ func runE14(seed int64) *metrics.Table {
 			}
 			attempts++
 			target := (v.body.Lane + 1) % 3
-			v.agree.Request(res, func(o coord.Outcome) {
+			v.agree.Request(region, func(o coord.Outcome) {
 				if o != coord.OutcomeGranted {
 					rejected++
 					return
 				}
 				if err := v.maneuver.Begin(target, 3); err != nil {
-					v.agree.Release(res)
+					v.agree.Release(region)
 					return
 				}
 				completed++ // counted at grant; Step finishes the motion
@@ -276,22 +292,21 @@ func runE14(seed int64) *metrics.Table {
 		if err != nil {
 			continue
 		}
-		k.RunFor(60 * sim.Second)
+		k.RunFor(dur)
 		drive.Stop()
 		gen.Stop()
-		inv := "held"
-		if maxConcurrent > 1 {
-			inv = fmt.Sprintf("VIOLATED (%d)", maxConcurrent)
-		}
-		tab.AddRow(metrics.FmtPct(loss), metrics.FmtInt(attempts),
-			metrics.FmtInt(completed), metrics.FmtInt(rejected),
-			fmt.Sprintf("%d", maxConcurrent), inv)
+		res.Record("loss", metrics.FmtPct(loss)).
+			Int("attempts", attempts).
+			Int("completed", completed).
+			Int("aborted/denied", rejected).
+			Int("max concurrent", int64(maxConcurrent)).
+			Bool("invariant held", maxConcurrent <= 1)
 	}
-	tab.AddNote("invariant: at most one vehicle changing lanes in the region at any instant, at every loss level")
+	res.AddNote("invariant: at most one vehicle changing lanes in the region at any instant, at every loss level")
 	// Integrated variant: the full multi-lane highway world, where lane
 	// changes are embedded in the perceive-assess-decide-actuate loop and
 	// a slow truck forces overtaking.
-	k := sim.NewKernel(seed)
+	k := sim.NewKernel(cfg.Seed)
 	hcfg := world.DefaultHighwayConfig()
 	hcfg.Cars = 10
 	hcfg.Length = 1500
@@ -299,14 +314,17 @@ func runE14(seed int64) *metrics.Table {
 	if h, err := world.NewHighway(k, hcfg); err == nil {
 		h.Cars()[0].SetCruiseSpeed(10)
 		if err := h.Start(); err == nil {
-			k.RunFor(3 * sim.Minute)
+			k.RunFor(cfg.dur(3*sim.Minute, 40*sim.Second))
 			var changes int64
 			for _, c := range h.Cars() {
 				changes += c.LaneChanges
 			}
-			tab.AddNote("integrated 2-lane highway (slow truck, 3 min): %d lane changes, %d collisions, mean speed %.1f m/s",
-				changes, h.Collisions, h.MeanSpeed())
+			res.Record("loss", "integrated 2-lane").
+				Int("lane changes", changes).
+				Int("highway collisions", h.Collisions).
+				Val("mean speed m/s", h.MeanSpeed(), metrics.F2)
 		}
 	}
-	return tab
+	res.AddNote("integrated 2-lane: full highway world with a slow truck forcing overtakes")
+	return res
 }

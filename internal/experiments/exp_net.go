@@ -23,25 +23,31 @@ func e5() Experiment {
 	}
 }
 
-func runE5(seed int64) *metrics.Table {
-	tab := metrics.NewTable("E5 - inaccessibility and deadline misses vs jam burst length (4 nodes, 20 jams)",
-		"jam burst", "variant", "inacc p95 ms", "inacc max ms", "deadline misses", "hops")
-	for _, burst := range []sim.Time{20 * sim.Millisecond, 50 * sim.Millisecond,
-		100 * sim.Millisecond, 200 * sim.Millisecond} {
+func runE5(cfg Config) *metrics.Result {
+	dur := cfg.dur(10*sim.Second, 3*sim.Second)
+	maxJams := cfg.n(20, 6)
+	res := metrics.NewResult(fmt.Sprintf(
+		"E5 - inaccessibility and deadline misses vs jam burst length (4 nodes, %d jams)", maxJams))
+	bursts := []sim.Time{20 * sim.Millisecond, 50 * sim.Millisecond,
+		100 * sim.Millisecond, 200 * sim.Millisecond}
+	if cfg.Short {
+		bursts = []sim.Time{50 * sim.Millisecond, 200 * sim.Millisecond}
+	}
+	for _, burst := range bursts {
 		for _, hop := range []bool{false, true} {
-			k := sim.NewKernel(seed)
+			k := sim.NewKernel(cfg.Seed)
 			mcfg := wireless.DefaultConfig()
 			mcfg.Channels = 4
 			medium := wireless.NewMedium(k, mcfg)
-			cfg := inaccess.DefaultConfig()
-			cfg.HopEnabled = hop
+			icfg := inaccess.DefaultConfig()
+			icfg.HopEnabled = hop
 			var meds []*inaccess.Mediator
 			for i := 0; i < 4; i++ {
 				radio, err := medium.Attach(wireless.NodeID(i), wireless.Position{X: float64(i) * 10})
 				if err != nil {
 					continue
 				}
-				med, err := inaccess.New(k, medium, radio, cfg)
+				med, err := inaccess.New(k, medium, radio, icfg)
 				if err != nil {
 					continue
 				}
@@ -60,8 +66,8 @@ func runE5(seed int64) *metrics.Table {
 				continue
 			}
 			jams := 0
-			jt, err := k.Every(400*sim.Millisecond, func() {
-				if jams < 20 {
+			jt, err := k.Every(cfg.dur(400*sim.Millisecond, 450*sim.Millisecond), func() {
+				if jams < maxJams {
 					// Jam whatever channel the fleet currently uses.
 					ch := 0
 					if len(meds) > 0 {
@@ -74,7 +80,7 @@ func runE5(seed int64) *metrics.Table {
 			if err != nil {
 				continue
 			}
-			k.RunFor(10 * sim.Second)
+			k.RunFor(dur)
 			st.Stop()
 			jt.Stop()
 
@@ -93,13 +99,15 @@ func runE5(seed int64) *metrics.Table {
 			if hop {
 				name = "R2T-MAC"
 			}
-			tab.AddRow(burst.String(), name,
-				metrics.FmtF(inacc.Percentile(95)), metrics.FmtF(inacc.Max()),
-				metrics.FmtInt(misses), metrics.FmtInt(hops))
+			res.Record("jam burst", burst.String(), "variant", name).
+				Val("inacc p95 ms", inacc.Percentile(95), metrics.F2).
+				Val("inacc max ms", inacc.Max(), metrics.F2).
+				Int("deadline misses", misses).
+				Int("hops", hops)
 		}
 	}
-	tab.AddNote("expected: bare-MAC inaccessibility grows with the burst; R2T-MAC stays bounded by detect+hop time")
-	return tab
+	res.AddNote("expected: bare-MAC inaccessibility grows with the burst; R2T-MAC stays bounded by detect+hop time")
+	return res
 }
 
 // medsChannel peeks a mediator's current channel through its stats-free
@@ -120,13 +128,18 @@ func e6() Experiment {
 	}
 }
 
-func runE6(seed int64) *metrics.Table {
-	tab := metrics.NewTable("E6 - TDMA vs CSMA: convergence, delivery and access-delay predictability (32 slots)",
-		"nodes", "tdma conv. frames", "tdma delivery", "tdma max access",
-		"csma delivery", "csma access p99", "csma access max")
-	for _, n := range []int{8, 16, 24, 32} {
+func runE6(cfg Config) *metrics.Result {
+	res := metrics.NewResult("E6 - TDMA vs CSMA: convergence, delivery and access-delay predictability (32 slots)")
+	sizes := []int{8, 16, 24, 32}
+	if cfg.Short {
+		sizes = []int{8, 16}
+	}
+	maxFrames := cfg.n(600, 200)
+	steadyFrames := cfg.n(100, 30)
+	csmaDur := cfg.dur(10*sim.Second, 3*sim.Second)
+	for _, n := range sizes {
 		// TDMA.
-		k := sim.NewKernel(seed)
+		k := sim.NewKernel(cfg.Seed)
 		mcfg := wireless.DefaultConfig()
 		mcfg.Airtime = 200 * sim.Microsecond
 		medium := wireless.NewMedium(k, mcfg)
@@ -141,7 +154,7 @@ func runE6(seed int64) *metrics.Table {
 		}
 		frame := sim.Time(tcfg.Slots) * tcfg.SlotDuration
 		conv := -1
-		for f := 0; f < 600; f++ {
+		for f := 0; f < maxFrames; f++ {
 			k.RunFor(frame)
 			if nw.Converged() {
 				conv = f
@@ -150,13 +163,13 @@ func runE6(seed int64) *metrics.Table {
 		}
 		// Measure steady-state delivery after convergence.
 		pre := medium.Stats()
-		k.RunFor(100 * frame)
+		k.RunFor(sim.Time(steadyFrames) * frame)
 		post := medium.Stats()
 		tdmaDelivery := ratio(post.Delivered-pre.Delivered,
 			post.Delivered-pre.Delivered+post.Collisions-pre.Collisions+post.Losses-pre.Losses)
 
 		// CSMA at the same offered load (one beacon per frame duration).
-		k2 := sim.NewKernel(seed)
+		k2 := sim.NewKernel(cfg.Seed)
 		medium2 := wireless.NewMedium(k2, mcfg)
 		ccfg := mac.CSMAConfig{Period: frame, MaxBackoff: 8 * sim.Millisecond, MaxAttempts: 6}
 		var csmaNodes []*mac.CSMANode
@@ -172,7 +185,7 @@ func runE6(seed int64) *metrics.Table {
 			node.Start()
 			csmaNodes = append(csmaNodes, node)
 		}
-		k2.RunFor(10 * sim.Second)
+		k2.RunFor(csmaDur)
 		s2 := medium2.Stats()
 		csmaDelivery := ratio(s2.Delivered, s2.Delivered+s2.Collisions+s2.Losses)
 		var access metrics.Histogram
@@ -181,20 +194,23 @@ func runE6(seed int64) *metrics.Table {
 				access.Observe(d)
 			}
 		}
-		convCell := "never"
-		if conv >= 0 {
-			convCell = fmt.Sprintf("%d", conv)
-		}
 		// A converged TDMA node transmits in its own slot: access delay is
 		// deterministically bounded by one frame.
 		tdmaBound := float64(frame) / float64(sim.Millisecond)
-		tab.AddRow(fmt.Sprintf("%d", n), convCell,
-			metrics.FmtPct(tdmaDelivery), metrics.FmtMs(tdmaBound),
-			metrics.FmtPct(csmaDelivery),
-			metrics.FmtMs(access.Percentile(99)), metrics.FmtMs(access.Max()))
+		rec := res.Record("nodes", fmt.Sprintf("%d", n))
+		if conv >= 0 {
+			rec.Val("tdma conv. frames", float64(conv), metrics.Int)
+		} else {
+			rec.MissingVal("tdma conv. frames", metrics.Int)
+		}
+		rec.Val("tdma delivery", tdmaDelivery, metrics.Pct).
+			Val("tdma max access", tdmaBound, metrics.Ms).
+			Val("csma delivery", csmaDelivery, metrics.Pct).
+			Val("csma access p99", access.Percentile(99), metrics.Ms).
+			Val("csma access max", access.Max(), metrics.Ms)
 	}
-	tab.AddNote("expected: converged TDMA delivers ~100%% with a hard per-frame access bound; CSMA's access-delay tail grows with density (unpredictability)")
-	return tab
+	res.AddNote("expected: converged TDMA delivers ~100%% with a hard per-frame access bound; CSMA's access-delay tail grows with density (unpredictability)")
+	return res
 }
 
 func ratio(num, den int64) float64 {
@@ -215,12 +231,11 @@ func e7() Experiment {
 	}
 }
 
-func runE7(seed int64) *metrics.Table {
-	tab := metrics.NewTable("E7 - max pairwise phase error over time (16 nodes, ±50 ppm, 100 ms period)",
-		"time", "max phase error")
-	k := sim.NewKernel(seed)
+func runE7(cfg Config) *metrics.Result {
+	res := metrics.NewResult("E7 - max pairwise phase error over time (16 nodes, ±50 ppm, 100 ms period)")
+	k := sim.NewKernel(cfg.Seed)
 	medium := wireless.NewMedium(k, wireless.DefaultConfig())
-	cfg := mac.DefaultPulseConfig()
+	pcfg := mac.DefaultPulseConfig()
 	var nodes []*mac.PulseNode
 	for i := 0; i < 16; i++ {
 		radio, err := medium.Attach(wireless.NodeID(i), wireless.Position{X: float64(i) * 10})
@@ -228,22 +243,28 @@ func runE7(seed int64) *metrics.Table {
 			continue
 		}
 		drift := (k.Rand().Float64()*2 - 1) * 50e-6
-		offset := sim.Time(k.Rand().Int63n(int64(cfg.Period)))
+		offset := sim.Time(k.Rand().Int63n(int64(pcfg.Period)))
 		clock := sim.NewDriftClock(k, drift, offset)
-		node, err := mac.NewPulseNode(k, radio, clock, cfg)
+		node, err := mac.NewPulseNode(k, radio, clock, pcfg)
 		if err != nil {
 			continue
 		}
 		node.Start()
 		nodes = append(nodes, node)
 	}
-	for _, at := range []sim.Time{0, sim.Second, 5 * sim.Second, 15 * sim.Second,
-		30 * sim.Second, 60 * sim.Second, 120 * sim.Second} {
-		k.Run(at)
-		tab.AddRow(at.String(), mac.MaxPairwiseError(nodes, cfg.Period).String())
+	horizon := []sim.Time{0, sim.Second, 5 * sim.Second, 15 * sim.Second,
+		30 * sim.Second, 60 * sim.Second, 120 * sim.Second}
+	if cfg.Short {
+		horizon = horizon[:4]
 	}
-	tab.AddNote("expected: error decays from ~P/2 to a small bound and stays there (convergence + closure)")
-	return tab
+	for _, at := range horizon {
+		k.Run(at)
+		errMs := float64(mac.MaxPairwiseError(nodes, pcfg.Period)) / float64(sim.Millisecond)
+		res.Record("time", at.String()).
+			Val("max phase error ms", errMs, metrics.Ms)
+	}
+	res.AddNote("expected: error decays from ~P/2 to a small bound and stays there (convergence + closure)")
+	return res
 }
 
 // e8 — self-stabilizing end-to-end FIFO exactly-once over an adversarial
@@ -257,13 +278,21 @@ func e8() Experiment {
 	}
 }
 
-func runE8(seed int64) *metrics.Table {
-	tab := metrics.NewTable("E8 - delivery over omit/dup/reorder channel (60 s, resend 2 ms)",
-		"loss", "capacity", "delivered", "in order", "dups", "msgs/s")
-	for _, loss := range []float64{0, 0.2, 0.5} {
-		for _, capacity := range []int{2, 4, 8} {
-			k := sim.NewKernel(seed)
-			cfg := stabilize.E2EConfig{Capacity: capacity, Labels: 4*capacity + 4, Resend: 2 * sim.Millisecond}
+func runE8(cfg Config) *metrics.Result {
+	dur := cfg.dur(60*sim.Second, 10*sim.Second)
+	secs := dur.Seconds()
+	res := metrics.NewResult(fmt.Sprintf(
+		"E8 - delivery over omit/dup/reorder channel (%.0f s, resend 2 ms)", secs))
+	losses := []float64{0, 0.2, 0.5}
+	capacities := []int{2, 4, 8}
+	if cfg.Short {
+		losses = []float64{0, 0.5}
+		capacities = []int{2, 8}
+	}
+	for _, loss := range losses {
+		for _, capacity := range capacities {
+			k := sim.NewKernel(cfg.Seed)
+			ecfg := stabilize.E2EConfig{Capacity: capacity, Labels: 4*capacity + 4, Resend: 2 * sim.Millisecond}
 			lcfg := wireless.LinkConfig{
 				Delay: sim.Millisecond, Jitter: sim.Millisecond,
 				LossProb: loss, DupProb: 0.1, ReorderProb: 0.1,
@@ -282,16 +311,16 @@ func runE8(seed int64) *metrics.Table {
 					snd.OnAck(pkt)
 				}
 			})
-			recv, err := stabilize.NewReceiver(k, back, cfg, func(b any) {
+			recv, err := stabilize.NewReceiver(k, back, ecfg, func(b any) {
 				if v, ok := b.(int); ok {
 					delivered = append(delivered, v)
 				}
 			})
 			if err != nil {
-				tab.AddNote("cap %d: %v", capacity, err)
+				res.AddNote("cap %d: %v", capacity, err)
 				continue
 			}
-			snd, err = stabilize.NewSender(k, fwd, cfg)
+			snd, err = stabilize.NewSender(k, fwd, ecfg)
 			if err != nil {
 				continue
 			}
@@ -301,7 +330,7 @@ func runE8(seed int64) *metrics.Table {
 			if err := snd.Start(); err != nil {
 				continue
 			}
-			k.RunFor(60 * sim.Second)
+			k.RunFor(dur)
 			inOrder := true
 			dups := 0
 			seen := map[int]bool{}
@@ -314,14 +343,15 @@ func runE8(seed int64) *metrics.Table {
 				}
 				seen[v] = true
 			}
-			tab.AddRow(metrics.FmtPct(loss), fmt.Sprintf("%d", capacity),
-				metrics.FmtInt(int64(len(delivered))), boolCell(inOrder),
-				metrics.FmtInt(int64(dups)),
-				metrics.FmtF(float64(len(delivered))/60))
+			res.Record("loss", metrics.FmtPct(loss), "capacity", fmt.Sprintf("%d", capacity)).
+				Int("delivered", int64(len(delivered))).
+				Bool("in order", inOrder).
+				Int("dups", int64(dups)).
+				Val("msgs/s", float64(len(delivered))/secs, metrics.F2)
 		}
 	}
-	tab.AddNote("invariant: in-order yes, dups 0 at every loss/capacity point; goodput falls with loss")
-	return tab
+	res.AddNote("invariant: in-order yes, dups 0 at every loss/capacity point; goodput falls with loss")
+	return res
 }
 
 // e9 — self-stabilizing topology discovery and 2f+1 disjoint paths
@@ -335,19 +365,22 @@ func e9() Experiment {
 	}
 }
 
-func runE9(seed int64) *metrics.Table {
-	tab := metrics.NewTable("E9 - discovered vertices and corner-to-corner disjoint paths (grids)",
-		"grid", "radio range", "vertices seen", "disjoint paths", "byzantine f tolerated")
+func runE9(cfg Config) *metrics.Result {
+	res := metrics.NewResult("E9 - discovered vertices and corner-to-corner disjoint paths (grids)")
 	type gridCase struct {
 		cols, rows int
 		rangeM     float64
 	}
-	for _, g := range []gridCase{{3, 3, 120}, {4, 4, 120}, {4, 4, 160}, {5, 5, 160}} {
-		k := sim.NewKernel(seed)
+	grids := []gridCase{{3, 3, 120}, {4, 4, 120}, {4, 4, 160}, {5, 5, 160}}
+	if cfg.Short {
+		grids = grids[:2]
+	}
+	for _, g := range grids {
+		k := sim.NewKernel(cfg.Seed)
 		mcfg := wireless.DefaultConfig()
 		mcfg.Range = g.rangeM
 		medium := wireless.NewMedium(k, mcfg)
-		cfg := stabilize.DefaultTopoConfig()
+		tcfg := stabilize.DefaultTopoConfig()
 		var nodes []*stabilize.TopoNode
 		id := 0
 		for r := 0; r < g.rows; r++ {
@@ -358,22 +391,25 @@ func runE9(seed int64) *metrics.Table {
 				if err != nil {
 					continue
 				}
-				n := stabilize.NewTopoNode(k, radio, cfg)
+				n := stabilize.NewTopoNode(k, radio, tcfg)
 				n.Start()
 				nodes = append(nodes, n)
 				id++
 			}
 		}
-		k.RunFor(4 * sim.Second)
+		k.RunFor(cfg.dur(4*sim.Second, 2*sim.Second))
 		graph := nodes[0].Graph()
 		src := wireless.NodeID(0)
 		dst := wireless.NodeID(g.cols*g.rows - 1)
 		paths := stabilize.VertexDisjointPaths(graph, src, dst)
 		fTol := (paths - 1) / 2
-		tab.AddRow(fmt.Sprintf("%dx%d", g.cols, g.rows), metrics.FmtF(g.rangeM),
-			fmt.Sprintf("%d/%d", len(graph), g.cols*g.rows),
-			fmt.Sprintf("%d", paths), fmt.Sprintf("%d", fTol))
+		res.Record("grid", fmt.Sprintf("%dx%d", g.cols, g.rows),
+			"radio range", metrics.FmtF(g.rangeM)).
+			Int("vertices seen", int64(len(graph))).
+			Int("vertices total", int64(g.cols*g.rows)).
+			Int("disjoint paths", int64(paths)).
+			Int("byzantine f tolerated", int64(fTol))
 	}
-	tab.AddNote("2f+1 disjoint paths tolerate f Byzantine relays; denser radios raise f")
-	return tab
+	res.AddNote("2f+1 disjoint paths tolerate f Byzantine relays; denser radios raise f")
+	return res
 }

@@ -33,16 +33,16 @@ func newE3Sensor(k *sim.Kernel, truth sensor.Truth, sigma float64, period sim.Ti
 	return sensor.NewAbstract(k, phys, fm)
 }
 
-func runE3(seed int64) *metrics.Table {
-	tab := metrics.NewTable("E3 - validity during injected fault episodes (100 Hz sampling, 10 s episodes)",
-		"fault mode", "validity healthy", "validity faulty", "detected", "false pos healthy")
+func runE3(cfg Config) *metrics.Result {
+	episode := cfg.dur(10*sim.Second, 3*sim.Second)
+	res := metrics.NewResult("E3 - validity during injected fault episodes (100 Hz sampling)")
 	const (
 		sigma  = 0.3
 		period = 10 * sim.Millisecond
 	)
 	truth := func(t sim.Time) float64 { return 50 + 20*math.Sin(t.Seconds()/5) }
 	for _, mode := range sensor.AllFaultModes() {
-		k := sim.NewKernel(seed)
+		k := sim.NewKernel(cfg.Seed)
 		a := newE3Sensor(k, truth, sigma, period)
 		var healthy, faulty metrics.Histogram
 		var falsePos metrics.Ratio
@@ -60,31 +60,26 @@ func runE3(seed int64) *metrics.Table {
 			k.RunFor(d)
 			t.Stop()
 		}
-		sampleFor(&healthy, 10*sim.Second, &falsePos)
+		sampleFor(&healthy, episode, &falsePos)
 		a.Physical().Inject(sensor.Fault{
 			Mode:      mode,
 			From:      k.Now(),
-			To:        k.Now() + 10*sim.Second,
+			To:        k.Now() + episode,
 			Magnitude: 30,
 			Delay:     500 * sim.Millisecond,
 			Prob:      0.3,
 		})
-		sampleFor(&faulty, 10*sim.Second, nil)
+		sampleFor(&faulty, episode, nil)
 		detected := faulty.Percentile(10) < 0.5 || faulty.Mean() < healthy.Mean()*0.7
-		tab.AddRow(mode.String(),
-			metrics.FmtF(healthy.Mean()), metrics.FmtF(faulty.Mean()),
-			boolCell(detected), metrics.FmtPct(falsePos.Value()))
+		res.Record("fault mode", mode.String()).
+			Val("validity healthy", healthy.Mean(), metrics.F2).
+			Val("validity faulty", faulty.Mean(), metrics.F2).
+			Bool("detected", detected).
+			Val("false pos healthy", falsePos.Value(), metrics.Pct)
 	}
-	tab.AddNote("expected: healthy validity ~1, false positives ~0; delay/sporadic/stochastic/stuck detected locally")
-	tab.AddNote("permanent-offset is NOT locally detectable by construction — a constant bias looks plausible to every single-sensor detector; exposing it requires redundancy, which is exactly experiment E4's reliable sensor (paper Sec. IV-B)")
-	return tab
-}
-
-func boolCell(v bool) string {
-	if v {
-		return "yes"
-	}
-	return "no"
+	res.AddNote("expected: healthy validity ~1, false positives ~0; delay/sporadic/stochastic/stuck detected locally")
+	res.AddNote("permanent-offset is NOT locally detectable by construction — a constant bias looks plausible to every single-sensor detector; exposing it requires redundancy, which is exactly experiment E4's reliable sensor (paper Sec. IV-B)")
+	return res
 }
 
 // e4 — abstract reliable sensor: fusion error with one faulty input
@@ -100,18 +95,18 @@ func e4() Experiment {
 	}
 }
 
-func runE4(seed int64) *metrics.Table {
-	tab := metrics.NewTable("E4 - RMS error vs truth, one of three sensors faulted (offset 40 m)",
-		"fault mode", "single faulty", "marzullo f=1", "weighted", "reliable validity")
+func runE4(cfg Config) *metrics.Result {
+	res := metrics.NewResult("E4 - RMS error vs truth, one of three sensors faulted (offset 40 m)")
 	const sigma = 0.3
 	truthVal := 100.0
 	truth := func(sim.Time) float64 { return truthVal }
+	reads := cfg.n(500, 120)
 	for _, mode := range sensor.AllFaultModes() {
-		k := sim.NewKernel(seed)
-		mk := func(name string) *sensor.Abstract {
+		k := sim.NewKernel(cfg.Seed)
+		mk := func() *sensor.Abstract {
 			return newE3Sensor(k, truth, sigma, 10*sim.Millisecond)
 		}
-		s1, s2, s3 := mk("a"), mk("b"), mk("c")
+		s1, s2, s3 := mk(), mk(), mk()
 		rel := sensor.NewReliable(k, []*sensor.Abstract{s1, s2, s3}, 1.5, 1, 0.2)
 		// Warm up.
 		for i := 0; i < 20; i++ {
@@ -122,7 +117,7 @@ func runE4(seed int64) *metrics.Table {
 			Mode: mode, Magnitude: 40, Delay: 2 * sim.Second, Prob: 0.3,
 		})
 		var errSingle, errMarz, errWeighted, relVal metrics.Histogram
-		for i := 0; i < 500; i++ {
+		for i := 0; i < reads; i++ {
 			k.RunFor(10 * sim.Millisecond)
 			single := s2.Read()
 			errSingle.Observe(sq(single.Value - truthVal))
@@ -134,14 +129,14 @@ func runE4(seed int64) *metrics.Table {
 				errWeighted.Observe(sq(w.Value - truthVal))
 			}
 		}
-		tab.AddRow(mode.String(),
-			metrics.FmtF(math.Sqrt(errSingle.Mean())),
-			metrics.FmtF(math.Sqrt(errMarz.Mean())),
-			metrics.FmtF(math.Sqrt(errWeighted.Mean())),
-			metrics.FmtF(relVal.Mean()))
+		res.Record("fault mode", mode.String()).
+			Val("single faulty", math.Sqrt(errSingle.Mean()), metrics.F2).
+			Val("marzullo f=1", math.Sqrt(errMarz.Mean()), metrics.F2).
+			Val("weighted", math.Sqrt(errWeighted.Mean()), metrics.F2).
+			Val("reliable validity", relVal.Mean(), metrics.F2)
 	}
-	tab.AddNote("expected: fusion RMS error ~ sensor noise regardless of the injected mode; single faulty sensor error >> noise")
-	return tab
+	res.AddNote("expected: fusion RMS error ~ sensor noise regardless of the injected mode; single faulty sensor error >> noise")
+	return res
 }
 
 func sq(v float64) float64 { return v * v }

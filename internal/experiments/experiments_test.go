@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"karyon/internal/sim"
 )
 
 func TestRegistryComplete(t *testing.T) {
@@ -44,30 +46,56 @@ func TestByID(t *testing.T) {
 	}
 }
 
-// Each experiment must produce a non-trivial table deterministically. The
-// heavyweight ones are exercised end-to-end here (this is also the repo's
-// integration test across all subsystems).
+// Each experiment must produce a non-trivial structured result
+// deterministically. Under -short the reduced-fidelity configuration runs
+// (seconds, not minutes) so every harness still executes end-to-end; the
+// default mode keeps full fidelity and doubles as the repo's integration
+// test across all subsystems.
 func TestExperimentsRunAndAreDeterministic(t *testing.T) {
-	if testing.Short() {
-		t.Skip("experiments are long")
-	}
+	short := testing.Short()
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			t.Parallel()
-			out1 := e.Run(1).String()
+			cfg := Config{Seed: 1, Short: short}
+			res1 := e.Run(cfg)
+			out1 := res1.Table().String()
 			if len(out1) == 0 || !strings.Contains(out1, e.ID) {
 				t.Fatalf("%s produced unusable output:\n%s", e.ID, out1)
+			}
+			if len(res1.Records) == 0 {
+				t.Fatalf("%s produced no records", e.ID)
 			}
 			lines := strings.Split(strings.TrimSpace(out1), "\n")
 			if len(lines) < 4 {
 				t.Fatalf("%s table too small:\n%s", e.ID, out1)
 			}
-			out2 := e.Run(1).String()
+			out2 := e.Run(cfg).Table().String()
 			if out1 != out2 {
 				t.Fatalf("%s is nondeterministic for the same seed:\nfirst:\n%s\nsecond:\n%s",
 					e.ID, out1, out2)
 			}
 		})
+	}
+}
+
+// The Harnessed adapter must hand the kernel's seed through to the
+// experiment so a harness replica equals a direct run.
+func TestHarnessedAdapterMatchesDirectRun(t *testing.T) {
+	e, ok := ByID("E3")
+	if !ok {
+		t.Fatal("E3 missing")
+	}
+	h := Harnessed{Exp: e, Short: true}
+	if h.Name() != "E3" {
+		t.Fatalf("Name() = %q", h.Name())
+	}
+	direct := e.Run(Config{Seed: 7, Short: true}).Table().String()
+	viaKernel, err := h.Run(sim.NewKernel(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := viaKernel.Table().String(); got != direct {
+		t.Fatalf("adapter diverges from direct run:\nadapter:\n%s\ndirect:\n%s", got, direct)
 	}
 }

@@ -1,14 +1,44 @@
 // Package experiments contains one reproducible harness per experiment in
-// EXPERIMENTS.md (E1..E15), each mapping a figure, section or use case of
-// the KARYON paper to a measurable table. Every harness is a pure function
-// of its seed: identical seeds print identical tables.
+// EXPERIMENTS.md (E1..E16), each mapping a figure, section or use case of
+// the KARYON paper to structured result records. Every harness is a pure
+// function of its Config: identical configs produce identical results.
+// Rendering (text tables, CSV) and across-replica aggregation live in
+// internal/metrics; replicated parallel execution lives in
+// internal/harness.
 package experiments
 
 import (
 	"sort"
 
 	"karyon/internal/metrics"
+	"karyon/internal/sim"
 )
+
+// Config parameterizes one experiment replica.
+type Config struct {
+	// Seed fully determines the replica.
+	Seed int64
+	// Short trades fidelity for wall time: fewer sweep points, shorter
+	// simulated durations. Used by -short tests and smoke runs; statistical
+	// claims should use the full-fidelity default.
+	Short bool
+}
+
+// dur picks the full or the reduced simulated duration.
+func (c Config) dur(full, short sim.Time) sim.Time {
+	if c.Short {
+		return short
+	}
+	return full
+}
+
+// n picks the full or the reduced count.
+func (c Config) n(full, short int) int {
+	if c.Short {
+		return short
+	}
+	return full
+}
 
 // Experiment is one runnable harness.
 type Experiment struct {
@@ -18,8 +48,24 @@ type Experiment struct {
 	Title string
 	// Anchor cites the paper location.
 	Anchor string
-	// Run executes the harness and renders its table.
-	Run func(seed int64) *metrics.Table
+	// Run executes the harness and collects its structured result.
+	Run func(cfg Config) *metrics.Result
+}
+
+// Harnessed adapts an experiment to the harness.Scenario interface
+// (satisfied structurally — this package does not import internal/harness):
+// each replica derives its Config from the fresh kernel's seed.
+type Harnessed struct {
+	Exp   Experiment
+	Short bool
+}
+
+// Name implements harness.Scenario.
+func (h Harnessed) Name() string { return h.Exp.ID }
+
+// Run implements harness.Scenario.
+func (h Harnessed) Run(k *sim.Kernel) (*metrics.Result, error) {
+	return h.Exp.Run(Config{Seed: k.Seed(), Short: h.Short}), nil
 }
 
 // All returns every experiment in id order.

@@ -1,0 +1,163 @@
+// Package harness unifies KARYON's two execution paths — the named
+// scenarios of cmd/karyon-sim and the E1..E16 experiment registry — behind
+// one replicated, seed-matrix runner.
+//
+// A Scenario is a pure function of a kernel seed: configure, build on a
+// fresh sim.Kernel, run, collect a structured metrics.Result. The Runner
+// executes N replicas of a scenario across a worker pool (one deterministic
+// kernel per goroutine; kernels are never shared) and merges the replica
+// results in seed order, so the aggregated output is byte-identical
+// regardless of the parallelism that produced it. The paper's safety
+// argument is probabilistic — evidence comes from many replicated runs, not
+// single traces — and this package is what makes "many" cheap.
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"karyon/internal/metrics"
+	"karyon/internal/sim"
+)
+
+// Scenario is one runnable simulation: build a model on the supplied fresh
+// kernel, run it, and collect structured results. Implementations must be
+// pure functions of the kernel's seed — all randomness from k.Rand(), no
+// wall-clock, no shared mutable state — so that replicas parallelize
+// safely and a seed matrix fully determines the aggregate.
+type Scenario interface {
+	Name() string
+	Run(k *sim.Kernel) (*metrics.Result, error)
+}
+
+// Func adapts a plain function to Scenario.
+type Func struct {
+	ScenarioName string
+	Fn           func(k *sim.Kernel) (*metrics.Result, error)
+}
+
+// Name implements Scenario.
+func (f Func) Name() string { return f.ScenarioName }
+
+// Run implements Scenario.
+func (f Func) Run(k *sim.Kernel) (*metrics.Result, error) { return f.Fn(k) }
+
+// SeedStride spaces replica seeds. Experiments derive sub-kernel seeds by
+// small offsets from their base seed (seed+1, seed+2, ...); a wide prime
+// stride keeps replica seed ranges disjoint so replicas never reuse each
+// other's sub-streams.
+const SeedStride = 1_000_003
+
+// Seeds returns the deterministic seed matrix for a base seed: replica i
+// runs with base + i*SeedStride.
+func Seeds(base int64, replicas int) []int64 {
+	if replicas < 1 {
+		replicas = 1
+	}
+	seeds := make([]int64, replicas)
+	for i := range seeds {
+		seeds[i] = base + int64(i)*SeedStride
+	}
+	return seeds
+}
+
+// Options configures one replicated run.
+type Options struct {
+	// Seed is the base of the seed matrix.
+	Seed int64
+	// Replicas is the number of independent runs to aggregate (min 1).
+	Replicas int
+	// Parallel is the worker-pool width (min 1). It affects wall time only:
+	// the aggregated output is identical for every value.
+	Parallel int
+}
+
+func (o Options) normalized() Options {
+	if o.Replicas < 1 {
+		o.Replicas = 1
+	}
+	if o.Parallel < 1 {
+		o.Parallel = 1
+	}
+	if o.Parallel > o.Replicas {
+		o.Parallel = o.Replicas
+	}
+	return o
+}
+
+// Report is the outcome of one replicated scenario run.
+type Report struct {
+	Name     string           `json:"name"`
+	BaseSeed int64            `json:"base_seed"`
+	Seeds    []int64          `json:"seeds"`
+	Summary  *metrics.Summary `json:"summary"`
+}
+
+// Run executes the scenario once per seed in the matrix, fanning replicas
+// across opts.Parallel workers, and aggregates the results in seed order.
+// A failed, panicked, or cancelled replica surfaces as an error — never as
+// a silent gap in the aggregate.
+func Run(ctx context.Context, s Scenario, opts Options) (*Report, error) {
+	opts = opts.normalized()
+	seeds := Seeds(opts.Seed, opts.Replicas)
+	results := make([]*metrics.Result, len(seeds))
+	errs := make([]error, len(seeds))
+
+	idx := make(chan int, len(seeds))
+	for i := range seeds {
+		idx <- i
+	}
+	close(idx)
+
+	// failed short-circuits queued replicas once any replica errs; their
+	// slots stay nil but the run reports the first error anyway.
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if failed.Load() {
+					continue
+				}
+				results[i], errs[i] = runReplica(ctx, s, seeds[i])
+				if errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s replica %d (seed %d): %w", s.Name(), i, seeds[i], err)
+		}
+	}
+	return &Report{
+		Name:     s.Name(),
+		BaseSeed: opts.Seed,
+		Seeds:    seeds,
+		Summary:  metrics.Aggregate(results),
+	}, nil
+}
+
+func runReplica(ctx context.Context, s Scenario, seed int64) (res *metrics.Result, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("replica panicked: %v", p)
+		}
+	}()
+	res, err = s.Run(sim.NewKernel(seed))
+	if err == nil && res == nil {
+		err = errors.New("scenario returned no result")
+	}
+	return res, err
+}

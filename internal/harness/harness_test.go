@@ -1,0 +1,153 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"karyon/internal/metrics"
+	"karyon/internal/sim"
+)
+
+// noisy is a scenario whose records depend on the kernel's rand stream and
+// seed, so any cross-replica state sharing or ordering bug changes output.
+func noisy() Scenario {
+	return Func{
+		ScenarioName: "noisy",
+		Fn: func(k *sim.Kernel) (*metrics.Result, error) {
+			res := metrics.NewResult("noisy")
+			var sum float64
+			k.Schedule(sim.Millisecond, func() {
+				sum = k.Rand().Float64() * float64(k.Seed()%997)
+			})
+			k.RunFor(2 * sim.Millisecond)
+			res.Record("case", "a").
+				Val("sum", sum, metrics.F3).
+				Int("events", int64(k.Executed()))
+			return res, nil
+		},
+	}
+}
+
+func report(t *testing.T, parallel int) string {
+	t.Helper()
+	rep, err := Run(context.Background(), noisy(), Options{Seed: 11, Replicas: 16, Parallel: parallel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Summary.Table().String() + "\n" + string(js)
+}
+
+// The tentpole invariant: the same seed matrix produces byte-identical
+// aggregated output (text and JSON) for every worker-pool width.
+func TestParallelismDoesNotChangeOutput(t *testing.T) {
+	serial := report(t, 1)
+	for _, parallel := range []int{2, 4, 8, 32} {
+		if got := report(t, parallel); got != serial {
+			t.Fatalf("parallel=%d changed output:\nserial:\n%s\nparallel:\n%s", parallel, serial, got)
+		}
+	}
+	if !strings.Contains(serial, "±") {
+		t.Fatalf("aggregated output missing dispersion cells:\n%s", serial)
+	}
+}
+
+func TestSeedMatrix(t *testing.T) {
+	seeds := Seeds(5, 3)
+	want := []int64{5, 5 + SeedStride, 5 + 2*SeedStride}
+	for i := range want {
+		if seeds[i] != want[i] {
+			t.Fatalf("seeds = %v, want %v", seeds, want)
+		}
+	}
+}
+
+// A failing replica must surface as an error — never as a silent gap in
+// the aggregate.
+func TestReplicaErrorSurfaces(t *testing.T) {
+	boom := errors.New("boom")
+	s := Func{
+		ScenarioName: "flaky",
+		Fn: func(k *sim.Kernel) (*metrics.Result, error) {
+			if k.Seed() != 11 { // every replica after the first
+				return nil, boom
+			}
+			return metrics.NewResult("flaky"), nil
+		},
+	}
+	_, err := Run(context.Background(), s, Options{Seed: 11, Replicas: 4, Parallel: 2})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "flaky") {
+		t.Fatalf("error does not identify the scenario: %v", err)
+	}
+}
+
+func TestPanickingReplicaSurfaces(t *testing.T) {
+	s := Func{
+		ScenarioName: "panicky",
+		Fn: func(k *sim.Kernel) (*metrics.Result, error) {
+			panic(fmt.Sprintf("seed %d", k.Seed()))
+		},
+	}
+	_, err := Run(context.Background(), s, Options{Seed: 1, Replicas: 2, Parallel: 2})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panic not surfaced: %v", err)
+	}
+}
+
+func TestNilResultIsAnError(t *testing.T) {
+	s := Func{
+		ScenarioName: "empty",
+		Fn:           func(k *sim.Kernel) (*metrics.Result, error) { return nil, nil },
+	}
+	_, err := Run(context.Background(), s, Options{Replicas: 1})
+	if err == nil {
+		t.Fatal("nil result accepted")
+	}
+}
+
+func TestCancelledContextSurfaces(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, noisy(), Options{Seed: 1, Replicas: 4, Parallel: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestScenarioImplementations(t *testing.T) {
+	for _, tc := range []struct {
+		sc   Scenario
+		name string
+	}{
+		{HighwayScenario{Duration: 5e9, Cars: 5, Mode: "adaptive"}, "highway"},
+		{IntersectionScenario{Duration: 10e9, VirtualBackup: true}, "intersection"},
+		{EncounterScenario{Geometry: "same-direction", Collaborative: true}, "encounter"},
+	} {
+		if tc.sc.Name() != tc.name {
+			t.Fatalf("Name() = %q, want %q", tc.sc.Name(), tc.name)
+		}
+		res, err := tc.sc.Run(sim.NewKernel(1))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(res.Records) == 0 || len(res.Records[0].Values) == 0 {
+			t.Fatalf("%s produced no measurements", tc.name)
+		}
+	}
+	if _, err := (HighwayScenario{Duration: 1e9, Cars: 3, Mode: "bogus"}).Run(sim.NewKernel(1)); err == nil {
+		t.Fatal("bogus highway mode accepted")
+	}
+	if _, err := (EncounterScenario{Geometry: "bogus"}).Run(sim.NewKernel(1)); err == nil {
+		t.Fatal("bogus geometry accepted")
+	}
+}

@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"karyon/internal/avionics"
+	"karyon/internal/core"
+	"karyon/internal/metrics"
+	"karyon/internal/sim"
+	"karyon/internal/world"
+)
+
+// HighwayScenario runs the multi-car highway world under one LoS policy.
+type HighwayScenario struct {
+	Duration time.Duration
+	Cars     int
+	// Mode is adaptive, fixed1, fixed2, fixed3, or reckless.
+	Mode string
+}
+
+// Name implements Scenario.
+func (s HighwayScenario) Name() string { return "highway" }
+
+// Run implements Scenario.
+func (s HighwayScenario) Run(k *sim.Kernel) (*metrics.Result, error) {
+	cfg := world.DefaultHighwayConfig()
+	cfg.Cars = s.Cars
+	switch s.Mode {
+	case "adaptive":
+		cfg.Mode = world.ModeAdaptive
+	case "fixed1", "fixed2", "fixed3":
+		cfg.Mode = world.ModeFixed
+		cfg.FixedLoS = core.LoS(s.Mode[len(s.Mode)-1] - '0')
+	case "reckless":
+		cfg.Mode = world.ModeReckless
+		cfg.FixedLoS = 3
+	default:
+		return nil, fmt.Errorf("unknown mode %q", s.Mode)
+	}
+	h, err := world.NewHighway(k, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.Start(); err != nil {
+		return nil, err
+	}
+	k.RunFor(sim.FromDuration(s.Duration))
+	res := metrics.NewResult(fmt.Sprintf("highway: %d cars, %s simulated", s.Cars, s.Duration))
+	levels := map[core.LoS]int{}
+	for _, c := range h.Cars() {
+		levels[c.LoS()]++
+	}
+	res.Record("mode", s.Mode).
+		Int("events", int64(k.Executed())).
+		Val("mean speed m/s", h.MeanSpeed(), metrics.F2).
+		Val("flow veh/h", h.Flow(), metrics.F2).
+		Val("min timegap s", h.TimeGaps.Min(), metrics.F2).
+		Val("p5 timegap s", h.TimeGaps.Percentile(5), metrics.F2).
+		Int("collisions", h.Collisions).
+		Int("final LoS1", int64(levels[1])).
+		Int("final LoS2", int64(levels[2])).
+		Int("final LoS3", int64(levels[3]))
+	return res, nil
+}
+
+// IntersectionScenario runs the traffic-light intersection, optionally
+// failing the physical light and engaging the virtual backup.
+type IntersectionScenario struct {
+	Duration      time.Duration
+	FailAt        time.Duration
+	VirtualBackup bool
+}
+
+// Name implements Scenario.
+func (s IntersectionScenario) Name() string { return "intersection" }
+
+// Run implements Scenario.
+func (s IntersectionScenario) Run(k *sim.Kernel) (*metrics.Result, error) {
+	cfg := world.DefaultIntersectionConfig()
+	cfg.LightFailsAt = sim.FromDuration(s.FailAt)
+	cfg.VirtualBackup = s.VirtualBackup
+	w, err := world.NewIntersection(k, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Start(); err != nil {
+		return nil, err
+	}
+	k.RunFor(sim.FromDuration(s.Duration))
+	res := metrics.NewResult(fmt.Sprintf("intersection: %s simulated", s.Duration))
+	res.Record().
+		Bool("light alive", w.LightAlive()).
+		Int("crossed NS", w.Crossed[world.RoadNS]).
+		Int("crossed EW", w.Crossed[world.RoadEW]).
+		Val("wait p95 s", w.WaitTimes.Percentile(95), metrics.F2).
+		Int("conflicts", w.Conflicts)
+	w.Stop()
+	return res, nil
+}
+
+// EncounterScenario runs one two-aircraft avionic encounter geometry.
+type EncounterScenario struct {
+	// Geometry is same-direction, leveled-crossing, or level-change.
+	Geometry string
+	// Collaborative selects ADS-B traffic; false means voice-only.
+	Collaborative bool
+}
+
+// Name implements Scenario.
+func (s EncounterScenario) Name() string { return "encounter" }
+
+// Run implements Scenario.
+func (s EncounterScenario) Run(k *sim.Kernel) (*metrics.Result, error) {
+	var geom avionics.Scenario
+	for _, cand := range avionics.Scenarios() {
+		if cand.String() == s.Geometry {
+			geom = cand
+		}
+	}
+	if geom == 0 {
+		return nil, fmt.Errorf("unknown geometry %q", s.Geometry)
+	}
+	e, err := avionics.NewEncounter(k, avionics.DefaultEncounterConfig(geom, s.Collaborative))
+	if err != nil {
+		return nil, err
+	}
+	enc, err := e.Run()
+	if err != nil {
+		return nil, err
+	}
+	traffic := "voice"
+	if s.Collaborative {
+		traffic = "ADS-B"
+	}
+	res := metrics.NewResult(fmt.Sprintf("encounter %s (collaborative=%v)", s.Geometry, s.Collaborative))
+	res.Record("geometry", s.Geometry, "traffic", traffic).
+		Int("violations ticks", enc.ViolationTicks).
+		Val("min lateral m", enc.MinLateral, metrics.F2).
+		Val("min vertical m", enc.MinVertical, metrics.F2).
+		Bool("maneuvered", enc.Maneuvered).
+		Int("LoS at end", int64(enc.LoSAtEnd)).
+		Val("LoS3 time", enc.TimeAtLoS3Frac, metrics.Pct)
+	return res, nil
+}

@@ -152,7 +152,7 @@ type Mediator struct {
 type pendingSend struct {
 	frame    DataFrame
 	deadline sim.Time
-	timer    *sim.Timer
+	timer    sim.Timer
 	acked    bool
 }
 
@@ -232,9 +232,7 @@ func (m *Mediator) Stop() {
 		m.hbT.Stop()
 	}
 	for _, p := range m.pending {
-		if p.timer != nil {
-			p.timer.Cancel()
-		}
+		p.timer.Cancel()
 	}
 }
 
@@ -381,9 +379,7 @@ func (m *Mediator) SendReliable(to wireless.NodeID, body any, done func(ok bool)
 			return
 		}
 		ps.acked = true
-		if ps.timer != nil {
-			ps.timer.Cancel()
-		}
+		ps.timer.Cancel()
 		delete(m.pending, seq)
 		m.stats.DeliveredInTime++
 		if psDone != nil {

@@ -1,0 +1,139 @@
+package metrics
+
+import "strings"
+
+// Dist summarizes one named measurement across replicas. Count is the
+// number of replicas in which the measurement occurred (missing values
+// contribute no sample); with Count zero the statistics are all zero.
+type Dist struct {
+	Name   string  `json:"name"`
+	Count  int     `json:"count"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	P95    float64 `json:"p95"`
+	Fmt    Format  `json:"format"`
+}
+
+// Cell renders the distribution for a text table. A single-replica summary
+// renders exactly like the underlying value so that `-replicas 1` output
+// matches an unreplicated run; multiple replicas render mean ±stddev (the
+// full distribution, including p95, is in the JSON form).
+func (d Dist) Cell(replicas int) string {
+	if d.Count == 0 {
+		return "-"
+	}
+	if replicas <= 1 {
+		return d.Fmt.Cell(d.Mean)
+	}
+	return d.Fmt.meanCell(d.Mean) + " ±" + d.Fmt.meanCell(d.StdDev)
+}
+
+// AggRecord is one aggregated row: the identity labels shared by the
+// matched replica records plus a distribution per measurement.
+type AggRecord struct {
+	Labels []Label `json:"labels"`
+	Values []Dist  `json:"values"`
+
+	samples map[string]*Histogram
+}
+
+// Summary is the across-replica aggregation of a scenario's results.
+// Records are matched by their ordered label tuple and kept in first-seen
+// order, so the summary is a pure function of the replica results in seed
+// order — independent of the parallelism that produced them.
+type Summary struct {
+	Title    string      `json:"title"`
+	Replicas int         `json:"replicas"`
+	Records  []AggRecord `json:"records"`
+	Notes    []string    `json:"notes,omitempty"`
+}
+
+func labelKey(labels []Label) string {
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Name)
+		b.WriteByte('\x00')
+		b.WriteString(l.Value)
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// Aggregate merges replica results into per-record distributions. The
+// title and notes are taken from the first replica (notes may interpolate
+// replica-specific numbers; the first replica keeps them deterministic).
+func Aggregate(results []*Result) *Summary {
+	s := &Summary{Replicas: len(results)}
+	// index holds positions, not pointers: appends may reallocate s.Records.
+	index := map[string]int{}
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		if s.Title == "" {
+			s.Title = r.Title
+			s.Notes = append(s.Notes, r.Notes...)
+		}
+		for _, rec := range r.Records {
+			key := labelKey(rec.Labels)
+			at, ok := index[key]
+			if !ok {
+				at = len(s.Records)
+				s.Records = append(s.Records, AggRecord{
+					Labels:  append([]Label{}, rec.Labels...),
+					samples: map[string]*Histogram{},
+				})
+				index[key] = at
+			}
+			agg := &s.Records[at]
+			for _, v := range rec.Values {
+				h, ok := agg.samples[v.Name]
+				if !ok {
+					h = &Histogram{}
+					agg.samples[v.Name] = h
+					agg.Values = append(agg.Values, Dist{Name: v.Name, Fmt: v.Fmt})
+				}
+				if !v.Missing {
+					h.Observe(v.V)
+				}
+			}
+		}
+	}
+	for ri := range s.Records {
+		agg := &s.Records[ri]
+		for vi := range agg.Values {
+			d := &agg.Values[vi]
+			h := agg.samples[d.Name]
+			if d.Count = h.Count(); d.Count == 0 {
+				continue
+			}
+			d.Mean = h.Mean()
+			d.StdDev = h.StdDev()
+			d.Min = h.Min()
+			d.Max = h.Max()
+			d.P95 = h.Percentile(95)
+		}
+		agg.samples = nil
+	}
+	return s
+}
+
+// Table renders the summary as a text table: identity labels followed by
+// one distribution cell per measurement.
+func (s *Summary) Table() *Table {
+	rows := make([]tableRow, 0, len(s.Records))
+	for _, rec := range s.Records {
+		row := tableRow{labels: rec.Labels}
+		for _, d := range rec.Values {
+			row.cells = append(row.cells, namedCell{name: d.Name, cell: d.Cell(s.Replicas)})
+		}
+		rows = append(rows, row)
+	}
+	notes := s.Notes
+	if s.Replicas > 1 {
+		notes = append([]string{"cells: mean ±stddev over replicas; min/max/p95 in the JSON form"}, s.Notes...)
+	}
+	return renderTable(s.Title, rows, notes)
+}

@@ -1,0 +1,252 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Format selects how a numeric value renders in text cells. Values stay
+// numeric in the structured result so they can be aggregated across
+// replicas; formatting is applied only at the rendering boundary.
+type Format int
+
+const (
+	// F2 renders with two decimal places.
+	F2 Format = iota
+	// F3 renders with three decimal places.
+	F3
+	// Pct renders a fraction as a percentage with one decimal place.
+	Pct
+	// Ms renders a value already in milliseconds.
+	Ms
+	// Int renders a whole count.
+	Int
+	// Bool renders 0 as "no" and anything else as "yes".
+	Bool
+)
+
+// String names the format for JSON output.
+func (f Format) String() string {
+	switch f {
+	case F3:
+		return "f3"
+	case Pct:
+		return "pct"
+	case Ms:
+		return "ms"
+	case Int:
+		return "int"
+	case Bool:
+		return "bool"
+	default:
+		return "f2"
+	}
+}
+
+// MarshalJSON emits the format's name.
+func (f Format) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + f.String() + `"`), nil
+}
+
+// Cell renders one value under the format.
+func (f Format) Cell(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	switch f {
+	case F3:
+		return FmtF3(v)
+	case Pct:
+		return FmtPct(v)
+	case Ms:
+		return FmtMs(v)
+	case Int:
+		return FmtInt(int64(math.Round(v)))
+	case Bool:
+		if v != 0 {
+			return "yes"
+		}
+		return "no"
+	default:
+		return FmtF(v)
+	}
+}
+
+// meanCell renders an across-replica mean, where counts and booleans are no
+// longer whole: counts get one decimal place and booleans become the
+// fraction of replicas answering yes.
+func (f Format) meanCell(v float64) string {
+	switch f {
+	case Int:
+		return fmt.Sprintf("%.1f", v)
+	case Bool:
+		return FmtPct(v)
+	default:
+		return f.Cell(v)
+	}
+}
+
+// Label is one named string cell identifying a record. The ordered label
+// tuple is the record's identity when merging replicas.
+type Label struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// Value is one named numeric cell. Missing marks a measurement that did not
+// occur in this replica (e.g. a protocol that never converged); missing
+// values render as "-" and contribute no sample to aggregation.
+type Value struct {
+	Name    string  `json:"name"`
+	V       float64 `json:"value"`
+	Missing bool    `json:"missing,omitempty"`
+	Fmt     Format  `json:"format"`
+}
+
+// Record is one structured result row: identity labels plus measurements.
+type Record struct {
+	Labels []Label `json:"labels"`
+	Values []Value `json:"values"`
+}
+
+// Result is the structured output of one scenario or experiment replica.
+// It replaces hand-rendered tables: experiments emit Records and the
+// rendering layer (Table) or the harness aggregation (Aggregate) consumes
+// them.
+type Result struct {
+	Title   string    `json:"title"`
+	Records []*Record `json:"records"`
+	Notes   []string  `json:"notes,omitempty"`
+}
+
+// NewResult creates an empty result with the given title.
+func NewResult(title string) *Result {
+	return &Result{Title: title}
+}
+
+// AddNote appends a free-text footnote.
+func (r *Result) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Record appends a row identified by the given (name, value) label pairs
+// and returns it for chaining Val/Int/Bool calls. The pointer stays valid
+// across further Record calls (rows are individually allocated).
+func (r *Result) Record(labelPairs ...string) *Record {
+	rec := &Record{}
+	for i := 0; i+1 < len(labelPairs); i += 2 {
+		rec.Labels = append(rec.Labels, Label{Name: labelPairs[i], Value: labelPairs[i+1]})
+	}
+	r.Records = append(r.Records, rec)
+	return rec
+}
+
+// Val appends a numeric measurement.
+func (rec *Record) Val(name string, v float64, f Format) *Record {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return rec.MissingVal(name, f)
+	}
+	rec.Values = append(rec.Values, Value{Name: name, V: v, Fmt: f})
+	return rec
+}
+
+// Int appends a whole-count measurement.
+func (rec *Record) Int(name string, v int64) *Record {
+	return rec.Val(name, float64(v), Int)
+}
+
+// Bool appends a yes/no measurement stored as 0/1 so replicas average into
+// a yes-fraction.
+func (rec *Record) Bool(name string, v bool) *Record {
+	x := 0.0
+	if v {
+		x = 1
+	}
+	return rec.Val(name, x, Bool)
+}
+
+// MissingVal appends a measurement that did not occur in this replica.
+func (rec *Record) MissingVal(name string, f Format) *Record {
+	rec.Values = append(rec.Values, Value{Name: name, Missing: true, Fmt: f})
+	return rec
+}
+
+// tableRow is one pre-rendered row: identity labels plus (name, cell)
+// measurement pairs. Result and Summary both render through it so the
+// single-replica and aggregated tables cannot drift apart.
+type tableRow struct {
+	labels []Label
+	cells  []namedCell
+}
+
+type namedCell struct {
+	name string
+	cell string
+}
+
+// renderTable lays rows out under the union of label and value names in
+// first-seen order. Rows may carry heterogeneous columns; absent cells
+// render empty.
+func renderTable(title string, rows []tableRow, notes []string) *Table {
+	seen := map[string]bool{}
+	var labelCols, valueCols []string
+	for _, row := range rows {
+		for _, l := range row.labels {
+			if !seen["l\x00"+l.Name] {
+				seen["l\x00"+l.Name] = true
+				labelCols = append(labelCols, l.Name)
+			}
+		}
+		for _, c := range row.cells {
+			if !seen["v\x00"+c.name] {
+				seen["v\x00"+c.name] = true
+				valueCols = append(valueCols, c.name)
+			}
+		}
+	}
+	tab := NewTable(title, append(append([]string{}, labelCols...), valueCols...)...)
+	for _, row := range rows {
+		cells := make([]string, 0, len(labelCols)+len(valueCols))
+		for _, name := range labelCols {
+			cell := ""
+			for _, l := range row.labels {
+				if l.Name == name {
+					cell = l.Value
+					break
+				}
+			}
+			cells = append(cells, cell)
+		}
+		for _, name := range valueCols {
+			cell := ""
+			for _, c := range row.cells {
+				if c.name == name {
+					cell = c.cell
+					break
+				}
+			}
+			cells = append(cells, cell)
+		}
+		tab.AddRow(cells...)
+	}
+	tab.Notes = append(tab.Notes, notes...)
+	return tab
+}
+
+// Table renders the single-replica result as a text table. Aggregated
+// multi-replica rendering lives on Summary.
+func (r *Result) Table() *Table {
+	rows := make([]tableRow, 0, len(r.Records))
+	for _, rec := range r.Records {
+		row := tableRow{labels: rec.Labels}
+		for _, v := range rec.Values {
+			cell := "-"
+			if !v.Missing {
+				cell = v.Fmt.Cell(v.V)
+			}
+			row.cells = append(row.cells, namedCell{name: v.Name, cell: cell})
+		}
+		rows = append(rows, row)
+	}
+	return renderTable(r.Title, rows, r.Notes)
+}

@@ -1,0 +1,208 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestResultTableRendering(t *testing.T) {
+	res := NewResult("demo")
+	res.Record("case", "a").
+		Val("lat", 1.234, Ms).
+		Int("count", 7).
+		Bool("ok", true)
+	res.Record("case", "b").
+		Val("lat", 2.5, Ms).
+		Int("count", 0).
+		Bool("ok", false).
+		MissingVal("extra", F2)
+	res.AddNote("a note")
+	out := res.Table().String()
+	for _, want := range []string{"demo", "case", "lat", "count", "ok",
+		"1.23ms", "2.50ms", "yes", "no", "-", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatCells(t *testing.T) {
+	cases := []struct {
+		f    Format
+		v    float64
+		want string
+	}{
+		{F2, 1.005, "1.00"},
+		{F3, 0.1234, "0.123"},
+		{Pct, 0.5, "50.0%"},
+		{Ms, 3.25, "3.25ms"},
+		{Int, 41.6, "42"},
+		{Bool, 1, "yes"},
+		{Bool, 0, "no"},
+	}
+	for _, tc := range cases {
+		if got := tc.f.Cell(tc.v); got != tc.want {
+			t.Fatalf("%v.Cell(%v) = %q, want %q", tc.f, tc.v, got, tc.want)
+		}
+	}
+}
+
+// NaN and Inf must never reach the structured result (they would break
+// JSON encoding); Val converts them to missing cells.
+func TestNonFiniteValuesBecomeMissing(t *testing.T) {
+	res := NewResult("naninf")
+	res.Record("case", "x").
+		Val("nan", nan(), F2).
+		Val("inf", inf(), F2)
+	for _, v := range res.Records[0].Values {
+		if !v.Missing {
+			t.Fatalf("%s not marked missing", v.Name)
+		}
+	}
+	if _, err := json.Marshal(res); err != nil {
+		t.Fatalf("result not JSON-encodable: %v", err)
+	}
+}
+
+func nan() float64 { return inf() - inf() }
+func inf() float64 {
+	x := 0.0
+	return 1 / x
+}
+
+func TestAggregateAcrossReplicas(t *testing.T) {
+	mk := func(lat float64, ok bool) *Result {
+		res := NewResult("demo")
+		res.Record("case", "a").Val("lat", lat, Ms).Bool("ok", ok)
+		return res
+	}
+	s := Aggregate([]*Result{mk(1, true), mk(2, true), mk(3, false), mk(6, true)})
+	if s.Replicas != 4 || len(s.Records) != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	lat := s.Records[0].Values[0]
+	if lat.Name != "lat" || lat.Count != 4 {
+		t.Fatalf("lat dist = %+v", lat)
+	}
+	if lat.Mean != 3 || lat.Min != 1 || lat.Max != 6 {
+		t.Fatalf("lat stats = %+v", lat)
+	}
+	if lat.StdDev <= 1.8 || lat.StdDev >= 2 { // population stddev of {1,2,3,6} ≈ 1.87
+		t.Fatalf("stddev = %v", lat.StdDev)
+	}
+	if lat.P95 <= 5 || lat.P95 > 6 {
+		t.Fatalf("p95 = %v", lat.P95)
+	}
+	ok := s.Records[0].Values[1]
+	if ok.Mean != 0.75 {
+		t.Fatalf("bool mean = %v, want 0.75 yes-fraction", ok.Mean)
+	}
+	out := s.Table().String()
+	if !strings.Contains(out, "±") || !strings.Contains(out, "75.0%") {
+		t.Fatalf("aggregated rendering:\n%s", out)
+	}
+}
+
+// Missing values contribute no sample; a value missing everywhere renders
+// as a gap but keeps its column.
+func TestAggregateMissingValues(t *testing.T) {
+	with := NewResult("demo")
+	with.Record("case", "a").Val("conv", 10, Int).MissingVal("gone", F2)
+	without := NewResult("demo")
+	without.Record("case", "a").MissingVal("conv", Int).MissingVal("gone", F2)
+	s := Aggregate([]*Result{with, without})
+	conv := s.Records[0].Values[0]
+	if conv.Count != 1 || conv.Mean != 10 {
+		t.Fatalf("conv dist = %+v", conv)
+	}
+	gone := s.Records[0].Values[1]
+	if gone.Count != 0 {
+		t.Fatalf("gone dist = %+v", gone)
+	}
+	if cell := gone.Cell(s.Replicas); cell != "-" {
+		t.Fatalf("empty dist cell = %q", cell)
+	}
+}
+
+// Records are matched by label tuple: replicas may emit rows in any
+// subset, and first-seen order wins.
+func TestAggregateMatchesByLabels(t *testing.T) {
+	r1 := NewResult("demo")
+	r1.Record("case", "a").Val("v", 1, F2)
+	r1.Record("case", "b").Val("v", 10, F2)
+	r2 := NewResult("demo")
+	r2.Record("case", "b").Val("v", 20, F2)
+	s := Aggregate([]*Result{r1, r2})
+	if len(s.Records) != 2 {
+		t.Fatalf("records = %d", len(s.Records))
+	}
+	if s.Records[0].Labels[0].Value != "a" || s.Records[0].Values[0].Count != 1 {
+		t.Fatalf("record a = %+v", s.Records[0])
+	}
+	if s.Records[1].Labels[0].Value != "b" || s.Records[1].Values[0].Count != 2 ||
+		s.Records[1].Values[0].Mean != 15 {
+		t.Fatalf("record b = %+v", s.Records[1])
+	}
+}
+
+// Single-replica summaries must render exactly like the unaggregated
+// result, so `-replicas 1` output matches a plain run.
+func TestSingleReplicaRendersLikeResult(t *testing.T) {
+	res := NewResult("demo")
+	res.Record("case", "a").Val("lat", 1.5, Ms).Int("n", 3).Bool("ok", true)
+	res.AddNote("hello")
+	plain := res.Table().String()
+	agg := Aggregate([]*Result{res}).Table().String()
+	if plain != agg {
+		t.Fatalf("single-replica summary diverges:\nplain:\n%s\nagg:\n%s", plain, agg)
+	}
+}
+
+// Regression: Aggregate must keep merging into a record even after later
+// appends grow s.Records (a stale-pointer bug would silently drop values
+// that first appear in a late replica).
+func TestAggregateSurvivesRecordGrowth(t *testing.T) {
+	r1 := NewResult("demo")
+	r1.Record("case", "a").Val("v1", 1, F2)
+	r2 := NewResult("demo")
+	for i := 0; i < 64; i++ { // force s.Records reallocation
+		r2.Record("case", string(rune('b'+i))).Val("v1", 0, F2)
+	}
+	r2.Record("case", "a").Val("v1", 3, F2).Val("late", 9, F2)
+	s := Aggregate([]*Result{r1, r2})
+	a := s.Records[0]
+	if a.Labels[0].Value != "a" {
+		t.Fatalf("first record = %+v", a)
+	}
+	if len(a.Values) != 2 {
+		t.Fatalf("record a has %d values, want v1 and late: %+v", len(a.Values), a.Values)
+	}
+	if a.Values[0].Count != 2 || a.Values[0].Mean != 2 {
+		t.Fatalf("v1 dist = %+v", a.Values[0])
+	}
+	if a.Values[1].Name != "late" || a.Values[1].Count != 1 || a.Values[1].Mean != 9 {
+		t.Fatalf("late dist = %+v", a.Values[1])
+	}
+}
+
+// Dispersion cells contain the multi-byte ± rune; alignment must use
+// display width, not byte length.
+func TestTableAlignmentWithMultibyteCells(t *testing.T) {
+	tab := NewTable("t", "col", "widecolumn")
+	tab.AddRow("1.0 ±0.5", "x")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	header, sep, data := lines[2], lines[3], lines[4]
+	// The first column is 8 display runes wide ("1.0 ±0.5"), so every row
+	// must start its second column at display offset 10.
+	if !strings.HasPrefix(sep, "--------  -") {
+		t.Fatalf("separator sized by bytes, not runes:\n%s", out)
+	}
+	if !strings.HasPrefix(data, "1.0 ±0.5  x") {
+		t.Fatalf("data row misaligned:\n%s", out)
+	}
+	if got := []rune(header); string(got[8:10]) != "  " || got[10] != 'w' {
+		t.Fatalf("header misaligned:\n%s", out)
+	}
+}

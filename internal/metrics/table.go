@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table is a simple column-aligned text table used to render every
@@ -39,14 +40,15 @@ func (t *Table) AddNote(format string, args ...any) {
 
 // String renders the table with aligned columns.
 func (t *Table) String() string {
+	// Widths are display widths: cells may contain multi-byte runes (±).
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
-		widths[i] = len(c)
+		widths[i] = utf8.RuneCountInString(c)
 	}
 	for _, row := range t.Rows {
 		for i, cell := range row {
-			if len(cell) > widths[i] {
-				widths[i] = len(cell)
+			if w := utf8.RuneCountInString(cell); w > widths[i] {
+				widths[i] = w
 			}
 		}
 	}
@@ -54,7 +56,7 @@ func (t *Table) String() string {
 	if t.Title != "" {
 		b.WriteString(t.Title)
 		b.WriteByte('\n')
-		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteString(strings.Repeat("=", utf8.RuneCountInString(t.Title)))
 		b.WriteByte('\n')
 	}
 	writeRow := func(cells []string) {
@@ -63,7 +65,7 @@ func (t *Table) String() string {
 				b.WriteString("  ")
 			}
 			b.WriteString(cell)
-			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			b.WriteString(strings.Repeat(" ", widths[i]-utf8.RuneCountInString(cell)))
 		}
 		b.WriteByte('\n')
 	}

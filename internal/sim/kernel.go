@@ -101,13 +101,22 @@ func (h *eventHeap) Pop() any {
 
 // Kernel is a deterministic discrete-event scheduler. The zero value is not
 // usable; construct with NewKernel. A Kernel is not safe for concurrent use:
-// the simulation model is single-threaded by design.
+// the simulation model is single-threaded by design; parallelism happens one
+// kernel per goroutine (see internal/harness).
 type Kernel struct {
 	now     Time
 	seq     uint64
+	seed    int64
 	events  eventHeap
 	rng     *rand.Rand
 	stopped bool
+
+	// free recycles fired and canceled events so the Schedule/Step hot path
+	// stops allocating once the queue reaches its high-water mark. Stale
+	// Timer handles are fenced by the event's seq: reuse assigns a fresh
+	// sequence number, so a handle to a recycled event can never cancel its
+	// successor.
+	free []*event
 
 	// Executed counts events run since construction (for throughput benches).
 	executed uint64
@@ -117,12 +126,18 @@ type Kernel struct {
 // random source derived from seed.
 func NewKernel(seed int64) *Kernel {
 	return &Kernel{
-		rng: rand.New(rand.NewSource(seed)),
+		seed: seed,
+		rng:  rand.New(rand.NewSource(seed)),
 	}
 }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
+
+// Seed returns the seed this kernel was constructed with. Harnesses use it
+// to derive sub-kernel seeds so a replica remains a pure function of one
+// number.
+func (k *Kernel) Seed() int64 { return k.seed }
 
 // Rand returns the kernel's deterministic random source. All model
 // randomness must come from here so that a seed fully determines a run.
@@ -131,16 +146,21 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 // Executed reports how many events have been executed so far.
 func (k *Kernel) Executed() uint64 { return k.executed }
 
-// Timer identifies a scheduled event and allows cancellation.
+// Timer identifies a scheduled event and allows cancellation. It is a value
+// handle: the zero Timer is valid and behaves as already-fired. The seq
+// snapshot fences recycled events — once the underlying event struct is
+// reused for a later callback its seq changes, and the stale handle becomes
+// inert.
 type Timer struct {
-	ev *event
+	ev  *event
+	seq uint64
 }
 
 // Cancel prevents the timer's callback from running. Canceling an
 // already-fired or already-canceled timer is a no-op. It reports whether the
 // callback was still pending.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.canceled || t.ev.fn == nil {
+func (t Timer) Cancel() bool {
+	if t.ev == nil || t.ev.seq != t.seq || t.ev.canceled || t.ev.fn == nil {
 		return false
 	}
 	t.ev.canceled = true
@@ -149,14 +169,14 @@ func (t *Timer) Cancel() bool {
 
 // Pending reports whether the timer's callback has not yet run or been
 // canceled.
-func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.canceled && t.ev.fn != nil
+func (t Timer) Pending() bool {
+	return t.ev != nil && t.ev.seq == t.seq && !t.ev.canceled && t.ev.fn != nil
 }
 
 // Schedule runs fn after delay units of virtual time. A non-positive delay
 // schedules fn at the current instant, after all events already scheduled
 // for this instant. It returns a Timer that can cancel the callback.
-func (k *Kernel) Schedule(delay Time, fn func()) *Timer {
+func (k *Kernel) Schedule(delay Time, fn func()) Timer {
 	if delay < 0 {
 		delay = 0
 	}
@@ -165,14 +185,30 @@ func (k *Kernel) Schedule(delay Time, fn func()) *Timer {
 
 // At runs fn at the absolute virtual instant t. Instants in the past are
 // clamped to now.
-func (k *Kernel) At(t Time, fn func()) *Timer {
+func (k *Kernel) At(t Time, fn func()) Timer {
 	if t < k.now {
 		t = k.now
 	}
-	ev := &event{at: t, seq: k.seq, fn: fn}
+	var ev *event
+	if n := len(k.free); n > 0 {
+		ev = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		*ev = event{at: t, seq: k.seq, fn: fn}
+	} else {
+		ev = &event{at: t, seq: k.seq, fn: fn}
+	}
 	k.seq++
 	heap.Push(&k.events, ev)
-	return &Timer{ev: ev}
+	return Timer{ev: ev, seq: ev.seq}
+}
+
+// recycle returns a popped event to the free list. Callers must have copied
+// every field they still need: the struct may be handed out again by the
+// next At call.
+func (k *Kernel) recycle(ev *event) {
+	ev.fn = nil
+	k.free = append(k.free, ev)
 }
 
 // Every runs fn every period units of virtual time, starting one period from
@@ -191,7 +227,7 @@ type Ticker struct {
 	kernel  *Kernel
 	period  Time
 	fn      func()
-	timer   *Timer
+	timer   Timer
 	stopped bool
 }
 
@@ -230,11 +266,14 @@ func (k *Kernel) Step() bool {
 			continue
 		}
 		if ev.canceled {
+			k.recycle(ev)
 			continue
 		}
 		k.now = ev.at
 		fn := ev.fn
-		ev.fn = nil // mark fired so Timer.Pending is accurate
+		// Recycle before running: fn's own fields are copied out, and any
+		// Schedule call inside fn may reuse the struct under a fresh seq.
+		k.recycle(ev)
 		k.executed++
 		fn()
 		return true
@@ -254,7 +293,9 @@ func (k *Kernel) Run(until Time) {
 		}
 		next := k.events[0]
 		if next.canceled {
-			heap.Pop(&k.events)
+			if ev, ok := heap.Pop(&k.events).(*event); ok {
+				k.recycle(ev)
+			}
 			continue
 		}
 		if next.at > until {

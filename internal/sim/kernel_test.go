@@ -339,3 +339,52 @@ func TestPendingCount(t *testing.T) {
 		t.Fatalf("Pending after drain = %d", k.Pending())
 	}
 }
+
+func TestSeedAccessor(t *testing.T) {
+	if got := NewKernel(42).Seed(); got != 42 {
+		t.Fatalf("Seed() = %d, want 42", got)
+	}
+}
+
+// A Timer held across its event's firing must not be able to cancel or
+// observe the event struct after the kernel recycles it for a later
+// callback: the seq fence makes stale handles inert.
+func TestStaleTimerCannotTouchRecycledEvent(t *testing.T) {
+	k := NewKernel(1)
+	stale := k.Schedule(Millisecond, func() {})
+	if !k.Step() {
+		t.Fatal("no event to step")
+	}
+	// The freed struct is reused for the next scheduled event.
+	fired := false
+	fresh := k.Schedule(Millisecond, func() { fired = true })
+	if stale.Pending() {
+		t.Fatal("stale timer reports pending after reuse")
+	}
+	if stale.Cancel() {
+		t.Fatal("stale timer canceled a recycled event")
+	}
+	if !fresh.Pending() {
+		t.Fatal("fresh timer lost its event to a stale handle")
+	}
+	k.RunUntilIdle()
+	if !fired {
+		t.Fatal("recycled event never fired")
+	}
+}
+
+// Steady-state scheduling must not allocate: fired events are recycled
+// through the kernel's free list.
+func TestScheduleStepDoesNotAllocateSteadyState(t *testing.T) {
+	k := NewKernel(1)
+	fn := func() {}
+	k.Schedule(Microsecond, fn)
+	k.Step()
+	allocs := testing.AllocsPerRun(1000, func() {
+		k.Schedule(Microsecond, fn)
+		k.Step()
+	})
+	if allocs > 0 {
+		t.Fatalf("Schedule+Step allocates %.1f objects/op in steady state, want 0", allocs)
+	}
+}
