@@ -10,6 +10,7 @@ package main
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"runtime"
 	"testing"
@@ -412,6 +413,42 @@ func BenchmarkE15Avionics(b *testing.B) {
 		if _, err := e.Run(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkShardedHighwayThroughput runs the partitioned large-world
+// highway (4000 cars, 40 km) for one simulated second per iteration at
+// increasing shard counts. The output is byte-identical at every width
+// (locked in by the world tests); what changes is wall time — ns/op should
+// drop ≥2x from shards=1 to shards=4 on a 4+ core machine, which is the
+// CI benchmark gate's headline claim for intra-scenario sharding.
+func BenchmarkShardedHighwayThroughput(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := world.DefaultShardedHighwayConfig()
+			cfg.Length = 40000
+			cfg.Cars = 4000
+			sk, err := sim.NewShardedKernel(1, shards, cfg.BeaconPeriod)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h, err := world.NewShardedHighway(sk, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := h.Start(); err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sk.Run(ctx, sk.Now()+sim.Second); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(sk.Executed())/b.Elapsed().Seconds(), "events/s")
+		})
 	}
 }
 

@@ -1,0 +1,171 @@
+// Command benchgate is the CI benchmark regression gate: it parses `go
+// test -bench` output, emits a machine-readable JSON snapshot, and fails
+// when any benchmark's ns/op regressed beyond the tolerance against the
+// committed baseline.
+//
+// Usage:
+//
+//	go test -run NONE -bench ... -count 3 . | go run ./cmd/benchgate \
+//	    -out BENCH_PR2.json -baseline BENCH_BASELINE.json -max-regress 0.20
+//
+// With -count > 1 the gate scores each benchmark by its fastest run —
+// the minimum is the measurement least polluted by scheduler noise. Pass
+// -update to rewrite the baseline from the current run instead of
+// comparing (do this when the benchmark set or the reference hardware
+// changes, and commit the result).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Entry is one benchmark's score.
+type Entry struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	// Runs is how many times the benchmark appeared (the -count).
+	Runs int `json:"runs"`
+}
+
+// Snapshot is the gate's JSON artifact.
+type Snapshot struct {
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result line. The -N GOMAXPROCS
+// suffix is stripped so scores compare across machines with different
+// core counts.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+
+// parse reads bench output, keeping each benchmark's fastest run.
+func parse(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{Benchmarks: map[string]Entry{}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchgate: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		e, seen := snap.Benchmarks[m[1]]
+		if !seen || ns < e.NsPerOp {
+			e.NsPerOp = ns
+		}
+		e.Runs++
+		snap.Benchmarks[m[1]] = e
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchgate: no benchmark lines found in input")
+	}
+	return snap, nil
+}
+
+// compare checks current against baseline and returns the human-readable
+// verdict lines plus whether the gate passes. Every baseline benchmark
+// must be present in the current run — a silently skipped benchmark would
+// otherwise read as "no regression".
+func compare(baseline, current *Snapshot, maxRegress float64) ([]string, bool) {
+	names := make([]string, 0, len(baseline.Benchmarks))
+	for name := range baseline.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var lines []string
+	ok := true
+	for _, name := range names {
+		base := baseline.Benchmarks[name]
+		cur, present := current.Benchmarks[name]
+		if !present {
+			lines = append(lines, fmt.Sprintf("FAIL %s: in baseline but not in current run", name))
+			ok = false
+			continue
+		}
+		delta := cur.NsPerOp/base.NsPerOp - 1
+		verdict := "ok  "
+		if delta > maxRegress {
+			verdict = "FAIL"
+			ok = false
+		}
+		lines = append(lines, fmt.Sprintf("%s %s: %.1f ns/op vs baseline %.1f (%+.1f%%, limit +%.0f%%)",
+			verdict, name, cur.NsPerOp, base.NsPerOp, delta*100, maxRegress*100))
+	}
+	return lines, ok
+}
+
+func writeSnapshot(path string, snap *Snapshot) error {
+	js, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(js, '\n'), 0o644)
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	inPath := fs.String("in", "-", "bench output to parse (- = stdin)")
+	outPath := fs.String("out", "BENCH_PR2.json", "where to write the JSON snapshot artifact")
+	basePath := fs.String("baseline", "BENCH_BASELINE.json", "committed baseline to gate against")
+	maxRegress := fs.Float64("max-regress", 0.20, "maximum tolerated ns/op regression (0.20 = +20%)")
+	update := fs.Bool("update", false, "rewrite the baseline from this run instead of comparing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inPath != "-" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	snap, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if err := writeSnapshot(*outPath, snap); err != nil {
+		return err
+	}
+	if *update {
+		if err := writeSnapshot(*basePath, snap); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "benchgate: baseline %s rewritten with %d benchmarks\n", *basePath, len(snap.Benchmarks))
+		return nil
+	}
+	bjs, err := os.ReadFile(*basePath)
+	if err != nil {
+		return fmt.Errorf("benchgate: cannot read baseline (run with -update to create it): %w", err)
+	}
+	var baseline Snapshot
+	if err := json.Unmarshal(bjs, &baseline); err != nil {
+		return fmt.Errorf("benchgate: corrupt baseline %s: %w", *basePath, err)
+	}
+	lines, ok := compare(&baseline, snap, *maxRegress)
+	for _, l := range lines {
+		fmt.Fprintln(out, l)
+	}
+	if !ok {
+		return fmt.Errorf("benchgate: benchmark regression beyond %.0f%% — if the benchmark set or reference hardware changed rather than the code, refresh the baseline with -update and commit it", *maxRegress*100)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: karyon
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAblationKernelEventThroughput-8   	54604502	        21.49 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAblationKernelEventThroughput-8   	50000000	        23.10 ns/op	       0 B/op	       0 allocs/op
+BenchmarkShardedHighwayThroughput/shards=1 	       3	 374469094 ns/op	   1281815 events/s
+BenchmarkShardedHighwayThroughput/shards=4 	       3	 289477995 ns/op	   1658157 events/s
+PASS
+ok  	karyon	5.798s
+`
+
+func TestParseKeepsFastestRun(t *testing.T) {
+	snap, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks: %+v", len(snap.Benchmarks), snap.Benchmarks)
+	}
+	kernel := snap.Benchmarks["BenchmarkAblationKernelEventThroughput"]
+	if kernel.NsPerOp != 21.49 || kernel.Runs != 2 {
+		t.Fatalf("kernel entry = %+v, want fastest of two runs", kernel)
+	}
+	sharded := snap.Benchmarks["BenchmarkShardedHighwayThroughput/shards=4"]
+	if sharded.NsPerOp != 289477995 {
+		t.Fatalf("sharded entry = %+v", sharded)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("no benches here\n")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := &Snapshot{Benchmarks: map[string]Entry{
+		"A": {NsPerOp: 100}, "B": {NsPerOp: 1000},
+	}}
+	// Within tolerance (+10%) and improved: passes.
+	cur := &Snapshot{Benchmarks: map[string]Entry{
+		"A": {NsPerOp: 110}, "B": {NsPerOp: 900},
+	}}
+	if lines, ok := compare(base, cur, 0.20); !ok {
+		t.Fatalf("within-tolerance run failed: %v", lines)
+	}
+	// Beyond tolerance: fails and names the offender.
+	cur.Benchmarks["B"] = Entry{NsPerOp: 1300}
+	lines, ok := compare(base, cur, 0.20)
+	if ok {
+		t.Fatalf("+30%% regression passed: %v", lines)
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "FAIL B") {
+		t.Fatalf("offender not named:\n%s", joined)
+	}
+	// A baseline benchmark missing from the current run must fail too.
+	delete(cur.Benchmarks, "A")
+	if _, ok := compare(base, cur, 10); ok {
+		t.Fatal("missing benchmark passed the gate")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "BENCH_PR2.json")
+	basePath := filepath.Join(dir, "BENCH_BASELINE.json")
+
+	// First run with -update creates the baseline.
+	var sb strings.Builder
+	err := run([]string{"-out", outPath, "-baseline", basePath, "-update"},
+		strings.NewReader(sample), &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{outPath, basePath} {
+		js, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(js, &snap); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if len(snap.Benchmarks) != 3 {
+			t.Fatalf("%s holds %d benchmarks", p, len(snap.Benchmarks))
+		}
+	}
+
+	// Same numbers gate green.
+	sb.Reset()
+	if err := run([]string{"-out", outPath, "-baseline", basePath},
+		strings.NewReader(sample), &sb); err != nil {
+		t.Fatalf("identical run failed: %v\n%s", err, sb.String())
+	}
+
+	// A 10x regression gates red.
+	slow := strings.ReplaceAll(sample, "21.49 ns/op", "214.9 ns/op")
+	slow = strings.ReplaceAll(slow, "23.10 ns/op", "231.0 ns/op")
+	sb.Reset()
+	err = run([]string{"-out", outPath, "-baseline", basePath},
+		strings.NewReader(slow), &sb)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("regression not caught: %v\n%s", err, sb.String())
+	}
+
+	// Missing baseline is a distinct, actionable error.
+	sb.Reset()
+	err = run([]string{"-out", outPath, "-baseline", filepath.Join(dir, "nope.json")},
+		strings.NewReader(sample), &sb)
+	if err == nil || !strings.Contains(err.Error(), "-update") {
+		t.Fatalf("missing baseline error unhelpful: %v", err)
+	}
+}

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	karyon-experiments [-seed N] [-only E5[,E6,...]] [-replicas N] [-parallel N] [-csv | -json] [-short]
+//	karyon-experiments [-seed N] [-only E5[,E6,...]] [-replicas N] [-parallel N] [-shards N] [-csv | -json] [-short]
+//
+// With -replicas 0 (the default) each experiment uses its own default:
+// statistical experiments (E11, E12, E14) run replicated so their tables
+// carry confidence intervals; the rest run once.
 package main
 
 import (
@@ -44,8 +48,9 @@ func run(args []string, out io.Writer) error {
 	only := fs.String("only", "", "comma-separated experiment ids (default: all)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonOut := fs.Bool("json", false, "emit JSON reports with full per-value distributions (mean/stddev/min/max/p95)")
-	replicas := fs.Int("replicas", 1, "independent replicas per experiment, seeds spaced by the harness stride")
+	replicas := fs.Int("replicas", 0, "independent replicas per experiment, seeds spaced by the harness stride (0 = per-experiment default; statistical experiments replicate)")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "replica worker-pool width; affects wall time only, never output")
+	shards := fs.Int("shards", 1, "shard kernels per replica for shardable scenarios; affects wall time only, never output")
 	short := fs.Bool("short", false, "reduced-fidelity runs: fewer sweep points, shorter simulated durations")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,9 +68,13 @@ func run(args []string, out io.Writer) error {
 			selected = append(selected, e)
 		}
 	}
-	opts := harness.Options{Seed: *seed, Replicas: *replicas, Parallel: *parallel}
+	opts := harness.Options{Seed: *seed, Parallel: *parallel, Shards: *shards}
 	var reports []report
 	for _, e := range selected {
+		opts.Replicas = *replicas
+		if opts.Replicas < 1 {
+			opts.Replicas = e.DefaultReplicas()
+		}
 		rep, err := harness.Run(context.Background(), experiments.Harnessed{Exp: e, Short: *short}, opts)
 		if err != nil {
 			return err

@@ -36,6 +36,25 @@ func TestRunUnknownExperiment(t *testing.T) {
 	}
 }
 
+// Statistical experiments (E11, E12, E14) replicate by default: with no
+// -replicas flag their tables carry dispersion and confidence-interval
+// columns, while deterministic experiments still run once.
+func TestStatisticalExperimentsReplicateByDefault(t *testing.T) {
+	out := capture(t, []string{"-only", "E11", "-seed", "2", "-short"})
+	if !strings.Contains(out, "±") || !strings.Contains(out, "ci95") {
+		t.Fatalf("E11 default run missing dispersion/CI columns:\n%s", out)
+	}
+	single := capture(t, []string{"-only", "E1", "-seed", "2", "-short"})
+	if strings.Contains(single, "ci95") {
+		t.Fatalf("E1 grew CI columns without replication:\n%s", single)
+	}
+	// An explicit -replicas still overrides the per-experiment default.
+	forced := capture(t, []string{"-only", "E11", "-seed", "2", "-short", "-replicas", "1"})
+	if strings.Contains(forced, "ci95") {
+		t.Fatalf("-replicas 1 did not override the default:\n%s", forced)
+	}
+}
+
 // The acceptance shape: replicated runs aggregate across the seed matrix
 // and the output is byte-identical for any -parallel value.
 func TestReplicatedRunIsParallelInvariant(t *testing.T) {

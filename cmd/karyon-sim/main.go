@@ -4,11 +4,15 @@
 // Usage:
 //
 //	karyon-sim -scenario highway [-seed N] [-duration 2m] [-cars 30] [-mode adaptive|fixed1|fixed2|fixed3|reckless]
+//	karyon-sim -scenario megahighway [-cars 200] [-length 10000] [-loss 0.05] [-shards N]
 //	karyon-sim -scenario intersection [-failat 60s] [-nobackup]
 //	karyon-sim -scenario encounter [-geometry same-direction|leveled-crossing|level-change] [-voice]
 //
-// All scenarios accept -replicas, -parallel, and -json. The output is
-// byte-identical for any -parallel value at a fixed seed.
+// All scenarios accept -replicas, -parallel, -shards, and -json. The
+// output is byte-identical for any -parallel and any -shards value at a
+// fixed seed: both knobs trade wall time only. -shards splits one
+// replica's world across shard kernels and currently pays off for the
+// partitioned megahighway scenario; the other scenarios ignore it.
 package main
 
 import (
@@ -33,10 +37,12 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("karyon-sim", flag.ContinueOnError)
-	scenario := fs.String("scenario", "highway", "highway | intersection | encounter")
+	scenario := fs.String("scenario", "highway", "highway | megahighway | intersection | encounter")
 	seed := fs.Int64("seed", 1, "base seed of the replica seed matrix")
 	duration := fs.Duration("duration", 2*time.Minute, "simulated duration")
-	cars := fs.Int("cars", 30, "highway: number of cars")
+	cars := fs.Int("cars", 0, "highway/megahighway: number of cars (0 = scenario default)")
+	length := fs.Float64("length", 0, "megahighway: ring circumference in meters (0 = default)")
+	loss := fs.Float64("loss", 0.05, "megahighway: per-beacon loss probability")
 	mode := fs.String("mode", "adaptive", "highway: adaptive|fixed1|fixed2|fixed3|reckless")
 	failAt := fs.Duration("failat", 0, "intersection: when the physical light fails (0 = never)")
 	noBackup := fs.Bool("nobackup", false, "intersection: disable the virtual traffic light")
@@ -44,6 +50,7 @@ func run(args []string, out io.Writer) error {
 	voice := fs.Bool("voice", false, "encounter: intruder is non-collaborative (voice position only)")
 	replicas := fs.Int("replicas", 1, "independent replicas, seeds spaced by the harness stride")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "replica worker-pool width; affects wall time only, never output")
+	shards := fs.Int("shards", 1, "shard kernels per replica (megahighway); affects wall time only, never output")
 	jsonOut := fs.Bool("json", false, "emit a JSON report with full per-value distributions")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,7 +58,13 @@ func run(args []string, out io.Writer) error {
 	var sc harness.Scenario
 	switch *scenario {
 	case "highway":
-		sc = harness.HighwayScenario{Duration: *duration, Cars: *cars, Mode: *mode}
+		n := *cars
+		if n == 0 {
+			n = 30
+		}
+		sc = harness.HighwayScenario{Duration: *duration, Cars: n, Mode: *mode}
+	case "megahighway":
+		sc = harness.MegaHighwayScenario{Duration: *duration, Cars: *cars, Length: *length, Loss: *loss}
 	case "intersection":
 		sc = harness.IntersectionScenario{Duration: *duration, FailAt: *failAt, VirtualBackup: !*noBackup}
 	case "encounter":
@@ -60,7 +73,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown scenario %q", *scenario)
 	}
 	rep, err := harness.Run(context.Background(), sc,
-		harness.Options{Seed: *seed, Replicas: *replicas, Parallel: *parallel})
+		harness.Options{Seed: *seed, Replicas: *replicas, Parallel: *parallel, Shards: *shards})
 	if err != nil {
 		return err
 	}

@@ -33,6 +33,39 @@ func TestRunHighwayModes(t *testing.T) {
 	}
 }
 
+// The tentpole acceptance: -shards N output is byte-identical to
+// -shards 1 at a fixed seed; sharding trades wall time only.
+func TestRunMegaHighwayShardInvariance(t *testing.T) {
+	base := []string{"-scenario", "megahighway", "-duration", "2s", "-cars", "60", "-length", "3000", "-seed", "4"}
+	var one, four strings.Builder
+	if err := run(append(base, "-shards", "1"), &one); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(base, "-shards", "4"), &four); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != four.String() {
+		t.Fatalf("-shards changed output:\n1 shard:\n%s\n4 shards:\n%s", one.String(), four.String())
+	}
+	for _, want := range []string{"megahighway", "beacons sent", "collisions"} {
+		if !strings.Contains(one.String(), want) {
+			t.Fatalf("missing %q in:\n%s", want, one.String())
+		}
+	}
+	// Non-shardable scenarios accept the flag and ignore it.
+	var a, b strings.Builder
+	enc := []string{"-scenario", "encounter", "-geometry", "same-direction"}
+	if err := run(append(enc, "-shards", "1"), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(enc, "-shards", "8"), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("-shards changed a non-shardable scenario's output")
+	}
+}
+
 func TestRunIntersectionScenario(t *testing.T) {
 	var sb strings.Builder
 	err := run([]string{"-scenario", "intersection", "-duration", "30s"}, &sb)

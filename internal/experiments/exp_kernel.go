@@ -160,10 +160,11 @@ func runE2(cfg Config) *metrics.Result {
 // (Sec. VI-A1).
 func e12() Experiment {
 	return Experiment{
-		ID:     "E12",
-		Title:  "Platooning under fault-injection campaigns",
-		Anchor: "Sec. VI-A1 (ACC use case), Sec. I (ISO 26262 assessment)",
-		Run:    runE12,
+		ID:       "E12",
+		Title:    "Platooning under fault-injection campaigns",
+		Anchor:   "Sec. VI-A1 (ACC use case), Sec. I (ISO 26262 assessment)",
+		Replicas: 3,
+		Run:      runE12,
 	}
 }
 

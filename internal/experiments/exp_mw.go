@@ -112,10 +112,11 @@ func runE10(cfg Config) *metrics.Result {
 // latency, and the zero-conflicting-grants invariant.
 func e11() Experiment {
 	return Experiment{
-		ID:     "E11",
-		Title:  "Cooperation-state agreement vs packet loss",
-		Anchor: "Sec. V-C ([24] Le Lann cohorts)",
-		Run:    runE11,
+		ID:       "E11",
+		Title:    "Cooperation-state agreement vs packet loss",
+		Anchor:   "Sec. V-C ([24] Le Lann cohorts)",
+		Replicas: 5,
+		Run:      runE11,
 	}
 }
 
@@ -201,10 +202,11 @@ func runE11(cfg Config) *metrics.Result {
 // invariant and abort rates, with maneuvers actually executed.
 func e14() Experiment {
 	return Experiment{
-		ID:     "E14",
-		Title:  "Coordinated lane change: at most one maneuver per region",
-		Anchor: "Sec. VI-A3",
-		Run:    runE14,
+		ID:       "E14",
+		Title:    "Coordinated lane change: at most one maneuver per region",
+		Anchor:   "Sec. VI-A3",
+		Replicas: 5,
+		Run:      runE14,
 	}
 }
 

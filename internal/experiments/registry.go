@@ -48,8 +48,23 @@ type Experiment struct {
 	Title string
 	// Anchor cites the paper location.
 	Anchor string
+	// Replicas is the experiment's default replica count (0 means 1).
+	// Statistical experiments — whose headline numbers are rates and
+	// latency quantiles of randomized protocols — declare more than one,
+	// so their rendered tables ship with confidence intervals by default,
+	// mirroring the paper's probabilistic-bounds argument.
+	Replicas int
 	// Run executes the harness and collects its structured result.
 	Run func(cfg Config) *metrics.Result
+}
+
+// DefaultReplicas returns the replica count a runner should use when the
+// user did not ask for a specific one.
+func (e Experiment) DefaultReplicas() int {
+	if e.Replicas < 1 {
+		return 1
+	}
+	return e.Replicas
 }
 
 // Harnessed adapts an experiment to the harness.Scenario interface

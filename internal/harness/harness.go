@@ -45,6 +45,22 @@ func (f Func) Name() string { return f.ScenarioName }
 // Run implements Scenario.
 func (f Func) Run(k *sim.Kernel) (*metrics.Result, error) { return f.Fn(k) }
 
+// Shardable marks a scenario that can split one replica's world across
+// shard kernels (sim.ShardedKernel). The runner routes every replica of a
+// Shardable scenario through RunSharded — including shards == 1 — so the
+// execution path, and therefore the output bytes, are identical for every
+// shard count. Implementations must uphold the sharded-kernel determinism
+// contract: the result is a pure function of (seed, scenario config),
+// never of shards.
+type Shardable interface {
+	Scenario
+	// RunSharded builds the replica's world over a sharded kernel of the
+	// given width and runs it to completion. Cancellation of ctx must
+	// surface as an error (sim.ShardedKernel.Run checks it at every window
+	// barrier).
+	RunSharded(ctx context.Context, seed int64, shards int) (*metrics.Result, error)
+}
+
 // SeedStride spaces replica seeds. Experiments derive sub-kernel seeds by
 // small offsets from their base seed (seed+1, seed+2, ...); a wide prime
 // stride keeps replica seed ranges disjoint so replicas never reuse each
@@ -73,6 +89,10 @@ type Options struct {
 	// Parallel is the worker-pool width (min 1). It affects wall time only:
 	// the aggregated output is identical for every value.
 	Parallel int
+	// Shards splits each replica's world across this many shard kernels
+	// (min 1). Only Shardable scenarios use it; like Parallel it affects
+	// wall time only — the output is byte-identical for every value.
+	Shards int
 }
 
 func (o Options) normalized() Options {
@@ -84,6 +104,9 @@ func (o Options) normalized() Options {
 	}
 	if o.Parallel > o.Replicas {
 		o.Parallel = o.Replicas
+	}
+	if o.Shards < 1 {
+		o.Shards = 1
 	}
 	return o
 }
@@ -124,7 +147,7 @@ func Run(ctx context.Context, s Scenario, opts Options) (*Report, error) {
 				if failed.Load() {
 					continue
 				}
-				results[i], errs[i] = runReplica(ctx, s, seeds[i])
+				results[i], errs[i] = runReplica(ctx, s, seeds[i], opts.Shards)
 				if errs[i] != nil {
 					failed.Store(true)
 				}
@@ -146,7 +169,7 @@ func Run(ctx context.Context, s Scenario, opts Options) (*Report, error) {
 	}, nil
 }
 
-func runReplica(ctx context.Context, s Scenario, seed int64) (res *metrics.Result, err error) {
+func runReplica(ctx context.Context, s Scenario, seed int64, shards int) (res *metrics.Result, err error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -155,7 +178,11 @@ func runReplica(ctx context.Context, s Scenario, seed int64) (res *metrics.Resul
 			err = fmt.Errorf("replica panicked: %v", p)
 		}
 	}()
-	res, err = s.Run(sim.NewKernel(seed))
+	if sh, ok := s.(Shardable); ok {
+		res, err = sh.RunSharded(ctx, seed, shards)
+	} else {
+		res, err = s.Run(sim.NewKernel(seed))
+	}
 	if err == nil && res == nil {
 		err = errors.New("scenario returned no result")
 	}

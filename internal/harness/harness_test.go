@@ -124,12 +124,128 @@ func TestCancelledContextSurfaces(t *testing.T) {
 	}
 }
 
+// shardableFunc is a test scenario that builds its own sharded kernel, so
+// the failure paths of the window machinery can be driven from tests.
+type shardableFunc struct {
+	name string
+	fn   func(ctx context.Context, sk *sim.ShardedKernel) (*metrics.Result, error)
+}
+
+func (s shardableFunc) Name() string { return s.name }
+
+func (s shardableFunc) Run(k *sim.Kernel) (*metrics.Result, error) {
+	return s.RunSharded(context.Background(), k.Seed(), 1)
+}
+
+func (s shardableFunc) RunSharded(ctx context.Context, seed int64, shards int) (*metrics.Result, error) {
+	sk, err := sim.NewShardedKernel(seed, shards, 10*sim.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	return s.fn(ctx, sk)
+}
+
+// The runner must route Shardable scenarios through RunSharded at the
+// requested width, and the report must be byte-identical for every width.
+func TestShardsDoNotChangeOutput(t *testing.T) {
+	counting := shardableFunc{
+		name: "counting",
+		fn: func(ctx context.Context, sk *sim.ShardedKernel) (*metrics.Result, error) {
+			total := make([]int64, sk.Shards())
+			for i := 0; i < sk.Shards(); i++ {
+				i := i
+				if _, err := sk.Shard(i).Kernel().Every(sim.Millisecond, func() { total[i]++ }); err != nil {
+					return nil, err
+				}
+			}
+			if err := sk.Run(ctx, 50*sim.Millisecond); err != nil {
+				return nil, err
+			}
+			var sum int64
+			for _, n := range total {
+				sum += n
+			}
+			res := metrics.NewResult("counting")
+			// Per-shard tick totals scale with the width, so report a
+			// width-invariant value: ticks per shard.
+			res.Record().Int("ticks per shard", sum/int64(sk.Shards()))
+			return res, nil
+		},
+	}
+	var want string
+	for _, shards := range []int{1, 2, 4} {
+		rep, err := Run(context.Background(), counting,
+			Options{Seed: 3, Replicas: 3, Parallel: 2, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == "" {
+			want = string(js)
+		} else if string(js) != want {
+			t.Fatalf("shards=%d changed report:\n%s\nvs\n%s", shards, js, want)
+		}
+	}
+}
+
+// A replica that panics inside a shard barrier (window hook or mailbox
+// drain) must surface as an error — never a hang or a silent gap.
+func TestShardBarrierPanicSurfaces(t *testing.T) {
+	s := shardableFunc{
+		name: "barrier-panic",
+		fn: func(ctx context.Context, sk *sim.ShardedKernel) (*metrics.Result, error) {
+			windows := 0
+			sk.OnWindow(func(sim.Time) {
+				if windows++; windows == 3 {
+					panic("barrier boom")
+				}
+			})
+			if err := sk.Run(ctx, sim.Second); err != nil {
+				return nil, err
+			}
+			return metrics.NewResult("unreachable"), nil
+		},
+	}
+	_, err := Run(context.Background(), s, Options{Seed: 1, Replicas: 2, Parallel: 2, Shards: 2})
+	if err == nil || !strings.Contains(err.Error(), "barrier boom") {
+		t.Fatalf("barrier panic not surfaced: %v", err)
+	}
+	if !strings.Contains(err.Error(), "barrier-panic") {
+		t.Fatalf("error does not identify the scenario: %v", err)
+	}
+}
+
+// Cancellation mid-window must stop the sharded run at the next barrier
+// and surface context.Canceled through the runner.
+func TestShardCancellationMidWindowSurfaces(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := shardableFunc{
+		name: "cancel-mid-window",
+		fn: func(ctx context.Context, sk *sim.ShardedKernel) (*metrics.Result, error) {
+			// Cancel from inside a window, mid-run.
+			sk.Shard(0).Kernel().Schedule(25*sim.Millisecond, cancel)
+			if err := sk.Run(ctx, sim.Second); err != nil {
+				return nil, err
+			}
+			return metrics.NewResult("unreachable"), nil
+		},
+	}
+	_, err := Run(ctx, s, Options{Seed: 1, Replicas: 1, Shards: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
 func TestScenarioImplementations(t *testing.T) {
 	for _, tc := range []struct {
 		sc   Scenario
 		name string
 	}{
 		{HighwayScenario{Duration: 5e9, Cars: 5, Mode: "adaptive"}, "highway"},
+		{MegaHighwayScenario{Duration: 1e9, Cars: 40, Length: 2000}, "megahighway"},
 		{IntersectionScenario{Duration: 10e9, VirtualBackup: true}, "intersection"},
 		{EncounterScenario{Geometry: "same-direction", Collaborative: true}, "encounter"},
 	} {

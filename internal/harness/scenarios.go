@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -61,6 +62,62 @@ func (s HighwayScenario) Run(k *sim.Kernel) (*metrics.Result, error) {
 		Int("final LoS1", int64(levels[1])).
 		Int("final LoS2", int64(levels[2])).
 		Int("final LoS3", int64(levels[3]))
+	return res, nil
+}
+
+// MegaHighwayScenario runs the partitioned large-world highway
+// (world.ShardedHighway): the scenario whose worlds are big enough that
+// one core cannot hold them, and the reason the harness grew a shards
+// dimension. It implements Shardable, so the runner splits each replica
+// across -shards shard kernels; the output is byte-identical for every
+// shard count.
+type MegaHighwayScenario struct {
+	Duration time.Duration
+	Cars     int
+	// Length is the ring circumference in meters (0 = default).
+	Length float64
+	// Loss is the per-beacon loss probability, used verbatim — unlike
+	// Cars/Length, zero means a genuinely lossless channel, not "use the
+	// config default" (the CLI flag supplies the 5% default, and a
+	// lossless run must remain expressible).
+	Loss float64
+}
+
+// Name implements Scenario.
+func (s MegaHighwayScenario) Name() string { return "megahighway" }
+
+// Run implements Scenario: an unsharded replica is just the sharded path
+// at width 1, which keeps the two paths byte-identical by construction.
+func (s MegaHighwayScenario) Run(k *sim.Kernel) (*metrics.Result, error) {
+	return s.RunSharded(context.Background(), k.Seed(), 1)
+}
+
+// RunSharded implements Shardable.
+func (s MegaHighwayScenario) RunSharded(ctx context.Context, seed int64, shards int) (*metrics.Result, error) {
+	cfg := world.DefaultShardedHighwayConfig()
+	if s.Cars > 0 {
+		cfg.Cars = s.Cars
+	}
+	if s.Length > 0 {
+		cfg.Length = s.Length
+	}
+	cfg.Loss = s.Loss
+	sk, err := sim.NewShardedKernel(seed, shards, cfg.BeaconPeriod)
+	if err != nil {
+		return nil, err
+	}
+	h, err := world.NewShardedHighway(sk, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.Start(); err != nil {
+		return nil, err
+	}
+	if err := sk.Run(ctx, sim.FromDuration(s.Duration)); err != nil {
+		return nil, err
+	}
+	res := h.Result()
+	res.Records[0].Int("events", int64(sk.Executed()))
 	return res, nil
 }
 

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 )
@@ -101,6 +102,51 @@ func TestAggregateAcrossReplicas(t *testing.T) {
 	out := s.Table().String()
 	if !strings.Contains(out, "±") || !strings.Contains(out, "75.0%") {
 		t.Fatalf("aggregated rendering:\n%s", out)
+	}
+}
+
+// Replicated summaries carry a 95% confidence half-width per measurement
+// and render it as a dedicated column.
+func TestAggregateConfidenceInterval(t *testing.T) {
+	mk := func(lat float64) *Result {
+		res := NewResult("demo")
+		res.Record("case", "a").Val("lat", lat, F2)
+		return res
+	}
+	s := Aggregate([]*Result{mk(1), mk(2), mk(3), mk(6)})
+	lat := s.Records[0].Values[0]
+	// n = 4: Student-t at 3 degrees of freedom over the sample stddev.
+	sample := lat.StdDev * math.Sqrt(4.0/3.0)
+	want := 3.182 * sample / 2
+	if diff := lat.CI95 - want; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("ci95 = %v, want %v", lat.CI95, want)
+	}
+	out := s.Table().String()
+	if !strings.Contains(out, "lat ci95") {
+		t.Fatalf("rendered table missing ci95 column:\n%s", out)
+	}
+	// A single replica renders without dispersion or CI columns.
+	single := Aggregate([]*Result{mk(5)})
+	if sout := single.Table().String(); strings.Contains(sout, "ci95") {
+		t.Fatalf("single replica grew a ci95 column:\n%s", sout)
+	}
+	if single.Records[0].Values[0].CI95 != 0 {
+		t.Fatalf("single-replica ci95 = %v", single.Records[0].Values[0].CI95)
+	}
+	// A value observed in only one replica of a replicated run has no
+	// defined interval: the cell must be a gap, not "±0.00".
+	lone := NewResult("demo")
+	lone.Record("case", "a").Val("lat", 1, F2).Val("rare", 7, F2)
+	other := NewResult("demo")
+	other.Record("case", "a").Val("lat", 2, F2).MissingVal("rare", F2)
+	sparse := Aggregate([]*Result{lone, other})
+	if sparse.Records[0].Values[1].CI95 != 0 {
+		t.Fatalf("one-sample ci95 = %v", sparse.Records[0].Values[1].CI95)
+	}
+	sout := sparse.Table().CSV()
+	row := strings.Split(strings.TrimSpace(sout), "\n")[1]
+	if !strings.HasSuffix(row, ",-") {
+		t.Fatalf("one-sample ci95 cell not a gap:\n%s", sout)
 	}
 }
 

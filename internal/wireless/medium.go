@@ -108,11 +108,13 @@ type transmission struct {
 }
 
 // Medium is a shared broadcast radio channel set. Not safe for concurrent
-// use; the simulation is single-threaded.
+// use; the simulation is single-threaded per shard — a sharded world runs
+// one medium per spatial shard, each with its own shard-local radio
+// registry.
 type Medium struct {
 	kernel *sim.Kernel
 	cfg    Config
-	radios map[NodeID]*Radio
+	radios *registry
 	active []*transmission
 	// jamUntil[c] is the virtual time until which channel c is jammed;
 	// jamStart[c] is when the current (or last) jam burst began.
@@ -132,7 +134,7 @@ func NewMedium(kernel *sim.Kernel, cfg Config) *Medium {
 	return &Medium{
 		kernel:   kernel,
 		cfg:      cfg,
-		radios:   make(map[NodeID]*Radio),
+		radios:   newRegistry(),
 		jamUntil: make([]sim.Time, cfg.Channels),
 		jamStart: make([]sim.Time, cfg.Channels),
 	}
@@ -152,18 +154,17 @@ func (m *Medium) SetDropObserver(fn func(to NodeID, reason DropReason)) {
 // Attach creates a radio for the node at pos, listening on channel 0.
 // Attaching an already-attached id returns an error.
 func (m *Medium) Attach(id NodeID, pos Position) (*Radio, error) {
-	if _, dup := m.radios[id]; dup {
+	r := &Radio{id: id, medium: m, pos: pos}
+	if !m.radios.add(r) {
 		return nil, fmt.Errorf("wireless: node %d already attached", id)
 	}
-	r := &Radio{id: id, medium: m, pos: pos}
-	m.radios[id] = r
 	return r, nil
 }
 
 // Detach removes the node's radio (e.g. a crashed node). Unknown ids are
 // ignored.
 func (m *Medium) Detach(id NodeID) {
-	delete(m.radios, id)
+	m.radios.remove(id)
 }
 
 // Jam marks channel as jammed for the next d units of virtual time,
@@ -198,8 +199,8 @@ func (m *Medium) CarrierBusy(id NodeID, channel int) bool {
 	if m.Jammed(channel) {
 		return true
 	}
-	r, ok := m.radios[id]
-	if !ok {
+	r := m.radios.get(id)
+	if r == nil {
 		return false
 	}
 	now := m.kernel.Now()
@@ -239,8 +240,10 @@ func (m *Medium) broadcast(r *Radio, channel int, payload any) {
 // complete finishes a transmission: decides per-receiver outcomes and
 // prunes the active list.
 func (m *Medium) complete(tx *transmission) {
-	for _, id := range m.sortedIDs() {
-		rx := m.radios[id]
+	// The registry slice is already sorted by id, so per-receiver outcomes
+	// are decided in deterministic order with no per-frame allocation.
+	for _, rx := range m.radios.list {
+		id := rx.id
 		if id == tx.from.id {
 			continue
 		}
@@ -375,24 +378,13 @@ func (r *Radio) CarrierBusy() bool {
 // ascending id order.
 func (r *Radio) Neighbors() []NodeID {
 	var out []NodeID
-	for _, id := range r.medium.sortedIDs() {
-		if id == r.id {
+	for _, other := range r.medium.radios.list {
+		if other.id == r.id {
 			continue
 		}
-		if r.pos.Distance(r.medium.radios[id].pos) <= r.medium.cfg.Range {
-			out = append(out, id)
+		if r.pos.Distance(other.pos) <= r.medium.cfg.Range {
+			out = append(out, other.id)
 		}
 	}
 	return out
-}
-
-// sortedIDs returns all attached radio ids in ascending order so that the
-// simulation stays deterministic despite Go's randomized map iteration.
-func (m *Medium) sortedIDs() []NodeID {
-	ids := make([]NodeID, 0, len(m.radios))
-	for id := range m.radios {
-		ids = append(ids, id)
-	}
-	sortNodeIDs(ids)
-	return ids
 }

@@ -1,0 +1,65 @@
+package wireless
+
+import "sort"
+
+// registry is the shard-local set of radios attached to one Medium. Each
+// Medium owns exactly one registry — there is no process-global radio table
+// — so a sharded world runs one medium (and one registry) per spatial
+// shard, and the per-frame delivery loop touches only the radios that can
+// physically hear the frame's shard.
+//
+// Radios are kept in a slice sorted by id. The delivery hot path
+// (Medium.complete) iterates the slice directly: the previous map-backed
+// design rebuilt and sorted an id slice for every frame, which the ROADMAP
+// flagged as the medium's dominant per-frame cost.
+type registry struct {
+	list  []*Radio
+	index map[NodeID]int
+}
+
+func newRegistry() *registry {
+	return &registry{index: make(map[NodeID]int)}
+}
+
+// len returns the number of attached radios.
+func (g *registry) len() int { return len(g.list) }
+
+// get returns the radio with the given id, or nil.
+func (g *registry) get(id NodeID) *Radio {
+	at, ok := g.index[id]
+	if !ok {
+		return nil
+	}
+	return g.list[at]
+}
+
+// add inserts r keeping the slice sorted by id. It reports false when the
+// id is already attached.
+func (g *registry) add(r *Radio) bool {
+	if _, dup := g.index[r.id]; dup {
+		return false
+	}
+	at := sort.Search(len(g.list), func(i int) bool { return g.list[i].id >= r.id })
+	g.list = append(g.list, nil)
+	copy(g.list[at+1:], g.list[at:])
+	g.list[at] = r
+	for i := at; i < len(g.list); i++ {
+		g.index[g.list[i].id] = i
+	}
+	return true
+}
+
+// remove detaches the radio with the given id; unknown ids are ignored.
+func (g *registry) remove(id NodeID) {
+	at, ok := g.index[id]
+	if !ok {
+		return
+	}
+	copy(g.list[at:], g.list[at+1:])
+	g.list[len(g.list)-1] = nil
+	g.list = g.list[:len(g.list)-1]
+	delete(g.index, id)
+	for i := at; i < len(g.list); i++ {
+		g.index[g.list[i].id] = i
+	}
+}

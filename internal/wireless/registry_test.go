@@ -1,0 +1,68 @@
+package wireless
+
+import (
+	"testing"
+
+	"karyon/internal/sim"
+)
+
+// The registry must keep radios sorted by id through arbitrary
+// attach/detach orders, so frame delivery stays deterministic.
+func TestRegistrySortedThroughChurn(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := NewMedium(k, DefaultConfig())
+	for _, id := range []NodeID{5, 1, 9, 3, 7} {
+		if _, err := m.Attach(id, Position{X: float64(id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Attach(3, Position{}); err == nil {
+		t.Fatal("duplicate attach accepted")
+	}
+	m.Detach(5)
+	m.Detach(42) // unknown: ignored
+	want := []NodeID{1, 3, 7, 9}
+	if got := m.radios.len(); got != len(want) {
+		t.Fatalf("len = %d, want %d", got, len(want))
+	}
+	for i, r := range m.radios.list {
+		if r.id != want[i] {
+			t.Fatalf("list[%d] = %d, want %d", i, r.id, want[i])
+		}
+		if m.radios.get(want[i]) != r {
+			t.Fatalf("get(%d) mismatch", want[i])
+		}
+	}
+	if m.radios.get(5) != nil {
+		t.Fatal("detached radio still resolvable")
+	}
+}
+
+// Delivery order after churn follows ascending id, exercising the
+// registry-backed hot path end to end.
+func TestRegistryDeliveryOrder(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := NewMedium(k, DefaultConfig())
+	var order []NodeID
+	for _, id := range []NodeID{4, 2, 8, 6} {
+		r, err := m.Attach(id, Position{X: float64(id)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := id
+		r.OnReceive(func(Frame) { order = append(order, id) })
+	}
+	m.Detach(6)
+	sender := m.radios.get(2)
+	sender.Broadcast("hello")
+	k.RunUntilIdle()
+	want := []NodeID{4, 8}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

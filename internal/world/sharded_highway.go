@@ -1,0 +1,422 @@
+package world
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"karyon/internal/metrics"
+	"karyon/internal/sim"
+	"karyon/internal/vehicle"
+)
+
+// ShardedHighwayConfig parameterizes the partitioned large-world highway.
+type ShardedHighwayConfig struct {
+	// Length is the ring circumference in meters.
+	Length float64
+	// Cars is the number of vehicles.
+	Cars int
+	// ControlPeriod is the per-car control step period.
+	ControlPeriod sim.Time
+	// BeaconPeriod is the V2V beacon quantum and the conservative
+	// synchronization window: a beacon sent inside one window is delivered
+	// at the window's closing edge, so it can only affect a neighboring
+	// shard at least one window into the future. Must be a multiple of
+	// ControlPeriod.
+	BeaconPeriod sim.Time
+	// V2VRange is how far a beacon reaches, in meters. It bounds the shard
+	// count: each arc must be at least this long so frames never skip over
+	// a whole shard.
+	V2VRange float64
+	// Loss is the independent per-beacon loss probability.
+	Loss float64
+	// SensorSigma is the per-transducer gap sensor noise (m).
+	SensorSigma float64
+}
+
+// DefaultShardedHighwayConfig returns a 200-car, 10 km ring with a 100 Hz
+// control loop and 10 Hz beacons.
+func DefaultShardedHighwayConfig() ShardedHighwayConfig {
+	return ShardedHighwayConfig{
+		Length:        10000,
+		Cars:          200,
+		ControlPeriod: 10 * sim.Millisecond,
+		BeaconPeriod:  100 * sim.Millisecond,
+		V2VRange:      300,
+		Loss:          0.05,
+		SensorSigma:   0.3,
+	}
+}
+
+// beaconInfo is the last cooperative-state beacon a car heard.
+type beaconInfo struct {
+	from  int
+	speed float64
+	at    sim.Time
+	ok    bool
+}
+
+// shardedCar is one vehicle of the partitioned world. All of its mutable
+// state is touched either by its own events (on the shard that owns it) or
+// at the single-threaded window barrier — never by another car's in-window
+// events, which is what makes the partition race-free and the output
+// shard-count-invariant.
+type shardedCar struct {
+	id    int
+	body  vehicle.Body
+	shard int
+
+	// ctrl drives perception noise; rx drives beacon loss. Two separate
+	// per-car streams derived from sim.SplitSeed, so neither the shard
+	// assignment nor the interleaving of other cars' events can perturb a
+	// car's randomness.
+	ctrl *rand.Rand
+	rx   *rand.Rand
+
+	// phase offsets the control chain inside a window; bphase the beacon.
+	phase  sim.Time
+	bphase sim.Time
+
+	params vehicle.ACCParams
+	lead   beaconInfo
+
+	// Per-car counters, merged in id order at the barrier or in Result —
+	// shared totals must never be touched from in-window events.
+	beaconsSent     int64
+	emergencyBrakes int64
+}
+
+// snapEntry is one car's published kinematic state at a window edge.
+type snapEntry struct {
+	id     int
+	x      float64
+	speed  float64
+	length float64
+	shard  int
+}
+
+// hwShard is one partition: the set of cars it currently owns.
+type hwShard struct {
+	idx  int
+	cars []*shardedCar // sorted by id
+}
+
+// ShardedHighway is the intra-scenario-sharded ring highway: one large
+// world partitioned into spatial arcs, each arc simulated by its own shard
+// kernel, synchronized by conservative windows derived from the V2V beacon
+// quantum.
+//
+// The model's cross-shard discipline:
+//
+//   - In-window events read the immutable snapshot published at the last
+//     edge and mutate only their own car.
+//   - Beacons flow through per-boundary mailboxes (Shard.Send) and are
+//     delivered at the closing window edge, in (edge, sender) order.
+//   - The window hook — single-threaded — hands cars that crossed an arc
+//     boundary to their new shard, republishes the snapshot, accumulates
+//     metrics in car-id order, and seeds the next window's event chains.
+//
+// Under that discipline the run is a pure function of (seed, config):
+// byte-identical for every shard count, which TestShardedHighwayShardCount
+// Invariance locks in.
+type ShardedHighway struct {
+	cfg    ShardedHighwayConfig
+	sk     *sim.ShardedKernel
+	part   RingPartition
+	cars   []*shardedCar // by id
+	shards []*hwShard
+	snap   []snapEntry // sorted by (x, id); replaced, never mutated
+
+	collisions       int64
+	handoffs         int64
+	beaconsDelivered int64
+	beaconsLost      int64
+	timeGaps         metrics.Histogram
+	speedSum         float64
+	speedN           int64
+}
+
+// NewShardedHighway builds the partitioned world over the sharded kernel.
+// The kernel's window must equal cfg.BeaconPeriod — the model's lookahead
+// is what justifies the window, so the two cannot drift apart.
+func NewShardedHighway(sk *sim.ShardedKernel, cfg ShardedHighwayConfig) (*ShardedHighway, error) {
+	if cfg.Cars < 1 {
+		return nil, fmt.Errorf("world: sharded highway needs at least one car")
+	}
+	if cfg.ControlPeriod <= 0 || cfg.BeaconPeriod <= 0 || cfg.BeaconPeriod%cfg.ControlPeriod != 0 {
+		return nil, fmt.Errorf("world: beacon period %v must be a positive multiple of control period %v",
+			cfg.BeaconPeriod, cfg.ControlPeriod)
+	}
+	if sk.Window() != cfg.BeaconPeriod {
+		return nil, fmt.Errorf("world: kernel window %v must equal the beacon period %v (the conservative lookahead)",
+			sk.Window(), cfg.BeaconPeriod)
+	}
+	part, err := NewRingPartition(cfg.Length, sk.Shards(), cfg.V2VRange)
+	if err != nil {
+		return nil, err
+	}
+	h := &ShardedHighway{cfg: cfg, sk: sk, part: part}
+	for i := 0; i < sk.Shards(); i++ {
+		h.shards = append(h.shards, &hwShard{idx: i})
+	}
+	seed := sk.Seed()
+	spacing := cfg.Length / float64(cfg.Cars)
+	for i := 0; i < cfg.Cars; i++ {
+		c := &shardedCar{
+			id:     i,
+			body:   vehicle.Body{X: float64(i) * spacing, Speed: 20, Length: 4.5},
+			ctrl:   rand.New(rand.NewSource(sim.SplitSeed(seed, int64(i)*4))),
+			rx:     rand.New(rand.NewSource(sim.SplitSeed(seed, int64(i)*4+1))),
+			phase:  1 + sim.Time(uint64(sim.SplitSeed(seed, int64(i)*4+2))%uint64(cfg.ControlPeriod-1)),
+			bphase: 1 + sim.Time(uint64(sim.SplitSeed(seed, int64(i)*4+3))%uint64(cfg.BeaconPeriod-1)),
+			params: vehicle.DefaultACCParams(),
+		}
+		// Heterogeneous cruise speeds make platoons form behind slow cars,
+		// so the sharded world exercises real car-following dynamics.
+		c.params.CruiseSpeed = 24 + 8*c.ctrl.Float64()
+		h.cars = append(h.cars, c)
+	}
+	return h, nil
+}
+
+// Start assigns cars to shards, publishes the first snapshot, seeds the
+// first window's event chains, and registers the window hook.
+func (h *ShardedHighway) Start() error {
+	h.assignShards()
+	h.publishSnapshot()
+	h.seedWindow(0)
+	h.sk.OnWindow(h.onWindow)
+	return nil
+}
+
+// onWindow is the single-threaded barrier work at every window edge.
+func (h *ShardedHighway) onWindow(edge sim.Time) {
+	h.assignShards()
+	h.publishSnapshot()
+	h.accountMetrics()
+	h.seedWindow(edge)
+}
+
+// assignShards rebuilds shard ownership from current positions, counting
+// handoffs. Iteration is in car-id order so the rebuild is deterministic.
+func (h *ShardedHighway) assignShards() {
+	for _, s := range h.shards {
+		s.cars = s.cars[:0]
+	}
+	for _, c := range h.cars {
+		owner := h.part.ShardOf(c.body.X)
+		if owner != c.shard {
+			h.handoffs++
+			c.shard = owner
+		}
+		s := h.shards[owner]
+		s.cars = append(s.cars, c)
+	}
+}
+
+// publishSnapshot replaces the shared snapshot with the current car
+// states, sorted by (x, id). In-window events only ever read it.
+func (h *ShardedHighway) publishSnapshot() {
+	snap := make([]snapEntry, len(h.cars))
+	for i, c := range h.cars {
+		snap[i] = snapEntry{id: c.id, x: c.body.X, speed: c.body.Speed, length: c.body.Length, shard: c.shard}
+	}
+	sort.Slice(snap, func(i, j int) bool {
+		if snap[i].x != snap[j].x {
+			return snap[i].x < snap[j].x
+		}
+		return snap[i].id < snap[j].id
+	})
+	h.snap = snap
+}
+
+// accountMetrics folds per-car observations into the shared totals in
+// car-id order, and detects + resolves collisions against the fresh
+// snapshot.
+func (h *ShardedHighway) accountMetrics() {
+	for _, c := range h.cars {
+		lead, gap := h.leaderOf(c.body.X, c.id)
+		if lead != nil && gap <= 0 {
+			h.collisions++
+			// Resolve the overlap so one event is counted once, not forever.
+			c.body.X = math.Mod(lead.x-lead.length-0.5+h.cfg.Length, h.cfg.Length)
+			c.body.Speed = lead.speed
+		} else if lead != nil && c.body.Speed > 1 {
+			h.timeGaps.Observe(gap / c.body.Speed)
+		}
+		h.speedSum += c.body.Speed
+		h.speedN++
+	}
+}
+
+// seedWindow schedules every car's control chain head and beacon for the
+// window opening at edge, on the kernel of the shard that owns the car.
+func (h *ShardedHighway) seedWindow(edge sim.Time) {
+	for _, s := range h.shards {
+		k := h.sk.Shard(s.idx).Kernel()
+		for _, c := range s.cars {
+			c := c
+			shard := h.sk.Shard(s.idx)
+			k.At(edge+c.phase, func() { h.controlStep(shard, c) })
+			k.At(edge+c.bphase, func() { h.beacon(shard, c) })
+		}
+	}
+}
+
+// leaderOf returns the snapshot entry of the nearest car ahead of position
+// x (excluding self) and the bumper-to-bumper gap, or (nil, 0) when the
+// snapshot holds no other car.
+func (h *ShardedHighway) leaderOf(x float64, selfID int) (*snapEntry, float64) {
+	n := len(h.snap)
+	if n < 2 {
+		return nil, 0
+	}
+	at := sort.Search(n, func(i int) bool { return h.snap[i].x > x })
+	for i := 0; i < n; i++ {
+		e := &h.snap[(at+i)%n]
+		if e.id == selfID {
+			continue
+		}
+		center := math.Mod(e.x-x+h.cfg.Length, h.cfg.Length)
+		return e, center - e.length
+	}
+	return nil, 0
+}
+
+// controlStep runs one perceive-decide-actuate-integrate cycle for c. It
+// executes on c's shard during a window: it reads the immutable snapshot
+// and mutates only c.
+func (h *ShardedHighway) controlStep(shard *sim.Shard, c *shardedCar) {
+	now := shard.Kernel().Now()
+	dt := h.cfg.ControlPeriod.Seconds()
+
+	view := vehicle.NoLead()
+	lead, gap := h.leaderOf(c.body.X, c.id)
+	if lead != nil {
+		// Perceive: three redundant noisy transducers over the snapshot
+		// gap, fused by mid-value selection (the cheap cousin of the full
+		// stack's Marzullo fusion).
+		var r [3]float64
+		for i := range r {
+			r[i] = gap + h.cfg.SensorSigma*c.ctrl.NormFloat64()
+		}
+		fused := r[0] + r[1] + r[2] - math.Min(r[0], math.Min(r[1], r[2])) -
+			math.Max(r[0], math.Max(r[1], r[2]))
+		leadSpeed := lead.speed
+		if c.lead.ok && c.lead.from == lead.id && now-c.lead.at <= 2*h.cfg.BeaconPeriod {
+			// Fresh V2V beacon from the current leader beats the stale
+			// snapshot speed.
+			leadSpeed = c.lead.speed
+		}
+		view = vehicle.LeadView{Present: true, Gap: fused, Speed: leadSpeed, Accel: math.NaN(), Validity: 1}
+	}
+
+	var cmd float64
+	if vehicle.EmergencyBrakeNeeded(c.params, c.body.Speed, view, 1.5) {
+		c.emergencyBrakes++
+		cmd = -c.params.MaxBrake
+	} else {
+		cmd = vehicle.ACCAccel(c.params, c.body.Speed, view)
+	}
+	c.body.Accel = cmd
+	c.body.Step(dt)
+	if c.body.X >= h.cfg.Length {
+		c.body.X -= h.cfg.Length
+	}
+
+	// Self-schedule the rest of the chain while it stays inside this
+	// window; the next window's head is re-seeded at the barrier on
+	// whichever shard owns the car by then.
+	if now%h.cfg.BeaconPeriod+h.cfg.ControlPeriod < h.cfg.BeaconPeriod {
+		shard.Kernel().Schedule(h.cfg.ControlPeriod, func() { h.controlStep(shard, c) })
+	}
+}
+
+// beacon broadcasts c's cooperative state to its follower through the
+// mailbox: delivery lands exactly at the closing window edge, which is the
+// conservative lookahead that lets shards run a whole window apart.
+func (h *ShardedHighway) beacon(shard *sim.Shard, c *shardedCar) {
+	now := shard.Kernel().Now()
+	fol, dist := h.followerOf(c.body.X, c.id)
+	if fol == nil || dist > h.cfg.V2VRange {
+		return
+	}
+	c.beaconsSent++
+	edge := h.sk.NextEdge(now)
+	to := h.cars[fol.id]
+	speed := c.body.Speed
+	sender := int64(c.id)
+	shard.Send(fol.shard, edge, sender, func() {
+		// Barrier context: single-threaded, ordered by (edge, sender).
+		if to.rx.Float64() < h.cfg.Loss {
+			h.beaconsLost++
+			return
+		}
+		h.beaconsDelivered++
+		to.lead = beaconInfo{from: c.id, speed: speed, at: edge, ok: true}
+	})
+}
+
+// followerOf returns the snapshot entry of the nearest car behind x and
+// its center-to-center distance.
+func (h *ShardedHighway) followerOf(x float64, selfID int) (*snapEntry, float64) {
+	n := len(h.snap)
+	if n < 2 {
+		return nil, 0
+	}
+	at := sort.Search(n, func(i int) bool { return h.snap[i].x >= x })
+	for i := 1; i <= n; i++ {
+		e := &h.snap[((at-i)%n+n)%n]
+		if e.id == selfID {
+			continue
+		}
+		return e, math.Mod(x-e.x+h.cfg.Length, h.cfg.Length)
+	}
+	return nil, 0
+}
+
+// MeanSpeed returns the time-averaged fleet speed (m/s).
+func (h *ShardedHighway) MeanSpeed() float64 {
+	if h.speedN == 0 {
+		return 0
+	}
+	return h.speedSum / float64(h.speedN)
+}
+
+// Flow returns the traffic flow in vehicles/hour past a point.
+func (h *ShardedHighway) Flow() float64 {
+	density := float64(h.cfg.Cars) / h.cfg.Length
+	return h.MeanSpeed() * density * 3600
+}
+
+// Collisions returns the bumper-overlap count (the safety metric).
+func (h *ShardedHighway) Collisions() int64 { return h.collisions }
+
+// Handoffs returns how many times a car changed owning shard. It is a
+// partition diagnostic, deliberately absent from Result: with one shard it
+// is zero by construction, so including it would (correctly but uselessly)
+// break the shard-count invariance of the output.
+func (h *ShardedHighway) Handoffs() int64 { return h.handoffs }
+
+// Result collects the structured outcome. Every value in it is a pure
+// function of (seed, config) — independent of the shard count.
+func (h *ShardedHighway) Result() *metrics.Result {
+	var sent, ebrakes int64
+	for _, c := range h.cars {
+		sent += c.beaconsSent
+		ebrakes += c.emergencyBrakes
+	}
+	res := metrics.NewResult(fmt.Sprintf("megahighway: %d cars on a %.0f m ring", h.cfg.Cars, h.cfg.Length))
+	res.Record().
+		Val("mean speed m/s", h.MeanSpeed(), metrics.F2).
+		Val("flow veh/h", h.Flow(), metrics.F2).
+		Val("min timegap s", h.timeGaps.Min(), metrics.F2).
+		Val("p5 timegap s", h.timeGaps.Percentile(5), metrics.F2).
+		Int("collisions", h.collisions).
+		Int("emergency brakes", ebrakes).
+		Int("beacons sent", sent).
+		Int("beacons delivered", h.beaconsDelivered).
+		Int("beacons lost", h.beaconsLost)
+	return res
+}
