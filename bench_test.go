@@ -62,11 +62,10 @@ func BenchmarkE1SafetyKernelCycle(b *testing.B) {
 // BenchmarkE2AdaptiveLoS runs a 10-car adaptive highway for one simulated
 // second per iteration (E2: the trade-off scenario's simulation cost).
 func BenchmarkE2AdaptiveLoS(b *testing.B) {
-	k := sim.NewKernel(1)
 	cfg := world.DefaultHighwayConfig()
 	cfg.Cars = 10
 	cfg.Length = 1000
-	h, err := world.NewHighway(k, cfg)
+	h, err := world.BuildHighway(1, 1, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -75,7 +74,9 @@ func BenchmarkE2AdaptiveLoS(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		k.RunFor(sim.Second)
+		if err := h.Run(sim.Second); err != nil {
+			b.Fatal(err)
+		}
 	}
 	if h.Collisions != 0 {
 		b.Fatalf("collisions during bench: %d", h.Collisions)
@@ -336,28 +337,30 @@ func BenchmarkE11Agreement(b *testing.B) {
 // BenchmarkE12Platoon runs a 30-car platoon with a fault campaign, one
 // simulated second per iteration (E12).
 func BenchmarkE12Platoon(b *testing.B) {
-	k := sim.NewKernel(1)
 	cfg := world.DefaultHighwayConfig()
-	h, err := world.NewHighway(k, cfg)
+	h, err := world.BuildHighway(1, 1, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
 	if err := h.Start(); err != nil {
 		b.Fatal(err)
 	}
-	campaign, err := faultinject.Generate(k.Rand(), faultinject.GenerateConfig{
+	campaign, err := faultinject.Generate(sim.NewStream(1, 0, 11), faultinject.GenerateConfig{
 		Duration: sim.Hour, Warmup: 10 * sim.Second, Events: 200, Targets: cfg.Cars,
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
+	ctx := context.Background()
 	// Schedule the campaign, then time the simulation.
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if i == 0 {
-			faultinject.RunOnHighway(k, h, campaign, sim.Second)
-		} else {
-			k.RunFor(sim.Second)
+			if _, err := faultinject.RunOnHighway(ctx, h, campaign, sim.Second); err != nil {
+				b.Fatal(err)
+			}
+		} else if err := h.Run(sim.Second); err != nil {
+			b.Fatal(err)
 		}
 	}
 }
@@ -365,10 +368,9 @@ func BenchmarkE12Platoon(b *testing.B) {
 // BenchmarkE13Intersection runs the intersection world for one simulated
 // second per iteration (E13).
 func BenchmarkE13Intersection(b *testing.B) {
-	k := sim.NewKernel(1)
 	cfg := world.DefaultIntersectionConfig()
 	cfg.LightFailsAt = 30 * sim.Second
-	w, err := world.NewIntersection(k, cfg)
+	w, err := world.BuildIntersection(1, 1, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -377,7 +379,9 @@ func BenchmarkE13Intersection(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		k.RunFor(sim.Second)
+		if err := w.Run(sim.Second); err != nil {
+			b.Fatal(err)
+		}
 	}
 	if w.Conflicts != 0 {
 		b.Fatalf("conflicts during bench: %d", w.Conflicts)
@@ -416,38 +420,35 @@ func BenchmarkE15Avionics(b *testing.B) {
 	}
 }
 
-// BenchmarkShardedHighwayThroughput runs the partitioned large-world
-// highway (4000 cars, 40 km) for one simulated second per iteration at
-// increasing shard counts. The output is byte-identical at every width
-// (locked in by the world tests); what changes is wall time — ns/op should
-// drop ≥2x from shards=1 to shards=4 on a 4+ core machine, which is the
-// CI benchmark gate's headline claim for intra-scenario sharding.
-func BenchmarkShardedHighwayThroughput(b *testing.B) {
+// BenchmarkFullStackHighwaySharded runs the full-KARYON-stack highway
+// (1200 cars with triple-redundant validity pipelines, safety kernels,
+// gates and V2V, on a 36 km ring) for one simulated second per iteration
+// at increasing shard counts. The output is byte-identical at every width
+// (locked in by the world tests); what changes is wall time. This is the
+// engine's hot path — the per-step leader lookup is an O(log n) search in
+// the sorted shard-local snapshot, not the seed's O(n) fleet scan — and
+// the CI benchmark gate holds the line on it.
+func BenchmarkFullStackHighwaySharded(b *testing.B) {
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			cfg := world.DefaultShardedHighwayConfig()
-			cfg.Length = 40000
-			cfg.Cars = 4000
-			sk, err := sim.NewShardedKernel(1, shards, cfg.BeaconPeriod)
-			if err != nil {
-				b.Fatal(err)
-			}
-			h, err := world.NewShardedHighway(sk, cfg)
+			cfg := world.DefaultHighwayConfig()
+			cfg.Length = 36000
+			cfg.Cars = 1200
+			h, err := world.BuildHighway(1, shards, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
 			if err := h.Start(); err != nil {
 				b.Fatal(err)
 			}
-			ctx := context.Background()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := sk.Run(ctx, sk.Now()+sim.Second); err != nil {
+				if err := h.Run(sim.Second); err != nil {
 					b.Fatal(err)
 				}
 			}
 			b.StopTimer()
-			b.ReportMetric(float64(sk.Executed())/b.Elapsed().Seconds(), "events/s")
+			b.ReportMetric(float64(h.Kernel().Executed())/b.Elapsed().Seconds(), "events/s")
 		})
 	}
 }

@@ -1,12 +1,24 @@
 // Command benchgate is the CI benchmark regression gate: it parses `go
 // test -bench` output, emits a machine-readable JSON snapshot, and fails
-// when any benchmark's ns/op regressed beyond the tolerance against the
-// committed baseline.
+// when any benchmark's ns/op regressed beyond the tolerance.
 //
-// Usage:
+// Usage (committed-baseline mode):
 //
 //	go test -run NONE -bench ... -count 3 . | go run ./cmd/benchgate \
-//	    -out BENCH_PR2.json -baseline BENCH_BASELINE.json -max-regress 0.20
+//	    -out BENCH_PR3.json -baseline BENCH_BASELINE.json -max-regress 0.20
+//
+// Usage (merge-base mode):
+//
+//	go test -run NONE -bench ... -count 3 . | go run ./cmd/benchgate \
+//	    -out BENCH_PR3.json -merge-base origin/main -max-regress 0.20
+//
+// With -merge-base the gate checks out the merge base of HEAD and the
+// given ref into a throwaway git worktree, benches that build in the same
+// CI run, and compares against it — a relative gate immune to runner
+// hardware churn, because both sides ran on the same machine minutes
+// apart. The committed absolute baseline remains the fallback for
+// environments without git history (shallow clones) or when the
+// merge-base build does not compile the benchmark set.
 //
 // With -count > 1 the gate scores each benchmark by its fastest run —
 // the minimum is the measurement least polluted by scheduler noise. Pass
@@ -17,14 +29,18 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Entry is one benchmark's score.
@@ -105,6 +121,54 @@ func compare(baseline, current *Snapshot, maxRegress float64) ([]string, bool) {
 	return lines, ok
 }
 
+// gitOut runs git with args and returns its trimmed stdout.
+func gitOut(args ...string) (string, error) {
+	out, err := exec.Command("git", args...).Output()
+	if err != nil {
+		detail := ""
+		var ee *exec.ExitError
+		if errors.As(err, &ee) && len(ee.Stderr) > 0 {
+			detail = ": " + strings.TrimSpace(string(ee.Stderr))
+		}
+		return "", fmt.Errorf("benchgate: git %s failed%s: %w", strings.Join(args, " "), detail, err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+// mergeBaseSnapshot benches the merge base of HEAD and ref in a throwaway
+// worktree and returns the parsed snapshot — the same-run relative
+// baseline. benchtime must match what the HEAD side ran with: comparing
+// iterations of a different count would measure a different workload.
+func mergeBaseSnapshot(ref, pattern, benchtime string, count int, log io.Writer) (*Snapshot, error) {
+	sha, err := gitOut("merge-base", "HEAD", ref)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "benchgate-base-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	if _, err := gitOut("worktree", "add", "--detach", dir, sha); err != nil {
+		return nil, err
+	}
+	defer func() { _, _ = gitOut("worktree", "remove", "--force", dir) }()
+	fmt.Fprintf(log, "benchgate: benching merge base %s (%s vs HEAD)\n", sha[:12], ref)
+	args := []string{"test", "-run", "NONE", "-bench", pattern, "-count", strconv.Itoa(count)}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	cmd := exec.Command("go", append(args, ".")...)
+	cmd.Dir = dir
+	var out, stderr bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("benchgate: merge-base bench failed (%v): %s — fall back to the committed -baseline", err, strings.TrimSpace(stderr.String()))
+	}
+	return parse(&out)
+}
+
 func writeSnapshot(path string, snap *Snapshot) error {
 	js, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -116,10 +180,14 @@ func writeSnapshot(path string, snap *Snapshot) error {
 func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
 	inPath := fs.String("in", "-", "bench output to parse (- = stdin)")
-	outPath := fs.String("out", "BENCH_PR2.json", "where to write the JSON snapshot artifact")
+	outPath := fs.String("out", "BENCH_PR3.json", "where to write the JSON snapshot artifact")
 	basePath := fs.String("baseline", "BENCH_BASELINE.json", "committed baseline to gate against")
 	maxRegress := fs.Float64("max-regress", 0.20, "maximum tolerated ns/op regression (0.20 = +20%)")
 	update := fs.Bool("update", false, "rewrite the baseline from this run instead of comparing")
+	mergeBase := fs.String("merge-base", "", "bench the merge base of HEAD and this ref in a throwaway worktree and gate against it (same-run relative comparison) instead of the committed baseline")
+	benchPattern := fs.String("bench", ".", "benchmark pattern for the merge-base run (with -merge-base)")
+	benchCount := fs.Int("bench-count", 3, "bench -count for the merge-base run (with -merge-base)")
+	benchTime := fs.String("bench-time", "", "bench -benchtime for the merge-base run — MUST match the HEAD-side run (with -merge-base)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -145,13 +213,32 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		fmt.Fprintf(out, "benchgate: baseline %s rewritten with %d benchmarks\n", *basePath, len(snap.Benchmarks))
 		return nil
 	}
-	bjs, err := os.ReadFile(*basePath)
-	if err != nil {
-		return fmt.Errorf("benchgate: cannot read baseline (run with -update to create it): %w", err)
-	}
 	var baseline Snapshot
-	if err := json.Unmarshal(bjs, &baseline); err != nil {
-		return fmt.Errorf("benchgate: corrupt baseline %s: %w", *basePath, err)
+	if *mergeBase != "" {
+		base, err := mergeBaseSnapshot(*mergeBase, *benchPattern, *benchTime, *benchCount, out)
+		if err != nil {
+			return err
+		}
+		baseline = *base
+		// A benchmark added by this change has no merge-base score; gate
+		// only the intersection (compare iterates baseline names).
+		for name := range baseline.Benchmarks {
+			if _, ok := snap.Benchmarks[name]; !ok {
+				fmt.Fprintf(out, "note %s: present at merge base only (renamed/removed), skipping\n", name)
+				delete(baseline.Benchmarks, name)
+			}
+		}
+		if len(baseline.Benchmarks) == 0 {
+			return fmt.Errorf("benchgate: no common benchmarks between HEAD and merge base — fall back to the committed -baseline")
+		}
+	} else {
+		bjs, err := os.ReadFile(*basePath)
+		if err != nil {
+			return fmt.Errorf("benchgate: cannot read baseline (run with -update to create it): %w", err)
+		}
+		if err := json.Unmarshal(bjs, &baseline); err != nil {
+			return fmt.Errorf("benchgate: corrupt baseline %s: %w", *basePath, err)
+		}
 	}
 	lines, ok := compare(&baseline, snap, *maxRegress)
 	for _, l := range lines {

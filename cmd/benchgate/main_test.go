@@ -123,3 +123,13 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatalf("missing baseline error unhelpful: %v", err)
 	}
 }
+
+func TestMergeBaseBogusRefErrors(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	err := run([]string{"-out", filepath.Join(dir, "o.json"), "-merge-base", "no-such-ref-xyz"},
+		strings.NewReader(sample), &sb)
+	if err == nil || !strings.Contains(err.Error(), "merge-base") {
+		t.Fatalf("bogus merge-base ref not surfaced: %v", err)
+	}
+}

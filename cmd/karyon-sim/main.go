@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	karyon-sim -scenario highway [-seed N] [-duration 2m] [-cars 30] [-mode adaptive|fixed1|fixed2|fixed3|reckless]
+//	karyon-sim -scenario highway [-seed N] [-duration 2m] [-cars 30] [-mode adaptive|fixed1|fixed2|fixed3|reckless] [-fault-rate 2] [-jam-every 30s -jam-burst 2s]
 //	karyon-sim -scenario megahighway [-cars 200] [-length 10000] [-loss 0.05] [-shards N]
 //	karyon-sim -scenario intersection [-failat 60s] [-nobackup]
 //	karyon-sim -scenario encounter [-geometry same-direction|leveled-crossing|level-change] [-voice]
@@ -11,8 +11,13 @@
 // All scenarios accept -replicas, -parallel, -shards, and -json. The
 // output is byte-identical for any -parallel and any -shards value at a
 // fixed seed: both knobs trade wall time only. -shards splits one
-// replica's world across shard kernels and currently pays off for the
-// partitioned megahighway scenario; the other scenarios ignore it.
+// replica's world across shard kernels; every world scenario (highway,
+// megahighway, intersection) runs on the partitioned engine.
+//
+// The fault-campaign knobs make E2/E12-style runs reproducible straight
+// from the CLI: -fault-rate injects that many randomized campaign events
+// per simulated minute, -jam-every/-jam-burst add periodic V2V
+// inaccessibility, and -failat is the intersection's light-failure time.
 package main
 
 import (
@@ -44,6 +49,9 @@ func run(args []string, out io.Writer) error {
 	length := fs.Float64("length", 0, "megahighway: ring circumference in meters (0 = default)")
 	loss := fs.Float64("loss", 0.05, "megahighway: per-beacon loss probability")
 	mode := fs.String("mode", "adaptive", "highway: adaptive|fixed1|fixed2|fixed3|reckless")
+	faultRate := fs.Float64("fault-rate", 0, "highway: randomized fault-campaign events per simulated minute (0 = none)")
+	jamEvery := fs.Duration("jam-every", 0, "highway: period between V2V jam bursts (0 = none)")
+	jamBurst := fs.Duration("jam-burst", 0, "highway: duration of each V2V jam burst")
 	failAt := fs.Duration("failat", 0, "intersection: when the physical light fails (0 = never)")
 	noBackup := fs.Bool("nobackup", false, "intersection: disable the virtual traffic light")
 	geometry := fs.String("geometry", "leveled-crossing", "encounter: same-direction|leveled-crossing|level-change")
@@ -62,7 +70,10 @@ func run(args []string, out io.Writer) error {
 		if n == 0 {
 			n = 30
 		}
-		sc = harness.HighwayScenario{Duration: *duration, Cars: n, Mode: *mode}
+		sc = harness.HighwayScenario{
+			Duration: *duration, Cars: n, Mode: *mode,
+			SensorFaultRate: *faultRate, JamEvery: *jamEvery, JamBurst: *jamBurst,
+		}
 	case "megahighway":
 		sc = harness.MegaHighwayScenario{Duration: *duration, Cars: *cars, Length: *length, Loss: *loss}
 	case "intersection":

@@ -2,7 +2,9 @@
 // t = 60 s. The arriving vehicles detect the missing I-am-alive beacons and
 // fall back to the virtual traffic light — a replicated state machine
 // hosted by the vehicles themselves (a timed virtual stationary automaton).
-// Traffic keeps flowing; the conflict count stays zero.
+// Traffic keeps flowing; the conflict count stays zero. The world runs on
+// the sharded kernel (4 quadrant shards here; any width gives the same
+// output).
 package main
 
 import (
@@ -21,10 +23,9 @@ func main() {
 }
 
 func run() error {
-	k := sim.NewKernel(3)
 	cfg := world.DefaultIntersectionConfig()
 	cfg.LightFailsAt = 60 * sim.Second
-	w, err := world.NewIntersection(k, cfg)
+	w, err := world.BuildIntersection(3, 4, cfg)
 	if err != nil {
 		return err
 	}
@@ -34,20 +35,19 @@ func run() error {
 
 	fmt.Println("   time    light   crossed(NS/EW)  active  conflicts")
 	var lastNS, lastEW int64
-	if _, err := k.Every(30*sim.Second, func() {
+	for t := 0; t < 10; t++ {
+		if err := w.Run(30 * sim.Second); err != nil {
+			return err
+		}
 		light := "ALIVE"
 		if !w.LightAlive() {
 			light = "dead "
 		}
 		ns, ew := w.Crossed[world.RoadNS], w.Crossed[world.RoadEW]
 		fmt.Printf("  %7s   %s   +%2d / +%2d       %3d     %d\n",
-			k.Now(), light, ns-lastNS, ew-lastEW, w.ActiveCars(), w.Conflicts)
+			w.Kernel().Now(), light, ns-lastNS, ew-lastEW, w.ActiveCars(), w.Conflicts)
 		lastNS, lastEW = ns, ew
-	}); err != nil {
-		return err
 	}
-
-	k.RunFor(5 * sim.Minute)
 	w.Stop()
 
 	total := w.Crossed[world.RoadNS] + w.Crossed[world.RoadEW]

@@ -1,7 +1,8 @@
 // Platoon: 20 cooperative cars on a ring highway running the full KARYON
-// stack. A 3-second V2V jam hits mid-run: the fleet drops out of the
-// cooperative Level of Service (wider time gaps), then recovers when the
-// channel clears. No collisions throughout — that is the kernel's job.
+// stack on the sharded world engine. A 3-second V2V jam hits mid-run: the
+// fleet drops out of the cooperative Level of Service (wider time gaps),
+// then recovers when the channel clears. No collisions throughout — that
+// is the kernel's job.
 package main
 
 import (
@@ -21,11 +22,10 @@ func main() {
 }
 
 func run() error {
-	k := sim.NewKernel(7)
 	cfg := world.DefaultHighwayConfig()
 	cfg.Cars = 20
 	cfg.Length = 1500
-	h, err := world.NewHighway(k, cfg)
+	h, err := world.BuildHighway(7, 2, cfg)
 	if err != nil {
 		return err
 	}
@@ -34,24 +34,23 @@ func run() error {
 	}
 
 	// Jam the V2V channel from t=30 s for 3 s.
-	k.At(30*sim.Second, func() {
+	h.Schedule(30*sim.Second, func() {
 		fmt.Println("  >>> V2V jam starts (3 s)")
-		h.Medium().Jam(0, 3*sim.Second)
+		h.JamV2V(3 * sim.Second)
 	})
 
 	fmt.Println("   time   LoS1 LoS2 LoS3   mean speed  collisions")
-	if _, err := k.Every(5*sim.Second, func() {
+	for t := 0; t < 12; t++ {
+		if err := h.Run(5 * sim.Second); err != nil {
+			return err
+		}
 		levels := map[core.LoS]int{}
 		for _, c := range h.Cars() {
 			levels[c.LoS()]++
 		}
 		fmt.Printf("  %6s   %3d  %3d  %3d     %5.1f m/s    %d\n",
-			k.Now(), levels[1], levels[2], levels[3], h.MeanSpeed(), h.Collisions)
-	}); err != nil {
-		return err
+			h.Now(), levels[1], levels[2], levels[3], h.MeanSpeed(), h.Collisions)
 	}
-
-	k.RunFor(60 * sim.Second)
 
 	fmt.Printf("\nfinal: flow %.0f veh/h, p5 time gap %.2f s, %d collisions\n",
 		h.Flow(), h.TimeGaps.Percentile(5), h.Collisions)

@@ -33,15 +33,17 @@ type CoopState struct {
 
 // StateTable tracks the latest cooperative state heard from each peer.
 type StateTable struct {
-	kernel *sim.Kernel
+	clock sim.Clock
 	// MaxAge bounds how old an entry may be before it is reported stale.
 	maxAge sim.Time
 	m      map[wireless.NodeID]CoopState
 }
 
 // NewStateTable creates a table treating entries older than maxAge as gone.
-func NewStateTable(kernel *sim.Kernel, maxAge sim.Time) *StateTable {
-	return &StateTable{kernel: kernel, maxAge: maxAge, m: make(map[wireless.NodeID]CoopState)}
+// The clock is usually the kernel; a sharded world passes the owning
+// entity's clock so freshness stays correct across shard handoffs.
+func NewStateTable(clock sim.Clock, maxAge sim.Time) *StateTable {
+	return &StateTable{clock: clock, maxAge: maxAge, m: make(map[wireless.NodeID]CoopState)}
 }
 
 // Update records a heard state (keeping only the newest per peer).
@@ -55,7 +57,7 @@ func (t *StateTable) Update(s CoopState) {
 // Get returns the peer's state if present and fresh.
 func (t *StateTable) Get(id wireless.NodeID) (CoopState, bool) {
 	s, ok := t.m[id]
-	if !ok || t.kernel.Now()-s.Time > t.maxAge {
+	if !ok || t.clock.Now()-s.Time > t.maxAge {
 		return CoopState{}, false
 	}
 	return s, true
@@ -63,7 +65,7 @@ func (t *StateTable) Get(id wireless.NodeID) (CoopState, bool) {
 
 // Fresh returns all fresh states sorted by id.
 func (t *StateTable) Fresh() []CoopState {
-	now := t.kernel.Now()
+	now := t.clock.Now()
 	out := make([]CoopState, 0, len(t.m))
 	for _, s := range t.m {
 		if now-s.Time <= t.maxAge {

@@ -49,18 +49,20 @@ type Indicator struct {
 // concrete collection mechanisms (failure detectors, validity pipelines,
 // network monitors) behind a key → Indicator table.
 type RuntimeInfo struct {
-	kernel *sim.Kernel
-	m      map[string]Indicator
+	clock sim.Clock
+	m     map[string]Indicator
 }
 
-// NewRuntimeInfo creates an empty store.
-func NewRuntimeInfo(kernel *sim.Kernel) *RuntimeInfo {
-	return &RuntimeInfo{kernel: kernel, m: make(map[string]Indicator)}
+// NewRuntimeInfo creates an empty store. The clock is usually the kernel;
+// sharded worlds pass the owning entity's clock so the store stays correct
+// across shard handoffs.
+func NewRuntimeInfo(clock sim.Clock) *RuntimeInfo {
+	return &RuntimeInfo{clock: clock, m: make(map[string]Indicator)}
 }
 
 // Set records the indicator value at the current instant.
 func (ri *RuntimeInfo) Set(key string, value float64) {
-	ri.m[key] = Indicator{Value: value, UpdatedAt: ri.kernel.Now()}
+	ri.m[key] = Indicator{Value: value, UpdatedAt: ri.clock.Now()}
 }
 
 // Get returns the indicator and whether it has ever been set.

@@ -149,9 +149,9 @@ func DefaultManagerConfig() ManagerConfig {
 // data against the design-time rules and adjusts each functionality's LoS.
 // There is logically one Manager per vehicle.
 type Manager struct {
-	cfg    ManagerConfig
-	kernel *sim.Kernel
-	ri     *RuntimeInfo
+	cfg   ManagerConfig
+	clock sim.Clock
+	ri    *RuntimeInfo
 
 	fns    map[string]*Functionality
 	ticker *sim.Ticker
@@ -160,8 +160,18 @@ type Manager struct {
 	Cycles int64
 }
 
+// scheduler is what Start needs beyond a Clock. *sim.Kernel provides it; a
+// detached manager (sharded worlds drive Cycle from the entity's own
+// control events) does not.
+type scheduler interface {
+	Every(period sim.Time, fn func()) (*sim.Ticker, error)
+}
+
 // NewManager creates a Safety Manager over the runtime-information store.
-func NewManager(kernel *sim.Kernel, ri *RuntimeInfo, cfg ManagerConfig) (*Manager, error) {
+// The clock is usually the kernel (which also lets Start schedule the
+// periodic cycle); a sharded world passes the owning entity's clock and
+// drives Cycle explicitly instead of calling Start.
+func NewManager(clock sim.Clock, ri *RuntimeInfo, cfg ManagerConfig) (*Manager, error) {
 	if cfg.Period <= 0 {
 		return nil, fmt.Errorf("core: manager period must be positive")
 	}
@@ -169,10 +179,10 @@ func NewManager(kernel *sim.Kernel, ri *RuntimeInfo, cfg ManagerConfig) (*Manage
 		cfg.UpgradeStability = 1
 	}
 	return &Manager{
-		cfg:    cfg,
-		kernel: kernel,
-		ri:     ri,
-		fns:    make(map[string]*Functionality),
+		cfg:   cfg,
+		clock: clock,
+		ri:    ri,
+		fns:   make(map[string]*Functionality),
 	}, nil
 }
 
@@ -197,7 +207,7 @@ func (m *Manager) AddFunctionality(name string, levels int) (*Functionality, err
 		rules:     make(map[LoS][]Rule),
 		current:   LevelSafe,
 		timeAt:    make(map[LoS]sim.Time),
-		enteredAt: m.kernel.Now(),
+		enteredAt: m.clock.Now(),
 	}
 	m.fns[name] = f
 	return f, nil
@@ -223,9 +233,15 @@ func (m *Manager) FunctionalityList() []*Functionality {
 	return out
 }
 
-// Start launches the periodic evaluation cycle.
+// Start launches the periodic evaluation cycle. It requires a clock that
+// can schedule (a *sim.Kernel); a detached manager must be driven through
+// Cycle instead.
 func (m *Manager) Start() error {
-	t, err := m.kernel.Every(m.cfg.Period, m.Cycle)
+	sched, ok := m.clock.(scheduler)
+	if !ok {
+		return fmt.Errorf("core: manager clock cannot schedule; drive Cycle explicitly")
+	}
+	t, err := sched.Every(m.cfg.Period, m.Cycle)
 	if err != nil {
 		return err
 	}
@@ -243,7 +259,7 @@ func (m *Manager) Stop() {
 // Cycle runs one evaluation pass. It is exported so tests and benchmarks
 // can drive the manager synchronously.
 func (m *Manager) Cycle() {
-	now := m.kernel.Now()
+	now := m.clock.Now()
 	m.Cycles++
 	for _, f := range m.FunctionalityList() {
 		target, violated := f.feasible(m.ri, now)

@@ -23,13 +23,12 @@ func runE13(cfg Config) *metrics.Result {
 	post := cfg.dur(5*sim.Minute, 70*sim.Second)
 	res := metrics.NewResult("E13 - intersection throughput across light failure")
 	run := func(name string, fail bool, backup bool) {
-		k := sim.NewKernel(cfg.Seed)
 		icfg := world.DefaultIntersectionConfig()
 		if fail {
 			icfg.LightFailsAt = pre
 		}
 		icfg.VirtualBackup = backup
-		w, err := world.NewIntersection(k, icfg)
+		w, err := world.BuildIntersection(cfg.Seed, cfg.shards(), icfg)
 		if err != nil {
 			res.AddNote("%s: %v", name, err)
 			return
@@ -37,9 +36,15 @@ func runE13(cfg Config) *metrics.Result {
 		if err := w.Start(); err != nil {
 			return
 		}
-		k.RunFor(pre)
+		if err := w.Run(pre); err != nil {
+			res.AddNote("%s: %v", name, err)
+			return
+		}
 		before := w.Crossed[world.RoadNS] + w.Crossed[world.RoadEW]
-		k.RunFor(post)
+		if err := w.Run(post); err != nil {
+			res.AddNote("%s: %v", name, err)
+			return
+		}
 		after := w.Crossed[world.RoadNS] + w.Crossed[world.RoadEW]
 		res.Record("variant", name).
 			Int("crossed pre-failure", before).

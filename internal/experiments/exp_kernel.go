@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"karyon/internal/core"
@@ -104,8 +105,9 @@ func runE2(cfg Config) *metrics.Result {
 	res := metrics.NewResult(fmt.Sprintf(
 		"E2 - highway flow and safety per LoS policy (%d cars, %.1f km ring, %s)",
 		cars, ringM/1000, (warm + measure).String()))
+	variant := int64(0)
 	run := func(name string, mode world.LoSMode, fixed core.LoS, faults, v2v bool) {
-		k := sim.NewKernel(cfg.Seed)
+		variant++
 		hcfg := world.DefaultHighwayConfig()
 		// Dense enough that the LoS time gap binds: mean spacing 30 m is
 		// below the LoS1 desired gap at cruise speed, so the headway
@@ -117,7 +119,7 @@ func runE2(cfg Config) *metrics.Result {
 		if !v2v {
 			hcfg.V2VPeriod = 0
 		}
-		h, err := world.NewHighway(k, hcfg)
+		h, err := world.BuildHighway(cfg.Seed, cfg.shards(), hcfg)
 		if err != nil {
 			res.AddNote("%s: %v", name, err)
 			return
@@ -125,17 +127,25 @@ func runE2(cfg Config) *metrics.Result {
 		if err := h.Start(); err != nil {
 			return
 		}
-		k.RunFor(warm)
+		if err := h.Run(warm); err != nil {
+			res.AddNote("%s: %v", name, err)
+			return
+		}
 		if faults {
-			campaign, err := faultinject.Generate(k.Rand(), faultinject.GenerateConfig{
-				Duration: measure, Warmup: sim.Second,
-				Events: cfg.n(60, 15), Targets: hcfg.Cars,
-			})
+			campaign, err := faultinject.Generate(sim.NewStream(cfg.Seed, variant, 11),
+				faultinject.GenerateConfig{
+					Duration: measure, Warmup: sim.Second,
+					Events: cfg.n(60, 15), Targets: hcfg.Cars,
+				})
 			if err == nil {
-				faultinject.RunOnHighway(k, h, campaign, measure)
+				if _, err := faultinject.RunOnHighway(context.Background(), h, campaign, measure); err != nil {
+					res.AddNote("%s: %v", name, err)
+					return
+				}
 			}
-		} else {
-			k.RunFor(measure)
+		} else if err := h.Run(measure); err != nil {
+			res.AddNote("%s: %v", name, err)
+			return
 		}
 		res.Record("policy", name).
 			Val("flow veh/h", h.Flow(), metrics.F2).
@@ -174,9 +184,8 @@ func runE12(cfg Config) *metrics.Result {
 	res := metrics.NewResult(fmt.Sprintf(
 		"E12 - 30-car platoon, randomized campaigns (%s each)", dur.String()))
 	for c := 0; c < campaigns; c++ {
-		k := sim.NewKernel(cfg.Seed + int64(c))
 		hcfg := world.DefaultHighwayConfig()
-		h, err := world.NewHighway(k, hcfg)
+		h, err := world.BuildHighway(cfg.Seed+int64(c), cfg.shards(), hcfg)
 		if err != nil {
 			res.AddNote("campaign %d: %v", c, err)
 			continue
@@ -184,15 +193,22 @@ func runE12(cfg Config) *metrics.Result {
 		if err := h.Start(); err != nil {
 			continue
 		}
-		k.RunFor(cfg.dur(20*sim.Second, 5*sim.Second))
-		campaign, err := faultinject.Generate(k.Rand(), faultinject.GenerateConfig{
-			Duration: dur, Warmup: sim.Second,
-			Events: cfg.n(30, 8), Targets: hcfg.Cars,
-		})
+		if err := h.Run(cfg.dur(20*sim.Second, 5*sim.Second)); err != nil {
+			continue
+		}
+		campaign, err := faultinject.Generate(sim.NewStream(cfg.Seed+int64(c), 0, 11),
+			faultinject.GenerateConfig{
+				Duration: dur, Warmup: sim.Second,
+				Events: cfg.n(30, 8), Targets: hcfg.Cars,
+			})
 		if err != nil {
 			continue
 		}
-		rep := faultinject.RunOnHighway(k, h, campaign, dur+10*sim.Second)
+		rep, err := faultinject.RunOnHighway(context.Background(), h, campaign, dur+10*sim.Second)
+		if err != nil {
+			res.AddNote("campaign %d: %v", c, err)
+			continue
+		}
 		res.Record("campaign", fmt.Sprintf("campaign %d", c)).
 			Int("faults", int64(len(campaign.Events))).
 			Int("collisions", rep.Collisions).

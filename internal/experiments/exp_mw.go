@@ -308,15 +308,14 @@ func runE14(cfg Config) *metrics.Result {
 	// Integrated variant: the full multi-lane highway world, where lane
 	// changes are embedded in the perceive-assess-decide-actuate loop and
 	// a slow truck forces overtaking.
-	k := sim.NewKernel(cfg.Seed)
 	hcfg := world.DefaultHighwayConfig()
 	hcfg.Cars = 10
 	hcfg.Length = 1500
 	hcfg.Lanes = 2
-	if h, err := world.NewHighway(k, hcfg); err == nil {
+	if h, err := world.BuildHighway(cfg.Seed, cfg.shards(), hcfg); err == nil {
 		h.Cars()[0].SetCruiseSpeed(10)
 		if err := h.Start(); err == nil {
-			k.RunFor(cfg.dur(3*sim.Minute, 40*sim.Second))
+			_ = h.Run(cfg.dur(3*sim.Minute, 40*sim.Second))
 			var changes int64
 			for _, c := range h.Cars() {
 				changes += c.LaneChanges

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"sort"
 
 	"karyon/internal/metrics"
@@ -22,6 +23,20 @@ type Config struct {
 	// simulated durations. Used by -short tests and smoke runs; statistical
 	// claims should use the full-fidelity default.
 	Short bool
+	// Shards splits the replica's scenario worlds across this many shard
+	// kernels (0/1 = unsharded). Experiments built on the partitioned
+	// worlds (E2, E12, E13 and the E14 integrated variant) honor it; the
+	// sharded-world determinism contract guarantees the result does not
+	// depend on it — like harness parallelism, it trades wall time only.
+	Shards int
+}
+
+// shards returns the effective shard width.
+func (c Config) shards() int {
+	if c.Shards < 1 {
+		return 1
+	}
+	return c.Shards
 }
 
 // dur picks the full or the reduced simulated duration.
@@ -81,6 +96,15 @@ func (h Harnessed) Name() string { return h.Exp.ID }
 // Run implements harness.Scenario.
 func (h Harnessed) Run(k *sim.Kernel) (*metrics.Result, error) {
 	return h.Exp.Run(Config{Seed: k.Seed(), Short: h.Short}), nil
+}
+
+// RunSharded implements harness.Shardable (structurally): the shard width
+// flows into the experiment Config, where the world-building experiments
+// split their scenarios across shard kernels. Experiments that ignore
+// Shards — and the determinism contract of those that honor it — keep the
+// output byte-identical for every width.
+func (h Harnessed) RunSharded(_ context.Context, seed int64, shards int) (*metrics.Result, error) {
+	return h.Exp.Run(Config{Seed: seed, Short: h.Short, Shards: shards}), nil
 }
 
 // All returns every experiment in id order.

@@ -9,6 +9,7 @@
 package faultinject
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -158,12 +159,28 @@ func (r *Report) Coverage() float64 {
 	return float64(r.DetectedSensorFaults) / float64(r.SensorFaultCount)
 }
 
-// RunOnHighway schedules the campaign onto a highway and runs the kernel
-// for the campaign duration, returning the report. The highway must be
-// built on the same kernel and already started.
-func RunOnHighway(kernel *sim.Kernel, h *world.Highway, c Campaign, duration sim.Time) *Report {
+// RunOnHighway schedules the campaign onto a highway and runs the world
+// for the campaign duration, returning the report. The highway must
+// already be started. Injections land at the sharded world's window
+// barriers (the only instants at which external actions may touch cars),
+// and the detection/downgrade probes sample once per window — both
+// quantizations are bounded by one control period. Cancellation of ctx
+// surfaces as an error at the next barrier.
+func RunOnHighway(ctx context.Context, h *world.Highway, c Campaign, duration sim.Time) (*Report, error) {
 	rep := &Report{Injected: make(map[Kind]int)}
 	cars := h.Cars()
+	// One shared probe pump: injections add probes; each probe runs at
+	// every barrier until it reports done.
+	var probes []func(now sim.Time) bool
+	h.OnWindow(func(now sim.Time) {
+		kept := probes[:0]
+		for _, p := range probes {
+			if !p(now) {
+				kept = append(kept, p)
+			}
+		}
+		probes = kept
+	})
 	for _, ev := range c.Events {
 		ev := ev
 		if ev.Target >= len(cars) {
@@ -173,26 +190,32 @@ func RunOnHighway(kernel *sim.Kernel, h *world.Highway, c Campaign, duration sim
 		switch ev.Kind {
 		case KindSensor:
 			rep.SensorFaultCount++
-			kernel.At(ev.At, func() { injectSensor(kernel, h, cars[ev.Target], ev, rep) })
+			h.Schedule(ev.At, func() {
+				probes = append(probes, injectSensor(h, cars[ev.Target], ev, rep))
+			})
 		case KindJam:
-			kernel.At(ev.At, func() { h.Medium().Jam(0, ev.Duration) })
+			h.Schedule(ev.At, func() { h.JamV2V(ev.Duration) })
 		case KindDisturbance:
-			kernel.At(ev.At, func() {
-				cars[ev.Target].ForceBrake(kernel.Now(), ev.Duration)
+			h.Schedule(ev.At, func() {
+				cars[ev.Target].ForceBrake(h.Now(), ev.Duration)
 			})
 		}
 	}
-	kernel.RunFor(duration)
+	if err := h.RunContext(ctx, duration); err != nil {
+		return nil, err
+	}
 	rep.Collisions = h.Collisions
-	return rep
+	return rep, nil
 }
 
-// injectSensor applies the fault and arms detection/downgrade probes.
-func injectSensor(kernel *sim.Kernel, h *world.Highway, car *world.Car, ev Event, rep *Report) {
+// injectSensor applies the fault (barrier context) and returns the
+// detection/downgrade probe to pump at every window.
+func injectSensor(h *world.Highway, car *world.Car, ev Event, rep *Report) func(sim.Time) bool {
+	injectedAt := h.Now()
 	f := sensor.Fault{
 		Mode:      ev.Mode,
-		From:      kernel.Now(),
-		To:        kernel.Now() + ev.Duration,
+		From:      injectedAt,
+		To:        injectedAt + ev.Duration,
 		Magnitude: ev.Magnitude,
 		Delay:     sim.Second,
 		Prob:      0.5,
@@ -208,17 +231,13 @@ func injectSensor(kernel *sim.Kernel, h *world.Highway, car *world.Car, ev Event
 	for i := 0; i < n; i++ {
 		inputs[i].Physical().Inject(f)
 	}
-	injectedAt := kernel.Now()
 	losAt := car.LoS()
 
 	detected := false
 	downgraded := false
-	var probe *sim.Ticker
-	probe, err := kernel.Every(20*sim.Millisecond, func() {
-		now := kernel.Now()
+	return func(now sim.Time) bool {
 		if now >= injectedAt+ev.Duration+sim.Second {
-			probe.Stop()
-			return
+			return true
 		}
 		if !detected {
 			// Two detection channels, per the architecture: the fused
@@ -242,8 +261,6 @@ func injectSensor(kernel *sim.Kernel, h *world.Highway, car *world.Car, ev Event
 			lat := now - injectedAt
 			rep.DowngradeLatencies.Observe(float64(lat) / float64(sim.Millisecond))
 		}
-	})
-	if err != nil {
-		return
+		return false
 	}
 }

@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -71,18 +72,17 @@ func TestKindString(t *testing.T) {
 }
 
 func TestCampaignOnHighwayKernelPreventsHazards(t *testing.T) {
-	k := sim.NewKernel(42)
 	hcfg := world.DefaultHighwayConfig()
 	hcfg.Cars = 12
 	hcfg.Length = 1200
-	h, err := world.NewHighway(k, hcfg)
+	h, err := world.BuildHighway(42, 1, hcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := h.Start(); err != nil {
 		t.Fatal(err)
 	}
-	campaign, err := Generate(k.Rand(), GenerateConfig{
+	campaign, err := Generate(rand.New(rand.NewSource(42)), GenerateConfig{
 		Duration: 2 * sim.Minute,
 		Warmup:   20 * sim.Second,
 		Events:   25,
@@ -91,7 +91,10 @@ func TestCampaignOnHighwayKernelPreventsHazards(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := RunOnHighway(k, h, campaign, 2*sim.Minute+30*sim.Second)
+	rep, err := RunOnHighway(context.Background(), h, campaign, 2*sim.Minute+30*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if rep.Collisions != 0 {
 		t.Fatalf("campaign produced %d collisions with the kernel engaged", rep.Collisions)

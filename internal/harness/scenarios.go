@@ -7,24 +7,43 @@ import (
 
 	"karyon/internal/avionics"
 	"karyon/internal/core"
+	"karyon/internal/faultinject"
 	"karyon/internal/metrics"
 	"karyon/internal/sim"
 	"karyon/internal/world"
 )
 
-// HighwayScenario runs the multi-car highway world under one LoS policy.
+// HighwayScenario runs the multi-car highway world under one LoS policy,
+// optionally under a reproducible fault campaign — the CLI counterpart of
+// the E2/E12 experiments, no registry needed. It implements Shardable:
+// every replica runs on the partitioned engine (width 1 when unsharded),
+// so the output is byte-identical for every -shards value.
 type HighwayScenario struct {
 	Duration time.Duration
 	Cars     int
 	// Mode is adaptive, fixed1, fixed2, fixed3, or reckless.
 	Mode string
+	// SensorFaultRate injects this many randomized sensor/disturbance/jam
+	// campaign events per simulated minute (0 disables the campaign).
+	SensorFaultRate float64
+	// JamEvery/JamBurst jam the V2V channel for JamBurst every JamEvery
+	// (both must be positive to take effect) — reproducible beacon-loss
+	// bursts, the paper's inaccessibility periods.
+	JamEvery time.Duration
+	JamBurst time.Duration
 }
 
 // Name implements Scenario.
 func (s HighwayScenario) Name() string { return "highway" }
 
-// Run implements Scenario.
+// Run implements Scenario: an unsharded replica is the sharded path at
+// width 1, which keeps the two paths byte-identical by construction.
 func (s HighwayScenario) Run(k *sim.Kernel) (*metrics.Result, error) {
+	return s.RunSharded(context.Background(), k.Seed(), 1)
+}
+
+// RunSharded implements Shardable.
+func (s HighwayScenario) RunSharded(ctx context.Context, seed int64, shards int) (*metrics.Result, error) {
 	cfg := world.DefaultHighwayConfig()
 	cfg.Cars = s.Cars
 	switch s.Mode {
@@ -39,21 +58,45 @@ func (s HighwayScenario) Run(k *sim.Kernel) (*metrics.Result, error) {
 	default:
 		return nil, fmt.Errorf("unknown mode %q", s.Mode)
 	}
-	h, err := world.NewHighway(k, cfg)
+	h, err := world.BuildHighway(seed, shards, cfg)
 	if err != nil {
 		return nil, err
 	}
 	if err := h.Start(); err != nil {
 		return nil, err
 	}
-	k.RunFor(sim.FromDuration(s.Duration))
-	res := metrics.NewResult(fmt.Sprintf("highway: %d cars, %s simulated", s.Cars, s.Duration))
+	dur := sim.FromDuration(s.Duration)
+	if s.JamEvery > 0 && s.JamBurst > 0 {
+		every, burst := sim.FromDuration(s.JamEvery), sim.FromDuration(s.JamBurst)
+		for t := every; t < dur; t += every {
+			h.Schedule(t, func() { h.JamV2V(burst) })
+		}
+	}
+	var rep *faultinject.Report
+	if s.SensorFaultRate > 0 {
+		events := int(s.SensorFaultRate*s.Duration.Minutes() + 0.5)
+		campaign, err := faultinject.Generate(sim.NewStream(seed, 9001, 0), faultinject.GenerateConfig{
+			Duration: dur,
+			Warmup:   dur / 10,
+			Events:   events,
+			Targets:  cfg.Cars,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if rep, err = faultinject.RunOnHighway(ctx, h, campaign, dur); err != nil {
+			return nil, err
+		}
+	} else if err := h.RunContext(ctx, dur); err != nil {
+		return nil, err
+	}
+	res := metrics.NewResult(fmt.Sprintf("highway: %d cars, %s simulated", cfg.Cars, s.Duration))
 	levels := map[core.LoS]int{}
 	for _, c := range h.Cars() {
 		levels[c.LoS()]++
 	}
-	res.Record("mode", s.Mode).
-		Int("events", int64(k.Executed())).
+	rec := res.Record("mode", s.Mode).
+		Int("events", int64(h.Kernel().Executed())).
 		Val("mean speed m/s", h.MeanSpeed(), metrics.F2).
 		Val("flow veh/h", h.Flow(), metrics.F2).
 		Val("min timegap s", h.TimeGaps.Min(), metrics.F2).
@@ -62,19 +105,26 @@ func (s HighwayScenario) Run(k *sim.Kernel) (*metrics.Result, error) {
 		Int("final LoS1", int64(levels[1])).
 		Int("final LoS2", int64(levels[2])).
 		Int("final LoS3", int64(levels[3]))
+	if rep != nil {
+		var injected int64
+		for _, n := range rep.Injected {
+			injected += int64(n)
+		}
+		rec.Int("faults injected", injected).
+			Val("fault coverage", rep.Coverage(), metrics.Pct).
+			Val("det.p95 ms", rep.DetectionLatencies.Percentile(95), metrics.F2)
+	}
 	return res, nil
 }
 
-// MegaHighwayScenario runs the partitioned large-world highway
-// (world.ShardedHighway): the scenario whose worlds are big enough that
-// one core cannot hold them, and the reason the harness grew a shards
-// dimension. It implements Shardable, so the runner splits each replica
-// across -shards shard kernels; the output is byte-identical for every
-// shard count.
+// MegaHighwayScenario runs the large-world highway: the same full-stack
+// engine as HighwayScenario, sized so that one core cannot hold it — the
+// reason the harness grew a shards dimension. The output is byte-identical
+// for every shard count.
 type MegaHighwayScenario struct {
 	Duration time.Duration
 	Cars     int
-	// Length is the ring circumference in meters (0 = default).
+	// Length is the ring circumference in meters (0 = default 10 km).
 	Length float64
 	// Loss is the per-beacon loss probability, used verbatim — unlike
 	// Cars/Length, zero means a genuinely lossless channel, not "use the
@@ -86,15 +136,17 @@ type MegaHighwayScenario struct {
 // Name implements Scenario.
 func (s MegaHighwayScenario) Name() string { return "megahighway" }
 
-// Run implements Scenario: an unsharded replica is just the sharded path
-// at width 1, which keeps the two paths byte-identical by construction.
+// Run implements Scenario.
 func (s MegaHighwayScenario) Run(k *sim.Kernel) (*metrics.Result, error) {
 	return s.RunSharded(context.Background(), k.Seed(), 1)
 }
 
 // RunSharded implements Shardable.
 func (s MegaHighwayScenario) RunSharded(ctx context.Context, seed int64, shards int) (*metrics.Result, error) {
-	cfg := world.DefaultShardedHighwayConfig()
+	cfg := world.DefaultHighwayConfig()
+	cfg.Length = 10000
+	cfg.Cars = 200
+	cfg.V2VRange = 300
 	if s.Cars > 0 {
 		cfg.Cars = s.Cars
 	}
@@ -102,27 +154,39 @@ func (s MegaHighwayScenario) RunSharded(ctx context.Context, seed int64, shards 
 		cfg.Length = s.Length
 	}
 	cfg.Loss = s.Loss
-	sk, err := sim.NewShardedKernel(seed, shards, cfg.BeaconPeriod)
-	if err != nil {
-		return nil, err
-	}
-	h, err := world.NewShardedHighway(sk, cfg)
+	h, err := world.BuildHighway(seed, shards, cfg)
 	if err != nil {
 		return nil, err
 	}
 	if err := h.Start(); err != nil {
 		return nil, err
 	}
-	if err := sk.Run(ctx, sim.FromDuration(s.Duration)); err != nil {
+	if err := h.RunContext(ctx, sim.FromDuration(s.Duration)); err != nil {
 		return nil, err
 	}
-	res := h.Result()
-	res.Records[0].Int("events", int64(sk.Executed()))
+	sent, delivered, lost := h.BeaconStats()
+	var ebrakes int64
+	for _, c := range h.Cars() {
+		ebrakes += c.EmergencyBrakes
+	}
+	res := metrics.NewResult(fmt.Sprintf("megahighway: %d cars on a %.0f m ring", cfg.Cars, cfg.Length))
+	res.Record().
+		Val("mean speed m/s", h.MeanSpeed(), metrics.F2).
+		Val("flow veh/h", h.Flow(), metrics.F2).
+		Val("min timegap s", h.TimeGaps.Min(), metrics.F2).
+		Val("p5 timegap s", h.TimeGaps.Percentile(5), metrics.F2).
+		Int("collisions", h.Collisions).
+		Int("emergency brakes", ebrakes).
+		Int("beacons sent", sent).
+		Int("beacons delivered", delivered).
+		Int("beacons lost", lost).
+		Int("events", int64(h.Kernel().Executed()))
 	return res, nil
 }
 
 // IntersectionScenario runs the traffic-light intersection, optionally
-// failing the physical light and engaging the virtual backup.
+// failing the physical light (the light-failure-time knob) and engaging
+// the virtual backup. Shardable: quadrants map onto shard kernels.
 type IntersectionScenario struct {
 	Duration      time.Duration
 	FailAt        time.Duration
@@ -134,24 +198,32 @@ func (s IntersectionScenario) Name() string { return "intersection" }
 
 // Run implements Scenario.
 func (s IntersectionScenario) Run(k *sim.Kernel) (*metrics.Result, error) {
+	return s.RunSharded(context.Background(), k.Seed(), 1)
+}
+
+// RunSharded implements Shardable.
+func (s IntersectionScenario) RunSharded(ctx context.Context, seed int64, shards int) (*metrics.Result, error) {
 	cfg := world.DefaultIntersectionConfig()
 	cfg.LightFailsAt = sim.FromDuration(s.FailAt)
 	cfg.VirtualBackup = s.VirtualBackup
-	w, err := world.NewIntersection(k, cfg)
+	w, err := world.BuildIntersection(seed, shards, cfg)
 	if err != nil {
 		return nil, err
 	}
 	if err := w.Start(); err != nil {
 		return nil, err
 	}
-	k.RunFor(sim.FromDuration(s.Duration))
+	if err := w.RunContext(ctx, sim.FromDuration(s.Duration)); err != nil {
+		return nil, err
+	}
 	res := metrics.NewResult(fmt.Sprintf("intersection: %s simulated", s.Duration))
 	res.Record().
 		Bool("light alive", w.LightAlive()).
 		Int("crossed NS", w.Crossed[world.RoadNS]).
 		Int("crossed EW", w.Crossed[world.RoadEW]).
 		Val("wait p95 s", w.WaitTimes.Percentile(95), metrics.F2).
-		Int("conflicts", w.Conflicts)
+		Int("conflicts", w.Conflicts).
+		Int("events", int64(w.Kernel().Executed()))
 	w.Stop()
 	return res, nil
 }

@@ -65,8 +65,16 @@ type AggRecord struct {
 	Labels []Label `json:"labels"`
 	Values []Dist  `json:"values"`
 
-	samples map[string]*Histogram
+	samples map[string]accumulator
 }
+
+// StreamingThreshold is the replica count above which Aggregate switches
+// from per-value histograms (exact percentiles, O(replicas) memory per
+// measurement) to streaming moments — Welford mean/variance plus a P²
+// p95 estimate — with O(1) memory per measurement. Giant seed matrices
+// would otherwise retain every replica's every value; below the
+// threshold the exact path keeps small-sample percentiles precise.
+const StreamingThreshold = 64
 
 // Summary is the across-replica aggregation of a scenario's results.
 // Records are matched by their ordered label tuple and kept in first-seen
@@ -93,8 +101,19 @@ func labelKey(labels []Label) string {
 // Aggregate merges replica results into per-record distributions. The
 // title and notes are taken from the first replica (notes may interpolate
 // replica-specific numbers; the first replica keeps them deterministic).
+// Above StreamingThreshold replicas the per-measurement store switches to
+// streaming moments (Welford + P² p95), bounding memory at O(1) per
+// measurement instead of O(replicas); mean/stddev/min/max stay exact,
+// p95 becomes a tight estimate.
 func Aggregate(results []*Result) *Summary {
 	s := &Summary{Replicas: len(results)}
+	streaming := len(results) > StreamingThreshold
+	newAcc := func() accumulator {
+		if streaming {
+			return newStreamAcc()
+		}
+		return &histAcc{}
+	}
 	// index holds positions, not pointers: appends may reallocate s.Records.
 	index := map[string]int{}
 	for _, r := range results {
@@ -112,7 +131,7 @@ func Aggregate(results []*Result) *Summary {
 				at = len(s.Records)
 				s.Records = append(s.Records, AggRecord{
 					Labels:  append([]Label{}, rec.Labels...),
-					samples: map[string]*Histogram{},
+					samples: map[string]accumulator{},
 				})
 				index[key] = at
 			}
@@ -120,7 +139,7 @@ func Aggregate(results []*Result) *Summary {
 			for _, v := range rec.Values {
 				h, ok := agg.samples[v.Name]
 				if !ok {
-					h = &Histogram{}
+					h = newAcc()
 					agg.samples[v.Name] = h
 					agg.Values = append(agg.Values, Dist{Name: v.Name, Fmt: v.Fmt})
 				}
@@ -142,10 +161,10 @@ func Aggregate(results []*Result) *Summary {
 			d.StdDev = h.StdDev()
 			d.Min = h.Min()
 			d.Max = h.Max()
-			d.P95 = h.Percentile(95)
+			d.P95 = h.P95()
 			if n := d.Count; n >= 2 {
-				// Histogram.StdDev is the population form; the CI needs the
-				// sample form (divisor n-1).
+				// The accumulators report the population form; the CI needs
+				// the sample form (divisor n-1).
 				sample := d.StdDev * math.Sqrt(float64(n)/float64(n-1))
 				d.CI95 = tCrit95(n-1) * sample / math.Sqrt(float64(n))
 			}

@@ -1,0 +1,229 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Welford is a streaming mean/variance accumulator (Welford's online
+// algorithm): numerically stable, O(1) memory, one pass. It also tracks
+// exact min and max. The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Observe folds one sample in.
+func (w *Welford) Observe(v float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = v, v
+	} else {
+		if v < w.min {
+			w.min = v
+		}
+		if v > w.max {
+			w.max = v
+		}
+	}
+	d := v - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (v - w.mean)
+}
+
+// Count returns the number of samples.
+func (w *Welford) Count() int { return w.n }
+
+// Mean returns the running mean, or 0 with no samples.
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.mean
+}
+
+// StdDev returns the population standard deviation, or 0 with fewer than
+// two samples (matching Histogram.StdDev).
+func (w *Welford) StdDev() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n))
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (w *Welford) Min() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.min
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (w *Welford) Max() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.max
+}
+
+// P2Quantile estimates one quantile online with the P² algorithm (Jain &
+// Chlamtac, 1985): five markers updated per observation, O(1) memory,
+// no sample retention. Below six samples the estimate is exact (the
+// markers still hold the raw values).
+type P2Quantile struct {
+	p     float64
+	count int
+	q     [5]float64 // marker heights
+	n     [5]float64 // marker positions
+	np    [5]float64 // desired positions
+	dn    [5]float64 // desired-position increments
+}
+
+// NewP2Quantile creates an estimator for the p-quantile, p in (0,1).
+func NewP2Quantile(p float64) *P2Quantile {
+	if p <= 0 || p >= 1 {
+		p = 0.5
+	}
+	pq := &P2Quantile{p: p}
+	pq.dn = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return pq
+}
+
+// Observe folds one sample in.
+func (pq *P2Quantile) Observe(x float64) {
+	if pq.count < 5 {
+		pq.q[pq.count] = x
+		pq.count++
+		if pq.count == 5 {
+			sort.Float64s(pq.q[:])
+			for i := 0; i < 5; i++ {
+				pq.n[i] = float64(i)
+			}
+			pq.np = [5]float64{0, 2 * pq.p, 4 * pq.p, 2 + 2*pq.p, 4}
+		}
+		return
+	}
+	var k int
+	switch {
+	case x < pq.q[0]:
+		pq.q[0] = x
+		k = 0
+	case x >= pq.q[4]:
+		pq.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < pq.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		pq.n[i]++
+	}
+	for i := 0; i < 5; i++ {
+		pq.np[i] += pq.dn[i]
+	}
+	for i := 1; i <= 3; i++ {
+		d := pq.np[i] - pq.n[i]
+		if (d >= 1 && pq.n[i+1]-pq.n[i] > 1) || (d <= -1 && pq.n[i-1]-pq.n[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			qp := pq.parabolic(i, s)
+			if pq.q[i-1] < qp && qp < pq.q[i+1] {
+				pq.q[i] = qp
+			} else {
+				pq.q[i] = pq.linear(i, s)
+			}
+			pq.n[i] += s
+		}
+	}
+	pq.count++
+}
+
+// parabolic is the P² piecewise-parabolic marker update.
+func (pq *P2Quantile) parabolic(i int, s float64) float64 {
+	return pq.q[i] + s/(pq.n[i+1]-pq.n[i-1])*
+		((pq.n[i]-pq.n[i-1]+s)*(pq.q[i+1]-pq.q[i])/(pq.n[i+1]-pq.n[i])+
+			(pq.n[i+1]-pq.n[i]-s)*(pq.q[i]-pq.q[i-1])/(pq.n[i]-pq.n[i-1]))
+}
+
+// linear is the fallback marker update.
+func (pq *P2Quantile) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return pq.q[i] + s*(pq.q[j]-pq.q[i])/(pq.n[j]-pq.n[i])
+}
+
+// Count returns the number of samples.
+func (pq *P2Quantile) Count() int { return pq.count }
+
+// Value returns the current quantile estimate, or 0 with no samples.
+func (pq *P2Quantile) Value() float64 {
+	if pq.count == 0 {
+		return 0
+	}
+	if pq.count <= 5 {
+		// Exact small-sample path, interpolated like Histogram.Percentile.
+		vals := append([]float64(nil), pq.q[:pq.count]...)
+		sort.Float64s(vals)
+		rank := pq.p * float64(len(vals)-1)
+		lo := int(math.Floor(rank))
+		hi := int(math.Ceil(rank))
+		if lo == hi {
+			return vals[lo]
+		}
+		frac := rank - float64(lo)
+		return vals[lo]*(1-frac) + vals[hi]*frac
+	}
+	return pq.q[2]
+}
+
+// accumulator is what Aggregate needs from a per-measurement store. Two
+// implementations: the exact per-value Histogram (small replica counts)
+// and the streaming Welford+P² pair (giant seed matrices, bounded memory).
+type accumulator interface {
+	Observe(v float64)
+	Count() int
+	Mean() float64
+	StdDev() float64
+	Min() float64
+	Max() float64
+	P95() float64
+}
+
+// histAcc adapts Histogram to accumulator.
+type histAcc struct{ h Histogram }
+
+func (a *histAcc) Observe(v float64) { a.h.Observe(v) }
+func (a *histAcc) Count() int        { return a.h.Count() }
+func (a *histAcc) Mean() float64     { return a.h.Mean() }
+func (a *histAcc) StdDev() float64   { return a.h.StdDev() }
+func (a *histAcc) Min() float64      { return a.h.Min() }
+func (a *histAcc) Max() float64      { return a.h.Max() }
+func (a *histAcc) P95() float64      { return a.h.Percentile(95) }
+
+// streamAcc is the O(1)-memory accumulator: Welford moments plus a P²
+// p95 estimate.
+type streamAcc struct {
+	w  Welford
+	p2 *P2Quantile
+}
+
+func newStreamAcc() *streamAcc { return &streamAcc{p2: NewP2Quantile(0.95)} }
+
+func (a *streamAcc) Observe(v float64) {
+	a.w.Observe(v)
+	a.p2.Observe(v)
+}
+func (a *streamAcc) Count() int      { return a.w.Count() }
+func (a *streamAcc) Mean() float64   { return a.w.Mean() }
+func (a *streamAcc) StdDev() float64 { return a.w.StdDev() }
+func (a *streamAcc) Min() float64    { return a.w.Min() }
+func (a *streamAcc) Max() float64    { return a.w.Max() }
+func (a *streamAcc) P95() float64    { return a.p2.Value() }

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWelfordMatchesHistogram(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var w Welford
+	var h Histogram
+	for i := 0; i < 10000; i++ {
+		v := rng.NormFloat64()*3 + 7
+		w.Observe(v)
+		h.Observe(v)
+	}
+	if w.Count() != h.Count() {
+		t.Fatalf("count %d vs %d", w.Count(), h.Count())
+	}
+	if math.Abs(w.Mean()-h.Mean()) > 1e-9 {
+		t.Fatalf("mean %v vs %v", w.Mean(), h.Mean())
+	}
+	if math.Abs(w.StdDev()-h.StdDev()) > 1e-9 {
+		t.Fatalf("stddev %v vs %v", w.StdDev(), h.StdDev())
+	}
+	if w.Min() != h.Min() || w.Max() != h.Max() {
+		t.Fatalf("min/max %v/%v vs %v/%v", w.Min(), w.Max(), h.Min(), h.Max())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.StdDev() != 0 || w.Min() != 0 || w.Max() != 0 {
+		t.Fatal("empty accumulator must read zero")
+	}
+	w.Observe(-3)
+	if w.Mean() != -3 || w.StdDev() != 0 || w.Min() != -3 || w.Max() != -3 {
+		t.Fatalf("single sample wrong: %+v", w)
+	}
+}
+
+func TestP2QuantileSmallSampleExact(t *testing.T) {
+	q := NewP2Quantile(0.95)
+	var h Histogram
+	for _, v := range []float64{5, 1, 4} {
+		q.Observe(v)
+		h.Observe(v)
+	}
+	if got, want := q.Value(), h.Percentile(95); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("small-sample p95 %v, want exact %v", got, want)
+	}
+}
+
+func TestP2QuantileTracksExactP95(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		gen  func(*rand.Rand) float64
+	}{
+		{"uniform", func(r *rand.Rand) float64 { return r.Float64() * 100 }},
+		{"normal", func(r *rand.Rand) float64 { return r.NormFloat64()*5 + 50 }},
+		{"exponential", func(r *rand.Rand) float64 { return r.ExpFloat64() * 10 }},
+	} {
+		rng := rand.New(rand.NewSource(7))
+		q := NewP2Quantile(0.95)
+		var h Histogram
+		for i := 0; i < 20000; i++ {
+			v := tc.gen(rng)
+			q.Observe(v)
+			h.Observe(v)
+		}
+		exact := h.Percentile(95)
+		spread := h.Max() - h.Min()
+		if err := math.Abs(q.Value() - exact); err > 0.02*spread {
+			t.Fatalf("%s: P2 p95 %v vs exact %v (err %v beyond 2%% of spread %v)",
+				tc.name, q.Value(), exact, err, spread)
+		}
+	}
+}
+
+// Above the threshold, Aggregate must keep exact moments while estimating
+// p95 — and must not silently change the small-matrix behavior.
+func TestAggregateStreamingPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := StreamingThreshold * 4
+	results := make([]*Result, 0, n)
+	var exact Histogram
+	for i := 0; i < n; i++ {
+		v := rng.NormFloat64()*2 + 10
+		exact.Observe(v)
+		r := NewResult("streamed")
+		r.Record("variant", "a").Val("latency", v, F2)
+		results = append(results, r)
+	}
+	s := Aggregate(results)
+	if len(s.Records) != 1 || len(s.Records[0].Values) != 1 {
+		t.Fatalf("unexpected shape: %+v", s)
+	}
+	d := s.Records[0].Values[0]
+	if d.Count != n {
+		t.Fatalf("count %d, want %d", d.Count, n)
+	}
+	if math.Abs(d.Mean-exact.Mean()) > 1e-9 || math.Abs(d.StdDev-exact.StdDev()) > 1e-9 {
+		t.Fatalf("streaming moments diverge: mean %v/%v stddev %v/%v",
+			d.Mean, exact.Mean(), d.StdDev, exact.StdDev())
+	}
+	if d.Min != exact.Min() || d.Max != exact.Max() {
+		t.Fatalf("min/max diverge")
+	}
+	spread := exact.Max() - exact.Min()
+	if math.Abs(d.P95-exact.Percentile(95)) > 0.05*spread {
+		t.Fatalf("p95 estimate %v too far from exact %v", d.P95, exact.Percentile(95))
+	}
+	if d.CI95 <= 0 {
+		t.Fatal("ci95 missing on streamed aggregate")
+	}
+}

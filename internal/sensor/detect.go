@@ -297,14 +297,15 @@ func (fm *FaultManagement) Verdict(name string) (Verdict, bool) {
 // Abstract is the paper's abstract sensor (Fig. 2): a physical sensor plus
 // its fault-management wrapper, exposing only validity-annotated readings.
 type Abstract struct {
-	phys *Physical
-	fm   *FaultManagement
-	kern *sim.Kernel
+	phys  *Physical
+	fm    *FaultManagement
+	clock sim.Clock
 }
 
-// NewAbstract wraps a physical sensor with fault management.
-func NewAbstract(kernel *sim.Kernel, phys *Physical, fm *FaultManagement) *Abstract {
-	return &Abstract{phys: phys, fm: fm, kern: kernel}
+// NewAbstract wraps a physical sensor with fault management. The clock is
+// usually the kernel; sharded worlds pass the owning entity's clock.
+func NewAbstract(clock sim.Clock, phys *Physical, fm *FaultManagement) *Abstract {
+	return &Abstract{phys: phys, fm: fm, clock: clock}
 }
 
 // Name returns the underlying sensor name.
@@ -316,5 +317,5 @@ func (a *Abstract) Physical() *Physical { return a.phys }
 
 // Read samples the transducer and returns the validity-annotated reading.
 func (a *Abstract) Read() Reading {
-	return a.fm.Assess(a.kern.Now(), a.phys.Sample())
+	return a.fm.Assess(a.clock.Now(), a.phys.Sample())
 }

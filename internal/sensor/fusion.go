@@ -215,7 +215,7 @@ func (tf *TemporalFilter) Rejected() int64 { return tf.rejected }
 // result over time (temporal redundancy), exposing one validity-annotated
 // reading.
 type Reliable struct {
-	kernel  *sim.Kernel
+	clock   sim.Clock
 	inputs  []*Abstract
 	half    float64 // interval half-width per input (for Marzullo)
 	filter  *TemporalFilter
@@ -232,9 +232,9 @@ type Reliable struct {
 // NewReliable builds a reliable sensor over the given inputs. halfWidth is
 // each input's assumed error bound; f is the number of tolerated faulty
 // inputs; minValidity filters inputs before fusion.
-func NewReliable(kernel *sim.Kernel, inputs []*Abstract, halfWidth float64, f int, minValidity float64) *Reliable {
+func NewReliable(clock sim.Clock, inputs []*Abstract, halfWidth float64, f int, minValidity float64) *Reliable {
 	return &Reliable{
-		kernel: kernel,
+		clock:  clock,
 		inputs: inputs,
 		half:   halfWidth,
 		filter: &TemporalFilter{Alpha: 0.5},
@@ -267,7 +267,7 @@ func (rs *Reliable) Suspected(name string) bool {
 // When Marzullo fusion finds no agreement interval the validity collapses
 // to the best single input discounted by disagreement.
 func (rs *Reliable) Read() Reading {
-	now := rs.kernel.Now()
+	now := rs.clock.Now()
 	rs.suspects = rs.suspects[:0]
 	readings := make([]Reading, 0, len(rs.inputs))
 	intervals := make([]Interval, 0, len(rs.inputs))

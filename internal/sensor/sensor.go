@@ -103,9 +103,9 @@ type Truth func(t sim.Time) float64
 // component "C" of the paper's Fig. 2; the detectors wrapped around it by
 // Abstract are the redundancy "F".
 type Physical struct {
-	name   string
-	kernel *sim.Kernel
-	truth  Truth
+	name  string
+	clock sim.Clock
+	truth Truth
 	// sigma is the nominal measurement noise (1-sigma).
 	sigma  float64
 	faults []Fault
@@ -116,15 +116,24 @@ type Physical struct {
 }
 
 // NewPhysical creates a physical sensor over ground truth with nominal
-// noise sigma.
+// noise sigma, drawing measurement noise from the kernel's rng.
 func NewPhysical(kernel *sim.Kernel, name string, truth Truth, sigma float64) *Physical {
 	return &Physical{
-		name:   name,
-		kernel: kernel,
-		truth:  truth,
-		sigma:  sigma,
-		rng:    kernel.Rand(),
+		name:  name,
+		clock: kernel,
+		truth: truth,
+		sigma: sigma,
+		rng:   kernel.Rand(),
 	}
+}
+
+// NewPhysicalDetached creates a physical sensor bound to an explicit clock
+// and random stream instead of a kernel. Sharded worlds use it: the clock
+// travels with the owning entity across shard handoffs, and the per-entity
+// stream (sim.NewStream) keeps the noise sequence independent of the
+// partition.
+func NewPhysicalDetached(clock sim.Clock, name string, truth Truth, sigma float64, rng *rand.Rand) *Physical {
+	return &Physical{name: name, clock: clock, truth: truth, sigma: sigma, rng: rng}
 }
 
 // Name returns the sensor's name.
@@ -145,7 +154,7 @@ func (p *Physical) ClearFaults() {
 // Sample acquires one raw reading at the current virtual instant. The raw
 // reading claims full validity — judging it is the detectors' job.
 func (p *Physical) Sample() Reading {
-	now := p.kernel.Now()
+	now := p.clock.Now()
 	t := now
 	value := p.truth(t) + p.rng.NormFloat64()*p.sigma
 

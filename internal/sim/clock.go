@@ -1,5 +1,39 @@
 package sim
 
+import "math/rand"
+
+// Clock supplies virtual time. *Kernel implements it; components that only
+// need Now() accept a Clock so they can run inside a sharded world, where
+// an entity's notion of "now" must travel with the entity across shard
+// handoffs instead of being pinned to the kernel that created it.
+type Clock interface {
+	Now() Time
+}
+
+// ManualClock is a Clock whose time is set explicitly by its owner. A
+// shard-safe entity (e.g. a car's KARYON stack) owns one and sets it at the
+// start of every event that touches the entity, so all of the entity's
+// components (sensors, state tables, safety manager) read a consistent
+// "now" no matter which shard kernel is currently executing the entity.
+type ManualClock struct {
+	t Time
+}
+
+// Now implements Clock.
+func (c *ManualClock) Now() Time { return c.t }
+
+// Set advances the clock to t (moves backward too; the owner is trusted).
+func (c *ManualClock) Set(t Time) { c.t = t }
+
+// NewStream returns a deterministic random source for one (entity, dim)
+// pair derived from the run seed via SplitSeed. Sharded models draw every
+// entity's randomness from such streams — never from a shard kernel's rng —
+// so the sequence an entity consumes is independent of which shard runs it
+// and of how other entities' events interleave.
+func NewStream(seed, entity, dim int64) *rand.Rand {
+	return rand.New(rand.NewSource(SplitSeed(seed, entity*64+dim)))
+}
+
 // DriftClock models an imperfect local oscillator: a node's view of time
 // advances at rate (1 + drift) relative to virtual time and may carry a
 // fixed offset. The paper's pulse-synchronization study (Sec. V-A2) targets

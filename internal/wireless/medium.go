@@ -108,9 +108,14 @@ type transmission struct {
 }
 
 // Medium is a shared broadcast radio channel set. Not safe for concurrent
-// use; the simulation is single-threaded per shard — a sharded world runs
-// one medium per spatial shard, each with its own shard-local radio
-// registry.
+// use; the simulation is single-threaded per kernel. It is the wire-level
+// substrate of the protocol studies (mac, inaccess, coord, pubsub): it
+// draws loss from the kernel's rng and decides collisions from the global
+// set of in-flight transmissions, both of which depend on event
+// interleaving — exactly what the partitioned worlds must not depend on.
+// The sharded worlds therefore model V2V as snapshot-ranged mailbox
+// delivery with per-entity loss streams instead of attaching radios here
+// (see internal/world).
 type Medium struct {
 	kernel *sim.Kernel
 	cfg    Config

@@ -2,11 +2,12 @@ package wireless
 
 import "sort"
 
-// registry is the shard-local set of radios attached to one Medium. Each
-// Medium owns exactly one registry — there is no process-global radio table
-// — so a sharded world runs one medium (and one registry) per spatial
-// shard, and the per-frame delivery loop touches only the radios that can
-// physically hear the frame's shard.
+// registry is the set of radios attached to one Medium. Each Medium owns
+// exactly one registry — there is no process-global radio table — so the
+// per-frame delivery loop touches only the radios of that medium's
+// kernel. (The partitioned worlds keep their own sorted position
+// snapshots per shard and do not attach radios at all; the same
+// sorted-slice idiom serves both.)
 //
 // Radios are kept in a slice sorted by id. The delivery hot path
 // (Medium.complete) iterates the slice directly: the previous map-backed

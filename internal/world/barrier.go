@@ -1,0 +1,88 @@
+package world
+
+import (
+	"context"
+	"sort"
+
+	"karyon/internal/sim"
+)
+
+// scheduled is one world-level action pinned to a barrier.
+type scheduled struct {
+	at  sim.Time
+	seq int
+	fn  func()
+}
+
+// barrierScheduler is the window-barrier plumbing shared by the
+// partitioned worlds: deferred world actions (campaign injections, jams),
+// observer hooks, and the stop latch. All of it executes single-threaded
+// at window edges, in deterministic (at, insertion) order.
+type barrierScheduler struct {
+	pending []scheduled
+	pendSeq int
+	hooks   []func(now sim.Time)
+	stopped bool
+}
+
+// Schedule runs fn at the first window barrier at or after at. The
+// callback executes single-threaded and may touch any entity or the world
+// — it is how campaigns inject faults, jams, and disturbances into a
+// running sharded world.
+func (b *barrierScheduler) Schedule(at sim.Time, fn func()) {
+	b.pendSeq++
+	b.pending = append(b.pending, scheduled{at: at, seq: b.pendSeq, fn: fn})
+}
+
+// OnWindow registers a hook that runs single-threaded at every window
+// barrier after the world's own accounting (campaign probes, observers).
+func (b *barrierScheduler) OnWindow(fn func(now sim.Time)) {
+	b.hooks = append(b.hooks, fn)
+}
+
+// Stop halts the world: no further windows are seeded.
+func (b *barrierScheduler) Stop() { b.stopped = true }
+
+// runPending executes scheduled actions due at this edge in (at,
+// insertion) order.
+func (b *barrierScheduler) runPending(edge sim.Time) {
+	if len(b.pending) == 0 {
+		return
+	}
+	var due []scheduled
+	rest := b.pending[:0]
+	for _, s := range b.pending {
+		if s.at <= edge {
+			due = append(due, s)
+		} else {
+			rest = append(rest, s)
+		}
+	}
+	b.pending = rest
+	sort.SliceStable(due, func(i, j int) bool {
+		if due[i].at != due[j].at {
+			return due[i].at < due[j].at
+		}
+		return due[i].seq < due[j].seq
+	})
+	for _, s := range due {
+		s.fn()
+	}
+}
+
+// runHooks fires the observer hooks for this edge.
+func (b *barrierScheduler) runHooks(edge sim.Time) {
+	for _, fn := range b.hooks {
+		fn(edge)
+	}
+}
+
+// runWindows advances the sharded kernel by d, rounded up to a whole
+// number of windows so barriers stay on the window grid.
+func runWindows(ctx context.Context, sk *sim.ShardedKernel, window sim.Time, d sim.Time) error {
+	until := sk.Now() + d
+	if rem := until % window; rem != 0 {
+		until += window - rem
+	}
+	return sk.Run(ctx, until)
+}

@@ -1,23 +1,31 @@
-// Package world assembles the automotive scenarios of paper Sec. VI-A:
-// a ring highway where every car runs the full KARYON stack — abstract
-// distance sensing with validity, V2V cooperative state, a per-vehicle
-// Safety Kernel choosing the Level of Service, the LoS-dependent ACC time
-// gap, and a Simplex actuation gate — and a signalized intersection whose
-// physical traffic light can fail and be replaced by the virtual traffic
-// light (use case VI-A2).
+// Package world assembles the automotive scenarios of paper Sec. VI-A on
+// one partitioned world engine: a ring highway where every car runs the
+// full KARYON stack — abstract distance sensing with validity, V2V
+// cooperative state, a per-vehicle Safety Kernel choosing the Level of
+// Service, the LoS-dependent ACC time gap, and a Simplex actuation gate —
+// and a signalized intersection whose physical traffic light can fail and
+// be replaced by the virtual traffic light (use case VI-A2).
+//
+// Both worlds run on sim.ShardedKernel under the snapshot/mailbox
+// discipline: in-window events read the immutable neighbor snapshot
+// published at the last window edge and mutate only their own entity;
+// cross-entity traffic flows through mailboxes drained at single-threaded
+// barriers; shared metrics accumulate at barriers in entity-id order; and
+// every entity draws randomness from its own sim.NewStream streams. Under
+// that discipline a run is a pure function of (seed, config) —
+// byte-identical for every shard count.
 package world
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"karyon/internal/coord"
 	"karyon/internal/core"
-	"karyon/internal/gear"
 	"karyon/internal/metrics"
-	"karyon/internal/sensor"
 	"karyon/internal/sim"
-	"karyon/internal/vehicle"
 	"karyon/internal/wireless"
 )
 
@@ -43,21 +51,27 @@ type HighwayConfig struct {
 	// Cars is the number of vehicles.
 	Cars int
 	// Lanes is the number of lanes (default 1). With more than one lane,
-	// vehicles overtake slow leaders through agreement-coordinated lane
-	// changes (use case VI-A3): the maneuver region is reserved via the
-	// coord protocol, so at most one vehicle changes lanes per road
-	// segment at a time.
+	// vehicles overtake slow leaders through coordinated lane changes (use
+	// case VI-A3): the maneuver region is reserved through the barrier
+	// arbiter, so at most one vehicle changes lanes per road segment at a
+	// time.
 	Lanes int
-	// ControlPeriod is the per-car control loop period.
+	// ControlPeriod is the per-car control loop period. It is also the
+	// sharded kernel's synchronization window.
 	ControlPeriod sim.Time
 	// V2VPeriod is the cooperative-state beacon period (0 disables V2V).
+	// Must be a multiple of ControlPeriod.
 	V2VPeriod sim.Time
+	// V2VRange is how far a beacon reaches, in meters. It bounds the shard
+	// count: each ring arc must be at least this long so a frame never
+	// skips over a whole shard.
+	V2VRange float64
 	// Mode and FixedLoS govern LoS selection.
 	Mode     LoSMode
 	FixedLoS core.LoS
 	// SensorSigma is the distance sensor's nominal noise (m).
 	SensorSigma float64
-	// Loss is the wireless frame loss probability.
+	// Loss is the independent per-receiver beacon loss probability.
 	Loss float64
 }
 
@@ -68,119 +82,91 @@ func DefaultHighwayConfig() HighwayConfig {
 		Cars:          30,
 		ControlPeriod: 100 * sim.Millisecond,
 		V2VPeriod:     100 * sim.Millisecond,
+		V2VRange:      250,
 		Mode:          ModeAdaptive,
 		FixedLoS:      core.LevelSafe,
 		SensorSigma:   0.3,
 	}
 }
 
-// Car is one vehicle with its full KARYON stack.
-type Car struct {
-	ID   wireless.NodeID
-	Body vehicle.Body
-
-	radio *wireless.Radio
-	// dist is the abstract *reliable* distance sensor: three redundant
-	// transducers fused (Marzullo, f=1). Component redundancy is what
-	// masks a permanent offset on one transducer — a fault no single
-	// abstract sensor can detect (Sec. IV-B).
-	dist    *sensor.Reliable
-	inputs  []*sensor.Abstract
-	table   *coord.StateTable
-	manager *core.Manager
-	fn      *core.Functionality
-	gate    *core.Gate
-	params  vehicle.ACCParams
-
-	// forcedBrakeUntil implements an external hazard (campaign
-	// disturbance): the driver/plant brakes hard until this instant.
-	forcedBrakeUntil sim.Time
-
-	// Lane-change machinery (multi-lane highways only).
-	agree       *coord.Agreement
-	maneuver    vehicle.Maneuver
-	heldRegion  coord.Resource
-	nextAttempt sim.Time
-	// LaneChanges counts completed maneuvers.
-	LaneChanges int64
-
-	// est tracks the lead vehicle through the physical channel (GEAR's
-	// actuation-perception loop): lead speed below LoS3, and a hidden-
-	// channel cross-check of V2V claims at LoS3.
-	est    *gear.LeadEstimator
-	hidden *gear.HiddenChannel
-
-	// EmergencyBrakes counts emergency interventions.
-	EmergencyBrakes int64
-	// DegradedTicks counts control cycles spent in the blind fallback.
-	DegradedTicks int64
-}
-
-// LoS returns the car's current level of service.
-func (c *Car) LoS() core.LoS { return c.fn.Current() }
-
-// DistanceSensor exposes the first redundant transducer — the campaign's
-// default injection point.
-func (c *Car) DistanceSensor() *sensor.Abstract { return c.inputs[0] }
-
-// SensorInputs exposes all redundant transducers (multi-fault campaigns).
-func (c *Car) SensorInputs() []*sensor.Abstract { return c.inputs }
-
-// FusedSensor exposes the reliable (fused) distance sensor.
-func (c *Car) FusedSensor() *sensor.Reliable { return c.dist }
-
-// ForceBrake makes the car brake hard for d (an external hazard, e.g. an
-// obstacle on the road — the campaign's disturbance event).
-func (c *Car) ForceBrake(now sim.Time, d sim.Time) {
-	c.forcedBrakeUntil = now + d
-}
-
-// SetCruiseSpeed changes the car's free-flow set speed (heterogeneous
-// traffic in experiments: a slow truck among cars).
-func (c *Car) SetCruiseSpeed(v float64) {
-	if v > 0 {
-		c.params.CruiseSpeed = v
+// MaxShards returns the widest partition the config supports: each arc
+// must be at least the V2V range so beacons only cross into adjacent
+// shards.
+func (cfg HighwayConfig) MaxShards() int {
+	if cfg.V2VPeriod <= 0 || cfg.V2VRange <= 0 {
+		return int(^uint(0) >> 1)
 	}
+	n := int(cfg.Length / cfg.V2VRange)
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
-// Manager exposes the car's safety kernel.
-func (c *Car) Manager() *core.Manager { return c.manager }
+// hwSnap is one car's published state at a window edge.
+type hwSnap struct {
+	id     int
+	x      float64
+	speed  float64
+	length float64
+	lane   int
+	// lane2 is the second occupied lane while a maneuver is in progress
+	// (-1 when none): a lane-changing car conservatively blocks both.
+	lane2 int
+	shard int
+}
 
-// Gate exposes the car's actuation gate.
-func (c *Car) Gate() *core.Gate { return c.gate }
+func (e *hwSnap) occupies(lane int) bool {
+	return e.lane == lane || e.lane2 == lane
+}
 
 // debugCollisions, when set by a test, prints the full geometry of every
 // collision — the fastest way to diagnose a lane-change safety hole.
 var debugCollisions = false
 
-// Highway is the ring-road world.
+// Highway is the ring-road world on the sharded kernel. One instance
+// serves every scale: an unsharded run is simply the partition at width 1,
+// so the execution path — and the output bytes — are identical for every
+// shard count.
 type Highway struct {
-	cfg    HighwayConfig
-	kernel *sim.Kernel
-	medium *wireless.Medium
-	cars   []*Car
+	cfg  HighwayConfig
+	sk   *sim.ShardedKernel
+	part RingPartition
+	cars []*Car // by id
+
+	byShard  [][]*Car
+	snap     []hwSnap // sorted by (x, id); replaced at barriers, never mutated
+	snapEdge sim.Time
+
+	res *coord.Reservations
+
+	barrierScheduler
+
+	// jamStart/jamUntil model V2V inaccessibility (the paper's jammed
+	// channel): beacons sent inside the burst are lost. Written only at
+	// barriers or while the world is stopped.
+	jamStart sim.Time
+	jamUntil sim.Time
 
 	// Collisions counts bumper overlaps (the safety metric — the paper's
 	// claim is that this stays zero with the kernel engaged).
 	Collisions int64
-	// TimeGaps collects observed time gaps (s) at every control step.
+	// TimeGaps collects observed time gaps (s) for every car at every
+	// window barrier.
 	TimeGaps metrics.Histogram
 	// speedSum/speedN accumulate mean-speed statistics.
 	speedSum float64
 	speedN   int64
 
-	tickers []*sim.Ticker
+	beaconsDelivered int64
+	beaconsLost      int64
 }
 
-// v2vBeacon is the broadcast cooperative state (adds acceleration to the
-// coord state for CACC feed-forward).
-type v2vBeacon struct {
-	State coord.CoopState
-	Accel float64
-}
-
-// NewHighway builds the world on the kernel.
-func NewHighway(kernel *sim.Kernel, cfg HighwayConfig) (*Highway, error) {
+// NewHighway builds the world over the sharded kernel. The kernel's window
+// must equal cfg.ControlPeriod — each car steps exactly once per window,
+// and the window is the conservative lookahead that justifies delivering
+// beacons at the closing edge.
+func NewHighway(sk *sim.ShardedKernel, cfg HighwayConfig) (*Highway, error) {
 	if cfg.Cars < 1 || cfg.Length <= 0 {
 		return nil, fmt.Errorf("world: invalid highway config %+v", cfg)
 	}
@@ -190,12 +176,30 @@ func NewHighway(kernel *sim.Kernel, cfg HighwayConfig) (*Highway, error) {
 	if cfg.Lanes < 1 {
 		cfg.Lanes = 1
 	}
-	mcfg := wireless.DefaultConfig()
-	mcfg.LossProb = cfg.Loss
-	h := &Highway{cfg: cfg, kernel: kernel, medium: wireless.NewMedium(kernel, mcfg)}
+	if cfg.V2VRange <= 0 {
+		cfg.V2VRange = 250
+	}
+	if cfg.V2VPeriod > 0 && cfg.V2VPeriod%cfg.ControlPeriod != 0 {
+		return nil, fmt.Errorf("world: V2V period %v must be a multiple of the control period %v",
+			cfg.V2VPeriod, cfg.ControlPeriod)
+	}
+	if sk.Window() != cfg.ControlPeriod {
+		return nil, fmt.Errorf("world: kernel window %v must equal the control period %v",
+			sk.Window(), cfg.ControlPeriod)
+	}
+	reach := 0.0
+	if cfg.V2VPeriod > 0 {
+		reach = cfg.V2VRange
+	}
+	part, err := NewRingPartition(cfg.Length, sk.Shards(), reach)
+	if err != nil {
+		return nil, err
+	}
+	h := &Highway{cfg: cfg, sk: sk, part: part, res: coord.NewReservations()}
+	h.byShard = make([][]*Car, sk.Shards())
 	spacing := cfg.Length / float64(cfg.Cars)
 	for i := 0; i < cfg.Cars; i++ {
-		car, err := h.newCar(wireless.NodeID(i), float64(i)*spacing)
+		car, err := newCar(sk.Seed(), i, float64(i)*spacing, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -204,11 +208,35 @@ func NewHighway(kernel *sim.Kernel, cfg HighwayConfig) (*Highway, error) {
 	return h, nil
 }
 
+// BuildHighway creates a sharded kernel with the config's window and the
+// world on top of it. The shard count is clamped to cfg.MaxShards() so a
+// small ring never fails on an over-wide partition — the output is
+// byte-identical for every width anyway.
+func BuildHighway(seed int64, shards int, cfg HighwayConfig) (*Highway, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	if max := cfg.MaxShards(); shards > max {
+		shards = max
+	}
+	if cfg.ControlPeriod <= 0 {
+		return nil, fmt.Errorf("world: control period must be positive")
+	}
+	sk, err := sim.NewShardedKernel(seed, shards, cfg.ControlPeriod)
+	if err != nil {
+		return nil, err
+	}
+	return NewHighway(sk, cfg)
+}
+
 // Cars returns the vehicles.
 func (h *Highway) Cars() []*Car { return h.cars }
 
-// Medium returns the wireless medium (for jam injection).
-func (h *Highway) Medium() *wireless.Medium { return h.medium }
+// Kernel returns the sharded kernel the world runs on.
+func (h *Highway) Kernel() *sim.ShardedKernel { return h.sk }
+
+// Now returns the last window edge every shard has reached.
+func (h *Highway) Now() sim.Time { return h.sk.Now() }
 
 // MeanSpeed returns the time-averaged fleet speed (m/s).
 func (h *Highway) MeanSpeed() float64 {
@@ -225,191 +253,296 @@ func (h *Highway) Flow() float64 {
 	return h.MeanSpeed() * density * 3600
 }
 
-func (h *Highway) newCar(id wireless.NodeID, x float64) (*Car, error) {
-	radio, err := h.medium.Attach(id, wireless.Position{X: x})
-	if err != nil {
-		return nil, err
+// BeaconStats returns (sent, delivered, lost) V2V beacon counts.
+func (h *Highway) BeaconStats() (sent, delivered, lost int64) {
+	for _, c := range h.cars {
+		sent += c.beaconsSent
 	}
-	c := &Car{
-		ID:     id,
-		Body:   vehicle.Body{X: x, Speed: 20, Length: 4.5},
-		radio:  radio,
-		params: vehicle.DefaultACCParams(),
-		est:    gear.NewLeadEstimator(),
-	}
-	c.hidden = gear.NewHiddenChannel(c.est, 1.5)
-	// Three redundant abstract distance sensors over the world's ground
-	// truth, fused into one reliable sensor (Sec. IV-B).
-	truth := func(sim.Time) float64 { return h.trueGap(c) }
-	for s := 0; s < 3; s++ {
-		phys := sensor.NewPhysical(h.kernel,
-			fmt.Sprintf("dist-%d-%d", id, s), truth, h.cfg.SensorSigma)
-		fm := sensor.NewFaultManagement(16,
-			sensor.RangeDetector{Min: -10, Max: h.cfg.Length},
-			sensor.FreshnessDetector{MaxAge: 3 * h.cfg.ControlPeriod},
-			sensor.StuckDetector{MinRepeats: 4},
-			sensor.NoiseDetector{Sigma: h.cfg.SensorSigma, Tolerance: 5, MinWindow: 8},
-		)
-		c.inputs = append(c.inputs, sensor.NewAbstract(h.kernel, phys, fm))
-	}
-	c.dist = sensor.NewReliable(h.kernel, c.inputs, 4*h.cfg.SensorSigma+1, 1, 0.3)
-
-	// Cooperative state table fed by V2V beacons; all other frames go to
-	// the maneuver-agreement protocol.
-	c.table = coord.NewStateTable(h.kernel, 500*sim.Millisecond)
-	c.agree = coord.NewAgreement(h.kernel, radio, coord.DefaultAgreementConfig(),
-		func() []wireless.NodeID {
-			return c.table.Scope(wireless.Position{X: c.Body.X}, 250)
-		})
-	radio.OnReceive(func(f wireless.Frame) {
-		if b, ok := f.Payload.(v2vBeacon); ok {
-			c.table.Update(b.State)
-			return
-		}
-		c.agree.OnFrame(f)
-	})
-
-	// Safety kernel: LoS ladder 1..3 with the paper's rule structure.
-	ri := core.NewRuntimeInfo(h.kernel)
-	mgr, err := core.NewManager(h.kernel, ri, core.ManagerConfig{
-		Period:           h.cfg.ControlPeriod / 2,
-		UpgradeStability: 5,
-	})
-	if err != nil {
-		return nil, err
-	}
-	fn, err := mgr.AddFunctionality("cruise", 3)
-	if err != nil {
-		return nil, err
-	}
-	if err := fn.AddRule(2, core.MinValidity("dist.validity", 0.7)); err != nil {
-		return nil, err
-	}
-	if err := fn.AddRule(3, core.FlagSet("v2v.lead")); err != nil {
-		return nil, err
-	}
-	if err := fn.AddRule(3, core.MaxAge("v2v.lead", 400*sim.Millisecond)); err != nil {
-		return nil, err
-	}
-	gate, err := core.NewGate(fn, map[core.LoS]core.Envelope{
-		1: core.NewEnvelope().Bound("accel", -6, 1.0),
-		2: core.NewEnvelope().Bound("accel", -6, 1.5),
-		3: core.NewEnvelope().Bound("accel", -6, 2.5),
-	})
-	if err != nil {
-		return nil, err
-	}
-	c.manager = mgr
-	c.fn = fn
-	c.gate = gate
-	if h.cfg.Mode == ModeAdaptive {
-		if err := mgr.Start(); err != nil {
-			return nil, err
-		}
-	}
-	return c, nil
+	return sent, h.beaconsDelivered, h.beaconsLost
 }
 
-// Start launches beacons and control loops.
-func (h *Highway) Start() error {
-	dt := h.cfg.ControlPeriod
-	for _, c := range h.cars {
-		c := c
-		// Control loop, staggered per car.
-		phase := sim.Time(h.kernel.Rand().Int63n(int64(dt)))
-		h.kernel.Schedule(phase, func() {
-			t, err := h.kernel.Every(dt, func() { h.controlStep(c) })
-			if err == nil {
-				h.tickers = append(h.tickers, t)
-			}
-		})
-		if h.cfg.V2VPeriod > 0 {
-			vphase := sim.Time(h.kernel.Rand().Int63n(int64(h.cfg.V2VPeriod)))
-			h.kernel.Schedule(vphase, func() {
-				t, err := h.kernel.Every(h.cfg.V2VPeriod, func() { h.beacon(c) })
-				if err == nil {
-					h.tickers = append(h.tickers, t)
-				}
-			})
-		}
+// JamV2V renders the V2V channel inaccessible for the next d units of
+// virtual time, extending any ongoing burst — the external interference
+// that produces the paper's network-inaccessibility periods. Call it at a
+// barrier (Schedule) or while the world is not running.
+func (h *Highway) JamV2V(d sim.Time) {
+	now := h.sk.Now()
+	if now >= h.jamUntil {
+		h.jamStart = now
 	}
+	if until := now + d; until > h.jamUntil {
+		h.jamUntil = until
+	}
+}
+
+func (h *Highway) jammed(t sim.Time) bool {
+	return t >= h.jamStart && t < h.jamUntil
+}
+
+// Start assigns cars to shards, publishes the first snapshot, seeds the
+// first window's control steps, and registers the window hook.
+func (h *Highway) Start() error {
+	h.assignShards()
+	h.publishSnapshot(0)
+	h.seedWindow(0)
+	h.sk.OnWindow(h.onWindow)
 	return nil
 }
 
-// Stop halts all periodic activity.
-func (h *Highway) Stop() {
-	for _, t := range h.tickers {
-		t.Stop()
+// Run advances the world by d units of virtual time (rounded up to a
+// whole number of windows so barriers stay on the window grid).
+func (h *Highway) Run(d sim.Time) error {
+	return h.RunContext(context.Background(), d)
+}
+
+// RunContext is Run with cancellation, checked at every window barrier.
+func (h *Highway) RunContext(ctx context.Context, d sim.Time) error {
+	return runWindows(ctx, h.sk, h.cfg.ControlPeriod, d)
+}
+
+// onWindow is the single-threaded barrier work at every window edge, in a
+// fixed order: scheduled world actions, snapshot + metrics accounting,
+// reservation arbitration, shard reassignment, observer hooks, and the
+// seeding of the next window.
+func (h *Highway) onWindow(edge sim.Time) {
+	h.runPending(edge)
+	h.assignShards()
+	h.publishSnapshot(edge)
+	if h.accountMetrics() {
+		// Collision resolution teleported a car: republish so ownership
+		// and the next window's snapshot reflect the resolved positions.
+		h.assignShards()
+		h.publishSnapshot(edge)
+	}
+	if h.arbitrate(edge) {
+		h.publishSnapshot(edge)
+	}
+	h.runHooks(edge)
+	if !h.stopped {
+		h.seedWindow(edge)
 	}
 }
 
-// occupies reports whether the car currently occupies the lane: its body
-// lane, plus the maneuver's target lane while a change is in progress
-// (conservatively, a lane-changing car blocks both lanes).
-func (c *Car) occupies(lane int) bool {
-	if c.Body.Lane == lane {
-		return true
+// assignShards rebuilds shard ownership from current positions. Iteration
+// is in car-id order so the rebuild is deterministic.
+func (h *Highway) assignShards() {
+	for i := range h.byShard {
+		h.byShard[i] = h.byShard[i][:0]
 	}
-	return c.maneuver.Active() && c.maneuver.TargetLane == lane
+	for _, c := range h.cars {
+		owner := h.part.ShardOf(c.Body.X)
+		c.shard = owner
+		h.byShard[owner] = append(h.byShard[owner], c)
+	}
 }
 
-// leader returns the car ahead of c in ring order among cars occupying
-// any lane c occupies.
-func (h *Highway) leader(c *Car) *Car {
-	var best *Car
-	bestGap := math.MaxFloat64
-	for _, o := range h.cars {
-		if o == c {
-			continue
+// publishSnapshot replaces the shared snapshot with the current car
+// states, sorted by (x, id). In-window events only ever read it.
+func (h *Highway) publishSnapshot(edge sim.Time) {
+	if cap(h.snap) < len(h.cars) {
+		h.snap = make([]hwSnap, len(h.cars))
+	}
+	snap := h.snap[:len(h.cars)]
+	for i, c := range h.cars {
+		lane2 := -1
+		if c.maneuver.Active() {
+			lane2 = c.maneuver.TargetLane
 		}
-		shared := false
-		for lane := 0; lane < h.cfg.Lanes; lane++ {
-			if c.occupies(lane) && o.occupies(lane) {
-				shared = true
-				break
+		snap[i] = hwSnap{
+			id: c.ID, x: c.Body.X, speed: c.Body.Speed, length: c.Body.Length,
+			lane: c.Body.Lane, lane2: lane2, shard: c.shard,
+		}
+	}
+	sort.Slice(snap, func(i, j int) bool {
+		if snap[i].x != snap[j].x {
+			return snap[i].x < snap[j].x
+		}
+		return snap[i].id < snap[j].id
+	})
+	h.snap = snap
+	h.snapEdge = edge
+}
+
+// accountMetrics folds per-car observations into the shared totals in
+// car-id order, and detects + resolves collisions against the fresh
+// snapshot. It reports whether any collision was resolved.
+func (h *Highway) accountMetrics() bool {
+	resolved := false
+	for _, c := range h.cars {
+		lead, gap := h.leaderAt(c)
+		if lead != nil && gap <= 0 {
+			if debugCollisions {
+				lc := h.cars[lead.id]
+				fmt.Printf("COLLISION t=%v car=%d lane=%d x=%.1f v=%.1f man=%v->%d | lead=%d lane=%d x=%.1f v=%.1f man=%v->%d\n",
+					h.sk.Now(), c.ID, c.Body.Lane, c.Body.X, c.Body.Speed, c.maneuver.Active(), c.maneuver.TargetLane,
+					lc.ID, lc.Body.Lane, lc.Body.X, lc.Body.Speed, lc.maneuver.Active(), lc.maneuver.TargetLane)
 			}
+			h.Collisions++
+			// Resolve the overlap so one event is counted once, not forever.
+			c.Body.X = math.Mod(lead.x-lead.length-0.5+h.cfg.Length, h.cfg.Length)
+			c.Body.Speed = lead.speed
+			resolved = true
+		} else if lead != nil && c.Body.Speed > 1 {
+			h.TimeGaps.Observe(gap / c.Body.Speed)
 		}
-		if !shared {
-			continue
-		}
-		gap := math.Mod(o.Body.X-c.Body.X+h.cfg.Length, h.cfg.Length)
-		if gap < bestGap {
-			bestGap = gap
-			best = o
-		}
+		h.speedSum += c.Body.Speed
+		h.speedN++
 	}
-	return best
+	return resolved
 }
 
-// trueGap is the ground-truth bumper-to-bumper gap to the leader.
-func (h *Highway) trueGap(c *Car) float64 {
-	lead := h.leader(c)
-	if lead == nil {
-		return h.cfg.Length
+// arbitrate processes the cars' reservation intents in id order: releases
+// first, then requests. The barrier is the agreement round — at most one
+// holder per region, decided deterministically — and a granted maneuver
+// begins here, against the fresh snapshot, so its dual-lane occupancy is
+// visible to every car from the very first step of the next window.
+// It reports whether any maneuver began (the snapshot must be republished).
+func (h *Highway) arbitrate(edge sim.Time) bool {
+	for _, c := range h.cars {
+		if c.releaseHeld {
+			if c.heldRegion != "" {
+				h.res.Release(c.heldRegion, int64(c.ID))
+				c.heldRegion = ""
+			}
+			c.releaseHeld = false
+		}
 	}
-	center := math.Mod(lead.Body.X-c.Body.X+h.cfg.Length, h.cfg.Length)
-	return center - lead.Body.Length
+	began := false
+	for _, c := range h.cars {
+		if c.wantRegion == "" {
+			continue
+		}
+		region := c.wantRegion
+		c.wantRegion = ""
+		if c.maneuver.Active() || c.heldRegion != "" {
+			continue
+		}
+		// Conditions may have changed since the request: re-validate
+		// against the barrier's fresh snapshot before committing.
+		if !h.laneClearFor(c, c.wantLane) {
+			continue
+		}
+		if !h.res.Acquire(region, int64(c.ID), edge, edge+5*sim.Second) {
+			continue
+		}
+		if err := c.maneuver.Begin(c.wantLane, 3); err != nil {
+			h.res.Release(region, int64(c.ID))
+			continue
+		}
+		c.heldRegion = region
+		// Mark the dual-lane occupancy in the snapshot immediately: a
+		// later grantee in this same barrier (different region, same
+		// target lane) must see this maneuver in its clearance check, not
+		// the pre-grant snapshot.
+		h.markManeuver(c)
+		began = true
+	}
+	return began
+}
+
+// markManeuver updates c's snapshot entry in place with its fresh
+// maneuver target lane. The entry keeps its (x, id) key, so the sort
+// order is untouched.
+func (h *Highway) markManeuver(c *Car) {
+	n := len(h.snap)
+	at := sort.Search(n, func(i int) bool {
+		if h.snap[i].x != c.Body.X {
+			return h.snap[i].x >= c.Body.X
+		}
+		return h.snap[i].id >= c.ID
+	})
+	if at < n && h.snap[at].id == c.ID && h.snap[at].x == c.Body.X {
+		h.snap[at].lane2 = c.maneuver.TargetLane
+	}
+}
+
+// seedWindow schedules every car's control step for the window opening at
+// edge, on the kernel of the shard that owns the car.
+func (h *Highway) seedWindow(edge sim.Time) {
+	for idx, list := range h.byShard {
+		shard := h.sk.Shard(idx)
+		k := shard.Kernel()
+		for _, c := range list {
+			c := c
+			k.At(edge+c.phase, func() { c.step(h, shard) })
+		}
+	}
+}
+
+// leaderFor returns the snapshot entry of the nearest car ahead of c that
+// shares a lane with it, and the bumper-to-bumper gap with the leader's
+// position extrapolated to now. The sorted snapshot turns the old O(n)
+// fleet scan into an O(log n) search plus a short walk.
+func (h *Highway) leaderFor(c *Car, now sim.Time) (*hwSnap, float64) {
+	dt := (now - h.snapEdge).Seconds()
+	return h.leaderScan(c, dt)
+}
+
+// leaderAt is leaderFor at the snapshot instant (no extrapolation) — the
+// barrier's collision accounting view.
+func (h *Highway) leaderAt(c *Car) (*hwSnap, float64) {
+	return h.leaderScan(c, 0)
+}
+
+func (h *Highway) leaderScan(c *Car, dt float64) (*hwSnap, float64) {
+	n := len(h.snap)
+	if n < 2 {
+		return nil, 0
+	}
+	x := c.Body.X
+	at := sort.Search(n, func(i int) bool { return h.snap[i].x > x })
+	for i := 0; i < n; i++ {
+		e := &h.snap[(at+i)%n]
+		if e.id == c.ID || !h.sharesLane(c, e) {
+			continue
+		}
+		lx := e.x + e.speed*dt
+		center := math.Mod(lx-x+2*h.cfg.Length, h.cfg.Length)
+		return e, center - e.length
+	}
+	return nil, 0
+}
+
+func (h *Highway) sharesLane(c *Car, e *hwSnap) bool {
+	for lane := 0; lane < h.cfg.Lanes; lane++ {
+		if c.occupies(lane) && e.occupies(lane) {
+			return true
+		}
+	}
+	return false
 }
 
 // laneClearFor reports whether the target lane has room for c: a safe gap
-// ahead and a safe gap to the first follower behind.
+// ahead and a safe gap to the first follower behind, judged against the
+// snapshot.
 func (h *Highway) laneClearFor(c *Car, lane int) bool {
+	n := len(h.snap)
+	if n < 2 {
+		return true
+	}
+	x := c.Body.X
 	aheadGap, behindGap := math.MaxFloat64, math.MaxFloat64
 	var aheadSpeed, behindSpeed float64
-	for _, o := range h.cars {
-		if o == c || !o.occupies(lane) {
+	at := sort.Search(n, func(i int) bool { return h.snap[i].x > x })
+	for i := 0; i < n; i++ {
+		e := &h.snap[(at+i)%n]
+		if e.id == c.ID || !e.occupies(lane) {
 			continue
 		}
-		fwd := math.Mod(o.Body.X-c.Body.X+h.cfg.Length, h.cfg.Length)
-		back := h.cfg.Length - fwd
-		if fwd-o.Body.Length < aheadGap {
-			aheadGap = fwd - o.Body.Length
-			aheadSpeed = o.Body.Speed
+		fwd := math.Mod(e.x-x+h.cfg.Length, h.cfg.Length)
+		aheadGap = fwd - e.length
+		aheadSpeed = e.speed
+		break
+	}
+	for i := 1; i <= n; i++ {
+		e := &h.snap[((at-i)%n+n)%n]
+		if e.id == c.ID || !e.occupies(lane) {
+			continue
 		}
-		if back-c.Body.Length < behindGap {
-			behindGap = back - c.Body.Length
-			behindSpeed = o.Body.Speed
-		}
+		back := math.Mod(x-e.x+h.cfg.Length, h.cfg.Length)
+		behindGap = back - c.Body.Length
+		behindSpeed = e.speed
+		break
 	}
 	// Ahead: the desired following gap plus a closing-speed margin (the
 	// maneuver takes ~3 s during which the gap shrinks by the speed
@@ -425,235 +558,109 @@ func (h *Highway) laneClearFor(c *Car, lane int) bool {
 	if aheadGap < aheadNeed {
 		return false
 	}
-	// Behind: the follower needs its own desired gap plus closing margin.
+	// Behind: the follower needs its own desired gap plus closing margin,
+	// with an absolute floor — a fast car must never cut in overlapping a
+	// slow follower just because the relative-speed term goes negative.
 	need := 10 + 1.2*behindSpeed + 2*(behindSpeed-c.Body.Speed)
+	if need < 12 {
+		need = 12
+	}
 	return behindGap >= need
 }
 
-// maybeLaneChange runs the overtaking decision: a slow leader ahead, a
-// clear target lane, the cooperation level to coordinate, and a granted
-// region reservation.
-func (h *Highway) maybeLaneChange(c *Car, view vehicle.LeadView, level core.LoS, now sim.Time) {
-	if c.maneuver.Active() || now < c.nextAttempt || level < 2 {
-		return
+// beaconDue reports whether c broadcasts in the window containing now.
+// Beacon windows are staggered by car id so the V2V load spreads evenly
+// when the beacon period spans several windows.
+func (h *Highway) beaconDue(c *Car, now sim.Time) bool {
+	if h.cfg.V2VPeriod <= 0 {
+		return false
 	}
-	if !view.Present || view.Gap > c.params.DesiredGap(c.Body.Speed)*1.5 {
-		return
+	k := int64(h.cfg.V2VPeriod / h.cfg.ControlPeriod)
+	if k <= 1 {
+		return true
 	}
-	if view.Speed > c.params.CruiseSpeed-3 {
-		return // leader nearly at cruise: not worth overtaking
-	}
-	target := c.Body.Lane + 1
-	if target >= h.cfg.Lanes {
-		target = c.Body.Lane - 1
-	}
-	if target < 0 || target == c.Body.Lane || !h.laneClearFor(c, target) {
-		c.nextAttempt = now + 2*sim.Second
-		return
-	}
-	c.nextAttempt = now + 4*sim.Second
-	segments := int(h.cfg.Length / 200)
-	if segments < 1 {
-		segments = 1
-	}
-	region := coord.Resource(fmt.Sprintf("lc@%d", int(c.Body.X/200)%segments))
-	c.agree.Request(region, func(o coord.Outcome) {
-		if o != coord.OutcomeGranted {
-			return
-		}
-		// Conditions may have changed during the agreement round.
-		if c.maneuver.Active() || !h.laneClearFor(c, target) {
-			c.agree.Release(region)
-			return
-		}
-		if err := c.maneuver.Begin(target, 3); err != nil {
-			c.agree.Release(region)
-			return
-		}
-		c.heldRegion = region
-	})
+	window := int64(now / h.cfg.ControlPeriod)
+	return (window+int64(c.ID))%k == 0
 }
 
-func (h *Highway) beacon(c *Car) {
-	// Per-beacon jitter: fixed ticker phases would make any two cars whose
-	// phases fall within one airtime collide on *every* period, starving
-	// their neighbors of V2V state forever.
-	jitter := sim.Time(h.kernel.Rand().Int63n(int64(10 * sim.Millisecond)))
-	h.kernel.Schedule(jitter, func() { h.sendBeacon(c) })
-}
-
-func (h *Highway) sendBeacon(c *Car) {
-	c.radio.Broadcast(v2vBeacon{
-		State: coord.CoopState{
-			ID:       c.ID,
-			Pos:      wireless.Position{X: c.Body.X},
-			Speed:    c.Body.Speed,
-			Lane:     c.Body.Lane,
-			Intent:   "cruise",
-			Time:     h.kernel.Now(),
-			Validity: 1,
-		},
-		Accel: c.Body.Accel,
-	})
-}
-
-// controlStep runs one full perceive-assess-decide-actuate cycle for c.
-func (h *Highway) controlStep(c *Car) {
-	dt := h.cfg.ControlPeriod.Seconds()
-	now := h.kernel.Now()
-
-	// 1. Perceive: validity-annotated distance reading.
-	reading := c.dist.Read()
-
-	// 2. Feed the Run-Time Safety Information.
-	ri := c.manager.Runtime()
-	ri.Set("dist.validity", reading.Validity)
-	lead := h.leader(c)
-	var leadState coord.CoopState
-	haveV2V := false
-	if lead != nil {
-		if s, ok := c.table.Get(lead.ID); ok && s.Validity >= 0.5 {
-			leadState = s
-			haveV2V = true
-		}
+// sendBeacon fans the car's cooperative state out to every snapshot
+// neighbor within V2V range through the mailboxes. Loss is decided at the
+// barrier from the receiver's own stream; a jammed channel loses the
+// frame outright.
+func (h *Highway) sendBeacon(shard *sim.Shard, c *Car, now sim.Time) {
+	state := coord.CoopState{
+		ID:       wireless.NodeID(c.ID),
+		Pos:      wireless.Position{X: c.Body.X},
+		Speed:    c.Body.Speed,
+		Lane:     c.Body.Lane,
+		Intent:   "cruise",
+		Time:     now,
+		Validity: 1,
 	}
-	if haveV2V {
-		ri.Set("v2v.lead", 1)
-	}
-	// In fixed/reckless modes the manager does not run; pin the level.
-	switch h.cfg.Mode {
-	case ModeFixed, ModeReckless:
-		h.pinLoS(c, h.cfg.FixedLoS)
-	case ModeAdaptive:
-		// Manager ticks on its own schedule.
-	}
-
-	// 3. Decide: LoS-dependent time gap.
-	level := c.fn.Current()
-	c.params.TimeGap = vehicle.TimeGapForLoS(level)
-
-	view := vehicle.NoLead()
-	usable := reading.Validity >= 0.3 || h.cfg.Mode == ModeReckless
-	if usable {
-		gap := reading.Value
-		// Track the lead through the physical channel (GEAR): the
-		// estimator supplies lead speed below LoS3 and the hidden-channel
-		// cross-check of V2V claims at LoS3.
-		c.est.Update(gear.Observation{
-			At:       now,
-			Gap:      gap,
-			OwnSpeed: c.Body.Speed,
-			Validity: reading.Validity,
+	accel := c.Body.Accel
+	edge := h.sk.NextEdge(now)
+	sentAt := now
+	from := c.ID
+	sent := false
+	h.eachInRange(c, func(e *hwSnap) {
+		to := h.cars[e.id]
+		sent = true
+		shard.Send(e.shard, edge, int64(from), func() {
+			// Barrier context: single-threaded, ordered by (edge, sender).
+			if h.jammed(sentAt) {
+				h.beaconsLost++
+				return
+			}
+			if h.cfg.Loss > 0 && to.rx.Float64() < h.cfg.Loss {
+				h.beaconsLost++
+				return
+			}
+			h.beaconsDelivered++
+			to.table.Update(state)
+			to.accelFrom[from] = accel
 		})
-		leadSpeed := c.Body.Speed
-		if s, ok := c.est.LeadSpeed(); ok {
-			leadSpeed = s
-		}
-		view = vehicle.LeadView{
-			Present:  true,
-			Gap:      gap,
-			Speed:    leadSpeed,
-			Accel:    math.NaN(),
-			Validity: reading.Validity,
-		}
-		if level >= 3 && haveV2V {
-			view.Speed = leadState.Speed
-			if b, ok := h.lastBeaconAccel(c, lead.ID); ok {
-				// The hidden channel assesses the claim: a remote claim
-				// physically inconsistent with the observed motion is not
-				// trusted for feed-forward.
-				if consistency, checked := c.hidden.AssessClaim(b); !checked || consistency >= 0.5 {
-					view.Accel = b
-				}
+	})
+	if sent {
+		c.beaconsSent++
+	}
+}
+
+// eachInRange visits the snapshot entries within ring distance V2VRange of
+// c (in either direction), excluding c itself.
+func (h *Highway) eachInRange(c *Car, fn func(*hwSnap)) {
+	n := len(h.snap)
+	if n < 2 {
+		return
+	}
+	x := c.Body.X
+	r := h.cfg.V2VRange
+	if 2*r >= h.cfg.Length {
+		for i := range h.snap {
+			if h.snap[i].id != c.ID {
+				fn(&h.snap[i])
 			}
 		}
-	} else {
-		// Perception outage: the estimator's state is stale.
-		c.est.Reset()
+		return
 	}
-
-	// 4. Actuate through the gate.
-	var cmd float64
-	switch {
-	case now < c.forcedBrakeUntil:
-		// External hazard: the plant brakes regardless of the controller.
-		cmd = -5
-	case !usable:
-		// Blind: no trustworthy perception at any level. Brake hard to a
-		// stop — a vehicle that cannot see must reach the unconditional
-		// safe state before whatever it cannot see reaches it.
-		c.DegradedTicks++
-		cmd = -c.params.MaxBrake
-	case vehicle.EmergencyBrakeNeeded(c.params, c.Body.Speed, view, 1.5):
-		c.EmergencyBrakes++
-		cmd = -c.params.MaxBrake
-	default:
-		cmd = vehicle.ACCAccel(c.params, c.Body.Speed, view)
-	}
-	if h.cfg.Mode != ModeReckless {
-		cmd, _ = c.gate.Filter("accel", cmd)
-	}
-	c.Body.Accel = cmd
-
-	// 5. Lane changes (multi-lane highways): decide, and advance any
-	// maneuver in progress.
-	if h.cfg.Lanes > 1 && h.cfg.Mode != ModeReckless && usable {
-		h.maybeLaneChange(c, view, level, now)
-	}
-	if c.maneuver.Active() {
-		if c.maneuver.Step(&c.Body, dt) {
-			c.LaneChanges++
-			c.agree.Release(c.heldRegion)
-			// The leader changed with the lane: stale estimator state
-			// would poison the first post-change samples.
-			c.est.Reset()
+	at := sort.Search(n, func(i int) bool { return h.snap[i].x > x })
+	for i := 0; i < n-1; i++ {
+		e := &h.snap[(at+i)%n]
+		if e.id == c.ID {
+			continue
 		}
-	}
-
-	// 6. Integrate plant, wrap ring, update radio, account metrics.
-	c.Body.Step(dt)
-	if c.Body.X >= h.cfg.Length {
-		c.Body.X -= h.cfg.Length
-	}
-	c.radio.SetPosition(wireless.Position{X: c.Body.X})
-
-	trueGap := h.trueGap(c)
-	if trueGap <= 0 {
-		if debugCollisions {
-			lead := h.leader(c)
-			fmt.Printf("COLLISION t=%v car=%d lane=%d x=%.1f v=%.1f man=%v->%d | lead=%d lane=%d x=%.1f v=%.1f man=%v->%d\n",
-				h.kernel.Now(), c.ID, c.Body.Lane, c.Body.X, c.Body.Speed, c.maneuver.Active(), c.maneuver.TargetLane,
-				lead.ID, lead.Body.Lane, lead.Body.X, lead.Body.Speed, lead.maneuver.Active(), lead.maneuver.TargetLane)
+		if math.Mod(e.x-x+h.cfg.Length, h.cfg.Length) > r {
+			break
 		}
-		h.Collisions++
-		// Resolve the overlap so one event is counted once, not forever.
-		if lead != nil {
-			c.Body.X = math.Mod(lead.Body.X-lead.Body.Length-0.5+h.cfg.Length, h.cfg.Length)
-			c.Body.Speed = lead.Body.Speed
-		}
-	} else if c.Body.Speed > 1 {
-		h.TimeGaps.Observe(trueGap / c.Body.Speed)
+		fn(e)
 	}
-	h.speedSum += c.Body.Speed
-	h.speedN++
-}
-
-// lastBeaconAccel digs the latest acceleration heard from the lead out of
-// the state table's beacon (stored alongside the state).
-func (h *Highway) lastBeaconAccel(c *Car, lead wireless.NodeID) (float64, bool) {
-	// The coord.StateTable stores CoopState only; acceleration rides in
-	// the live beacon. For simplicity the cooperative accel is taken from
-	// the leader's current plant — justified because the beacon period
-	// equals the control period, so the staleness is at most one cycle.
-	for _, o := range h.cars {
-		if o.ID == lead {
-			return o.Body.Accel, true
+	for i := 1; i <= n-1; i++ {
+		e := &h.snap[((at-i)%n+n)%n]
+		if e.id == c.ID {
+			continue
 		}
+		if math.Mod(x-e.x+h.cfg.Length, h.cfg.Length) > r {
+			break
+		}
+		fn(e)
 	}
-	return 0, false
-}
-
-// pinLoS forces the functionality to a fixed level (baseline modes).
-func (h *Highway) pinLoS(c *Car, level core.LoS) {
-	c.fn.Force(h.kernel.Now(), level)
 }

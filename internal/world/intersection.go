@@ -1,8 +1,10 @@
 package world
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"karyon/internal/coord"
 	"karyon/internal/metrics"
@@ -28,14 +30,6 @@ func (r Road) String() string {
 	return "EW"
 }
 
-// lightBeacon is the physical traffic light's periodic broadcast: the
-// paper's "I-am-alive messages" with the current phase and its remaining
-// duration attached (the remaining time is what lets vehicles refuse to
-// enter when they cannot clear before the phase flips).
-type lightBeacon struct {
-	State coord.LightState
-}
-
 // IntersectionConfig parameterizes the scenario.
 type IntersectionConfig struct {
 	// ApproachLength is how far from the stop line cars spawn.
@@ -51,7 +45,8 @@ type IntersectionConfig struct {
 	LightFailsAt sim.Time
 	// VirtualBackup engages the virtual-traffic-light fallback.
 	VirtualBackup bool
-	// ControlPeriod is the per-car control loop period.
+	// ControlPeriod is the per-car control loop period; it is also the
+	// sharded kernel's window and the light's I-am-alive beacon period.
 	ControlPeriod sim.Time
 	// AliveTimeout is the silence after which cars declare the physical
 	// light dead.
@@ -78,136 +73,225 @@ func DefaultIntersectionConfig() IntersectionConfig {
 	}
 }
 
+// Virtual-traffic-light timing: the leader-election stabilization the
+// timed virtual stationary automaton needs before its state may be
+// trusted, both at takeover and after an inaccessibility burst.
+const (
+	vLeaderTimeout = 400 * sim.Millisecond
+	vReestablish   = 400 * sim.Millisecond
+)
+
 // icar is one vehicle approaching the intersection. Position is measured
-// along its road: x grows toward the stop line at x=0; the conflict box is
-// (0, BoxLength]; past BoxLength the car has cleared.
+// along its road: x grows toward the stop line at x=0 + ApproachLength;
+// the conflict box is the BoxLength past the stop line; past that the car
+// has cleared. All mutable state follows the same shard discipline as the
+// highway's Car: own events or barrier only.
 type icar struct {
-	id    wireless.NodeID
-	road  Road
-	body  vehicle.Body
-	radio *wireless.Radio
-	vnode *coord.VNodeHost
-	// lightHeard is when an I-am-alive beacon was last received.
-	lightHeard sim.Time
-	lightState coord.LightState
-	haveLight  bool
-	spawned    sim.Time
+	id   int
+	road Road
+	body vehicle.Body
+	// spawnAt is when the car entered the approach (a window edge).
+	spawnAt sim.Time
+	phase   sim.Time
+	shard   int
 	// waited accumulates time at (near) standstill.
-	waited sim.Time
-	done   bool
-	ticker *sim.Ticker
+	waited    sim.Time
+	done      bool
+	accounted bool
 }
 
-// Intersection is the crossing-roads world.
+// iSnap is one car's published state at a window edge.
+type iSnap struct {
+	id     int
+	x      float64
+	speed  float64
+	length float64
+}
+
+// jamBurst is one V2V inaccessibility interval.
+type jamBurst struct {
+	start sim.Time
+	until sim.Time
+}
+
+// Intersection is the crossing-roads world on the sharded kernel: each
+// approach lives in a quadrant of world.QuadrantPartition, vehicles hand
+// off between quadrant shards as they cross, and — exactly as in the
+// highway — all cross-car state flows through barrier-published snapshots,
+// so the outcome is a pure function of (seed, config) at every shard
+// count.
+//
+// The physical traffic light and its virtual backup are modeled as timed
+// automata (the paper's timed virtual stationary automata [10, 11]): the
+// light's I-am-alive beacons exist on the window grid while the light is
+// alive and the channel is not jammed, and the virtual light's replicated
+// state is the deterministic machine state anchored at the takeover epoch
+// — which is exactly the state a correct leader-elected replica group
+// would serve, without simulating the election wire traffic.
 type Intersection struct {
-	cfg    IntersectionConfig
-	kernel *sim.Kernel
-	medium *wireless.Medium
+	cfg  IntersectionConfig
+	sk   *sim.ShardedKernel
+	part QuadrantPartition
 
 	cars   []*icar
-	nextID wireless.NodeID
+	nextID int
 
-	lightAlive bool
-	lightState coord.LightState
-	lightTick  *sim.Ticker
+	arrival     [2]randStream
+	nextArrival [2]sim.Time
+
+	snap     [2][]iSnap // per road, sorted by x
+	snapEdge sim.Time
+
+	jams []jamBurst
+
+	barrierScheduler
 
 	// Crossed counts vehicles that cleared the box, per road.
 	Crossed map[Road]int64
-	// Conflicts counts instants with vehicles from both roads inside the
-	// box — the safety metric that must stay zero.
+	// Conflicts counts window barriers with vehicles from both roads
+	// inside the box — the safety metric that must stay zero.
 	Conflicts int64
 	// WaitTimes collects per-vehicle waiting durations (s).
 	WaitTimes metrics.Histogram
-	// DeadTime accumulates time with neither physical nor virtual control
-	// observed by an approaching car.
-	tickers []*sim.Ticker
 }
 
-// NewIntersection builds the world.
-func NewIntersection(kernel *sim.Kernel, cfg IntersectionConfig) (*Intersection, error) {
+// randStream is the minimal surface the arrival process needs.
+type randStream interface {
+	ExpFloat64() float64
+}
+
+// NewIntersection builds the world over the sharded kernel. The kernel's
+// window must equal cfg.ControlPeriod.
+func NewIntersection(sk *sim.ShardedKernel, cfg IntersectionConfig) (*Intersection, error) {
 	if cfg.ApproachLength <= 0 || cfg.BoxLength <= 0 {
 		return nil, fmt.Errorf("world: invalid intersection geometry")
 	}
 	if cfg.MeanArrival <= 0 || cfg.ControlPeriod <= 0 || cfg.GreenFor <= 0 {
 		return nil, fmt.Errorf("world: invalid intersection timing")
 	}
+	if sk.Window() != cfg.ControlPeriod {
+		return nil, fmt.Errorf("world: kernel window %v must equal the control period %v",
+			sk.Window(), cfg.ControlPeriod)
+	}
 	w := &Intersection{
-		cfg:        cfg,
-		kernel:     kernel,
-		medium:     wireless.NewMedium(kernel, wireless.DefaultConfig()),
-		lightAlive: true,
-		lightState: coord.LightState{Phase: coord.PhaseNSGreen, Remaining: cfg.GreenFor},
-		Crossed:    map[Road]int64{},
-		nextID:     100,
+		cfg:     cfg,
+		sk:      sk,
+		Crossed: map[Road]int64{},
+		nextID:  100,
+	}
+	for i, road := range []Road{RoadNS, RoadEW} {
+		stream := sim.NewStream(sk.Seed(), int64(road), 7)
+		w.arrival[i] = stream
+		w.nextArrival[i] = sim.Time(stream.ExpFloat64() * float64(cfg.MeanArrival))
 	}
 	return w, nil
 }
 
-// Medium exposes the wireless medium.
-func (w *Intersection) Medium() *wireless.Medium { return w.medium }
+// BuildIntersection creates a sharded kernel with the config's window and
+// the world on top. The quadrant geometry yields four spatial shards;
+// wider kernels leave shards idle, so the count is clamped to 4.
+func BuildIntersection(seed int64, shards int, cfg IntersectionConfig) (*Intersection, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > 4 {
+		shards = 4
+	}
+	if cfg.ControlPeriod <= 0 {
+		return nil, fmt.Errorf("world: control period must be positive")
+	}
+	sk, err := sim.NewShardedKernel(seed, shards, cfg.ControlPeriod)
+	if err != nil {
+		return nil, err
+	}
+	return NewIntersection(sk, cfg)
+}
+
+// Kernel returns the sharded kernel the world runs on.
+func (w *Intersection) Kernel() *sim.ShardedKernel { return w.sk }
 
 // LightAlive reports whether the physical light is transmitting.
-func (w *Intersection) LightAlive() bool { return w.lightAlive }
+func (w *Intersection) LightAlive() bool {
+	return w.cfg.LightFailsAt == 0 || w.sk.Now() < w.cfg.LightFailsAt
+}
 
-// Start launches the light, arrivals, and the conflict monitor.
+// JamV2V renders the shared channel inaccessible for the next d units of
+// virtual time: light beacons are lost and the virtual light's replica
+// traffic goes silent. Call at a barrier (Schedule) or while stopped.
+func (w *Intersection) JamV2V(d sim.Time) {
+	now := w.sk.Now()
+	if n := len(w.jams); n > 0 && now < w.jams[n-1].until {
+		if now+d > w.jams[n-1].until {
+			w.jams[n-1].until = now + d
+		}
+		return
+	}
+	w.jams = append(w.jams, jamBurst{start: now, until: now + d})
+}
+
+func (w *Intersection) jammedAt(t sim.Time) bool {
+	for i := len(w.jams) - 1; i >= 0; i-- {
+		if t >= w.jams[i].start && t < w.jams[i].until {
+			return true
+		}
+		if t >= w.jams[i].until {
+			return false
+		}
+	}
+	return false
+}
+
+// Start registers the window hook and seeds the first window.
 func (w *Intersection) Start() error {
-	// Physical light: advance phase and broadcast I-am-alive + phase.
-	lightRadio, err := w.medium.Attach(1, wireless.Position{})
-	if err != nil {
-		return err
-	}
-	period := 100 * sim.Millisecond
-	lt, err := w.kernel.Every(period, func() {
-		machine := coord.TrafficLightMachine{GreenFor: w.cfg.GreenFor}
-		if st, ok := machine.Advance(w.lightState, period).(coord.LightState); ok {
-			w.lightState = st
-		}
-		if w.lightAlive {
-			lightRadio.Broadcast(lightBeacon{State: w.lightState})
-		}
-	})
-	if err != nil {
-		return err
-	}
-	w.lightTick = lt
-	w.tickers = append(w.tickers, lt)
-	if w.cfg.LightFailsAt > 0 {
-		w.kernel.At(w.cfg.LightFailsAt, func() { w.lightAlive = false })
-	}
-
-	// Arrivals on both roads.
-	for _, road := range []Road{RoadNS, RoadEW} {
-		road := road
-		w.scheduleArrival(road)
-	}
-
-	// Conflict monitor: sample the box every control period.
-	mt, err := w.kernel.Every(w.cfg.ControlPeriod, w.monitor)
-	if err != nil {
-		return err
-	}
-	w.tickers = append(w.tickers, mt)
+	w.sk.OnWindow(w.onWindow)
+	w.spawnDue(0)
+	w.publishSnapshot(0)
+	w.seedWindow(0)
 	return nil
 }
 
-// Stop halts all activity.
-func (w *Intersection) Stop() {
-	for _, t := range w.tickers {
-		t.Stop()
-	}
-	for _, c := range w.cars {
-		if c.vnode != nil {
-			c.vnode.Stop()
-		}
+// Run advances the world by d (rounded up to whole windows).
+func (w *Intersection) Run(d sim.Time) error {
+	return w.RunContext(context.Background(), d)
+}
+
+// RunContext is Run with cancellation, checked at every window barrier.
+func (w *Intersection) RunContext(ctx context.Context, d sim.Time) error {
+	return runWindows(ctx, w.sk, w.cfg.ControlPeriod, d)
+}
+
+func (w *Intersection) onWindow(edge sim.Time) {
+	w.runPending(edge)
+	w.spawnDue(edge)
+	w.publishSnapshot(edge)
+	w.account(edge)
+	w.runHooks(edge)
+	if !w.stopped {
+		w.seedWindow(edge)
 	}
 }
 
-func (w *Intersection) scheduleArrival(road Road) {
-	gap := sim.Time(w.kernel.Rand().ExpFloat64() * float64(w.cfg.MeanArrival))
-	w.kernel.Schedule(gap, func() {
-		w.spawn(road)
-		w.scheduleArrival(road)
-	})
+// spawnDue creates the arrivals due by edge, in road order — at most one
+// per road per window, so two spawns never stack on the same spot.
+// Arrival instants are drawn from per-road entity streams and quantized to
+// the window grid, so spawning is a barrier-only, shard-invariant act.
+func (w *Intersection) spawnDue(edge sim.Time) {
+	for i, road := range []Road{RoadNS, RoadEW} {
+		if w.nextArrival[i] <= edge {
+			id := w.nextID
+			w.nextID++
+			c := &icar{
+				id:      id,
+				road:    road,
+				body:    vehicle.Body{Speed: 15, Length: 4.5},
+				spawnAt: edge,
+				phase: 1 + sim.Time(uint64(sim.SplitSeed(w.sk.Seed(), int64(id)*64+4))%
+					uint64(w.cfg.ControlPeriod-1)),
+			}
+			w.cars = append(w.cars, c)
+			w.nextArrival[i] += sim.Time(w.arrival[i].ExpFloat64() * float64(w.cfg.MeanArrival))
+		}
+	}
 }
 
 // pos2D maps a car's road coordinate into the plane (stop line at origin).
@@ -219,95 +303,158 @@ func pos2D(road Road, x float64, approach float64) wireless.Position {
 	return wireless.Position{X: -d}
 }
 
-func (w *Intersection) spawn(road Road) {
-	id := w.nextID
-	w.nextID++
-	radio, err := w.medium.Attach(id, pos2D(road, 0, w.cfg.ApproachLength))
-	if err != nil {
-		return
+// publishSnapshot rebuilds the per-road snapshots and quadrant ownership.
+func (w *Intersection) publishSnapshot(edge sim.Time) {
+	for i := range w.snap {
+		w.snap[i] = w.snap[i][:0]
 	}
-	c := &icar{
-		id:      id,
-		road:    road,
-		body:    vehicle.Body{Speed: 15, Length: 4.5},
-		radio:   radio,
-		spawned: w.kernel.Now(),
-		// Assume alive until proven otherwise to avoid a spurious virtual
-		// takeover before the first beacon arrives.
-		lightHeard: w.kernel.Now(),
-	}
-	if w.cfg.VirtualBackup {
-		vn, err := coord.NewVNodeHost(w.kernel, radio,
-			coord.TrafficLightMachine{GreenFor: w.cfg.GreenFor},
-			coord.VNodeConfig{
-				Region:        wireless.Position{},
-				Radius:        w.cfg.ApproachLength + 50,
-				Period:        100 * sim.Millisecond,
-				LeaderTimeout: 400 * sim.Millisecond,
-			},
-			radio.Position)
-		if err == nil {
-			c.vnode = vn
+	for _, c := range w.cars {
+		if c.done {
+			continue
 		}
+		p := pos2D(c.road, c.body.X, w.cfg.ApproachLength)
+		q := w.part.ShardOf(p.X, p.Y)
+		c.shard = q % w.sk.Shards()
+		i := int(c.road - RoadNS)
+		w.snap[i] = append(w.snap[i], iSnap{id: c.id, x: c.body.X, speed: c.body.Speed, length: c.body.Length})
 	}
-	radio.OnReceive(func(f wireless.Frame) {
-		switch p := f.Payload.(type) {
-		case lightBeacon:
-			c.lightHeard = w.kernel.Now()
-			c.lightState = p.State
-			c.haveLight = true
-		default:
-			if c.vnode != nil {
-				c.vnode.OnFrame(f)
+	for i := range w.snap {
+		sort.Slice(w.snap[i], func(a, b int) bool {
+			if w.snap[i][a].x != w.snap[i][b].x {
+				return w.snap[i][a].x < w.snap[i][b].x
 			}
+			return w.snap[i][a].id < w.snap[i][b].id
+		})
+	}
+	w.snapEdge = edge
+}
+
+// account retires crossed cars and samples the conflict box, in id order.
+func (w *Intersection) account(edge sim.Time) {
+	inBox := map[Road]bool{}
+	stopLine := w.cfg.ApproachLength
+	for _, c := range w.cars {
+		if c.done && !c.accounted {
+			c.accounted = true
+			w.Crossed[c.road]++
+			w.WaitTimes.Observe(c.waited.Seconds())
 		}
-	})
-	if c.vnode != nil {
-		if err := c.vnode.Start(); err != nil {
-			c.vnode = nil
+		if c.done {
+			continue
+		}
+		front := c.body.X
+		rear := c.body.X - c.body.Length
+		if front > stopLine && rear < stopLine+w.cfg.BoxLength {
+			inBox[c.road] = true
 		}
 	}
-	w.cars = append(w.cars, c)
-	t, err := w.kernel.Every(w.cfg.ControlPeriod, func() { w.drive(c) })
-	if err == nil {
-		c.ticker = t
-		w.tickers = append(w.tickers, t)
+	if inBox[RoadNS] && inBox[RoadEW] {
+		w.Conflicts++
 	}
 }
 
-// authority returns c's current belief about the light state, advanced to
-// now, and whether any control authority exists.
-func (w *Intersection) authority(c *icar) (coord.LightState, bool) {
-	now := w.kernel.Now()
-	physicalFresh := now-c.lightHeard <= w.cfg.AliveTimeout && c.haveLight
+// seedWindow schedules every active car's drive step on its owning shard.
+func (w *Intersection) seedWindow(edge sim.Time) {
+	for _, c := range w.cars {
+		if c.done {
+			continue
+		}
+		c := c
+		shard := w.sk.Shard(c.shard)
+		shard.Kernel().At(edge+c.phase, func() { w.drive(c, shard) })
+	}
+}
+
+// lastLightRx returns the instant of the last I-am-alive beacon the car
+// received: beacons exist on the window grid while the light is alive and
+// the channel is not jammed, and the car must already have spawned.
+func (w *Intersection) lastLightRx(c *icar, now sim.Time) (sim.Time, bool) {
+	p := w.cfg.ControlPeriod
+	t := now / p * p
+	if w.cfg.LightFailsAt > 0 && t >= w.cfg.LightFailsAt {
+		t = (w.cfg.LightFailsAt - 1) / p * p
+	}
+	// Step out of any jam bursts (latest first; the list is short).
+	for i := len(w.jams) - 1; i >= 0; i-- {
+		if t >= w.jams[i].until {
+			break
+		}
+		if t >= w.jams[i].start {
+			t = (w.jams[i].start - 1) / p * p
+		}
+	}
+	if t < p || t < c.spawnAt {
+		return 0, false
+	}
+	return t, true
+}
+
+// lightStateAt returns the physical light's phase at t (the machine runs
+// autonomously from the world's start).
+func (w *Intersection) lightStateAt(t sim.Time) coord.LightState {
+	machine := coord.TrafficLightMachine{GreenFor: w.cfg.GreenFor}
+	st, _ := machine.Advance(coord.LightState{Phase: coord.PhaseNSGreen, Remaining: w.cfg.GreenFor}, t).(coord.LightState)
+	return st
+}
+
+// vEpoch is the instant the virtual traffic light's state becomes
+// trustworthy: the physical light died, every pre-failure car's guard has
+// drained, and the replica group has had a leader-election round.
+func (w *Intersection) vEpoch() (sim.Time, bool) {
+	if !w.cfg.VirtualBackup || w.cfg.LightFailsAt == 0 {
+		return 0, false
+	}
+	return w.cfg.LightFailsAt + w.cfg.AliveTimeout + w.cfg.HandoverGuard, true
+}
+
+// virtualLive reports whether the virtual light is serving state at now:
+// past the takeover epoch and not silenced by an inaccessibility burst
+// (during a jam the replicas stay consistent for one leader timeout, then
+// the automaton is unavailable until the channel returns and the election
+// re-stabilizes).
+func (w *Intersection) virtualLive(now sim.Time) bool {
+	epoch, ok := w.vEpoch()
+	if !ok || now < epoch {
+		return false
+	}
+	for i := len(w.jams) - 1; i >= 0; i-- {
+		j := w.jams[i]
+		if now >= j.start+vLeaderTimeout && now < j.until+vReestablish {
+			return false
+		}
+		if now >= j.until+vReestablish {
+			break
+		}
+	}
+	return true
+}
+
+// virtualStateAt returns the virtual light's replicated state at t.
+func (w *Intersection) virtualStateAt(t sim.Time) coord.LightState {
+	epoch, _ := w.vEpoch()
+	machine := coord.TrafficLightMachine{GreenFor: w.cfg.GreenFor}
+	st, _ := machine.Advance(machine.Init(), t-epoch).(coord.LightState)
+	return st
+}
+
+// authority returns c's current belief about the light state and whether
+// any control authority exists.
+func (w *Intersection) authority(c *icar, now sim.Time) (coord.LightState, bool) {
+	lastRx, have := w.lastLightRx(c, now)
+	physicalFresh := have && now-lastRx <= w.cfg.AliveTimeout
 	// Handover guard: a car that once obeyed the physical light holds an
 	// all-red belief until the guard expires, so its possibly stale green
 	// can never coexist with the virtual light's unsynchronized phase.
-	inGuard := c.haveLight && !physicalFresh &&
-		now-c.lightHeard <= w.cfg.AliveTimeout+w.cfg.HandoverGuard
+	inGuard := have && !physicalFresh && now-lastRx <= w.cfg.AliveTimeout+w.cfg.HandoverGuard
 	switch {
 	case physicalFresh:
-		// Advance the received state by its age.
-		machine := coord.TrafficLightMachine{GreenFor: w.cfg.GreenFor}
-		st, ok := machine.Advance(c.lightState, now-c.lightHeard).(coord.LightState)
-		if !ok {
-			return coord.LightState{}, false
-		}
-		return st, true
+		return w.lightStateAt(now), true
 	case inGuard:
 		return coord.LightState{}, false
-	case c.vnode != nil:
-		st, live := c.vnode.State()
-		if !live {
-			return coord.LightState{}, false
-		}
-		ls, ok := st.(coord.LightState)
-		if !ok {
-			return coord.LightState{}, false
-		}
-		return ls, true
+	case w.virtualLive(now):
+		return w.virtualStateAt(now), true
 	default:
-		// Light dead, no backup: fail safe — nobody enters. (Human
+		// Light dead, no (live) backup: fail safe — nobody enters. (Human
 		// drivers would negotiate; an autonomous system must not guess.)
 		return coord.LightState{}, false
 	}
@@ -316,8 +463,8 @@ func (w *Intersection) authority(c *icar) (coord.LightState, bool) {
 // mayEnter reports whether c may cross the stop line now: its road must be
 // green AND the remaining green must cover the time it needs to clear the
 // conflict box (the clearance rule a yellow phase implements in reality).
-func (w *Intersection) mayEnter(c *icar) bool {
-	st, ok := w.authority(c)
+func (w *Intersection) mayEnter(c *icar, now sim.Time) bool {
+	st, ok := w.authority(c, now)
 	if !ok {
 		return false
 	}
@@ -358,11 +505,13 @@ func timeToCover(v, dist float64) float64 {
 }
 
 // drive advances one car: approach, stop at the line on red, cross on
-// green, clear.
-func (w *Intersection) drive(c *icar) {
+// green, clear. It runs on the owning shard and touches only c plus the
+// immutable snapshot.
+func (w *Intersection) drive(c *icar, shard *sim.Shard) {
 	if c.done {
 		return
 	}
+	now := shard.Kernel().Now()
 	dt := w.cfg.ControlPeriod.Seconds()
 	stopLine := w.cfg.ApproachLength
 	pastLine := c.body.X - stopLine // >0 once inside the box
@@ -374,7 +523,7 @@ func (w *Intersection) drive(c *icar) {
 		if c.body.Speed > crossSpeed {
 			c.body.Accel = 0
 		}
-	case w.mayEnter(c) && w.gapAhead(c) > 8:
+	case w.mayEnter(c, now) && w.gapAhead(c, now) > 8:
 		c.body.Accel = crossAccel
 		if c.body.Speed > crossSpeed {
 			c.body.Accel = 0
@@ -383,7 +532,7 @@ func (w *Intersection) drive(c *icar) {
 		// Decelerate to stop exactly at the line (or behind the car
 		// ahead).
 		target := stopLine - 1
-		if g := w.gapAhead(c); g < target-c.body.X {
+		if g := w.gapAhead(c, now); g < target-c.body.X {
 			target = c.body.X + g - 2
 		}
 		remaining := target - c.body.X
@@ -403,55 +552,34 @@ func (w *Intersection) drive(c *icar) {
 		c.waited += w.cfg.ControlPeriod
 	}
 	c.body.Step(dt)
-	c.radio.SetPosition(pos2D(c.road, c.body.X, w.cfg.ApproachLength))
 
 	if c.body.X >= stopLine+w.cfg.BoxLength+c.body.Length {
-		c.done = true
-		w.Crossed[c.road]++
-		w.WaitTimes.Observe(c.waited.Seconds())
-		if c.vnode != nil {
-			c.vnode.Stop()
-		}
-		if c.ticker != nil {
-			c.ticker.Stop()
-		}
-		w.medium.Detach(c.id)
+		c.done = true // retired (and accounted) at the next barrier
 	}
 }
 
 // gapAhead returns the distance to the rear bumper of the nearest car
-// ahead on the same road (a large number when free).
-func (w *Intersection) gapAhead(c *icar) float64 {
-	best := math.MaxFloat64
-	for _, o := range w.cars {
-		if o == c || o.done || o.road != c.road {
+// ahead on the same road (a large number when free), from the snapshot
+// with positions extrapolated to now.
+func (w *Intersection) gapAhead(c *icar, now sim.Time) float64 {
+	snap := w.snap[int(c.road-RoadNS)]
+	n := len(snap)
+	if n == 0 {
+		return math.MaxFloat64
+	}
+	dt := (now - w.snapEdge).Seconds()
+	x := c.body.X
+	at := sort.Search(n, func(i int) bool { return snap[i].x > x })
+	for i := at; i < n; i++ {
+		e := &snap[i]
+		if e.id == c.id {
 			continue
 		}
-		d := o.body.X - o.body.Length - c.body.X
-		if d > 0 && d < best {
-			best = d
+		if d := (e.x + e.speed*dt) - e.length - x; d > 0 {
+			return d
 		}
 	}
-	return best
-}
-
-// monitor samples the conflict box.
-func (w *Intersection) monitor() {
-	inBox := map[Road]bool{}
-	stopLine := w.cfg.ApproachLength
-	for _, c := range w.cars {
-		if c.done {
-			continue
-		}
-		front := c.body.X
-		rear := c.body.X - c.body.Length
-		if front > stopLine && rear < stopLine+w.cfg.BoxLength {
-			inBox[c.road] = true
-		}
-	}
-	if inBox[RoadNS] && inBox[RoadEW] {
-		w.Conflicts++
-	}
+	return math.MaxFloat64
 }
 
 // ActiveCars returns how many cars are still approaching or crossing.

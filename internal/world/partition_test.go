@@ -1,0 +1,48 @@
+package world
+
+import "testing"
+
+func TestRingPartition(t *testing.T) {
+	p, err := NewRingPartition(1000, 4, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ArcLength() != 250 {
+		t.Fatalf("arc = %v", p.ArcLength())
+	}
+	for _, tc := range []struct {
+		x    float64
+		want int
+	}{{0, 0}, {249.9, 0}, {250, 1}, {999.9, 3}, {1000, 0}, {-1, 3}, {1250, 1}} {
+		if got := p.ShardOf(tc.x); got != tc.want {
+			t.Fatalf("ShardOf(%v) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+	if !p.Adjacent(0, 3) || !p.Adjacent(1, 2) || p.Adjacent(0, 2) {
+		t.Fatal("ring adjacency wrong")
+	}
+	if _, err := NewRingPartition(1000, 6, 200); err == nil {
+		t.Fatal("arc shorter than reach accepted")
+	}
+	if _, err := NewRingPartition(0, 1, 0); err == nil {
+		t.Fatal("zero length accepted")
+	}
+	if _, err := NewRingPartition(100, 0, 0); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+}
+
+func TestQuadrantPartition(t *testing.T) {
+	p := QuadrantPartition{}
+	for _, tc := range []struct {
+		x, y float64
+		want int
+	}{{1, 1, 0}, {-1, 1, 1}, {-1, -1, 2}, {1, -1, 3}, {0, 0, 0}} {
+		if got := p.ShardOf(tc.x, tc.y); got != tc.want {
+			t.Fatalf("ShardOf(%v,%v) = %d, want %d", tc.x, tc.y, got, tc.want)
+		}
+	}
+	if !p.Adjacent(0, 1) || !p.Adjacent(0, 3) || p.Adjacent(0, 2) || p.Adjacent(1, 3) {
+		t.Fatal("quadrant adjacency wrong")
+	}
+}
