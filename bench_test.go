@@ -453,6 +453,40 @@ func BenchmarkFullStackHighwaySharded(b *testing.B) {
 	}
 }
 
+// BenchmarkMegaHighwaySharded runs the ROADMAP-scale world — 10,000
+// full-stack cars on a 300 km ring — for one simulated second per
+// iteration at shard widths 1 and 8. At this scale the seed engine's
+// per-barrier global rebuild + O(n log n) sort dominated the hook
+// goroutine; the incremental engine refreshes and sorts each arc snapshot
+// on the shard goroutines and the barrier only hands off boundary
+// crossers and concatenates, so the serial barrier work tracks the
+// reported crossers/simsec (a few per barrier), not the car count.
+func BenchmarkMegaHighwaySharded(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := world.DefaultHighwayConfig()
+			cfg.Length = 300000
+			cfg.Cars = 10000
+			h, err := world.BuildHighway(1, shards, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := h.Start(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := h.Run(sim.Second); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(h.Kernel().Executed())/b.Elapsed().Seconds(), "events/s")
+			b.ReportMetric(float64(h.Crossers)/float64(b.N), "crossers/simsec")
+		})
+	}
+}
+
 // --- Ablation benches -------------------------------------------------
 
 // BenchmarkAblationKernelEventThroughput measures raw discrete-event

@@ -1,16 +1,17 @@
 // Command benchgate is the CI benchmark regression gate: it parses `go
 // test -bench` output, emits a machine-readable JSON snapshot, and fails
-// when any benchmark's ns/op regressed beyond the tolerance.
+// when any benchmark's ns/op — or, with -benchmem data present on both
+// sides, allocs/op — regressed beyond its tolerance.
 //
 // Usage (committed-baseline mode):
 //
-//	go test -run NONE -bench ... -count 3 . | go run ./cmd/benchgate \
-//	    -out BENCH_PR3.json -baseline BENCH_BASELINE.json -max-regress 0.20
+//	go test -run NONE -bench ... -count 3 -benchmem . | go run ./cmd/benchgate \
+//	    -out BENCH_PR4.json -baseline BENCH_BASELINE.json -max-regress 0.20
 //
 // Usage (merge-base mode):
 //
-//	go test -run NONE -bench ... -count 3 . | go run ./cmd/benchgate \
-//	    -out BENCH_PR3.json -merge-base origin/main -max-regress 0.20
+//	go test -run NONE -bench ... -count 3 -benchmem . | go run ./cmd/benchgate \
+//	    -out BENCH_PR4.json -merge-base origin/main -max-regress 0.20
 //
 // With -merge-base the gate checks out the merge base of HEAD and the
 // given ref into a throwaway git worktree, benches that build in the same
@@ -21,7 +22,8 @@
 // merge-base build does not compile the benchmark set.
 //
 // With -count > 1 the gate scores each benchmark by its fastest run —
-// the minimum is the measurement least polluted by scheduler noise. Pass
+// the minimum is the measurement least polluted by scheduler noise; the
+// same minimum rule applies to allocs/op and B/op independently. Pass
 // -update to rewrite the baseline from the current run instead of
 // comparing (do this when the benchmark set or the reference hardware
 // changes, and commit the result).
@@ -48,6 +50,12 @@ type Entry struct {
 	NsPerOp float64 `json:"ns_per_op"`
 	// Runs is how many times the benchmark appeared (the -count).
 	Runs int `json:"runs"`
+	// BytesPerOp/AllocsPerOp carry the -benchmem columns; MemRuns counts
+	// how many runs carried them (0 = the run had no -benchmem, and the
+	// allocation gate is skipped for this entry).
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	MemRuns     int     `json:"mem_runs,omitempty"`
 }
 
 // Snapshot is the gate's JSON artifact.
@@ -55,12 +63,15 @@ type Snapshot struct {
 	Benchmarks map[string]Entry `json:"benchmarks"`
 }
 
-// benchLine matches one `go test -bench` result line. The -N GOMAXPROCS
-// suffix is stripped so scores compare across machines with different
-// core counts.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+// benchLine matches one `go test -bench` result line, with optional
+// -benchmem columns (custom metrics like events/s may sit between ns/op
+// and the memory columns). The -N GOMAXPROCS suffix is stripped so scores
+// compare across machines with different core counts.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op(?:.*?\s([0-9.e+]+) B/op\s+([0-9.e+]+) allocs/op)?`)
 
-// parse reads bench output, keeping each benchmark's fastest run.
+// parse reads bench output, keeping each benchmark's fastest run — the
+// measurement least polluted by scheduler noise — with the same minimum
+// rule applied to the memory columns independently.
 func parse(r io.Reader) (*Snapshot, error) {
 	snap := &Snapshot{Benchmarks: map[string]Entry{}}
 	sc := bufio.NewScanner(r)
@@ -78,6 +89,23 @@ func parse(r io.Reader) (*Snapshot, error) {
 			e.NsPerOp = ns
 		}
 		e.Runs++
+		if m[3] != "" {
+			bytes, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: bad B/op in %q: %w", sc.Text(), err)
+			}
+			allocs, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: bad allocs/op in %q: %w", sc.Text(), err)
+			}
+			if e.MemRuns == 0 || bytes < e.BytesPerOp {
+				e.BytesPerOp = bytes
+			}
+			if e.MemRuns == 0 || allocs < e.AllocsPerOp {
+				e.AllocsPerOp = allocs
+			}
+			e.MemRuns++
+		}
 		snap.Benchmarks[m[1]] = e
 	}
 	if err := sc.Err(); err != nil {
@@ -92,8 +120,11 @@ func parse(r io.Reader) (*Snapshot, error) {
 // compare checks current against baseline and returns the human-readable
 // verdict lines plus whether the gate passes. Every baseline benchmark
 // must be present in the current run — a silently skipped benchmark would
-// otherwise read as "no regression".
-func compare(baseline, current *Snapshot, maxRegress float64) ([]string, bool) {
+// otherwise read as "no regression". When both sides carry -benchmem data
+// the allocation count is gated alongside the time: allocs/op is
+// near-deterministic, so it catches hot-path allocation creep long before
+// it shows up through timing noise.
+func compare(baseline, current *Snapshot, maxRegress, maxAllocsRegress float64) ([]string, bool) {
 	names := make([]string, 0, len(baseline.Benchmarks))
 	for name := range baseline.Benchmarks {
 		names = append(names, name)
@@ -117,6 +148,28 @@ func compare(baseline, current *Snapshot, maxRegress float64) ([]string, bool) {
 		}
 		lines = append(lines, fmt.Sprintf("%s %s: %.1f ns/op vs baseline %.1f (%+.1f%%, limit +%.0f%%)",
 			verdict, name, cur.NsPerOp, base.NsPerOp, delta*100, maxRegress*100))
+		if base.MemRuns == 0 || cur.MemRuns == 0 {
+			continue
+		}
+		verdict = "ok  "
+		switch {
+		case base.AllocsPerOp == 0:
+			// A zero-alloc benchmark must stay zero-alloc.
+			if cur.AllocsPerOp > 0 {
+				verdict = "FAIL"
+				ok = false
+			}
+			lines = append(lines, fmt.Sprintf("%s %s: %.0f allocs/op vs baseline 0 (zero-alloc must stay zero)",
+				verdict, name, cur.AllocsPerOp))
+		default:
+			adelta := cur.AllocsPerOp/base.AllocsPerOp - 1
+			if adelta > maxAllocsRegress {
+				verdict = "FAIL"
+				ok = false
+			}
+			lines = append(lines, fmt.Sprintf("%s %s: %.0f allocs/op vs baseline %.0f (%+.1f%%, limit +%.0f%%)",
+				verdict, name, cur.AllocsPerOp, base.AllocsPerOp, adelta*100, maxAllocsRegress*100))
+		}
 	}
 	return lines, ok
 }
@@ -154,7 +207,7 @@ func mergeBaseSnapshot(ref, pattern, benchtime string, count int, log io.Writer)
 	}
 	defer func() { _, _ = gitOut("worktree", "remove", "--force", dir) }()
 	fmt.Fprintf(log, "benchgate: benching merge base %s (%s vs HEAD)\n", sha[:12], ref)
-	args := []string{"test", "-run", "NONE", "-bench", pattern, "-count", strconv.Itoa(count)}
+	args := []string{"test", "-run", "NONE", "-bench", pattern, "-count", strconv.Itoa(count), "-benchmem"}
 	if benchtime != "" {
 		args = append(args, "-benchtime", benchtime)
 	}
@@ -180,9 +233,10 @@ func writeSnapshot(path string, snap *Snapshot) error {
 func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
 	inPath := fs.String("in", "-", "bench output to parse (- = stdin)")
-	outPath := fs.String("out", "BENCH_PR3.json", "where to write the JSON snapshot artifact")
+	outPath := fs.String("out", "BENCH_PR4.json", "where to write the JSON snapshot artifact")
 	basePath := fs.String("baseline", "BENCH_BASELINE.json", "committed baseline to gate against")
 	maxRegress := fs.Float64("max-regress", 0.20, "maximum tolerated ns/op regression (0.20 = +20%)")
+	maxAllocsRegress := fs.Float64("max-allocs-regress", 0.10, "maximum tolerated allocs/op regression when both sides carry -benchmem data (0.10 = +10%)")
 	update := fs.Bool("update", false, "rewrite the baseline from this run instead of comparing")
 	mergeBase := fs.String("merge-base", "", "bench the merge base of HEAD and this ref in a throwaway worktree and gate against it (same-run relative comparison) instead of the committed baseline")
 	benchPattern := fs.String("bench", ".", "benchmark pattern for the merge-base run (with -merge-base)")
@@ -240,12 +294,12 @@ func run(args []string, in io.Reader, out io.Writer) error {
 			return fmt.Errorf("benchgate: corrupt baseline %s: %w", *basePath, err)
 		}
 	}
-	lines, ok := compare(&baseline, snap, *maxRegress)
+	lines, ok := compare(&baseline, snap, *maxRegress, *maxAllocsRegress)
 	for _, l := range lines {
 		fmt.Fprintln(out, l)
 	}
 	if !ok {
-		return fmt.Errorf("benchgate: benchmark regression beyond %.0f%% — if the benchmark set or reference hardware changed rather than the code, refresh the baseline with -update and commit it", *maxRegress*100)
+		return fmt.Errorf("benchgate: benchmark regression beyond tolerance — if the benchmark set or reference hardware changed rather than the code, refresh the baseline with -update and commit it")
 	}
 	return nil
 }

@@ -14,8 +14,9 @@ pkg: karyon
 cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkAblationKernelEventThroughput-8   	54604502	        21.49 ns/op	       0 B/op	       0 allocs/op
 BenchmarkAblationKernelEventThroughput-8   	50000000	        23.10 ns/op	       0 B/op	       0 allocs/op
-BenchmarkShardedHighwayThroughput/shards=1 	       3	 374469094 ns/op	   1281815 events/s
-BenchmarkShardedHighwayThroughput/shards=4 	       3	 289477995 ns/op	   1658157 events/s
+BenchmarkShardedHighwayThroughput/shards=1 	       3	 374469094 ns/op	   1281815 events/s	52942604 B/op	  390131 allocs/op
+BenchmarkShardedHighwayThroughput/shards=4 	       3	 289477995 ns/op	   1658157 events/s	51830412 B/op	  390163 allocs/op
+BenchmarkShardedHighwayThroughput/shards=4 	       3	 291034102 ns/op	   1649211 events/s	51830001 B/op	  390150 allocs/op
 PASS
 ok  	karyon	5.798s
 `
@@ -32,9 +33,21 @@ func TestParseKeepsFastestRun(t *testing.T) {
 	if kernel.NsPerOp != 21.49 || kernel.Runs != 2 {
 		t.Fatalf("kernel entry = %+v, want fastest of two runs", kernel)
 	}
+	if kernel.MemRuns != 2 || kernel.AllocsPerOp != 0 || kernel.BytesPerOp != 0 {
+		t.Fatalf("kernel memory columns = %+v, want zero-alloc with 2 mem runs", kernel)
+	}
 	sharded := snap.Benchmarks["BenchmarkShardedHighwayThroughput/shards=4"]
 	if sharded.NsPerOp != 289477995 {
 		t.Fatalf("sharded entry = %+v", sharded)
+	}
+	// Memory columns parse past custom metrics (events/s), each scored by
+	// its own minimum across runs.
+	if sharded.MemRuns != 2 || sharded.AllocsPerOp != 390150 || sharded.BytesPerOp != 51830001 {
+		t.Fatalf("sharded memory columns = %+v", sharded)
+	}
+	// A line without -benchmem columns leaves the mem fields unset.
+	if one := snap.Benchmarks["BenchmarkShardedHighwayThroughput/shards=1"]; one.MemRuns != 1 {
+		t.Fatalf("shards=1 entry = %+v", one)
 	}
 }
 
@@ -52,12 +65,12 @@ func TestCompareGate(t *testing.T) {
 	cur := &Snapshot{Benchmarks: map[string]Entry{
 		"A": {NsPerOp: 110}, "B": {NsPerOp: 900},
 	}}
-	if lines, ok := compare(base, cur, 0.20); !ok {
+	if lines, ok := compare(base, cur, 0.20, 0.10); !ok {
 		t.Fatalf("within-tolerance run failed: %v", lines)
 	}
 	// Beyond tolerance: fails and names the offender.
 	cur.Benchmarks["B"] = Entry{NsPerOp: 1300}
-	lines, ok := compare(base, cur, 0.20)
+	lines, ok := compare(base, cur, 0.20, 0.10)
 	if ok {
 		t.Fatalf("+30%% regression passed: %v", lines)
 	}
@@ -67,8 +80,44 @@ func TestCompareGate(t *testing.T) {
 	}
 	// A baseline benchmark missing from the current run must fail too.
 	delete(cur.Benchmarks, "A")
-	if _, ok := compare(base, cur, 10); ok {
+	if _, ok := compare(base, cur, 10, 10); ok {
 		t.Fatal("missing benchmark passed the gate")
+	}
+}
+
+func TestCompareGatesAllocs(t *testing.T) {
+	base := &Snapshot{Benchmarks: map[string]Entry{
+		"A": {NsPerOp: 100, AllocsPerOp: 1000, MemRuns: 2},
+		"Z": {NsPerOp: 100, MemRuns: 2}, // zero-alloc baseline
+	}}
+	// Fast but allocation-heavy: the time gate alone would pass, the
+	// allocation gate must not.
+	cur := &Snapshot{Benchmarks: map[string]Entry{
+		"A": {NsPerOp: 90, AllocsPerOp: 1500, MemRuns: 2},
+		"Z": {NsPerOp: 90, MemRuns: 2},
+	}}
+	lines, ok := compare(base, cur, 0.20, 0.10)
+	if ok {
+		t.Fatalf("+50%% allocs regression passed: %v", lines)
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "allocs/op") {
+		t.Fatalf("allocation verdict missing:\n%s", strings.Join(lines, "\n"))
+	}
+	// Within tolerance: passes.
+	cur.Benchmarks["A"] = Entry{NsPerOp: 90, AllocsPerOp: 1050, MemRuns: 2}
+	if lines, ok := compare(base, cur, 0.20, 0.10); !ok {
+		t.Fatalf("within-tolerance allocs failed: %v", lines)
+	}
+	// A zero-alloc benchmark must stay zero-alloc.
+	cur.Benchmarks["Z"] = Entry{NsPerOp: 90, AllocsPerOp: 1, MemRuns: 2}
+	if lines, ok := compare(base, cur, 0.20, 0.10); ok {
+		t.Fatalf("zero-alloc regression passed: %v", lines)
+	}
+	// Without -benchmem data on one side the allocation gate is skipped.
+	cur.Benchmarks["Z"] = Entry{NsPerOp: 90}
+	cur.Benchmarks["A"] = Entry{NsPerOp: 90}
+	if lines, ok := compare(base, cur, 0.20, 0.10); !ok {
+		t.Fatalf("mem-less run should skip the allocation gate: %v", lines)
 	}
 }
 

@@ -48,6 +48,7 @@ func run(args []string, out io.Writer) error {
 	cars := fs.Int("cars", 0, "highway/megahighway: number of cars (0 = scenario default)")
 	length := fs.Float64("length", 0, "megahighway: ring circumference in meters (0 = default)")
 	loss := fs.Float64("loss", 0.05, "megahighway: per-beacon loss probability")
+	v2vRange := fs.Float64("v2v-range", 0, "megahighway: beacon reach in meters (0 = default 300); bounds the widest -shards partition")
 	mode := fs.String("mode", "adaptive", "highway: adaptive|fixed1|fixed2|fixed3|reckless")
 	faultRate := fs.Float64("fault-rate", 0, "highway: randomized fault-campaign events per simulated minute (0 = none)")
 	jamEvery := fs.Duration("jam-every", 0, "highway: period between V2V jam bursts (0 = none)")
@@ -75,7 +76,7 @@ func run(args []string, out io.Writer) error {
 			SensorFaultRate: *faultRate, JamEvery: *jamEvery, JamBurst: *jamBurst,
 		}
 	case "megahighway":
-		sc = harness.MegaHighwayScenario{Duration: *duration, Cars: *cars, Length: *length, Loss: *loss}
+		sc = harness.MegaHighwayScenario{Duration: *duration, Cars: *cars, Length: *length, Loss: *loss, V2VRange: *v2vRange}
 	case "intersection":
 		sc = harness.IntersectionScenario{Duration: *duration, FailAt: *failAt, VirtualBackup: !*noBackup}
 	case "encounter":

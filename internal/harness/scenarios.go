@@ -131,6 +131,10 @@ type MegaHighwayScenario struct {
 	// config default" (the CLI flag supplies the 5% default, and a
 	// lossless run must remain expressible).
 	Loss float64
+	// V2VRange is the beacon reach in meters (0 = default 300). It bounds
+	// the widest partition: each ring arc must be at least this long, so a
+	// 300 km ring at 250 m reach admits 1200 shards.
+	V2VRange float64
 }
 
 // Name implements Scenario.
@@ -152,6 +156,9 @@ func (s MegaHighwayScenario) RunSharded(ctx context.Context, seed int64, shards 
 	}
 	if s.Length > 0 {
 		cfg.Length = s.Length
+	}
+	if s.V2VRange > 0 {
+		cfg.V2VRange = s.V2VRange
 	}
 	cfg.Loss = s.Loss
 	h, err := world.BuildHighway(seed, shards, cfg)

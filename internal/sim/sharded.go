@@ -86,11 +86,16 @@ func (s *Shard) Send(dst int, at Time, sender int64, fn func()) {
 // every shard count — the window edges, drain order, and hook order are all
 // independent of the partition.
 type ShardedKernel struct {
-	seed   int64
-	window Time
-	now    Time
-	shards []*Shard
-	hooks  []func(edge Time)
+	seed       int64
+	window     Time
+	now        Time
+	shards     []*Shard
+	hooks      []func(edge Time)
+	shardHooks []func(shard int, edge Time)
+
+	// drainBuf is the merged-outbox scratch reused across barriers so the
+	// drain stops allocating once it reaches its high-water mark.
+	drainBuf []message
 
 	// barrierExec counts mailbox messages executed at barriers (they bypass
 	// the shard kernels, so Executed must add them back in).
@@ -162,6 +167,22 @@ func (sk *ShardedKernel) OnWindow(fn func(edge Time)) {
 	sk.hooks = append(sk.hooks, fn)
 }
 
+// OnShardWindow registers a pre-barrier per-shard phase hook: it runs on
+// every shard's own goroutine once that shard's event queue has drained to
+// the window edge, before the single-threaded barrier (mailbox drain and
+// OnWindow hooks). This is where a model does work that is parallel per
+// partition but must complete before the barrier — e.g. refreshing and
+// re-sorting a shard-local snapshot — so the barrier itself only pays for
+// reconciliation, not for world-sized rebuilds.
+//
+// Discipline: the hook for shard i runs concurrently with other shards'
+// event execution and hooks, so it must touch only state owned by shard i
+// (plus immutable shared state). It must not Send, schedule events, or
+// read other shards' entities.
+func (sk *ShardedKernel) OnShardWindow(fn func(shard int, edge Time)) {
+	sk.shardHooks = append(sk.shardHooks, fn)
+}
+
 // NextEdge returns the first window edge strictly after t... except when t
 // is itself an edge, which is returned unchanged: an event running exactly
 // at an edge belongs to the window that edge closes, so its mailbox
@@ -229,6 +250,9 @@ func (sk *ShardedKernel) runWindow(edge Time) error {
 				}
 			}()
 			s.kernel.Run(edge)
+			for _, fn := range sk.shardHooks {
+				fn(s.idx, edge)
+			}
 		}()
 	}
 	wg.Wait()
@@ -265,11 +289,12 @@ func runHook(hook func(Time), edge Time) (err error) {
 // outbox. Messages due now execute at the barrier; future ones are
 // scheduled onto their destination shard's kernel.
 func (sk *ShardedKernel) drain(edge Time) (err error) {
-	var pending []message
+	pending := sk.drainBuf[:0]
 	for _, s := range sk.shards {
 		pending = append(pending, s.outbox...)
 		s.outbox = s.outbox[:0]
 	}
+	sk.drainBuf = pending[:0]
 	if len(pending) == 0 {
 		return nil
 	}
@@ -294,6 +319,11 @@ func (sk *ShardedKernel) drain(edge Time) (err error) {
 			continue
 		}
 		sk.shards[m.dst].kernel.At(m.at, m.fn)
+	}
+	// Drop the closure references so the reused scratch does not pin a
+	// window's worth of captures until the next barrier.
+	for i := range pending {
+		pending[i].fn = nil
 	}
 	return nil
 }

@@ -268,3 +268,68 @@ func TestShardedKernelCancellation(t *testing.T) {
 		t.Fatal("cancelled kernel re-ran")
 	}
 }
+
+// OnShardWindow hooks run on every shard for every window, after the
+// shard's events have reached the edge and strictly before the barrier's
+// mailbox drain and OnWindow hooks.
+func TestOnShardWindowRunsPerShardBeforeBarrier(t *testing.T) {
+	const shards = 3
+	sk, err := NewShardedKernel(1, shards, 10*Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each shard appends to its own slot (shard-owned state, no locks);
+	// the barrier hook checks every shard reached this edge.
+	edges := make([][]Time, shards)
+	stepped := make([]Time, shards)
+	for i := 0; i < shards; i++ {
+		i := i
+		sk.Shard(i).Kernel().At(5*Millisecond, func() { stepped[i] = 5 * Millisecond })
+	}
+	sk.OnShardWindow(func(shard int, edge Time) {
+		if sk.Shard(shard).Kernel().Now() != edge {
+			t.Errorf("shard %d hook at kernel time %v, want %v", shard, sk.Shard(shard).Kernel().Now(), edge)
+		}
+		edges[shard] = append(edges[shard], edge)
+	})
+	sk.OnWindow(func(edge Time) {
+		for s := 0; s < shards; s++ {
+			if n := len(edges[s]); n == 0 || edges[s][n-1] != edge {
+				t.Errorf("barrier at %v before shard %d's phase hook", edge, s)
+			}
+		}
+	})
+	if err := sk.Run(context.Background(), 30*Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < shards; s++ {
+		if len(edges[s]) != 3 {
+			t.Fatalf("shard %d ran %d phase hooks, want 3", s, len(edges[s]))
+		}
+		if stepped[s] != 5*Millisecond {
+			t.Fatalf("shard %d event did not run before its phase hook", s)
+		}
+		for w, e := range edges[s] {
+			if want := Time(w+1) * 10 * Millisecond; e != want {
+				t.Fatalf("shard %d window %d edge %v, want %v", s, w, e, want)
+			}
+		}
+	}
+}
+
+// A panicking per-shard phase hook surfaces as that shard's window error.
+func TestOnShardWindowPanicSurfaces(t *testing.T) {
+	sk, err := NewShardedKernel(1, 2, 10*Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk.OnShardWindow(func(shard int, _ Time) {
+		if shard == 1 {
+			panic("phase boom")
+		}
+	})
+	err = sk.Run(context.Background(), 30*Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "shard 1") {
+		t.Fatalf("err = %v", err)
+	}
+}

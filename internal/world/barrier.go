@@ -20,6 +20,9 @@ type scheduled struct {
 // at window edges, in deterministic (at, insertion) order.
 type barrierScheduler struct {
 	pending []scheduled
+	// due is the runPending scratch, reused across barriers so draining
+	// scheduled actions stops allocating once it hits its high-water mark.
+	due     []scheduled
 	pendSeq int
 	hooks   []func(now sim.Time)
 	stopped bool
@@ -44,30 +47,45 @@ func (b *barrierScheduler) OnWindow(fn func(now sim.Time)) {
 func (b *barrierScheduler) Stop() { b.stopped = true }
 
 // runPending executes scheduled actions due at this edge in (at,
-// insertion) order.
+// insertion) order. The due list is partitioned into a reused scratch
+// buffer, and the stable sort is skipped when the due actions already
+// arrive in (at, seq) order — the common case, since schedulers mostly
+// append monotonically increasing instants.
 func (b *barrierScheduler) runPending(edge sim.Time) {
 	if len(b.pending) == 0 {
 		return
 	}
-	var due []scheduled
+	due := b.due[:0]
 	rest := b.pending[:0]
+	ordered := true
 	for _, s := range b.pending {
 		if s.at <= edge {
+			if n := len(due); n > 0 && (due[n-1].at > s.at ||
+				(due[n-1].at == s.at && due[n-1].seq > s.seq)) {
+				ordered = false
+			}
 			due = append(due, s)
 		} else {
 			rest = append(rest, s)
 		}
 	}
 	b.pending = rest
-	sort.SliceStable(due, func(i, j int) bool {
-		if due[i].at != due[j].at {
-			return due[i].at < due[j].at
-		}
-		return due[i].seq < due[j].seq
-	})
+	if !ordered {
+		sort.SliceStable(due, func(i, j int) bool {
+			if due[i].at != due[j].at {
+				return due[i].at < due[j].at
+			}
+			return due[i].seq < due[j].seq
+		})
+	}
 	for _, s := range due {
 		s.fn()
 	}
+	// Drop the closure references before parking the scratch.
+	for i := range due {
+		due[i] = scheduled{}
+	}
+	b.due = due[:0]
 }
 
 // runHooks fires the observer hooks for this edge.

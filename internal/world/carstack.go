@@ -77,9 +77,11 @@ type Car struct {
 	nextAttempt sim.Time
 
 	// shard is the owning partition; phase offsets the control step inside
-	// a window.
-	shard int
-	phase sim.Time
+	// a window. stepFn is the car's cached control-step closure: it reads
+	// shard at execution time, so re-seeding windows never allocates.
+	shard  int
+	phase  sim.Time
+	stepFn func()
 
 	// LaneChanges counts completed maneuvers.
 	LaneChanges int64

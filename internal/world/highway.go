@@ -124,6 +124,14 @@ func (e *hwSnap) occupies(lane int) bool {
 // collision — the fastest way to diagnose a lane-change safety hole.
 var debugCollisions = false
 
+// debugSnapshotSync, when set by a test, asserts at every barrier that the
+// stitched snapshot still matches the cars' kinematic state — i.e. that no
+// scheduled action violated the incremental snapshot's contract (snapshots
+// are captured by the per-shard phase BEFORE runPending, so barrier
+// actions must not mutate position/speed/lane/maneuver). Violations panic
+// loudly instead of silently desyncing the next window.
+var debugSnapshotSync = false
+
 // Highway is the ring-road world on the sharded kernel. One instance
 // serves every scale: an unsharded run is simply the partition at width 1,
 // so the execution path — and the output bytes — are identical for every
@@ -137,6 +145,23 @@ type Highway struct {
 	byShard  [][]*Car
 	snap     []hwSnap // sorted by (x, id); replaced at barriers, never mutated
 	snapEdge sim.Time
+
+	// Incremental snapshot machinery (the barrier-cost tentpole). Each
+	// shard keeps its own sorted arc snapshot, refreshed on the shard
+	// goroutines in the pre-barrier phase (shardPhase); the barrier only
+	// hands boundary-crossing entries between arcs (mergeSnapshot) and
+	// stitches the arcs into the global ring view by concatenation — arcs
+	// are contiguous in x, so no comparison sort ever runs on the hook
+	// goroutine in the steady state.
+	arcs     [][]hwSnap // per shard, sorted by (x, id); shard-phase-owned
+	outgoing [][]hwSnap // per shard: entries that left the arc this window
+
+	// Linear collision-sweep scratch (accountMetrics): per-lane
+	// next-occupant indices, equal-x group ends, and per-car results.
+	nextOcc   [][]int32
+	groupEnd  []int32
+	sweepLead []int32
+	sweepGap  []float64
 
 	res *coord.Reservations
 
@@ -160,6 +185,12 @@ type Highway struct {
 
 	beaconsDelivered int64
 	beaconsLost      int64
+
+	// Crossers counts barrier handoffs of cars between arc snapshots —
+	// the "edges" the incremental barrier pays for. Together with
+	// cfg.Cars it shows the serial barrier work scaling with boundary
+	// traffic, not with world size.
+	Crossers int64
 }
 
 // NewHighway builds the world over the sharded kernel. The kernel's window
@@ -197,12 +228,17 @@ func NewHighway(sk *sim.ShardedKernel, cfg HighwayConfig) (*Highway, error) {
 	}
 	h := &Highway{cfg: cfg, sk: sk, part: part, res: coord.NewReservations()}
 	h.byShard = make([][]*Car, sk.Shards())
+	h.arcs = make([][]hwSnap, sk.Shards())
+	h.outgoing = make([][]hwSnap, sk.Shards())
 	spacing := cfg.Length / float64(cfg.Cars)
 	for i := 0; i < cfg.Cars; i++ {
 		car, err := newCar(sk.Seed(), i, float64(i)*spacing, cfg)
 		if err != nil {
 			return nil, err
 		}
+		// One step closure per car for its whole lifetime: seeding a
+		// window is then allocation-free (the kernels recycle events).
+		car.stepFn = func() { car.step(h, h.sk.Shard(car.shard)) }
 		h.cars = append(h.cars, car)
 	}
 	return h, nil
@@ -280,11 +316,13 @@ func (h *Highway) jammed(t sim.Time) bool {
 }
 
 // Start assigns cars to shards, publishes the first snapshot, seeds the
-// first window's control steps, and registers the window hook.
+// first window's control steps, and registers the per-shard phase and
+// window hooks.
 func (h *Highway) Start() error {
 	h.assignShards()
 	h.publishSnapshot(0)
 	h.seedWindow(0)
+	h.sk.OnShardWindow(h.shardPhase)
 	h.sk.OnWindow(h.onWindow)
 	return nil
 }
@@ -301,22 +339,31 @@ func (h *Highway) RunContext(ctx context.Context, d sim.Time) error {
 }
 
 // onWindow is the single-threaded barrier work at every window edge, in a
-// fixed order: scheduled world actions, snapshot + metrics accounting,
-// reservation arbitration, shard reassignment, observer hooks, and the
-// seeding of the next window.
+// fixed order: scheduled world actions, snapshot reconciliation (the
+// per-shard phase already refreshed and sorted the arc snapshots in
+// parallel), metrics accounting, reservation arbitration, observer hooks,
+// and the seeding of the next window.
+//
+// Scheduled actions (Schedule callbacks, campaign injections) must not
+// mutate car kinematics (position, speed, lane, maneuver) — those were
+// snapshotted by the per-shard phase just before this barrier. Actions
+// that influence the plant (ForceBrake, sensor faults, jams) set flags the
+// next window's control steps read, which is the same contract the
+// campaign engine has always followed.
 func (h *Highway) onWindow(edge sim.Time) {
 	h.runPending(edge)
-	h.assignShards()
-	h.publishSnapshot(edge)
+	h.mergeSnapshot(edge)
+	if debugSnapshotSync {
+		h.assertSnapshotSync(edge)
+	}
 	if h.accountMetrics() {
-		// Collision resolution teleported a car: republish so ownership
-		// and the next window's snapshot reflect the resolved positions.
+		// Collision resolution teleported a car: rebuild ownership, the
+		// snapshot, and the arcs from scratch so the next window sees the
+		// resolved positions (rare — zero in nominal runs).
 		h.assignShards()
 		h.publishSnapshot(edge)
 	}
-	if h.arbitrate(edge) {
-		h.publishSnapshot(edge)
-	}
+	h.arbitrate(edge)
 	h.runHooks(edge)
 	if !h.stopped {
 		h.seedWindow(edge)
@@ -324,7 +371,9 @@ func (h *Highway) onWindow(edge sim.Time) {
 }
 
 // assignShards rebuilds shard ownership from current positions. Iteration
-// is in car-id order so the rebuild is deterministic.
+// is in car-id order so the rebuild is deterministic. This is the
+// full-rebuild path (startup and collision resolution); steady-state
+// barriers maintain ownership incrementally in mergeSnapshot.
 func (h *Highway) assignShards() {
 	for i := range h.byShard {
 		h.byShard[i] = h.byShard[i][:0]
@@ -337,7 +386,9 @@ func (h *Highway) assignShards() {
 }
 
 // publishSnapshot replaces the shared snapshot with the current car
-// states, sorted by (x, id). In-window events only ever read it.
+// states, sorted by (x, id), and re-partitions it into the per-shard arc
+// snapshots. In-window events only ever read the published snapshot. This
+// is the full-rebuild path; steady-state barriers use mergeSnapshot.
 func (h *Highway) publishSnapshot(edge sim.Time) {
 	if cap(h.snap) < len(h.cars) {
 		h.snap = make([]hwSnap, len(h.cars))
@@ -361,15 +412,188 @@ func (h *Highway) publishSnapshot(edge sim.Time) {
 	})
 	h.snap = snap
 	h.snapEdge = edge
+	for i := range h.arcs {
+		h.arcs[i] = h.arcs[i][:0]
+		h.outgoing[i] = h.outgoing[i][:0]
+	}
+	for _, e := range h.snap {
+		h.arcs[e.shard] = append(h.arcs[e.shard], e)
+	}
+}
+
+// snapLess is the snapshot order: ascending (x, id). The key is unique
+// (ids are distinct), so any sorting algorithm yields the same sequence.
+func snapLess(a, b hwSnap) bool {
+	if a.x != b.x {
+		return a.x < b.x
+	}
+	return a.id < b.id
+}
+
+// insertionSortSnaps restores (x, id) order — O(n + inversions), linear on
+// the near-sorted per-window refresh where cars move a few meters and
+// almost never reorder.
+func insertionSortSnaps(s []hwSnap) {
+	for i := 1; i < len(s); i++ {
+		e := s[i]
+		j := i - 1
+		for j >= 0 && snapLess(e, s[j]) {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = e
+	}
+}
+
+// shardPhase is the pre-barrier per-shard snapshot refresh. It runs on the
+// shard's own goroutine after the window's final control step: it rewrites
+// the arc's entries from the shard's cars, restores (x, id) order with a
+// near-sorted insertion pass, and sets aside the entries whose position
+// now belongs to another arc (boundary crossers, including the ring wrap
+// at x=0, which always sorts to the front of the last shard's arc). It
+// touches only shard-owned state — the published global snapshot stays
+// immutable until the barrier.
+func (h *Highway) shardPhase(shard int, edge sim.Time) {
+	arc := h.arcs[shard]
+	sorted := true
+	for i := range arc {
+		c := h.cars[arc[i].id]
+		lane2 := -1
+		if c.maneuver.Active() {
+			lane2 = c.maneuver.TargetLane
+		}
+		arc[i] = hwSnap{
+			id: c.ID, x: c.Body.X, speed: c.Body.Speed, length: c.Body.Length,
+			lane: c.Body.Lane, lane2: lane2, shard: shard,
+		}
+		if i > 0 && snapLess(arc[i], arc[i-1]) {
+			sorted = false
+		}
+	}
+	if !sorted {
+		insertionSortSnaps(arc)
+	}
+	// After the sort, crossers sit at the arc's ends: a prefix that
+	// dropped below the arc (the ring wrap) and a suffix that moved past
+	// the upper boundary. Ownership is decided by the same ShardOf the
+	// full rebuild uses, so boundary-sitting floats classify identically.
+	out := h.outgoing[shard][:0]
+	lo, hi := 0, len(arc)
+	for lo < hi {
+		dst := h.part.ShardOf(arc[lo].x)
+		if dst == shard {
+			break
+		}
+		e := arc[lo]
+		e.shard = dst
+		out = append(out, e)
+		lo++
+	}
+	for hi > lo {
+		dst := h.part.ShardOf(arc[hi-1].x)
+		if dst == shard {
+			break
+		}
+		e := arc[hi-1]
+		e.shard = dst
+		out = append(out, e)
+		hi--
+	}
+	h.outgoing[shard] = out
+	h.arcs[shard] = arc[lo:hi]
+}
+
+// mergeSnapshot is the barrier's snapshot reconciliation: hand each
+// boundary crosser to its new arc (and move its car between the id-ordered
+// ownership lists), then stitch the per-shard arcs into the global ring
+// view. Arcs cover contiguous, ascending x ranges, so the stitch is a
+// straight concatenation — the serial comparison work is O(crossers), not
+// O(n log n), and no snapshot entry is constructed on the hook goroutine.
+func (h *Highway) mergeSnapshot(edge sim.Time) {
+	for src := range h.outgoing {
+		for _, e := range h.outgoing[src] {
+			h.insertArcEntry(e)
+			h.moveOwner(h.cars[e.id], src, e.shard)
+			h.Crossers++
+		}
+		h.outgoing[src] = h.outgoing[src][:0]
+	}
+	if cap(h.snap) < len(h.cars) {
+		h.snap = make([]hwSnap, 0, len(h.cars))
+	}
+	out := h.snap[:0]
+	for _, arc := range h.arcs {
+		out = append(out, arc...)
+	}
+	h.snap = out
+	h.snapEdge = edge
+}
+
+// assertSnapshotSync panics if any stitched entry diverged from its car —
+// the loud failure mode for a Schedule action that mutated kinematics in
+// violation of the onWindow contract (see debugSnapshotSync).
+func (h *Highway) assertSnapshotSync(edge sim.Time) {
+	if len(h.snap) != len(h.cars) {
+		panic(fmt.Sprintf("world: snapshot holds %d entries for %d cars at %v",
+			len(h.snap), len(h.cars), edge))
+	}
+	for i := range h.snap {
+		e := &h.snap[i]
+		c := h.cars[e.id]
+		if e.x != c.Body.X || e.speed != c.Body.Speed || e.lane != c.Body.Lane {
+			panic(fmt.Sprintf(
+				"world: snapshot desync at %v: car %d snap(x=%v v=%v lane=%d) body(x=%v v=%v lane=%d) — a barrier action mutated kinematics",
+				edge, c.ID, e.x, e.speed, e.lane, c.Body.X, c.Body.Speed, c.Body.Lane))
+		}
+	}
+}
+
+// insertArcEntry inserts e into its destination arc at its (x, id) slot.
+// Crossers land within a window's travel of the boundary, so the shift is
+// a handful of entries.
+func (h *Highway) insertArcEntry(e hwSnap) {
+	arc := h.arcs[e.shard]
+	at := sort.Search(len(arc), func(i int) bool { return snapLess(e, arc[i]) })
+	arc = append(arc, hwSnap{})
+	copy(arc[at+1:], arc[at:])
+	arc[at] = e
+	h.arcs[e.shard] = arc
+}
+
+// moveOwner moves c between the id-ordered per-shard ownership lists and
+// records its new shard — the incremental replacement for a full
+// assignShards pass.
+func (h *Highway) moveOwner(c *Car, src, dst int) {
+	list := h.byShard[src]
+	at := sort.Search(len(list), func(i int) bool { return list[i].ID >= c.ID })
+	copy(list[at:], list[at+1:])
+	list[len(list)-1] = nil
+	h.byShard[src] = list[:len(list)-1]
+	list = h.byShard[dst]
+	at = sort.Search(len(list), func(i int) bool { return list[i].ID >= c.ID })
+	list = append(list, nil)
+	copy(list[at+1:], list[at:])
+	list[at] = c
+	h.byShard[dst] = list
+	c.shard = dst
 }
 
 // accountMetrics folds per-car observations into the shared totals in
 // car-id order, and detects + resolves collisions against the fresh
-// snapshot. It reports whether any collision was resolved.
+// snapshot. Every car's leader comes from one linear sweep per lane over
+// the already-sorted snapshot (sweepLeaders) instead of a per-car binary
+// search — O(lanes·n) with memcpy-class constants. It reports whether any
+// collision was resolved.
 func (h *Highway) accountMetrics() bool {
+	h.sweepLeaders()
 	resolved := false
 	for _, c := range h.cars {
-		lead, gap := h.leaderAt(c)
+		var lead *hwSnap
+		var gap float64
+		if li := h.sweepLead[c.ID]; li >= 0 {
+			lead = &h.snap[li]
+			gap = h.sweepGap[c.ID]
+		}
 		if lead != nil && gap <= 0 {
 			if debugCollisions {
 				lc := h.cars[lead.id]
@@ -391,13 +615,105 @@ func (h *Highway) accountMetrics() bool {
 	return resolved
 }
 
+// sweepLeaders computes every car's snapshot leader — the first entry in
+// ring order past its equal-x group that shares a lane with it, exactly
+// the seed's leaderAt — plus the bumper-to-bumper gap, in linear passes:
+// a per-lane backward sweep builds "next occupant of lane L at or after
+// index i" tables, and one forward pass resolves each entry against them.
+func (h *Highway) sweepLeaders() {
+	n := len(h.snap)
+	if len(h.sweepLead) < len(h.cars) {
+		h.sweepLead = make([]int32, len(h.cars))
+		h.sweepGap = make([]float64, len(h.cars))
+	}
+	if n < 2 {
+		for i := range h.sweepLead {
+			h.sweepLead[i] = -1
+		}
+		return
+	}
+	lanes := h.cfg.Lanes
+	for len(h.nextOcc) < lanes {
+		h.nextOcc = append(h.nextOcc, nil)
+	}
+	for l := 0; l < lanes; l++ {
+		next := h.nextOcc[l]
+		if cap(next) < n {
+			next = make([]int32, n)
+		}
+		next = next[:n]
+		last := int32(-1)
+		for d := 2*n - 1; d >= 0; d-- {
+			j := d % n
+			if h.snap[j].occupies(l) {
+				last = int32(j)
+			}
+			if d < n {
+				next[d] = last
+			}
+		}
+		h.nextOcc[l] = next
+	}
+	// groupEnd[i] is one past the last index of i's equal-x run — where
+	// the seed's sort.Search(x > snap[i].x) scan started.
+	ge := h.groupEnd
+	if cap(ge) < n {
+		ge = make([]int32, n)
+	}
+	ge = ge[:n]
+	for i := n - 1; i >= 0; i-- {
+		if i == n-1 || h.snap[i].x != h.snap[i+1].x {
+			ge[i] = int32(i + 1)
+		} else {
+			ge[i] = ge[i+1]
+		}
+	}
+	h.groupEnd = ge
+	for i := 0; i < n; i++ {
+		e := &h.snap[i]
+		at := int(ge[i]) % n
+		best := int32(-1)
+		bestSteps := n
+		for l := 0; l < lanes; l++ {
+			if !e.occupies(l) {
+				continue
+			}
+			cand := h.nextOcc[l][at]
+			if cand < 0 {
+				continue
+			}
+			if int(cand) == i {
+				// The only occupant in [at, i) is the car itself: the next
+				// one strictly after it is the candidate (it sits later in
+				// the seed's circular scan order).
+				cand = h.nextOcc[l][(i+1)%n]
+				if int(cand) == i {
+					continue // sole occupant of the lane
+				}
+			}
+			steps := (int(cand) - at + n) % n
+			if steps < bestSteps {
+				bestSteps = steps
+				best = cand
+			}
+		}
+		h.sweepLead[e.id] = best
+		if best >= 0 {
+			le := &h.snap[best]
+			center := math.Mod(le.x-e.x+2*h.cfg.Length, h.cfg.Length)
+			h.sweepGap[e.id] = center - le.length
+		}
+	}
+}
+
 // arbitrate processes the cars' reservation intents in id order: releases
 // first, then requests. The barrier is the agreement round — at most one
 // holder per region, decided deterministically — and a granted maneuver
 // begins here, against the fresh snapshot, so its dual-lane occupancy is
-// visible to every car from the very first step of the next window.
-// It reports whether any maneuver began (the snapshot must be republished).
-func (h *Highway) arbitrate(edge sim.Time) bool {
+// visible to every car from the very first step of the next window
+// (markManeuver patches the published snapshot in place, so no republish
+// is needed).
+func (h *Highway) arbitrate(edge sim.Time) {
 	for _, c := range h.cars {
 		if c.releaseHeld {
 			if c.heldRegion != "" {
@@ -407,7 +723,6 @@ func (h *Highway) arbitrate(edge sim.Time) bool {
 			c.releaseHeld = false
 		}
 	}
-	began := false
 	for _, c := range h.cars {
 		if c.wantRegion == "" {
 			continue
@@ -435,9 +750,7 @@ func (h *Highway) arbitrate(edge sim.Time) bool {
 		// target lane) must see this maneuver in its clearance check, not
 		// the pre-grant snapshot.
 		h.markManeuver(c)
-		began = true
 	}
-	return began
 }
 
 // markManeuver updates c's snapshot entry in place with its fresh
@@ -457,14 +770,14 @@ func (h *Highway) markManeuver(c *Car) {
 }
 
 // seedWindow schedules every car's control step for the window opening at
-// edge, on the kernel of the shard that owns the car.
+// edge, on the kernel of the shard that owns the car. The cars' cached
+// step closures resolve their owning shard at execution time, so seeding
+// allocates nothing.
 func (h *Highway) seedWindow(edge sim.Time) {
 	for idx, list := range h.byShard {
-		shard := h.sk.Shard(idx)
-		k := shard.Kernel()
+		k := h.sk.Shard(idx).Kernel()
 		for _, c := range list {
-			c := c
-			k.At(edge+c.phase, func() { c.step(h, shard) })
+			k.At(edge+c.phase, c.stepFn)
 		}
 	}
 }
@@ -583,10 +896,15 @@ func (h *Highway) beaconDue(c *Car, now sim.Time) bool {
 	return (window+int64(c.ID))%k == 0
 }
 
-// sendBeacon fans the car's cooperative state out to every snapshot
-// neighbor within V2V range through the mailboxes. Loss is decided at the
-// barrier from the receiver's own stream; a jammed channel loses the
-// frame outright.
+// sendBeacon broadcasts the car's cooperative state to every snapshot
+// neighbor within V2V range through ONE mailbox message per beacon: the
+// per-receiver fan-out happens inside the barrier drain, walking the same
+// immutable snapshot the sender transmitted against (the snapshot is only
+// replaced by the window hook, which runs after the drain). This keeps
+// delivery order, loss draws, and counters exactly as if each receiver had
+// its own message — the drain executes senders in (edge, sender) order,
+// and the fan-out visits receivers in the same eachInRange order — while
+// allocating one closure per beacon instead of one per receiver.
 func (h *Highway) sendBeacon(shard *sim.Shard, c *Car, now sim.Time) {
 	state := coord.CoopState{
 		ID:       wireless.NodeID(c.ID),
@@ -601,12 +919,12 @@ func (h *Highway) sendBeacon(shard *sim.Shard, c *Car, now sim.Time) {
 	edge := h.sk.NextEdge(now)
 	sentAt := now
 	from := c.ID
-	sent := false
-	h.eachInRange(c, func(e *hwSnap) {
-		to := h.cars[e.id]
-		sent = true
-		shard.Send(e.shard, edge, int64(from), func() {
-			// Barrier context: single-threaded, ordered by (edge, sender).
+	shard.Send(shard.Index(), edge, int64(from), func() {
+		// Barrier context: single-threaded, ordered by (edge, sender).
+		sent := false
+		h.eachInRange(c, func(e *hwSnap) {
+			sent = true
+			to := h.cars[e.id]
 			if h.jammed(sentAt) {
 				h.beaconsLost++
 				return
@@ -619,10 +937,10 @@ func (h *Highway) sendBeacon(shard *sim.Shard, c *Car, now sim.Time) {
 			to.table.Update(state)
 			to.accelFrom[from] = accel
 		})
+		if sent {
+			c.beaconsSent++
+		}
 	})
-	if sent {
-		c.beaconsSent++
-	}
 }
 
 // eachInRange visits the snapshot entries within ring distance V2VRange of

@@ -98,6 +98,9 @@ type icar struct {
 	waited    sim.Time
 	done      bool
 	accounted bool
+	// driveFn is the cached drive-step closure (resolves the owning shard
+	// at execution time), so re-seeding windows never allocates.
+	driveFn func()
 }
 
 // iSnap is one car's published state at a window edge.
@@ -177,7 +180,10 @@ func NewIntersection(sk *sim.ShardedKernel, cfg IntersectionConfig) (*Intersecti
 		cfg:     cfg,
 		sk:      sk,
 		Crossed: map[Road]int64{},
-		nextID:  100,
+		// Ids are assigned sequentially from firstCarID, so cars[id-
+		// firstCarID] is the O(1) id lookup the incremental snapshot
+		// refresh relies on.
+		nextID: firstCarID,
 	}
 	for i, road := range []Road{RoadNS, RoadEW} {
 		stream := sim.NewStream(sk.Seed(), int64(road), 7)
@@ -245,7 +251,7 @@ func (w *Intersection) jammedAt(t sim.Time) bool {
 func (w *Intersection) Start() error {
 	w.sk.OnWindow(w.onWindow)
 	w.spawnDue(0)
-	w.publishSnapshot(0)
+	w.refreshSnapshot(0)
 	w.seedWindow(0)
 	return nil
 }
@@ -263,13 +269,19 @@ func (w *Intersection) RunContext(ctx context.Context, d sim.Time) error {
 func (w *Intersection) onWindow(edge sim.Time) {
 	w.runPending(edge)
 	w.spawnDue(edge)
-	w.publishSnapshot(edge)
+	w.refreshSnapshot(edge)
 	w.account(edge)
 	w.runHooks(edge)
 	if !w.stopped {
 		w.seedWindow(edge)
 	}
 }
+
+// firstCarID is the id of the first spawned vehicle; ids are sequential.
+const firstCarID = 100
+
+// carByID returns the vehicle with the given id in O(1).
+func (w *Intersection) carByID(id int) *icar { return w.cars[id-firstCarID] }
 
 // spawnDue creates the arrivals due by edge, in road order — at most one
 // per road per window, so two spawns never stack on the same spot.
@@ -288,7 +300,11 @@ func (w *Intersection) spawnDue(edge sim.Time) {
 				phase: 1 + sim.Time(uint64(sim.SplitSeed(w.sk.Seed(), int64(id)*64+4))%
 					uint64(w.cfg.ControlPeriod-1)),
 			}
+			c.driveFn = func() { w.drive(c, w.sk.Shard(c.shard)) }
 			w.cars = append(w.cars, c)
+			// Membership change: the placeholder entry is refreshed (and
+			// sorted into place) by refreshSnapshot at this same barrier.
+			w.snap[i] = append(w.snap[i], iSnap{id: id})
 			w.nextArrival[i] += sim.Time(w.arrival[i].ExpFloat64() * float64(w.cfg.MeanArrival))
 		}
 	}
@@ -303,28 +319,59 @@ func pos2D(road Road, x float64, approach float64) wireless.Position {
 	return wireless.Position{X: -d}
 }
 
-// publishSnapshot rebuilds the per-road snapshots and quadrant ownership.
-func (w *Intersection) publishSnapshot(edge sim.Time) {
-	for i := range w.snap {
-		w.snap[i] = w.snap[i][:0]
+// iSnapLess is the per-road snapshot order: ascending (x, id). The key is
+// unique, so any sorting algorithm yields the same sequence.
+func iSnapLess(a, b iSnap) bool {
+	if a.x != b.x {
+		return a.x < b.x
 	}
-	for _, c := range w.cars {
-		if c.done {
-			continue
+	return a.id < b.id
+}
+
+// insertionSortISnaps restores (x, id) order — linear on the near-sorted
+// per-window refresh (cars cannot overtake on a single-lane approach).
+func insertionSortISnaps(s []iSnap) {
+	for i := 1; i < len(s); i++ {
+		e := s[i]
+		j := i - 1
+		for j >= 0 && iSnapLess(e, s[j]) {
+			s[j+1] = s[j]
+			j--
 		}
-		p := pos2D(c.road, c.body.X, w.cfg.ApproachLength)
-		q := w.part.ShardOf(p.X, p.Y)
-		c.shard = q % w.sk.Shards()
-		i := int(c.road - RoadNS)
-		w.snap[i] = append(w.snap[i], iSnap{id: c.id, x: c.body.X, speed: c.body.Speed, length: c.body.Length})
+		s[j+1] = e
 	}
+}
+
+// refreshSnapshot incrementally maintains the per-road snapshots in the
+// reused buffers: every live entry is rewritten from its car (retired cars
+// compact away, freshly spawned placeholders fill in), quadrant ownership
+// is recomputed, and the insertion pass runs only when the refresh
+// actually observed an inversion — membership changes (spawn/retire) and
+// overtakes are the only ways a road loses its order, so in the steady
+// state a road costs one linear pass and no sort at all, never the
+// from-scratch rebuild + sort.Slice of the seed.
+func (w *Intersection) refreshSnapshot(edge sim.Time) {
 	for i := range w.snap {
-		sort.Slice(w.snap[i], func(a, b int) bool {
-			if w.snap[i][a].x != w.snap[i][b].x {
-				return w.snap[i][a].x < w.snap[i][b].x
+		entries := w.snap[i]
+		kept := entries[:0]
+		sorted := true
+		for _, e := range entries {
+			c := w.carByID(e.id)
+			if c.done {
+				continue
 			}
-			return w.snap[i][a].id < w.snap[i][b].id
-		})
+			p := pos2D(c.road, c.body.X, w.cfg.ApproachLength)
+			c.shard = w.part.ShardOf(p.X, p.Y) % w.sk.Shards()
+			e = iSnap{id: c.id, x: c.body.X, speed: c.body.Speed, length: c.body.Length}
+			if n := len(kept); n > 0 && iSnapLess(e, kept[n-1]) {
+				sorted = false
+			}
+			kept = append(kept, e)
+		}
+		if !sorted {
+			insertionSortISnaps(kept)
+		}
+		w.snap[i] = kept
 	}
 	w.snapEdge = edge
 }
@@ -353,15 +400,14 @@ func (w *Intersection) account(edge sim.Time) {
 	}
 }
 
-// seedWindow schedules every active car's drive step on its owning shard.
+// seedWindow schedules every active car's drive step on its owning shard,
+// through the cars' cached closures (allocation-free re-seeding).
 func (w *Intersection) seedWindow(edge sim.Time) {
 	for _, c := range w.cars {
 		if c.done {
 			continue
 		}
-		c := c
-		shard := w.sk.Shard(c.shard)
-		shard.Kernel().At(edge+c.phase, func() { w.drive(c, shard) })
+		w.sk.Shard(c.shard).Kernel().At(edge+c.phase, c.driveFn)
 	}
 }
 
