@@ -182,3 +182,80 @@ func TestMergeBaseBogusRefErrors(t *testing.T) {
 		t.Fatalf("bogus merge-base ref not surfaced: %v", err)
 	}
 }
+
+// The allocation gate's remaining edges: mem data missing on the baseline
+// side skips the gate, a current-only benchmark is ignored (the gate
+// iterates baseline names — new benchmarks have nothing to regress
+// against), an exactly-at-tolerance allocs delta passes (the limit is
+// strict), and B/op alone never gates (only ns/op and allocs/op do; bytes
+// ride along for the artifact).
+func TestCompareAllocsGateEdges(t *testing.T) {
+	// Baseline without -benchmem, current with it: skip, pass.
+	base := &Snapshot{Benchmarks: map[string]Entry{"A": {NsPerOp: 100}}}
+	cur := &Snapshot{Benchmarks: map[string]Entry{"A": {NsPerOp: 100, AllocsPerOp: 99999, MemRuns: 3}}}
+	if lines, ok := compare(base, cur, 0.20, 0.10); !ok {
+		t.Fatalf("mem-less baseline should skip the allocation gate: %v", lines)
+	} else if strings.Contains(strings.Join(lines, "\n"), "allocs/op") {
+		t.Fatalf("allocation verdict emitted without baseline mem data:\n%s", strings.Join(lines, "\n"))
+	}
+	// A benchmark present only in the current run is not gated.
+	cur.Benchmarks["NEW"] = Entry{NsPerOp: 1, AllocsPerOp: 1, MemRuns: 1}
+	if lines, ok := compare(base, cur, 0.20, 0.10); !ok {
+		t.Fatalf("current-only benchmark failed the gate: %v", lines)
+	} else if strings.Contains(strings.Join(lines, "\n"), "NEW") {
+		t.Fatalf("current-only benchmark appeared in the verdict:\n%s", strings.Join(lines, "\n"))
+	}
+	// Exactly at the allocs limit: strict inequality, passes; one past it
+	// fails. (+25% of 1000 is exactly representable, so the boundary is
+	// float-clean.)
+	base = &Snapshot{Benchmarks: map[string]Entry{"A": {NsPerOp: 100, AllocsPerOp: 1000, MemRuns: 1}}}
+	cur = &Snapshot{Benchmarks: map[string]Entry{"A": {NsPerOp: 100, AllocsPerOp: 1250, MemRuns: 1}}}
+	if lines, ok := compare(base, cur, 0.20, 0.25); !ok {
+		t.Fatalf("exactly-at-limit allocs failed: %v", lines)
+	}
+	cur.Benchmarks["A"] = Entry{NsPerOp: 100, AllocsPerOp: 1251, MemRuns: 1}
+	if _, ok := compare(base, cur, 0.20, 0.25); ok {
+		t.Fatal("past-limit allocs passed")
+	}
+	// B/op alone never fails the gate.
+	base.Benchmarks["A"] = Entry{NsPerOp: 100, AllocsPerOp: 10, BytesPerOp: 1000, MemRuns: 1}
+	cur.Benchmarks["A"] = Entry{NsPerOp: 100, AllocsPerOp: 10, BytesPerOp: 900000, MemRuns: 1}
+	if lines, ok := compare(base, cur, 0.20, 0.10); !ok {
+		t.Fatalf("B/op-only growth failed the gate (only ns and allocs gate): %v", lines)
+	}
+	// Zero-alloc staying zero passes and says so.
+	base.Benchmarks["A"] = Entry{NsPerOp: 100, MemRuns: 1}
+	cur.Benchmarks["A"] = Entry{NsPerOp: 100, MemRuns: 1}
+	lines, ok := compare(base, cur, 0.20, 0.10)
+	if !ok {
+		t.Fatalf("zero-alloc steady state failed: %v", lines)
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "zero-alloc must stay zero") {
+		t.Fatalf("zero-alloc verdict line missing:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// Min-per-metric independence: the fastest ns/op run and the lowest
+// allocs/op run can be different runs — each metric keeps its own
+// minimum, and MemRuns counts only the runs that carried memory columns.
+func TestParseMinPerMetricIndependence(t *testing.T) {
+	in := strings.Join([]string{
+		"BenchmarkX-4   10   200.0 ns/op   500 B/op   50 allocs/op",
+		"BenchmarkX-4   10   100.0 ns/op   900 B/op   90 allocs/op", // fastest time, worst memory
+		"BenchmarkX-4   10   300.0 ns/op",                           // no -benchmem columns on this run
+	}, "\n")
+	snap, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := snap.Benchmarks["BenchmarkX"]
+	if e.NsPerOp != 100 || e.Runs != 3 {
+		t.Fatalf("ns/op min wrong: %+v", e)
+	}
+	if e.AllocsPerOp != 50 || e.BytesPerOp != 500 {
+		t.Fatalf("memory minima not independent of the time minimum: %+v", e)
+	}
+	if e.MemRuns != 2 {
+		t.Fatalf("MemRuns = %d, want 2 (one run had no -benchmem)", e.MemRuns)
+	}
+}

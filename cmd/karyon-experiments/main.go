@@ -1,15 +1,21 @@
 // Command karyon-experiments regenerates every experiment table in
-// EXPERIMENTS.md (E1..E16). Identical seeds reproduce identical output:
-// each experiment is run as a replicated seed matrix through the harness
-// runner, and the aggregate is byte-identical for any -parallel value.
+// EXPERIMENTS.md (E1..E16 plus E-MAC-S). Identical seeds reproduce
+// identical output: each experiment is run as a replicated seed matrix
+// through the harness runner, and the aggregate is byte-identical for any
+// -parallel value.
 //
 // Usage:
 //
-//	karyon-experiments [-seed N] [-only E5[,E6,...]] [-replicas N] [-parallel N] [-shards N] [-csv | -json] [-short]
+//	karyon-experiments [-seed N] [-only E5[,E6,...]] [-replicas N] [-parallel N] [-shards N] [-medium] [-csv | -json] [-short]
 //
 // With -replicas 0 (the default) each experiment uses its own default:
-// statistical experiments (E11, E12, E14) run replicated so their tables
-// carry confidence intervals; the rest run once.
+// statistical experiments (E11, E12, E14, E-MAC-S) run replicated so
+// their tables carry confidence intervals; the rest run once.
+//
+// -medium runs the world-building experiments (E2, E12) over the
+// slot-level sharded radio medium instead of abstract per-receiver loss
+// draws; E-MAC-S always runs the medium (it is the subject). It changes
+// the modeled physics, so compare tables only at equal -medium settings.
 package main
 
 import (
@@ -52,6 +58,7 @@ func run(args []string, out io.Writer) error {
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "replica worker-pool width; affects wall time only, never output")
 	shards := fs.Int("shards", 1, "shard kernels per replica for shardable scenarios; affects wall time only, never output")
 	short := fs.Bool("short", false, "reduced-fidelity runs: fewer sweep points, shorter simulated durations")
+	medium := fs.Bool("medium", false, "run world experiments (E2, E12) over the slot-level sharded radio medium")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,7 +82,7 @@ func run(args []string, out io.Writer) error {
 		if opts.Replicas < 1 {
 			opts.Replicas = e.DefaultReplicas()
 		}
-		rep, err := harness.Run(context.Background(), experiments.Harnessed{Exp: e, Short: *short}, opts)
+		rep, err := harness.Run(context.Background(), experiments.Harnessed{Exp: e, Short: *short, Medium: *medium}, opts)
 		if err != nil {
 			return err
 		}

@@ -105,3 +105,34 @@ func TestJSONOutput(t *testing.T) {
 		t.Fatalf("value %q aggregated %d samples, want 3", v.Name, v.Count)
 	}
 }
+
+// E-MAC-S is selectable, runs the slot-level medium, and the -medium flag
+// reruns world experiments over it without disturbing determinism.
+func TestRunMacSAndMediumFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "E-MAC-S", "-short", "-replicas", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"E-MAC-S", "delivery ratio", "inacc p95 ms"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("missing %q in:\n%s", want, sb.String())
+		}
+	}
+	var a, b, plain strings.Builder
+	args := []string{"-only", "E2", "-short", "-replicas", "1", "-medium"}
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("-medium run is nondeterministic")
+	}
+	if err := run([]string{"-only", "E2", "-short", "-replicas", "1"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == plain.String() {
+		t.Fatal("-medium changed nothing: the slot-level radio is not wired through E2")
+	}
+}

@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	karyon-sim -scenario highway [-seed N] [-duration 2m] [-cars 30] [-mode adaptive|fixed1|fixed2|fixed3|reckless] [-fault-rate 2] [-jam-every 30s -jam-burst 2s]
-//	karyon-sim -scenario megahighway [-cars 200] [-length 10000] [-loss 0.05] [-shards N]
-//	karyon-sim -scenario intersection [-failat 60s] [-nobackup]
+//	karyon-sim -scenario highway [-seed N] [-duration 2m] [-cars 30] [-mode adaptive|fixed1|fixed2|fixed3|reckless] [-fault-rate 2] [-jam-every 30s -jam-burst 2s] [-medium] [-channels 2]
+//	karyon-sim -scenario megahighway [-cars 200] [-length 10000] [-loss 0.05] [-shards N] [-medium] [-jam-every 30s -jam-burst 2s]
+//	karyon-sim -scenario intersection [-failat 60s] [-nobackup] [-medium] [-jam-every 30s -jam-burst 2s]
 //	karyon-sim -scenario encounter [-geometry same-direction|leveled-crossing|level-change] [-voice]
 //
 // All scenarios accept -replicas, -parallel, -shards, and -json. The
@@ -18,6 +18,12 @@
 // from the CLI: -fault-rate injects that many randomized campaign events
 // per simulated minute, -jam-every/-jam-burst add periodic V2V
 // inaccessibility, and -failat is the intersection's light-failure time.
+//
+// -medium switches the world's V2V (or the intersection light's beacons)
+// from abstract per-receiver loss draws onto the slot-level sharded radio
+// medium — airtime occupancy, overlap collisions, carrier sense and jam
+// windows, still byte-identical at every -shards width — and -channels
+// sets its orthogonal channel count.
 package main
 
 import (
@@ -51,8 +57,10 @@ func run(args []string, out io.Writer) error {
 	v2vRange := fs.Float64("v2v-range", 0, "megahighway: beacon reach in meters (0 = default 300); bounds the widest -shards partition")
 	mode := fs.String("mode", "adaptive", "highway: adaptive|fixed1|fixed2|fixed3|reckless")
 	faultRate := fs.Float64("fault-rate", 0, "highway: randomized fault-campaign events per simulated minute (0 = none)")
-	jamEvery := fs.Duration("jam-every", 0, "highway: period between V2V jam bursts (0 = none)")
-	jamBurst := fs.Duration("jam-burst", 0, "highway: duration of each V2V jam burst")
+	jamEvery := fs.Duration("jam-every", 0, "highway/megahighway/intersection: period between V2V jam bursts (0 = none)")
+	jamBurst := fs.Duration("jam-burst", 0, "highway/megahighway/intersection: duration of each V2V jam burst")
+	medium := fs.Bool("medium", false, "highway/megahighway/intersection: slot-level sharded radio medium (airtime, collisions, carrier sense) instead of abstract loss draws")
+	channels := fs.Int("channels", 1, "orthogonal radio channels for -medium")
 	failAt := fs.Duration("failat", 0, "intersection: when the physical light fails (0 = never)")
 	noBackup := fs.Bool("nobackup", false, "intersection: disable the virtual traffic light")
 	geometry := fs.String("geometry", "leveled-crossing", "encounter: same-direction|leveled-crossing|level-change")
@@ -74,11 +82,18 @@ func run(args []string, out io.Writer) error {
 		sc = harness.HighwayScenario{
 			Duration: *duration, Cars: n, Mode: *mode,
 			SensorFaultRate: *faultRate, JamEvery: *jamEvery, JamBurst: *jamBurst,
+			Medium: *medium, Channels: *channels,
 		}
 	case "megahighway":
-		sc = harness.MegaHighwayScenario{Duration: *duration, Cars: *cars, Length: *length, Loss: *loss, V2VRange: *v2vRange}
+		sc = harness.MegaHighwayScenario{
+			Duration: *duration, Cars: *cars, Length: *length, Loss: *loss, V2VRange: *v2vRange,
+			Medium: *medium, Channels: *channels, JamEvery: *jamEvery, JamBurst: *jamBurst,
+		}
 	case "intersection":
-		sc = harness.IntersectionScenario{Duration: *duration, FailAt: *failAt, VirtualBackup: !*noBackup}
+		sc = harness.IntersectionScenario{
+			Duration: *duration, FailAt: *failAt, VirtualBackup: !*noBackup,
+			Medium: *medium, Channels: *channels, JamEvery: *jamEvery, JamBurst: *jamBurst,
+		}
 	case "encounter":
 		sc = harness.EncounterScenario{Geometry: *geometry, Collaborative: !*voice}
 	default:

@@ -132,3 +132,37 @@ func TestScenarioJSONReport(t *testing.T) {
 		t.Fatalf("report = %+v", rep)
 	}
 }
+
+// -medium runs every world scenario on the slot-level radio, still
+// byte-identical across -shards, with jam knobs accepted everywhere.
+func TestRunMediumScenariosShardInvariance(t *testing.T) {
+	cases := [][]string{
+		{"-scenario", "megahighway", "-duration", "2s", "-cars", "60", "-length", "3000",
+			"-seed", "4", "-medium", "-channels", "2", "-jam-every", "1s", "-jam-burst", "300ms"},
+		{"-scenario", "intersection", "-duration", "30s", "-seed", "4", "-medium",
+			"-jam-every", "10s", "-jam-burst", "2s"},
+	}
+	for _, base := range cases {
+		var one, four strings.Builder
+		if err := run(append(base, "-shards", "1"), &one); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(append(base, "-shards", "4"), &four); err != nil {
+			t.Fatal(err)
+		}
+		if one.String() != four.String() {
+			t.Fatalf("-shards changed -medium output for %v:\n1 shard:\n%s\n4 shards:\n%s",
+				base, one.String(), four.String())
+		}
+	}
+	// Medium-mode highway reports the radio accounting.
+	var sb strings.Builder
+	if err := run([]string{"-scenario", "highway", "-duration", "10s", "-cars", "12", "-medium"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"delivery ratio", "radio collisions", "inacc p95 ms"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("missing %q in medium-mode output:\n%s", want, sb.String())
+		}
+	}
+}

@@ -116,6 +116,8 @@ func runE2(cfg Config) *metrics.Result {
 		hcfg.Length = ringM
 		hcfg.Mode = mode
 		hcfg.FixedLoS = fixed
+		hcfg.Medium = cfg.Medium
+		hcfg.CarrierSense = cfg.Medium
 		if !v2v {
 			hcfg.V2VPeriod = 0
 		}
@@ -185,6 +187,8 @@ func runE12(cfg Config) *metrics.Result {
 		"E12 - 30-car platoon, randomized campaigns (%s each)", dur.String()))
 	for c := 0; c < campaigns; c++ {
 		hcfg := world.DefaultHighwayConfig()
+		hcfg.Medium = cfg.Medium
+		hcfg.CarrierSense = cfg.Medium
 		h, err := world.BuildHighway(cfg.Seed+int64(c), cfg.shards(), hcfg)
 		if err != nil {
 			res.AddNote("campaign %d: %v", c, err)

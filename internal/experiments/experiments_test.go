@@ -9,8 +9,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("registry has %d experiments, want 16", len(all))
+	if len(all) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -27,6 +27,9 @@ func TestRegistryComplete(t *testing.T) {
 		if !seen[id] {
 			t.Fatalf("missing %s", id)
 		}
+	}
+	if !seen["E-MAC-S"] {
+		t.Fatal("missing E-MAC-S")
 	}
 }
 

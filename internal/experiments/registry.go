@@ -25,10 +25,18 @@ type Config struct {
 	Short bool
 	// Shards splits the replica's scenario worlds across this many shard
 	// kernels (0/1 = unsharded). Experiments built on the partitioned
-	// worlds (E2, E12, E13 and the E14 integrated variant) honor it; the
-	// sharded-world determinism contract guarantees the result does not
-	// depend on it — like harness parallelism, it trades wall time only.
+	// worlds (E2, E12, E13, E-MAC-S and the E14 integrated variant) honor
+	// it; the sharded-world determinism contract guarantees the result
+	// does not depend on it — like harness parallelism, it trades wall
+	// time only.
 	Shards int
+	// Medium switches the world-building experiments' V2V path onto the
+	// slot-level sharded radio medium (wireless.ShardedMedium). E2 and
+	// E12 honor it; E-MAC-S always runs the medium (it is the subject).
+	// Unlike Shards, this changes the modeled physics, so it is part of
+	// the experiment's identity: results are comparable only at equal
+	// Medium settings.
+	Medium bool
 }
 
 // shards returns the effective shard width.
@@ -88,6 +96,8 @@ func (e Experiment) DefaultReplicas() int {
 type Harnessed struct {
 	Exp   Experiment
 	Short bool
+	// Medium flows into Config.Medium for every replica.
+	Medium bool
 }
 
 // Name implements harness.Scenario.
@@ -95,7 +105,7 @@ func (h Harnessed) Name() string { return h.Exp.ID }
 
 // Run implements harness.Scenario.
 func (h Harnessed) Run(k *sim.Kernel) (*metrics.Result, error) {
-	return h.Exp.Run(Config{Seed: k.Seed(), Short: h.Short}), nil
+	return h.Exp.Run(Config{Seed: k.Seed(), Short: h.Short, Medium: h.Medium}), nil
 }
 
 // RunSharded implements harness.Shardable (structurally): the shard width
@@ -104,7 +114,7 @@ func (h Harnessed) Run(k *sim.Kernel) (*metrics.Result, error) {
 // Shards — and the determinism contract of those that honor it — keep the
 // output byte-identical for every width.
 func (h Harnessed) RunSharded(_ context.Context, seed int64, shards int) (*metrics.Result, error) {
-	return h.Exp.Run(Config{Seed: seed, Short: h.Short, Shards: shards}), nil
+	return h.Exp.Run(Config{Seed: seed, Short: h.Short, Shards: shards, Medium: h.Medium}), nil
 }
 
 // All returns every experiment in id order.
@@ -112,6 +122,7 @@ func All() []Experiment {
 	list := []Experiment{
 		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(),
 		e9(), e10(), e11(), e12(), e13(), e14(), e15(), e16(),
+		eMacS(),
 	}
 	sort.Slice(list, func(i, j int) bool {
 		a, b := list[i].ID, list[j].ID

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"karyon/internal/metrics"
 	"karyon/internal/sim"
@@ -265,5 +266,27 @@ func TestScenarioImplementations(t *testing.T) {
 	}
 	if _, err := (EncounterScenario{Geometry: "bogus"}).Run(sim.NewKernel(1)); err == nil {
 		t.Fatal("bogus geometry accepted")
+	}
+}
+
+// A sub-microsecond jam period truncates to zero virtual time; the jam
+// scheduler must bail out instead of looping forever without advancing.
+func TestSubMicrosecondJamPeriodDoesNotHang(t *testing.T) {
+	sc := HighwayScenario{
+		Duration: 50 * time.Millisecond, Cars: 3, Mode: "adaptive",
+		JamEvery: 500 * time.Nanosecond, JamBurst: time.Millisecond,
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := sc.RunSharded(context.Background(), 1, 1)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sub-microsecond -jam-every hung the scenario")
 	}
 }

@@ -31,6 +31,11 @@ type HighwayScenario struct {
 	// bursts, the paper's inaccessibility periods.
 	JamEvery time.Duration
 	JamBurst time.Duration
+	// Medium routes V2V through the slot-level sharded radio (airtime,
+	// collisions, carrier sense, jam windows) instead of abstract loss
+	// draws; Channels sets its orthogonal channel count.
+	Medium   bool
+	Channels int
 }
 
 // Name implements Scenario.
@@ -46,6 +51,9 @@ func (s HighwayScenario) Run(k *sim.Kernel) (*metrics.Result, error) {
 func (s HighwayScenario) RunSharded(ctx context.Context, seed int64, shards int) (*metrics.Result, error) {
 	cfg := world.DefaultHighwayConfig()
 	cfg.Cars = s.Cars
+	cfg.Medium = s.Medium
+	cfg.Channels = s.Channels
+	cfg.CarrierSense = s.Medium // CSMA by default on the slot-level radio
 	switch s.Mode {
 	case "adaptive":
 		cfg.Mode = world.ModeAdaptive
@@ -66,12 +74,7 @@ func (s HighwayScenario) RunSharded(ctx context.Context, seed int64, shards int)
 		return nil, err
 	}
 	dur := sim.FromDuration(s.Duration)
-	if s.JamEvery > 0 && s.JamBurst > 0 {
-		every, burst := sim.FromDuration(s.JamEvery), sim.FromDuration(s.JamBurst)
-		for t := every; t < dur; t += every {
-			h.Schedule(t, func() { h.JamV2V(burst) })
-		}
-	}
+	scheduleJams(h, s.JamEvery, s.JamBurst, dur)
 	var rep *faultinject.Report
 	if s.SensorFaultRate > 0 {
 		events := int(s.SensorFaultRate*s.Duration.Minutes() + 0.5)
@@ -114,7 +117,44 @@ func (s HighwayScenario) RunSharded(ctx context.Context, seed int64, shards int)
 			Val("fault coverage", rep.Coverage(), metrics.Pct).
 			Val("det.p95 ms", rep.DetectionLatencies.Percentile(95), metrics.F2)
 	}
+	if s.Medium {
+		recordMediumStats(rec, h)
+	}
 	return res, nil
+}
+
+// jammable is a world that accepts barrier-scheduled V2V jam bursts.
+type jammable interface {
+	Schedule(at sim.Time, fn func())
+	JamV2V(d sim.Time)
+}
+
+// scheduleJams schedules a JamV2V burst every jamEvery until dur. Both
+// knobs must be positive *after* conversion to virtual time: a
+// sub-microsecond period truncates to zero and would otherwise loop
+// forever without advancing.
+func scheduleJams(w jammable, jamEvery, jamBurst time.Duration, dur sim.Time) {
+	every, burst := sim.FromDuration(jamEvery), sim.FromDuration(jamBurst)
+	if every <= 0 || burst <= 0 {
+		return
+	}
+	for t := every; t < dur; t += every {
+		w.Schedule(t, func() { w.JamV2V(burst) })
+	}
+}
+
+// recordMediumStats appends the slot-level radio's accounting to a world
+// record: delivery ratio, contention outcomes, and the observed
+// inaccessibility durations.
+func recordMediumStats(rec *metrics.Record, h *world.Highway) {
+	st := h.MediumStats()
+	inacc := h.Inaccessibility()
+	rec.Val("delivery ratio", st.DeliveryRatio(), metrics.Pct).
+		Int("radio collisions", st.Collisions).
+		Int("radio deferred", st.Deferred).
+		Int("radio jammed", st.Jammed).
+		Val("inacc p95 ms", inacc.Percentile(95), metrics.F2).
+		Val("inacc max ms", inacc.Max(), metrics.F2)
 }
 
 // MegaHighwayScenario runs the large-world highway: the same full-stack
@@ -135,6 +175,14 @@ type MegaHighwayScenario struct {
 	// the widest partition: each ring arc must be at least this long, so a
 	// 300 km ring at 250 m reach admits 1200 shards.
 	V2VRange float64
+	// Medium routes V2V through the slot-level sharded radio; Channels
+	// sets its orthogonal channel count.
+	Medium   bool
+	Channels int
+	// JamEvery/JamBurst add periodic V2V inaccessibility bursts (both
+	// must be positive to take effect).
+	JamEvery time.Duration
+	JamBurst time.Duration
 }
 
 // Name implements Scenario.
@@ -161,6 +209,9 @@ func (s MegaHighwayScenario) RunSharded(ctx context.Context, seed int64, shards 
 		cfg.V2VRange = s.V2VRange
 	}
 	cfg.Loss = s.Loss
+	cfg.Medium = s.Medium
+	cfg.Channels = s.Channels
+	cfg.CarrierSense = s.Medium
 	h, err := world.BuildHighway(seed, shards, cfg)
 	if err != nil {
 		return nil, err
@@ -168,7 +219,9 @@ func (s MegaHighwayScenario) RunSharded(ctx context.Context, seed int64, shards 
 	if err := h.Start(); err != nil {
 		return nil, err
 	}
-	if err := h.RunContext(ctx, sim.FromDuration(s.Duration)); err != nil {
+	dur := sim.FromDuration(s.Duration)
+	scheduleJams(h, s.JamEvery, s.JamBurst, dur)
+	if err := h.RunContext(ctx, dur); err != nil {
 		return nil, err
 	}
 	sent, delivered, lost := h.BeaconStats()
@@ -177,7 +230,7 @@ func (s MegaHighwayScenario) RunSharded(ctx context.Context, seed int64, shards 
 		ebrakes += c.EmergencyBrakes
 	}
 	res := metrics.NewResult(fmt.Sprintf("megahighway: %d cars on a %.0f m ring", cfg.Cars, cfg.Length))
-	res.Record().
+	rec := res.Record().
 		Val("mean speed m/s", h.MeanSpeed(), metrics.F2).
 		Val("flow veh/h", h.Flow(), metrics.F2).
 		Val("min timegap s", h.TimeGaps.Min(), metrics.F2).
@@ -188,6 +241,9 @@ func (s MegaHighwayScenario) RunSharded(ctx context.Context, seed int64, shards 
 		Int("beacons delivered", delivered).
 		Int("beacons lost", lost).
 		Int("events", int64(h.Kernel().Executed()))
+	if s.Medium {
+		recordMediumStats(rec, h)
+	}
 	return res, nil
 }
 
@@ -198,6 +254,14 @@ type IntersectionScenario struct {
 	Duration      time.Duration
 	FailAt        time.Duration
 	VirtualBackup bool
+	// Medium routes the light's I-am-alive beacons through the slot-level
+	// sharded radio; Channels sets its channel count.
+	Medium   bool
+	Channels int
+	// JamEvery/JamBurst add periodic V2V inaccessibility bursts (both
+	// must be positive to take effect).
+	JamEvery time.Duration
+	JamBurst time.Duration
 }
 
 // Name implements Scenario.
@@ -213,6 +277,8 @@ func (s IntersectionScenario) RunSharded(ctx context.Context, seed int64, shards
 	cfg := world.DefaultIntersectionConfig()
 	cfg.LightFailsAt = sim.FromDuration(s.FailAt)
 	cfg.VirtualBackup = s.VirtualBackup
+	cfg.Medium = s.Medium
+	cfg.Channels = s.Channels
 	w, err := world.BuildIntersection(seed, shards, cfg)
 	if err != nil {
 		return nil, err
@@ -220,7 +286,9 @@ func (s IntersectionScenario) RunSharded(ctx context.Context, seed int64, shards
 	if err := w.Start(); err != nil {
 		return nil, err
 	}
-	if err := w.RunContext(ctx, sim.FromDuration(s.Duration)); err != nil {
+	dur := sim.FromDuration(s.Duration)
+	scheduleJams(w, s.JamEvery, s.JamBurst, dur)
+	if err := w.RunContext(ctx, dur); err != nil {
 		return nil, err
 	}
 	res := metrics.NewResult(fmt.Sprintf("intersection: %s simulated", s.Duration))

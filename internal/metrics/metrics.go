@@ -18,6 +18,17 @@ type Histogram struct {
 	sum     float64
 }
 
+// Clone returns an independent copy: observing into or querying the
+// clone never touches the original's samples (Percentile sorts in
+// place, so a shallow struct copy would not be enough).
+func (h *Histogram) Clone() Histogram {
+	return Histogram{
+		samples: append([]float64(nil), h.samples...),
+		sorted:  h.sorted,
+		sum:     h.sum,
+	}
+}
+
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
 	h.samples = append(h.samples, v)

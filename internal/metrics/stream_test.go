@@ -115,3 +115,114 @@ func TestAggregateStreamingPath(t *testing.T) {
 		t.Fatal("ci95 missing on streamed aggregate")
 	}
 }
+
+// The accumulator contract: on any distribution the streaming store must
+// report byte-equal moments and extrema to the exact histogram store, and
+// a p95 within tight tolerance — that is what lets Aggregate switch
+// representations above StreamingThreshold without changing a summary's
+// meaning. Bimodal and heavy-tailed shapes are included deliberately:
+// they are the classic stress cases for P² marker interpolation.
+func TestStreamAccMatchesHistAccOnKnownDistributions(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tol  float64 // p95 tolerance as a fraction of spread
+		gen  func(*rand.Rand) float64
+	}{
+		{"uniform", 0.02, func(r *rand.Rand) float64 { return r.Float64() * 1000 }},
+		{"exponential", 0.02, func(r *rand.Rand) float64 { return r.ExpFloat64() * 42 }},
+		{"bimodal", 0.03, func(r *rand.Rand) float64 {
+			if r.Float64() < 0.5 {
+				return r.NormFloat64() + 10
+			}
+			return r.NormFloat64() + 90
+		}},
+		{"heavy-tail", 0.03, func(r *rand.Rand) float64 {
+			v := r.ExpFloat64()
+			return v * v * 5
+		}},
+		{"constant", 0, func(*rand.Rand) float64 { return 7.25 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			stream := newStreamAcc()
+			exact := &histAcc{}
+			for i := 0; i < 30000; i++ {
+				v := tc.gen(rng)
+				stream.Observe(v)
+				exact.Observe(v)
+			}
+			if stream.Count() != exact.Count() {
+				t.Fatalf("count %d vs %d", stream.Count(), exact.Count())
+			}
+			if math.Abs(stream.Mean()-exact.Mean()) > 1e-9*(1+math.Abs(exact.Mean())) {
+				t.Fatalf("mean %v vs %v", stream.Mean(), exact.Mean())
+			}
+			if math.Abs(stream.StdDev()-exact.StdDev()) > 1e-9*(1+exact.StdDev()) {
+				t.Fatalf("stddev %v vs %v", stream.StdDev(), exact.StdDev())
+			}
+			if stream.Min() != exact.Min() || stream.Max() != exact.Max() {
+				t.Fatalf("min/max %v/%v vs %v/%v", stream.Min(), stream.Max(), exact.Min(), exact.Max())
+			}
+			spread := exact.Max() - exact.Min()
+			if err := math.Abs(stream.P95() - exact.P95()); err > tc.tol*spread {
+				t.Fatalf("p95 %v vs exact %v (err %v beyond %.0f%% of spread %v)",
+					stream.P95(), exact.P95(), err, tc.tol*100, spread)
+			}
+		})
+	}
+}
+
+// P² must survive adversarially ordered input: a fully sorted ascending
+// feed (the worst case for marker drift) still lands near the exact p95.
+func TestP2QuantileSortedInput(t *testing.T) {
+	q := NewP2Quantile(0.95)
+	var h Histogram
+	n := 10000
+	for i := 0; i < n; i++ {
+		v := float64(i)
+		q.Observe(v)
+		h.Observe(v)
+	}
+	exact := h.Percentile(95)
+	if err := math.Abs(q.Value() - exact); err > 0.02*float64(n) {
+		t.Fatalf("sorted input: p95 %v vs exact %v", q.Value(), exact)
+	}
+}
+
+// Missing values on the streaming path: a measurement absent from some
+// replicas must keep Count at the observed number and aggregate only the
+// observed samples — same semantics as the exact path.
+func TestAggregateStreamingMissingValues(t *testing.T) {
+	n := StreamingThreshold * 2
+	results := make([]*Result, 0, n)
+	var exact Histogram
+	for i := 0; i < n; i++ {
+		r := NewResult("streamed")
+		rec := r.Record("variant", "a").Val("always", float64(i), F2)
+		if i%3 == 0 {
+			rec.Val("sometimes", float64(i)*2, F2)
+			exact.Observe(float64(i) * 2)
+		}
+		results = append(results, r)
+	}
+	s := Aggregate(results)
+	if len(s.Records) != 1 {
+		t.Fatalf("unexpected shape: %+v", s)
+	}
+	var some *Dist
+	for i := range s.Records[0].Values {
+		if s.Records[0].Values[i].Name == "sometimes" {
+			some = &s.Records[0].Values[i]
+		}
+	}
+	if some == nil {
+		t.Fatal("sparse measurement missing from summary")
+	}
+	if some.Count != exact.Count() {
+		t.Fatalf("sparse count %d, want %d", some.Count, exact.Count())
+	}
+	if math.Abs(some.Mean-exact.Mean()) > 1e-9 || some.Min != exact.Min() || some.Max != exact.Max() {
+		t.Fatalf("sparse streaming stats diverge: %+v vs mean %v min %v max %v",
+			some, exact.Mean(), exact.Min(), exact.Max())
+	}
+}

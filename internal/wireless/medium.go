@@ -47,6 +47,9 @@ const (
 	DropCollision
 	DropJam
 	DropOutOfRange
+	// DropBusy is a carrier-sense deferral on the sharded medium: the
+	// sender heard the slot occupied and skipped the frame entirely.
+	DropBusy
 )
 
 // String returns a short label for the drop reason.
@@ -60,6 +63,8 @@ func (r DropReason) String() string {
 		return "jam"
 	case DropOutOfRange:
 		return "range"
+	case DropBusy:
+		return "busy"
 	default:
 		return "unknown"
 	}
@@ -305,6 +310,9 @@ func (m *Medium) jamOverlaps(tx *transmission) bool {
 	c := tx.frame.Channel
 	if c < 0 || c >= len(m.jamUntil) {
 		return false
+	}
+	if m.jamStart[c] >= m.jamUntil[c] {
+		return false // empty burst (a zero-duration Jam) covers nothing
 	}
 	return m.jamStart[c] < tx.end && m.jamUntil[c] > tx.start
 }

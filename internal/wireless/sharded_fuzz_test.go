@@ -1,0 +1,123 @@
+package wireless
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"karyon/internal/sim"
+)
+
+// FuzzShardedMediumOverlap drives the interval math the collision and jam
+// decisions rest on: airtime overlap must be symmetric and agree with the
+// brute half-open-interval intersection, and jamOverlaps must agree with
+// the same predicate against the injected burst.
+func FuzzShardedMediumOverlap(f *testing.F) {
+	f.Add(int64(0), int64(200), uint16(400), int64(100), int64(300))
+	f.Add(int64(1000), int64(1000), uint16(1), int64(0), int64(0))
+	f.Add(int64(5), int64(405), uint16(400), int64(400), int64(10))
+	f.Fuzz(func(t *testing.T, s1, s2 int64, airRaw uint16, jamAt, jamFor int64) {
+		air := sim.Time(airRaw%5000) + 1
+		norm := func(v int64) sim.Time {
+			if v < 0 {
+				v = -v
+			}
+			return sim.Time(v % 1_000_000)
+		}
+		a := ShardedTx{From: 0, Start: norm(s1)}
+		b := ShardedTx{From: 1, Start: norm(s2)}
+		brute := func(s1, e1, s2, e2 sim.Time) bool {
+			lo, hi := s1, e1
+			if s2 > lo {
+				lo = s2
+			}
+			if e2 < hi {
+				hi = e2
+			}
+			return lo < hi
+		}
+		if airtimesOverlap(&a, &b, air) != airtimesOverlap(&b, &a, air) {
+			t.Fatalf("overlap not symmetric: a=%d b=%d air=%d", a.Start, b.Start, air)
+		}
+		if got, want := airtimesOverlap(&a, &b, air), brute(a.Start, a.end(air), b.Start, b.end(air)); got != want {
+			t.Fatalf("overlap(%d,%d air=%d) = %v, brute = %v", a.Start, b.Start, air, got, want)
+		}
+		cfg := DefaultShardedConfig()
+		cfg.Airtime = air
+		m := NewShardedMedium(1, cfg)
+		start, dur := norm(jamAt), norm(jamFor)
+		m.Jam(0, start, dur)
+		if got, want := m.jamOverlaps(&a), brute(a.Start, a.end(air), start, start+dur); got != want {
+			t.Fatalf("jamOverlaps(start=%d air=%d) vs burst [%d,%d) = %v, brute = %v",
+				a.Start, air, start, start+dur, got, want)
+		}
+		// Jammed must be the point version of the same interval.
+		for _, at := range []sim.Time{start, start + dur/2, start + dur} {
+			if got, want := m.Jammed(0, at), at >= start && at < start+dur; got != want {
+				t.Fatalf("Jammed(%d) vs burst [%d,%d) = %v, want %v", at, start, start+dur, got, want)
+			}
+		}
+	})
+}
+
+// FuzzShardedMediumQueueOrderInvariance locks the determinism contract:
+// the resolved outcome log is a pure function of the frame set, never of
+// the order frames were queued in — which is what makes the medium safe to
+// feed from per-shard mailboxes at any width.
+func FuzzShardedMediumQueueOrderInvariance(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, int64(1))
+	f.Add([]byte{200, 0, 200, 0, 9, 9, 9, 9, 40, 41, 42}, int64(7))
+	f.Fuzz(func(t *testing.T, raw []byte, seed int64) {
+		if len(raw) < 4 {
+			return
+		}
+		cfg := DefaultShardedConfig()
+		cfg.LossProb = 0.3
+		cfg.Channels = 1 + int(raw[0]%3)
+		cfg.CarrierSense = raw[1]%2 == 0
+		n := 2 + int(raw[2]%14)
+		frames := make([]ShardedTx, 0, n)
+		pos := make(map[NodeID]Position, n)
+		for i := 0; i < n; i++ {
+			b := func(k int) int64 { return int64(raw[(3+i*3+k)%len(raw)]) }
+			p := Position{X: float64(b(0)) * 7}
+			frames = append(frames, ShardedTx{
+				From:    NodeID(i), // unique sender per frame: the sort key is total
+				Channel: int(b(1)) % cfg.Channels,
+				Pos:     p,
+				Start:   sim.Time(b(2) * 37 % 4000),
+			})
+			pos[NodeID(i)] = p
+		}
+		run := func(order []ShardedTx) string {
+			m := NewShardedMedium(seed, cfg)
+			m.Jam(0, sim.Time(int64(raw[3])*11), sim.Time(int64(raw[0])*13))
+			for _, tx := range order {
+				m.Queue(tx)
+			}
+			var log []string
+			m.Resolve(func(tx *ShardedTx, visit func(NodeID, Position)) {
+				for i := 0; i < n; i++ {
+					visit(NodeID(i), pos[NodeID(i)])
+				}
+			}, func(tx *ShardedTx, to NodeID) {
+				log = append(log, fmt.Sprintf("%d@%d->%d ok", tx.From, tx.Start, to))
+			}, func(tx *ShardedTx, to NodeID, r DropReason) {
+				log = append(log, fmt.Sprintf("%d@%d->%d %s", tx.From, tx.Start, to, r))
+			})
+			return strings.Join(log, "\n")
+		}
+		forward := run(frames)
+		reversed := make([]ShardedTx, n)
+		for i, tx := range frames {
+			reversed[n-1-i] = tx
+		}
+		if got := run(reversed); got != forward {
+			t.Fatalf("queue order changed the outcome:\nforward:\n%s\nreversed:\n%s", forward, got)
+		}
+		rotated := append(append([]ShardedTx{}, frames[n/2:]...), frames[:n/2]...)
+		if got := run(rotated); got != forward {
+			t.Fatalf("queue rotation changed the outcome:\nforward:\n%s\nrotated:\n%s", forward, got)
+		}
+	})
+}

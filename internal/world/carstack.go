@@ -34,6 +34,9 @@ type Car struct {
 	// rx drives beacon-loss draws; consumed only at window barriers, in
 	// deterministic (edge, sender) order.
 	rx *rand.Rand
+	// tx drives Medium-mode slot jitter: one draw per beacon, consumed by
+	// the car's own step, so the slot is independent of shard layout.
+	tx *rand.Rand
 
 	// dist is the abstract *reliable* distance sensor: three redundant
 	// transducers fused (Marzullo, f=1). Component redundancy is what
@@ -135,6 +138,7 @@ func newCar(seed int64, id int, x float64, cfg HighwayConfig) (*Car, error) {
 		Body:      vehicle.Body{X: x, Speed: 20, Length: 4.5},
 		clock:     &sim.ManualClock{},
 		rx:        sim.NewStream(seed, int64(id), 3),
+		tx:        sim.NewStream(seed, int64(id), 5),
 		params:    vehicle.DefaultACCParams(),
 		est:       gear.NewLeadEstimator(),
 		accelFrom: make(map[int]float64),

@@ -73,6 +73,22 @@ type HighwayConfig struct {
 	SensorSigma float64
 	// Loss is the independent per-receiver beacon loss probability.
 	Loss float64
+	// Medium routes V2V beacons through the slot-level sharded radio
+	// medium (wireless.ShardedMedium: airtime occupancy, overlap
+	// collisions, carrier sense, jam windows) instead of the abstract
+	// per-receiver loss draws. V2VRange and Loss carry over as the
+	// medium's radio range and loss probability; JamV2V jams its
+	// channels. Off by default — the abstract path stays byte-identical.
+	Medium bool
+	// Channels is the number of orthogonal radio channels in Medium mode
+	// (min 1). Beacons spread across channels by car id, which divides
+	// the slot contention; jam bursts cover every channel.
+	Channels int
+	// CarrierSense makes Medium-mode senders defer (skip) a beacon whose
+	// slot is already audibly occupied or jammed — CSMA's
+	// listen-before-talk, converting most would-be collisions into
+	// deferrals.
+	CarrierSense bool
 }
 
 // DefaultHighwayConfig returns a 30-car, 2 km ring.
@@ -165,6 +181,22 @@ type Highway struct {
 
 	res *coord.Reservations
 
+	// medium is the slot-level radio (nil unless cfg.Medium): beacons
+	// queue into it through the barrier mailboxes and resolve at every
+	// window edge against the still-published previous snapshot.
+	medium *wireless.ShardedMedium
+	// lastDelivered snapshots the medium's delivered count at the
+	// previous barrier; inOutage/outageStart track the current fleet-wide
+	// beacon outage (windows with frames on air but nothing delivered).
+	lastDelivered int64
+	inOutage      bool
+	outageStart   sim.Time
+	// inaccess collects completed beacon-outage durations in
+	// milliseconds — the paper's network-inaccessibility periods as seen
+	// by the medium-backed fleet. Read through Inaccessibility(), which
+	// also accounts for a still-open outage.
+	inaccess metrics.Histogram
+
 	barrierScheduler
 
 	// jamStart/jamUntil model V2V inaccessibility (the paper's jammed
@@ -226,7 +258,28 @@ func NewHighway(sk *sim.ShardedKernel, cfg HighwayConfig) (*Highway, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Medium && cfg.Channels < 1 {
+		cfg.Channels = 1
+	}
 	h := &Highway{cfg: cfg, sk: sk, part: part, res: coord.NewReservations()}
+	if cfg.Medium {
+		mcfg := wireless.DefaultShardedConfig()
+		mcfg.Range = cfg.V2VRange
+		mcfg.LossProb = cfg.Loss
+		mcfg.Channels = cfg.Channels
+		mcfg.CarrierSense = cfg.CarrierSense
+		ring := cfg.Length
+		// Ring metric: the radio lives on the ring, so distance is arc
+		// length and the wrap seam casts no shadow.
+		mcfg.Distance = func(a, b wireless.Position) float64 {
+			d := math.Abs(a.X - b.X)
+			if d > ring/2 {
+				d = ring - d
+			}
+			return d
+		}
+		h.medium = wireless.NewShardedMedium(sk.Seed(), mcfg)
+	}
 	h.byShard = make([][]*Car, sk.Shards())
 	h.arcs = make([][]hwSnap, sk.Shards())
 	h.outgoing = make([][]hwSnap, sk.Shards())
@@ -303,12 +356,38 @@ func (h *Highway) BeaconStats() (sent, delivered, lost int64) {
 // barrier (Schedule) or while the world is not running.
 func (h *Highway) JamV2V(d sim.Time) {
 	now := h.sk.Now()
+	if h.medium != nil {
+		h.medium.JamAll(now, d)
+	}
 	if now >= h.jamUntil {
 		h.jamStart = now
 	}
 	if until := now + d; until > h.jamUntil {
 		h.jamUntil = until
 	}
+}
+
+// MediumStats returns the slot-level radio's delivery accounting (zero
+// value when the world runs the abstract V2V path).
+func (h *Highway) MediumStats() wireless.ShardedStats {
+	if h.medium == nil {
+		return wireless.ShardedStats{}
+	}
+	return h.medium.Stats()
+}
+
+// Inaccessibility returns the observed fleet-wide beacon-outage durations
+// in milliseconds (Medium mode). An outage still open at the last window
+// edge is included as if it closed there — a jam burst abutting the end
+// of a run must not vanish from the histogram. The returned histogram is
+// an independent clone: reading or observing it never perturbs the
+// world's accounting.
+func (h *Highway) Inaccessibility() metrics.Histogram {
+	out := h.inaccess.Clone()
+	if h.inOutage {
+		out.Observe(float64(h.sk.Now()-h.outageStart) / float64(sim.Millisecond))
+	}
+	return out
 }
 
 func (h *Highway) jammed(t sim.Time) bool {
@@ -351,6 +430,14 @@ func (h *Highway) RunContext(ctx context.Context, d sim.Time) error {
 // next window's control steps read, which is the same contract the
 // campaign engine has always followed.
 func (h *Highway) onWindow(edge sim.Time) {
+	if h.medium != nil {
+		// Resolve the closed window's frames first, against the snapshot
+		// they were sent under and before this barrier's scheduled
+		// actions — a jam injected at this edge must not reach back into
+		// the window that just ended (the abstract path's drain-time loss
+		// draws follow the same rule).
+		h.resolveMedium(edge)
+	}
 	h.runPending(edge)
 	h.mergeSnapshot(edge)
 	if debugSnapshotSync {
@@ -906,6 +993,10 @@ func (h *Highway) beaconDue(c *Car, now sim.Time) bool {
 // and the fan-out visits receivers in the same eachInRange order — while
 // allocating one closure per beacon instead of one per receiver.
 func (h *Highway) sendBeacon(shard *sim.Shard, c *Car, now sim.Time) {
+	if h.medium != nil {
+		h.sendBeaconRadio(shard, c, now)
+		return
+	}
 	state := coord.CoopState{
 		ID:       wireless.NodeID(c.ID),
 		Pos:      wireless.Position{X: c.Body.X},
@@ -941,6 +1032,95 @@ func (h *Highway) sendBeacon(shard *sim.Shard, c *Car, now sim.Time) {
 			c.beaconsSent++
 		}
 	})
+}
+
+// beacon is the payload a slot-level V2V frame carries.
+type beacon struct {
+	state coord.CoopState
+	accel float64
+}
+
+// beaconSlotJitter spreads Medium-mode transmissions inside their window
+// beyond what the control phases already do: the offset is drawn from the
+// sender's own entity stream, so the slot a beacon lands in is a pure
+// function of (seed, car), never of shard layout.
+const beaconSlotJitter = 800 * sim.Microsecond
+
+// sendBeaconRadio is the Medium-mode transmit path: the car describes the
+// frame (slot start from its own jitter stream, clamped so the airtime
+// fits the sending window) and routes it through its shard's mailbox to
+// the closing barrier, where the medium resolves the whole window's
+// contention at once. One Send per beacon — the same mailbox budget as
+// the abstract path.
+func (h *Highway) sendBeaconRadio(shard *sim.Shard, c *Car, now sim.Time) {
+	state := coord.CoopState{
+		ID:       wireless.NodeID(c.ID),
+		Pos:      wireless.Position{X: c.Body.X},
+		Speed:    c.Body.Speed,
+		Lane:     c.Body.Lane,
+		Intent:   "cruise",
+		Time:     now,
+		Validity: 1,
+	}
+	edge := h.sk.NextEdge(now)
+	start := now + sim.Time(c.tx.Int63n(int64(beaconSlotJitter)))
+	if lim := edge - h.medium.Config().Airtime; start > lim {
+		start = lim
+	}
+	if start < now {
+		start = now // a step in the window's last airtime still sends now
+	}
+	tx := wireless.ShardedTx{
+		From:    wireless.NodeID(c.ID),
+		Channel: c.ID % h.cfg.Channels,
+		Pos:     wireless.Position{X: c.Body.X},
+		Start:   start,
+		Payload: beacon{state: state, accel: c.Body.Accel},
+	}
+	shard.Send(shard.Index(), edge, int64(c.ID), func() { h.medium.Queue(tx) })
+}
+
+// resolveMedium runs the slot-level contention resolution for the window
+// closing at edge: per-receiver outcomes feed the same state tables and
+// counters the abstract path feeds, and fleet-wide delivery outages feed
+// the inaccessibility accounting.
+func (h *Highway) resolveMedium(edge sim.Time) {
+	queued := h.medium.Pending()
+	h.medium.Resolve(
+		func(tx *wireless.ShardedTx, visit func(wireless.NodeID, wireless.Position)) {
+			c := h.cars[int(tx.From)]
+			c.beaconsSent++
+			h.eachInRange(c, func(e *hwSnap) {
+				visit(wireless.NodeID(e.id), wireless.Position{X: e.x})
+			})
+		},
+		func(tx *wireless.ShardedTx, to wireless.NodeID) {
+			b := tx.Payload.(beacon)
+			rc := h.cars[int(to)]
+			rc.table.Update(b.state)
+			rc.accelFrom[int(tx.From)] = b.accel
+			h.beaconsDelivered++
+		},
+		func(tx *wireless.ShardedTx, to wireless.NodeID, r wireless.DropReason) {
+			if r != wireless.DropBusy { // deferrals never went on air
+				h.beaconsLost++
+			}
+		},
+	)
+	if queued == 0 {
+		return // nothing attempted: no information about the channel
+	}
+	delivered := h.medium.Stats().Delivered
+	open := edge - h.cfg.ControlPeriod
+	switch {
+	case delivered == h.lastDelivered && !h.inOutage:
+		h.inOutage = true
+		h.outageStart = open
+	case delivered > h.lastDelivered && h.inOutage:
+		h.inaccess.Observe(float64(open-h.outageStart) / float64(sim.Millisecond))
+		h.inOutage = false
+	}
+	h.lastDelivered = delivered
 }
 
 // eachInRange visits the snapshot entries within ring distance V2VRange of

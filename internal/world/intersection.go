@@ -56,6 +56,20 @@ type IntersectionConfig struct {
 	// belief and the (unsynchronized) virtual phase can never admit
 	// crossing traffic simultaneously.
 	HandoverGuard sim.Time
+	// Medium routes the light's I-am-alive beacons through the slot-level
+	// sharded radio (wireless.ShardedMedium) instead of the analytic
+	// on-grid model: each beacon occupies airtime on the plane around the
+	// stop line, can be lost or jammed per receiver, and every car's
+	// liveness belief comes from its own last reception. The virtual
+	// light's replica channel stays analytic (it models a replicated
+	// automaton, not a single transmitter).
+	Medium bool
+	// Loss is the independent per-receiver beacon loss probability
+	// (Medium mode).
+	Loss float64
+	// Channels is the orthogonal channel count in Medium mode (min 1);
+	// the light transmits on channel 0, jams cover every channel.
+	Channels int
 }
 
 // DefaultIntersectionConfig returns the E13 scenario parameters.
@@ -98,6 +112,11 @@ type icar struct {
 	waited    sim.Time
 	done      bool
 	accounted bool
+	// lastRx/haveRx are the car's own belief about the physical light in
+	// Medium mode: the start instant of the last I-am-alive beacon it
+	// received, written at barriers by medium delivery.
+	lastRx sim.Time
+	haveRx bool
 	// driveFn is the cached drive-step closure (resolves the owning shard
 	// at execution time), so re-seeding windows never allocates.
 	driveFn func()
@@ -136,11 +155,24 @@ type Intersection struct {
 	sk   *sim.ShardedKernel
 	part QuadrantPartition
 
+	// cars holds the live vehicles in id order. Retired (crossed and
+	// accounted) cars are compacted out at barriers; slot maps a stable
+	// car id to its current position, so snapshot entries and medium
+	// deliveries keep O(1) lookups across compactions.
 	cars   []*icar
+	slot   []int32
 	nextID int
+	// retiredPending counts cars accounted this barrier and awaiting
+	// compaction.
+	retiredPending int
 
 	arrival     [2]randStream
 	nextArrival [2]sim.Time
+
+	// medium is the slot-level radio for the light's beacons (nil unless
+	// cfg.Medium); lightTx draws the light's per-window slot jitter.
+	medium  *wireless.ShardedMedium
+	lightTx randStream64
 
 	snap     [2][]iSnap // per road, sorted by x
 	snapEdge sim.Time
@@ -162,6 +194,20 @@ type Intersection struct {
 type randStream interface {
 	ExpFloat64() float64
 }
+
+// randStream64 is the minimal surface the light's slot jitter needs.
+type randStream64 interface {
+	Int63n(int64) int64
+}
+
+// lightNodeID is the physical traffic light's radio identity — below
+// firstCarID, so its medium loss stream never collides with a car's.
+const lightNodeID = 1
+
+// compactRetirees gates the retired-car compaction. Always on; the
+// long-horizon regression test flips it off to prove compaction changes
+// no observable output.
+var compactRetirees = true
 
 // NewIntersection builds the world over the sharded kernel. The kernel's
 // window must equal cfg.ControlPeriod.
@@ -189,6 +235,19 @@ func NewIntersection(sk *sim.ShardedKernel, cfg IntersectionConfig) (*Intersecti
 		stream := sim.NewStream(sk.Seed(), int64(road), 7)
 		w.arrival[i] = stream
 		w.nextArrival[i] = sim.Time(stream.ExpFloat64() * float64(cfg.MeanArrival))
+	}
+	if cfg.Medium {
+		if cfg.Channels < 1 {
+			cfg.Channels = 1
+			w.cfg.Channels = 1
+		}
+		mcfg := wireless.DefaultShardedConfig()
+		// The light must reach the whole approach plus the box exit.
+		mcfg.Range = cfg.ApproachLength + cfg.BoxLength + 60
+		mcfg.LossProb = cfg.Loss
+		mcfg.Channels = w.cfg.Channels
+		w.medium = wireless.NewShardedMedium(sk.Seed(), mcfg)
+		w.lightTx = sim.NewStream(sk.Seed(), lightNodeID, 5)
 	}
 	return w, nil
 }
@@ -226,6 +285,9 @@ func (w *Intersection) LightAlive() bool {
 // traffic goes silent. Call at a barrier (Schedule) or while stopped.
 func (w *Intersection) JamV2V(d sim.Time) {
 	now := w.sk.Now()
+	if w.medium != nil {
+		w.medium.JamAll(now, d)
+	}
 	if n := len(w.jams); n > 0 && now < w.jams[n-1].until {
 		if now+d > w.jams[n-1].until {
 			w.jams[n-1].until = now + d
@@ -267,10 +329,19 @@ func (w *Intersection) RunContext(ctx context.Context, d sim.Time) error {
 }
 
 func (w *Intersection) onWindow(edge sim.Time) {
+	if w.medium != nil {
+		// Deliver the closed window's light beacon before this barrier's
+		// scheduled actions: a jam injected at this edge must not reach
+		// back into the window that just ended.
+		w.resolveMedium(edge)
+	}
 	w.runPending(edge)
 	w.spawnDue(edge)
 	w.refreshSnapshot(edge)
 	w.account(edge)
+	if compactRetirees && w.retiredPending > 0 {
+		w.compactRetired()
+	}
 	w.runHooks(edge)
 	if !w.stopped {
 		w.seedWindow(edge)
@@ -280,8 +351,31 @@ func (w *Intersection) onWindow(edge sim.Time) {
 // firstCarID is the id of the first spawned vehicle; ids are sequential.
 const firstCarID = 100
 
-// carByID returns the vehicle with the given id in O(1).
-func (w *Intersection) carByID(id int) *icar { return w.cars[id-firstCarID] }
+// carByID returns the live vehicle with the given id in O(1) through the
+// stable id remap (slot grows by one entry per spawn and survives
+// compaction; retired ids map to -1 and must not be looked up).
+func (w *Intersection) carByID(id int) *icar { return w.cars[w.slot[id-firstCarID]] }
+
+// compactRetired removes retired (done and accounted) cars from the live
+// list, remapping the survivors' slots. account and seedWindow then scan
+// only live cars — without this, a long-horizon run's barrier cost grows
+// with every car ever spawned instead of the cars on the road.
+func (w *Intersection) compactRetired() {
+	kept := w.cars[:0]
+	for _, c := range w.cars {
+		if c.done && c.accounted {
+			w.slot[c.id-firstCarID] = -1
+			continue
+		}
+		w.slot[c.id-firstCarID] = int32(len(kept))
+		kept = append(kept, c)
+	}
+	for i := len(kept); i < len(w.cars); i++ {
+		w.cars[i] = nil
+	}
+	w.cars = kept
+	w.retiredPending = 0
+}
 
 // spawnDue creates the arrivals due by edge, in road order — at most one
 // per road per window, so two spawns never stack on the same spot.
@@ -301,6 +395,7 @@ func (w *Intersection) spawnDue(edge sim.Time) {
 					uint64(w.cfg.ControlPeriod-1)),
 			}
 			c.driveFn = func() { w.drive(c, w.sk.Shard(c.shard)) }
+			w.slot = append(w.slot, int32(len(w.cars)))
 			w.cars = append(w.cars, c)
 			// Membership change: the placeholder entry is refreshed (and
 			// sorted into place) by refreshSnapshot at this same barrier.
@@ -383,6 +478,7 @@ func (w *Intersection) account(edge sim.Time) {
 	for _, c := range w.cars {
 		if c.done && !c.accounted {
 			c.accounted = true
+			w.retiredPending++
 			w.Crossed[c.road]++
 			w.WaitTimes.Observe(c.waited.Seconds())
 		}
@@ -409,6 +505,39 @@ func (w *Intersection) seedWindow(edge sim.Time) {
 		}
 		w.sk.Shard(c.shard).Kernel().At(edge+c.phase, c.driveFn)
 	}
+}
+
+// resolveMedium queues the light's I-am-alive beacon for the window that
+// just closed and resolves the medium: every live car that existed during
+// the window is a candidate receiver at its current plane position, and a
+// delivery updates that car's own liveness belief. The light transmits
+// once per window while alive, at a slot drawn from its own entity
+// stream — all barrier work, so the outcome is width-invariant.
+func (w *Intersection) resolveMedium(edge sim.Time) {
+	open := edge - w.cfg.ControlPeriod
+	start := open + sim.Time(w.lightTx.Int63n(int64(w.cfg.ControlPeriod/4)+1))
+	if lim := edge - w.medium.Config().Airtime; start > lim {
+		start = lim
+	}
+	if w.cfg.LightFailsAt == 0 || start < w.cfg.LightFailsAt {
+		w.medium.Queue(wireless.ShardedTx{From: lightNodeID, Start: start})
+	}
+	w.medium.Resolve(
+		func(tx *wireless.ShardedTx, visit func(wireless.NodeID, wireless.Position)) {
+			for _, c := range w.cars {
+				if c.done {
+					continue
+				}
+				visit(wireless.NodeID(c.id), pos2D(c.road, c.body.X, w.cfg.ApproachLength))
+			}
+		},
+		func(tx *wireless.ShardedTx, to wireless.NodeID) {
+			c := w.carByID(int(to))
+			c.lastRx = tx.Start
+			c.haveRx = true
+		},
+		func(*wireless.ShardedTx, wireless.NodeID, wireless.DropReason) {},
+	)
 }
 
 // lastLightRx returns the instant of the last I-am-alive beacon the car
@@ -486,7 +615,14 @@ func (w *Intersection) virtualStateAt(t sim.Time) coord.LightState {
 // authority returns c's current belief about the light state and whether
 // any control authority exists.
 func (w *Intersection) authority(c *icar, now sim.Time) (coord.LightState, bool) {
-	lastRx, have := w.lastLightRx(c, now)
+	var lastRx sim.Time
+	var have bool
+	if w.medium != nil {
+		// Medium mode: the belief is the car's own radio history.
+		lastRx, have = c.lastRx, c.haveRx
+	} else {
+		lastRx, have = w.lastLightRx(c, now)
+	}
 	physicalFresh := have && now-lastRx <= w.cfg.AliveTimeout
 	// Handover guard: a car that once obeyed the physical light holds an
 	// all-red belief until the guard expires, so its possibly stale green

@@ -1,0 +1,134 @@
+package world
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzRingPartitionOwnership locks the partition invariants the sharded
+// engine actually leans on: every finite position (wrapped, negative,
+// beyond the ring) is owned by exactly one valid shard (membership is
+// total and exclusive), ownership is monotone along the ring so arcs are
+// contiguous and the barrier's stitch is a plain concatenation, an arc
+// boundary splits ownership by at most one shard (boundary-exact up to
+// the one-ulp float seam), and the constructor enforces the
+// radio-reach/arc-length bound its error message promises.
+func FuzzRingPartitionOwnership(f *testing.F) {
+	f.Add(2000.0, 8, 250.0, 37.5, 1999.999)
+	f.Add(300000.0, 64, 300.0, -42.0, 12345.678)
+	f.Add(1.5, 2, 0.0, 0.75, 0.7499999)
+	f.Fuzz(func(t *testing.T, length float64, shards int, minReach, x1, x2 float64) {
+		if math.IsNaN(length) || math.IsInf(length, 0) || length <= 0 || length > 1e9 {
+			return
+		}
+		if math.IsNaN(minReach) || math.IsInf(minReach, 0) || minReach < 0 {
+			return
+		}
+		if math.IsNaN(x1) || math.IsInf(x1, 0) || math.IsNaN(x2) || math.IsInf(x2, 0) {
+			return
+		}
+		if shards < 1 {
+			shards = 1 - shards
+		}
+		shards = shards%64 + 1
+		p, err := NewRingPartition(length, shards, minReach)
+		if err != nil {
+			if shards == 1 || length/float64(shards) >= minReach {
+				t.Fatalf("constructor rejected a feasible partition (%v/%d reach %v): %v",
+					length, shards, minReach, err)
+			}
+			return
+		}
+		if shards > 1 && p.ArcLength() < minReach {
+			t.Fatalf("constructor accepted arc %v below reach %v", p.ArcLength(), minReach)
+		}
+		// Total and exclusive: any finite x has exactly one owner in range.
+		for _, x := range []float64{x1, x2, -x1, x1 + length, x2 * 1e3} {
+			if got := p.ShardOf(x); got < 0 || got >= shards {
+				t.Fatalf("ShardOf(%v) = %d outside [0,%d)", x, got, shards)
+			}
+		}
+		// Monotone along [0, length): arcs are contiguous in x.
+		w1 := math.Mod(math.Abs(x1), length)
+		w2 := math.Mod(math.Abs(x2), length)
+		if w1 > w2 {
+			w1, w2 = w2, w1
+		}
+		if p.ShardOf(w1) > p.ShardOf(w2) {
+			t.Fatalf("ownership not monotone: ShardOf(%v)=%d > ShardOf(%v)=%d",
+				w1, p.ShardOf(w1), w2, p.ShardOf(w2))
+		}
+		// Boundary-exact up to the float seam: the owner at an arc start is
+		// that arc (or, within one ulp of rounding, the one below), and the
+		// position just below belongs to the arc below.
+		for i := 1; i < shards; i++ {
+			b := p.ArcStart(i)
+			if got := p.ShardOf(b); got != i && got != i-1 {
+				t.Fatalf("boundary %v of arc %d owned by %d", b, i, got)
+			}
+			if got := p.ShardOf(math.Nextafter(b, 0)); got != i-1 && got != i {
+				t.Fatalf("just-below boundary %v of arc %d owned by %d", b, i, got)
+			}
+			if !p.Adjacent(p.ShardOf(math.Nextafter(b, 0)), p.ShardOf(b)) {
+				t.Fatalf("crossing boundary %d lands in a non-adjacent shard", i)
+			}
+		}
+	})
+}
+
+// FuzzQuadrantPartitionOwnership checks the plane partition: ownership is
+// total and exclusive over the four quadrants, boundary points go to the
+// east/north side exactly as documented, mirroring a point across one
+// axis lands in an adjacent quadrant, and the adjacency relation is
+// symmetric with diagonals excluded.
+func FuzzQuadrantPartitionOwnership(f *testing.F) {
+	f.Add(0.0, 0.0, 1.0, -1.0)
+	f.Add(-3.5, 12.25, -3.5, 12.25)
+	f.Add(100.0, -100.0, 99.9999, -100.0001)
+	f.Fuzz(func(t *testing.T, cx, cy, x, y float64) {
+		for _, v := range []float64{cx, cy, x, y} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return
+			}
+		}
+		p := QuadrantPartition{CenterX: cx, CenterY: cy}
+		got := p.ShardOf(x, y)
+		if got < 0 || got >= p.Shards() {
+			t.Fatalf("ShardOf(%v,%v) = %d outside [0,4)", x, y, got)
+		}
+		// Exclusive and boundary-exact: the documented (east, north)
+		// mapping, with >= assigning boundary points.
+		east, north := x >= cx, y >= cy
+		want := map[[2]bool]int{
+			{true, true}: 0, {false, true}: 1, {false, false}: 2, {true, false}: 3,
+		}[[2]bool{east, north}]
+		if got != want {
+			t.Fatalf("ShardOf(%v,%v) = %d, want %d (east=%v north=%v)", x, y, got, want, east, north)
+		}
+		if c := p.ShardOf(cx, cy); c != 0 {
+			t.Fatalf("center owned by %d, want 0 (NE)", c)
+		}
+		// Mirroring across one axis is a one-boundary crossing: the
+		// destination quadrant must be adjacent.
+		mx := 2*cx - x
+		if math.IsInf(mx, 0) {
+			return
+		}
+		if m := p.ShardOf(mx, y); !p.Adjacent(got, m) && m != got {
+			t.Fatalf("x-mirror of (%v,%v): %d -> %d not adjacent", x, y, got, m)
+		}
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				if p.Adjacent(i, j) != p.Adjacent(j, i) {
+					t.Fatalf("adjacency not symmetric at (%d,%d)", i, j)
+				}
+			}
+			if !p.Adjacent(i, i) {
+				t.Fatalf("quadrant %d not self-adjacent", i)
+			}
+			if p.Adjacent(i, (i+2)%4) {
+				t.Fatalf("diagonal quadrants %d,%d adjacent", i, (i+2)%4)
+			}
+		}
+	})
+}
