@@ -10,7 +10,6 @@ package main
 
 import (
 	"context"
-	"fmt"
 	"math"
 	"runtime"
 	"testing"
@@ -345,7 +344,7 @@ func BenchmarkE12Platoon(b *testing.B) {
 	if err := h.Start(); err != nil {
 		b.Fatal(err)
 	}
-	campaign, err := faultinject.Generate(sim.NewStream(1, 0, 11), faultinject.GenerateConfig{
+	campaign, err := faultinject.Generate(sim.NewStream(1, 0, 11).Rand, faultinject.GenerateConfig{
 		Duration: sim.Hour, Warmup: 10 * sim.Second, Events: 200, Targets: cfg.Cars,
 	})
 	if err != nil {
@@ -429,12 +428,23 @@ func BenchmarkE15Avionics(b *testing.B) {
 // the sorted shard-local snapshot, not the seed's O(n) fleet scan — and
 // the CI benchmark gate holds the line on it.
 func BenchmarkFullStackHighwaySharded(b *testing.B) {
-	for _, shards := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+	for _, bc := range []struct {
+		name   string
+		shards int
+		spec   int
+	}{
+		{"shards=1", 1, 0},
+		{"shards=2", 2, 0},
+		{"shards=4", 4, 0},
+		{"shards=8", 8, 0},
+		{"shards=8/speculate", 8, 8},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
 			cfg := world.DefaultHighwayConfig()
 			cfg.Length = 36000
 			cfg.Cars = 1200
-			h, err := world.BuildHighway(1, shards, cfg)
+			cfg.SpecDepth = bc.spec
+			h, err := world.BuildHighway(1, bc.shards, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -461,13 +471,28 @@ func BenchmarkFullStackHighwaySharded(b *testing.B) {
 // on the shard goroutines and the barrier only hands off boundary
 // crossers and concatenates, so the serial barrier work tracks the
 // reported crossers/simsec (a few per barrier), not the car count.
+//
+// The speculate variant additionally lets the shards run up to 8 windows
+// ahead optimistically (deterministic abort-and-replay keeps the output
+// byte-identical — locked in by the world tests); it measures how much of
+// the remaining barrier synchronization cost the optimistic engine buys
+// back at width 8.
 func BenchmarkMegaHighwaySharded(b *testing.B) {
-	for _, shards := range []int{1, 8} {
-		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+	for _, bc := range []struct {
+		name   string
+		shards int
+		spec   int
+	}{
+		{"shards=1", 1, 0},
+		{"shards=8", 8, 0},
+		{"shards=8/speculate", 8, 8},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
 			cfg := world.DefaultHighwayConfig()
 			cfg.Length = 300000
 			cfg.Cars = 10000
-			h, err := world.BuildHighway(1, shards, cfg)
+			cfg.SpecDepth = bc.spec
+			h, err := world.BuildHighway(1, bc.shards, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}

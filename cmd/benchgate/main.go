@@ -27,6 +27,14 @@
 // -update to rewrite the baseline from the current run instead of
 // comparing (do this when the benchmark set or the reference hardware
 // changes, and commit the result).
+//
+// Benchmarks named <family>/shards=N additionally get a tracked (not
+// gated) parallel-efficiency score — speedup over the family's shards=1
+// variant divided by N — recorded in the snapshot JSON and printed as
+// info lines. Pass -results-dir benchmarks/results to also archive the
+// run as a timestamped JSON stamped with the host's core count,
+// GOMAXPROCS, and Go version, so efficiency can be compared across
+// runners with different hardware.
 package main
 
 import (
@@ -39,10 +47,13 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Entry is one benchmark's score.
@@ -61,6 +72,63 @@ type Entry struct {
 // Snapshot is the gate's JSON artifact.
 type Snapshot struct {
 	Benchmarks map[string]Entry `json:"benchmarks"`
+	// Efficiency tracks parallel efficiency — speedup over the shards=1
+	// sibling divided by the shard count — for every sharded benchmark
+	// variant (see efficiency). Tracked, not gated: it is a property of
+	// the host's core count as much as of the code, so snapshots record
+	// it for trend inspection while the gate stays on ns/op and allocs.
+	Efficiency map[string]float64 `json:"parallel_efficiency,omitempty"`
+}
+
+// shardedName captures the shard width of a sharded benchmark variant and
+// its family prefix, e.g. BenchmarkMegaHighwaySharded/shards=8/speculate
+// -> family BenchmarkMegaHighwaySharded, width 8.
+var shardedName = regexp.MustCompile(`^(.+)/shards=(\d+)(/.*)?$`)
+
+// efficiency computes, for every benchmark named <family>/shards=N[/...]
+// with N > 1 whose family also ran at shards=1, the parallel efficiency
+// ns(shards=1) / (ns(variant) · N) — 1.0 is a perfect linear speedup, 1/N
+// means the extra shards bought nothing (the single-core floor). Variants
+// past the width (e.g. /speculate) are scored against the same plain
+// shards=1 baseline, so the speculative engine's contribution is read off
+// the same scale.
+func efficiency(snap *Snapshot) {
+	for name, e := range snap.Benchmarks {
+		m := shardedName.FindStringSubmatch(name)
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[2])
+		if err != nil || n <= 1 {
+			continue
+		}
+		base, ok := snap.Benchmarks[m[1]+"/shards=1"]
+		if !ok || e.NsPerOp <= 0 {
+			continue
+		}
+		if snap.Efficiency == nil {
+			snap.Efficiency = map[string]float64{}
+		}
+		snap.Efficiency[name] = base.NsPerOp / (e.NsPerOp * float64(n))
+	}
+}
+
+// Host describes the machine a result was measured on.
+type Host struct {
+	Cores      int    `json:"cores"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GoVersion  string `json:"go_version"`
+}
+
+// ResultFile is one timestamped benchmark result archived under
+// benchmarks/results/: the snapshot plus when and where it was measured,
+// so efficiency trends can be compared across runs and runner hardware.
+type ResultFile struct {
+	Timestamp string `json:"timestamp"`
+	Host      Host   `json:"host"`
+	*Snapshot
 }
 
 // benchLine matches one `go test -bench` result line, with optional
@@ -230,6 +298,47 @@ func writeSnapshot(path string, snap *Snapshot) error {
 	return os.WriteFile(path, append(js, '\n'), 0o644)
 }
 
+// writeResult archives the snapshot as a timestamped result file under dir,
+// stamped with the host the run was measured on, and returns the path. The
+// filename is derived from the timestamp so successive CI runs accumulate
+// rather than overwrite.
+func writeResult(dir string, snap *Snapshot, now time.Time) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	res := ResultFile{
+		Timestamp: now.UTC().Format(time.RFC3339),
+		Host: Host{
+			Cores:      runtime.NumCPU(),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GoVersion:  runtime.Version(),
+		},
+		Snapshot: snap,
+	}
+	js, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "bench-"+now.UTC().Format("20060102T150405Z")+".json")
+	return path, os.WriteFile(path, append(js, '\n'), 0o644)
+}
+
+// reportEfficiency prints the tracked parallel-efficiency lines in stable
+// name order.
+func reportEfficiency(snap *Snapshot, out io.Writer) {
+	names := make([]string, 0, len(snap.Efficiency))
+	for name := range snap.Efficiency {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(out, "info %s: parallel efficiency %.2f (speedup over shards=1 / shard count; tracked, not gated)\n",
+			name, snap.Efficiency[name])
+	}
+}
+
 func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
 	inPath := fs.String("in", "-", "bench output to parse (- = stdin)")
@@ -242,6 +351,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	benchPattern := fs.String("bench", ".", "benchmark pattern for the merge-base run (with -merge-base)")
 	benchCount := fs.Int("bench-count", 3, "bench -count for the merge-base run (with -merge-base)")
 	benchTime := fs.String("bench-time", "", "bench -benchtime for the merge-base run — MUST match the HEAD-side run (with -merge-base)")
+	resultsDir := fs.String("results-dir", "", "also archive this run as a timestamped result JSON with host metadata under this directory (e.g. benchmarks/results)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -257,8 +367,17 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	efficiency(snap)
+	reportEfficiency(snap, out)
 	if err := writeSnapshot(*outPath, snap); err != nil {
 		return err
+	}
+	if *resultsDir != "" {
+		path, err := writeResult(*resultsDir, snap, time.Now())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "benchgate: archived result %s\n", path)
 	}
 	if *update {
 		if err := writeSnapshot(*basePath, snap); err != nil {

@@ -235,6 +235,81 @@ func TestCompareAllocsGateEdges(t *testing.T) {
 	}
 }
 
+// Parallel efficiency: every /shards=N (and deeper, e.g. /speculate)
+// variant with a shards=1 sibling scores ns(1)/(ns(N)·N); everything
+// else — the shards=1 anchor itself, families without an anchor,
+// non-sharded names — is left out of the map.
+func TestEfficiency(t *testing.T) {
+	snap := &Snapshot{Benchmarks: map[string]Entry{
+		"BenchmarkMega/shards=1":           {NsPerOp: 800},
+		"BenchmarkMega/shards=4":           {NsPerOp: 250}, // 800/(250·4) = 0.80
+		"BenchmarkMega/shards=4/speculate": {NsPerOp: 200}, // 800/(200·4) = 1.00
+		"BenchmarkOrphan/shards=8":         {NsPerOp: 100}, // no shards=1 sibling
+		"BenchmarkScalar":                  {NsPerOp: 10},
+	}}
+	efficiency(snap)
+	want := map[string]float64{
+		"BenchmarkMega/shards=4":           0.80,
+		"BenchmarkMega/shards=4/speculate": 1.00,
+	}
+	if len(snap.Efficiency) != len(want) {
+		t.Fatalf("efficiency map = %v, want %v", snap.Efficiency, want)
+	}
+	for name, eff := range want {
+		got := snap.Efficiency[name]
+		if got < eff-1e-9 || got > eff+1e-9 {
+			t.Fatalf("efficiency[%s] = %v, want %v", name, got, eff)
+		}
+	}
+}
+
+// -results-dir archives the run as a timestamped JSON carrying host
+// metadata and the efficiency map, alongside the regular snapshot; the
+// info lines for tracked efficiency appear in the output.
+func TestResultsDirArchive(t *testing.T) {
+	dir := t.TempDir()
+	results := filepath.Join(dir, "results")
+	var sb strings.Builder
+	err := run([]string{
+		"-out", filepath.Join(dir, "o.json"),
+		"-baseline", filepath.Join(dir, "b.json"),
+		"-update", "-results-dir", results,
+	}, strings.NewReader(sample), &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "parallel efficiency") {
+		t.Fatalf("efficiency info line missing:\n%s", sb.String())
+	}
+	files, err := filepath.Glob(filepath.Join(results, "bench-*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("archived files = %v (%v), want exactly one", files, err)
+	}
+	js, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Timestamp  string             `json:"timestamp"`
+		Host       Host               `json:"host"`
+		Benchmarks map[string]Entry   `json:"benchmarks"`
+		Efficiency map[string]float64 `json:"parallel_efficiency"`
+	}
+	if err := json.Unmarshal(js, &res); err != nil {
+		t.Fatalf("%s: %v", files[0], err)
+	}
+	if res.Timestamp == "" || res.Host.Cores < 1 || res.Host.GoMaxProcs < 1 || res.Host.GoVersion == "" {
+		t.Fatalf("host metadata incomplete: %+v", res)
+	}
+	if len(res.Benchmarks) != 3 {
+		t.Fatalf("archived %d benchmarks, want 3", len(res.Benchmarks))
+	}
+	// The sample's shards=4 variant scores against its shards=1 sibling.
+	if _, ok := res.Efficiency["BenchmarkShardedHighwayThroughput/shards=4"]; !ok {
+		t.Fatalf("efficiency missing from archive: %v", res.Efficiency)
+	}
+}
+
 // Min-per-metric independence: the fastest ns/op run and the lowest
 // allocs/op run can be different runs — each metric keeps its own
 // minimum, and MemRuns counts only the runs that carried memory columns.

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	karyon-sim -scenario highway [-seed N] [-duration 2m] [-cars 30] [-mode adaptive|fixed1|fixed2|fixed3|reckless] [-fault-rate 2] [-jam-every 30s -jam-burst 2s] [-medium] [-channels 2]
-//	karyon-sim -scenario megahighway [-cars 200] [-length 10000] [-loss 0.05] [-shards N] [-medium] [-jam-every 30s -jam-burst 2s]
+//	karyon-sim -scenario megahighway [-cars 200] [-length 10000] [-loss 0.05] [-shards N] [-speculate K] [-medium] [-jam-every 30s -jam-burst 2s]
 //	karyon-sim -scenario intersection [-failat 60s] [-nobackup] [-medium] [-jam-every 30s -jam-burst 2s]
 //	karyon-sim -scenario encounter [-geometry same-direction|leveled-crossing|level-change] [-voice]
 //
@@ -24,6 +24,15 @@
 // medium — airtime occupancy, overlap collisions, carrier sense and jam
 // windows, still byte-identical at every -shards width — and -channels
 // sets its orthogonal channel count.
+//
+// -speculate K (K >= 2) lets shard kernels of the highway worlds run up to
+// K windows ahead optimistically, with deterministic abort-and-replay on
+// conflict: another wall-time-only knob — the simulated records are
+// byte-identical to a lockstep run at every K and every width. It appends
+// a telemetry=speculation record (batches, commits, aborts, replay counts,
+// per-arc radio resolution splits) that naturally varies with -shards and
+// -speculate; exclude it when diffing across those knobs. Carrier-sense
+// medium worlds fence back to lockstep automatically.
 package main
 
 import (
@@ -68,6 +77,7 @@ func run(args []string, out io.Writer) error {
 	replicas := fs.Int("replicas", 1, "independent replicas, seeds spaced by the harness stride")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "replica worker-pool width; affects wall time only, never output")
 	shards := fs.Int("shards", 1, "shard kernels per replica (megahighway); affects wall time only, never output")
+	speculate := fs.Int("speculate", 0, "highway/megahighway: optimistic shard windows — run up to K windows ahead with deterministic abort-and-replay (0/1 = lockstep); affects wall time only, never simulated output")
 	jsonOut := fs.Bool("json", false, "emit a JSON report with full per-value distributions")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,12 +92,13 @@ func run(args []string, out io.Writer) error {
 		sc = harness.HighwayScenario{
 			Duration: *duration, Cars: n, Mode: *mode,
 			SensorFaultRate: *faultRate, JamEvery: *jamEvery, JamBurst: *jamBurst,
-			Medium: *medium, Channels: *channels,
+			Medium: *medium, Channels: *channels, SpecDepth: *speculate,
 		}
 	case "megahighway":
 		sc = harness.MegaHighwayScenario{
 			Duration: *duration, Cars: *cars, Length: *length, Loss: *loss, V2VRange: *v2vRange,
 			Medium: *medium, Channels: *channels, JamEvery: *jamEvery, JamBurst: *jamBurst,
+			SpecDepth: *speculate,
 		}
 	case "intersection":
 		sc = harness.IntersectionScenario{

@@ -153,8 +153,12 @@ type Manager struct {
 	clock sim.Clock
 	ri    *RuntimeInfo
 
-	fns    map[string]*Functionality
-	ticker *sim.Ticker
+	fns map[string]*Functionality
+	// ordered caches FunctionalityList's name-sorted view; Cycle runs once
+	// per control period on every car, and rebuilding the sorted slice
+	// there allocated more than the evaluation itself.
+	ordered []*Functionality
+	ticker  *sim.Ticker
 
 	// Cycles counts completed evaluation cycles.
 	Cycles int64
@@ -210,6 +214,8 @@ func (m *Manager) AddFunctionality(name string, levels int) (*Functionality, err
 		enteredAt: m.clock.Now(),
 	}
 	m.fns[name] = f
+	m.ordered = append(m.ordered, f)
+	sort.Slice(m.ordered, func(i, j int) bool { return m.ordered[i].name < m.ordered[j].name })
 	return f, nil
 }
 
@@ -219,18 +225,10 @@ func (m *Manager) Functionality(name string) (*Functionality, bool) {
 	return f, ok
 }
 
-// FunctionalityList returns all functionalities sorted by name.
+// FunctionalityList returns all functionalities sorted by name. The
+// returned slice is the manager's cached view; callers must not mutate it.
 func (m *Manager) FunctionalityList() []*Functionality {
-	names := make([]string, 0, len(m.fns))
-	for n := range m.fns {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	out := make([]*Functionality, len(names))
-	for i, n := range names {
-		out[i] = m.fns[n]
-	}
-	return out
+	return m.ordered
 }
 
 // Start launches the periodic evaluation cycle. It requires a clock that

@@ -118,6 +118,7 @@ func runE2(cfg Config) *metrics.Result {
 		hcfg.FixedLoS = fixed
 		hcfg.Medium = cfg.Medium
 		hcfg.CarrierSense = cfg.Medium
+		hcfg.SpecDepth = cfg.SpecDepth
 		if !v2v {
 			hcfg.V2VPeriod = 0
 		}
@@ -134,7 +135,7 @@ func runE2(cfg Config) *metrics.Result {
 			return
 		}
 		if faults {
-			campaign, err := faultinject.Generate(sim.NewStream(cfg.Seed, variant, 11),
+			campaign, err := faultinject.Generate(sim.NewStream(cfg.Seed, variant, 11).Rand,
 				faultinject.GenerateConfig{
 					Duration: measure, Warmup: sim.Second,
 					Events: cfg.n(60, 15), Targets: hcfg.Cars,
@@ -189,6 +190,7 @@ func runE12(cfg Config) *metrics.Result {
 		hcfg := world.DefaultHighwayConfig()
 		hcfg.Medium = cfg.Medium
 		hcfg.CarrierSense = cfg.Medium
+		hcfg.SpecDepth = cfg.SpecDepth
 		h, err := world.BuildHighway(cfg.Seed+int64(c), cfg.shards(), hcfg)
 		if err != nil {
 			res.AddNote("campaign %d: %v", c, err)
@@ -200,7 +202,7 @@ func runE12(cfg Config) *metrics.Result {
 		if err := h.Run(cfg.dur(20*sim.Second, 5*sim.Second)); err != nil {
 			continue
 		}
-		campaign, err := faultinject.Generate(sim.NewStream(cfg.Seed+int64(c), 0, 11),
+		campaign, err := faultinject.Generate(sim.NewStream(cfg.Seed+int64(c), 0, 11).Rand,
 			faultinject.GenerateConfig{
 				Duration: dur, Warmup: sim.Second,
 				Events: cfg.n(30, 8), Targets: hcfg.Cars,

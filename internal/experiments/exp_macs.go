@@ -45,6 +45,10 @@ func runEMacS(cfg Config) *metrics.Result {
 			hcfg.Medium = true
 			hcfg.CarrierSense = true
 			hcfg.Loss = 0.02
+			// Honored for uniformity, but carrier-sense worlds fence
+			// speculation to lockstep (whole-window contention cannot be
+			// resolved per-arc), so this never changes the numbers.
+			hcfg.SpecDepth = cfg.SpecDepth
 			h, err := world.BuildHighway(cfg.Seed, cfg.shards(), hcfg)
 			if err != nil {
 				res.AddNote("%d cars: %v", cars, err)
@@ -78,6 +82,7 @@ func runEMacS(cfg Config) *metrics.Result {
 				Val("delivery ratio", st.DeliveryRatio(), metrics.Pct).
 				Int("radio collisions", st.Collisions).
 				Int("deferred", st.Deferred).
+				Int("retried", st.Retries).
 				Int("jammed", st.Jammed).
 				Val("inacc p95 ms", inacc.Percentile(95), metrics.F2).
 				Val("inacc max ms", inacc.Max(), metrics.F2).
@@ -87,5 +92,6 @@ func runEMacS(cfg Config) *metrics.Result {
 		}
 	}
 	res.AddNote("expected: delivery ratio falls and radio collisions rise with density; under CSMA a jam surfaces as deferrals (carrier sense reports the burst busy), and each burst appears whole in the inaccessibility durations — all without vehicle collisions")
+	res.AddNote("beacon age: a retried frame re-contends when the channel clears instead of dropping, so it is delivered within its own barrier window — at worst one beacon period (100 ms) staler than its slot, never staler than the next beacon would have been; the retried column counts beacons whose loss carrier sense converted into that bounded staleness")
 	return res
 }

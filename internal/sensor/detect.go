@@ -184,11 +184,10 @@ func (d NoiseDetector) Check(_ sim.Time, r Reading, hist *History) Verdict {
 	if minW < 4 {
 		minW = 4
 	}
-	vals := append(hist.Values(), r.Value)
-	if len(vals) < minW {
+	if hist.Len()+1 < minW {
 		return Verdict{Validity: 1}
 	}
-	sd := detrendedStdDev(vals)
+	sd := detrendedStdDevHist(hist, r.Value)
 	limit := d.Sigma * d.Tolerance
 	if limit <= 0 || sd <= limit {
 		return Verdict{Validity: 1}
@@ -199,29 +198,74 @@ func (d NoiseDetector) Check(_ sim.Time, r Reading, hist *History) Verdict {
 // detrendedStdDev removes a least-squares line from vals (indexed by
 // position) and returns the residual standard deviation.
 func detrendedStdDev(vals []float64) float64 {
-	n := float64(len(vals))
-	var sx, sy, sxx, sxy float64
-	for i, v := range vals {
-		x := float64(i)
-		sx += x
-		sy += v
-		sxx += x * x
-		sxy += x * v
+	fit := detrendFit{}
+	for _, v := range vals {
+		fit.add(v)
 	}
-	denom := n*sxx - sx*sx
-	var slope, intercept float64
+	fit.solve()
+	for _, v := range vals {
+		fit.residual(v)
+	}
+	return fit.stddev()
+}
+
+// detrendedStdDevHist is detrendedStdDev over the history window followed
+// by one extra value, without materializing the slice — this runs once per
+// transducer sample on the car control hot path, and the slice append it
+// replaces was the single largest allocation site in the whole simulation.
+func detrendedStdDevHist(hist *History, last float64) float64 {
+	fit := detrendFit{}
+	for i := range hist.buf {
+		fit.add(hist.buf[i].Value)
+	}
+	fit.add(last)
+	fit.solve()
+	for i := range hist.buf {
+		fit.residual(hist.buf[i].Value)
+	}
+	fit.residual(last)
+	return fit.stddev()
+}
+
+// detrendFit accumulates a least-squares line fit in one pass and residual
+// energy in a second, with the same operation order for every caller so
+// results stay bit-identical however the values are stored.
+type detrendFit struct {
+	i                int
+	sx, sy, sxx, sxy float64
+	slope, intercept float64
+	j                int
+	ss               float64
+}
+
+func (f *detrendFit) add(v float64) {
+	x := float64(f.i)
+	f.i++
+	f.sx += x
+	f.sy += v
+	f.sxx += x * x
+	f.sxy += x * v
+}
+
+func (f *detrendFit) solve() {
+	n := float64(f.i)
+	denom := n*f.sxx - f.sx*f.sx
 	if denom != 0 {
-		slope = (n*sxy - sx*sy) / denom
-		intercept = (sy - slope*sx) / n
+		f.slope = (n*f.sxy - f.sx*f.sy) / denom
+		f.intercept = (f.sy - f.slope*f.sx) / n
 	} else {
-		intercept = sy / n
+		f.intercept = f.sy / n
 	}
-	var ss float64
-	for i, v := range vals {
-		resid := v - (slope*float64(i) + intercept)
-		ss += resid * resid
-	}
-	return math.Sqrt(ss / n)
+}
+
+func (f *detrendFit) residual(v float64) {
+	resid := v - (f.slope*float64(f.j) + f.intercept)
+	f.j++
+	f.ss += resid * resid
+}
+
+func (f *detrendFit) stddev() float64 {
+	return math.Sqrt(f.ss / float64(f.i))
 }
 
 // ModelDetector is a continuous detector implementing analytical redundancy
@@ -256,8 +300,11 @@ type FaultManagement struct {
 	detectors []Detector
 	hist      *History
 	// lastVerdicts keeps the most recent per-detector outcomes for
-	// diagnostics and tests.
-	lastVerdicts map[string]Verdict
+	// diagnostics and tests, indexed like detectors — a slice rather than a
+	// name-keyed map because Assess runs once per transducer sample on the
+	// control hot path, where per-call map writes dominate.
+	lastVerdicts []Verdict
+	assessed     bool
 }
 
 // NewFaultManagement creates a unit with the given history window and
@@ -266,7 +313,7 @@ func NewFaultManagement(window int, detectors ...Detector) *FaultManagement {
 	return &FaultManagement{
 		detectors:    detectors,
 		hist:         NewHistory(window),
-		lastVerdicts: make(map[string]Verdict, len(detectors)),
+		lastVerdicts: make([]Verdict, len(detectors)),
 	}
 }
 
@@ -274,15 +321,16 @@ func NewFaultManagement(window int, detectors ...Detector) *FaultManagement {
 // reading annotated with the combined validity.
 func (fm *FaultManagement) Assess(now sim.Time, r Reading) Reading {
 	validity := 1.0
-	for _, d := range fm.detectors {
+	for i, d := range fm.detectors {
 		v := d.Check(now, r, fm.hist)
-		fm.lastVerdicts[d.Name()] = v
+		fm.lastVerdicts[i] = v
 		if v.Dominant && v.Validity == 0 {
 			validity = 0
 		} else {
 			validity *= Clamp(v.Validity)
 		}
 	}
+	fm.assessed = true
 	fm.hist.Push(r)
 	r.Validity = Clamp(validity)
 	return r
@@ -290,8 +338,42 @@ func (fm *FaultManagement) Assess(now sim.Time, r Reading) Reading {
 
 // Verdict returns the most recent verdict from the named detector.
 func (fm *FaultManagement) Verdict(name string) (Verdict, bool) {
-	v, ok := fm.lastVerdicts[name]
-	return v, ok
+	if !fm.assessed {
+		return Verdict{}, false
+	}
+	for i, d := range fm.detectors {
+		if d.Name() == name {
+			return fm.lastVerdicts[i], true
+		}
+	}
+	return Verdict{}, false
+}
+
+// FaultManagementState is a checkpoint of the unit's mutable state (for
+// speculative shard windows); storage is reused across Save calls.
+type FaultManagementState struct {
+	hist     []Reading
+	verdicts []Verdict
+	assessed bool
+}
+
+// SaveState checkpoints the unit into st (pass nil to allocate) and
+// returns it.
+func (fm *FaultManagement) SaveState(st *FaultManagementState) *FaultManagementState {
+	if st == nil {
+		st = &FaultManagementState{}
+	}
+	st.hist = append(st.hist[:0], fm.hist.buf...)
+	st.verdicts = append(st.verdicts[:0], fm.lastVerdicts...)
+	st.assessed = fm.assessed
+	return st
+}
+
+// RestoreState rewinds the unit to a SaveState checkpoint.
+func (fm *FaultManagement) RestoreState(st *FaultManagementState) {
+	fm.hist.buf = append(fm.hist.buf[:0], st.hist...)
+	copy(fm.lastVerdicts, st.verdicts)
+	fm.assessed = st.assessed
 }
 
 // Abstract is the paper's abstract sensor (Fig. 2): a physical sensor plus
@@ -314,6 +396,11 @@ func (a *Abstract) Name() string { return a.phys.Name() }
 // Physical exposes the wrapped transducer (for fault injection in tests
 // and campaigns).
 func (a *Abstract) Physical() *Physical { return a.phys }
+
+// FaultManagement exposes the wrapped detection unit (for speculative
+// checkpointing: the abstract sensor itself is stateless, its state lives
+// in the transducer and the detection unit).
+func (a *Abstract) FaultManagement() *FaultManagement { return a.fm }
 
 // Read samples the transducer and returns the validity-annotated reading.
 func (a *Abstract) Read() Reading {

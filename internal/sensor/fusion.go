@@ -31,9 +31,23 @@ func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
 // inputs, where f is the number of tolerated faulty sensors. It returns
 // ErrNoData when n == 0 or no point is covered by n-f intervals.
 func Marzullo(intervals []Interval, f int) (Interval, error) {
+	iv, _, err := marzulloScratch(intervals, f, nil)
+	return iv, err
+}
+
+// marzulloEdge is one interval endpoint in the Marzullo sweep.
+type marzulloEdge struct {
+	x     float64
+	delta int // +1 interval opens, -1 closes
+}
+
+// marzulloScratch is Marzullo with caller-provided edge scratch, so the
+// per-control-cycle fusion on the car hot path does not allocate. It
+// returns the (possibly grown) scratch for reuse.
+func marzulloScratch(intervals []Interval, f int, edges []marzulloEdge) (Interval, []marzulloEdge, error) {
 	n := len(intervals)
 	if n == 0 {
-		return Interval{}, ErrNoData
+		return Interval{}, edges, ErrNoData
 	}
 	if f < 0 {
 		f = 0
@@ -42,25 +56,27 @@ func Marzullo(intervals []Interval, f int) (Interval, error) {
 	if need < 1 {
 		need = 1
 	}
-	type edge struct {
-		x     float64
-		delta int // +1 interval opens, -1 closes
-	}
-	edges := make([]edge, 0, 2*n)
+	edges = edges[:0]
 	for _, iv := range intervals {
 		lo, hi := iv.Lo, iv.Hi
 		if lo > hi {
 			lo, hi = hi, lo
 		}
-		edges = append(edges, edge{x: lo, delta: +1}, edge{x: hi, delta: -1})
+		edges = append(edges, marzulloEdge{x: lo, delta: +1}, marzulloEdge{x: hi, delta: -1})
 	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].x != edges[j].x {
-			return edges[i].x < edges[j].x
+	// Insertion sort by (x, opens-before-closes): edge sets are tiny (two
+	// per input), and sort.Slice's closure allocates on a path that runs
+	// every control cycle. Ties on (x, delta) commute, so the order is
+	// deterministic where it matters.
+	for i := 1; i < len(edges); i++ {
+		e := edges[i]
+		j := i - 1
+		for j >= 0 && (edges[j].x > e.x || (edges[j].x == e.x && edges[j].delta < e.delta)) {
+			edges[j+1] = edges[j]
+			j--
 		}
-		// Opens before closes at the same point: closed intervals touch.
-		return edges[i].delta > edges[j].delta
-	})
+		edges[j+1] = e
+	}
 	depth := 0
 	best := Interval{}
 	found := false
@@ -79,9 +95,9 @@ func Marzullo(intervals []Interval, f int) (Interval, error) {
 		}
 	}
 	if !found {
-		return Interval{}, ErrNoData
+		return Interval{}, edges, ErrNoData
 	}
-	return best, nil
+	return best, edges, nil
 }
 
 // ToInterval converts a reading to an interval assuming a symmetric error
@@ -227,6 +243,12 @@ type Reliable struct {
 	// system-level fault detection a single sensor cannot provide (e.g.
 	// a permanent calibration offset).
 	suspects []string
+
+	// readings/intervals/edges are per-Read scratch, reused so the fusion
+	// pipeline stops allocating on the control hot path.
+	readings  []Reading
+	intervals []Interval
+	edges     []marzulloEdge
 }
 
 // NewReliable builds a reliable sensor over the given inputs. halfWidth is
@@ -246,6 +268,34 @@ func NewReliable(clock sim.Clock, inputs []*Abstract, halfWidth float64, f int, 
 // LastErr returns the most recent fusion error (nil when the last Read
 // fused successfully).
 func (rs *Reliable) LastErr() error { return rs.lastErr }
+
+// ReliableState is a checkpoint of the fused sensor's mutable state (for
+// speculative shard windows); storage is reused across Save calls.
+type ReliableState struct {
+	filter   TemporalFilter
+	lastErr  error
+	suspects []string
+}
+
+// SaveState checkpoints the sensor into st (pass nil to allocate) and
+// returns it. The inputs' own state is checkpointed separately via their
+// FaultManagement units.
+func (rs *Reliable) SaveState(st *ReliableState) *ReliableState {
+	if st == nil {
+		st = &ReliableState{}
+	}
+	st.filter = *rs.filter
+	st.lastErr = rs.lastErr
+	st.suspects = append(st.suspects[:0], rs.suspects...)
+	return st
+}
+
+// RestoreState rewinds the sensor to a SaveState checkpoint.
+func (rs *Reliable) RestoreState(st *ReliableState) {
+	*rs.filter = st.filter
+	rs.lastErr = st.lastErr
+	rs.suspects = append(rs.suspects[:0], st.suspects...)
+}
 
 // LastSuspects returns the input names the most recent Read excluded or
 // found disagreeing with the fused value.
@@ -269,8 +319,8 @@ func (rs *Reliable) Suspected(name string) bool {
 func (rs *Reliable) Read() Reading {
 	now := rs.clock.Now()
 	rs.suspects = rs.suspects[:0]
-	readings := make([]Reading, 0, len(rs.inputs))
-	intervals := make([]Interval, 0, len(rs.inputs))
+	readings := rs.readings[:0]
+	intervals := rs.intervals[:0]
 	for _, in := range rs.inputs {
 		r := in.Read()
 		if r.Validity >= rs.minVal && r.Validity > 0 {
@@ -280,11 +330,14 @@ func (rs *Reliable) Read() Reading {
 			rs.suspects = append(rs.suspects, in.Name())
 		}
 	}
+	rs.readings = readings
+	rs.intervals = intervals
 	if len(readings) == 0 {
 		rs.lastErr = ErrNoData
 		return Reading{Time: now, Validity: 0, Source: "reliable"}
 	}
-	iv, err := Marzullo(intervals, rs.faulty)
+	iv, edges, err := marzulloScratch(intervals, rs.faulty, rs.edges)
+	rs.edges = edges
 	if err != nil {
 		// No agreement: fall back to median, heavily discounted.
 		med, merr := MedianFusion(now, readings, rs.minVal)

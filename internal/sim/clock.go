@@ -25,13 +25,15 @@ func (c *ManualClock) Now() Time { return c.t }
 // Set advances the clock to t (moves backward too; the owner is trusted).
 func (c *ManualClock) Set(t Time) { c.t = t }
 
-// NewStream returns a deterministic random source for one (entity, dim)
+// NewStream returns a deterministic random stream for one (entity, dim)
 // pair derived from the run seed via SplitSeed. Sharded models draw every
 // entity's randomness from such streams — never from a shard kernel's rng —
 // so the sequence an entity consumes is independent of which shard runs it
-// and of how other entities' events interleave.
-func NewStream(seed, entity, dim int64) *rand.Rand {
-	return rand.New(rand.NewSource(SplitSeed(seed, entity*64+dim)))
+// and of how other entities' events interleave. The returned Stream exposes
+// State/Restore so speculative execution can checkpoint and replay it.
+func NewStream(seed, entity, dim int64) *Stream {
+	src := &source{state: uint64(SplitSeed(seed, entity*64+dim))}
+	return &Stream{Rand: rand.New(src), src: src}
 }
 
 // DriftClock models an imperfect local oscillator: a node's view of time

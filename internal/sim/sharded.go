@@ -105,6 +105,10 @@ type ShardedKernel struct {
 	// failed latches the first window error: a poisoned sharded run must
 	// not silently continue half-advanced.
 	failed error
+
+	// spec, when non-nil, enables optimistic shard windows (see
+	// speculate.go).
+	spec *specController
 }
 
 // NewShardedKernel creates a sharded kernel over n partitions with the
@@ -219,6 +223,18 @@ func (sk *ShardedKernel) Run(ctx context.Context, until Time) error {
 		if err := ctx.Err(); err != nil {
 			sk.failed = fmt.Errorf("sim: sharded run cancelled at %v: %w", sk.now, err)
 			return sk.failed
+		}
+		if c := sk.spec; c != nil {
+			if k := sk.planBatch(until); k > 0 {
+				if err := sk.runBatch(k); err != nil {
+					sk.failed = err
+					return err
+				}
+				continue
+			}
+			if c.penalty > 0 {
+				c.penalty--
+			}
 		}
 		edge := sk.NextEdge(sk.now + 1)
 		if edge > until {

@@ -1,0 +1,357 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file implements optimistic shard windows: instead of stopping at
+// every window barrier, the sharded kernel may run a *batch* of K windows
+// in which the shards execute optimistically and the single-threaded
+// barrier work is reduced to a thin per-window exchange. The model
+// records an undo point at the batch start; if a window turns out to need
+// full barrier semantics (a cross-shard conflict), the whole attempted
+// prefix is rolled back and replayed through the ordinary lockstep path.
+// Replay is a pure function of (seed, config), so a committed run is
+// byte-identical to a lockstep run regardless of where aborts land.
+//
+// The controller is deliberately model-agnostic: everything it knows
+// about the simulation goes through SpeculativeModel. The sharded world
+// in internal/world implements it for the highway; models that never call
+// EnableSpeculation are untouched.
+
+// SpeculativeModel is implemented by a sharded model that can run windows
+// optimistically. The call sequence for a batch of K windows is:
+//
+//	SpecSave(start)                          // once, single-threaded
+//	for j = 1..K:
+//	    SpecOpen(s, prev, j==1)   ∀ shards   // parallel, one goroutine each
+//	    <shard kernels run to the edge>      // parallel
+//	    SpecClose(s, edge)        ∀ shards   // parallel
+//	    SpecExchange(edge, j==K)             // single-threaded
+//	SpecAbort(start)                         // only if some step conflicted
+//
+// SpecClose and SpecExchange report false to signal a conflict: the model
+// saw an interaction it cannot resolve speculatively (an entity crossed
+// further than the lookahead bound, a reservation intent fired, a
+// collision was detected at accounting time). On conflict the controller
+// restores every shard kernel to its Mark, calls SpecAbort so the model
+// restores its own checkpoint, and replays the attempted windows through
+// the normal lockstep barrier.
+//
+// During speculative windows the model must not call Shard.Send — the
+// mailbox is a barrier-time mechanism, and the controller treats any
+// message left in an outbox after a speculative window as a conflict.
+type SpeculativeModel interface {
+	// SpecEligible reports whether the model can speculate *right now*
+	// (e.g. no observer hooks registered, no maneuver mid-flight, medium
+	// mode supported). Checked once per batch at the current edge.
+	SpecEligible() bool
+
+	// SpecFence returns the earliest virtual instant that requires full
+	// barrier handling (typically the model's earliest scheduled barrier
+	// action), or NoFence when there is none. Every edge of a speculative
+	// batch must lie strictly before the fence.
+	SpecFence() Time
+
+	// SpecSave records the model's undo point at the batch start edge.
+	SpecSave(edge Time)
+
+	// SpecOpen prepares shard's speculative view of the window ending at
+	// prev+window. first marks the batch's first window, whose events
+	// were already seeded by the preceding barrier. Runs in parallel
+	// across shards.
+	SpecOpen(shard int, prev Time, first bool)
+
+	// SpecClose finishes shard's window at edge (local state rewrite,
+	// local frame delivery, conflict detection). Runs in parallel across
+	// shards; false reports a conflict.
+	SpecClose(shard int, edge Time) bool
+
+	// SpecExchange performs the single-threaded per-window reconciliation
+	// (crosser merge, boundary frame delivery, metric accounting); last
+	// marks the batch's final window, after which the model must leave
+	// its published state exactly as a lockstep barrier would have.
+	// False reports a conflict.
+	SpecExchange(edge Time, last bool) bool
+
+	// SpecAbort restores the model to its SpecSave checkpoint at edge.
+	SpecAbort(edge Time)
+}
+
+// NoFence is returned by SpecFence when no scheduled action constrains
+// speculation.
+const NoFence = Time(1<<63 - 1)
+
+// DefaultSpecBackoff is the number of lockstep windows run after an abort
+// before speculation is retried (at reduced depth).
+const DefaultSpecBackoff = 8
+
+// SpecConfig parameterizes the speculation controller.
+type SpecConfig struct {
+	// Depth is the maximum number of windows per speculative batch (K).
+	// Zero or negative disables speculation. A depth of 1 is treated as
+	// disabled too: a one-window batch is lockstep with extra overhead.
+	Depth int
+	// Backoff is the number of lockstep windows run after an abort before
+	// speculation resumes (Doppel-style phase switching). Defaults to
+	// DefaultSpecBackoff when zero.
+	Backoff int
+}
+
+// SpecStats reports speculation telemetry. These counters describe the
+// *execution strategy*, not the simulation output: they legitimately vary
+// with shard count and speculation depth, so shard-invariance comparisons
+// must exclude them.
+type SpecStats struct {
+	// Batches counts speculative batches attempted.
+	Batches uint64
+	// Commits and Aborts partition finished batches.
+	Commits uint64
+	Aborts  uint64
+	// WindowsSpeculated counts windows executed optimistically (including
+	// ones later aborted); WindowsAborted counts the aborted subset;
+	// WindowsReplayed counts lockstep replays of aborted windows.
+	WindowsSpeculated uint64
+	WindowsAborted    uint64
+	WindowsReplayed   uint64
+	// Fences counts planning passes that fell back to lockstep because of
+	// model eligibility, a fence, or a too-short horizon (backoff-penalty
+	// windows are not counted).
+	Fences uint64
+	// Depth is the controller's current adaptive depth.
+	Depth int
+}
+
+// specController holds the adaptive speculation state of a ShardedKernel.
+type specController struct {
+	model SpeculativeModel
+	cfg   SpecConfig
+
+	// depth is the current adaptive batch depth: cfg.Depth while clean,
+	// re-ramped 2, 4, 8, ... after an abort's backoff penalty expires.
+	depth int
+	// penalty counts remaining forced-lockstep windows after an abort.
+	penalty int
+
+	marks []KernelMark
+	errs  []error
+	bad   []bool
+
+	stats SpecStats
+}
+
+// EnableSpeculation turns on optimistic shard windows for the model. A
+// cfg.Depth below 2 disables speculation (the kernel runs pure lockstep).
+// Call before Run; enabling mid-run at a window edge is safe, mid-window
+// is not.
+func (sk *ShardedKernel) EnableSpeculation(m SpeculativeModel, cfg SpecConfig) {
+	if m == nil || cfg.Depth < 2 {
+		sk.spec = nil
+		return
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = DefaultSpecBackoff
+	}
+	sk.spec = &specController{
+		model: m,
+		cfg:   cfg,
+		depth: cfg.Depth,
+		marks: make([]KernelMark, len(sk.shards)),
+		errs:  make([]error, len(sk.shards)),
+		bad:   make([]bool, len(sk.shards)),
+	}
+}
+
+// SpecStats returns the speculation telemetry (zero when speculation is
+// disabled).
+func (sk *ShardedKernel) SpecStats() SpecStats {
+	if sk.spec == nil {
+		return SpecStats{}
+	}
+	st := sk.spec.stats
+	st.Depth = sk.spec.depth
+	return st
+}
+
+// CountBarrierExec adds n to the barrier-executed event counter.
+// Speculative models call it at commit time for frames they delivered
+// outside the mailbox path, so Executed() matches the lockstep run.
+func (sk *ShardedKernel) CountBarrierExec(n uint64) { sk.barrierExec += n }
+
+// PlanSpecWindows is the pure planning function behind the speculation
+// controller: given the current edge (now, which must lie on the window
+// grid), the run horizon, the window length, the model's fence and the
+// permitted depth, it returns how many whole windows the next speculative
+// batch may cover. The invariants — every batch edge lies on the grid, at
+// or before the horizon, and strictly before the fence; a batch is at
+// least 2 windows or not attempted — are fuzz-tested.
+func PlanSpecWindows(now, until, window, fence Time, depth int) int {
+	if window <= 0 || now < 0 || depth < 2 {
+		return 0
+	}
+	if now%window != 0 || until <= now {
+		return 0
+	}
+	k := Time(depth)
+	if h := (until - now) / window; h < k {
+		k = h
+	}
+	if fence != NoFence {
+		if fence <= now {
+			return 0
+		}
+		// Largest j with now + j*window < fence.
+		if maxJ := (fence - now - 1) / window; maxJ < k {
+			k = maxJ
+		}
+	}
+	if k < 2 {
+		return 0
+	}
+	return int(k)
+}
+
+// planBatch decides the next step: 0 means run one lockstep window, k ≥ 2
+// means run a speculative batch of k windows.
+func (sk *ShardedKernel) planBatch(until Time) int {
+	c := sk.spec
+	if c.penalty > 0 {
+		return 0
+	}
+	if !c.model.SpecEligible() {
+		c.stats.Fences++
+		return 0
+	}
+	k := PlanSpecWindows(sk.now, until, sk.window, c.model.SpecFence(), c.depth)
+	if k == 0 {
+		c.stats.Fences++
+	}
+	return k
+}
+
+// runBatch executes one speculative batch of k windows. A model conflict
+// triggers deterministic abort-and-replay; a panic anywhere latches as a
+// window error exactly like the lockstep path.
+func (sk *ShardedKernel) runBatch(k int) error {
+	c := sk.spec
+	start := sk.now
+	c.stats.Batches++
+	for i, s := range sk.shards {
+		c.marks[i] = s.kernel.Mark()
+	}
+	if err := guard("spec save", start, func() { c.model.SpecSave(start) }); err != nil {
+		return err
+	}
+
+	conflict := false
+	attempted := 0
+	for j := 1; j <= k; j++ {
+		prev := start + Time(j-1)*sk.window
+		edge := prev + sk.window
+		attempted = j
+		first := j == 1
+
+		var wg sync.WaitGroup
+		for _, s := range sk.shards {
+			s := s
+			c.errs[s.idx] = nil
+			c.bad[s.idx] = false
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() {
+					if p := recover(); p != nil {
+						c.errs[s.idx] = windowError(fmt.Sprintf("speculative shard %d", s.idx), edge, p)
+					}
+				}()
+				c.model.SpecOpen(s.idx, prev, first)
+				s.kernel.Run(edge)
+				if !c.model.SpecClose(s.idx, edge) {
+					c.bad[s.idx] = true
+				}
+			}()
+		}
+		wg.Wait()
+		for _, err := range c.errs {
+			if err != nil {
+				return err
+			}
+		}
+		sk.now = edge
+		c.stats.WindowsSpeculated++
+		for _, b := range c.bad {
+			if b {
+				conflict = true
+			}
+		}
+		// A Send during a speculative window violates the speculation
+		// contract; resolve it conservatively by replaying.
+		for _, s := range sk.shards {
+			if len(s.outbox) > 0 {
+				conflict = true
+			}
+		}
+		if conflict {
+			break
+		}
+		ok := false
+		if err := guard("spec exchange", edge, func() { ok = c.model.SpecExchange(edge, j == k) }); err != nil {
+			return err
+		}
+		if !ok {
+			conflict = true
+			break
+		}
+	}
+
+	if !conflict {
+		c.stats.Commits++
+		if c.depth < c.cfg.Depth {
+			c.depth *= 2
+			if c.depth > c.cfg.Depth {
+				c.depth = c.cfg.Depth
+			}
+		}
+		return nil
+	}
+
+	// Abort: rewind kernels and model to the batch start, then replay the
+	// attempted prefix through the ordinary lockstep barrier. Replay
+	// executes exactly the events a never-speculating run would have, so
+	// the committed output is unchanged.
+	c.stats.Aborts++
+	c.stats.WindowsAborted += uint64(attempted)
+	for i, s := range sk.shards {
+		s.kernel.Rollback(c.marks[i])
+		for oi := range s.outbox {
+			s.outbox[oi].fn = nil
+		}
+		s.outbox = s.outbox[:0]
+	}
+	sk.now = start
+	if err := guard("spec abort", start, func() { c.model.SpecAbort(start) }); err != nil {
+		return err
+	}
+	for j := 1; j <= attempted; j++ {
+		if err := sk.runWindow(start + Time(j)*sk.window); err != nil {
+			return err
+		}
+		c.stats.WindowsReplayed++
+	}
+	c.penalty = c.cfg.Backoff
+	c.depth = 2
+	return nil
+}
+
+// guard runs a single-threaded model callback with the same panic-to-error
+// wrapping as the lockstep hooks.
+func guard(phase string, edge Time, fn func()) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = windowError(phase, edge, p)
+		}
+	}()
+	fn()
+	return nil
+}

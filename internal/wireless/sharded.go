@@ -2,7 +2,6 @@ package wireless
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"karyon/internal/sim"
@@ -58,7 +57,7 @@ type ShardedMedium struct {
 	jamStart []sim.Time
 	jamUntil []sim.Time
 
-	rx    map[NodeID]*rand.Rand
+	rx    map[NodeID]*sim.Stream
 	stats ShardedStats
 }
 
@@ -108,7 +107,15 @@ type ShardedTx struct {
 	// Start is when the frame's airtime begins. The sending world keeps it
 	// inside the frame's window (clamping against the closing edge), so a
 	// window's frame set is complete when its barrier resolves.
-	Start   sim.Time
+	Start sim.Time
+	// Retry, when non-zero, is the latest start instant the sender will
+	// accept for this frame. A carrier-sense deferral then re-contends at
+	// the instant the sensed occupancy clears instead of dropping — CSMA
+	// backoff showing up as latency rather than loss. Zero keeps the
+	// legacy defer-means-drop behavior. The sending world sets it to the
+	// last in-window start (edge − airtime) so retries never leak across
+	// the barrier.
+	Retry   sim.Time
 	Payload any
 }
 
@@ -129,6 +136,30 @@ type ShardedStats struct {
 	Losses     int64
 	Jammed     int64
 	OutOfRange int64
+	// Retries counts carrier-sense re-contentions (frames that sensed a
+	// busy channel and moved their start later within the same window).
+	Retries int64
+	// ResolvedLocal and ResolvedBoundary count (frame, receiver) outcomes
+	// decided per-arc inside a shard window versus at the barrier's
+	// boundary reconciliation. Lockstep Resolve counts everything as
+	// boundary work.
+	ResolvedLocal    int64
+	ResolvedBoundary int64
+}
+
+// add folds a delta into s, field by field.
+func (s *ShardedStats) add(d ShardedStats) {
+	s.Queued += d.Queued
+	s.Sent += d.Sent
+	s.Deferred += d.Deferred
+	s.Delivered += d.Delivered
+	s.Collisions += d.Collisions
+	s.Losses += d.Losses
+	s.Jammed += d.Jammed
+	s.OutOfRange += d.OutOfRange
+	s.Retries += d.Retries
+	s.ResolvedLocal += d.ResolvedLocal
+	s.ResolvedBoundary += d.ResolvedBoundary
 }
 
 // DeliveryRatio returns delivered over in-range delivery attempts —
@@ -161,7 +192,7 @@ func NewShardedMedium(seed int64, cfg ShardedConfig) *ShardedMedium {
 		cfg:      cfg,
 		jamStart: make([]sim.Time, cfg.Channels),
 		jamUntil: make([]sim.Time, cfg.Channels),
-		rx:       make(map[NodeID]*rand.Rand),
+		rx:       make(map[NodeID]*sim.Stream),
 	}
 }
 
@@ -241,13 +272,23 @@ func airtimesOverlap(a, b *ShardedTx, airtime sim.Time) bool {
 // rxStream returns the receiver's loss stream, creating it on first use.
 // Streams are keyed by entity id and derived from SplitSeed, so creation
 // order — and therefore shard layout — cannot perturb the draws.
-func (m *ShardedMedium) rxStream(id NodeID) *rand.Rand {
+func (m *ShardedMedium) rxStream(id NodeID) *sim.Stream {
 	s, ok := m.rx[id]
 	if !ok {
 		s = sim.NewStream(m.seed, int64(id), shardedLossDim)
 		m.rx[id] = s
 	}
 	return s
+}
+
+// Prime pre-creates the loss streams for a contiguous id range. Per-arc
+// resolution (ResolveSlice) may run concurrently across shards; priming
+// removes the lazy map insert from that path so concurrent resolvers only
+// ever read the map.
+func (m *ShardedMedium) Prime(first, last NodeID) {
+	for id := first; id <= last; id++ {
+		m.rxStream(id)
+	}
 }
 
 // Resolve decides every queued frame's fate in deterministic (start,
@@ -269,26 +310,34 @@ func (m *ShardedMedium) Resolve(
 	if len(m.pending) == 0 {
 		return
 	}
-	sort.SliceStable(m.pending, func(i, j int) bool {
-		if m.pending[i].Start != m.pending[j].Start {
-			return m.pending[i].Start < m.pending[j].Start
-		}
-		return m.pending[i].From < m.pending[j].From
-	})
+	sortTxs(m.pending)
 
 	// Carrier-sense pass, in start order: a frame defers when its start
 	// instant lies inside an already-on-air audible frame on its channel
 	// (strictly earlier start: a simultaneous start is not yet detectable)
-	// or inside a jam burst. Deferred frames never occupy airtime, so they
-	// cannot collide with later frames — the pass is order-dependent
-	// front-to-back, which is exactly the deterministic order above.
+	// or inside a jam burst. A deferred frame with a Retry deadline moves
+	// its start to the instant the sensed occupancy clears and re-enters
+	// contention in sorted order (so later frames sense it correctly);
+	// otherwise — deadline exhausted or none set — it is dropped at the
+	// sender. Deferred frames never occupy airtime, so they cannot collide
+	// with later frames: the pass is order-dependent front-to-back, which
+	// is exactly the deterministic order above.
 	onAir := m.onAir[:0]
-	for i := range m.pending {
+	for i := 0; i < len(m.pending); i++ {
 		tx := &m.pending[i]
-		if m.cfg.CarrierSense && m.senseBusy(tx, onAir) {
-			m.stats.Deferred++
-			drop(tx, tx.From, DropBusy)
-			continue
+		if m.cfg.CarrierSense {
+			if clearAt, busy := m.senseClears(tx, onAir); busy {
+				if tx.Retry > 0 && clearAt <= tx.Retry {
+					m.stats.Retries++
+					moved := *tx
+					moved.Start = clearAt
+					m.reinsert(i, moved)
+					continue
+				}
+				m.stats.Deferred++
+				drop(tx, tx.From, DropBusy)
+				continue
+			}
 		}
 		onAir = append(onAir, i)
 	}
@@ -319,34 +368,206 @@ func (m *ShardedMedium) Resolve(
 				m.stats.Delivered++
 				deliver(tx, to)
 			}
+			m.stats.ResolvedBoundary++
 		})
 	}
 	m.pending = m.pending[:0]
 }
 
-// senseBusy reports whether tx's sender hears energy at tx.Start: a jam on
-// its channel, or an audible on-air frame that started strictly earlier
-// and is still in the air.
-func (m *ShardedMedium) senseBusy(tx *ShardedTx, onAir []int) bool {
+// sortTxs orders a frame set by (Start, From) — the canonical resolution
+// order every path (lockstep barrier, per-arc, boundary reconciliation)
+// shares.
+func sortTxs(txs []ShardedTx) {
+	sort.SliceStable(txs, func(i, j int) bool {
+		if txs[i].Start != txs[j].Start {
+			return txs[i].Start < txs[j].Start
+		}
+		return txs[i].From < txs[j].From
+	})
+}
+
+// SortTxs exposes the canonical (Start, From) frame ordering for callers
+// assembling per-arc frame sets.
+func SortTxs(txs []ShardedTx) { sortTxs(txs) }
+
+// reinsert places a retried frame (whose Start moved later) back into the
+// unprocessed tail of pending at its sorted position. i is the slot the
+// frame was popped from; positions ≤ i (including accepted on-air indices)
+// are untouched, so the contention loop's bookkeeping stays valid. The
+// retried start strictly exceeds the old one, so the loop terminates.
+func (m *ShardedMedium) reinsert(i int, moved ShardedTx) {
+	rest := m.pending[i+1:]
+	at := sort.Search(len(rest), func(k int) bool {
+		if rest[k].Start != moved.Start {
+			return rest[k].Start > moved.Start
+		}
+		return rest[k].From > moved.From
+	})
+	copy(m.pending[i:], rest[:at])
+	m.pending[i+at] = moved
+}
+
+// senseClears reports whether tx's sender hears energy at tx.Start and, if
+// so, the earliest instant the currently sensed occupancy clears (for
+// retry-within-window). Only occupancy audible at tx.Start counts; a retry
+// re-contends against whatever is on air then.
+func (m *ShardedMedium) senseClears(tx *ShardedTx, onAir []int) (sim.Time, bool) {
+	var clearAt sim.Time
+	busy := false
 	if m.Jammed(tx.Channel, tx.Start) {
-		return true
+		busy = true
+		clearAt = m.jamUntil[tx.Channel]
 	}
 	// onAir is in start order and airtime is uniform, so ends are ordered
 	// too: scan back from the tail and stop at the first frame that ended
 	// before tx started.
 	for k := len(onAir) - 1; k >= 0; k-- {
 		o := &m.pending[onAir[k]]
-		if o.end(m.cfg.Airtime) <= tx.Start {
+		end := o.end(m.cfg.Airtime)
+		if end <= tx.Start {
 			break
 		}
 		if o.Start >= tx.Start || o.Channel != tx.Channel || o.From == tx.From {
 			continue
 		}
 		if m.dist(o.Pos, tx.Pos) <= m.cfg.Range {
+			busy = true
+			if end > clearAt {
+				clearAt = end
+			}
+		}
+	}
+	return clearAt, busy
+}
+
+// ResolveSlice decides outcomes for an explicit, complete, (Start, From)-
+// sorted frame set — the per-arc half of speculative resolution. No
+// carrier sense runs here (speculative windows fence CSMA worlds to
+// lockstep), every frame goes on air, and all accounting accumulates into
+// the caller-owned stats so concurrent per-arc resolvers never touch the
+// medium's own counters (fold deltas back with AddStats at the barrier).
+// countSent marks the pass that owns each frame's Sent/airtime accounting:
+// true for the owning arc's local pass, false for the boundary pass, which
+// revisits the same frames for band receivers only. txs must contain every
+// frame audible at any receiver the visit callback supplies; boundary
+// reports outcomes as ResolvedBoundary instead of ResolvedLocal.
+//
+// Concurrent ResolveSlice calls are safe once Prime has created the loss
+// streams, provided the receiver sets are disjoint.
+func (m *ShardedMedium) ResolveSlice(
+	txs []ShardedTx, countSent, boundary bool, stats *ShardedStats,
+	each func(tx *ShardedTx, visit func(to NodeID, pos Position)),
+	deliver func(tx *ShardedTx, to NodeID),
+	drop func(tx *ShardedTx, to NodeID, reason DropReason),
+) {
+	for at := range txs {
+		tx := &txs[at]
+		if countSent {
+			stats.Sent++
+		}
+		jammed := m.jamOverlaps(tx)
+		each(tx, func(to NodeID, pos Position) {
+			if to == tx.From {
+				return
+			}
+			switch {
+			case m.dist(tx.Pos, pos) > m.cfg.Range:
+				stats.OutOfRange++
+				drop(tx, to, DropOutOfRange)
+			case jammed:
+				stats.Jammed++
+				drop(tx, to, DropJam)
+			case collidesAll(m, txs, at, pos):
+				stats.Collisions++
+				drop(tx, to, DropCollision)
+			case m.cfg.LossProb > 0 && m.rxStream(to).Float64() < m.cfg.LossProb:
+				stats.Losses++
+				drop(tx, to, DropLoss)
+			default:
+				stats.Delivered++
+				deliver(tx, to)
+			}
+			if boundary {
+				stats.ResolvedBoundary++
+			} else {
+				stats.ResolvedLocal++
+			}
+		})
+	}
+}
+
+// collidesAll is the collision predicate over a sorted slice where every
+// frame is on air — the ResolveSlice counterpart of collides.
+func collidesAll(m *ShardedMedium, txs []ShardedTx, at int, rxPos Position) bool {
+	tx := &txs[at]
+	for k := at - 1; k >= 0; k-- {
+		o := &txs[k]
+		if o.end(m.cfg.Airtime) <= tx.Start {
+			break
+		}
+		if o.Channel == tx.Channel && m.dist(o.Pos, rxPos) <= m.cfg.Range {
+			return true
+		}
+	}
+	end := tx.end(m.cfg.Airtime)
+	for k := at + 1; k < len(txs); k++ {
+		o := &txs[k]
+		if o.Start >= end {
+			break
+		}
+		if o.Channel == tx.Channel && m.dist(o.Pos, rxPos) <= m.cfg.Range {
 			return true
 		}
 	}
 	return false
+}
+
+// AddStats folds a per-shard accounting delta (accumulated by ResolveSlice
+// calls) into the medium's stats. Barrier-only.
+func (m *ShardedMedium) AddStats(d ShardedStats) { m.stats.add(d) }
+
+// CountQueued records frames that bypassed Queue (speculative per-shard
+// frame buffers) so Queued stays comparable with the lockstep path.
+// Barrier-only.
+func (m *ShardedMedium) CountQueued(n int64) { m.stats.Queued += n }
+
+// ShardedMediumState is a checkpoint of the medium's mutable state for
+// speculative abort: the accounting counters, the jam bursts, and every
+// created receiver stream's generator state. Pending lockstep frames are
+// not part of it — a speculative batch never starts with a non-empty
+// queue.
+type ShardedMediumState struct {
+	stats    ShardedStats
+	jamStart []sim.Time
+	jamUntil []sim.Time
+	rx       map[NodeID]uint64
+}
+
+// SaveState checkpoints the medium into st (reusing its storage) and
+// returns it; pass nil to allocate. Barrier-only.
+func (m *ShardedMedium) SaveState(st *ShardedMediumState) *ShardedMediumState {
+	if st == nil {
+		st = &ShardedMediumState{rx: make(map[NodeID]uint64, len(m.rx))}
+	}
+	st.stats = m.stats
+	st.jamStart = append(st.jamStart[:0], m.jamStart...)
+	st.jamUntil = append(st.jamUntil[:0], m.jamUntil...)
+	clear(st.rx)
+	for id, s := range m.rx {
+		st.rx[id] = s.State()
+	}
+	return st
+}
+
+// RestoreState rewinds the medium to a SaveState checkpoint. Barrier-only.
+func (m *ShardedMedium) RestoreState(st *ShardedMediumState) {
+	m.stats = st.stats
+	copy(m.jamStart, st.jamStart)
+	copy(m.jamUntil, st.jamUntil)
+	for id, state := range st.rx {
+		m.rx[id].Restore(state)
+	}
+	m.pending = m.pending[:0]
 }
 
 // collides reports whether another on-air frame on the same channel

@@ -3,7 +3,6 @@ package world
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"karyon/internal/coord"
 	"karyon/internal/core"
@@ -31,12 +30,16 @@ type Car struct {
 	// sets it at the start of every event, so the stack's components
 	// (sensors, state table, safety manager) always read a consistent now.
 	clock *sim.ManualClock
-	// rx drives beacon-loss draws; consumed only at window barriers, in
-	// deterministic (edge, sender) order.
-	rx *rand.Rand
+	// rx drives beacon-loss draws; consumed in deterministic per-receiver
+	// frame order (see sendBeacon for the exact discipline).
+	rx *sim.Stream
 	// tx drives Medium-mode slot jitter: one draw per beacon, consumed by
 	// the car's own step, so the slot is independent of shard layout.
-	tx *rand.Rand
+	tx *sim.Stream
+	// sensorRx holds the three transducers' noise streams; the Physical
+	// sensors consume them, the car keeps the handles so speculative
+	// windows can checkpoint and restore the generator states.
+	sensorRx [3]*sim.Stream
 
 	// dist is the abstract *reliable* distance sensor: three redundant
 	// transducers fused (Marzullo, f=1). Component redundancy is what
@@ -148,9 +151,10 @@ func newCar(seed int64, id int, x float64, cfg HighwayConfig) (*Car, error) {
 	c.phase = 1 + sim.Time(uint64(sim.SplitSeed(seed, int64(id)*64+4))%uint64(cfg.ControlPeriod-1))
 	truth := func(sim.Time) float64 { return c.truthGap }
 	for s := 0; s < 3; s++ {
+		c.sensorRx[s] = sim.NewStream(seed, int64(id), int64(s))
 		phys := sensor.NewPhysicalDetached(c.clock,
 			fmt.Sprintf("dist-%d-%d", id, s), truth, cfg.SensorSigma,
-			sim.NewStream(seed, int64(id), int64(s)))
+			c.sensorRx[s].Rand)
 		fm := sensor.NewFaultManagement(16,
 			sensor.RangeDetector{Min: -10, Max: cfg.Length},
 			sensor.FreshnessDetector{MaxAge: 3 * cfg.ControlPeriod},

@@ -89,6 +89,15 @@ type HighwayConfig struct {
 	// listen-before-talk, converting most would-be collisions into
 	// deferrals.
 	CarrierSense bool
+	// SpecDepth ≥ 2 enables optimistic shard windows: shards run up to
+	// SpecDepth windows ahead speculatively, with deterministic
+	// abort-and-replay on conflict (see internal/world/speculate.go). The
+	// committed output is byte-identical to SpecDepth = 0. Zero (the
+	// default) keeps pure lockstep.
+	SpecDepth int
+	// SpecBackoff overrides the post-abort lockstep penalty in windows
+	// (0 = sim.DefaultSpecBackoff).
+	SpecBackoff int
 }
 
 // DefaultHighwayConfig returns a 30-car, 2 km ring.
@@ -223,6 +232,10 @@ type Highway struct {
 	// cfg.Cars it shows the serial barrier work scaling with boundary
 	// traffic, not with world size.
 	Crossers int64
+
+	// spec holds the optimistic-window machinery (nil unless
+	// cfg.SpecDepth ≥ 2; see speculate.go).
+	spec *hwSpec
 }
 
 // NewHighway builds the world over the sharded kernel. The kernel's window
@@ -403,8 +416,16 @@ func (h *Highway) Start() error {
 	h.seedWindow(0)
 	h.sk.OnShardWindow(h.shardPhase)
 	h.sk.OnWindow(h.onWindow)
+	if h.cfg.SpecDepth >= 2 {
+		h.initSpec()
+	}
 	return nil
 }
+
+// SpecStats returns the kernel's speculation telemetry (zero when
+// speculation is disabled). Execution-strategy counters: they vary with
+// shard count and depth, unlike the simulation output.
+func (h *Highway) SpecStats() sim.SpecStats { return h.sk.SpecStats() }
 
 // Run advances the world by d units of virtual time (rounded up to a
 // whole number of windows so barriers stay on the window grid).
@@ -1007,9 +1028,17 @@ func (h *Highway) sendBeacon(shard *sim.Shard, c *Car, now sim.Time) {
 		Validity: 1,
 	}
 	accel := c.Body.Accel
-	edge := h.sk.NextEdge(now)
 	sentAt := now
 	from := c.ID
+	if s := h.spec; s != nil && s.active {
+		// Speculative window: buffer in the shard's own slice. The
+		// exchange delivers in sender-id order — the drain order, since
+		// every beacon message matures exactly at the edge.
+		s.beacons[shard.Index()] = append(s.beacons[shard.Index()],
+			specBeacon{from: from, state: state, accel: accel, sentAt: sentAt})
+		return
+	}
+	edge := h.sk.NextEdge(now)
 	shard.Send(shard.Index(), edge, int64(from), func() {
 		// Barrier context: single-threaded, ordered by (edge, sender).
 		sent := false
@@ -1063,8 +1092,9 @@ func (h *Highway) sendBeaconRadio(shard *sim.Shard, c *Car, now sim.Time) {
 		Validity: 1,
 	}
 	edge := h.sk.NextEdge(now)
+	lim := edge - h.medium.Config().Airtime
 	start := now + sim.Time(c.tx.Int63n(int64(beaconSlotJitter)))
-	if lim := edge - h.medium.Config().Airtime; start > lim {
+	if start > lim {
 		start = lim
 	}
 	if start < now {
@@ -1075,7 +1105,18 @@ func (h *Highway) sendBeaconRadio(shard *sim.Shard, c *Car, now sim.Time) {
 		Channel: c.ID % h.cfg.Channels,
 		Pos:     wireless.Position{X: c.Body.X},
 		Start:   start,
+		// Retry lets a carrier-sense deferral re-contend when the sensed
+		// occupancy clears, up to the window's last in-window start — CSMA
+		// backoff as latency, not loss.
+		Retry:   lim,
 		Payload: beacon{state: state, accel: c.Body.Accel},
+	}
+	if s := h.spec; s != nil && s.active {
+		// Speculative window: the frame joins the shard's per-arc set
+		// instead of the mailbox (carrier sense is fenced to lockstep, so
+		// Retry is inert here).
+		s.txs[shard.Index()] = append(s.txs[shard.Index()], tx)
+		return
 	}
 	shard.Send(shard.Index(), edge, int64(c.ID), func() { h.medium.Queue(tx) })
 }

@@ -395,11 +395,13 @@ func TestIntersectionRetireeCompactionKeepsFingerprint(t *testing.T) {
 	}
 }
 
-// Carrier sense must trade collisions for deferrals on a contended
-// channel: with CSMA on, audible same-slot overlap is resolved by
-// deferring, so collisions drop and deferrals appear.
-func TestHighwayMediumCarrierSenseTradesCollisionsForDeferrals(t *testing.T) {
-	run := func(cs bool) (collisions, deferred int64) {
+// Carrier sense must trade collisions for latency on a contended channel:
+// with CSMA on, audible same-slot overlap is resolved by backing off to
+// the instant the channel clears (retry-within-window), so collisions
+// drop and retries appear. Deferred now counts only frames whose window
+// could not fit a retry — backoff shows up as beacon age, not loss.
+func TestHighwayMediumCarrierSenseTradesCollisionsForRetries(t *testing.T) {
+	run := func(cs bool) (collisions, deferred, retries, sent int64) {
 		cfg := DefaultHighwayConfig()
 		cfg.Cars = 60 // dense: 33 m spacing, ~15 neighbors in range
 		cfg.Length = 2000
@@ -416,20 +418,26 @@ func TestHighwayMediumCarrierSenseTradesCollisionsForDeferrals(t *testing.T) {
 			t.Fatal(err)
 		}
 		st := h.MediumStats()
-		return st.Collisions, st.Deferred
+		return st.Collisions, st.Deferred, st.Retries, st.Sent
 	}
-	bareCol, bareDef := run(false)
-	csCol, csDef := run(true)
-	if bareDef != 0 {
-		t.Fatalf("bare medium deferred %d frames", bareDef)
+	bareCol, bareDef, bareRetry, _ := run(false)
+	csCol, csDef, csRetry, csSent := run(true)
+	if bareDef != 0 || bareRetry != 0 {
+		t.Fatalf("bare medium deferred %d / retried %d frames", bareDef, bareRetry)
 	}
 	if bareCol == 0 {
 		t.Fatal("dense bare channel produced no collisions — contention model inert")
 	}
-	if csDef == 0 {
-		t.Fatal("carrier sense never deferred on a dense channel")
+	if csRetry == 0 {
+		t.Fatal("carrier sense never retried on a dense channel")
 	}
 	if csCol >= bareCol {
 		t.Fatalf("carrier sense did not reduce collisions: %d (CSMA) vs %d (bare)", csCol, bareCol)
+	}
+	// Retry-within-window converts deferral loss into latency: nearly every
+	// queued frame still goes on air (only retries that cannot fit before
+	// the edge are dropped).
+	if csSent == 0 || csDef > csSent/10 {
+		t.Fatalf("retry-within-window still dropped too much: %d deferred vs %d sent", csDef, csSent)
 	}
 }

@@ -1,0 +1,683 @@
+package world
+
+import (
+	"math"
+	"sort"
+
+	"karyon/internal/coord"
+	"karyon/internal/core"
+	"karyon/internal/gear"
+	"karyon/internal/metrics"
+	"karyon/internal/sensor"
+	"karyon/internal/sim"
+	"karyon/internal/vehicle"
+	"karyon/internal/wireless"
+)
+
+// This file implements sim.SpeculativeModel for the highway: optimistic
+// shard windows with deterministic abort-and-replay.
+//
+// A speculative batch runs K windows without the full barrier. Each window
+// still performs a thin single-threaded exchange (SpecExchange) that does
+// exactly the snapshot reconciliation and metric accounting a lockstep
+// barrier would — so in-window control steps read the previous edge's
+// global snapshot through the very same helpers (leaderFor, eachInRange)
+// as lockstep, unchanged. What the batch *skips* is the mailbox machinery
+// (beacons buffer per shard instead of allocating one closure per frame
+// and paying the merged stable sort), the scheduled-action drain (fenced:
+// a pending action bounds the batch via SpecFence), observer hooks
+// (speculation is ineligible while any are registered), and reservation
+// arbitration (any reservation intent is a conflict, so arbitrate is a
+// guaranteed no-op on every committed window).
+//
+// Both V2V paths also resolve per-arc inside SpecClose, in parallel —
+// the big serial win, since beacon delivery at scale dwarfs the rest of
+// the barrier: the arc ≥ V2VRange bound guarantees an interior receiver —
+// one more than (range + slack) meters from every arc boundary in the
+// previous snapshot — can only hear same-arc senders, provided no car
+// moved more than slack meters this window (enforced; a violation is a
+// conflict). Abstract beacons deliver to interior receivers on the shard
+// goroutines (specDeliverLocal); medium frames resolve contention there
+// (specResolveLocal). Only boundary-straddling traffic reconciles
+// serially at the exchange, against band receivers. Every
+// (frame, receiver) pair is visited exactly once, in the same canonical
+// order as lockstep — sender id for beacons, (Start, From) for radio
+// frames — with the same per-receiver loss streams, so the committed
+// output is byte-identical.
+//
+// On conflict the controller rolls the shard kernels back and calls
+// SpecAbort: the highway restores every car and world counter from the
+// batch-start checkpoint, rebuilds ownership and the snapshot, re-seeds
+// the first window, and the attempted windows replay through the ordinary
+// lockstep barrier. Replay is a pure function of (seed, config), so the
+// shard-invariance suites remain the oracle with speculation on.
+
+// specMaxSpeed bounds per-window car movement (m/s) for the per-arc radio
+// soundness argument. Far above any plant speed; a car exceeding it in a
+// window (e.g. a collision teleport) forces an abort, never a wrong
+// resolution.
+const specMaxSpeed = 80.0
+
+// specForceConflict, when set by a test, forces a speculative conflict at
+// every exchange whose edge it returns true for — the forced-conflict
+// injection hook the abort-and-replay property tests use.
+var specForceConflict func(edge sim.Time) bool
+
+// specBeacon is one abstract-path beacon buffered during a speculative
+// window instead of travelling through the mailbox.
+type specBeacon struct {
+	from   int
+	state  coord.CoopState
+	accel  float64
+	sentAt sim.Time
+}
+
+// hwSpec is the highway's speculative-window machinery.
+type hwSpec struct {
+	// active marks an in-flight batch: senders buffer beacons instead of
+	// calling Shard.Send. Written only single-threaded (SpecSave, the last
+	// SpecExchange, SpecAbort), read by shard goroutines in between.
+	active bool
+	// frames counts beacons delivered outside the mailbox this batch; on
+	// commit it feeds CountBarrierExec so Executed() matches lockstep.
+	frames uint64
+	// slack is the per-window movement bound in meters.
+	slack float64
+
+	// beacons is the abstract path's per-shard buffer and bbuf its
+	// per-shard boundary subset (beacons audible to a band receiver,
+	// deferred to the exchange); txs and stats are the medium path's
+	// per-shard buffers (nil / unused when the other path is active).
+	// delivered and lost are per-shard accounting deltas for both paths,
+	// folded into the global counters at the exchange.
+	beacons   [][]specBeacon
+	bbuf      [][]specBeacon
+	txs       [][]wireless.ShardedTx
+	stats     []wireless.ShardedStats
+	delivered []int64
+	lost      []int64
+
+	// merged / mergedTxs are exchange scratch, reused across windows.
+	merged    []specBeacon
+	mergedTxs []wireless.ShardedTx
+
+	ck hwCheckpoint
+}
+
+// carCheckpoint is one car's complete restorable state. Storage (the
+// nested state objects) is reused across batches.
+type carCheckpoint struct {
+	body     vehicle.Body
+	clockAt  sim.Time
+	rx, tx   uint64
+	sensorRx [3]uint64
+	phys     [3]sensor.PhysicalState
+	fm       [3]*sensor.FaultManagementState
+	dist     *sensor.ReliableState
+	table    *coord.StateTableState
+	mgr      *core.ManagerState
+	gate     core.GateState
+	est      gear.LeadEstimator
+	hChecks  int64
+	hDisagr  int64
+	truthGap float64
+	params   vehicle.ACCParams
+
+	accelFrom []accelEntry
+
+	forcedBrakeUntil sim.Time
+	maneuver         vehicle.Maneuver
+	wantRegion       coord.Resource
+	wantLane         int
+	heldRegion       coord.Resource
+	releaseHeld      bool
+	nextAttempt      sim.Time
+
+	laneChanges     int64
+	emergencyBrakes int64
+	degradedTicks   int64
+	beaconsSent     int64
+}
+
+type accelEntry struct {
+	from  int
+	accel float64
+}
+
+// hwCheckpoint is the world-level half of the undo point.
+type hwCheckpoint struct {
+	cars []carCheckpoint
+
+	collisions       int64
+	crossers         int64
+	speedSum         float64
+	speedN           int64
+	beaconsDelivered int64
+	beaconsLost      int64
+	timeGaps         metrics.HistogramState
+	inaccess         metrics.HistogramState
+	lastDelivered    int64
+	inOutage         bool
+	outageStart      sim.Time
+	jamStart         sim.Time
+	jamUntil         sim.Time
+	medium           *wireless.ShardedMediumState
+}
+
+// initSpec builds the speculation buffers and registers the highway as
+// the kernel's speculative model.
+func (h *Highway) initSpec() {
+	n := h.sk.Shards()
+	s := &hwSpec{slack: h.cfg.ControlPeriod.Seconds() * specMaxSpeed}
+	s.delivered = make([]int64, n)
+	s.lost = make([]int64, n)
+	if h.medium != nil {
+		s.txs = make([][]wireless.ShardedTx, n)
+		s.stats = make([]wireless.ShardedStats, n)
+		// Per-arc ResolveSlice runs concurrently across shards; priming
+		// the loss streams keeps that path read-only on the stream map.
+		if len(h.cars) > 0 {
+			h.medium.Prime(0, wireless.NodeID(len(h.cars)-1))
+		}
+	} else {
+		s.beacons = make([][]specBeacon, n)
+		s.bbuf = make([][]specBeacon, n)
+	}
+	h.spec = s
+	h.sk.EnableSpeculation(h, sim.SpecConfig{
+		Depth:   h.cfg.SpecDepth,
+		Backoff: h.cfg.SpecBackoff,
+	})
+}
+
+// SpecEligible reports whether the highway can speculate right now.
+// Observer hooks must run at every barrier, so any registered hook pins
+// the world to lockstep; carrier sense needs the whole window's frame set
+// in one ordered pass (deferrals shift slots across arcs), so CSMA worlds
+// stay lockstep too.
+func (h *Highway) SpecEligible() bool {
+	if h.stopped || len(h.hooks) != 0 {
+		return false
+	}
+	if h.medium != nil && h.cfg.CarrierSense {
+		return false
+	}
+	return true
+}
+
+// SpecFence returns the earliest pending scheduled action — the next
+// instant that needs a full barrier (campaign injections, jams). Batch
+// edges stay strictly before it.
+func (h *Highway) SpecFence() sim.Time {
+	fence := sim.NoFence
+	for i := range h.pending {
+		if h.pending[i].at < fence {
+			fence = h.pending[i].at
+		}
+	}
+	return fence
+}
+
+// SpecSave records the batch-start undo point: every car's full stack
+// state plus the world counters and the medium. Storage is reused, so in
+// the steady state this allocates nothing.
+func (h *Highway) SpecSave(edge sim.Time) {
+	s := h.spec
+	s.active = true
+	s.frames = 0
+	ck := &s.ck
+	if len(ck.cars) != len(h.cars) {
+		ck.cars = make([]carCheckpoint, len(h.cars))
+	}
+	for i, c := range h.cars {
+		saveCar(&ck.cars[i], c)
+	}
+	ck.collisions = h.Collisions
+	ck.crossers = h.Crossers
+	ck.speedSum = h.speedSum
+	ck.speedN = h.speedN
+	ck.beaconsDelivered = h.beaconsDelivered
+	ck.beaconsLost = h.beaconsLost
+	ck.timeGaps = h.TimeGaps.SaveState()
+	ck.inaccess = h.inaccess.SaveState()
+	ck.lastDelivered = h.lastDelivered
+	ck.inOutage = h.inOutage
+	ck.outageStart = h.outageStart
+	ck.jamStart = h.jamStart
+	ck.jamUntil = h.jamUntil
+	if h.medium != nil {
+		ck.medium = h.medium.SaveState(ck.medium)
+	}
+}
+
+// SpecOpen resets shard's per-window buffers and, for every window after
+// the batch's first, seeds the shard's control steps (the first window
+// was seeded by the preceding barrier). Runs in parallel across shards.
+func (h *Highway) SpecOpen(shard int, prev sim.Time, first bool) {
+	s := h.spec
+	s.delivered[shard] = 0
+	s.lost[shard] = 0
+	if s.txs != nil {
+		s.txs[shard] = s.txs[shard][:0]
+		s.stats[shard] = wireless.ShardedStats{}
+	} else {
+		s.beacons[shard] = s.beacons[shard][:0]
+		s.bbuf[shard] = s.bbuf[shard][:0]
+	}
+	if first {
+		return
+	}
+	k := h.sk.Shard(shard).Kernel()
+	for _, c := range h.byShard[shard] {
+		k.At(prev+c.phase, c.stepFn)
+	}
+}
+
+// SpecClose finishes shard's window: conflict scan, arc snapshot refresh
+// (the same shardPhase as lockstep), and — in medium mode — the per-arc
+// radio resolution for interior receivers. Runs in parallel across
+// shards.
+//
+// Conflicts: a reservation intent or release (arbitrate would have to
+// run), or a car moving further than the slack bound (the per-arc
+// soundness argument breaks — for both radio frames and abstract
+// beacons, whose audible sets are measured from the sender's live
+// position). Both are detected against the pre-refresh arc, whose
+// entries still hold the previous edge's positions, and before any local
+// delivery, so a violating shard never touches a receiver it might not
+// own.
+func (h *Highway) SpecClose(shard int, edge sim.Time) bool {
+	s := h.spec
+	arc := h.arcs[shard]
+	for i := range arc {
+		c := h.cars[arc[i].id]
+		if c.wantRegion != "" || c.releaseHeld {
+			return false
+		}
+		d := math.Abs(c.Body.X - arc[i].x)
+		if d > h.cfg.Length/2 {
+			d = h.cfg.Length - d
+		}
+		if d > s.slack {
+			return false
+		}
+	}
+	h.shardPhase(shard, edge)
+	if h.medium != nil {
+		h.specResolveLocal(shard)
+	} else {
+		h.specDeliverLocal(shard)
+	}
+	return true
+}
+
+// specResolveLocal is the per-arc half of medium resolution: the shard's
+// complete frame set (interference needs every same-arc frame), delivered
+// only to interior receivers — receivers the movement bound proves can
+// hear no other arc. Receiver state (tables, accelFrom, loss streams) is
+// shard-owned here: an interior receiver of a shard's frames is owned by
+// that same shard. Accounting goes to per-shard deltas, folded into the
+// medium at the exchange in shard order.
+func (h *Highway) specResolveLocal(shard int) {
+	s := h.spec
+	txs := s.txs[shard]
+	if len(txs) == 0 {
+		return
+	}
+	wireless.SortTxs(txs)
+	h.medium.ResolveSlice(txs, true, false, &s.stats[shard],
+		func(tx *wireless.ShardedTx, visit func(wireless.NodeID, wireless.Position)) {
+			c := h.cars[int(tx.From)]
+			c.beaconsSent++
+			h.eachInRange(c, func(e *hwSnap) {
+				if h.specInterior(e.x) {
+					visit(wireless.NodeID(e.id), wireless.Position{X: e.x})
+				}
+			})
+		},
+		func(tx *wireless.ShardedTx, to wireless.NodeID) {
+			b := tx.Payload.(beacon)
+			rc := h.cars[int(to)]
+			rc.table.Update(b.state)
+			rc.accelFrom[int(tx.From)] = b.accel
+			s.delivered[shard]++
+		},
+		func(tx *wireless.ShardedTx, to wireless.NodeID, r wireless.DropReason) {
+			s.lost[shard]++
+		},
+	)
+}
+
+// specInterior reports whether a receiver at previous-edge position x is
+// an interior receiver: further than (range + slack) from every arc
+// boundary, so every frame it can hear this window was sent from its own
+// arc. The complement — band receivers — resolve at the exchange.
+func (h *Highway) specInterior(x float64) bool {
+	arc := h.part.ArcLength()
+	d := math.Mod(x, arc)
+	band := h.cfg.V2VRange + h.spec.slack
+	return d > band && arc-d > band
+}
+
+// specBoundaryRelevant reports whether a frame sent from x can reach (or
+// interfere at) any band receiver: within 2·range + slack of an arc
+// boundary. Exactly these frames merge into the exchange's boundary pass.
+func (h *Highway) specBoundaryRelevant(x float64) bool {
+	arc := h.part.ArcLength()
+	d := math.Mod(x, arc)
+	reach := 2*h.cfg.V2VRange + h.spec.slack
+	return d <= reach || arc-d <= reach
+}
+
+// SpecExchange is the thin single-threaded per-window reconciliation:
+// beacon delivery (abstract path) or boundary radio resolution plus
+// accounting fold (medium path), then exactly the lockstep barrier's
+// snapshot merge and metric accounting. A collision resolution is a
+// conflict — the abort-and-replay path re-runs the window with the full
+// barrier, which rebuilds ownership after the teleport.
+func (h *Highway) SpecExchange(edge sim.Time, last bool) bool {
+	if specForceConflict != nil && specForceConflict(edge) {
+		return false
+	}
+	s := h.spec
+	if h.medium != nil {
+		h.specExchangeMedium(edge)
+	} else {
+		h.specDeliverBeacons()
+	}
+	h.mergeSnapshot(edge)
+	if debugSnapshotSync {
+		h.assertSnapshotSync(edge)
+	}
+	if h.accountMetrics() {
+		return false
+	}
+	// arbitrate is a guaranteed no-op: any intent or release conflicted in
+	// SpecClose. Scheduled actions and observer hooks are fenced off by
+	// SpecFence / SpecEligible.
+	if last {
+		h.sk.CountBarrierExec(s.frames)
+		s.active = false
+		if !h.stopped {
+			h.seedWindow(edge)
+		}
+	}
+	return true
+}
+
+// specDeliverLocal is the per-arc half of abstract beacon delivery,
+// running in parallel across shards: the shard's own beacons, in
+// sender-id order, delivered only to interior receivers. The audible set
+// (eachInRange from the sender's live position over the previous edge's
+// snapshot) is computed exactly as the lockstep closure computes it; the
+// movement bound just verified by SpecClose proves every sender audible
+// to an interior receiver lives in that receiver's own arc, so interior
+// receiver state — tables, accelFrom, loss streams — is only ever touched
+// by its owner shard, and each such receiver sees its full audible set
+// here in global sender-id order (no other arc can contribute to it).
+// Beacons that reached any band receiver defer, whole, to the exchange's
+// boundary pass.
+func (h *Highway) specDeliverLocal(shard int) {
+	s := h.spec
+	buf := s.beacons[shard]
+	if len(buf) == 0 {
+		return
+	}
+	// One beacon per sender per window: keys are unique, and sender-id
+	// order is the mailbox drain order (every message matures at the edge).
+	sort.Slice(buf, func(i, j int) bool { return buf[i].from < buf[j].from })
+	for i := range buf {
+		b := &buf[i]
+		c := h.cars[b.from]
+		sent, boundary := false, false
+		h.eachInRange(c, func(e *hwSnap) {
+			sent = true
+			if !h.specInterior(e.x) {
+				boundary = true
+				return
+			}
+			to := h.cars[e.id]
+			if h.jammed(b.sentAt) {
+				s.lost[shard]++
+				return
+			}
+			if h.cfg.Loss > 0 && to.rx.Float64() < h.cfg.Loss {
+				s.lost[shard]++
+				return
+			}
+			s.delivered[shard]++
+			to.table.Update(b.state)
+			to.accelFrom[b.from] = b.accel
+		})
+		if sent {
+			c.beaconsSent++
+		}
+		if boundary {
+			s.bbuf[shard] = append(s.bbuf[shard], *b)
+		}
+	}
+}
+
+// specDeliverBeacons is the exchange half of abstract delivery: fold the
+// per-shard accounting deltas in shard order, then deliver the deferred
+// boundary beacons — merged across shards into sender-id order — to band
+// receivers only. Together with the local passes every (beacon, receiver)
+// pair is visited exactly once, and each receiver's loss-stream draws
+// happen in global sender-id order, byte-identical to the mailbox drain.
+func (h *Highway) specDeliverBeacons() {
+	s := h.spec
+	for i := range s.beacons {
+		s.frames += uint64(len(s.beacons[i]))
+		h.beaconsDelivered += s.delivered[i]
+		h.beaconsLost += s.lost[i]
+	}
+	merged := s.merged[:0]
+	for _, buf := range s.bbuf {
+		merged = append(merged, buf...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].from < merged[j].from })
+	for i := range merged {
+		b := &merged[i]
+		c := h.cars[b.from]
+		h.eachInRange(c, func(e *hwSnap) {
+			if h.specInterior(e.x) {
+				return
+			}
+			to := h.cars[e.id]
+			if h.jammed(b.sentAt) {
+				h.beaconsLost++
+				return
+			}
+			if h.cfg.Loss > 0 && to.rx.Float64() < h.cfg.Loss {
+				h.beaconsLost++
+				return
+			}
+			h.beaconsDelivered++
+			to.table.Update(b.state)
+			to.accelFrom[b.from] = b.accel
+		})
+		// beaconsSent was counted in the local pass, which saw the full
+		// audible set.
+	}
+	s.merged = merged[:0]
+}
+
+// specExchangeMedium folds the per-arc accounting deltas in shard order,
+// then resolves the boundary-straddling frames against band receivers —
+// the only (frame, receiver) pairs the parallel local passes left
+// undecided — and finally runs the lockstep outage accounting.
+func (h *Highway) specExchangeMedium(edge sim.Time) {
+	s := h.spec
+	var queued int64
+	for i := range s.txs {
+		queued += int64(len(s.txs[i]))
+		h.medium.AddStats(s.stats[i])
+		h.beaconsDelivered += s.delivered[i]
+		h.beaconsLost += s.lost[i]
+	}
+	h.medium.CountQueued(queued)
+	s.frames += uint64(queued)
+
+	merged := s.mergedTxs[:0]
+	for i := range s.txs {
+		for j := range s.txs[i] {
+			if h.specBoundaryRelevant(s.txs[i][j].Pos.X) {
+				merged = append(merged, s.txs[i][j])
+			}
+		}
+	}
+	if len(merged) > 0 {
+		wireless.SortTxs(merged)
+		var bstats wireless.ShardedStats
+		h.medium.ResolveSlice(merged, false, true, &bstats,
+			func(tx *wireless.ShardedTx, visit func(wireless.NodeID, wireless.Position)) {
+				c := h.cars[int(tx.From)]
+				h.eachInRange(c, func(e *hwSnap) {
+					if !h.specInterior(e.x) {
+						visit(wireless.NodeID(e.id), wireless.Position{X: e.x})
+					}
+				})
+			},
+			func(tx *wireless.ShardedTx, to wireless.NodeID) {
+				b := tx.Payload.(beacon)
+				rc := h.cars[int(to)]
+				rc.table.Update(b.state)
+				rc.accelFrom[int(tx.From)] = b.accel
+				h.beaconsDelivered++
+			},
+			func(tx *wireless.ShardedTx, to wireless.NodeID, r wireless.DropReason) {
+				h.beaconsLost++
+			},
+		)
+		h.medium.AddStats(bstats)
+	}
+	s.mergedTxs = merged[:0]
+
+	if queued == 0 {
+		return // nothing attempted: no information about the channel
+	}
+	delivered := h.medium.Stats().Delivered
+	open := edge - h.cfg.ControlPeriod
+	switch {
+	case delivered == h.lastDelivered && !h.inOutage:
+		h.inOutage = true
+		h.outageStart = open
+	case delivered > h.lastDelivered && h.inOutage:
+		h.inaccess.Observe(float64(open-h.outageStart) / float64(sim.Millisecond))
+		h.inOutage = false
+	}
+	h.lastDelivered = delivered
+}
+
+// SpecAbort rewinds the world to the batch-start checkpoint: every car,
+// every world counter, the medium, then a full ownership and snapshot
+// rebuild (canonically equal to the incremental state at the batch start)
+// and the re-seeding of the first replay window (the controller's
+// rollback cleared the kernels).
+func (h *Highway) SpecAbort(edge sim.Time) {
+	s := h.spec
+	ck := &s.ck
+	for i, c := range h.cars {
+		restoreCar(&ck.cars[i], c)
+	}
+	h.Collisions = ck.collisions
+	h.Crossers = ck.crossers
+	h.speedSum = ck.speedSum
+	h.speedN = ck.speedN
+	h.beaconsDelivered = ck.beaconsDelivered
+	h.beaconsLost = ck.beaconsLost
+	h.TimeGaps.RestoreState(ck.timeGaps)
+	h.inaccess.RestoreState(ck.inaccess)
+	h.lastDelivered = ck.lastDelivered
+	h.inOutage = ck.inOutage
+	h.outageStart = ck.outageStart
+	h.jamStart = ck.jamStart
+	h.jamUntil = ck.jamUntil
+	if h.medium != nil {
+		h.medium.RestoreState(ck.medium)
+	}
+	h.assignShards()
+	h.publishSnapshot(edge)
+	h.seedWindow(edge)
+	s.active = false
+	s.frames = 0
+}
+
+// saveCar checkpoints one car's complete stack state, reusing ck's
+// nested storage.
+func saveCar(ck *carCheckpoint, c *Car) {
+	ck.body = c.Body
+	ck.clockAt = c.clock.Now()
+	ck.rx = c.rx.State()
+	ck.tx = c.tx.State()
+	for i, st := range c.sensorRx {
+		ck.sensorRx[i] = st.State()
+	}
+	for i, in := range c.inputs {
+		ck.phys[i] = in.Physical().SaveState()
+		ck.fm[i] = in.FaultManagement().SaveState(ck.fm[i])
+	}
+	ck.dist = c.dist.SaveState(ck.dist)
+	ck.table = c.table.SaveState(ck.table)
+	ck.mgr = c.manager.SaveState(ck.mgr)
+	ck.gate = c.gate.SaveState()
+	ck.est = *c.est
+	ck.hChecks = c.hidden.Checks
+	ck.hDisagr = c.hidden.Disagreements
+	ck.truthGap = c.truthGap
+	ck.params = c.params
+	ck.accelFrom = ck.accelFrom[:0]
+	for from, a := range c.accelFrom {
+		ck.accelFrom = append(ck.accelFrom, accelEntry{from: from, accel: a})
+	}
+	ck.forcedBrakeUntil = c.forcedBrakeUntil
+	ck.maneuver = c.maneuver
+	ck.wantRegion = c.wantRegion
+	ck.wantLane = c.wantLane
+	ck.heldRegion = c.heldRegion
+	ck.releaseHeld = c.releaseHeld
+	ck.nextAttempt = c.nextAttempt
+	ck.laneChanges = c.LaneChanges
+	ck.emergencyBrakes = c.EmergencyBrakes
+	ck.degradedTicks = c.DegradedTicks
+	ck.beaconsSent = c.beaconsSent
+}
+
+// restoreCar rewinds one car to its checkpoint.
+func restoreCar(ck *carCheckpoint, c *Car) {
+	c.Body = ck.body
+	c.clock.Set(ck.clockAt)
+	c.rx.Restore(ck.rx)
+	c.tx.Restore(ck.tx)
+	for i, st := range c.sensorRx {
+		st.Restore(ck.sensorRx[i])
+	}
+	for i, in := range c.inputs {
+		in.Physical().RestoreState(ck.phys[i])
+		in.FaultManagement().RestoreState(ck.fm[i])
+	}
+	c.dist.RestoreState(ck.dist)
+	c.table.RestoreState(ck.table)
+	c.manager.RestoreState(ck.mgr)
+	c.gate.RestoreState(ck.gate)
+	*c.est = ck.est
+	c.hidden.Checks = ck.hChecks
+	c.hidden.Disagreements = ck.hDisagr
+	c.truthGap = ck.truthGap
+	c.params = ck.params
+	clear(c.accelFrom)
+	for _, e := range ck.accelFrom {
+		c.accelFrom[e.from] = e.accel
+	}
+	c.forcedBrakeUntil = ck.forcedBrakeUntil
+	c.maneuver = ck.maneuver
+	c.wantRegion = ck.wantRegion
+	c.wantLane = ck.wantLane
+	c.heldRegion = ck.heldRegion
+	c.releaseHeld = ck.releaseHeld
+	c.nextAttempt = ck.nextAttempt
+	c.LaneChanges = ck.laneChanges
+	c.EmergencyBrakes = ck.emergencyBrakes
+	c.DegradedTicks = ck.degradedTicks
+	c.beaconsSent = ck.beaconsSent
+}

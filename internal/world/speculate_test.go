@@ -1,0 +1,224 @@
+package world
+
+import (
+	"encoding/json"
+	"testing"
+
+	"karyon/internal/core"
+	"karyon/internal/sim"
+)
+
+// specHighwayConfig is the invariance-suite config with speculation on:
+// two lanes (maneuver intents force real aborts), lossy channel (the
+// per-receiver streams must survive replay).
+func specHighwayConfig(depth int) HighwayConfig {
+	cfg := DefaultHighwayConfig()
+	cfg.Lanes = 2
+	cfg.Loss = 0.1
+	cfg.SpecDepth = depth
+	return cfg
+}
+
+// specMediumConfig is the medium-backed counterpart. Carrier sense stays
+// off: CSMA worlds are fenced to lockstep (SpecEligible).
+func specMediumConfig(depth int) HighwayConfig {
+	cfg := DefaultHighwayConfig()
+	cfg.Lanes = 2
+	cfg.Medium = true
+	cfg.Channels = 2
+	cfg.Loss = 0.05
+	cfg.SpecDepth = depth
+	return cfg
+}
+
+// specFingerprint runs a highway and serializes everything observable
+// about the *simulation output* — pure of execution strategy, so a
+// speculative run must produce the same bytes as a lockstep run. Medium
+// strategy counters (ResolvedLocal/ResolvedBoundary) legitimately vary
+// with shard count and depth and are zeroed before marshalling.
+func specFingerprint(t *testing.T, seed int64, shards int, cfg HighwayConfig, d sim.Time) (string, sim.SpecStats) {
+	t.Helper()
+	h, err := BuildHighway(seed, shards, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Medium {
+		// A jam burst straddling window edges, scheduled at a barrier —
+		// also a speculation fence the planner must respect.
+		h.Schedule(2500*sim.Millisecond, func() { h.JamV2V(350 * sim.Millisecond) })
+	}
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Run(d); err != nil {
+		t.Fatal(err)
+	}
+	if h.Kernel().Clamped() != 0 {
+		t.Fatalf("shards=%d depth=%d violated the conservative contract %d times",
+			shards, cfg.SpecDepth, h.Kernel().Clamped())
+	}
+	sent, delivered, lost := h.BeaconStats()
+	levels := map[core.LoS]int{}
+	var ebrakes, changes int64
+	var xs []float64
+	for _, c := range h.Cars() {
+		levels[c.LoS()]++
+		ebrakes += c.EmergencyBrakes
+		changes += c.LaneChanges
+		xs = append(xs, c.Body.X)
+	}
+	medium := h.MediumStats()
+	medium.ResolvedLocal = 0
+	medium.ResolvedBoundary = 0
+	inacc := h.Inaccessibility()
+	js, err := json.Marshal(map[string]any{
+		"collisions": h.Collisions,
+		"mean_speed": h.MeanSpeed(),
+		"flow":       h.Flow(),
+		"min_gap":    h.TimeGaps.Min(),
+		"p5_gap":     h.TimeGaps.Percentile(5),
+		"sent":       sent, "delivered": delivered, "lost": lost,
+		"los1": levels[1], "los2": levels[2], "los3": levels[3],
+		"ebrakes": ebrakes, "lane_changes": changes,
+		"positions": xs,
+		"crossers":  h.Crossers,
+		"medium":    medium,
+		"inacc_n":   inacc.Count(),
+		"inacc_max": inacc.Max(),
+		"events":    h.Kernel().Executed(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(js), h.SpecStats()
+}
+
+// The tentpole invariant: speculation changes wall time, never output.
+// Byte-identity of speculative vs lockstep runs at widths 1/2/4/8, on
+// the abstract beacon path.
+func TestHighwaySpeculationMatchesLockstep(t *testing.T) {
+	dur := 10 * sim.Second
+	if testing.Short() {
+		dur = 4 * sim.Second
+	}
+	var speculated bool
+	for _, shards := range []int{1, 2, 4, 8} {
+		base, _ := specFingerprint(t, 42, shards, specHighwayConfig(0), dur)
+		got, st := specFingerprint(t, 42, shards, specHighwayConfig(8), dur)
+		if got != base {
+			t.Fatalf("shards=%d: speculation changed output:\nlockstep: %s\nspec:     %s", shards, base, got)
+		}
+		if st.Commits > 0 {
+			speculated = true
+		}
+		if st.WindowsReplayed != st.WindowsAborted {
+			t.Fatalf("shards=%d: replayed %d of %d aborted windows", shards, st.WindowsReplayed, st.WindowsAborted)
+		}
+	}
+	if !speculated {
+		t.Fatal("no speculative batch ever committed — the path under test never ran")
+	}
+}
+
+// Medium edition: per-arc radio resolution inside speculative windows must
+// reproduce the lockstep Resolve byte for byte — same deliveries, same
+// loss draws, same jam and outage accounting — at every width.
+func TestHighwayMediumSpeculationMatchesLockstep(t *testing.T) {
+	dur := 10 * sim.Second
+	if testing.Short() {
+		dur = 4 * sim.Second
+	}
+	var speculated bool
+	for _, shards := range []int{1, 2, 4, 8} {
+		base, _ := specFingerprint(t, 42, shards, specMediumConfig(0), dur)
+		got, st := specFingerprint(t, 42, shards, specMediumConfig(8), dur)
+		if got != base {
+			t.Fatalf("shards=%d: medium speculation changed output:\nlockstep: %s\nspec:     %s", shards, base, got)
+		}
+		if st.Commits > 0 {
+			speculated = true
+		}
+	}
+	if !speculated {
+		t.Fatal("no speculative batch ever committed — the path under test never ran")
+	}
+}
+
+// Carrier-sense worlds must fence to lockstep (and still match their own
+// lockstep output trivially): the whole window's frame set contends in
+// one ordered pass, which per-arc resolution cannot reproduce.
+func TestHighwaySpeculationCarrierSenseFencesToLockstep(t *testing.T) {
+	cfg := specMediumConfig(8)
+	cfg.CarrierSense = true
+	h, err := BuildHighway(42, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Run(3 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := h.SpecStats()
+	if st.Batches != 0 {
+		t.Fatalf("carrier-sense world speculated %d batches", st.Batches)
+	}
+	if st.Fences == 0 {
+		t.Fatal("expected the planner to record fences")
+	}
+}
+
+// The abort-and-replay property: a conflict forced at ANY window must
+// leave the committed output byte-identical to straight-line execution.
+// Conflicts are injected through the test hook at varying cadences and
+// offsets, across widths and both beacon paths.
+func TestHighwaySpeculationForcedAbortByteIdentical(t *testing.T) {
+	dur := 6 * sim.Second
+	if testing.Short() {
+		dur = 3 * sim.Second
+	}
+	cases := []struct {
+		name   string
+		cfg    func(depth int) HighwayConfig
+		shards int
+		every  sim.Time // force a conflict at edges that are multiples of this
+		offset sim.Time
+	}{
+		{"abstract/w2/every5", specHighwayConfig, 2, 500 * sim.Millisecond, 0},
+		{"abstract/w4/every7", specHighwayConfig, 4, 700 * sim.Millisecond, 300 * sim.Millisecond},
+		{"abstract/w8/every3", specHighwayConfig, 8, 300 * sim.Millisecond, 100 * sim.Millisecond},
+		{"medium/w2/every5", specMediumConfig, 2, 500 * sim.Millisecond, 0},
+		{"medium/w4/every4", specMediumConfig, 4, 400 * sim.Millisecond, 200 * sim.Millisecond},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base, _ := specFingerprint(t, 42, tc.shards, tc.cfg(0), dur)
+			specForceConflict = func(edge sim.Time) bool {
+				return (edge-tc.offset)%tc.every == 0
+			}
+			defer func() { specForceConflict = nil }()
+			got, st := specFingerprint(t, 42, tc.shards, tc.cfg(8), dur)
+			if got != base {
+				t.Fatalf("forced aborts changed output:\nlockstep: %s\nspec:     %s", base, got)
+			}
+			if st.Aborts == 0 {
+				t.Fatal("conflict injection never fired — the abort path went untested")
+			}
+			if st.WindowsReplayed != st.WindowsAborted {
+				t.Fatalf("replayed %d of %d aborted windows", st.WindowsReplayed, st.WindowsAborted)
+			}
+		})
+	}
+}
+
+// Speculation composes with the snapshot-sync debug assertion: the
+// exchange must leave the stitched snapshot consistent at every window.
+func TestHighwaySpeculationSnapshotSync(t *testing.T) {
+	debugSnapshotSync = true
+	defer func() { debugSnapshotSync = false }()
+	_, st := specFingerprint(t, 42, 4, specHighwayConfig(8), 3*sim.Second)
+	if st.Commits == 0 {
+		t.Fatal("no speculative batch committed under the sync assertion")
+	}
+}
