@@ -1,0 +1,89 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"karyon/internal/service"
+	"karyon/internal/serviceclient"
+)
+
+// BenchmarkServiceCacheLoad drives a fresh karyon-d core through a
+// concurrent mixed hit/miss workload per iteration: N clients each issue 8
+// requests spread over 4 distinct tiny highway specs, so the first
+// arrival of each spec is a cache miss (or a dedupe onto the in-flight
+// run) and everything after it replays the archive. Alongside wall time it
+// reports two tracked (not gated) metrics through benchgate: hit-ratio —
+// the fraction of submissions answered without a new execution — and
+// p95-ms, the 95th-percentile submit-to-summary request latency.
+func BenchmarkServiceCacheLoad(b *testing.B) {
+	specs := make([]service.JobSpec, 4)
+	for i := range specs {
+		specs[i] = service.JobSpec{
+			Scenario: "highway", Seed: int64(100 + i), Replicas: 1,
+			Duration: "5s", Cars: 5,
+		}
+	}
+	const perClient = 8
+	for _, clients := range []int{4, 16} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			var answered, submitted int64
+			var p95Sum float64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				srv, err := service.New(service.Config{
+					CacheDir: b.TempDir(), Workers: 4, Build: "bench", Log: io.Discard,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				hs := httptest.NewServer(srv.Handler())
+				b.StartTimer()
+
+				latencies := make([]time.Duration, clients*perClient)
+				var wg sync.WaitGroup
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						cl := serviceclient.New(hs.URL)
+						ctx := context.Background()
+						for r := 0; r < perClient; r++ {
+							start := time.Now()
+							// Stagger which spec each client leads with so
+							// misses and hits interleave across clients.
+							if _, _, err := cl.Run(ctx, specs[(c+r)%len(specs)]); err != nil {
+								b.Error(err)
+								return
+							}
+							latencies[c*perClient+r] = time.Since(start)
+						}
+					}(c)
+				}
+				wg.Wait()
+
+				b.StopTimer()
+				st := srv.Stats()
+				answered += st.CacheHits + st.Deduped
+				submitted += st.Submitted
+				sort.Slice(latencies, func(a, z int) bool { return latencies[a] < latencies[z] })
+				p95 := latencies[len(latencies)*95/100]
+				p95Sum += float64(p95) / float64(time.Millisecond)
+				hs.Close()
+				srv.Close()
+				b.StartTimer()
+			}
+			b.StopTimer()
+			if submitted > 0 {
+				b.ReportMetric(float64(answered)/float64(submitted), "hit-ratio")
+			}
+			b.ReportMetric(p95Sum/float64(b.N), "p95-ms")
+		})
+	}
+}

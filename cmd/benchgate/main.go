@@ -31,10 +31,13 @@
 // Benchmarks named <family>/shards=N additionally get a tracked (not
 // gated) parallel-efficiency score — speedup over the family's shards=1
 // variant divided by N — recorded in the snapshot JSON and printed as
-// info lines. Pass -results-dir benchmarks/results to also archive the
-// run as a timestamped JSON stamped with the host's core count,
-// GOMAXPROCS, and Go version, so efficiency can be compared across
-// runners with different hardware.
+// info lines. Custom b.ReportMetric columns (events/s, hit-ratio,
+// p95-ms, ...) are likewise tracked: each is recorded in the snapshot as
+// its mean across runs — ratios and percentiles have no "fastest run" —
+// and printed as an info line, but never gated. Pass -results-dir
+// benchmarks/results to also archive the run as a timestamped JSON
+// stamped with the host's core count, GOMAXPROCS, and Go version, so
+// efficiency can be compared across runners with different hardware.
 package main
 
 import (
@@ -67,6 +70,13 @@ type Entry struct {
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 	MemRuns     int     `json:"mem_runs,omitempty"`
+	// Metrics carries the benchmark's custom b.ReportMetric columns
+	// (events/s, hit-ratio, p95-ms, ...), each the mean across runs —
+	// unlike ns/op these are often ratios or percentiles, where the mean is
+	// the honest summary and a minimum would flatter. Tracked in the
+	// snapshot and printed as info lines, never gated: their tolerances are
+	// metric-specific and belong to a human reading the trend.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Snapshot is the gate's JSON artifact.
@@ -137,11 +147,18 @@ type ResultFile struct {
 // compare across machines with different core counts.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op(?:.*?\s([0-9.e+]+) B/op\s+([0-9.e+]+) allocs/op)?`)
 
+// metricToken matches one "<value> <unit>" column. Applied to the tail of
+// a bench line it picks up the custom b.ReportMetric columns; the standard
+// ns/op, B/op, and allocs/op units are filtered by the caller.
+var metricToken = regexp.MustCompile(`([0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?) ([A-Za-z][\w/%.-]*)`)
+
 // parse reads bench output, keeping each benchmark's fastest run — the
 // measurement least polluted by scheduler noise — with the same minimum
-// rule applied to the memory columns independently.
+// rule applied to the memory columns independently. Custom b.ReportMetric
+// columns are averaged across runs into Entry.Metrics.
 func parse(r io.Reader) (*Snapshot, error) {
 	snap := &Snapshot{Benchmarks: map[string]Entry{}}
+	metricRuns := map[string]int{} // "<bench>\x00<unit>" -> runs seen
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
@@ -173,6 +190,23 @@ func parse(r io.Reader) (*Snapshot, error) {
 				e.AllocsPerOp = allocs
 			}
 			e.MemRuns++
+		}
+		for _, t := range metricToken.FindAllStringSubmatch(sc.Text(), -1) {
+			unit := t[2]
+			if unit == "ns/op" || unit == "B/op" || unit == "allocs/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(t[1], 64)
+			if err != nil {
+				continue
+			}
+			if e.Metrics == nil {
+				e.Metrics = map[string]float64{}
+			}
+			k := m[1] + "\x00" + unit
+			metricRuns[k]++
+			// Incremental mean: ratios and percentiles have no "fastest run".
+			e.Metrics[unit] += (v - e.Metrics[unit]) / float64(metricRuns[k])
 		}
 		snap.Benchmarks[m[1]] = e
 	}
@@ -325,6 +359,30 @@ func writeResult(dir string, snap *Snapshot, now time.Time) (string, error) {
 	return path, os.WriteFile(path, append(js, '\n'), 0o644)
 }
 
+// reportMetrics prints the tracked custom-metric lines in stable
+// name/unit order.
+func reportMetrics(snap *Snapshot, out io.Writer) {
+	names := make([]string, 0, len(snap.Benchmarks))
+	for name := range snap.Benchmarks {
+		if len(snap.Benchmarks[name].Metrics) > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		metrics := snap.Benchmarks[name].Metrics
+		units := make([]string, 0, len(metrics))
+		for unit := range metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			fmt.Fprintf(out, "info %s: %.4g %s (mean across runs; tracked, not gated)\n",
+				name, metrics[unit], unit)
+		}
+	}
+}
+
 // reportEfficiency prints the tracked parallel-efficiency lines in stable
 // name order.
 func reportEfficiency(snap *Snapshot, out io.Writer) {
@@ -369,6 +427,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	}
 	efficiency(snap)
 	reportEfficiency(snap, out)
+	reportMetrics(snap, out)
 	if err := writeSnapshot(*outPath, snap); err != nil {
 		return err
 	}

@@ -334,3 +334,80 @@ func TestParseMinPerMetricIndependence(t *testing.T) {
 		t.Fatalf("MemRuns = %d, want 2 (one run had no -benchmem)", e.MemRuns)
 	}
 }
+
+// Custom b.ReportMetric columns are tracked as the mean across runs —
+// ratios and percentiles have no "fastest run" — keyed by unit, with the
+// standard ns/op, B/op, and allocs/op columns excluded.
+func TestParseTracksCustomMetrics(t *testing.T) {
+	in := strings.Join([]string{
+		"BenchmarkServiceCacheLoad/clients=4-8   2   20543984 ns/op   0.8750 hit-ratio   5.918 p95-ms   35102656 B/op   16668 allocs/op",
+		"BenchmarkServiceCacheLoad/clients=4-8   2   21000000 ns/op   0.9250 hit-ratio   8.082 p95-ms   35102656 B/op   16668 allocs/op",
+		"BenchmarkPlain-8   10   100.0 ns/op",
+	}, "\n")
+	snap, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := snap.Benchmarks["BenchmarkServiceCacheLoad/clients=4"]
+	if len(e.Metrics) != 2 {
+		t.Fatalf("metrics = %v, want hit-ratio and p95-ms", e.Metrics)
+	}
+	if got := e.Metrics["hit-ratio"]; got < 0.89999 || got > 0.90001 {
+		t.Fatalf("hit-ratio mean = %v, want 0.9", got)
+	}
+	if got := e.Metrics["p95-ms"]; got < 6.99999 || got > 7.00001 {
+		t.Fatalf("p95-ms mean = %v, want 7.0", got)
+	}
+	// The standard columns must not leak into the metric map, and a
+	// metric-less benchmark keeps a nil map (omitted from the JSON).
+	for _, unit := range []string{"ns/op", "B/op", "allocs/op"} {
+		if _, ok := e.Metrics[unit]; ok {
+			t.Fatalf("standard column %s tracked as custom metric", unit)
+		}
+	}
+	if snap.Benchmarks["BenchmarkPlain"].Metrics != nil {
+		t.Fatalf("metric-less benchmark grew a metric map: %v", snap.Benchmarks["BenchmarkPlain"].Metrics)
+	}
+	// The sample's events/s column is tracked too.
+	snap2, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := snap2.Benchmarks["BenchmarkShardedHighwayThroughput/shards=4"].Metrics["events/s"]; !ok {
+		t.Fatalf("events/s not tracked: %+v", snap2.Benchmarks["BenchmarkShardedHighwayThroughput/shards=4"])
+	}
+}
+
+// Tracked metrics appear as info lines and in the snapshot artifact, and
+// never gate: a wild metric swing with identical ns/op passes.
+func TestMetricsReportedNotGated(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "o.json")
+	basePath := filepath.Join(dir, "b.json")
+	withMetric := "BenchmarkSvc-8   2   1000 ns/op   0.90 hit-ratio\n"
+	var sb strings.Builder
+	if err := run([]string{"-out", outPath, "-baseline", basePath, "-update"},
+		strings.NewReader(withMetric), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "info BenchmarkSvc: 0.9 hit-ratio") {
+		t.Fatalf("metric info line missing:\n%s", sb.String())
+	}
+	js, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(js, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Benchmarks["BenchmarkSvc"].Metrics["hit-ratio"] != 0.90 {
+		t.Fatalf("snapshot metrics = %v", snap.Benchmarks["BenchmarkSvc"].Metrics)
+	}
+	// Same time, collapsed hit-ratio: still green.
+	sb.Reset()
+	if err := run([]string{"-out", outPath, "-baseline", basePath},
+		strings.NewReader("BenchmarkSvc-8   2   1000 ns/op   0.10 hit-ratio\n"), &sb); err != nil {
+		t.Fatalf("metric swing gated: %v\n%s", err, sb.String())
+	}
+}

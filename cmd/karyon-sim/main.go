@@ -33,6 +33,12 @@
 // per-arc radio resolution splits) that naturally varies with -shards and
 // -speculate; exclude it when diffing across those knobs. Carrier-sense
 // medium worlds fence back to lockstep automatically.
+//
+// -daemon URL submits the run to a resident karyon-d instead of executing
+// in-process: the daemon dedupes equivalent runs and replays archived
+// results byte-identically, so repeated sweeps cost one execution. The
+// rendered output is identical to local mode; a cache-hit note goes to
+// stderr only.
 package main
 
 import (
@@ -46,6 +52,8 @@ import (
 	"time"
 
 	"karyon/internal/harness"
+	"karyon/internal/service"
+	"karyon/internal/serviceclient"
 )
 
 func main() {
@@ -79,8 +87,35 @@ func run(args []string, out io.Writer) error {
 	shards := fs.Int("shards", 1, "shard kernels per replica (megahighway); affects wall time only, never output")
 	speculate := fs.Int("speculate", 0, "highway/megahighway: optimistic shard windows — run up to K windows ahead with deterministic abort-and-replay (0/1 = lockstep); affects wall time only, never simulated output")
 	jsonOut := fs.Bool("json", false, "emit a JSON report with full per-value distributions")
+	daemon := fs.String("daemon", "", "submit to a karyon-d control API at this URL instead of running in-process (e.g. http://127.0.0.1:7077)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *daemon != "" {
+		spec := service.JobSpec{
+			Scenario: *scenario, Seed: *seed, Replicas: *replicas, Shards: *shards,
+			Speculate: *speculate, Duration: (*duration).String(), Cars: *cars,
+			Length: *length, Loss: loss, V2VRange: *v2vRange, Mode: *mode,
+			FaultRate: *faultRate, Medium: *medium, Channels: *channels,
+			NoBackup: *noBackup, Geometry: *geometry, Voice: *voice,
+		}
+		if *jamEvery > 0 {
+			spec.JamEvery = (*jamEvery).String()
+		}
+		if *jamBurst > 0 {
+			spec.JamBurst = (*jamBurst).String()
+		}
+		if *failAt > 0 {
+			spec.FailAt = (*failAt).String()
+		}
+		st, rep, err := serviceclient.New(*daemon).Run(context.Background(), spec)
+		if err != nil {
+			return err
+		}
+		if st.Cached {
+			fmt.Fprintf(os.Stderr, "karyon-sim: job %.12s served from the daemon's run cache\n", st.ID)
+		}
+		return render(rep, *jsonOut, out)
 	}
 	var sc harness.Scenario
 	switch *scenario {
@@ -115,7 +150,12 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if *jsonOut {
+	return render(rep, *jsonOut, out)
+}
+
+// render prints a report exactly the same way for local and daemon runs.
+func render(rep *harness.Report, jsonOut bool, out io.Writer) error {
+	if jsonOut {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		return enc.Encode(rep)

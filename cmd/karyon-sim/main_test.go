@@ -2,8 +2,12 @@ package main
 
 import (
 	"encoding/json"
+	"io"
+	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"karyon/internal/service"
 )
 
 func TestRunHighwayScenario(t *testing.T) {
@@ -164,5 +168,62 @@ func TestRunMediumScenariosShardInvariance(t *testing.T) {
 		if !strings.Contains(sb.String(), want) {
 			t.Fatalf("missing %q in medium-mode output:\n%s", want, sb.String())
 		}
+	}
+}
+
+// -daemon submits to karyon-d and must render byte-identically to a local
+// run of the same flags — cached or not.
+func TestDaemonModeMatchesLocalOutput(t *testing.T) {
+	srv, err := service.New(service.Config{
+		CacheDir: t.TempDir(), Workers: 2, Log: io.Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+
+	flags := []string{"-scenario", "highway", "-duration", "10s", "-cars", "8", "-seed", "3", "-replicas", "2"}
+	var local, remote, cached strings.Builder
+	if err := run(flags, &local); err != nil {
+		t.Fatal(err)
+	}
+	daemonFlags := append([]string{"-daemon", hs.URL}, flags...)
+	if err := run(daemonFlags, &remote); err != nil {
+		t.Fatal(err)
+	}
+	if local.String() != remote.String() {
+		t.Fatalf("daemon output differs from local:\nlocal:\n%s\ndaemon:\n%s", local.String(), remote.String())
+	}
+	// Second submission hits the cache; rendered output must not change.
+	if err := run(daemonFlags, &cached); err != nil {
+		t.Fatal(err)
+	}
+	if cached.String() != local.String() {
+		t.Fatalf("cached daemon output differs:\n%s", cached.String())
+	}
+	if st := srv.Stats(); st.CacheMisses != 1 || st.CacheHits != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// JSON mode round-trips through the daemon identically too.
+	var localJSON, remoteJSON strings.Builder
+	jsonFlags := append(flags, "-json")
+	if err := run(jsonFlags, &localJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-daemon", hs.URL}, jsonFlags...), &remoteJSON); err != nil {
+		t.Fatal(err)
+	}
+	if localJSON.String() != remoteJSON.String() {
+		t.Fatalf("daemon JSON differs from local:\nlocal:\n%s\ndaemon:\n%s", localJSON.String(), remoteJSON.String())
+	}
+}
+
+func TestDaemonModeSurfacesAPIErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-daemon", "http://127.0.0.1:1", "-scenario", "highway"}, &sb); err == nil {
+		t.Fatal("unreachable daemon accepted")
 	}
 }

@@ -10,14 +10,17 @@
 // regardless of the parallelism that produced it. The paper's safety
 // argument is probabilistic — evidence comes from many replicated runs, not
 // single traces — and this package is what makes "many" cheap.
+//
+// Where the replicas execute is a Backend: Runner's zero value uses the
+// in-process LocalBackend, and the karyon-d service (internal/service)
+// builds on the same Runner — local execution today, remote execution
+// tomorrow. Backends can also stream each replica's result in seed order
+// as it completes (Runner.RunStream), which is what makes a run's NDJSON
+// result stream deterministic enough to be content-addressed and cached.
 package harness
 
 import (
 	"context"
-	"errors"
-	"fmt"
-	"sync"
-	"sync/atomic"
 
 	"karyon/internal/metrics"
 	"karyon/internal/sim"
@@ -120,71 +123,11 @@ type Report struct {
 }
 
 // Run executes the scenario once per seed in the matrix, fanning replicas
-// across opts.Parallel workers, and aggregates the results in seed order.
-// A failed, panicked, or cancelled replica surfaces as an error — never as
-// a silent gap in the aggregate.
+// across opts.Parallel workers of the in-process backend, and aggregates
+// the results in seed order. A failed, panicked, or cancelled replica
+// surfaces as an error — never as a silent gap in the aggregate. It is
+// shorthand for Runner{}.Run; use a Runner with an explicit Backend to
+// execute elsewhere.
 func Run(ctx context.Context, s Scenario, opts Options) (*Report, error) {
-	opts = opts.normalized()
-	seeds := Seeds(opts.Seed, opts.Replicas)
-	results := make([]*metrics.Result, len(seeds))
-	errs := make([]error, len(seeds))
-
-	idx := make(chan int, len(seeds))
-	for i := range seeds {
-		idx <- i
-	}
-	close(idx)
-
-	// failed short-circuits queued replicas once any replica errs; their
-	// slots stay nil but the run reports the first error anyway.
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < opts.Parallel; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				if failed.Load() {
-					continue
-				}
-				results[i], errs[i] = runReplica(ctx, s, seeds[i], opts.Shards)
-				if errs[i] != nil {
-					failed.Store(true)
-				}
-			}
-		}()
-	}
-	wg.Wait()
-
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("harness: %s replica %d (seed %d): %w", s.Name(), i, seeds[i], err)
-		}
-	}
-	return &Report{
-		Name:     s.Name(),
-		BaseSeed: opts.Seed,
-		Seeds:    seeds,
-		Summary:  metrics.Aggregate(results),
-	}, nil
-}
-
-func runReplica(ctx context.Context, s Scenario, seed int64, shards int) (res *metrics.Result, err error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	defer func() {
-		if p := recover(); p != nil {
-			err = fmt.Errorf("replica panicked: %v", p)
-		}
-	}()
-	if sh, ok := s.(Shardable); ok {
-		res, err = sh.RunSharded(ctx, seed, shards)
-	} else {
-		res, err = s.Run(sim.NewKernel(seed))
-	}
-	if err == nil && res == nil {
-		err = errors.New("scenario returned no result")
-	}
-	return res, err
+	return Runner{}.Run(ctx, s, opts)
 }

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 )
@@ -46,6 +47,33 @@ func (f Format) String() string {
 // MarshalJSON emits the format's name.
 func (f Format) MarshalJSON() ([]byte, error) {
 	return []byte(`"` + f.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the name emitted by MarshalJSON, so structured
+// results round-trip through JSON — the service client decodes archived
+// NDJSON result streams back into Results and re-renders them exactly.
+func (f *Format) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "f2":
+		*f = F2
+	case "f3":
+		*f = F3
+	case "pct":
+		*f = Pct
+	case "ms":
+		*f = Ms
+	case "int":
+		*f = Int
+	case "bool":
+		*f = Bool
+	default:
+		return fmt.Errorf("metrics: unknown format %q", s)
+	}
+	return nil
 }
 
 // Cell renders one value under the format.

@@ -1,0 +1,143 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"time"
+)
+
+// validKey matches the hex SHA-256 job IDs CacheKey produces. Everything
+// that touches the filesystem or routes a URL id goes through it, so a
+// crafted id can never traverse outside the cache directory.
+var validKey = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// CacheMeta is the sidecar record written next to each archived result
+// stream: enough to audit what produced the bytes without parsing them.
+type CacheMeta struct {
+	Key string `json:"key"`
+	// Spec is the normalized job spec the archive answers.
+	Spec JobSpec `json:"spec"`
+	// Build is the fingerprint of the binary that simulated it.
+	Build string `json:"build"`
+	// CreatedAt is when the run completed (wall clock, RFC3339).
+	CreatedAt time.Time `json:"created_at"`
+	// Bytes is the archived stream length; ElapsedMS how long the miss
+	// took to simulate — the cost a hit saves.
+	Bytes     int   `json:"bytes"`
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// Cache is the content-addressed on-disk run archive: one NDJSON result
+// stream plus one meta sidecar per key, sharded into 256 two-hex-char
+// subdirectories. Writes are atomic (temp file + rename into place), so a
+// concurrent reader sees either the complete archive or none, and a
+// crashed daemon never leaves a half-written archive that later reads as
+// a truncated "hit". Safe for concurrent use by multiple goroutines — and
+// by multiple daemon processes sharing a directory, since rename is the
+// only publication step.
+type Cache struct {
+	dir string
+}
+
+// NewCache opens (creating if needed) a cache rooted at dir.
+func NewCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: cache dir: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+func (c *Cache) streamPath(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".ndjson")
+}
+
+func (c *Cache) metaPath(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".meta.json")
+}
+
+// Get returns the archived stream for key, or ok=false on a miss. An
+// invalid key is a miss, never an error: the caller treats the cache as
+// an optimization, and a malformed id already failed validation upstream.
+func (c *Cache) Get(key string) (stream []byte, ok bool, err error) {
+	if !validKey.MatchString(key) {
+		return nil, false, nil
+	}
+	b, err := os.ReadFile(c.streamPath(key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+// Meta returns the sidecar for key, or ok=false when absent.
+func (c *Cache) Meta(key string) (meta CacheMeta, ok bool, err error) {
+	if !validKey.MatchString(key) {
+		return CacheMeta{}, false, nil
+	}
+	b, err := os.ReadFile(c.metaPath(key))
+	if os.IsNotExist(err) {
+		return CacheMeta{}, false, nil
+	}
+	if err != nil {
+		return CacheMeta{}, false, err
+	}
+	if err := json.Unmarshal(b, &meta); err != nil {
+		return CacheMeta{}, false, fmt.Errorf("service: corrupt cache meta %s: %w", key, err)
+	}
+	return meta, true, nil
+}
+
+// Put archives a completed run's stream under its key. The stream lands
+// first, the meta sidecar second; both via temp-file + rename.
+func (c *Cache) Put(key string, stream []byte, meta CacheMeta) error {
+	if !validKey.MatchString(key) {
+		return fmt.Errorf("service: refusing to archive invalid key %q", key)
+	}
+	dir := filepath.Join(c.dir, key[:2])
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	meta.Key = key
+	meta.Bytes = len(stream)
+	if err := writeAtomic(dir, c.streamPath(key), stream); err != nil {
+		return err
+	}
+	mb, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeAtomic(dir, c.metaPath(key), append(mb, '\n'))
+}
+
+// writeAtomic writes data to path via a temp file in dir and rename, so
+// path is only ever absent or complete.
+func writeAtomic(dir, path string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testKey(fill byte) string {
+	return strings.Repeat(string([]byte{fill}), 64)
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey('a')
+	if _, ok, err := c.Get(key); err != nil || ok {
+		t.Fatalf("empty cache Get = ok=%v err=%v", ok, err)
+	}
+	stream := []byte(`{"type":"summary"}` + "\n")
+	meta := CacheMeta{Spec: JobSpec{Scenario: "highway"}, Build: "b", CreatedAt: time.Now(), ElapsedMS: 42}
+	if err := c.Put(key, stream, meta); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put: ok=%v err=%v", ok, err)
+	}
+	if string(got) != string(stream) {
+		t.Fatalf("archived bytes differ: %q vs %q", got, stream)
+	}
+	m, ok, err := c.Meta(key)
+	if err != nil || !ok {
+		t.Fatalf("Meta after Put: ok=%v err=%v", ok, err)
+	}
+	if m.Key != key || m.Bytes != len(stream) || m.Build != "b" || m.ElapsedMS != 42 {
+		t.Fatalf("bad meta %+v", m)
+	}
+}
+
+func TestCacheRejectsInvalidKeys(t *testing.T) {
+	c, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "abc", "../../../../etc/passwd", testKey('a')[:63] + "/", strings.ToUpper(testKey('a'))} {
+		if err := c.Put(key, []byte("x"), CacheMeta{}); err == nil {
+			t.Errorf("Put accepted invalid key %q", key)
+		}
+		if _, ok, err := c.Get(key); ok || err != nil {
+			t.Errorf("Get(%q) = ok=%v err=%v, want miss", key, ok, err)
+		}
+	}
+}
+
+func TestCacheLeavesNoTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(testKey('b'), []byte("data\n"), CacheMeta{}); err != nil {
+		t.Fatal(err)
+	}
+	err = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && strings.HasPrefix(filepath.Base(path), ".tmp-") {
+			t.Errorf("temp file left behind: %s", path)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"os"
+	"runtime/debug"
+	"sync"
+)
+
+var (
+	fpOnce sync.Once
+	fp     string
+)
+
+// BuildFingerprint identifies the code a result was computed by. A run is
+// a pure function of (config, seed matrix, build); the first two live in
+// the job spec, and this is the third leg of the cache key — a new build
+// must never serve archives simulated by an old one.
+//
+// The primary fingerprint is a content hash of the running executable:
+// identical source bytes reproduce identical binaries under Go's
+// reproducible builds, so re-deploying an unchanged daemon keeps its cache
+// warm, while any code change — even one the version string doesn't see —
+// rolls every key. When the executable is unreadable (unusual sandboxes)
+// it falls back to hashing the embedded module build info.
+func BuildFingerprint() string {
+	fpOnce.Do(func() { fp = computeFingerprint() })
+	return fp
+}
+
+func computeFingerprint() string {
+	if path, err := os.Executable(); err == nil {
+		if f, err := os.Open(path); err == nil {
+			defer f.Close()
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				return "exe-" + hex.EncodeToString(h.Sum(nil))[:32]
+			}
+		}
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		sum := sha256.Sum256([]byte(bi.String()))
+		return "mod-" + hex.EncodeToString(sum[:])[:32]
+	}
+	return "unknown"
+}

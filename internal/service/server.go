@@ -1,0 +1,670 @@
+// Package service is the karyon-d daemon core: simulation-as-a-service
+// over the harness runner, with a deterministic run cache.
+//
+// A job is a JobSpec — scenario config plus seed matrix. Because every
+// run is a pure function of (scenario config, seed matrix, build), the
+// canonical hash of those three is both the job's ID and the content
+// address of its result: retried submissions dedupe onto the in-flight
+// execution instead of double-executing, and completed NDJSON result
+// streams are archived in an on-disk cache (Cache) and replayed
+// byte-identically for every later submission of the same spec — a
+// million clients asking for the same sweep cost one execution.
+//
+// The Server schedules cache misses onto a bounded worker pool of
+// harness.Runner calls, streams replica results incrementally (NDJSON, in
+// seed order) to any number of concurrent readers while the job runs,
+// enforces per-job timeouts, and drains gracefully: Drain stops intake,
+// lets running jobs finish until the deadline, then cancels them at the
+// next window barrier. HTTP transport lives in http.go; the thin client
+// in internal/serviceclient.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"karyon/internal/harness"
+	"karyon/internal/metrics"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job lifecycle states. Queued and running jobs are live; done, failed,
+// and cancelled are terminal. Only done jobs have (and archive) a
+// complete result stream.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+func terminal(st State) bool {
+	return st == StateDone || st == StateFailed || st == StateCancelled
+}
+
+// Config configures a Server.
+type Config struct {
+	// CacheDir roots the on-disk run cache (required).
+	CacheDir string
+	// Workers bounds how many jobs execute concurrently (default: number
+	// of CPUs).
+	Workers int
+	// QueueDepth bounds accepted-but-not-started jobs; submissions beyond
+	// it are refused with ErrBusy rather than buffered without bound
+	// (default 1024).
+	QueueDepth int
+	// JobTimeout caps any single job's execution wall time; a spec's own
+	// Timeout may shorten but never exceed it (default 10m; negative =
+	// uncapped).
+	JobTimeout time.Duration
+	// Parallel is the per-job replica worker-pool width (default:
+	// GOMAXPROCS/Workers, min 1). Wall time only — never output.
+	Parallel int
+	// Runner executes jobs; its zero value is the in-process local
+	// backend. A remote Backend drops in here.
+	Runner harness.Runner
+	// Build overrides the binary fingerprint folded into job IDs and
+	// cache keys. Tests set it for stable keys; the daemon leaves it
+	// empty and gets BuildFingerprint().
+	Build string
+	// Log receives operational messages (default: os.Stderr).
+	Log io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 1024
+	}
+	if c.JobTimeout == 0 {
+		c.JobTimeout = 10 * time.Minute
+	} else if c.JobTimeout < 0 {
+		c.JobTimeout = 0 // explicit "uncapped"
+	}
+	if c.Parallel < 1 {
+		c.Parallel = max(1, runtime.GOMAXPROCS(0)/c.Workers)
+	}
+	if c.Build == "" {
+		c.Build = BuildFingerprint()
+	}
+	if c.Log == nil {
+		c.Log = os.Stderr
+	}
+	return c
+}
+
+// Submission errors the transport layer maps to HTTP statuses.
+var (
+	// ErrDraining rejects new submissions during graceful shutdown.
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+	// ErrBusy rejects submissions when the job queue is full.
+	ErrBusy = errors.New("service: job queue full")
+	// ErrNotFound reports an unknown job ID.
+	ErrNotFound = errors.New("service: no such job")
+)
+
+// Status is the wire form of one job's state.
+type Status struct {
+	// ID is the job's deterministic identity: the cache key of its spec
+	// under the server's build. Resubmitting an equivalent spec yields
+	// the same ID.
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Cached is true when the result stream was served from the archive
+	// (or from a completed in-memory job) without a new execution.
+	Cached bool   `json:"cached"`
+	Error  string `json:"error,omitempty"`
+	// Spec is the normalized spec the job runs.
+	Spec        JobSpec    `json:"spec"`
+	CreatedAt   time.Time  `json:"created_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	ResultBytes int        `json:"result_bytes"`
+}
+
+// Stats is the server's operational counter snapshot.
+type Stats struct {
+	// Submitted counts every POST that resolved to a job (including
+	// dedupes and hits).
+	Submitted int64 `json:"submitted"`
+	// CacheHits counts submissions answered by an already-complete result
+	// (disk archive or finished in-memory job); CacheMisses counts
+	// submissions that scheduled a new execution; Deduped counts
+	// submissions attached to an in-flight execution of the same spec.
+	CacheHits   int64  `json:"cache_hits"`
+	CacheMisses int64  `json:"cache_misses"`
+	Deduped     int64  `json:"deduped"`
+	Completed   int64  `json:"completed"`
+	Failed      int64  `json:"failed"`
+	Cancelled   int64  `json:"cancelled"`
+	Queued      int    `json:"queued"`
+	Running     int    `json:"running"`
+	Workers     int    `json:"workers"`
+	Build       string `json:"build"`
+	Draining    bool   `json:"draining"`
+}
+
+// job is the in-memory record of one submission chain. Its buf accumulates
+// the NDJSON stream while running; cond broadcasts every append and state
+// change so any number of StreamTo readers can tail it concurrently. Jobs
+// revived from the disk archive carry no buf — their bytes are served from
+// disk per read, so a hot cache does not pin every archived stream in
+// daemon memory.
+type job struct {
+	id   string
+	spec JobSpec
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	state    State
+	errmsg   string
+	cached   bool
+	archived bool // result bytes live (also) in the disk cache
+	buf      []byte
+	// resultBytes is the stream length for jobs whose bytes live only on
+	// disk (buf == nil); len(buf) covers the rest.
+	resultBytes int
+	created     time.Time
+	started     time.Time
+	finished    time.Time
+	// cancelRequested distinguishes an explicit cancel from a timeout once
+	// the context dies; cancel aborts a running execution.
+	cancelRequested bool
+	cancel          context.CancelFunc
+}
+
+func newJob(id string, spec JobSpec, state State) *job {
+	j := &job{id: id, spec: spec, state: state, created: time.Now()}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+func (j *job) status() *Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := &Status{
+		ID:          j.id,
+		State:       j.state,
+		Cached:      j.cached,
+		Error:       j.errmsg,
+		Spec:        j.spec,
+		CreatedAt:   j.created,
+		ResultBytes: max(len(j.buf), j.resultBytes),
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// appendStream appends bytes to the job's result stream and wakes readers.
+func (j *job) appendStream(b []byte) {
+	j.mu.Lock()
+	j.buf = append(j.buf, b...)
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state and wakes readers.
+func (j *job) finish(state State, errmsg string) {
+	j.mu.Lock()
+	j.state = state
+	j.errmsg = errmsg
+	j.finished = time.Now()
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// Server is the daemon core. Create with New, serve its Handler, stop
+// with Drain (graceful) or Close (immediate).
+type Server struct {
+	cfg   Config
+	cache *Cache
+	log   *log.Logger
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for listing
+	queue    chan *job
+	draining bool
+	stats    Stats
+
+	wg sync.WaitGroup
+}
+
+// New opens the cache and starts the worker pool.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.CacheDir == "" {
+		return nil, errors.New("service: Config.CacheDir is required")
+	}
+	cache, err := NewCache(cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: cache,
+		log:   log.New(cfg.Log, "karyon-d: ", log.LstdFlags),
+		jobs:  map[string]*job{},
+		queue: make(chan *job, cfg.QueueDepth),
+	}
+	s.stats.Workers = cfg.Workers
+	s.stats.Build = cfg.Build
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Build returns the fingerprint job IDs are derived under.
+func (s *Server) Build() string { return s.cfg.Build }
+
+// Submit resolves a spec to its deterministic job: a fresh execution on a
+// cache miss, the archived result on a hit, or the in-flight job when an
+// equivalent spec is already queued or running. The returned status's ID
+// is the cache key; Cached reports whether the result already existed.
+func (s *Server) Submit(spec JobSpec) (*Status, error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	id, err := norm.CacheKey(s.cfg.Build)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	s.stats.Submitted++
+
+	if j, ok := s.jobs[id]; ok {
+		j.mu.Lock()
+		st, errmsg := j.state, j.errmsg
+		j.mu.Unlock()
+		switch {
+		case st == StateDone:
+			s.stats.CacheHits++
+			out := j.status()
+			out.Cached = true
+			return out, nil
+		case !terminal(st):
+			s.stats.Deduped++
+			return j.status(), nil
+		default:
+			// A failed or cancelled attempt is not a result; a retry
+			// submission schedules a fresh execution under the same ID.
+			s.log.Printf("job %.12s: retrying after %s (%s)", id, st, errmsg)
+			s.forget(id)
+		}
+	}
+
+	if stream, ok, err := s.cache.Get(id); err != nil {
+		return nil, err
+	} else if ok {
+		// Record the length but drop the bytes: disk-backed jobs stream
+		// from the archive per read, so a hot cache does not pin every
+		// archived stream in daemon memory.
+		j := newJob(id, norm, StateDone)
+		j.cached, j.archived = true, true
+		j.finished = j.created
+		j.resultBytes = len(stream)
+		s.remember(j)
+		s.stats.CacheHits++
+		return j.status(), nil
+	}
+
+	j := newJob(id, norm, StateQueued)
+	select {
+	case s.queue <- j:
+	default:
+		return nil, ErrBusy
+	}
+	s.remember(j)
+	s.stats.CacheMisses++
+	s.stats.Queued++
+	return j.status(), nil
+}
+
+// remember/forget maintain the id index; callers hold s.mu.
+func (s *Server) remember(j *job) {
+	if _, ok := s.jobs[j.id]; !ok {
+		s.order = append(s.order, j.id)
+	}
+	s.jobs[j.id] = j
+}
+
+func (s *Server) forget(id string) {
+	delete(s.jobs, id)
+	for i, v := range s.order {
+		if v == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Job returns the status of a known job.
+func (s *Server) Job(id string) (*Status, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j.status(), nil
+}
+
+// Jobs lists every known job in submission order.
+func (s *Server) Jobs() []*Status {
+	s.mu.Lock()
+	ids := append([]string{}, s.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]*Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	return out
+}
+
+// Cancel stops a job: a queued job is cancelled in place (the worker
+// skips it), a running one has its context cancelled — the world stops at
+// the next window barrier. Cancelling a terminal job is a no-op.
+func (s *Server) Cancel(id string) (*Status, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	wasQueued := false
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		wasQueued = true
+		j.state = StateCancelled
+		j.errmsg = "cancelled before start"
+		j.finished = time.Now()
+		j.buf = append(j.buf, errorLine(j.errmsg)...)
+		j.cond.Broadcast()
+	case StateRunning:
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	j.mu.Unlock()
+	if wasQueued {
+		// Lock order is always s.mu before j.mu, so the counters update
+		// after j.mu is released.
+		s.mu.Lock()
+		s.stats.Cancelled++
+		s.stats.Queued--
+		s.mu.Unlock()
+	}
+	return j.status(), nil
+}
+
+// Stats snapshots the operational counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// StreamTo copies the job's NDJSON result stream to w, tailing a live job
+// until it reaches a terminal state: a caller attaching mid-run gets the
+// buffered prefix immediately and the remainder as replicas complete. If
+// flush is non-nil it runs after every write (HTTP streaming). The bytes
+// written for a given job ID are identical for every caller, live or
+// cached — that is the service's central contract.
+func (s *Server) StreamTo(id string, w io.Writer, flush func()) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+
+	j.mu.Lock()
+	fromDisk := j.archived && j.buf == nil
+	j.mu.Unlock()
+	if fromDisk {
+		stream, ok, err := s.cache.Get(id)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("service: archive for job %.12s vanished", id)
+		}
+		if _, err := w.Write(stream); err != nil {
+			return err
+		}
+		if flush != nil {
+			flush()
+		}
+		return nil
+	}
+
+	off := 0
+	for {
+		j.mu.Lock()
+		for off == len(j.buf) && !terminal(j.state) {
+			j.cond.Wait()
+		}
+		chunk := append([]byte{}, j.buf[off:]...)
+		off += len(chunk)
+		done := terminal(j.state) && off == len(j.buf)
+		j.mu.Unlock()
+		if len(chunk) > 0 {
+			if _, err := w.Write(chunk); err != nil {
+				return err
+			}
+			if flush != nil {
+				flush()
+			}
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// worker executes queued jobs until the queue closes at drain.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.execute(j)
+	}
+}
+
+func (s *Server) execute(j *job) {
+	j.mu.Lock()
+	if j.state != StateQueued { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if d := j.spec.timeout(s.cfg.JobTimeout); d > 0 {
+		ctx, cancel = context.WithTimeout(ctx, d)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.cond.Broadcast()
+	j.mu.Unlock()
+	defer cancel()
+
+	s.mu.Lock()
+	s.stats.Queued--
+	s.stats.Running++
+	s.mu.Unlock()
+	start := time.Now()
+	err := s.run(ctx, j)
+	elapsed := time.Since(start)
+
+	s.mu.Lock()
+	s.stats.Running--
+	s.mu.Unlock()
+
+	if err == nil {
+		meta := CacheMeta{Spec: j.spec, Build: s.cfg.Build, CreatedAt: time.Now(), ElapsedMS: elapsed.Milliseconds()}
+		j.mu.Lock()
+		stream := j.buf
+		j.mu.Unlock()
+		if cerr := s.cache.Put(j.id, stream, meta); cerr != nil {
+			// The job still succeeded; only the archive is lost.
+			s.log.Printf("job %.12s: archive failed: %v", j.id, cerr)
+		} else {
+			j.mu.Lock()
+			j.archived = true
+			j.mu.Unlock()
+		}
+		j.finish(StateDone, "")
+		s.mu.Lock()
+		s.stats.Completed++
+		s.mu.Unlock()
+		s.log.Printf("job %.12s: done (%s, %s)", j.id, j.spec.Scenario, elapsed.Round(time.Millisecond))
+		return
+	}
+
+	j.mu.Lock()
+	cancelled := j.cancelRequested
+	j.mu.Unlock()
+	state, msg := StateFailed, err.Error()
+	switch {
+	case cancelled:
+		state, msg = StateCancelled, "cancelled"
+	case errors.Is(err, context.DeadlineExceeded):
+		msg = fmt.Sprintf("timeout after %s", j.spec.timeout(s.cfg.JobTimeout))
+	}
+	j.appendStream(errorLine(msg))
+	j.finish(state, msg)
+	s.mu.Lock()
+	if state == StateCancelled {
+		s.stats.Cancelled++
+	} else {
+		s.stats.Failed++
+	}
+	s.mu.Unlock()
+	s.log.Printf("job %.12s: %s: %s", j.id, state, msg)
+}
+
+// run builds the scenario and streams the replicated run into the job.
+func (s *Server) run(ctx context.Context, j *job) error {
+	sc, err := j.spec.scenario()
+	if err != nil {
+		return err
+	}
+	var encErr error
+	rep, err := s.cfg.Runner.RunStream(ctx, sc, j.spec.options(s.cfg.Parallel),
+		func(i int, seed int64, res *metrics.Result) {
+			line, err := replicaLine(i, seed, res)
+			if err != nil {
+				encErr = err
+				return
+			}
+			j.appendStream(line)
+		})
+	if err != nil {
+		return err
+	}
+	if encErr != nil {
+		return encErr
+	}
+	line, err := summaryLine(rep)
+	if err != nil {
+		return err
+	}
+	j.appendStream(line)
+	return nil
+}
+
+// Drain gracefully shuts the server down: new submissions are refused,
+// queued and running jobs are given until ctx's deadline to finish, then
+// every survivor is cancelled (deterministically, at its next window
+// barrier) and awaited. Safe to call once; returns ctx.Err() when the
+// deadline forced cancellations, nil on a clean drain.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("service: already draining")
+	}
+	s.draining = true
+	s.stats.Draining = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	// Deadline: cancel everything still live and wait for the workers.
+	s.mu.Lock()
+	live := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		live = append(live, j)
+	}
+	s.mu.Unlock()
+	for _, j := range live {
+		j.mu.Lock()
+		switch j.state {
+		case StateQueued:
+			j.state = StateCancelled
+			j.errmsg = "cancelled at drain"
+			j.finished = time.Now()
+			j.buf = append(j.buf, errorLine(j.errmsg)...)
+			j.cond.Broadcast()
+		case StateRunning:
+			j.cancelRequested = true
+			if j.cancel != nil {
+				j.cancel()
+			}
+		}
+		j.mu.Unlock()
+	}
+	<-done
+	return ctx.Err()
+}
+
+// Close shuts down immediately: Drain with an already-expired deadline.
+func (s *Server) Close() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = s.Drain(ctx)
+}

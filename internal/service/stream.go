@@ -1,0 +1,69 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"karyon/internal/harness"
+	"karyon/internal/metrics"
+)
+
+// Line types of the NDJSON result stream.
+const (
+	// LineReplica carries one replica's structured result; lines appear in
+	// seed order, replica i as soon as replicas 0..i have completed.
+	LineReplica = "replica"
+	// LineSummary is the final line of a successful job: the seed-order
+	// aggregate over all replicas.
+	LineSummary = "summary"
+	// LineError terminates the stream of a failed or cancelled job. Error
+	// streams are never archived.
+	LineError = "error"
+)
+
+// Line is one NDJSON record of a job's result stream. The stream of a
+// successful job is replica lines (one per seed, in seed order) followed
+// by exactly one summary line; it is a pure function of (job spec, build),
+// which is what lets the daemon archive it by content address and replay
+// it byte-identically on a hit.
+type Line struct {
+	Type string `json:"type"`
+	// Index and Seed identify a replica line's position in the seed matrix.
+	Index *int   `json:"index,omitempty"`
+	Seed  *int64 `json:"seed,omitempty"`
+	// Result is the replica's structured record set (replica lines).
+	Result *metrics.Result `json:"result,omitempty"`
+	// Report is the aggregated outcome (summary lines).
+	Report *harness.Report `json:"report,omitempty"`
+	// Error is the failure message (error lines).
+	Error string `json:"error,omitempty"`
+}
+
+// marshalLine renders one stream line with its trailing newline. Results
+// and reports contain no map-typed fields, so encoding is deterministic —
+// a requirement, not a nicety: the archived bytes are the contract.
+func marshalLine(l Line) ([]byte, error) {
+	b, err := json.Marshal(l)
+	if err != nil {
+		return nil, fmt.Errorf("service: encoding stream line: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+func replicaLine(index int, seed int64, res *metrics.Result) ([]byte, error) {
+	return marshalLine(Line{Type: LineReplica, Index: &index, Seed: &seed, Result: res})
+}
+
+func summaryLine(rep *harness.Report) ([]byte, error) {
+	return marshalLine(Line{Type: LineSummary, Report: rep})
+}
+
+func errorLine(msg string) []byte {
+	b, err := marshalLine(Line{Type: LineError, Error: msg})
+	if err != nil {
+		// A plain string cannot fail to encode; keep the stream terminated
+		// regardless.
+		return []byte(`{"type":"error","error":"internal encoding failure"}` + "\n")
+	}
+	return b
+}

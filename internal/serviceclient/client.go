@@ -1,0 +1,211 @@
+// Package serviceclient is the thin HTTP client for the karyon-d control
+// API (internal/service). It speaks the wire types of that package —
+// service.JobSpec in, service.Status and NDJSON service.Line streams out
+// — and adds nothing on top: the daemon owns all semantics (deterministic
+// job IDs, dedupe, the run cache), so the client stays a transport.
+// karyon-sim's -daemon mode and the load-test benchmarks both drive it.
+package serviceclient
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"karyon/internal/harness"
+	"karyon/internal/service"
+)
+
+// APIError is a non-2xx control-API response.
+type APIError struct {
+	Code int
+	Msg  string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("karyon-d: HTTP %d: %s", e.Code, e.Msg)
+}
+
+// Client talks to one karyon-d daemon.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:7077"). The default http.Client is used; result
+// streams can tail long-running jobs, so no client-side timeout is
+// imposed — bound waits with the request context instead.
+func New(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		defer resp.Body.Close()
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&apiErr); err == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return nil, &APIError{Code: resp.StatusCode, Msg: msg}
+	}
+	return resp, nil
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	resp, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a job spec and returns the resolved job: fresh, deduped
+// onto an in-flight run, or answered from the cache (Status.Cached).
+func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (*service.Status, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var st service.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, id string) (*service.Status, error) {
+	var st service.Status
+	if err := c.getJSON(ctx, "/v1/jobs/"+id, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Jobs lists the daemon's known jobs in submission order.
+func (c *Client) Jobs(ctx context.Context) ([]*service.Status, error) {
+	var jobs []*service.Status
+	if err := c.getJSON(ctx, "/v1/jobs", &jobs); err != nil {
+		return nil, err
+	}
+	return jobs, nil
+}
+
+// Cancel stops a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) (*service.Status, error) {
+	resp, err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/cancel", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var st service.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Stats fetches the daemon's operational counters.
+func (c *Client) Stats(ctx context.Context) (*service.Stats, error) {
+	var st service.Stats
+	if err := c.getJSON(ctx, "/v1/stats", &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Health probes the daemon.
+func (c *Client) Health(ctx context.Context) error {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Results opens the raw NDJSON result stream. For a live job it tails
+// until the job reaches a terminal state; the caller must Close it.
+func (c *Client) Results(ctx context.Context, id string) (io.ReadCloser, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/results", nil)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// StreamResults decodes the result stream line by line into fn, stopping
+// on the first error fn returns. The summary (or error) line is the last
+// call.
+func (c *Client) StreamResults(ctx context.Context, id string, fn func(service.Line) error) error {
+	body, err := c.Results(ctx, id)
+	if err != nil {
+		return err
+	}
+	defer body.Close()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	for sc.Scan() {
+		var line service.Line
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return fmt.Errorf("karyon-d: bad stream line: %w", err)
+		}
+		if err := fn(line); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Run is the one-call convenience karyon-sim -daemon uses: submit the
+// spec, tail the stream to completion, and return the aggregated report
+// from the summary line. A failed or cancelled job surfaces its error
+// line as an error.
+func (c *Client) Run(ctx context.Context, spec service.JobSpec) (*service.Status, *harness.Report, error) {
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rep *harness.Report
+	err = c.StreamResults(ctx, st.ID, func(line service.Line) error {
+		switch line.Type {
+		case service.LineSummary:
+			rep = line.Report
+		case service.LineError:
+			return fmt.Errorf("karyon-d: job %.12s: %s", st.ID, line.Error)
+		}
+		return nil
+	})
+	if err != nil {
+		return st, nil, err
+	}
+	if rep == nil {
+		return st, nil, fmt.Errorf("karyon-d: job %.12s: stream ended without a summary", st.ID)
+	}
+	return st, rep, nil
+}
