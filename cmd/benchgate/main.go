@@ -24,9 +24,13 @@
 // With -count > 1 the gate scores each benchmark by its fastest run —
 // the minimum is the measurement least polluted by scheduler noise; the
 // same minimum rule applies to allocs/op and B/op independently. Pass
-// -update to rewrite the baseline from the current run instead of
-// comparing (do this when the benchmark set or the reference hardware
-// changes, and commit the result).
+// -update (or its self-describing alias -update-baseline) to rewrite the
+// baseline from the current run instead of comparing (do this when the
+// benchmark set or the reference hardware changes, and commit the
+// result). The zero-alloc ratchet guards both directions: a benchmark
+// whose committed baseline sits at 0 allocs/op fails the gate if it
+// allocates again, and -update refuses to launder such a regression into
+// a fresh baseline.
 //
 // Benchmarks named <family>/shards=N additionally get a tracked (not
 // gated) parallel-efficiency score — speedup over the family's shards=1
@@ -276,6 +280,26 @@ func compare(baseline, current *Snapshot, maxRegress, maxAllocsRegress float64) 
 	return lines, ok
 }
 
+// ratchetViolations returns the benchmarks whose committed baseline is
+// pinned at zero allocs/op but whose new snapshot allocates. The
+// zero-alloc ratchet guards -update as well as compare: once a hot path
+// reaches zero steady-state allocations, a regression cannot be laundered
+// into the baseline by refreshing it — the churn has to be fixed.
+func ratchetViolations(old, next *Snapshot) []string {
+	var bad []string
+	for name, base := range old.Benchmarks {
+		cur, ok := next.Benchmarks[name]
+		if !ok || base.MemRuns == 0 || cur.MemRuns == 0 {
+			continue
+		}
+		if base.AllocsPerOp == 0 && cur.AllocsPerOp > 0 {
+			bad = append(bad, fmt.Sprintf("%s (%.0f allocs/op, ratcheted at 0)", name, cur.AllocsPerOp))
+		}
+	}
+	sort.Strings(bad)
+	return bad
+}
+
 // gitOut runs git with args and returns its trimmed stdout.
 func gitOut(args ...string) (string, error) {
 	out, err := exec.Command("git", args...).Output()
@@ -405,6 +429,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	maxRegress := fs.Float64("max-regress", 0.20, "maximum tolerated ns/op regression (0.20 = +20%)")
 	maxAllocsRegress := fs.Float64("max-allocs-regress", 0.10, "maximum tolerated allocs/op regression when both sides carry -benchmem data (0.10 = +10%)")
 	update := fs.Bool("update", false, "rewrite the baseline from this run instead of comparing")
+	updateBaseline := fs.Bool("update-baseline", false, "alias of -update: regenerate the committed baseline from this run")
 	mergeBase := fs.String("merge-base", "", "bench the merge base of HEAD and this ref in a throwaway worktree and gate against it (same-run relative comparison) instead of the committed baseline")
 	benchPattern := fs.String("bench", ".", "benchmark pattern for the merge-base run (with -merge-base)")
 	benchCount := fs.Int("bench-count", 3, "bench -count for the merge-base run (with -merge-base)")
@@ -438,7 +463,19 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "benchgate: archived result %s\n", path)
 	}
-	if *update {
+	if *update || *updateBaseline {
+		// The zero-alloc ratchet holds across baseline refreshes too: read
+		// the outgoing baseline (when there is one) and refuse to replace a
+		// 0 allocs/op entry with an allocating one.
+		if bjs, err := os.ReadFile(*basePath); err == nil {
+			var old Snapshot
+			if err := json.Unmarshal(bjs, &old); err != nil {
+				return fmt.Errorf("benchgate: corrupt baseline %s: %w", *basePath, err)
+			}
+			if bad := ratchetViolations(&old, snap); len(bad) > 0 {
+				return fmt.Errorf("benchgate: refusing to update baseline — zero-alloc ratchet violated by %s; once a benchmark's baseline hits 0 allocs/op it may never regress above zero, so fix the allocation churn instead of refreshing the baseline", strings.Join(bad, ", "))
+			}
+		}
 		if err := writeSnapshot(*basePath, snap); err != nil {
 			return err
 		}

@@ -378,6 +378,82 @@ func TestParseTracksCustomMetrics(t *testing.T) {
 	}
 }
 
+// ratchetViolations flags exactly the zero→nonzero allocs transitions:
+// entries missing from either side, entries without -benchmem data, and
+// nonzero baselines are all out of scope (compare's percentage gate owns
+// those).
+func TestRatchetViolations(t *testing.T) {
+	old := &Snapshot{Benchmarks: map[string]Entry{
+		"Zero":    {NsPerOp: 10, MemRuns: 2},                   // ratcheted at 0
+		"StillOk": {NsPerOp: 10, MemRuns: 2},                   // stays 0
+		"NonZero": {NsPerOp: 10, AllocsPerOp: 100, MemRuns: 2}, // never ratcheted
+		"NoMem":   {NsPerOp: 10},                               // no -benchmem data
+		"Gone":    {NsPerOp: 10, MemRuns: 2},                   // removed benchmark
+	}}
+	next := &Snapshot{Benchmarks: map[string]Entry{
+		"Zero":    {NsPerOp: 10, AllocsPerOp: 7, MemRuns: 2},
+		"StillOk": {NsPerOp: 10, MemRuns: 2},
+		"NonZero": {NsPerOp: 10, AllocsPerOp: 9000, MemRuns: 2},
+		"NoMem":   {NsPerOp: 10, AllocsPerOp: 5, MemRuns: 2},
+		"New":     {NsPerOp: 10, AllocsPerOp: 5, MemRuns: 2},
+	}}
+	bad := ratchetViolations(old, next)
+	if len(bad) != 1 || !strings.Contains(bad[0], "Zero") {
+		t.Fatalf("violations = %v, want exactly the Zero entry", bad)
+	}
+}
+
+// -update-baseline is the self-describing alias of -update, and both
+// refuse to rewrite a baseline entry that sits at 0 allocs/op with an
+// allocating run: the zero-alloc ratchet cannot be released by
+// regenerating the baseline.
+func TestUpdateBaselineRatchet(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "o.json")
+	basePath := filepath.Join(dir, "b.json")
+	zero := "BenchmarkHot-8   100   50.0 ns/op   0 B/op   0 allocs/op\n"
+	leaky := "BenchmarkHot-8   100   50.0 ns/op   64 B/op   2 allocs/op\n"
+
+	// -update-baseline creates the baseline just like -update.
+	var sb strings.Builder
+	if err := run([]string{"-out", outPath, "-baseline", basePath, "-update-baseline"},
+		strings.NewReader(zero), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "baseline "+basePath+" rewritten") {
+		t.Fatalf("-update-baseline did not rewrite the baseline:\n%s", sb.String())
+	}
+
+	// Refreshing with an allocating run must refuse, under either flag.
+	for _, flag := range []string{"-update", "-update-baseline"} {
+		sb.Reset()
+		err := run([]string{"-out", outPath, "-baseline", basePath, flag},
+			strings.NewReader(leaky), &sb)
+		if err == nil || !strings.Contains(err.Error(), "ratchet") {
+			t.Fatalf("%s laundered a zero-alloc regression into the baseline: %v", flag, err)
+		}
+	}
+	// The refusal left the committed baseline untouched.
+	js, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base Snapshot
+	if err := json.Unmarshal(js, &base); err != nil {
+		t.Fatal(err)
+	}
+	if e := base.Benchmarks["BenchmarkHot"]; e.AllocsPerOp != 0 || e.MemRuns == 0 {
+		t.Fatalf("baseline mutated by a refused update: %+v", e)
+	}
+
+	// A zero-alloc refresh still goes through.
+	sb.Reset()
+	if err := run([]string{"-out", outPath, "-baseline", basePath, "-update-baseline"},
+		strings.NewReader(zero), &sb); err != nil {
+		t.Fatalf("clean refresh refused: %v", err)
+	}
+}
+
 // Tracked metrics appear as info lines and in the snapshot artifact, and
 // never gate: a wild metric swing with identical ns/op passes.
 func TestMetricsReportedNotGated(t *testing.T) {

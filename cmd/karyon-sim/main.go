@@ -34,6 +34,13 @@
 // -speculate; exclude it when diffing across those knobs. Carrier-sense
 // medium worlds fence back to lockstep automatically.
 //
+// -cpuprofile and -memprofile write runtime/pprof profiles of the run —
+// CPU samples over the whole execution, and a post-GC heap snapshot at
+// exit — for `go tool pprof`. The memory profile pairs with the
+// zero-alloc steady-state work: a regression flagged by the benchgate
+// allocs ratchet is localized by rerunning the same scenario here with
+// -memprofile.
+//
 // -daemon URL submits the run to a resident karyon-d instead of executing
 // in-process: the daemon dedupes equivalent runs and replays archived
 // results byte-identically, so repeated sweeps cost one execution. The
@@ -49,6 +56,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"karyon/internal/harness"
@@ -88,8 +96,36 @@ func run(args []string, out io.Writer) error {
 	speculate := fs.Int("speculate", 0, "highway/megahighway: optimistic shard windows — run up to K windows ahead with deterministic abort-and-replay (0/1 = lockstep); affects wall time only, never simulated output")
 	jsonOut := fs.Bool("json", false, "emit a JSON report with full per-value distributions")
 	daemon := fs.String("daemon", "", "submit to a karyon-d control API at this URL instead of running in-process (e.g. http://127.0.0.1:7077)")
+	cpuProfile := fs.String("cpuprofile", "", "write a runtime/pprof CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a runtime/pprof heap profile (after a final GC) to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("karyon-sim: -cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("karyon-sim: -cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("karyon-sim: -memprofile: %w", err)
+		}
+		defer func() {
+			// A final GC settles the heap so the profile shows live
+			// retention and the alloc_* totals, not transient garbage.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "karyon-sim: -memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 	if *daemon != "" {
 		spec := service.JobSpec{

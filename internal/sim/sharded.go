@@ -1,9 +1,10 @@
 package sim
 
 import (
+	"cmp"
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 )
 
@@ -106,9 +107,34 @@ type ShardedKernel struct {
 	// not silently continue half-advanced.
 	failed error
 
+	// errs holds one per-shard slot for errors recovered inside a window,
+	// reset (not reallocated) at every dispatch.
+	errs []error
+
+	// workers are the fan-out channels for shards 1..n-1; shard 0 always
+	// runs inline on the coordinating goroutine. The worker goroutines
+	// themselves live only for the duration of one Run call (an idle
+	// kernel must hold no goroutines — tests build thousands and there is
+	// no Close), but the channels are allocated once, so the steady-state
+	// window dispatch allocates nothing.
+	workers []chan shardJob
+	wg      sync.WaitGroup // per-window shard completion
+	stopWG  sync.WaitGroup // worker exit at the end of Run
+
 	// spec, when non-nil, enables optimistic shard windows (see
 	// speculate.go).
 	spec *specController
+}
+
+// shardJob describes one window's worth of work for one shard. It is sent
+// by value over the worker channels and carries no pointers, so dispatch
+// does not allocate.
+type shardJob struct {
+	edge  Time
+	prev  Time // previous edge (speculative windows only)
+	spec  bool // speculative window: SpecOpen/run/SpecClose instead of lockstep
+	first bool // first window of a speculative batch
+	stop  bool // sentinel: worker exits
 }
 
 // NewShardedKernel creates a sharded kernel over n partitions with the
@@ -131,6 +157,7 @@ func NewShardedKernel(seed int64, n int, window Time) (*ShardedKernel, error) {
 			sk:     sk,
 		})
 	}
+	sk.errs = make([]error, n)
 	return sk, nil
 }
 
@@ -219,6 +246,8 @@ func (sk *ShardedKernel) Run(ctx context.Context, until Time) error {
 	if sk.failed != nil {
 		return sk.failed
 	}
+	sk.startWorkers()
+	defer sk.stopWorkers()
 	for sk.now < until {
 		if err := ctx.Err(); err != nil {
 			sk.failed = fmt.Errorf("sim: sharded run cancelled at %v: %w", sk.now, err)
@@ -248,34 +277,110 @@ func (sk *ShardedKernel) Run(ctx context.Context, until Time) error {
 	return nil
 }
 
+// startWorkers spawns one worker goroutine per shard past the first for
+// the duration of a Run call: every window inside the Run dispatches
+// through the reused channels instead of spawning a goroutine per shard
+// per window. The spawn cost is amortized over all the windows of the Run
+// and an idle kernel holds no goroutines. Single-shard kernels skip the
+// machinery entirely.
+func (sk *ShardedKernel) startWorkers() {
+	if len(sk.shards) == 1 {
+		return
+	}
+	if sk.workers == nil {
+		sk.workers = make([]chan shardJob, len(sk.shards)-1)
+		for i := range sk.workers {
+			sk.workers[i] = make(chan shardJob, 1)
+		}
+	}
+	sk.stopWG.Add(len(sk.workers))
+	for i, ch := range sk.workers {
+		go sk.shardWorker(sk.shards[i+1], ch)
+	}
+}
+
+// stopWorkers sends every worker its exit sentinel and waits for them to
+// return, so a finished Run leaves no goroutines behind.
+func (sk *ShardedKernel) stopWorkers() {
+	if len(sk.shards) == 1 {
+		return
+	}
+	for _, ch := range sk.workers {
+		ch <- shardJob{stop: true}
+	}
+	sk.stopWG.Wait()
+}
+
+func (sk *ShardedKernel) shardWorker(s *Shard, jobs chan shardJob) {
+	defer sk.stopWG.Done()
+	for job := range jobs {
+		if job.stop {
+			return
+		}
+		sk.runShardWindow(s, job)
+		sk.wg.Done()
+	}
+}
+
+// runShardWindow executes one shard's half of one window — event-queue
+// drain plus either the lockstep per-shard hooks or the speculative
+// open/close callbacks — recording any panic in the shard's errs slot.
+func (sk *ShardedKernel) runShardWindow(s *Shard, job shardJob) {
+	defer func() {
+		if p := recover(); p != nil {
+			phase := "shard"
+			if job.spec {
+				phase = "speculative shard"
+			}
+			sk.errs[s.idx] = windowError(fmt.Sprintf("%s %d", phase, s.idx), job.edge, p)
+		}
+	}()
+	if job.spec {
+		c := sk.spec
+		c.model.SpecOpen(s.idx, job.prev, job.first)
+		s.kernel.Run(job.edge)
+		ok := c.model.SpecClose(s.idx, job.edge)
+		// A Send during a speculative window violates the speculation
+		// contract; flag it as a conflict so the batch replays.
+		if !ok || len(s.outbox) > 0 {
+			c.bad[s.idx] = true
+		}
+		return
+	}
+	s.kernel.Run(job.edge)
+	for _, fn := range sk.shardHooks {
+		fn(s.idx, job.edge)
+	}
+}
+
+// dispatch runs one window's parallel shard phase: shards 1..n-1 through
+// the Run workers, shard 0 inline on the coordinating goroutine, returning
+// once every shard has finished. Allocation-free in the steady state.
+func (sk *ShardedKernel) dispatch(job shardJob) error {
+	for i := range sk.errs {
+		sk.errs[i] = nil
+	}
+	sk.wg.Add(len(sk.workers))
+	for _, ch := range sk.workers {
+		ch <- job
+	}
+	sk.runShardWindow(sk.shards[0], job)
+	sk.wg.Wait()
+	for _, err := range sk.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // runWindow executes one window in parallel across shards, then performs
 // the single-threaded barrier: mailbox drain followed by window hooks.
 // Now() reads the new edge throughout the barrier — every shard kernel has
 // already reached it.
 func (sk *ShardedKernel) runWindow(edge Time) error {
-	errs := make([]error, len(sk.shards))
-	var wg sync.WaitGroup
-	for _, s := range sk.shards {
-		s := s
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					errs[s.idx] = windowError(fmt.Sprintf("shard %d", s.idx), edge, p)
-				}
-			}()
-			s.kernel.Run(edge)
-			for _, fn := range sk.shardHooks {
-				fn(s.idx, edge)
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	if err := sk.dispatch(shardJob{edge: edge}); err != nil {
+		return err
 	}
 	sk.now = edge
 	if err := sk.drain(edge); err != nil {
@@ -314,11 +419,14 @@ func (sk *ShardedKernel) drain(edge Time) (err error) {
 	if len(pending) == 0 {
 		return nil
 	}
-	sort.SliceStable(pending, func(i, j int) bool {
-		if pending[i].at != pending[j].at {
-			return pending[i].at < pending[j].at
+	// Capture-free comparator: sort.SliceStable's interface boxing and
+	// closure cost one allocation per barrier; the generic stable sort
+	// costs none.
+	slices.SortStableFunc(pending, func(a, b message) int {
+		if c := cmp.Compare(a.at, b.at); c != 0 {
+			return c
 		}
-		return pending[i].sender < pending[j].sender
+		return cmp.Compare(a.sender, b.sender)
 	})
 	defer func() {
 		if p := recover(); p != nil {

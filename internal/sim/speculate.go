@@ -1,10 +1,5 @@
 package sim
 
-import (
-	"fmt"
-	"sync"
-)
-
 // This file implements optimistic shard windows: instead of stopping at
 // every window barrier, the sharded kernel may run a *batch* of K windows
 // in which the shards execute optimistically and the single-threaded
@@ -135,7 +130,6 @@ type specController struct {
 	penalty int
 
 	marks []KernelMark
-	errs  []error
 	bad   []bool
 
 	stats SpecStats
@@ -158,7 +152,6 @@ func (sk *ShardedKernel) EnableSpeculation(m SpeculativeModel, cfg SpecConfig) {
 		cfg:   cfg,
 		depth: cfg.Depth,
 		marks: make([]KernelMark, len(sk.shards)),
-		errs:  make([]error, len(sk.shards)),
 		bad:   make([]bool, len(sk.shards)),
 	}
 }
@@ -250,45 +243,17 @@ func (sk *ShardedKernel) runBatch(k int) error {
 		prev := start + Time(j-1)*sk.window
 		edge := prev + sk.window
 		attempted = j
-		first := j == 1
 
-		var wg sync.WaitGroup
-		for _, s := range sk.shards {
-			s := s
-			c.errs[s.idx] = nil
-			c.bad[s.idx] = false
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				defer func() {
-					if p := recover(); p != nil {
-						c.errs[s.idx] = windowError(fmt.Sprintf("speculative shard %d", s.idx), edge, p)
-					}
-				}()
-				c.model.SpecOpen(s.idx, prev, first)
-				s.kernel.Run(edge)
-				if !c.model.SpecClose(s.idx, edge) {
-					c.bad[s.idx] = true
-				}
-			}()
+		for i := range c.bad {
+			c.bad[i] = false
 		}
-		wg.Wait()
-		for _, err := range c.errs {
-			if err != nil {
-				return err
-			}
+		if err := sk.dispatch(shardJob{edge: edge, prev: prev, spec: true, first: j == 1}); err != nil {
+			return err
 		}
 		sk.now = edge
 		c.stats.WindowsSpeculated++
 		for _, b := range c.bad {
 			if b {
-				conflict = true
-			}
-		}
-		// A Send during a speculative window violates the speculation
-		// contract; resolve it conservatively by replaying.
-		for _, s := range sk.shards {
-			if len(s.outbox) > 0 {
 				conflict = true
 			}
 		}

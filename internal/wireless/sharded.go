@@ -1,7 +1,9 @@
 package wireless
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 
 	"karyon/internal/sim"
@@ -48,6 +50,14 @@ type ShardedMedium struct {
 	pending []ShardedTx
 	// onAir is the Resolve scratch reused across barriers.
 	onAir []int
+
+	// rctx and visitFn implement Resolve's per-frame receiver visit
+	// without allocating: the closure a caller's each callback receives is
+	// built once (lazily) and reads the current frame's state from rctx,
+	// instead of a fresh closure per frame escaping through each.
+	// Barrier-only, like every other Resolve structure.
+	rctx    resolveCtx
+	visitFn func(to NodeID, pos Position)
 
 	// jamStart/jamUntil track the current (or last) jam burst per channel,
 	// with Jam extending an ongoing burst — the same single-burst model as
@@ -310,6 +320,32 @@ func (m *ShardedMedium) Resolve(
 	if len(m.pending) == 0 {
 		return
 	}
+	if m.visitFn == nil {
+		m.visitFn = func(to NodeID, pos Position) {
+			tx := m.rctx.tx
+			if to == tx.From {
+				return
+			}
+			switch {
+			case m.dist(tx.Pos, pos) > m.cfg.Range:
+				m.stats.OutOfRange++
+				m.rctx.drop(tx, to, DropOutOfRange)
+			case m.rctx.jammed:
+				m.stats.Jammed++
+				m.rctx.drop(tx, to, DropJam)
+			case m.collides(tx, m.rctx.at, pos, m.onAir):
+				m.stats.Collisions++
+				m.rctx.drop(tx, to, DropCollision)
+			case m.cfg.LossProb > 0 && m.rxStream(to).Float64() < m.cfg.LossProb:
+				m.stats.Losses++
+				m.rctx.drop(tx, to, DropLoss)
+			default:
+				m.stats.Delivered++
+				m.rctx.deliver(tx, to)
+			}
+			m.stats.ResolvedBoundary++
+		}
+	}
 	sortTxs(m.pending)
 
 	// Carrier-sense pass, in start order: a frame defers when its start
@@ -343,46 +379,40 @@ func (m *ShardedMedium) Resolve(
 	}
 	m.onAir = onAir
 
+	m.rctx.deliver, m.rctx.drop = deliver, drop
 	for at, i := range onAir {
-		tx := &m.pending[i]
+		m.rctx.tx = &m.pending[i]
+		m.rctx.at = at
+		m.rctx.jammed = m.jamOverlaps(m.rctx.tx)
 		m.stats.Sent++
-		jammed := m.jamOverlaps(tx)
-		each(tx, func(to NodeID, pos Position) {
-			if to == tx.From {
-				return
-			}
-			switch {
-			case m.dist(tx.Pos, pos) > m.cfg.Range:
-				m.stats.OutOfRange++
-				drop(tx, to, DropOutOfRange)
-			case jammed:
-				m.stats.Jammed++
-				drop(tx, to, DropJam)
-			case m.collides(tx, at, pos, onAir):
-				m.stats.Collisions++
-				drop(tx, to, DropCollision)
-			case m.cfg.LossProb > 0 && m.rxStream(to).Float64() < m.cfg.LossProb:
-				m.stats.Losses++
-				drop(tx, to, DropLoss)
-			default:
-				m.stats.Delivered++
-				deliver(tx, to)
-			}
-			m.stats.ResolvedBoundary++
-		})
+		each(m.rctx.tx, m.visitFn)
 	}
+	// Unpin the caller's callbacks (and the last frame) between barriers.
+	m.rctx = resolveCtx{}
 	m.pending = m.pending[:0]
+}
+
+// resolveCtx carries the frame Resolve's reusable visit closure is
+// currently deciding, plus the caller's outcome callbacks for this pass.
+type resolveCtx struct {
+	tx      *ShardedTx
+	at      int
+	jammed  bool
+	deliver func(tx *ShardedTx, to NodeID)
+	drop    func(tx *ShardedTx, to NodeID, reason DropReason)
 }
 
 // sortTxs orders a frame set by (Start, From) — the canonical resolution
 // order every path (lockstep barrier, per-arc, boundary reconciliation)
 // shares.
 func sortTxs(txs []ShardedTx) {
-	sort.SliceStable(txs, func(i, j int) bool {
-		if txs[i].Start != txs[j].Start {
-			return txs[i].Start < txs[j].Start
+	// Capture-free comparator: the stable generic sort allocates nothing,
+	// unlike sort.SliceStable's closure + interface boxing.
+	slices.SortStableFunc(txs, func(a, b ShardedTx) int {
+		if c := cmp.Compare(a.Start, b.Start); c != 0 {
+			return c
 		}
-		return txs[i].From < txs[j].From
+		return cmp.Compare(a.From, b.From)
 	})
 }
 
@@ -460,39 +490,51 @@ func (m *ShardedMedium) ResolveSlice(
 	deliver func(tx *ShardedTx, to NodeID),
 	drop func(tx *ShardedTx, to NodeID, reason DropReason),
 ) {
+	// One visit closure per call, not per frame: the per-frame state lives
+	// in cur, which the closure reads by reference. ResolveSlice runs
+	// concurrently across shards, so the context is call-local rather than
+	// medium-owned like Resolve's.
+	var cur struct {
+		tx     *ShardedTx
+		at     int
+		jammed bool
+	}
+	visit := func(to NodeID, pos Position) {
+		tx := cur.tx
+		if to == tx.From {
+			return
+		}
+		switch {
+		case m.dist(tx.Pos, pos) > m.cfg.Range:
+			stats.OutOfRange++
+			drop(tx, to, DropOutOfRange)
+		case cur.jammed:
+			stats.Jammed++
+			drop(tx, to, DropJam)
+		case collidesAll(m, txs, cur.at, pos):
+			stats.Collisions++
+			drop(tx, to, DropCollision)
+		case m.cfg.LossProb > 0 && m.rxStream(to).Float64() < m.cfg.LossProb:
+			stats.Losses++
+			drop(tx, to, DropLoss)
+		default:
+			stats.Delivered++
+			deliver(tx, to)
+		}
+		if boundary {
+			stats.ResolvedBoundary++
+		} else {
+			stats.ResolvedLocal++
+		}
+	}
 	for at := range txs {
-		tx := &txs[at]
+		cur.tx = &txs[at]
+		cur.at = at
+		cur.jammed = m.jamOverlaps(cur.tx)
 		if countSent {
 			stats.Sent++
 		}
-		jammed := m.jamOverlaps(tx)
-		each(tx, func(to NodeID, pos Position) {
-			if to == tx.From {
-				return
-			}
-			switch {
-			case m.dist(tx.Pos, pos) > m.cfg.Range:
-				stats.OutOfRange++
-				drop(tx, to, DropOutOfRange)
-			case jammed:
-				stats.Jammed++
-				drop(tx, to, DropJam)
-			case collidesAll(m, txs, at, pos):
-				stats.Collisions++
-				drop(tx, to, DropCollision)
-			case m.cfg.LossProb > 0 && m.rxStream(to).Float64() < m.cfg.LossProb:
-				stats.Losses++
-				drop(tx, to, DropLoss)
-			default:
-				stats.Delivered++
-				deliver(tx, to)
-			}
-			if boundary {
-				stats.ResolvedBoundary++
-			} else {
-				stats.ResolvedLocal++
-			}
-		})
+		each(cur.tx, visit)
 	}
 }
 

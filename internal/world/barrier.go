@@ -1,8 +1,9 @@
 package world
 
 import (
+	"cmp"
 	"context"
-	"sort"
+	"slices"
 
 	"karyon/internal/sim"
 )
@@ -71,11 +72,11 @@ func (b *barrierScheduler) runPending(edge sim.Time) {
 	}
 	b.pending = rest
 	if !ordered {
-		sort.SliceStable(due, func(i, j int) bool {
-			if due[i].at != due[j].at {
-				return due[i].at < due[j].at
+		slices.SortStableFunc(due, func(a, b scheduled) int {
+			if c := cmp.Compare(a.at, b.at); c != 0 {
+				return c
 			}
-			return due[i].seq < due[j].seq
+			return cmp.Compare(a.seq, b.seq)
 		})
 	}
 	for _, s := range due {

@@ -89,6 +89,25 @@ type Car struct {
 	phase  sim.Time
 	stepFn func()
 
+	// Cached mailbox closures plus the pending-beacon fields they read:
+	// the car's step writes pendState/pendAccel/pendSentAt (abstract V2V)
+	// or pendTx (Medium mode) and mails the cached closure, so the
+	// steady-state beacon path allocates nothing. The fields are stable
+	// between the send and the closing barrier — a car steps exactly once
+	// per window and the drain runs before the next window is seeded.
+	// payload is the car's persistent Medium-mode frame payload: boxing
+	// the same pointer into pendTx.Payload avoids allocating a fresh
+	// interface value per frame (the contents are consumed when the frame
+	// resolves at that same window's edge, before the next step rewrites
+	// them).
+	deliverFn  func()
+	queueFn    func()
+	pendState  coord.CoopState
+	pendAccel  float64
+	pendSentAt sim.Time
+	pendTx     wireless.ShardedTx
+	payload    *beacon
+
 	// LaneChanges counts completed maneuvers.
 	LaneChanges int64
 	// EmergencyBrakes counts emergency interventions.
@@ -340,11 +359,13 @@ func (c *Car) step(h *Highway, shard *sim.Shard) {
 		}
 	}
 
-	// 6. Integrate plant, wrap ring.
+	// 6. Integrate plant, wrap ring. The hot-state mirror republishes the
+	// kinematics for the shard phase's cache-linear snapshot refresh.
 	c.Body.Step(dt)
 	if c.Body.X >= h.cfg.Length {
 		c.Body.X -= h.cfg.Length
 	}
+	h.syncHot(c)
 
 	// 7. Broadcast the cooperative state through the mailboxes: delivery
 	// lands exactly at the closing window edge, the conservative lookahead

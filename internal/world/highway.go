@@ -17,9 +17,11 @@
 package world
 
 import (
+	"cmp"
 	"context"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"karyon/internal/coord"
@@ -145,6 +147,38 @@ func (e *hwSnap) occupies(lane int) bool {
 	return e.lane == lane || e.lane2 == lane
 }
 
+// carHot is the struct-of-arrays mirror of the kinematic fields the
+// per-shard snapshot refresh reads. Kept in one packed table indexed by
+// car id (32 B/car — a 10k-car fleet fits in L2), it turns shardPhase's
+// per-entry pointer chase through the full ~500-byte Car structs into
+// reads from a dense, cache-resident array. Each slot is written only by
+// its car's own step (on the owning shard) or at single-threaded barrier
+// points (publishSnapshot, markManeuver), mirroring the ownership rules
+// of the Car itself.
+type carHot struct {
+	x      float64
+	speed  float64
+	length float64
+	lane   int32
+	// lane2 is the maneuver's second occupied lane, -1 when none.
+	lane2 int32
+}
+
+// syncHot republishes c's kinematic state into the hot table. It must run
+// wherever that state changes: the end of the car's own control step, a
+// maneuver grant at the barrier (markManeuver), and the full-rebuild
+// publishSnapshot path (startup, collision resolution, speculation abort).
+func (h *Highway) syncHot(c *Car) {
+	lane2 := int32(-1)
+	if c.maneuver.Active() {
+		lane2 = int32(c.maneuver.TargetLane)
+	}
+	h.hot[c.ID] = carHot{
+		x: c.Body.X, speed: c.Body.Speed, length: c.Body.Length,
+		lane: int32(c.Body.Lane), lane2: lane2,
+	}
+}
+
 // debugCollisions, when set by a test, prints the full geometry of every
 // collision — the fastest way to diagnose a lane-change safety hole.
 var debugCollisions = false
@@ -171,6 +205,11 @@ type Highway struct {
 	snap     []hwSnap // sorted by (x, id); replaced at barriers, never mutated
 	snapEdge sim.Time
 
+	// hot is the struct-of-arrays car hot state, indexed by car id (see
+	// carHot). The shard phase refreshes arc snapshots from it instead of
+	// dereferencing the cars.
+	hot []carHot
+
 	// Incremental snapshot machinery (the barrier-cost tentpole). Each
 	// shard keeps its own sorted arc snapshot, refreshed on the shard
 	// goroutines in the pre-barrier phase (shardPhase); the barrier only
@@ -194,6 +233,12 @@ type Highway struct {
 	// queue into it through the barrier mailboxes and resolve at every
 	// window edge against the still-published previous snapshot.
 	medium *wireless.ShardedMedium
+	// mEach/mDeliver/mDrop are the medium's Resolve callbacks, built once
+	// by initMediumCallbacks so the per-window resolution allocates no
+	// closures.
+	mEach    func(*wireless.ShardedTx, func(wireless.NodeID, wireless.Position))
+	mDeliver func(*wireless.ShardedTx, wireless.NodeID)
+	mDrop    func(*wireless.ShardedTx, wireless.NodeID, wireless.DropReason)
 	// lastDelivered snapshots the medium's delivered count at the
 	// previous barrier; inOutage/outageStart track the current fleet-wide
 	// beacon outage (windows with frames on air but nothing delivered).
@@ -296,6 +341,7 @@ func NewHighway(sk *sim.ShardedKernel, cfg HighwayConfig) (*Highway, error) {
 	h.byShard = make([][]*Car, sk.Shards())
 	h.arcs = make([][]hwSnap, sk.Shards())
 	h.outgoing = make([][]hwSnap, sk.Shards())
+	h.hot = make([]carHot, cfg.Cars)
 	spacing := cfg.Length / float64(cfg.Cars)
 	for i := 0; i < cfg.Cars; i++ {
 		car, err := newCar(sk.Seed(), i, float64(i)*spacing, cfg)
@@ -304,8 +350,20 @@ func NewHighway(sk *sim.ShardedKernel, cfg HighwayConfig) (*Highway, error) {
 		}
 		// One step closure per car for its whole lifetime: seeding a
 		// window is then allocation-free (the kernels recycle events).
+		// The beacon paths get the same treatment — one cached delivery
+		// closure and one persistent frame payload per car, fed through
+		// the pend* fields, so the steady-state window sends beacons
+		// without allocating.
 		car.stepFn = func() { car.step(h, h.sk.Shard(car.shard)) }
+		car.deliverFn = func() { h.deliverBeacon(car) }
+		if cfg.Medium {
+			car.payload = &beacon{}
+			car.queueFn = func() { h.medium.Queue(car.pendTx) }
+		}
 		h.cars = append(h.cars, car)
+	}
+	if cfg.Medium {
+		h.initMediumCallbacks()
 	}
 	return h, nil
 }
@@ -503,20 +561,21 @@ func (h *Highway) publishSnapshot(edge sim.Time) {
 	}
 	snap := h.snap[:len(h.cars)]
 	for i, c := range h.cars {
-		lane2 := -1
-		if c.maneuver.Active() {
-			lane2 = c.maneuver.TargetLane
-		}
+		// Resync the hot table on the full-rebuild path: it covers every
+		// out-of-band kinematic change (startup, collision teleport,
+		// speculation abort restore).
+		h.syncHot(c)
+		hot := &h.hot[c.ID]
 		snap[i] = hwSnap{
-			id: c.ID, x: c.Body.X, speed: c.Body.Speed, length: c.Body.Length,
-			lane: c.Body.Lane, lane2: lane2, shard: c.shard,
+			id: c.ID, x: hot.x, speed: hot.speed, length: hot.length,
+			lane: int(hot.lane), lane2: int(hot.lane2), shard: c.shard,
 		}
 	}
-	sort.Slice(snap, func(i, j int) bool {
-		if snap[i].x != snap[j].x {
-			return snap[i].x < snap[j].x
+	slices.SortFunc(snap, func(a, b hwSnap) int {
+		if c := cmp.Compare(a.x, b.x); c != 0 {
+			return c
 		}
-		return snap[i].id < snap[j].id
+		return cmp.Compare(a.id, b.id)
 	})
 	h.snap = snap
 	h.snapEdge = edge
@@ -565,14 +624,12 @@ func (h *Highway) shardPhase(shard int, edge sim.Time) {
 	arc := h.arcs[shard]
 	sorted := true
 	for i := range arc {
-		c := h.cars[arc[i].id]
-		lane2 := -1
-		if c.maneuver.Active() {
-			lane2 = c.maneuver.TargetLane
-		}
+		// Read the SoA hot table, not the car: the refresh walks a dense
+		// 32 B/entry array instead of pointer-chasing the full car structs.
+		hot := &h.hot[arc[i].id]
 		arc[i] = hwSnap{
-			id: c.ID, x: c.Body.X, speed: c.Body.Speed, length: c.Body.Length,
-			lane: c.Body.Lane, lane2: lane2, shard: shard,
+			id: arc[i].id, x: hot.x, speed: hot.speed, length: hot.length,
+			lane: int(hot.lane), lane2: int(hot.lane2), shard: shard,
 		}
 		if i > 0 && snapLess(arc[i], arc[i-1]) {
 			sorted = false
@@ -875,6 +932,9 @@ func (h *Highway) markManeuver(c *Car) {
 	if at < n && h.snap[at].id == c.ID && h.snap[at].x == c.Body.X {
 		h.snap[at].lane2 = c.maneuver.TargetLane
 	}
+	// Keep the hot table in step: the next shard phase must see the
+	// maneuver's dual-lane occupancy too.
+	h.syncHot(c)
 }
 
 // seedWindow schedules every car's control step for the window opening at
@@ -1027,40 +1087,44 @@ func (h *Highway) sendBeacon(shard *sim.Shard, c *Car, now sim.Time) {
 		Time:     now,
 		Validity: 1,
 	}
-	accel := c.Body.Accel
-	sentAt := now
-	from := c.ID
 	if s := h.spec; s != nil && s.active {
 		// Speculative window: buffer in the shard's own slice. The
 		// exchange delivers in sender-id order — the drain order, since
 		// every beacon message matures exactly at the edge.
 		s.beacons[shard.Index()] = append(s.beacons[shard.Index()],
-			specBeacon{from: from, state: state, accel: accel, sentAt: sentAt})
+			specBeacon{from: c.ID, state: state, accel: c.Body.Accel, sentAt: now})
 		return
 	}
-	edge := h.sk.NextEdge(now)
-	shard.Send(shard.Index(), edge, int64(from), func() {
-		// Barrier context: single-threaded, ordered by (edge, sender).
-		sent := false
-		h.eachInRange(c, func(e *hwSnap) {
-			sent = true
-			to := h.cars[e.id]
-			if h.jammed(sentAt) {
-				h.beaconsLost++
-				return
-			}
-			if h.cfg.Loss > 0 && to.rx.Float64() < h.cfg.Loss {
-				h.beaconsLost++
-				return
-			}
-			h.beaconsDelivered++
-			to.table.Update(state)
-			to.accelFrom[from] = accel
-		})
-		if sent {
-			c.beaconsSent++
+	c.pendState = state
+	c.pendAccel = c.Body.Accel
+	c.pendSentAt = now
+	shard.Send(shard.Index(), h.sk.NextEdge(now), int64(c.ID), c.deliverFn)
+}
+
+// deliverBeacon is the barrier half of the abstract V2V path — the body of
+// every car's cached deliverFn. Barrier context: single-threaded, ordered
+// by (edge, sender), reading the pending-beacon fields the sender's step
+// wrote in the window that just closed.
+func (h *Highway) deliverBeacon(c *Car) {
+	sent := false
+	h.eachInRange(c, func(e *hwSnap) {
+		sent = true
+		to := h.cars[e.id]
+		if h.jammed(c.pendSentAt) {
+			h.beaconsLost++
+			return
 		}
+		if h.cfg.Loss > 0 && to.rx.Float64() < h.cfg.Loss {
+			h.beaconsLost++
+			return
+		}
+		h.beaconsDelivered++
+		to.table.Update(c.pendState)
+		to.accelFrom[c.ID] = c.pendAccel
 	})
+	if sent {
+		c.beaconsSent++
+	}
 }
 
 // beacon is the payload a slot-level V2V frame carries.
@@ -1100,6 +1164,11 @@ func (h *Highway) sendBeaconRadio(shard *sim.Shard, c *Car, now sim.Time) {
 	if start < now {
 		start = now // a step in the window's last airtime still sends now
 	}
+	// The car's persistent payload is rewritten in place: the frame is
+	// consumed (resolved or discarded) at this window's edge, before the
+	// next step could touch it again.
+	c.payload.state = state
+	c.payload.accel = c.Body.Accel
 	tx := wireless.ShardedTx{
 		From:    wireless.NodeID(c.ID),
 		Channel: c.ID % h.cfg.Channels,
@@ -1109,7 +1178,7 @@ func (h *Highway) sendBeaconRadio(shard *sim.Shard, c *Car, now sim.Time) {
 		// occupancy clears, up to the window's last in-window start — CSMA
 		// backoff as latency, not loss.
 		Retry:   lim,
-		Payload: beacon{state: state, accel: c.Body.Accel},
+		Payload: c.payload,
 	}
 	if s := h.spec; s != nil && s.active {
 		// Speculative window: the frame joins the shard's per-arc set
@@ -1118,7 +1187,34 @@ func (h *Highway) sendBeaconRadio(shard *sim.Shard, c *Car, now sim.Time) {
 		s.txs[shard.Index()] = append(s.txs[shard.Index()], tx)
 		return
 	}
-	shard.Send(shard.Index(), edge, int64(c.ID), func() { h.medium.Queue(tx) })
+	c.pendTx = tx
+	shard.Send(shard.Index(), edge, int64(c.ID), c.queueFn)
+}
+
+// initMediumCallbacks builds the Resolve callback closures once (Medium
+// mode only): passing freshly created closures — or method values, which
+// also allocate — per window would be the last allocation in the
+// steady-state barrier.
+func (h *Highway) initMediumCallbacks() {
+	h.mEach = func(tx *wireless.ShardedTx, visit func(wireless.NodeID, wireless.Position)) {
+		c := h.cars[int(tx.From)]
+		c.beaconsSent++
+		h.eachInRange(c, func(e *hwSnap) {
+			visit(wireless.NodeID(e.id), wireless.Position{X: e.x})
+		})
+	}
+	h.mDeliver = func(tx *wireless.ShardedTx, to wireless.NodeID) {
+		b := tx.Payload.(*beacon)
+		rc := h.cars[int(to)]
+		rc.table.Update(b.state)
+		rc.accelFrom[int(tx.From)] = b.accel
+		h.beaconsDelivered++
+	}
+	h.mDrop = func(tx *wireless.ShardedTx, to wireless.NodeID, r wireless.DropReason) {
+		if r != wireless.DropBusy { // deferrals never went on air
+			h.beaconsLost++
+		}
+	}
 }
 
 // resolveMedium runs the slot-level contention resolution for the window
@@ -1127,27 +1223,7 @@ func (h *Highway) sendBeaconRadio(shard *sim.Shard, c *Car, now sim.Time) {
 // the inaccessibility accounting.
 func (h *Highway) resolveMedium(edge sim.Time) {
 	queued := h.medium.Pending()
-	h.medium.Resolve(
-		func(tx *wireless.ShardedTx, visit func(wireless.NodeID, wireless.Position)) {
-			c := h.cars[int(tx.From)]
-			c.beaconsSent++
-			h.eachInRange(c, func(e *hwSnap) {
-				visit(wireless.NodeID(e.id), wireless.Position{X: e.x})
-			})
-		},
-		func(tx *wireless.ShardedTx, to wireless.NodeID) {
-			b := tx.Payload.(beacon)
-			rc := h.cars[int(to)]
-			rc.table.Update(b.state)
-			rc.accelFrom[int(tx.From)] = b.accel
-			h.beaconsDelivered++
-		},
-		func(tx *wireless.ShardedTx, to wireless.NodeID, r wireless.DropReason) {
-			if r != wireless.DropBusy { // deferrals never went on air
-				h.beaconsLost++
-			}
-		},
-	)
+	h.medium.Resolve(h.mEach, h.mDeliver, h.mDrop)
 	if queued == 0 {
 		return // nothing attempted: no information about the channel
 	}

@@ -80,6 +80,12 @@ func TestStitchedSnapshotMatchesBruteSort(t *testing.T) {
 					}
 				}
 			}
+			// Republish the mutated kinematics into the SoA hot table — the
+			// write barrier every real mutation point (step end, maneuver
+			// grant, full rebuild) performs before the shard phase reads it.
+			for _, c := range h.cars {
+				h.syncHot(c)
+			}
 			edge := sim.Time(round) * cfg.ControlPeriod
 			for s := 0; s < shards; s++ {
 				h.shardPhase(s, edge)

@@ -171,8 +171,13 @@ type Intersection struct {
 
 	// medium is the slot-level radio for the light's beacons (nil unless
 	// cfg.Medium); lightTx draws the light's per-window slot jitter.
-	medium  *wireless.ShardedMedium
-	lightTx randStream64
+	// mEach/mDeliver/mDrop are the Resolve callbacks, built once so the
+	// per-window resolution allocates no closures.
+	medium   *wireless.ShardedMedium
+	lightTx  randStream64
+	mEach    func(*wireless.ShardedTx, func(wireless.NodeID, wireless.Position))
+	mDeliver func(*wireless.ShardedTx, wireless.NodeID)
+	mDrop    func(*wireless.ShardedTx, wireless.NodeID, wireless.DropReason)
 
 	snap     [2][]iSnap // per road, sorted by x
 	snapEdge sim.Time
@@ -248,6 +253,20 @@ func NewIntersection(sk *sim.ShardedKernel, cfg IntersectionConfig) (*Intersecti
 		mcfg.Channels = w.cfg.Channels
 		w.medium = wireless.NewShardedMedium(sk.Seed(), mcfg)
 		w.lightTx = sim.NewStream(sk.Seed(), lightNodeID, 5)
+		w.mEach = func(tx *wireless.ShardedTx, visit func(wireless.NodeID, wireless.Position)) {
+			for _, c := range w.cars {
+				if c.done {
+					continue
+				}
+				visit(wireless.NodeID(c.id), pos2D(c.road, c.body.X, w.cfg.ApproachLength))
+			}
+		}
+		w.mDeliver = func(tx *wireless.ShardedTx, to wireless.NodeID) {
+			c := w.carByID(int(to))
+			c.lastRx = tx.Start
+			c.haveRx = true
+		}
+		w.mDrop = func(*wireless.ShardedTx, wireless.NodeID, wireless.DropReason) {}
 	}
 	return w, nil
 }
@@ -522,22 +541,7 @@ func (w *Intersection) resolveMedium(edge sim.Time) {
 	if w.cfg.LightFailsAt == 0 || start < w.cfg.LightFailsAt {
 		w.medium.Queue(wireless.ShardedTx{From: lightNodeID, Start: start})
 	}
-	w.medium.Resolve(
-		func(tx *wireless.ShardedTx, visit func(wireless.NodeID, wireless.Position)) {
-			for _, c := range w.cars {
-				if c.done {
-					continue
-				}
-				visit(wireless.NodeID(c.id), pos2D(c.road, c.body.X, w.cfg.ApproachLength))
-			}
-		},
-		func(tx *wireless.ShardedTx, to wireless.NodeID) {
-			c := w.carByID(int(to))
-			c.lastRx = tx.Start
-			c.haveRx = true
-		},
-		func(*wireless.ShardedTx, wireless.NodeID, wireless.DropReason) {},
-	)
+	w.medium.Resolve(w.mEach, w.mDeliver, w.mDrop)
 }
 
 // lastLightRx returns the instant of the last I-am-alive beacon the car

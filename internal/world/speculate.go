@@ -1,8 +1,9 @@
 package world
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"karyon/internal/coord"
 	"karyon/internal/core"
@@ -184,6 +185,16 @@ func (h *Highway) initSpec() {
 		s.bbuf = make([][]specBeacon, n)
 	}
 	h.spec = s
+	// Prewarm the checkpoint's nested storage with one throwaway save at
+	// construction time: SpecSave reuses it thereafter, so the first
+	// measured speculative batch pays no cold-start checkpoint allocation.
+	s.ck.cars = make([]carCheckpoint, len(h.cars))
+	for i, c := range h.cars {
+		saveCar(&s.ck.cars[i], c)
+	}
+	if h.medium != nil {
+		s.ck.medium = h.medium.SaveState(s.ck.medium)
+	}
 	h.sk.EnableSpeculation(h, sim.SpecConfig{
 		Depth:   h.cfg.SpecDepth,
 		Backoff: h.cfg.SpecBackoff,
@@ -336,7 +347,7 @@ func (h *Highway) specResolveLocal(shard int) {
 			})
 		},
 		func(tx *wireless.ShardedTx, to wireless.NodeID) {
-			b := tx.Payload.(beacon)
+			b := tx.Payload.(*beacon)
 			rc := h.cars[int(to)]
 			rc.table.Update(b.state)
 			rc.accelFrom[int(tx.From)] = b.accel
@@ -425,7 +436,8 @@ func (h *Highway) specDeliverLocal(shard int) {
 	}
 	// One beacon per sender per window: keys are unique, and sender-id
 	// order is the mailbox drain order (every message matures at the edge).
-	sort.Slice(buf, func(i, j int) bool { return buf[i].from < buf[j].from })
+	// Capture-free comparator: no per-window sort allocation.
+	slices.SortFunc(buf, func(a, b specBeacon) int { return cmp.Compare(a.from, b.from) })
 	for i := range buf {
 		b := &buf[i]
 		c := h.cars[b.from]
@@ -475,7 +487,7 @@ func (h *Highway) specDeliverBeacons() {
 	for _, buf := range s.bbuf {
 		merged = append(merged, buf...)
 	}
-	sort.Slice(merged, func(i, j int) bool { return merged[i].from < merged[j].from })
+	slices.SortFunc(merged, func(a, b specBeacon) int { return cmp.Compare(a.from, b.from) })
 	for i := range merged {
 		b := &merged[i]
 		c := h.cars[b.from]
@@ -539,7 +551,7 @@ func (h *Highway) specExchangeMedium(edge sim.Time) {
 				})
 			},
 			func(tx *wireless.ShardedTx, to wireless.NodeID) {
-				b := tx.Payload.(beacon)
+				b := tx.Payload.(*beacon)
 				rc := h.cars[int(to)]
 				rc.table.Update(b.state)
 				rc.accelFrom[int(tx.From)] = b.accel
