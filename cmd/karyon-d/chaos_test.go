@@ -1,0 +1,290 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"karyon/internal/service"
+	"karyon/internal/serviceclient"
+)
+
+// chaosSpec is sized to run for a few seconds of wall time: long enough
+// that SIGKILL reliably lands mid-job, short enough that the recovery
+// re-run finishes quickly.
+func chaosSpec() service.JobSpec {
+	return service.JobSpec{Scenario: "megahighway", Seed: 21, Replicas: 2, Duration: "2m", Cars: 300}
+}
+
+// daemonProc is a real karyon-d subprocess — the only way to test what a
+// SIGKILL does, since a kill -9 cannot be faked in-process.
+type daemonProc struct {
+	cmd  *exec.Cmd
+	addr string
+
+	mu  sync.Mutex
+	log bytes.Buffer
+}
+
+func (p *daemonProc) logs() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.log.String()
+}
+
+// sigkill delivers the crash under test: no handler runs, no drain, the
+// process is simply gone.
+func (p *daemonProc) sigkill(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = p.cmd.Wait()
+}
+
+// sigterm shuts the daemon down gracefully and waits for exit.
+func (p *daemonProc) sigterm(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}
+
+// buildDaemon compiles this package's binary once per test run.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "karyon-d")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startDaemonProc launches bin on an ephemeral port, tails its stderr into
+// the returned proc's log, and waits for the listen line.
+func startDaemonProc(t *testing.T, bin string, args ...string) *daemonProc {
+	t.Helper()
+	p := &daemonProc{cmd: exec.Command(bin, append([]string{"-listen", "127.0.0.1:0"}, args...)...)}
+	stderr, err := p.cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if p.cmd.ProcessState == nil {
+			_ = p.cmd.Process.Kill()
+			_ = p.cmd.Wait()
+		}
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			n, err := stderr.Read(buf)
+			if n > 0 {
+				p.mu.Lock()
+				p.log.Write(buf[:n])
+				logged := p.log.String()
+				p.mu.Unlock()
+				if i := strings.Index(logged, "listening on http://"); i >= 0 {
+					rest := logged[i+len("listening on http://"):]
+					if j := strings.IndexByte(rest, ' '); j > 0 {
+						select {
+						case addrCh <- rest[:j]:
+						default:
+						}
+					}
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	select {
+	case p.addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon never listened; log so far:\n%s", p.logs())
+	}
+	return p
+}
+
+func noTempDebris(t *testing.T, dirs ...string) {
+	t.Helper()
+	for _, dir := range dirs {
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasPrefix(d.Name(), ".tmp-") {
+				t.Errorf("half-written temp file survived the crash: %s", path)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func readStream(t *testing.T, c *serviceclient.Client, id string, from int) []byte {
+	t.Helper()
+	body, err := c.ResultsFrom(context.Background(), id, from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer body.Close()
+	b, err := io.ReadAll(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestChaosSIGKILLRecovery is the acceptance chaos scenario end to end: a
+// real daemon process is SIGKILLed mid-job, a new process restarts over
+// the same journal and cache directories, and the interrupted job
+// converges to the byte-identical archive an uninterrupted daemon
+// produces — with no half-written state anywhere and a seamless client
+// resume of the result stream.
+func TestChaosSIGKILLRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real daemon processes")
+	}
+	bin := buildDaemon(t)
+	ctx := context.Background()
+	spec := chaosSpec()
+
+	// Reference: the same binary, uninterrupted, over fresh dirs.
+	refDir, refJournal := t.TempDir(), t.TempDir()
+	ref := startDaemonProc(t, bin, "-cache-dir", refDir, "-journal-dir", refJournal)
+	refClient := serviceclient.New("http://" + ref.addr)
+	refSt, _, err := refClient.Run(ctx, spec)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	want := readStream(t, refClient, refSt.ID, 0)
+	ref.sigterm(t)
+
+	// Victim: same spec over its own dirs, killed -9 while running.
+	cacheDir, journalDir := t.TempDir(), t.TempDir()
+	victim := startDaemonProc(t, bin, "-cache-dir", cacheDir, "-journal-dir", journalDir)
+	victimClient := serviceclient.New("http://" + victim.addr)
+	st, err := victimClient.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != refSt.ID {
+		t.Fatalf("job ID not deterministic across daemons: %s vs %s", st.ID, refSt.ID)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		got, err := victimClient.Job(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State == service.StateRunning {
+			break
+		}
+		if got.State == service.StateDone || time.Now().After(deadline) {
+			t.Fatalf("job state %s before the kill", got.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond) // let it get properly mid-simulation
+	victim.sigkill(t)
+
+	// The crash left only complete files: a journal entry for the job,
+	// no temp debris, no archive (the job never finished).
+	noTempDebris(t, cacheDir, journalDir)
+	if _, err := os.Stat(filepath.Join(journalDir, st.ID+".journal")); err != nil {
+		t.Fatalf("no journal entry survived the crash: %v", err)
+	}
+
+	// Restart over the same dirs: the journal re-enqueues the job and it
+	// runs to the byte-identical result.
+	revived := startDaemonProc(t, bin, "-cache-dir", cacheDir, "-journal-dir", journalDir)
+	defer revived.sigterm(t)
+	revClient := serviceclient.New("http://" + revived.addr)
+	if !strings.Contains(revived.logs(), "recovered 1 interrupted job") {
+		t.Fatalf("restart did not announce the recovery; log:\n%s", revived.logs())
+	}
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		got, err := revClient.Job(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State == service.StateDone {
+			if !got.Recovered {
+				t.Fatal("finished job not marked as recovered")
+			}
+			break
+		}
+		if got.State == service.StateFailed || got.State == service.StateCancelled {
+			t.Fatalf("recovered job ended %s: %s", got.State, got.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered job stuck in %s", got.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	got := readStream(t, revClient, st.ID, 0)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recovered stream differs from uninterrupted run: %d vs %d bytes", len(got), len(want))
+	}
+	// A client that held 2 lines before the crash resumes with ?from=2 and
+	// receives exactly the missing suffix.
+	suffix := want
+	for i := 0; i < 2; i++ {
+		if j := bytes.IndexByte(suffix, '\n'); j >= 0 {
+			suffix = suffix[j+1:]
+		}
+	}
+	if resumed := readStream(t, revClient, st.ID, 2); !bytes.Equal(resumed, suffix) {
+		t.Fatalf("resume from=2 returned %d bytes, want %d", len(resumed), len(suffix))
+	}
+
+	stats, err := revClient.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Recovered != 1 || stats.Completed != 1 || stats.Panics != 0 {
+		t.Fatalf("stats after recovery: recovered=%d completed=%d panics=%d, want 1/1/0", stats.Recovered, stats.Completed, stats.Panics)
+	}
+	if len(stats.Degraded) != 0 {
+		t.Fatalf("healthy recovered daemon reports degraded modes: %v", stats.Degraded)
+	}
+
+	// The journal entry is resolved and every file is complete.
+	des, err := os.ReadDir(journalDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		if strings.HasSuffix(de.Name(), ".journal") {
+			t.Fatalf("journal entry not cleaned up after recovery: %s", de.Name())
+		}
+	}
+	noTempDebris(t, cacheDir, journalDir)
+}

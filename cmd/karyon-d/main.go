@@ -7,14 +7,24 @@
 //
 // Usage:
 //
-//	karyon-d [-listen 127.0.0.1:7077] [-cache-dir DIR] [-workers N]
-//	         [-queue N] [-job-timeout 10m] [-parallel N] [-drain-timeout 30s]
+//	karyon-d [-listen 127.0.0.1:7077] [-cache-dir DIR] [-journal-dir DIR]
+//	         [-workers N] [-queue N] [-job-timeout 10m] [-parallel N]
+//	         [-drain-timeout 30s]
 //
 // The API reference lives in docs/API.md; submit from the CLI with
 // `karyon-sim -daemon http://127.0.0.1:7077 ...` or from anything that
 // can POST JSON. SIGTERM/SIGINT drains gracefully: intake stops, running
 // jobs get -drain-timeout to finish, then survivors are cancelled at
 // their next deterministic window barrier.
+//
+// The daemon is crash-safe: every job transition is journaled (atomic
+// tmp+rename, like the cache), and a restart over the same -journal-dir/
+// -cache-dir replays the journal and re-enqueues whatever a crash
+// interrupted — converging to the same byte-identical archives an
+// uninterrupted daemon would have produced, since every run is a pure
+// function of (spec, seed matrix, build). Scenario panics fail only their
+// job (stack in the status), and overload degrades explicitly (503 +
+// Retry-After, a "degraded" list in /v1/stats) instead of opaquely.
 package main
 
 import (
@@ -51,6 +61,7 @@ func run(args []string, logw io.Writer, ready chan<- string, sig <-chan os.Signa
 	fs.SetOutput(logw)
 	listen := fs.String("listen", "127.0.0.1:7077", "control-API listen address")
 	cacheDir := fs.String("cache-dir", defaultCacheDir(), "root of the content-addressed run cache")
+	journalDir := fs.String("journal-dir", "", "root of the crash-recovery job journal (default: <cache-dir>/journal; \"off\" disables journaling)")
 	workers := fs.Int("workers", 0, "concurrent jobs (0 = number of CPUs)")
 	queue := fs.Int("queue", 0, "max queued-but-not-started jobs (0 = default 1024)")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job wall-time cap (0 = default 10m, negative = uncapped)")
@@ -60,8 +71,15 @@ func run(args []string, logw io.Writer, ready chan<- string, sig <-chan os.Signa
 		return err
 	}
 
+	switch *journalDir {
+	case "":
+		*journalDir = filepath.Join(*cacheDir, "journal")
+	case "off":
+		*journalDir = ""
+	}
 	srv, err := service.New(service.Config{
 		CacheDir:   *cacheDir,
+		JournalDir: *journalDir,
 		Workers:    *workers,
 		QueueDepth: *queue,
 		JobTimeout: *jobTimeout,
@@ -70,6 +88,9 @@ func run(args []string, logw io.Writer, ready chan<- string, sig <-chan os.Signa
 	})
 	if err != nil {
 		return err
+	}
+	if recovered := srv.Stats().Recovered; recovered > 0 {
+		fmt.Fprintf(logw, "karyon-d: recovered %d interrupted job(s) from the journal\n", recovered)
 	}
 
 	ln, err := net.Listen("tcp", *listen)

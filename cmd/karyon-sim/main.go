@@ -45,7 +45,11 @@
 // in-process: the daemon dedupes equivalent runs and replays archived
 // results byte-identically, so repeated sweeps cost one execution. The
 // rendered output is identical to local mode; a cache-hit note goes to
-// stderr only.
+// stderr only. The client retries transport errors and degraded-mode 503s
+// with exponential backoff (-daemon-retries / -daemon-backoff) and
+// resumes a dropped result stream mid-job — all safe because job IDs are
+// deterministic content addresses, so a replayed submit dedupes instead
+// of re-running.
 package main
 
 import (
@@ -96,6 +100,8 @@ func run(args []string, out io.Writer) error {
 	speculate := fs.Int("speculate", 0, "highway/megahighway: optimistic shard windows — run up to K windows ahead with deterministic abort-and-replay (0/1 = lockstep); affects wall time only, never simulated output")
 	jsonOut := fs.Bool("json", false, "emit a JSON report with full per-value distributions")
 	daemon := fs.String("daemon", "", "submit to a karyon-d control API at this URL instead of running in-process (e.g. http://127.0.0.1:7077)")
+	daemonRetries := fs.Int("daemon-retries", 3, "-daemon: max retries per API call on transport errors and degraded-mode 503s (safe: deterministic job IDs dedupe replays); negative disables")
+	daemonBackoff := fs.Duration("daemon-backoff", 100*time.Millisecond, "-daemon: base of the exponential retry backoff (doubles per attempt, seeded jitter, server Retry-After honored)")
 	cpuProfile := fs.String("cpuprofile", "", "write a runtime/pprof CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a runtime/pprof heap profile (after a final GC) to this file at exit")
 	if err := fs.Parse(args); err != nil {
@@ -144,7 +150,12 @@ func run(args []string, out io.Writer) error {
 		if *failAt > 0 {
 			spec.FailAt = (*failAt).String()
 		}
-		st, rep, err := serviceclient.New(*daemon).Run(context.Background(), spec)
+		client := serviceclient.NewWithOptions(*daemon, serviceclient.Options{
+			Retries:     *daemonRetries,
+			BackoffBase: *daemonBackoff,
+			Seed:        *seed,
+		})
+		st, rep, err := client.Run(context.Background(), spec)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,187 @@
+package faultinject
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"karyon/internal/sensor"
+	"karyon/internal/sim"
+	"karyon/internal/world"
+)
+
+func startTestHighway(t *testing.T, cars int) *world.Highway {
+	t.Helper()
+	hcfg := world.DefaultHighwayConfig()
+	hcfg.Cars = cars
+	hcfg.Length = 1200
+	h, err := world.BuildHighway(42, 1, hcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestUndetectedFaultKeepsDenominator: a fault too small and too brief for
+// any detector still counts as a detectable injection — coverage must
+// report the miss, not hide it.
+func TestUndetectedFaultKeepsDenominator(t *testing.T) {
+	h := startTestHighway(t, 8)
+	c := Campaign{Events: []Event{{
+		At:        5 * sim.Second,
+		Kind:      KindSensor,
+		Target:    0,
+		Mode:      sensor.FaultStochasticOffset,
+		Duration:  sim.Millisecond,
+		Magnitude: 0.001,
+		Inputs:    1,
+	}}}
+	rep, err := RunOnHighway(context.Background(), h, c, 10*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SensorFaultCount != 1 {
+		t.Fatalf("SensorFaultCount = %d, want 1 (misses stay in the denominator)", rep.SensorFaultCount)
+	}
+	if rep.DetectedSensorFaults != 0 {
+		t.Fatalf("a 1mm/1ms fault was detected (%d)", rep.DetectedSensorFaults)
+	}
+	if rep.Coverage() != 0 {
+		t.Fatalf("Coverage = %v, want 0", rep.Coverage())
+	}
+	if n := rep.DetectionLatencies.Count(); n != 0 {
+		t.Fatalf("%d detection latencies recorded for an undetected fault", n)
+	}
+}
+
+// TestFaultBeyondRunEndCountsAsUndetected: an injection scheduled past the
+// run's end never lands, but the accounting already promised it — the
+// assessor sees coverage < 1, never a silently shrunken denominator.
+func TestFaultBeyondRunEndCountsAsUndetected(t *testing.T) {
+	h := startTestHighway(t, 8)
+	c := Campaign{Events: []Event{{
+		At:        20 * sim.Second, // run ends at 10s
+		Kind:      KindSensor,
+		Target:    0,
+		Mode:      sensor.FaultPermanentOffset,
+		Duration:  5 * sim.Second,
+		Magnitude: 60,
+		Inputs:    1,
+	}}}
+	rep, err := RunOnHighway(context.Background(), h, c, 10*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Injected[KindSensor] != 1 || rep.SensorFaultCount != 1 {
+		t.Fatalf("injected=%d counted=%d, want 1/1", rep.Injected[KindSensor], rep.SensorFaultCount)
+	}
+	if rep.DetectedSensorFaults != 0 || rep.Coverage() != 0 {
+		t.Fatalf("a never-landed fault was detected: %d (coverage %v)", rep.DetectedSensorFaults, rep.Coverage())
+	}
+}
+
+// TestFaultAtWindowBoundary: an injection At exactly on a window barrier
+// (At is a multiple of the control period) lands cleanly, is detected, and
+// its latency accounting is consistent — one observation per detection,
+// non-negative and within the detector's bound.
+func TestFaultAtWindowBoundary(t *testing.T) {
+	h := startTestHighway(t, 8)
+	c := Campaign{Events: []Event{{
+		At:        5 * sim.Second, // exactly a barrier edge at 100ms periods
+		Kind:      KindSensor,
+		Target:    2,
+		Mode:      sensor.FaultPermanentOffset,
+		Duration:  8 * sim.Second,
+		Magnitude: 60,
+		Inputs:    1,
+	}}}
+	rep, err := RunOnHighway(context.Background(), h, c, 20*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SensorFaultCount != 1 || rep.DetectedSensorFaults != 1 {
+		t.Fatalf("counted=%d detected=%d, want 1/1", rep.SensorFaultCount, rep.DetectedSensorFaults)
+	}
+	if rep.Coverage() != 1 {
+		t.Fatalf("Coverage = %v, want 1", rep.Coverage())
+	}
+	if n := rep.DetectionLatencies.Count(); n != 1 {
+		t.Fatalf("%d latency observations for 1 detection", n)
+	}
+	lat := rep.DetectionLatencies.Percentile(50)
+	if lat < 0 || lat > 2000 {
+		t.Fatalf("boundary-injection detection latency %.0f ms out of range", lat)
+	}
+}
+
+// TestOverlappingJamsExtendCleanly: a second jam landing inside an active
+// burst extends it — both are accounted, the world keeps running, and the
+// kernel still prevents hazards through the merged outage.
+func TestOverlappingJamsExtendCleanly(t *testing.T) {
+	h := startTestHighway(t, 8)
+	c := Campaign{Events: []Event{
+		{At: 2 * sim.Second, Kind: KindJam, Duration: 2 * sim.Second},
+		{At: 3 * sim.Second, Kind: KindJam, Duration: 3 * sim.Second}, // overlaps the first
+	}}
+	rep, err := RunOnHighway(context.Background(), h, c, 10*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Injected[KindJam] != 2 {
+		t.Fatalf("Injected[jam] = %d, want 2", rep.Injected[KindJam])
+	}
+	if rep.Collisions != 0 {
+		t.Fatalf("%d collisions through overlapping jams", rep.Collisions)
+	}
+}
+
+// TestOutOfRangeTargetSkippedEntirely: a target index beyond the car list
+// is dropped before any accounting — injected counts and the coverage
+// denominator both exclude it.
+func TestOutOfRangeTargetSkippedEntirely(t *testing.T) {
+	h := startTestHighway(t, 4)
+	c := Campaign{Events: []Event{
+		{At: 2 * sim.Second, Kind: KindSensor, Target: 99, Mode: sensor.FaultStuckAt, Duration: sim.Second, Magnitude: 50, Inputs: 1},
+		{At: 2 * sim.Second, Kind: KindDisturbance, Target: 99, Duration: sim.Second},
+	}}
+	rep, err := RunOnHighway(context.Background(), h, c, 5*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for kind, n := range rep.Injected {
+		if n != 0 {
+			t.Fatalf("Injected[%s] = %d for out-of-range targets, want 0", kind, n)
+		}
+	}
+	if rep.SensorFaultCount != 0 || rep.Coverage() != 0 {
+		t.Fatalf("out-of-range sensor fault entered the denominator: %d", rep.SensorFaultCount)
+	}
+}
+
+// TestEmptyCampaignRuns: zero events is a valid campaign — Generate
+// produces it and the run reports clean zeros.
+func TestEmptyCampaignRuns(t *testing.T) {
+	c, err := Generate(rand.New(rand.NewSource(3)), GenerateConfig{
+		Duration: sim.Minute, Warmup: sim.Second, Events: 0, Targets: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Events) != 0 {
+		t.Fatalf("Events=0 generated %d events", len(c.Events))
+	}
+	h := startTestHighway(t, 4)
+	rep, err := RunOnHighway(context.Background(), h, c, 5*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SensorFaultCount != 0 || rep.DetectedSensorFaults != 0 || rep.DetectionLatencies.Count() != 0 {
+		t.Fatalf("empty campaign produced accounting: %+v", rep)
+	}
+	if rep.Collisions != 0 {
+		t.Fatalf("fault-free run had %d collisions", rep.Collisions)
+	}
+}

@@ -4,12 +4,31 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"karyon/internal/metrics"
 	"karyon/internal/sim"
 )
+
+// PanicError reports a replica whose scenario panicked. The backend
+// recovers the panic so one bad scenario fails only its run — never the
+// process hosting it (the karyon-d daemon in particular) — and captures
+// the goroutine stack at the panic site so the failure is debuggable from
+// the job status alone.
+type PanicError struct {
+	// Value is what was passed to panic, rendered as a string.
+	Value string
+	// Stack is the panicking goroutine's stack (runtime/debug.Stack form).
+	Stack string
+}
+
+// Error keeps the one-line form; the stack travels as a field so callers
+// (the service's job status) can surface it separately.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("scenario panicked: %s", e.Value)
+}
 
 // ReplicaEmit receives one replica's result during a streaming run. The
 // backend calls it once per replica in seed order — replica i is emitted as
@@ -149,7 +168,7 @@ func runReplica(ctx context.Context, s Scenario, seed int64, shards int) (res *m
 	}
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("replica panicked: %v", p)
+			err = &PanicError{Value: fmt.Sprint(p), Stack: string(debug.Stack())}
 		}
 	}()
 	if sh, ok := s.(Shardable); ok {

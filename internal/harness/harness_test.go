@@ -103,6 +103,15 @@ func TestPanickingReplicaSurfaces(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "panicked") {
 		t.Fatalf("panic not surfaced: %v", err)
 	}
+	// The typed PanicError survives the replica-identifying wrap, carrying
+	// the goroutine stack callers need to debug a panic they did not host.
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("panic not typed as PanicError: %v", err)
+	}
+	if pe.Stack == "" || !strings.Contains(pe.Stack, "goroutine") {
+		t.Fatalf("PanicError carries no stack: %q", pe.Stack)
+	}
 }
 
 func TestNilResultIsAnError(t *testing.T) {

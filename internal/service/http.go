@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 )
 
 // Handler returns the daemon's control API. Endpoints (all under /v1, all
@@ -59,9 +60,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	st, err := s.Submit(spec)
 	switch {
 	case errors.Is(err, ErrDraining):
+		// Explicit degraded mode, not an opaque failure: the daemon is
+		// shutting down; another instance (or a retry after restart) will
+		// take the job. Retry-After makes the backoff hint explicit.
+		w.Header().Set("Retry-After", "5")
 		writeErr(w, http.StatusServiceUnavailable, "%v", err)
 	case errors.Is(err, ErrBusy):
-		writeErr(w, http.StatusTooManyRequests, "%v", err)
+		// Queue-full is a load-shedding degraded mode: the submission is
+		// safe to retry (deterministic IDs dedupe), so say when.
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
 	case err != nil:
 		writeErr(w, http.StatusBadRequest, "bad job spec: %v", err)
 	default:
@@ -101,6 +109,19 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
+	// ?from=N resumes a dropped stream: the first N complete NDJSON lines
+	// are skipped and exactly the missing suffix flows. N is the line
+	// count the client already holds (equivalently: the next replica
+	// index, since replica lines precede the single terminal line).
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad from offset %q", q)
+			return
+		}
+		from = n
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	var flush func()
@@ -109,7 +130,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	}
 	// A mid-stream failure (client gone) just ends the copy; the status
 	// line is already out.
-	_ = s.StreamTo(id, w, flush)
+	_ = s.StreamFrom(id, from, w, flush)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

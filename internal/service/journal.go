@@ -1,0 +1,160 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// JournalRecord is one job lifecycle transition. A job's journal file is
+// the NDJSON sequence of its transitions in order; the last record is the
+// job's state as of the most recent atomic publication.
+type JournalRecord struct {
+	Key   string    `json:"key"`
+	State State     `json:"state"`
+	Spec  JobSpec   `json:"spec"`
+	At    time.Time `json:"at"`
+	Error string    `json:"error,omitempty"`
+	// Recovered marks transitions written by startup replay rather than a
+	// live submission, for auditability.
+	Recovered bool `json:"recovered,omitempty"`
+}
+
+// JournalEntry is one job's replayed journal: its full transition history
+// and the last (authoritative) record.
+type JournalEntry struct {
+	Key     string
+	Last    JournalRecord
+	History []JournalRecord
+}
+
+// Journal is the crash-safe job log: one file per live job under dir,
+// holding the NDJSON history of the job's submitted/running/... transitions.
+// Every append rewrites the whole file through the same atomic temp-file +
+// rename discipline as the run cache, so a SIGKILL at any instant leaves
+// either the previous complete history or the new one — never a torn tail.
+// Entries are removed once the job no longer needs recovery (archived in
+// the cache, or terminally failed/cancelled by an explicit decision), so
+// the directory holds exactly the jobs a restarted daemon must deal with.
+//
+// Safe for use by one daemon process at a time; the Server serializes
+// access under its own lock.
+type Journal struct {
+	dir string
+	// live caches each journaled job's history so appends don't re-read
+	// the file.
+	live map[string][]JournalRecord
+}
+
+// OpenJournal opens (creating if needed) a journal rooted at dir.
+func OpenJournal(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: journal dir: %w", err)
+	}
+	return &Journal{dir: dir, live: map[string][]JournalRecord{}}, nil
+}
+
+// Dir returns the journal root.
+func (j *Journal) Dir() string { return j.dir }
+
+func (j *Journal) path(key string) string {
+	return filepath.Join(j.dir, key+".journal")
+}
+
+// Record appends one transition to the job's journal and atomically
+// publishes the new history.
+func (j *Journal) Record(rec JournalRecord) error {
+	if !validKey.MatchString(rec.Key) {
+		return fmt.Errorf("service: refusing to journal invalid key %q", rec.Key)
+	}
+	hist := append(j.live[rec.Key], rec)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, r := range hist {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("service: encoding journal record: %w", err)
+		}
+	}
+	if err := writeAtomic(j.dir, j.path(rec.Key), buf.Bytes()); err != nil {
+		return err
+	}
+	j.live[rec.Key] = hist
+	return nil
+}
+
+// Remove drops a job's journal entry: the job is durably resolved (its
+// result is archived in the cache, or it was terminally failed/cancelled)
+// and must not be re-enqueued by a future recovery.
+func (j *Journal) Remove(key string) error {
+	if !validKey.MatchString(key) {
+		return nil
+	}
+	delete(j.live, key)
+	err := os.Remove(j.path(key))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// Replay reads every journal entry on disk, in key order, and primes the
+// in-memory history cache. Unparseable files or records are skipped (and
+// counted), never fatal: a journal that cannot be read must not keep a
+// daemon from booting — the worst case is re-executing a job, which is
+// idempotent by construction.
+func (j *Journal) Replay() (entries []JournalEntry, skipped int, err error) {
+	des, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("service: journal replay: %w", err)
+	}
+	names := make([]string, 0, len(des))
+	for _, de := range des {
+		if de.Type().IsRegular() && strings.HasSuffix(de.Name(), ".journal") {
+			names = append(names, de.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		key := strings.TrimSuffix(name, ".journal")
+		if !validKey.MatchString(key) {
+			skipped++
+			continue
+		}
+		hist, ok := readJournalFile(filepath.Join(j.dir, name), key)
+		if !ok {
+			skipped++
+			continue
+		}
+		j.live[key] = hist
+		entries = append(entries, JournalEntry{Key: key, Last: hist[len(hist)-1], History: hist})
+	}
+	return entries, skipped, nil
+}
+
+// readJournalFile parses one job's transition history; ok is false when no
+// valid record survives. Individual bad lines are dropped — the atomic
+// rename discipline should make them impossible, but a recovery path must
+// not trust that.
+func readJournalFile(path, key string) (hist []JournalRecord, ok bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		var rec JournalRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil || rec.Key != key {
+			continue
+		}
+		hist = append(hist, rec)
+	}
+	return hist, len(hist) > 0
+}

@@ -20,6 +20,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -27,6 +28,8 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"sync"
 	"time"
 
@@ -56,6 +59,14 @@ func terminal(st State) bool {
 type Config struct {
 	// CacheDir roots the on-disk run cache (required).
 	CacheDir string
+	// JournalDir roots the crash-safe job journal. When set, every job
+	// transition is recorded through the same atomic tmp+rename discipline
+	// as the cache, and New replays the journal: jobs that were queued or
+	// running when the previous process died are re-enqueued and converge
+	// to the same byte-identical archives (re-execution is idempotent —
+	// every run is a pure function of (spec, seed matrix, build)). Empty
+	// disables journaling.
+	JournalDir string
 	// Workers bounds how many jobs execute concurrently (default: number
 	// of CPUs).
 	Workers int
@@ -126,6 +137,12 @@ type Status struct {
 	// (or from a completed in-memory job) without a new execution.
 	Cached bool   `json:"cached"`
 	Error  string `json:"error,omitempty"`
+	// Stack is the captured goroutine stack when the job failed because
+	// its scenario panicked; the panic was contained to this job.
+	Stack string `json:"stack,omitempty"`
+	// Recovered is true when this execution was re-enqueued from the
+	// journal after a daemon crash rather than submitted by a client.
+	Recovered bool `json:"recovered,omitempty"`
 	// Spec is the normalized spec the job runs.
 	Spec        JobSpec    `json:"spec"`
 	CreatedAt   time.Time  `json:"created_at"`
@@ -143,17 +160,28 @@ type Stats struct {
 	// (disk archive or finished in-memory job); CacheMisses counts
 	// submissions that scheduled a new execution; Deduped counts
 	// submissions attached to an in-flight execution of the same spec.
-	CacheHits   int64  `json:"cache_hits"`
-	CacheMisses int64  `json:"cache_misses"`
-	Deduped     int64  `json:"deduped"`
-	Completed   int64  `json:"completed"`
-	Failed      int64  `json:"failed"`
-	Cancelled   int64  `json:"cancelled"`
-	Queued      int    `json:"queued"`
-	Running     int    `json:"running"`
-	Workers     int    `json:"workers"`
-	Build       string `json:"build"`
-	Draining    bool   `json:"draining"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	Deduped     int64 `json:"deduped"`
+	Completed   int64 `json:"completed"`
+	Failed      int64 `json:"failed"`
+	Cancelled   int64 `json:"cancelled"`
+	// Recovered counts jobs re-enqueued from the journal at startup —
+	// work a previous process left interrupted that this one finished.
+	Recovered int64 `json:"recovered"`
+	// Panics counts contained scenario panics: each failed exactly its own
+	// job (stack in the job status), never the daemon.
+	Panics   int64  `json:"panics"`
+	Queued   int    `json:"queued"`
+	Running  int    `json:"running"`
+	Workers  int    `json:"workers"`
+	Build    string `json:"build"`
+	Draining bool   `json:"draining"`
+	// Degraded lists the explicit degraded modes currently in force
+	// ("queue-full", "cache-unavailable", "journal-unavailable"), in the
+	// KARYON level-of-service spirit: reduced service is announced, never
+	// silent. Empty means full service.
+	Degraded []string `json:"degraded,omitempty"`
 }
 
 // job is the in-memory record of one submission chain. Its buf accumulates
@@ -166,13 +194,15 @@ type job struct {
 	id   string
 	spec JobSpec
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	state    State
-	errmsg   string
-	cached   bool
-	archived bool // result bytes live (also) in the disk cache
-	buf      []byte
+	mu        sync.Mutex
+	cond      *sync.Cond
+	state     State
+	errmsg    string
+	stack     string // captured stack of a contained scenario panic
+	cached    bool
+	recovered bool // re-enqueued from the journal at startup
+	archived  bool // result bytes live (also) in the disk cache
+	buf       []byte
 	// resultBytes is the stream length for jobs whose bytes live only on
 	// disk (buf == nil); len(buf) covers the rest.
 	resultBytes int
@@ -180,8 +210,11 @@ type job struct {
 	started     time.Time
 	finished    time.Time
 	// cancelRequested distinguishes an explicit cancel from a timeout once
-	// the context dies; cancel aborts a running execution.
+	// the context dies; cancel aborts a running execution. drainKill marks
+	// a cancellation forced by shutdown: an interruption, not a decision —
+	// a journaled drain-killed job is recovered at the next startup.
 	cancelRequested bool
+	drainKill       bool
 	cancel          context.CancelFunc
 }
 
@@ -199,6 +232,8 @@ func (j *job) status() *Status {
 		State:       j.state,
 		Cached:      j.cached,
 		Error:       j.errmsg,
+		Stack:       j.stack,
+		Recovered:   j.recovered,
 		Spec:        j.spec,
 		CreatedAt:   j.created,
 		ResultBytes: max(len(j.buf), j.resultBytes),
@@ -235,9 +270,10 @@ func (j *job) finish(state State, errmsg string) {
 // Server is the daemon core. Create with New, serve its Handler, stop
 // with Drain (graceful) or Close (immediate).
 type Server struct {
-	cfg   Config
-	cache *Cache
-	log   *log.Logger
+	cfg     Config
+	cache   *Cache
+	journal *Journal // nil when journaling is disabled
+	log     *log.Logger
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -245,11 +281,16 @@ type Server struct {
 	queue    chan *job
 	draining bool
 	stats    Stats
+	// Sticky degraded-mode flags (set on the first failed operation,
+	// cleared on the next successful one); queue-full is computed live.
+	cacheDegraded   bool
+	journalDegraded bool
 
 	wg sync.WaitGroup
 }
 
-// New opens the cache and starts the worker pool.
+// New opens the cache, replays the journal (re-enqueueing every job a
+// previous process left interrupted), and starts the worker pool.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if cfg.CacheDir == "" {
@@ -268,11 +309,92 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.stats.Workers = cfg.Workers
 	s.stats.Build = cfg.Build
+	if cfg.JournalDir != "" {
+		journal, err := OpenJournal(cfg.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = journal
+		if err := s.recoverJournal(); err != nil {
+			return nil, err
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s, nil
+}
+
+// recoverJournal replays the journal before the workers start: every journaled
+// job without a complete archive is re-enqueued and will converge to the
+// same byte-identical result a crash-free run would have produced —
+// re-execution is free of side effects and deterministic by construction.
+// Jobs whose archive already landed (the crash hit between cache.Put and
+// the journal cleanup) are resolved in place. Recovery never fails the
+// boot for one bad entry; at worst a job re-runs.
+func (s *Server) recoverJournal() error {
+	entries, skipped, err := s.journal.Replay()
+	if err != nil {
+		return err
+	}
+	if skipped > 0 {
+		s.log.Printf("journal: skipped %d unreadable entries", skipped)
+	}
+	for _, e := range entries {
+		if _, ok, err := s.cache.Get(e.Key); err == nil && ok {
+			// Finished and archived; only the journal cleanup was lost.
+			if err := s.journal.Remove(e.Key); err != nil {
+				s.log.Printf("journal: cleanup of archived job %.12s: %v", e.Key, err)
+			}
+			continue
+		}
+		if len(s.jobs) == cap(s.queue) {
+			// More interrupted jobs than queue slots: the remainder stays
+			// journaled and recovers on the next restart.
+			s.log.Printf("journal: queue full, deferring recovery of job %.12s", e.Key)
+			continue
+		}
+		j := newJob(e.Key, e.Last.Spec, StateQueued)
+		j.recovered = true
+		s.queue <- j
+		s.remember(j)
+		s.stats.Recovered++
+		s.stats.Queued++
+		s.journalRecord(JournalRecord{
+			Key: e.Key, State: StateQueued, Spec: e.Last.Spec,
+			At: time.Now(), Recovered: true,
+		})
+		s.log.Printf("job %.12s: recovered from journal (was %s), re-enqueued", e.Key, e.Last.State)
+	}
+	return nil
+}
+
+// journalRecord writes one transition, downgrading a journal failure to a
+// logged degraded mode: losing durability must not fail live requests.
+// Callers hold s.mu (or run before the workers start).
+func (s *Server) journalRecord(rec JournalRecord) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Record(rec); err != nil {
+		s.journalDegraded = true
+		s.log.Printf("job %.12s: journal write failed: %v", rec.Key, err)
+		return
+	}
+	s.journalDegraded = false
+}
+
+// journalRemove resolves a job's journal entry (same degraded-mode
+// discipline as journalRecord). Callers hold s.mu.
+func (s *Server) journalRemove(key string) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Remove(key); err != nil {
+		s.journalDegraded = true
+		s.log.Printf("job %.12s: journal cleanup failed: %v", key, err)
+	}
 }
 
 // Build returns the fingerprint job IDs are derived under.
@@ -321,8 +443,13 @@ func (s *Server) Submit(spec JobSpec) (*Status, error) {
 	}
 
 	if stream, ok, err := s.cache.Get(id); err != nil {
-		return nil, err
+		// Cache unreadable (directory vanished, permissions, bad disk):
+		// degrade explicitly and execute as a miss instead of failing the
+		// submission — the archive is an optimization, not the service.
+		s.cacheDegraded = true
+		s.log.Printf("job %.12s: cache read failed, degrading to execution: %v", id, err)
 	} else if ok {
+		s.cacheDegraded = false
 		// Record the length but drop the bytes: disk-backed jobs stream
 		// from the archive per read, so a hot cache does not pin every
 		// archived stream in daemon memory.
@@ -344,6 +471,7 @@ func (s *Server) Submit(spec JobSpec) (*Status, error) {
 	s.remember(j)
 	s.stats.CacheMisses++
 	s.stats.Queued++
+	s.journalRecord(JournalRecord{Key: id, State: StateQueued, Spec: norm, At: time.Now()})
 	return j.status(), nil
 }
 
@@ -425,16 +553,38 @@ func (s *Server) Cancel(id string) (*Status, error) {
 		s.mu.Lock()
 		s.stats.Cancelled++
 		s.stats.Queued--
+		// An explicit client cancel is a resolution, not an interruption:
+		// the job must not come back at the next restart.
+		s.journalRemove(id)
 		s.mu.Unlock()
 	}
 	return j.status(), nil
 }
 
-// Stats snapshots the operational counters.
+// Stats snapshots the operational counters, including the degraded-mode
+// list computed from the live queue and the sticky cache/journal flags.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	st.Degraded = s.degradedLocked()
+	return st
+}
+
+// degradedLocked names every degraded mode currently in force; s.mu held.
+func (s *Server) degradedLocked() []string {
+	var d []string
+	if s.cacheDegraded {
+		d = append(d, "cache-unavailable")
+	}
+	if s.journalDegraded {
+		d = append(d, "journal-unavailable")
+	}
+	if len(s.queue) == cap(s.queue) && !s.draining {
+		d = append(d, "queue-full")
+	}
+	sort.Strings(d)
+	return d
 }
 
 // StreamTo copies the job's NDJSON result stream to w, tailing a live job
@@ -444,6 +594,20 @@ func (s *Server) Stats() Stats {
 // written for a given job ID are identical for every caller, live or
 // cached — that is the service's central contract.
 func (s *Server) StreamTo(id string, w io.Writer, flush func()) error {
+	return s.StreamFrom(id, 0, w, flush)
+}
+
+// StreamFrom is StreamTo with a resume offset: the first from complete
+// NDJSON lines are skipped and exactly the missing suffix is written. A
+// client whose connection dropped after reading N lines reconnects with
+// from=N and continues mid-job instead of re-reading (and re-simulating
+// nothing — the bytes are the same either way; resume only saves
+// transfer and client-side dedupe). from beyond the final line yields an
+// empty, immediately-terminated stream.
+func (s *Server) StreamFrom(id string, from int, w io.Writer, flush func()) error {
+	if from < 0 {
+		return fmt.Errorf("service: negative resume offset %d", from)
+	}
 	s.mu.Lock()
 	j, ok := s.jobs[id]
 	s.mu.Unlock()
@@ -462,7 +626,7 @@ func (s *Server) StreamTo(id string, w io.Writer, flush func()) error {
 		if !ok {
 			return fmt.Errorf("service: archive for job %.12s vanished", id)
 		}
-		if _, err := w.Write(stream); err != nil {
+		if _, err := w.Write(skipLines(stream, from)); err != nil {
 			return err
 		}
 		if flush != nil {
@@ -471,7 +635,31 @@ func (s *Server) StreamTo(id string, w io.Writer, flush func()) error {
 		return nil
 	}
 
-	off := 0
+	// Live (or in-memory completed) job: skip `from` complete lines as they
+	// arrive, then tail the remainder. The stream only ever grows by whole
+	// lines, so line counting over the shared buffer is exact.
+	off, skipped := 0, 0
+	for skipped < from {
+		j.mu.Lock()
+		for off == len(j.buf) && !terminal(j.state) {
+			j.cond.Wait()
+		}
+		buf := j.buf
+		done := terminal(j.state)
+		j.mu.Unlock()
+		for off < len(buf) && skipped < from {
+			i := bytes.IndexByte(buf[off:], '\n')
+			if i < 0 {
+				off = len(buf)
+				break
+			}
+			off += i + 1
+			skipped++
+		}
+		if done && off == len(buf) && skipped < from {
+			return nil // stream ended before the offset: empty suffix
+		}
+	}
 	for {
 		j.mu.Lock()
 		for off == len(j.buf) && !terminal(j.state) {
@@ -493,6 +681,18 @@ func (s *Server) StreamTo(id string, w io.Writer, flush func()) error {
 			return nil
 		}
 	}
+}
+
+// skipLines returns b without its first n complete lines.
+func skipLines(b []byte, n int) []byte {
+	for ; n > 0 && len(b) > 0; n-- {
+		i := bytes.IndexByte(b, '\n')
+		if i < 0 {
+			return nil
+		}
+		b = b[i+1:]
+	}
+	return b
 }
 
 // worker executes queued jobs until the queue closes at drain.
@@ -526,9 +726,10 @@ func (s *Server) execute(j *job) {
 	s.mu.Lock()
 	s.stats.Queued--
 	s.stats.Running++
+	s.journalRecord(JournalRecord{Key: j.id, State: StateRunning, Spec: j.spec, At: time.Now(), Recovered: j.recovered})
 	s.mu.Unlock()
 	start := time.Now()
-	err := s.run(ctx, j)
+	err := s.runContained(ctx, j)
 	elapsed := time.Since(start)
 
 	s.mu.Lock()
@@ -540,10 +741,14 @@ func (s *Server) execute(j *job) {
 		j.mu.Lock()
 		stream := j.buf
 		j.mu.Unlock()
+		archived := false
 		if cerr := s.cache.Put(j.id, stream, meta); cerr != nil {
-			// The job still succeeded; only the archive is lost.
+			// The job still succeeded; only the archive is lost. Degrade
+			// explicitly and keep the journal entry: without an archive the
+			// result is not durable, so a restart re-runs the job.
 			s.log.Printf("job %.12s: archive failed: %v", j.id, cerr)
 		} else {
+			archived = true
 			j.mu.Lock()
 			j.archived = true
 			j.mu.Unlock()
@@ -551,6 +756,14 @@ func (s *Server) execute(j *job) {
 		j.finish(StateDone, "")
 		s.mu.Lock()
 		s.stats.Completed++
+		s.cacheDegraded = !archived
+		if archived {
+			// The archive is the durable record now; the journal entry has
+			// done its job.
+			s.journalRemove(j.id)
+		} else {
+			s.journalRecord(JournalRecord{Key: j.id, State: StateDone, Spec: j.spec, At: time.Now(), Error: "archive failed"})
+		}
 		s.mu.Unlock()
 		s.log.Printf("job %.12s: done (%s, %s)", j.id, j.spec.Scenario, elapsed.Round(time.Millisecond))
 		return
@@ -558,15 +771,25 @@ func (s *Server) execute(j *job) {
 
 	j.mu.Lock()
 	cancelled := j.cancelRequested
+	drainKill := j.drainKill
 	j.mu.Unlock()
-	state, msg := StateFailed, err.Error()
+	state, msg, stack := StateFailed, err.Error(), ""
+	var pe *harness.PanicError
 	switch {
 	case cancelled:
 		state, msg = StateCancelled, "cancelled"
 	case errors.Is(err, context.DeadlineExceeded):
 		msg = fmt.Sprintf("timeout after %s", j.spec.timeout(s.cfg.JobTimeout))
+	case errors.As(err, &pe):
+		// The scenario panicked; the panic was contained to this job.
+		// Surface the captured stack in the status and the stream's error
+		// envelope so the failure is debuggable without daemon access.
+		stack = pe.Stack
 	}
-	j.appendStream(errorLine(msg))
+	j.mu.Lock()
+	j.stack = stack
+	j.mu.Unlock()
+	j.appendStream(errorLineStack(msg, stack))
 	j.finish(state, msg)
 	s.mu.Lock()
 	if state == StateCancelled {
@@ -574,8 +797,31 @@ func (s *Server) execute(j *job) {
 	} else {
 		s.stats.Failed++
 	}
+	if stack != "" {
+		s.stats.Panics++
+	}
+	if drainKill {
+		// Interrupted by shutdown, not resolved: leave the journal entry so
+		// the next startup re-enqueues the job.
+		s.journalRecord(JournalRecord{Key: j.id, State: StateCancelled, Spec: j.spec, At: time.Now(), Error: "interrupted by shutdown"})
+	} else {
+		s.journalRemove(j.id)
+	}
 	s.mu.Unlock()
 	s.log.Printf("job %.12s: %s: %s", j.id, state, msg)
+}
+
+// runContained runs the job with a final panic backstop: whatever escapes
+// the scenario, the backend, or the encoding path fails this job — never
+// the daemon. The harness already contains per-replica panics; this guard
+// covers custom backends and the streaming/encoding layer above them.
+func (s *Server) runContained(ctx context.Context, j *job) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &harness.PanicError{Value: fmt.Sprint(p), Stack: string(debug.Stack())}
+		}
+	}()
+	return s.run(ctx, j)
 }
 
 // run builds the scenario and streams the replicated run into the job.
@@ -645,6 +891,8 @@ func (s *Server) Drain(ctx context.Context) error {
 		j.mu.Lock()
 		switch j.state {
 		case StateQueued:
+			// Interrupted, not resolved: the journal entry (if any) stays,
+			// so a restarted daemon re-enqueues the job.
 			j.state = StateCancelled
 			j.errmsg = "cancelled at drain"
 			j.finished = time.Now()
@@ -652,6 +900,7 @@ func (s *Server) Drain(ctx context.Context) error {
 			j.cond.Broadcast()
 		case StateRunning:
 			j.cancelRequested = true
+			j.drainKill = true
 			if j.cancel != nil {
 				j.cancel()
 			}

@@ -35,8 +35,11 @@ type Line struct {
 	Result *metrics.Result `json:"result,omitempty"`
 	// Report is the aggregated outcome (summary lines).
 	Report *harness.Report `json:"report,omitempty"`
-	// Error is the failure message (error lines).
+	// Error is the failure message (error lines). Stack carries the
+	// captured goroutine stack when the failure was a contained scenario
+	// panic — the envelope a client needs to debug a crash it did not host.
 	Error string `json:"error,omitempty"`
+	Stack string `json:"stack,omitempty"`
 }
 
 // marshalLine renders one stream line with its trailing newline. Results
@@ -59,7 +62,11 @@ func summaryLine(rep *harness.Report) ([]byte, error) {
 }
 
 func errorLine(msg string) []byte {
-	b, err := marshalLine(Line{Type: LineError, Error: msg})
+	return errorLineStack(msg, "")
+}
+
+func errorLineStack(msg, stack string) []byte {
+	b, err := marshalLine(Line{Type: LineError, Error: msg, Stack: stack})
 	if err != nil {
 		// A plain string cannot fail to encode; keep the stream terminated
 		// regardless.

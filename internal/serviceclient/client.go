@@ -1,9 +1,16 @@
-// Package serviceclient is the thin HTTP client for the karyon-d control
-// API (internal/service). It speaks the wire types of that package —
-// service.JobSpec in, service.Status and NDJSON service.Line streams out
-// — and adds nothing on top: the daemon owns all semantics (deterministic
-// job IDs, dedupe, the run cache), so the client stays a transport.
-// karyon-sim's -daemon mode and the load-test benchmarks both drive it.
+// Package serviceclient is the resilient HTTP client for the karyon-d
+// control API (internal/service). It speaks the wire types of that
+// package — service.JobSpec in, service.Status and NDJSON service.Line
+// streams out — and adds the transport-level robustness the daemon's
+// determinism makes safe: every call is idempotent (job IDs are
+// content-addressed, so a retried submit dedupes onto the same execution
+// instead of double-running), which lets the client retry with
+// exponential backoff and seeded jitter, honor Retry-After on the
+// daemon's explicit degraded modes (503), and resume a dropped NDJSON
+// result stream mid-job via the ?from=<line> offset instead of
+// re-reading. The daemon still owns all semantics; the client only makes
+// the wire survivable. karyon-sim's -daemon mode and the load-test
+// benchmarks both drive it.
 package serviceclient
 
 import (
@@ -11,10 +18,16 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"karyon/internal/harness"
 	"karyon/internal/service"
@@ -24,29 +37,206 @@ import (
 type APIError struct {
 	Code int
 	Msg  string
+	// RetryAfter is the server's Retry-After hint, when present: how long
+	// it asked us to back off before retrying a degraded-mode refusal.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("karyon-d: HTTP %d: %s", e.Code, e.Msg)
 }
 
+// Options tunes the client's resilience envelope. The zero value gets
+// sane defaults; construct with NewWithOptions to override.
+type Options struct {
+	// ConnectTimeout bounds TCP connect + TLS handshake (default 5s).
+	ConnectTimeout time.Duration
+	// HeaderTimeout bounds the wait for response headers on every call —
+	// a hung daemon fails fast instead of blocking a stream open forever
+	// (default 30s).
+	HeaderTimeout time.Duration
+	// RequestTimeout bounds each non-streaming call end to end, applied as
+	// a per-call context deadline when the caller's context has none
+	// (default 1m). Result streams are exempt: they legitimately run as
+	// long as the job; bound them through ctx.
+	RequestTimeout time.Duration
+	// Retries is how many times a failed idempotent call is retried after
+	// the first attempt (default 3; negative disables retries).
+	Retries int
+	// BackoffBase and BackoffMax shape the exponential backoff between
+	// retries: base·2^attempt plus jitter, capped at max (defaults 100ms
+	// and 5s). A server Retry-After hint overrides a shorter backoff.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed seeds the jitter stream (default 1). Fixing it makes the retry
+	// schedule reproducible — the chaos suite depends on that.
+	Seed int64
+	// Transport overrides the underlying RoundTripper; the chaos suite
+	// injects its fault transport here. Timeouts above configure the
+	// default transport only — a custom Transport brings its own.
+	Transport http.RoundTripper
+	// sleep is the test seam for backoff waits.
+	sleep func(context.Context, time.Duration)
+}
+
+func (o Options) withDefaults() Options {
+	if o.ConnectTimeout <= 0 {
+		o.ConnectTimeout = 5 * time.Second
+	}
+	if o.HeaderTimeout <= 0 {
+		o.HeaderTimeout = 30 * time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = time.Minute
+	}
+	if o.Retries == 0 {
+		o.Retries = 3
+	} else if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 100 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 5 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.sleep == nil {
+		o.sleep = sleepCtx
+	}
+	return o
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
 // Client talks to one karyon-d daemon.
 type Client struct {
 	base string
 	http *http.Client
+	opts Options
+
+	mu  sync.Mutex
+	rng *rand.Rand
 }
 
 // New returns a client for the daemon at base (e.g.
-// "http://127.0.0.1:7077"). The default http.Client is used; result
-// streams can tail long-running jobs, so no client-side timeout is
-// imposed — bound waits with the request context instead.
+// "http://127.0.0.1:7077") with the default resilience envelope: connect
+// and header timeouts, per-call deadlines on non-streaming calls, and
+// retries with exponential backoff on transport errors and degraded-mode
+// refusals. Result streams can tail long-running jobs, so no overall
+// timeout is imposed on them — bound those waits with the request context.
 func New(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+	return NewWithOptions(base, Options{})
 }
 
-func (c *Client) do(ctx context.Context, method, path string, body io.Reader) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+// NewWithOptions is New with explicit knobs.
+func NewWithOptions(base string, opts Options) *Client {
+	opts = opts.withDefaults()
+	rt := opts.Transport
+	if rt == nil {
+		rt = &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: opts.ConnectTimeout}).DialContext,
+			TLSHandshakeTimeout:   opts.ConnectTimeout,
+			ResponseHeaderTimeout: opts.HeaderTimeout,
+		}
+	}
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		http: &http.Client{Transport: rt},
+		opts: opts,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+	}
+}
+
+// backoff returns the wait before retry #attempt (0-based): exponential
+// with seeded jitter, capped, and never shorter than the server's
+// Retry-After hint.
+func (c *Client) backoff(attempt int, hint time.Duration) time.Duration {
+	d := c.opts.BackoffBase << attempt
+	if d > c.opts.BackoffMax || d <= 0 {
+		d = c.opts.BackoffMax
+	}
+	c.mu.Lock()
+	jitter := time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+	c.mu.Unlock()
+	d += jitter
+	if hint > d {
+		d = hint
+	}
+	return d
+}
+
+// retriable reports whether err is worth retrying, plus any server wait
+// hint. Transport-level failures retry (the call may never have reached
+// the daemon — and if it did, deterministic IDs make the replay
+// harmless); of the API errors only the explicitly-transient statuses do:
+// 503 (degraded: queue full or draining), 429, 502, 504.
+func retriable(err error) (bool, time.Duration) {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		switch apiErr.Code {
+		case http.StatusServiceUnavailable, http.StatusTooManyRequests,
+			http.StatusBadGateway, http.StatusGatewayTimeout:
+			return true, apiErr.RetryAfter
+		}
+		return false, 0
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false, 0
+	}
+	return true, 0 // connection refused/reset, dropped mid-flight, …
+}
+
+// do issues one API call with retries. body is replayed verbatim on every
+// attempt; stream=false adds the RequestTimeout deadline.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, stream bool) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := c.once(ctx, method, path, body, stream)
+		if err == nil {
+			return resp, nil
+		}
+		ok, hint := retriable(err)
+		if !ok || attempt >= c.opts.Retries || ctx.Err() != nil {
+			return nil, err
+		}
+		c.opts.sleep(ctx, c.backoff(attempt, hint))
+	}
+}
+
+// cancelBody ties a per-call timeout context to the response body: the
+// deadline must cover the caller's body read, so the cancel fires at
+// Close, not when the issuing frame returns.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	b.cancel()
+	return b.ReadCloser.Close()
+}
+
+func (c *Client) once(ctx context.Context, method, path string, body []byte, stream bool) (*http.Response, error) {
+	cancel := context.CancelFunc(func() {})
+	if !stream {
+		ctx, cancel = context.WithTimeout(ctx, c.opts.RequestTimeout)
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
+		cancel()
 		return nil, err
 	}
 	if body != nil {
@@ -54,8 +244,10 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader) (*
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
+		cancel()
 		return nil, err
 	}
+	resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
 	if resp.StatusCode >= 300 {
 		defer resp.Body.Close()
 		var apiErr struct {
@@ -65,13 +257,19 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader) (*
 		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&apiErr); err == nil && apiErr.Error != "" {
 			msg = apiErr.Error
 		}
-		return nil, &APIError{Code: resp.StatusCode, Msg: msg}
+		var retryAfter time.Duration
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return nil, &APIError{Code: resp.StatusCode, Msg: msg, RetryAfter: retryAfter}
 	}
 	return resp, nil
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {
-	resp, err := c.do(ctx, http.MethodGet, path, nil)
+	resp, err := c.do(ctx, http.MethodGet, path, nil, false)
 	if err != nil {
 		return err
 	}
@@ -81,12 +279,15 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 
 // Submit posts a job spec and returns the resolved job: fresh, deduped
 // onto an in-flight run, or answered from the cache (Status.Cached).
+// Submission is safe to retry — and the client does, on transport errors
+// and degraded-mode 503s — because the job ID is a deterministic content
+// address: a replayed submit lands on the same job.
 func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (*service.Status, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.do(ctx, http.MethodPost, "/v1/jobs", bytes.NewReader(body))
+	resp, err := c.do(ctx, http.MethodPost, "/v1/jobs", body, false)
 	if err != nil {
 		return nil, err
 	}
@@ -116,9 +317,10 @@ func (c *Client) Jobs(ctx context.Context) ([]*service.Status, error) {
 	return jobs, nil
 }
 
-// Cancel stops a queued or running job.
+// Cancel stops a queued or running job. Cancelling is idempotent on the
+// daemon, so it retries like every other call.
 func (c *Client) Cancel(ctx context.Context, id string) (*service.Status, error) {
-	resp, err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/cancel", nil)
+	resp, err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/cancel", nil, false)
 	if err != nil {
 		return nil, err
 	}
@@ -141,7 +343,7 @@ func (c *Client) Stats(ctx context.Context) (*service.Stats, error) {
 
 // Health probes the daemon.
 func (c *Client) Health(ctx context.Context) error {
-	resp, err := c.do(ctx, http.MethodGet, "/v1/healthz", nil)
+	resp, err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, false)
 	if err != nil {
 		return err
 	}
@@ -150,42 +352,106 @@ func (c *Client) Health(ctx context.Context) error {
 }
 
 // Results opens the raw NDJSON result stream. For a live job it tails
-// until the job reaches a terminal state; the caller must Close it.
+// until the job reaches a terminal state; the caller must Close it. Only
+// the open is retried — for mid-stream drop recovery use StreamResults,
+// which resumes from the last line received.
 func (c *Client) Results(ctx context.Context, id string) (io.ReadCloser, error) {
-	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/results", nil)
+	return c.ResultsFrom(ctx, id, 0)
+}
+
+// ResultsFrom is Results with a resume offset: the response carries the
+// stream's lines from index from onward — exactly the suffix a reader
+// holding from lines is missing.
+func (c *Client) ResultsFrom(ctx context.Context, id string, from int) (io.ReadCloser, error) {
+	path := "/v1/jobs/" + id + "/results"
+	if from > 0 {
+		path += "?from=" + strconv.Itoa(from)
+	}
+	resp, err := c.do(ctx, http.MethodGet, path, nil, true)
 	if err != nil {
 		return nil, err
 	}
 	return resp.Body, nil
 }
 
+// fnError marks an error returned by the caller's line callback, which
+// must abort the stream rather than trigger a reconnect.
+type fnError struct{ err error }
+
+func (e *fnError) Error() string { return e.err.Error() }
+func (e *fnError) Unwrap() error { return e.err }
+
 // StreamResults decodes the result stream line by line into fn, stopping
 // on the first error fn returns. The summary (or error) line is the last
-// call.
+// call. A connection dropped mid-stream is resumed with ?from=<lines
+// received>, so fn sees every line exactly once however many reconnects
+// it takes; the retry budget refills whenever a reconnect makes progress.
 func (c *Client) StreamResults(ctx context.Context, id string, fn func(service.Line) error) error {
-	body, err := c.Results(ctx, id)
+	lines, attempts := 0, 0
+	for {
+		got, err := c.streamOnce(ctx, id, &lines, fn)
+		var fe *fnError
+		switch {
+		case err == nil:
+			return nil
+		case errors.As(err, &fe):
+			return fe.err
+		case ctx.Err() != nil:
+			return err
+		}
+		if got {
+			attempts = 0 // progress: the daemon is alive, keep going
+		}
+		if attempts >= c.opts.Retries {
+			return err
+		}
+		c.opts.sleep(ctx, c.backoff(attempts, 0))
+		attempts++
+	}
+}
+
+// streamOnce reads one connection's worth of the stream, resuming at
+// *lines and advancing it per decoded line. got reports whether any line
+// arrived. A stream that ends cleanly but without a terminal
+// summary/error line was dropped by something that swallowed the EOF
+// error (a proxy, a killed daemon) — it reports an error so the caller
+// reconnects.
+func (c *Client) streamOnce(ctx context.Context, id string, lines *int, fn func(service.Line) error) (got bool, err error) {
+	body, err := c.ResultsFrom(ctx, id, *lines)
 	if err != nil {
-		return err
+		return false, err
 	}
 	defer body.Close()
 	sc := bufio.NewScanner(body)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	terminal := false
 	for sc.Scan() {
 		var line service.Line
 		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
-			return fmt.Errorf("karyon-d: bad stream line: %w", err)
+			// A torn line means the connection died mid-write; the resume
+			// re-requests it whole.
+			return got, fmt.Errorf("karyon-d: bad stream line: %w", err)
 		}
+		*lines++
+		got = true
+		terminal = line.Type == service.LineSummary || line.Type == service.LineError
 		if err := fn(line); err != nil {
-			return err
+			return got, &fnError{err}
 		}
 	}
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		return got, err
+	}
+	if !terminal {
+		return got, fmt.Errorf("karyon-d: stream ended without a terminal line (after %d lines)", *lines)
+	}
+	return got, nil
 }
 
 // Run is the one-call convenience karyon-sim -daemon uses: submit the
-// spec, tail the stream to completion, and return the aggregated report
-// from the summary line. A failed or cancelled job surfaces its error
-// line as an error.
+// spec, tail the stream to completion (resuming across drops), and return
+// the aggregated report from the summary line. A failed or cancelled job
+// surfaces its error line as an error.
 func (c *Client) Run(ctx context.Context, spec service.JobSpec) (*service.Status, *harness.Report, error) {
 	st, err := c.Submit(ctx, spec)
 	if err != nil {

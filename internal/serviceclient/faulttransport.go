@@ -1,0 +1,152 @@
+package serviceclient
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FaultTransport is a seeded fault-injecting http.RoundTripper for chaos
+// testing the client's resilience envelope: it drops requests at the
+// transport level, synthesizes 503 degraded-mode refusals with
+// Retry-After, delays responses, and cuts response bodies mid-stream —
+// all drawn from one seeded stream, so a test's fault schedule is
+// exactly reproducible. Plug it into Options.Transport.
+//
+// Each injected fault counts against MaxFaults (when >0); once spent, the
+// transport becomes transparent. Probability-1 knobs plus a MaxFaults
+// budget script exact failure sequences ("fail the first two attempts,
+// then succeed") without giving up the seeded-randomness form.
+type FaultTransport struct {
+	// Base handles requests that survive injection (default:
+	// http.DefaultTransport).
+	Base http.RoundTripper
+	// Drop is the probability a request fails with a connection error
+	// before reaching the server.
+	Drop float64
+	// Err503 is the probability a 503 + Retry-After response is
+	// synthesized without reaching the server.
+	Err503 float64
+	// RetryAfter is the hint carried by synthesized 503s, in whole
+	// seconds (0 = no header).
+	RetryAfter time.Duration
+	// Slow is the probability the request is delayed by Delay before being
+	// forwarded. Slowness counts as a fault for MaxFaults but never fails
+	// the request.
+	Slow  float64
+	Delay time.Duration
+	// CutBodyAfter > 0 truncates response bodies with a connection error
+	// after that many bytes (each cut is a fault).
+	CutBodyAfter int
+	// MaxFaults caps the total injected faults; 0 = unlimited.
+	MaxFaults int
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	faults int
+}
+
+// NewFaultTransport returns a transparent transport drawing its fault
+// schedule from seed; set the exported knobs before use.
+func NewFaultTransport(seed int64) *FaultTransport {
+	return &FaultTransport{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Faults reports how many faults have been injected so far.
+func (t *FaultTransport) Faults() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.faults
+}
+
+// roll draws one decision; it consumes the budget only when it fires.
+func (t *FaultTransport) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if t.MaxFaults > 0 && t.faults >= t.MaxFaults {
+		return false
+	}
+	if t.rng.Float64() >= p {
+		return false
+	}
+	t.faults++
+	return true
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	drop := t.roll(t.Drop)
+	err503 := !drop && t.roll(t.Err503)
+	slow := !drop && !err503 && t.roll(t.Slow)
+	cut := false
+	if !drop && !err503 && t.CutBodyAfter > 0 {
+		cut = t.roll(1)
+	}
+	t.mu.Unlock()
+
+	switch {
+	case drop:
+		return nil, fmt.Errorf("faulttransport: injected connection drop for %s %s", req.Method, req.URL.Path)
+	case err503:
+		resp := &http.Response{
+			StatusCode: http.StatusServiceUnavailable,
+			Status:     "503 Service Unavailable (injected)",
+			Header:     http.Header{"Content-Type": []string{"application/json"}},
+			Body:       io.NopCloser(strings.NewReader(`{"error":"injected degraded mode"}`)),
+			Request:    req,
+		}
+		if t.RetryAfter > 0 {
+			resp.Header.Set("Retry-After", fmt.Sprint(int(t.RetryAfter/time.Second)))
+		}
+		return resp, nil
+	case slow:
+		timer := time.NewTimer(t.Delay)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil || !cut {
+		return resp, err
+	}
+	resp.Body = &cutBody{body: resp.Body, remaining: t.CutBodyAfter}
+	return resp, nil
+}
+
+// cutBody yields the first remaining bytes, then fails like a dropped
+// connection.
+type cutBody struct {
+	body      io.ReadCloser
+	remaining int
+}
+
+func (b *cutBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, fmt.Errorf("faulttransport: injected mid-body connection drop")
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.body.Read(p)
+	b.remaining -= n
+	if err == io.EOF {
+		return n, io.EOF
+	}
+	return n, err
+}
+
+func (b *cutBody) Close() error { return b.body.Close() }

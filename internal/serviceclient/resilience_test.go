@@ -1,0 +1,333 @@
+package serviceclient
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"karyon/internal/service"
+)
+
+// newChaosDaemon is newTestDaemon exposing the URL, so tests can point
+// fault-injecting clients at the same daemon.
+func newChaosDaemon(t *testing.T) (*service.Server, string) {
+	t.Helper()
+	srv, err := service.New(service.Config{
+		CacheDir: t.TempDir(),
+		Workers:  2,
+		Build:    "client-test-build",
+		Log:      io.Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, hs.URL
+}
+
+// instantSleep records each backoff instead of waiting it out.
+func instantSleep(sleeps *[]time.Duration) func(context.Context, time.Duration) {
+	var mu sync.Mutex
+	return func(ctx context.Context, d time.Duration) {
+		mu.Lock()
+		*sleeps = append(*sleeps, d)
+		mu.Unlock()
+	}
+}
+
+// recordingTransport logs every request URI on its way to base.
+type recordingTransport struct {
+	base http.RoundTripper
+
+	mu   sync.Mutex
+	uris []string
+}
+
+func (t *recordingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	t.uris = append(t.uris, req.URL.RequestURI())
+	t.mu.Unlock()
+	return t.base.RoundTrip(req)
+}
+
+func (t *recordingTransport) requests() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string{}, t.uris...)
+}
+
+// TestNewHasRealTimeouts: the default client must never ship the zero-value
+// http.Client (no connect, header, or request bounds — a hung daemon would
+// hang every caller forever).
+func TestNewHasRealTimeouts(t *testing.T) {
+	c := New("http://127.0.0.1:1")
+	tr, ok := c.http.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("default transport is %T, want *http.Transport", c.http.Transport)
+	}
+	if tr.DialContext == nil {
+		t.Fatal("no connect timeout: DialContext is nil")
+	}
+	if tr.ResponseHeaderTimeout != 30*time.Second {
+		t.Fatalf("ResponseHeaderTimeout = %v, want 30s", tr.ResponseHeaderTimeout)
+	}
+	if tr.TLSHandshakeTimeout != 5*time.Second {
+		t.Fatalf("TLSHandshakeTimeout = %v, want 5s", tr.TLSHandshakeTimeout)
+	}
+	o := c.opts
+	if o.ConnectTimeout != 5*time.Second || o.RequestTimeout != time.Minute || o.Retries != 3 {
+		t.Fatalf("defaults = connect %v request %v retries %d", o.ConnectTimeout, o.RequestTimeout, o.Retries)
+	}
+}
+
+// TestBackoffScheduleIsSeeded: same seed, same schedule — the property the
+// chaos suite leans on — plus exponential bounds and Retry-After override.
+func TestBackoffScheduleIsSeeded(t *testing.T) {
+	mk := func(seed int64) *Client {
+		return NewWithOptions("http://127.0.0.1:1", Options{Seed: seed})
+	}
+	a, b := mk(7), mk(7)
+	base, max := a.opts.BackoffBase, a.opts.BackoffMax
+	for attempt := 0; attempt < 6; attempt++ {
+		da, db := a.backoff(attempt, 0), b.backoff(attempt, 0)
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", attempt, da, db)
+		}
+		lo := base << attempt
+		if lo > max {
+			lo = max
+		}
+		if da < lo || da > lo+lo/2 {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, da, lo, lo+lo/2)
+		}
+	}
+	if d := mk(3).backoff(0, 10*time.Second); d < 10*time.Second {
+		t.Fatalf("backoff ignored a longer Retry-After hint: %v", d)
+	}
+}
+
+// TestSubmitRetriesThroughDrops: connection drops on an idempotent submit
+// are retried to success; the deterministic job ID makes the replay land
+// on the same job.
+func TestSubmitRetriesThroughDrops(t *testing.T) {
+	_, url := newChaosDaemon(t)
+	ft := NewFaultTransport(1)
+	ft.Drop = 1
+	ft.MaxFaults = 2
+	var sleeps []time.Duration
+	c := NewWithOptions(url, Options{
+		Transport: ft, Retries: 3, Seed: 5, sleep: instantSleep(&sleeps),
+	})
+	st, err := c.Submit(context.Background(), tinySpec())
+	if err != nil {
+		t.Fatalf("submit did not survive 2 drops: %v", err)
+	}
+	if st.ID == "" {
+		t.Fatal("empty job ID")
+	}
+	if ft.Faults() != 2 {
+		t.Fatalf("injected %d faults, want 2", ft.Faults())
+	}
+	if len(sleeps) != 2 {
+		t.Fatalf("%d backoff waits for 2 drops, want 2", len(sleeps))
+	}
+	if sleeps[1] < sleeps[0] {
+		t.Fatalf("backoff not growing: %v then %v", sleeps[0], sleeps[1])
+	}
+}
+
+// TestRetryHonorsRetryAfter: a degraded-mode 503 with Retry-After is
+// retried no sooner than the server asked.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	_, url := newChaosDaemon(t)
+	ft := NewFaultTransport(1)
+	ft.Err503 = 1
+	ft.RetryAfter = 2 * time.Second
+	ft.MaxFaults = 1
+	var sleeps []time.Duration
+	c := NewWithOptions(url, Options{
+		Transport: ft, Retries: 3, BackoffBase: time.Millisecond, Seed: 5,
+		sleep: instantSleep(&sleeps),
+	})
+	if _, err := c.Submit(context.Background(), tinySpec()); err != nil {
+		t.Fatalf("submit did not survive the 503: %v", err)
+	}
+	if len(sleeps) != 1 || sleeps[0] < 2*time.Second {
+		t.Fatalf("backoff %v ignored Retry-After: 2s", sleeps)
+	}
+}
+
+// TestNonRetriableFailsFast: a 400 is the caller's bug, not the wire's —
+// no retries, no backoff.
+func TestNonRetriableFailsFast(t *testing.T) {
+	_, url := newChaosDaemon(t)
+	rec := &recordingTransport{base: http.DefaultTransport}
+	var sleeps []time.Duration
+	c := NewWithOptions(url, Options{
+		Transport: rec, Retries: 3, sleep: instantSleep(&sleeps),
+	})
+	_, err := c.Submit(context.Background(), service.JobSpec{Scenario: "warp-drive"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != 400 {
+		t.Fatalf("err = %v, want APIError 400", err)
+	}
+	if n := len(rec.requests()); n != 1 {
+		t.Fatalf("400 was attempted %d times, want 1", n)
+	}
+	if len(sleeps) != 0 {
+		t.Fatalf("400 triggered backoff: %v", sleeps)
+	}
+}
+
+// TestResultsFromReturnsExactSuffix drives the ?from= wire protocol: for
+// every offset the response is the full stream minus its first N lines.
+func TestResultsFromReturnsExactSuffix(t *testing.T) {
+	_, url := newChaosDaemon(t)
+	c := New(url)
+	ctx := context.Background()
+	st, _, err := c.Run(ctx, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	readFrom := func(from int) string {
+		body, err := c.ResultsFrom(ctx, st.ID, from)
+		if err != nil {
+			t.Fatalf("ResultsFrom(%d): %v", from, err)
+		}
+		defer body.Close()
+		b, err := io.ReadAll(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	full := readFrom(0)
+	if full == "" {
+		t.Fatal("empty stream")
+	}
+	lines := strings.SplitAfter(full, "\n")
+	lines = lines[:len(lines)-1] // trailing "" after the final \n
+	for from := 0; from <= len(lines)+1; from++ {
+		want := ""
+		if from < len(lines) {
+			want = strings.Join(lines[from:], "")
+		}
+		if got := readFrom(from); got != want {
+			t.Fatalf("from=%d: got %d bytes, want %d", from, len(got), len(want))
+		}
+	}
+}
+
+// TestStreamResumeAfterMidBodyCut is the client half of the chaos
+// contract: a stream severed mid-body reconnects with ?from=<lines held>
+// and the caller sees every line exactly once, in order.
+func TestStreamResumeAfterMidBodyCut(t *testing.T) {
+	_, url := newChaosDaemon(t)
+	if _, _, err := New(url).Run(context.Background(), tinySpec()); err != nil {
+		t.Fatal(err) // job complete and archived before the chaos client reads it
+	}
+
+	ft := NewFaultTransport(1)
+	ft.CutBodyAfter = 700 // sever mid-stream, wherever line boundaries fall
+	ft.MaxFaults = 2
+	rec := &recordingTransport{base: http.DefaultTransport}
+	ft.Base = rec
+	var sleeps []time.Duration
+	c := NewWithOptions(url, Options{
+		Transport: ft, Retries: 4, Seed: 9, sleep: instantSleep(&sleeps),
+	})
+	st, err := c.Submit(context.Background(), tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []service.Line
+	if err := c.StreamResults(context.Background(), st.ID, func(l service.Line) error {
+		got = append(got, l)
+		return nil
+	}); err != nil {
+		t.Fatalf("stream did not survive %d cuts: %v", ft.Faults(), err)
+	}
+	if ft.Faults() != 2 {
+		t.Fatalf("injected %d faults, want 2", ft.Faults())
+	}
+	// Exactly once, in order: replicas 0..N-1 then one terminal summary.
+	if len(got) != 3 {
+		t.Fatalf("saw %d lines across reconnects, want 3", len(got))
+	}
+	for i := 0; i < 2; i++ {
+		l := got[i]
+		if l.Type != service.LineReplica || l.Index == nil || *l.Index != i {
+			t.Fatalf("line %d: %+v, want replica %d exactly once", i, l, i)
+		}
+	}
+	if got[2].Type != service.LineSummary {
+		t.Fatalf("terminal line: %+v, want summary", got[2])
+	}
+	// The wire shows the resumes: more than one results request, each
+	// after the first carrying a from= offset.
+	var results []string
+	for _, uri := range rec.requests() {
+		if strings.Contains(uri, "/results") {
+			results = append(results, uri)
+		}
+	}
+	if len(results) < 2 {
+		t.Fatalf("no reconnect on the wire: %v", results)
+	}
+}
+
+// TestStreamCallbackErrorAborts: an error from the caller's callback is a
+// decision, not a drop — no reconnect, no retry.
+func TestStreamCallbackErrorAborts(t *testing.T) {
+	_, url := newChaosDaemon(t)
+	c := New(url)
+	st, _, err := c.Run(context.Background(), tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("caller says stop")
+	calls := 0
+	err = c.StreamResults(context.Background(), st.ID, func(service.Line) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the callback's error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("callback ran %d times after aborting, want 1", calls)
+	}
+}
+
+// TestRunSurvivesSeededChaos: the end-to-end convenience call completes
+// through a seeded storm of drops and 503s, returning a real report.
+func TestRunSurvivesSeededChaos(t *testing.T) {
+	_, url := newChaosDaemon(t)
+	ft := NewFaultTransport(42)
+	ft.Drop = 0.5
+	ft.Err503 = 0.5
+	ft.RetryAfter = time.Second
+	ft.MaxFaults = 4
+	var sleeps []time.Duration
+	c := NewWithOptions(url, Options{
+		Transport: ft, Retries: 6, Seed: 42, sleep: instantSleep(&sleeps),
+	})
+	st, rep, err := c.Run(context.Background(), tinySpec())
+	if err != nil {
+		t.Fatalf("run did not survive the chaos (%d faults): %v", ft.Faults(), err)
+	}
+	if rep == nil || rep.Summary == nil || rep.Summary.Replicas != 2 {
+		t.Fatalf("bad report through chaos: %+v", rep)
+	}
+	if st.ID == "" {
+		t.Fatal("empty job ID")
+	}
+}
