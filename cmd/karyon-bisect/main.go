@@ -1,0 +1,182 @@
+// Command karyon-bisect finds the first divergent window between two
+// recorded simulation traces (see karyon-sim -record).
+//
+// Usage:
+//
+//	karyon-bisect a.ktr b.ktr
+//
+// Both traces must record the same spec — typically the same run under
+// two builds (a regression hunt) or with and without a deliberate
+// perturbation. The tool binary-searches the per-window state digests
+// for the first mismatching window, double-checks the result with a
+// linear scan (digest agreement is not formally monotone, even though a
+// diverged deterministic world never re-converges in practice), and
+// dumps both barriers' decision records side by side: digest, counters,
+// and every lane-change grant and release the arbiter issued that
+// window.
+//
+// The Crossers counter is execution telemetry — it depends on the shard
+// width, not the simulated world — so it is printed but never compared.
+//
+// Exit status: 0 if the traces are identical, 1 on divergence, 2 on any
+// error (unreadable file, corrupt trace, incompatible headers).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"karyon/internal/trace"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "karyon-bisect:", err)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("karyon-bisect", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: karyon-bisect <trace-a> <trace-b>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2, nil // flag package already printed the message
+	}
+	if fs.NArg() != 2 {
+		return 2, errors.New("expected exactly two trace files (usage: karyon-bisect <trace-a> <trace-b>)")
+	}
+	pathA, pathB := fs.Arg(0), fs.Arg(1)
+	a, err := loadTrace(pathA)
+	if err != nil {
+		return 2, err
+	}
+	b, err := loadTrace(pathB)
+	if err != nil {
+		return 2, err
+	}
+	if a.Header.Seed != b.Header.Seed || a.Header.Window != b.Header.Window || a.Header.Cars != b.Header.Cars {
+		return 2, fmt.Errorf("traces record different runs: seed/window/cars %d/%d/%d vs %d/%d/%d",
+			a.Header.Seed, a.Header.Window, a.Header.Cars,
+			b.Header.Seed, b.Header.Window, b.Header.Cars)
+	}
+	if string(a.Header.Spec) != string(b.Header.Spec) {
+		fmt.Fprintf(out, "note: trace specs differ (expected when bisecting a perturbed or re-flagged run)\n")
+	}
+	if a.Header.Shards != b.Header.Shards {
+		fmt.Fprintf(out, "note: shard widths differ (%d vs %d); Crossers telemetry is not compared\n",
+			a.Header.Shards, b.Header.Shards)
+	}
+
+	n := min(len(a.Windows), len(b.Windows))
+
+	// Binary search assumes divergence is a prefix property: once the
+	// digests split, a deterministic world stays split. sort.Search finds
+	// that boundary in O(log n) comparisons; the linear scan below then
+	// certifies no earlier mismatch exists, so the answer is exact even
+	// if the assumption ever failed.
+	cand := sort.Search(n, func(i int) bool {
+		return !a.Windows[i].Same(&b.Windows[i])
+	})
+	first := cand
+	for i := 0; i < cand; i++ {
+		if !a.Windows[i].Same(&b.Windows[i]) {
+			first = i
+			break
+		}
+	}
+
+	if first < n {
+		w := a.Windows[first].Index
+		fmt.Fprintf(out, "first divergent window: %d (edge %d)\n", w, a.Windows[first].Edge)
+		if first > 0 {
+			fmt.Fprintf(out, "last agreeing window:   %d (digest %016x)\n", a.Windows[first-1].Index, a.Windows[first-1].Digest)
+		} else {
+			fmt.Fprintf(out, "the traces diverge from the very first window\n")
+		}
+		fmt.Fprintln(out)
+		dumpWindows(out, pathA, pathB, &a.Windows[first], &b.Windows[first])
+		return 1, nil
+	}
+
+	if len(a.Windows) != len(b.Windows) {
+		longer, shorter := pathA, pathB
+		if len(a.Windows) < len(b.Windows) {
+			longer, shorter = pathB, pathA
+		}
+		fmt.Fprintf(out, "traces agree through window %d, but %s continues past the end of %s (%d vs %d windows)\n",
+			n, longer, shorter, max(len(a.Windows), len(b.Windows)), n)
+		return 1, nil
+	}
+	fmt.Fprintf(out, "traces identical: %d windows, final digest %016x\n", n, a.Windows[n-1].Digest)
+	return 0, nil
+}
+
+func loadTrace(path string) (*trace.Contents, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := trace.Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(c.Windows) == 0 {
+		return nil, fmt.Errorf("%s: trace contains no windows", path)
+	}
+	return c, nil
+}
+
+// dumpWindows prints the two traces' records for the divergent window in
+// aligned columns — the raw material for "what did the barrier decide
+// differently".
+func dumpWindows(out io.Writer, nameA, nameB string, a, b *trace.WindowRecord) {
+	row := func(label, va, vb string) {
+		marker := " "
+		if va != vb {
+			marker = "*"
+		}
+		fmt.Fprintf(out, "%s %-14s %-28s %s\n", marker, label, va, vb)
+	}
+	fmt.Fprintf(out, "  %-14s %-28s %s\n", "", nameA, nameB)
+	row("digest", fmt.Sprintf("%016x", a.Digest), fmt.Sprintf("%016x", b.Digest))
+	row("collisions", fmt.Sprint(a.Collisions), fmt.Sprint(b.Collisions))
+	row("delivered", fmt.Sprint(a.Delivered), fmt.Sprint(b.Delivered))
+	row("lost", fmt.Sprint(a.Lost), fmt.Sprint(b.Lost))
+	row("speed sum", fmt.Sprintf("%.9g", a.SpeedSum), fmt.Sprintf("%.9g", b.SpeedSum))
+	row("speed n", fmt.Sprint(a.SpeedN), fmt.Sprint(b.SpeedN))
+	fmt.Fprintf(out, "  %-14s %-28s %s   (width-dependent telemetry, not compared)\n",
+		"crossers", fmt.Sprint(a.Crossers), fmt.Sprint(b.Crossers))
+	for i := 0; i < max(len(a.Grants), len(b.Grants)); i++ {
+		row(fmt.Sprintf("grant[%d]", i), grantStr(a.Grants, i), grantStr(b.Grants, i))
+	}
+	for i := 0; i < max(len(a.Releases), len(b.Releases)); i++ {
+		row(fmt.Sprintf("release[%d]", i), releaseStr(a.Releases, i), releaseStr(b.Releases, i))
+	}
+	if len(a.Grants)+len(b.Grants)+len(a.Releases)+len(b.Releases) == 0 {
+		fmt.Fprintf(out, "  (no lane-change grants or releases in this window)\n")
+	}
+}
+
+func grantStr(gs []trace.Grant, i int) string {
+	if i >= len(gs) {
+		return "—"
+	}
+	g := gs[i]
+	return fmt.Sprintf("car %d → lane %d (%s)", g.Car, g.Lane, g.Region)
+}
+
+func releaseStr(rs []trace.Release, i int) string {
+	if i >= len(rs) {
+		return "—"
+	}
+	r := rs[i]
+	return fmt.Sprintf("car %d ⇐ %s", r.Car, r.Region)
+}

@@ -183,6 +183,13 @@ func TestChaosSIGKILLRecovery(t *testing.T) {
 		t.Fatalf("reference run: %v", err)
 	}
 	want := readStream(t, refClient, refSt.ID, 0)
+	refDone, err := refClient.Job(ctx, refSt.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refDone.TraceHash == "" {
+		t.Fatal("reference run has no trace hash")
+	}
 	ref.sigterm(t)
 
 	// Victim: same spec over its own dirs, killed -9 while running.
@@ -220,6 +227,14 @@ func TestChaosSIGKILLRecovery(t *testing.T) {
 		t.Fatalf("no journal entry survived the crash: %v", err)
 	}
 
+	// Simulate the narrower crash window inside cache.Put — killed between
+	// os.CreateTemp and the publishing rename — by planting the orphan such
+	// a kill leaves. The restarted daemon must sweep it at boot and count
+	// the sweep in its stats.
+	if err := os.WriteFile(filepath.Join(cacheDir, ".tmp-chaos"), []byte("partial archive"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
 	// Restart over the same dirs: the journal re-enqueues the job and it
 	// runs to the byte-identical result.
 	revived := startDaemonProc(t, bin, "-cache-dir", cacheDir, "-journal-dir", journalDir)
@@ -237,6 +252,9 @@ func TestChaosSIGKILLRecovery(t *testing.T) {
 		if got.State == service.StateDone {
 			if !got.Recovered {
 				t.Fatal("finished job not marked as recovered")
+			}
+			if got.TraceHash != refDone.TraceHash {
+				t.Fatalf("recovered run's trace hash %q differs from the uninterrupted run's %q", got.TraceHash, refDone.TraceHash)
 			}
 			break
 		}
@@ -271,6 +289,9 @@ func TestChaosSIGKILLRecovery(t *testing.T) {
 	}
 	if stats.Recovered != 1 || stats.Completed != 1 || stats.Panics != 0 {
 		t.Fatalf("stats after recovery: recovered=%d completed=%d panics=%d, want 1/1/0", stats.Recovered, stats.Completed, stats.Panics)
+	}
+	if stats.Swept != 1 {
+		t.Fatalf("stats after recovery: swept=%d stranded temp files, want 1", stats.Swept)
 	}
 	if len(stats.Degraded) != 0 {
 		t.Fatalf("healthy recovered daemon reports degraded modes: %v", stats.Degraded)

@@ -7,6 +7,8 @@
 //	karyon-sim -scenario megahighway [-cars 200] [-length 10000] [-loss 0.05] [-shards N] [-speculate K] [-medium] [-jam-every 30s -jam-burst 2s]
 //	karyon-sim -scenario intersection [-failat 60s] [-nobackup] [-medium] [-jam-every 30s -jam-burst 2s]
 //	karyon-sim -scenario encounter [-geometry same-direction|leveled-crossing|level-change] [-voice]
+//	karyon-sim -scenario highway -record run.ktr [-checkpoint-every 50] [-perturb-window N]
+//	karyon-sim -replay run.ktr [-window A:B] [-shards N]
 //
 // All scenarios accept -replicas, -parallel, -shards, and -json. The
 // output is byte-identical for any -parallel and any -shards value at a
@@ -41,6 +43,15 @@
 // allocs ratchet is localized by rerunning the same scenario here with
 // -memprofile.
 //
+// -record writes a compact binary trace of a highway/megahighway run —
+// every window's state digest, counters and barrier decisions, plus
+// periodic full checkpoints — at near-zero hot-path cost. -replay re-runs
+// a recorded trace (any -window A:B range, resuming from the nearest
+// checkpoint; any -shards width) and verifies byte-identity window by
+// window, exiting nonzero with the first divergent window on mismatch.
+// karyon-bisect compares two traces of the same spec and pinpoints the
+// first divergent window with a side-by-side decision dump.
+//
 // -daemon URL submits the run to a resident karyon-d instead of executing
 // in-process: the daemon dedupes equivalent runs and replays archived
 // results byte-identically, so repeated sweeps cost one execution. The
@@ -55,17 +66,21 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"karyon/internal/harness"
 	"karyon/internal/service"
 	"karyon/internal/serviceclient"
+	"karyon/internal/world"
 )
 
 func main() {
@@ -104,6 +119,11 @@ func run(args []string, out io.Writer) error {
 	daemonBackoff := fs.Duration("daemon-backoff", 100*time.Millisecond, "-daemon: base of the exponential retry backoff (doubles per attempt, seeded jitter, server Retry-After honored)")
 	cpuProfile := fs.String("cpuprofile", "", "write a runtime/pprof CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a runtime/pprof heap profile (after a final GC) to this file at exit")
+	record := fs.String("record", "", "highway/megahighway: write a record/replay trace of the run to this file (requires -replicas 1, no -fault-rate, no -daemon)")
+	checkpointEvery := fs.Int("checkpoint-every", 50, "-record: windows between full-state checkpoints, the replay restart points")
+	perturbWindow := fs.Uint64("perturb-window", 0, "-record: force car 0 to brake at this window's barrier — a deliberate divergence for exercising karyon-bisect (0 = none)")
+	replayPath := fs.String("replay", "", "re-run a recorded trace from the nearest checkpoint and verify byte-identity window by window; nonzero exit on divergence")
+	windowRange := fs.String("window", "", "-replay: window range A:B, 1-based inclusive (empty = the full trace)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -132,6 +152,31 @@ func run(args []string, out io.Writer) error {
 			}
 			f.Close()
 		}()
+	}
+	if *replayPath != "" {
+		shardsSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "shards" {
+				shardsSet = true
+			}
+		})
+		override := 0
+		if shardsSet {
+			override = *shards
+		}
+		return runReplay(*replayPath, *windowRange, override, out)
+	}
+	if *record != "" {
+		switch {
+		case *scenario != "highway" && *scenario != "megahighway":
+			return fmt.Errorf("karyon-sim: -record supports highway and megahighway, not %q", *scenario)
+		case *replicas != 1:
+			return errors.New("karyon-sim: -record requires -replicas 1 (a trace captures exactly one run)")
+		case *faultRate > 0:
+			return errors.New("karyon-sim: -record cannot reproduce a -fault-rate campaign")
+		case *daemon != "":
+			return errors.New("karyon-sim: -record runs in-process; drop -daemon")
+		}
 	}
 	if *daemon != "" {
 		spec := service.JobSpec{
@@ -175,12 +220,14 @@ func run(args []string, out io.Writer) error {
 			Duration: *duration, Cars: n, Mode: *mode,
 			SensorFaultRate: *faultRate, JamEvery: *jamEvery, JamBurst: *jamBurst,
 			Medium: *medium, Channels: *channels, SpecDepth: *speculate,
+			TracePath: *record, CheckpointEvery: *checkpointEvery, PerturbWindow: *perturbWindow,
 		}
 	case "megahighway":
 		sc = harness.MegaHighwayScenario{
 			Duration: *duration, Cars: *cars, Length: *length, Loss: *loss, V2VRange: *v2vRange,
 			Medium: *medium, Channels: *channels, JamEvery: *jamEvery, JamBurst: *jamBurst,
 			SpecDepth: *speculate,
+			TracePath: *record, CheckpointEvery: *checkpointEvery, PerturbWindow: *perturbWindow,
 		}
 	case "intersection":
 		sc = harness.IntersectionScenario{
@@ -198,6 +245,44 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	return render(rep, *jsonOut, out)
+}
+
+// runReplay is the -replay mode: verify a recorded trace range against a
+// fresh re-execution. shardsOverride 0 replays at the recorded width.
+func runReplay(path, windowRange string, shardsOverride int, out io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("karyon-sim: -replay: %w", err)
+	}
+	var opt world.ReplayOptions
+	if windowRange != "" {
+		if opt.From, opt.To, err = parseWindowRange(windowRange); err != nil {
+			return err
+		}
+	}
+	opt.Shards = shardsOverride
+	res, err := world.ReplayTrace(data, opt)
+	if err != nil {
+		return fmt.Errorf("karyon-sim: replay of %s: %w", path, err)
+	}
+	fmt.Fprintf(out, "replay OK: %s windows %d:%d byte-identical (checkpoint %d, %d windows verified, %d shards)\n",
+		res.Spec.Scenario, res.From, res.To, res.Checkpoint, res.Windows, res.Shards)
+	return nil
+}
+
+// parseWindowRange parses the -window A:B form.
+func parseWindowRange(s string) (from, to uint64, err error) {
+	a, b, ok := strings.Cut(s, ":")
+	if ok {
+		from, err = strconv.ParseUint(a, 10, 64)
+		if err == nil {
+			to, err = strconv.ParseUint(b, 10, 64)
+		}
+	}
+	if !ok || err != nil {
+		return 0, 0, fmt.Errorf("karyon-sim: -window must be A:B (1-based, inclusive), got %q", s)
+	}
+	return from, to, nil
 }
 
 // render prints a report exactly the same way for local and daemon runs.

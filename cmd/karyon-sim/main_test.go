@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -218,6 +219,45 @@ func TestDaemonModeMatchesLocalOutput(t *testing.T) {
 	}
 	if localJSON.String() != remoteJSON.String() {
 		t.Fatalf("daemon JSON differs from local:\nlocal:\n%s\ndaemon:\n%s", localJSON.String(), remoteJSON.String())
+	}
+}
+
+// -record then -replay round-trips byte-identically through the CLI,
+// including a mid-run -window range served from a checkpoint and a
+// cross-width replay; -record flag misuse is rejected up front.
+func TestRecordReplayCLI(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "run.ktr")
+	var sb strings.Builder
+	if err := run([]string{"-scenario", "highway", "-duration", "8s", "-cars", "10",
+		"-seed", "7", "-shards", "2", "-record", trace, "-checkpoint-every", "20"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{"-replay", trace},
+		{"-replay", trace, "-window", "25:60"},
+		{"-replay", trace, "-window", "41:80", "-shards", "4"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		if !strings.Contains(out.String(), "replay OK") {
+			t.Fatalf("%v output:\n%s", args, out.String())
+		}
+	}
+	for _, args := range [][]string{
+		{"-replay", trace, "-window", "banana"},
+		{"-replay", trace, "-window", "60:2000"},
+		{"-scenario", "encounter", "-record", trace},
+		{"-scenario", "highway", "-record", trace, "-replicas", "2"},
+		{"-scenario", "highway", "-record", trace, "-fault-rate", "1"},
+		{"-scenario", "highway", "-record", trace, "-daemon", "http://127.0.0.1:1"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Fatalf("%v accepted", args)
+		}
 	}
 }
 

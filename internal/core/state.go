@@ -70,7 +70,15 @@ func (m *Manager) RestoreState(st *ManagerState) {
 		fs := &st.fns[i]
 		f.current = fs.current
 		f.upStreak = fs.upStreak
-		f.Switches = f.Switches[:fs.switches]
+		// In-process restore truncates the append-only Switches log back
+		// to the checkpoint. A checkpoint decoded from a trace restores
+		// into a freshly built manager whose log is shorter than the
+		// recorded length; the entries are gone (only their count
+		// mattered to the checkpoint), so restore what is representable
+		// instead of slicing out of range.
+		if fs.switches <= len(f.Switches) {
+			f.Switches = f.Switches[:fs.switches]
+		}
 		f.enteredAt = fs.enteredAt
 		for l := LoS(1); int(l) <= f.levels; l++ {
 			f.timeAt[l] = fs.timeAt[int(l)-1]

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"sort"
+
+	"karyon/internal/sim"
+	"karyon/internal/trace"
+)
+
+// Trace-codec methods for the safety-kernel checkpoint state. The
+// runtime-indicator entries come out of a map, so the trace form sorts
+// them by key: the same logical state always encodes to the same bytes.
+
+// EncodeState appends the manager checkpoint to e.
+func (st *ManagerState) EncodeState(e *trace.Enc) {
+	e.I64(st.cycles)
+	e.U32(uint32(len(st.fns)))
+	for i := range st.fns {
+		fs := &st.fns[i]
+		e.I64(int64(fs.current))
+		e.I64(int64(fs.upStreak))
+		e.I64(int64(fs.switches))
+		e.I64(int64(fs.enteredAt))
+		e.U32(uint32(len(fs.timeAt)))
+		for _, t := range fs.timeAt {
+			e.I64(int64(t))
+		}
+	}
+	sort.Slice(st.ri, func(i, j int) bool { return st.ri[i].key < st.ri[j].key })
+	e.U32(uint32(len(st.ri)))
+	for _, r := range st.ri {
+		e.Str(r.key)
+		e.F64(r.ind.Value)
+		e.I64(int64(r.ind.UpdatedAt))
+	}
+}
+
+// DecodeState reads a manager checkpoint written by EncodeState.
+func (st *ManagerState) DecodeState(d *trace.Dec) {
+	st.cycles = d.I64()
+	st.fns = st.fns[:0]
+	for i, n := 0, d.Count(36); i < n && d.Err() == nil; i++ {
+		var fs functionalityState
+		fs.current = LoS(d.I64())
+		fs.upStreak = int(d.I64())
+		fs.switches = int(d.I64())
+		fs.enteredAt = sim.Time(d.I64())
+		for j, m := 0, d.Count(8); j < m && d.Err() == nil; j++ {
+			fs.timeAt = append(fs.timeAt, sim.Time(d.I64()))
+		}
+		st.fns = append(st.fns, fs)
+	}
+	st.ri = st.ri[:0]
+	for i, n := 0, d.Count(20); i < n && d.Err() == nil; i++ {
+		var r riEntry
+		r.key = d.Str()
+		r.ind.Value = d.F64()
+		r.ind.UpdatedAt = sim.Time(d.I64())
+		st.ri = append(st.ri, r)
+	}
+}
+
+// EncodeState appends the gate checkpoint to e.
+func (st GateState) EncodeState(e *trace.Enc) {
+	e.I64(st.clamped)
+	e.I64(st.passed)
+}
+
+// DecodeGateState reads a gate checkpoint written by EncodeState.
+func DecodeGateState(d *trace.Dec) GateState {
+	return GateState{clamped: d.I64(), passed: d.I64()}
+}

@@ -3,6 +3,7 @@ package harness
 import (
 	"context"
 	"fmt"
+	"os"
 	"time"
 
 	"karyon/internal/avionics"
@@ -43,6 +44,17 @@ type HighwayScenario struct {
 	// recordSpecTelemetry) whose counters legitimately vary with the
 	// execution knobs.
 	SpecDepth int
+	// TracePath writes a record/replay trace of the run (windows,
+	// barrier decisions, digests, periodic checkpoints; see
+	// internal/world record.go). Recording requires a single replica and
+	// no fault campaign — the trace spec cannot reproduce campaign
+	// injections. CheckpointEvery sets the checkpoint interval in
+	// windows (0 = default 50); PerturbWindow > 0 forces car 0 to brake
+	// at that window's barrier, the deliberate-divergence knob the
+	// bisect tooling is tested with.
+	TracePath       string
+	CheckpointEvery int
+	PerturbWindow   uint64
 }
 
 // Name implements Scenario.
@@ -83,6 +95,20 @@ func (s HighwayScenario) RunSharded(ctx context.Context, seed int64, shards int)
 	}
 	dur := sim.FromDuration(s.Duration)
 	scheduleJams(h, s.JamEvery, s.JamBurst, dur)
+	var finishTrace func() error
+	if s.TracePath != "" {
+		if s.SensorFaultRate > 0 {
+			return nil, fmt.Errorf("harness: recording cannot reproduce a fault campaign; disable the fault rate")
+		}
+		spec := world.TraceSpec{
+			Scenario: s.Name(), Seed: seed, Shards: shards, Duration: dur,
+			Config: cfg, Jams: jamSpecs(s.JamEvery, s.JamBurst, dur),
+			PerturbWindow: s.PerturbWindow,
+		}
+		if finishTrace, err = attachRecorder(h, s.TracePath, s.CheckpointEvery, spec); err != nil {
+			return nil, err
+		}
+	}
 	var rep *faultinject.Report
 	if s.SensorFaultRate > 0 {
 		events := int(s.SensorFaultRate*s.Duration.Minutes() + 0.5)
@@ -100,6 +126,11 @@ func (s HighwayScenario) RunSharded(ctx context.Context, seed int64, shards int)
 		}
 	} else if err := h.RunContext(ctx, dur); err != nil {
 		return nil, err
+	}
+	if finishTrace != nil {
+		if err := finishTrace(); err != nil {
+			return nil, err
+		}
 	}
 	res := metrics.NewResult(fmt.Sprintf("highway: %d cars, %s simulated", cfg.Cars, s.Duration))
 	levels := map[core.LoS]int{}
@@ -143,15 +174,52 @@ type jammable interface {
 // scheduleJams schedules a JamV2V burst every jamEvery until dur. Both
 // knobs must be positive *after* conversion to virtual time: a
 // sub-microsecond period truncates to zero and would otherwise loop
-// forever without advancing.
+// forever without advancing. The schedule is derived through jamSpecs so
+// a recorded trace's jam list is, by construction, exactly what the run
+// executed.
 func scheduleJams(w jammable, jamEvery, jamBurst time.Duration, dur sim.Time) {
+	for _, j := range jamSpecs(jamEvery, jamBurst, dur) {
+		burst := j.Burst
+		w.Schedule(j.At, func() { w.JamV2V(burst) })
+	}
+}
+
+// jamSpecs materializes the periodic jam schedule as the concrete burst
+// list that rides a trace header.
+func jamSpecs(jamEvery, jamBurst time.Duration, dur sim.Time) []world.JamSpec {
 	every, burst := sim.FromDuration(jamEvery), sim.FromDuration(jamBurst)
 	if every <= 0 || burst <= 0 {
-		return
+		return nil
 	}
+	var out []world.JamSpec
 	for t := every; t < dur; t += every {
-		w.Schedule(t, func() { w.JamV2V(burst) })
+		out = append(out, world.JamSpec{At: t, Burst: burst})
 	}
+	return out
+}
+
+// attachRecorder opens the trace file and attaches a recorder to the
+// world; the returned finish closes the trace (end marker + flush) and
+// the file. Call it exactly once after the run.
+func attachRecorder(h *world.Highway, path string, every int, spec world.TraceSpec) (finish func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("harness: creating trace %s: %w", path, err)
+	}
+	if every <= 0 {
+		every = 50
+	}
+	if err := h.RecordTo(f, spec, every); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() error {
+		ferr := h.FinishRecording()
+		if cerr := f.Close(); ferr == nil {
+			ferr = cerr
+		}
+		return ferr
+	}, nil
 }
 
 // recordMediumStats appends the slot-level radio's accounting to a world
@@ -222,6 +290,11 @@ type MegaHighwayScenario struct {
 	// SpecDepth >= 2 enables optimistic shard windows (see
 	// HighwayScenario.SpecDepth): wall time only, plus a telemetry record.
 	SpecDepth int
+	// TracePath/CheckpointEvery/PerturbWindow mirror
+	// HighwayScenario's recording knobs.
+	TracePath       string
+	CheckpointEvery int
+	PerturbWindow   uint64
 }
 
 // Name implements Scenario.
@@ -261,8 +334,24 @@ func (s MegaHighwayScenario) RunSharded(ctx context.Context, seed int64, shards 
 	}
 	dur := sim.FromDuration(s.Duration)
 	scheduleJams(h, s.JamEvery, s.JamBurst, dur)
+	var finishTrace func() error
+	if s.TracePath != "" {
+		spec := world.TraceSpec{
+			Scenario: s.Name(), Seed: seed, Shards: shards, Duration: dur,
+			Config: cfg, Jams: jamSpecs(s.JamEvery, s.JamBurst, dur),
+			PerturbWindow: s.PerturbWindow,
+		}
+		if finishTrace, err = attachRecorder(h, s.TracePath, s.CheckpointEvery, spec); err != nil {
+			return nil, err
+		}
+	}
 	if err := h.RunContext(ctx, dur); err != nil {
 		return nil, err
+	}
+	if finishTrace != nil {
+		if err := finishTrace(); err != nil {
+			return nil, err
+		}
 	}
 	sent, delivered, lost := h.BeaconStats()
 	var ebrakes int64

@@ -16,6 +16,12 @@ type Dist struct {
 	Min    float64 `json:"min"`
 	Max    float64 `json:"max"`
 	P95    float64 `json:"p95"`
+	// P95Estimated marks a P95 that is a streaming P² estimate rather
+	// than the exact order statistic. The streaming path keeps p95 exact
+	// through a bounded largest-values reservoir; only past its reach
+	// (thousands of replicas per measurement) does the estimate — and
+	// this marker — appear. Sub-threshold aggregation never sets it.
+	P95Estimated bool `json:"p95_estimated,omitempty"`
 	// CI95 is the half-width of the 95% confidence interval of the mean,
 	// t·s/√n with Student's t at n-1 degrees of freedom and the sample
 	// standard deviation: the paper's probabilistic-bounds argument needs
@@ -70,10 +76,12 @@ type AggRecord struct {
 
 // StreamingThreshold is the replica count above which Aggregate switches
 // from per-value histograms (exact percentiles, O(replicas) memory per
-// measurement) to streaming moments — Welford mean/variance plus a P²
-// p95 estimate — with O(1) memory per measurement. Giant seed matrices
-// would otherwise retain every replica's every value; below the
-// threshold the exact path keeps small-sample percentiles precise.
+// measurement) to streaming moments — Welford mean/variance plus a
+// bounded largest-values reservoir — with O(1) memory per measurement.
+// Giant seed matrices would otherwise retain every replica's every
+// value. The streaming p95 stays exact while its rank fits the reservoir
+// (see streamTopK); beyond that it falls back to a P² estimate and the
+// Dist carries the p95_estimated marker.
 const StreamingThreshold = 64
 
 // Summary is the across-replica aggregation of a scenario's results.
@@ -102,9 +110,10 @@ func labelKey(labels []Label) string {
 // title and notes are taken from the first replica (notes may interpolate
 // replica-specific numbers; the first replica keeps them deterministic).
 // Above StreamingThreshold replicas the per-measurement store switches to
-// streaming moments (Welford + P² p95), bounding memory at O(1) per
-// measurement instead of O(replicas); mean/stddev/min/max stay exact,
-// p95 becomes a tight estimate.
+// streaming moments, bounding memory at O(1) per measurement instead of
+// O(replicas); mean/stddev/min/max always stay exact, and p95 stays
+// exact until its rank outgrows the retained tail — only then does it
+// become a (marked) P² estimate.
 func Aggregate(results []*Result) *Summary {
 	s := &Summary{Replicas: len(results)}
 	streaming := len(results) > StreamingThreshold
@@ -162,6 +171,9 @@ func Aggregate(results []*Result) *Summary {
 			d.Min = h.Min()
 			d.Max = h.Max()
 			d.P95 = h.P95()
+			if est, ok := h.(interface{ P95Estimated() bool }); ok {
+				d.P95Estimated = est.P95Estimated()
+			}
 			if n := d.Count; n >= 2 {
 				// The accumulators report the population form; the CI needs
 				// the sample form (divisor n-1).

@@ -208,17 +208,100 @@ func (a *histAcc) Min() float64      { return a.h.Min() }
 func (a *histAcc) Max() float64      { return a.h.Max() }
 func (a *histAcc) P95() float64      { return a.h.Percentile(95) }
 
-// streamAcc is the O(1)-memory accumulator: Welford moments plus a P²
-// p95 estimate.
-type streamAcc struct {
-	w  Welford
-	p2 *P2Quantile
+// streamTopK bounds the streaming accumulator's largest-values
+// reservoir. It keeps the p95 EXACT — matching Histogram.Percentile bit
+// for bit — through 20·(streamTopK−1)+1 = 5101 samples, because the
+// 95th-percentile rank stays within the retained tail that long. Memory
+// stays O(1) per measurement either way.
+const streamTopK = 256
+
+// topK is a min-heap of the k largest observations: enough order
+// statistics to read extreme upper quantiles back out exactly while
+// their rank from the top fits in the reservoir.
+type topK struct {
+	k    int
+	heap []float64
 }
 
-func newStreamAcc() *streamAcc { return &streamAcc{p2: NewP2Quantile(0.95)} }
+func (t *topK) observe(v float64) {
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, v)
+		i := len(t.heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if t.heap[p] <= t.heap[i] {
+				break
+			}
+			t.heap[p], t.heap[i] = t.heap[i], t.heap[p]
+			i = p
+		}
+		return
+	}
+	if v <= t.heap[0] {
+		return
+	}
+	t.heap[0] = v
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(t.heap) && t.heap[l] < t.heap[small] {
+			small = l
+		}
+		if r < len(t.heap) && t.heap[r] < t.heap[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		t.heap[i], t.heap[small] = t.heap[small], t.heap[i]
+		i = small
+	}
+}
+
+// percentile computes the p-th percentile of all n observed values using
+// only the retained tail — the same rank/interpolation convention as
+// Histogram.Percentile — or ok=false when the rank has outgrown the
+// reservoir.
+func (t *topK) percentile(n int, p float64) (v float64, ok bool) {
+	if n == 0 {
+		return 0, false
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	// Positions counted from the maximum down; the reservoir holds
+	// min(n, k) values, so dLo is in range iff the lo-th order statistic
+	// was retained (and dHi ≤ dLo comes with it).
+	dLo, dHi := n-1-lo, n-1-hi
+	if dLo >= len(t.heap) {
+		return 0, false
+	}
+	sorted := append([]float64(nil), t.heap...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	if lo == hi {
+		return sorted[dLo], true
+	}
+	frac := rank - float64(lo)
+	return sorted[dLo]*(1-frac) + sorted[dHi]*frac, true
+}
+
+// streamAcc is the O(1)-memory accumulator: Welford moments, a bounded
+// reservoir of the largest values (exact p95 while the rank fits — see
+// streamTopK), and a P² estimate as the fallback beyond it.
+type streamAcc struct {
+	w   Welford
+	top topK
+	p2  *P2Quantile
+}
+
+func newStreamAcc() *streamAcc {
+	return &streamAcc{top: topK{k: streamTopK}, p2: NewP2Quantile(0.95)}
+}
 
 func (a *streamAcc) Observe(v float64) {
 	a.w.Observe(v)
+	a.top.observe(v)
 	a.p2.Observe(v)
 }
 func (a *streamAcc) Count() int      { return a.w.Count() }
@@ -226,4 +309,18 @@ func (a *streamAcc) Mean() float64   { return a.w.Mean() }
 func (a *streamAcc) StdDev() float64 { return a.w.StdDev() }
 func (a *streamAcc) Min() float64    { return a.w.Min() }
 func (a *streamAcc) Max() float64    { return a.w.Max() }
-func (a *streamAcc) P95() float64    { return a.p2.Value() }
+
+func (a *streamAcc) P95() float64 {
+	if v, ok := a.top.percentile(a.w.Count(), 95); ok {
+		return v
+	}
+	return a.p2.Value()
+}
+
+// P95Estimated reports whether P95 had to fall back to the P² estimate.
+// Aggregate surfaces it as the Dist's p95_estimated marker so a reader
+// never mistakes an estimate for the exact order statistic.
+func (a *streamAcc) P95Estimated() bool {
+	_, ok := a.top.percentile(a.w.Count(), 95)
+	return !ok && a.w.Count() > 0
+}

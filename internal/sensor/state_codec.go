@@ -1,0 +1,123 @@
+package sensor
+
+import (
+	"errors"
+
+	"karyon/internal/sim"
+	"karyon/internal/trace"
+)
+
+// Trace-codec methods: deterministic binary encode/decode for the
+// checkpoint state types, used by the record/replay layer to persist a
+// world checkpoint across processes. Encoding must be a pure function of
+// the state (no map iteration, no addresses) so identical states always
+// produce identical bytes.
+
+// EncodeState appends the transducer checkpoint to e.
+func (st *PhysicalState) EncodeState(e *trace.Enc) {
+	e.F64(st.stuck)
+	e.Bool(st.stuckSet)
+}
+
+// DecodeState reads a transducer checkpoint written by EncodeState.
+func (st *PhysicalState) DecodeState(d *trace.Dec) {
+	st.stuck = d.F64()
+	st.stuckSet = d.Bool()
+}
+
+func encodeReading(e *trace.Enc, r Reading) {
+	e.F64(r.Value)
+	e.I64(int64(r.Time))
+	e.F64(r.Validity)
+	e.Str(r.Source)
+}
+
+func decodeReading(d *trace.Dec) Reading {
+	var r Reading
+	r.Value = d.F64()
+	r.Time = sim.Time(d.I64())
+	r.Validity = d.F64()
+	r.Source = d.Str()
+	return r
+}
+
+// EncodeState appends the fault-management checkpoint to e.
+func (st *FaultManagementState) EncodeState(e *trace.Enc) {
+	e.U32(uint32(len(st.hist)))
+	for _, r := range st.hist {
+		encodeReading(e, r)
+	}
+	e.U32(uint32(len(st.verdicts)))
+	for _, v := range st.verdicts {
+		e.F64(v.Validity)
+		e.Bool(v.Dominant)
+	}
+	e.Bool(st.assessed)
+}
+
+// DecodeState reads a fault-management checkpoint written by EncodeState.
+func (st *FaultManagementState) DecodeState(d *trace.Dec) {
+	st.hist = st.hist[:0]
+	for i, n := 0, d.Count(25); i < n && d.Err() == nil; i++ {
+		st.hist = append(st.hist, decodeReading(d))
+	}
+	st.verdicts = st.verdicts[:0]
+	for i, n := 0, d.Count(9); i < n && d.Err() == nil; i++ {
+		st.verdicts = append(st.verdicts, Verdict{Validity: d.F64(), Dominant: d.Bool()})
+	}
+	st.assessed = d.Bool()
+}
+
+// lastErr tags: fusion errors are either nil, the sentinel ErrNoData, or
+// an ad-hoc message — encode accordingly so a decoded checkpoint keeps
+// errors.Is(err, ErrNoData) working.
+const (
+	errTagNil uint8 = iota
+	errTagNoData
+	errTagOther
+)
+
+// EncodeState appends the reliable-sensor checkpoint to e.
+func (st *ReliableState) EncodeState(e *trace.Enc) {
+	e.F64(st.filter.Alpha)
+	e.F64(st.filter.Gate)
+	e.F64(st.filter.est)
+	e.Bool(st.filter.started)
+	e.I64(st.filter.accepted)
+	e.I64(st.filter.rejected)
+	switch {
+	case st.lastErr == nil:
+		e.U8(errTagNil)
+	case errors.Is(st.lastErr, ErrNoData):
+		e.U8(errTagNoData)
+	default:
+		e.U8(errTagOther)
+		e.Str(st.lastErr.Error())
+	}
+	e.U32(uint32(len(st.suspects)))
+	for _, s := range st.suspects {
+		e.Str(s)
+	}
+}
+
+// DecodeState reads a reliable-sensor checkpoint written by EncodeState.
+func (st *ReliableState) DecodeState(d *trace.Dec) {
+	st.filter.Alpha = d.F64()
+	st.filter.Gate = d.F64()
+	st.filter.est = d.F64()
+	st.filter.started = d.Bool()
+	st.filter.accepted = d.I64()
+	st.filter.rejected = d.I64()
+	switch d.U8() {
+	case errTagNil:
+		st.lastErr = nil
+	case errTagNoData:
+		st.lastErr = ErrNoData
+	default:
+		st.lastErr = errors.New(d.Str())
+	}
+	st.suspects = st.suspects[:0]
+	for i, n := 0, d.Count(4); i < n && d.Err() == nil; i++ {
+		st.suspects = append(st.suspects, d.Str())
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strings"
 	"time"
 )
 
@@ -28,6 +29,11 @@ type CacheMeta struct {
 	// took to simulate — the cost a hit saves.
 	Bytes     int   `json:"bytes"`
 	ElapsedMS int64 `json:"elapsed_ms"`
+	// TraceHash is the SHA-256 of the archived result stream — the
+	// byte-identity fingerprint of the run. Two daemons (or two builds)
+	// that executed the same spec must produce the same hash; a mismatch
+	// is the cue to record both runs and karyon-bisect the traces.
+	TraceHash string `json:"trace_hash,omitempty"`
 }
 
 // Cache is the content-addressed on-disk run archive: one NDJSON result
@@ -39,15 +45,53 @@ type CacheMeta struct {
 // by multiple daemon processes sharing a directory, since rename is the
 // only publication step.
 type Cache struct {
-	dir string
+	dir   string
+	swept int64
 }
 
-// NewCache opens (creating if needed) a cache rooted at dir.
+// NewCache opens (creating if needed) a cache rooted at dir and sweeps
+// temp files stranded by a crash mid-Put.
 func NewCache(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("service: cache dir: %w", err)
 	}
-	return &Cache{dir: dir}, nil
+	return &Cache{dir: dir, swept: sweepTemp(dir)}, nil
+}
+
+// Swept reports how many stranded temp files boot-time recovery removed.
+func (c *Cache) Swept() int64 { return c.swept }
+
+// sweepTemp removes ".tmp-*" files from the cache root and its shard
+// subdirectories. A crash between os.CreateTemp and the rename in
+// writeAtomic strands a temp file no rename will ever claim; since the
+// rename is the only publication step, every surviving ".tmp-*" is
+// garbage by construction and safe to delete at boot.
+func sweepTemp(root string) int64 {
+	dirs := []string{root}
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		return 0
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			dirs = append(dirs, filepath.Join(root, e.Name()))
+		}
+	}
+	var n int64
+	for _, d := range dirs {
+		ents, err := os.ReadDir(d)
+		if err != nil {
+			continue
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasPrefix(e.Name(), ".tmp-") {
+				if os.Remove(filepath.Join(d, e.Name())) == nil {
+					n++
+				}
+			}
+		}
+	}
+	return n
 }
 
 // Dir returns the cache root.

@@ -57,6 +57,53 @@ func TestCacheRejectsInvalidKeys(t *testing.T) {
 	}
 }
 
+// A crash between os.CreateTemp and the rename in writeAtomic strands a
+// ".tmp-*" file; the next NewCache must sweep it (and count it) without
+// touching published archives.
+func TestCacheSweepsStrandedTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Swept() != 0 {
+		t.Fatalf("fresh cache swept %d", c.Swept())
+	}
+	key := testKey('c')
+	if err := c.Put(key, []byte("data\n"), CacheMeta{}); err != nil {
+		t.Fatal(err)
+	}
+	// Plant the debris a mid-Put crash would leave: one orphan in the
+	// key's shard subdir, one in the root.
+	for _, p := range []string{
+		filepath.Join(dir, key[:2], ".tmp-123456"),
+		filepath.Join(dir, ".tmp-654321"),
+	} {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c2, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Swept() != 2 {
+		t.Fatalf("swept %d temp files, want 2", c2.Swept())
+	}
+	if _, ok, err := c2.Get(key); err != nil || !ok {
+		t.Fatalf("published archive lost by the sweep: ok=%v err=%v", ok, err)
+	}
+	err = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && strings.HasPrefix(filepath.Base(path), ".tmp-") {
+			t.Errorf("temp file survived the sweep: %s", path)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCacheLeavesNoTempDebris(t *testing.T) {
 	dir := t.TempDir()
 	c, err := NewCache(dir)

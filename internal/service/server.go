@@ -22,6 +22,8 @@ package service
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -149,6 +151,10 @@ type Status struct {
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
 	ResultBytes int        `json:"result_bytes"`
+	// TraceHash is the SHA-256 of the result stream — the byte-identity
+	// fingerprint of the run (see CacheMeta.TraceHash). Empty until the
+	// job completes.
+	TraceHash string `json:"trace_hash,omitempty"`
 }
 
 // Stats is the server's operational counter snapshot.
@@ -171,7 +177,10 @@ type Stats struct {
 	Recovered int64 `json:"recovered"`
 	// Panics counts contained scenario panics: each failed exactly its own
 	// job (stack in the job status), never the daemon.
-	Panics   int64  `json:"panics"`
+	Panics int64 `json:"panics"`
+	// Swept counts stranded cache temp files removed at boot — debris of a
+	// crash mid-archive, cleaned before the first submission.
+	Swept    int64  `json:"swept"`
 	Queued   int    `json:"queued"`
 	Running  int    `json:"running"`
 	Workers  int    `json:"workers"`
@@ -206,9 +215,12 @@ type job struct {
 	// resultBytes is the stream length for jobs whose bytes live only on
 	// disk (buf == nil); len(buf) covers the rest.
 	resultBytes int
-	created     time.Time
-	started     time.Time
-	finished    time.Time
+	// traceHash is the stream's SHA-256, set on completion (or revived
+	// from the archive's meta sidecar).
+	traceHash string
+	created   time.Time
+	started   time.Time
+	finished  time.Time
 	// cancelRequested distinguishes an explicit cancel from a timeout once
 	// the context dies; cancel aborts a running execution. drainKill marks
 	// a cancellation forced by shutdown: an interruption, not a decision —
@@ -237,6 +249,7 @@ func (j *job) status() *Status {
 		Spec:        j.spec,
 		CreatedAt:   j.created,
 		ResultBytes: max(len(j.buf), j.resultBytes),
+		TraceHash:   j.traceHash,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -309,6 +322,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.stats.Workers = cfg.Workers
 	s.stats.Build = cfg.Build
+	s.stats.Swept = cache.Swept()
 	if cfg.JournalDir != "" {
 		journal, err := OpenJournal(cfg.JournalDir)
 		if err != nil {
@@ -457,6 +471,9 @@ func (s *Server) Submit(spec JobSpec) (*Status, error) {
 		j.cached, j.archived = true, true
 		j.finished = j.created
 		j.resultBytes = len(stream)
+		if meta, ok, _ := s.cache.Meta(id); ok {
+			j.traceHash = meta.TraceHash
+		}
 		s.remember(j)
 		s.stats.CacheHits++
 		return j.status(), nil
@@ -737,9 +754,17 @@ func (s *Server) execute(j *job) {
 	s.mu.Unlock()
 
 	if err == nil {
-		meta := CacheMeta{Spec: j.spec, Build: s.cfg.Build, CreatedAt: time.Now(), ElapsedMS: elapsed.Milliseconds()}
 		j.mu.Lock()
 		stream := j.buf
+		j.mu.Unlock()
+		sum := sha256.Sum256(stream)
+		traceHash := hex.EncodeToString(sum[:])
+		meta := CacheMeta{
+			Spec: j.spec, Build: s.cfg.Build, CreatedAt: time.Now(),
+			ElapsedMS: elapsed.Milliseconds(), TraceHash: traceHash,
+		}
+		j.mu.Lock()
+		j.traceHash = traceHash
 		j.mu.Unlock()
 		archived := false
 		if cerr := s.cache.Put(j.id, stream, meta); cerr != nil {

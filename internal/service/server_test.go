@@ -4,8 +4,12 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -144,6 +148,58 @@ func TestCacheSurvivesRestart(t *testing.T) {
 	}
 	if misses := s2.Stats().CacheMisses; misses != 0 {
 		t.Fatalf("restarted server executed %d jobs, want 0", misses)
+	}
+}
+
+// TestTraceHash: a completed job's status carries the SHA-256 of its
+// result stream, the hash lands in the archive's meta sidecar, and a
+// restarted daemon revives it on a disk hit — so two daemons claiming the
+// same spec can be compared by fingerprint alone.
+func TestTraceHash(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newTestServer(t, Config{CacheDir: dir})
+	st, err := s1.Submit(tinyHighway())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TraceHash != "" {
+		t.Fatalf("queued job already has a trace hash %q", st.TraceHash)
+	}
+	stream := waitTerminal(t, s1, st.ID)
+	sum := sha256.Sum256(stream)
+	want := hex.EncodeToString(sum[:])
+	done, err := s1.Job(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.TraceHash != want {
+		t.Fatalf("status trace hash %q, want %q", done.TraceHash, want)
+	}
+	if meta, ok, err := s1.cache.Meta(st.ID); err != nil || !ok || meta.TraceHash != want {
+		t.Fatalf("archive meta trace hash = %q ok=%v err=%v, want %q", meta.TraceHash, ok, err, want)
+	}
+	s1.Close()
+
+	s2 := newTestServer(t, Config{CacheDir: dir})
+	st2, err := s2.Submit(tinyHighway())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached || st2.TraceHash != want {
+		t.Fatalf("disk hit cached=%v trace hash %q, want %q", st2.Cached, st2.TraceHash, want)
+	}
+}
+
+// TestStatsSweptSurfacesBootSweep: debris a crash mid-archive left behind
+// is counted in the stats a restarted daemon reports.
+func TestStatsSweptSurfacesBootSweep(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-999"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{CacheDir: dir})
+	if got := s.Stats().Swept; got != 1 {
+		t.Fatalf("Stats.Swept = %d, want 1", got)
 	}
 }
 

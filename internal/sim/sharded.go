@@ -225,6 +225,32 @@ func (sk *ShardedKernel) NextEdge(t Time) Time {
 	return (t + sk.window - 1) / sk.window * sk.window
 }
 
+// Warp rewinds (or fast-forwards) the whole sharded kernel to a window
+// edge without executing anything: every shard's event queue is emptied
+// and its clock set to at, outboxes are cleared, and the barrier clock
+// moves to at. The caller is responsible for re-seeding the model's
+// state and event schedule for the window that opens at the target —
+// this is the restore half of trace replay, the cross-run counterpart of
+// the in-run speculation rollback. The target must be non-negative and
+// on the window grid.
+func (sk *ShardedKernel) Warp(at Time) error {
+	if sk.failed != nil {
+		return sk.failed
+	}
+	if at < 0 || at%sk.window != 0 {
+		return fmt.Errorf("sim: warp target %v is not on the window grid (%v)", at, sk.window)
+	}
+	for _, s := range sk.shards {
+		s.kernel.Rollback(KernelMark{now: at, executed: s.kernel.executed})
+		for i := range s.outbox {
+			s.outbox[i].fn = nil
+		}
+		s.outbox = s.outbox[:0]
+	}
+	sk.now = at
+	return nil
+}
+
 // windowError wraps a panic recovered inside a sharded window so callers
 // can identify which phase (shard execution, barrier drain, window hook)
 // blew up.

@@ -1,0 +1,177 @@
+// Package trace defines the compact, versioned binary format behind
+// `karyon-sim -record` / `-replay` and `karyon-bisect`: a deterministic
+// little-endian codec, a buffered trace writer, and a bounds-checked
+// reader that fails on truncated or corrupt input without ever
+// panicking. The package depends only on the standard library so every
+// state-owning package (sensor, coord, core, gear, vehicle, wireless)
+// can implement its own encode/decode methods against it.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrCorrupt is wrapped by every decode failure: truncated input,
+// impossible lengths, bad magic, unknown versions.
+var ErrCorrupt = errors.New("trace: corrupt or truncated input")
+
+// Enc appends fixed-width little-endian values to a growing buffer.
+// Encoding is pure append — the same sequence of calls always yields the
+// same bytes, which is what makes traces diffable across runs.
+type Enc struct {
+	buf []byte
+}
+
+// Bytes returns the encoded buffer. The slice aliases the encoder's
+// storage; it is valid until the next Reset.
+func (e *Enc) Bytes() []byte { return e.buf }
+
+// Reset clears the buffer, retaining capacity for reuse.
+func (e *Enc) Reset() { e.buf = e.buf[:0] }
+
+// Len reports the number of encoded bytes.
+func (e *Enc) Len() int { return len(e.buf) }
+
+func (e *Enc) U8(v uint8) { e.buf = append(e.buf, v) }
+
+func (e *Enc) U32(v uint32) {
+	e.buf = append(e.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func (e *Enc) U64(v uint64) {
+	e.buf = append(e.buf,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func (e *Enc) I64(v int64) { e.U64(uint64(v)) }
+
+func (e *Enc) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+func (e *Enc) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// Str encodes a length-prefixed string.
+func (e *Enc) Str(s string) {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Blob encodes a length-prefixed byte slice.
+func (e *Enc) Blob(b []byte) {
+	e.U32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Dec reads values sequentially from a byte slice. The first
+// out-of-bounds or impossible read sets a sticky error; subsequent reads
+// return zero values. Dec never panics on hostile input.
+type Dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDec wraps data for sequential decoding.
+func NewDec(data []byte) *Dec { return &Dec{buf: data} }
+
+// Err returns the sticky decode error, nil if all reads were in bounds.
+func (d *Dec) Err() error { return d.err }
+
+// Remaining reports the number of unread bytes.
+func (d *Dec) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s at offset %d", ErrCorrupt, what, d.off)
+	}
+}
+
+func (d *Dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.buf)-d.off {
+		d.fail(fmt.Sprintf("need %d bytes, have %d", n, len(d.buf)-d.off))
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *Dec) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *Dec) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func (d *Dec) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func (d *Dec) I64() int64 { return int64(d.U64()) }
+
+func (d *Dec) F64() float64 { return math.Float64frombits(d.U64()) }
+
+func (d *Dec) Bool() bool { return d.U8() != 0 }
+
+func (d *Dec) Str() string {
+	n := int(d.U32())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (d *Dec) Blob() []byte {
+	n := int(d.U32())
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// Count decodes a u32 element count and rejects values that cannot
+// possibly fit in the remaining input (each element needs at least min
+// bytes), so hostile counts never drive huge allocations.
+func (d *Dec) Count(min int) int {
+	n := int(d.U32())
+	if d.err != nil {
+		return 0
+	}
+	if min < 1 {
+		min = 1
+	}
+	if n < 0 || n*min > d.Remaining() {
+		d.fail(fmt.Sprintf("count %d exceeds remaining input", n))
+		return 0
+	}
+	return n
+}

@@ -281,6 +281,12 @@ type Highway struct {
 	// spec holds the optimistic-window machinery (nil unless
 	// cfg.SpecDepth ≥ 2; see speculate.go).
 	spec *hwSpec
+
+	// rec is the attached trace recorder/verifier (nil unless RecordTo
+	// or a replay attached one; see record.go). Its presence pins the
+	// kernel to lockstep so every window passes through the barrier
+	// path the recorder hooks.
+	rec *recorder
 }
 
 // NewHighway builds the world over the sharded kernel. The kernel's window
@@ -533,6 +539,10 @@ func (h *Highway) onWindow(edge sim.Time) {
 	h.runHooks(edge)
 	if !h.stopped {
 		h.seedWindow(edge)
+	}
+	if h.rec != nil {
+		// Last, so the digest sees the fully reconciled barrier state.
+		h.recWindow(edge)
 	}
 }
 
@@ -883,6 +893,9 @@ func (h *Highway) arbitrate(edge sim.Time) {
 		if c.releaseHeld {
 			if c.heldRegion != "" {
 				h.res.Release(c.heldRegion, int64(c.ID))
+				if h.rec != nil {
+					h.captureRelease(c, c.heldRegion)
+				}
 				c.heldRegion = ""
 			}
 			c.releaseHeld = false
@@ -910,6 +923,9 @@ func (h *Highway) arbitrate(edge sim.Time) {
 			continue
 		}
 		c.heldRegion = region
+		if h.rec != nil {
+			h.captureGrant(c, region)
+		}
 		// Mark the dual-lane occupancy in the snapshot immediately: a
 		// later grantee in this same barrier (different region, same
 		// target lane) must see this maneuver in its clearance check, not

@@ -1,0 +1,132 @@
+package world
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"karyon/internal/sim"
+	"karyon/internal/trace"
+)
+
+// This file is the replay half of the record/replay layer: rebuild the
+// recorded world from the trace header, restore the nearest checkpoint
+// at or before the requested window range, warp the sharded kernel to
+// that edge, and re-run the range while verifying every recomputed
+// window record against the recording.
+
+// ReplayOptions selects the window range and (optionally) a different
+// shard width than the recording's.
+type ReplayOptions struct {
+	// From/To bound the verified window range, 1-based and inclusive.
+	// Zero means "from the first window" / "to the last".
+	From, To uint64
+	// Shards overrides the recorded shard width (0 = as recorded). The
+	// simulation is byte-identical at every width; only the Crossers
+	// telemetry varies, and cross-width verification ignores it.
+	Shards int
+}
+
+// ReplayResult summarizes a verified replay.
+type ReplayResult struct {
+	Spec TraceSpec
+	// From/To is the replayed range; Checkpoint is the window whose
+	// checkpoint seeded it (0 = rebuilt from t=0).
+	From, To   uint64
+	Checkpoint uint64
+	// Windows counts verified window records (every window from the
+	// restore point through To, so the approach to From is checked too).
+	Windows int
+	Shards  int
+}
+
+// ReplayTrace re-runs a window range of a recorded trace and verifies
+// that every recomputed window record matches the recording. A
+// *DivergenceError names the first mismatching window — with intact
+// traces of the same build that never happens; with a different build
+// (or a perturbed one) it is the bisection primitive karyon-bisect
+// automates.
+func ReplayTrace(data []byte, opt ReplayOptions) (*ReplayResult, error) {
+	c, err := trace.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(c.Windows) == 0 {
+		return nil, errors.New("world: trace contains no windows")
+	}
+	var spec TraceSpec
+	if err := json.Unmarshal(c.Header.Spec, &spec); err != nil {
+		return nil, fmt.Errorf("world: decoding trace spec: %w", err)
+	}
+
+	last := uint64(len(c.Windows))
+	from, to := opt.From, opt.To
+	if from == 0 {
+		from = 1
+	}
+	if to == 0 {
+		to = last
+	}
+	if from > to || to > last {
+		return nil, fmt.Errorf("world: window range %d:%d outside the trace's 1:%d", from, to, last)
+	}
+
+	shards := opt.Shards
+	if shards <= 0 {
+		shards = c.Header.Shards
+	}
+	h, err := BuildHighway(c.Header.Seed, shards, spec.Config)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.Start(); err != nil {
+		return nil, err
+	}
+	// Re-apply the recorded interventions; those at or before a restored
+	// checkpoint's edge are dropped again by restoreCheckpoint.
+	for _, j := range spec.Jams {
+		burst := j.Burst
+		h.Schedule(j.At, func() { h.JamV2V(burst) })
+	}
+	if spec.PerturbWindow > 0 {
+		h.schedulePerturbation(spec.PerturbWindow)
+	}
+
+	// The checkpoint at window K captures the state after window K, so
+	// replaying window `from` needs the newest checkpoint at or before
+	// from-1. Without one the run starts from t=0 — correct, just
+	// longer.
+	var ck uint64
+	for k := range c.Checkpoints {
+		if k <= from-1 && k > ck {
+			ck = k
+		}
+	}
+	if ck > 0 {
+		rec := c.Checkpoints[ck]
+		if err := h.restoreCheckpoint(rec.State, sim.Time(rec.Edge)); err != nil {
+			return nil, err
+		}
+	}
+
+	h.rec = &recorder{
+		expect: c.Windows,
+		strict: shards == c.Header.Shards,
+		idx:    ck,
+	}
+	windows := to - ck
+	if err := h.RunContext(context.Background(), sim.Time(windows)*h.cfg.ControlPeriod); err != nil {
+		return nil, err
+	}
+	if h.rec.err != nil {
+		return nil, h.rec.err
+	}
+	if h.rec.idx != to {
+		return nil, fmt.Errorf("world: replay stopped at window %d, expected %d", h.rec.idx, to)
+	}
+	return &ReplayResult{
+		Spec: spec, From: from, To: to, Checkpoint: ck,
+		Windows: int(to - ck), Shards: shards,
+	}, nil
+}

@@ -210,6 +210,14 @@ func (h *Highway) SpecEligible() bool {
 	if h.stopped || len(h.hooks) != 0 {
 		return false
 	}
+	if h.rec != nil {
+		// Recording/replay needs every window to pass through the
+		// barrier path (digest, decisions, checkpoints). Lockstep is
+		// byte-identical to speculation, so pinning it costs only wall
+		// time — and makes "record under -speculate equals record
+		// without" true by construction.
+		return false
+	}
 	if h.medium != nil && h.cfg.CarrierSense {
 		return false
 	}
